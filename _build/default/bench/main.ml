@@ -1,0 +1,127 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section, plus wall-clock microbenchmarks of the thunk
+   machinery (Bechamel).
+
+   Usage: main.exe [experiment ...]
+   Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 appendix
+   micro.  With no argument everything except `appendix` runs (the appendix
+   tables are long; they are included in `all`). *)
+
+open Sloth_harness
+
+(* --- Bechamel microbenchmarks ------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let thunk_create_force =
+    Test.make ~name:"thunk create+force"
+      (Staged.stage (fun () ->
+           Sloth_core.Thunk.force (Sloth_core.Thunk.create (fun () -> 42))))
+  in
+  let thunk_chain =
+    Test.make ~name:"thunk map-chain (depth 10)"
+      (Staged.stage (fun () ->
+           let t = ref (Sloth_core.Thunk.literal 1) in
+           for _ = 1 to 10 do
+             t := Sloth_core.Thunk.map succ !t
+           done;
+           Sloth_core.Thunk.force !t))
+  in
+  let sql_parse =
+    Test.make ~name:"sql parse (join+where)"
+      (Staged.stage (fun () ->
+           Sloth_sql.Parser.parse
+             "SELECT u.name, o.total FROM users u JOIN orders o ON o.user_id \
+              = u.id WHERE u.id = 42 AND o.total > 10 ORDER BY o.total DESC \
+              LIMIT 5"))
+  in
+  let db = Sloth_storage.Database.create () in
+  let () =
+    ignore
+      (Sloth_storage.Database.exec_sql db
+         "CREATE TABLE m (id INT NOT NULL, v TEXT, PRIMARY KEY (id))");
+    for i = 1 to 1000 do
+      ignore
+        (Sloth_storage.Database.exec_sql db
+           (Printf.sprintf "INSERT INTO m (id, v) VALUES (%d, 'v%d')" i i))
+    done
+  in
+  let point_stmt = Sloth_sql.Parser.parse "SELECT * FROM m WHERE id = 500" in
+  let point_query =
+    Test.make ~name:"executor point query (1k rows)"
+      (Staged.stage (fun () -> Sloth_storage.Database.exec db point_stmt))
+  in
+  let store_env () =
+    let clock = Sloth_net.Vclock.create () in
+    let conn = Sloth_driver.Connection.create db (Sloth_net.Link.create clock) in
+    Sloth_core.Query_store.create conn
+  in
+  let store_batch =
+    Test.make ~name:"query store register+flush (10)"
+      (Staged.stage (fun () ->
+           let store = store_env () in
+           let ids =
+             List.init 10 (fun i ->
+                 Sloth_core.Query_store.register_sql store
+                   (Printf.sprintf "SELECT * FROM m WHERE id = %d" (i + 1)))
+           in
+           List.iter
+             (fun id -> ignore (Sloth_core.Query_store.result store id))
+             ids))
+  in
+  Test.make_grouped ~name:"sloth"
+    [ thunk_create_force; thunk_chain; sql_parse; point_query; store_batch ]
+
+let micro () =
+  Report.section "Microbenchmarks (real wall-clock, Bechamel)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols (List.hd instances) raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] -> Printf.printf "  %-40s %10.1f ns/run\n" name ns
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results
+
+(* --- dispatch ------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig5", Page_experiments.fig5);
+    ("fig6", Page_experiments.fig6);
+    ("fig7", Throughput.fig7);
+    ("fig8", Page_experiments.fig8);
+    ("fig9", Page_experiments.fig9);
+    ("fig10", Db_scaling.fig10);
+    ("fig11", Analysis_stats.fig11);
+    ("fig12", Ablation.fig12);
+    ("fig13", Overhead.fig13);
+    ("prefetch", Baselines.prefetch_compare);
+    ("policies", Baselines.flush_policies);
+    ("appendix", Page_experiments.appendix);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

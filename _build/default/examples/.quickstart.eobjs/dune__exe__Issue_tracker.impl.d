@@ -1,0 +1,1 @@
+examples/issue_tracker.ml: List Printf Sloth_harness Sloth_web Sloth_workload String

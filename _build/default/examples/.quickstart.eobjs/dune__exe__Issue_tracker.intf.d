@@ -1,0 +1,1 @@
+examples/issue_tracker.mli:

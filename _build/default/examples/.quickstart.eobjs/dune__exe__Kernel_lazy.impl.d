@@ -1,0 +1,1 @@
+examples/kernel_lazy.ml: Builder Fun Generator Lazy_eval List Pretty Printf Sloth_core Sloth_driver Sloth_kernel Sloth_net Sloth_storage Standard String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Sloth_core Sloth_driver Sloth_net Sloth_sql Sloth_storage String

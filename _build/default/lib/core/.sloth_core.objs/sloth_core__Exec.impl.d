@@ -1,0 +1,1 @@
+lib/core/exec.ml: Query_store Sloth_driver Sloth_sql Sloth_storage Thunk

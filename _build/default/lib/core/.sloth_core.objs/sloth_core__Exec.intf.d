@@ -1,0 +1,1 @@
+lib/core/exec.mli: Query_store Sloth_driver Sloth_sql Sloth_storage Thunk

@@ -1,0 +1,1 @@
+lib/core/query_store.ml: Format Hashtbl List Logs Sloth_driver Sloth_sql Sloth_storage String

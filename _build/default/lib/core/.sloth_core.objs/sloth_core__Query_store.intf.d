@@ -1,0 +1,1 @@
+lib/core/query_store.mli: Format Sloth_driver Sloth_sql Sloth_storage

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Sloth_net

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Sloth_net

@@ -1,0 +1,107 @@
+module type S = sig
+  val name : string
+  val immediate : bool
+
+  type 'a v
+
+  val pure : 'a -> 'a v
+  val map : ('a -> 'b) -> 'a v -> 'b v
+  val map2 : ('a -> 'b -> 'c) -> 'a v -> 'b v -> 'c v
+  val all : 'a v list -> 'a list v
+  val bind : ('a -> 'b v) -> 'a v -> 'b v
+  val get : 'a v -> 'a
+
+  val query :
+    Sloth_sql.Ast.stmt -> (Sloth_storage.Result_set.t -> 'a) -> 'a v
+
+  val command : Sloth_sql.Ast.stmt -> int
+  val to_thunk : 'a v -> 'a Thunk.t
+  val defer : (unit -> 'a v) -> 'a Thunk.t
+end
+
+module Eager (C : sig
+  val conn : Sloth_driver.Connection.t
+end) =
+struct
+  let name = "eager"
+  let immediate = true
+
+  type 'a v = 'a
+
+  let pure v = v
+  let map f v = f v
+  let map2 f a b = f a b
+  let all vs = vs
+  let bind f v = f v
+  let get v = v
+
+  let query stmt deserialize =
+    let outcome = Sloth_driver.Connection.execute C.conn stmt in
+    deserialize outcome.rs
+
+  let command stmt =
+    let outcome = Sloth_driver.Connection.execute C.conn stmt in
+    outcome.rows_affected
+
+  let to_thunk v = Thunk.literal v
+  let defer f = Thunk.create f
+end
+
+module Lazy (Q : sig
+  val store : Query_store.t
+end) =
+struct
+  let name = "sloth"
+  let immediate = false
+
+  type 'a v = 'a Thunk.t
+
+  let pure v = Thunk.literal v
+  let map = Thunk.map
+  let map2 = Thunk.map2
+  let all = Thunk.all
+  let bind f t = Thunk.join (Thunk.map f t)
+  let get = Thunk.force
+
+  let query stmt deserialize =
+    let id = Query_store.register Q.store stmt in
+    Thunk.create (fun () -> deserialize (Query_store.result Q.store id))
+
+  let command stmt =
+    let id = Query_store.register Q.store stmt in
+    Query_store.rows_affected Q.store id
+
+  let to_thunk v = v
+  let defer f = f ()
+end
+
+module Prefetch (C : sig
+  val conn : Sloth_driver.Connection.t
+end) =
+struct
+  let name = "prefetch"
+  let immediate = false
+
+  type 'a v = 'a Thunk.t
+
+  let pure v = Thunk.literal v
+  let map = Thunk.map
+  let map2 = Thunk.map2
+  let all = Thunk.all
+  let bind f t = Thunk.join (Thunk.map f t)
+  let get = Thunk.force
+
+  let query stmt deserialize =
+    (* Issue now, overlap with computation, block only at consumption. *)
+    let handle = Sloth_driver.Connection.execute_async C.conn stmt in
+    Thunk.create (fun () ->
+        deserialize (Sloth_driver.Connection.await C.conn handle).rs)
+
+  let command stmt =
+    (* Writes cannot be outstanding past their program point. *)
+    let handle = Sloth_driver.Connection.execute_async C.conn stmt in
+    (Sloth_driver.Connection.await C.conn handle).rows_affected
+
+  let to_thunk v = v
+  let defer f = f ()
+end

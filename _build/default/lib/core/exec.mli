@@ -1,0 +1,78 @@
+(** Execution strategies: the OCaml equivalent of compiling the application
+    twice.
+
+    The paper's Sloth compiler rewrites Java so every statement builds a
+    thunk; the original binary executes statements immediately.  Here the
+    same application code is written once against the {!S} signature and
+    instantiated with either {!Eager} (original semantics: a query call is a
+    round trip, computation happens now) or {!Lazy} (extended lazy
+    semantics: queries register with a query store, computation is
+    deferred). *)
+
+module type S = sig
+  val name : string
+
+  val immediate : bool
+  (** [true] when queries execute at the call (the original program):
+      frameworks use this to reproduce eager-fetching behaviour that only
+      makes sense under immediate execution. *)
+
+  type 'a v
+  (** A possibly-deferred value. *)
+
+  val pure : 'a -> 'a v
+  val map : ('a -> 'b) -> 'a v -> 'b v
+  val map2 : ('a -> 'b -> 'c) -> 'a v -> 'b v -> 'c v
+  val all : 'a v list -> 'a list v
+
+  val bind : ('a -> 'b v) -> 'a v -> 'b v
+  (** Dependent computation: the function runs (and may register its own
+      queries) only once the input is forced. *)
+
+  val get : 'a v -> 'a
+  (** Demand the value now (forces under the lazy strategy).  Application
+      code calls this exactly where the paper's semantics force a thunk:
+      branch conditions it cannot defer, heap writes, query parameters,
+      calls into external code. *)
+
+  val query :
+    Sloth_sql.Ast.stmt -> (Sloth_storage.Result_set.t -> 'a) -> 'a v
+  (** A read query together with its deserialization function.  Eager:
+      executes in its own round trip now.  Lazy: registers with the query
+      store; the result is deserialized (once) when forced. *)
+
+  val command : Sloth_sql.Ast.stmt -> int
+  (** A write statement; never deferred (Sec. 3.3).  Returns rows
+      affected.  Under the lazy strategy this flushes pending reads into
+      the same round trip. *)
+
+  val to_thunk : 'a v -> 'a Thunk.t
+  (** Expose the value as a thunk for storage in view models.  Eager values
+      become free literal thunks. *)
+
+  val defer : (unit -> 'a v) -> 'a Thunk.t
+  (** The ORM proxy point (the paper's JPA [find_thunk] extension, Sec. 5).
+      Under the original strategy this is a Hibernate-style lazy-fetch
+      proxy: nothing happens until the thunk is forced (typically at view
+      render), and unforced proxies never query.  Under Sloth the
+      computation runs now — registering its queries with the store — and
+      the result is the deferred value itself. *)
+end
+
+module Eager (C : sig
+  val conn : Sloth_driver.Connection.t
+end) : S with type 'a v = 'a
+
+module Lazy (Q : sig
+  val store : Query_store.t
+end) : S with type 'a v = 'a Thunk.t
+
+module Prefetch (C : sig
+  val conn : Sloth_driver.Connection.t
+end) : S with type 'a v = 'a Thunk.t
+(** The latency-hiding baseline the paper contrasts with (Sec. 1): each
+    query is issued asynchronously as soon as it is evaluated, the round
+    trip overlapping subsequent computation; consumption blocks for
+    whatever part of the trip computation did not hide.  One round trip per
+    query — no batching — so it loses to Sloth whenever there is not enough
+    computation between issue and use. *)

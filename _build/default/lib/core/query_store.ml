@@ -1,0 +1,150 @@
+module Conn = Sloth_driver.Connection
+module Rs = Sloth_storage.Result_set
+
+let log_src = Logs.Src.create "sloth.query_store" ~doc:"Query store batching"
+
+type query_id = int
+
+type flush_policy = On_demand | At_size of int
+
+type event =
+  | Registered of query_id * string
+  | Dedup_hit of query_id * string
+  | Write_through of query_id * string
+  | Batch_sent of (query_id * string) list
+  | Result_served of query_id
+
+type entry = {
+  stmt : Sloth_sql.Ast.stmt;
+  sql : string;  (* canonical text, the dedup key *)
+  mutable result : Sloth_storage.Database.outcome option;
+}
+
+type t = {
+  conn : Conn.t;
+  policy : flush_policy;
+  entries : (query_id, entry) Hashtbl.t;
+  mutable batch : query_id list;  (* pending, newest first *)
+  mutable next_id : int;
+  mutable batches_sent : int;
+  mutable max_batch_size : int;
+  mutable registered : int;
+  mutable tracer : (event -> unit) option;
+}
+
+let create ?(policy = On_demand) conn =
+  {
+    conn;
+    policy;
+    entries = Hashtbl.create 64;
+    batch = [];
+    next_id = 0;
+    batches_sent = 0;
+    max_batch_size = 0;
+    registered = 0;
+    tracer = None;
+  }
+
+let connection t = t.conn
+let policy t = t.policy
+let set_tracer t tracer = t.tracer <- tracer
+let emit t event = match t.tracer with Some f -> f event | None -> ()
+
+let entry t id = Hashtbl.find t.entries id
+
+let fresh_id t stmt sql =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Hashtbl.replace t.entries id { stmt; sql; result = None };
+  id
+
+let send t ids =
+  match ids with
+  | [] -> ()
+  | _ ->
+      let ids = List.rev ids in
+      Logs.debug ~src:log_src (fun m ->
+          m "shipping batch of %d queries" (List.length ids));
+      emit t (Batch_sent (List.map (fun id -> (id, (entry t id).sql)) ids));
+      let stmts = List.map (fun id -> (entry t id).stmt) ids in
+      let outcomes = Conn.execute_batch t.conn stmts in
+      List.iter2
+        (fun id outcome -> (entry t id).result <- Some outcome)
+        ids outcomes;
+      t.batches_sent <- t.batches_sent + 1;
+      let n = List.length ids in
+      if n > t.max_batch_size then t.max_batch_size <- n
+
+let flush t =
+  let ids = t.batch in
+  t.batch <- [];
+  send t ids
+
+let register t stmt =
+  t.registered <- t.registered + 1;
+  let sql = Sloth_sql.Printer.to_string stmt in
+  if Sloth_sql.Ast.is_write stmt then begin
+    (* Writes are never deferred: flush pending reads together with the
+       write in a single round trip (reads first, preserving order). *)
+    let id = fresh_id t stmt sql in
+    emit t (Write_through (id, sql));
+    let ids = id :: t.batch in
+    t.batch <- [];
+    send t ids;
+    id
+  end
+  else
+    (* Dedup against the *pending* batch only. *)
+    let dup =
+      List.find_opt (fun id -> String.equal (entry t id).sql sql) t.batch
+    in
+    match dup with
+    | Some id ->
+        emit t (Dedup_hit (id, sql));
+        id
+    | None ->
+        let id = fresh_id t stmt sql in
+        emit t (Registered (id, sql));
+        t.batch <- id :: t.batch;
+        (match t.policy with
+        | At_size k when List.length t.batch >= k -> flush t
+        | _ -> ());
+        id
+
+let register_sql t sql = register t (Sloth_sql.Parser.parse sql)
+
+let result t id =
+  let e = entry t id in
+  (match e.result with
+  | None -> flush t
+  | Some _ -> emit t (Result_served id));
+  match (entry t id).result with
+  | Some outcome -> outcome.rs
+  | None ->
+      (* Cannot happen: the id was either pending (flushed above) or already
+         executed. *)
+      assert false
+
+let rows_affected t id =
+  let e = entry t id in
+  (match e.result with None -> flush t | Some _ -> ());
+  match (entry t id).result with
+  | Some outcome -> outcome.rows_affected
+  | None -> assert false
+
+let is_available t id = (entry t id).result <> None
+let pending t = List.length t.batch
+let batches_sent t = t.batches_sent
+let max_batch_size t = t.max_batch_size
+let registered t = t.registered
+let sql_of_id t id = (entry t id).sql
+
+let pp_event ppf = function
+  | Registered (id, sql) -> Format.fprintf ppf "register [Q%d] %s" id sql
+  | Dedup_hit (id, sql) -> Format.fprintf ppf "dedup -> [Q%d] %s" id sql
+  | Write_through (id, sql) ->
+      Format.fprintf ppf "write-through [Q%d] %s" id sql
+  | Batch_sent batch ->
+      Format.fprintf ppf "batch sent (%d):" (List.length batch);
+      List.iter (fun (id, sql) -> Format.fprintf ppf " [Q%d] %s;" id sql) batch
+  | Result_served id -> Format.fprintf ppf "cached result [Q%d]" id

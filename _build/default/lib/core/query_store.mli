@@ -1,0 +1,79 @@
+(** The query store (paper Sec. 3.3): the batching mechanism of extended
+    lazy evaluation.
+
+    Queries issued by the application are *registered* rather than executed;
+    they accumulate in the current batch.  When any registered result is
+    demanded, the whole batch ships to the database in a single round trip
+    (the batch driver executes the reads in parallel).  Write statements are
+    never deferred: registering one flushes the pending reads and executes
+    the write in the same round trip, preserving ordering and transaction
+    boundaries. *)
+
+type t
+type query_id
+
+type flush_policy =
+  | On_demand
+      (** the paper's default: ship the batch when a result is needed *)
+  | At_size of int
+      (** the Sec. 6.7 alternative: also ship eagerly whenever the pending
+          batch reaches the given size *)
+
+val create : ?policy:flush_policy -> Sloth_driver.Connection.t -> t
+val connection : t -> Sloth_driver.Connection.t
+val policy : t -> flush_policy
+
+val register : t -> Sloth_sql.Ast.stmt -> query_id
+(** Register a statement.
+
+    Reads: if an identical (canonically printed) query is already pending in
+    the current batch, its id is returned — the paper's deduplication rule.
+    Re-registering a query whose result is already cached creates a fresh
+    pending entry (results may have been invalidated by writes in between;
+    the ORM layer, not the store, decides on entity-level caching).
+
+    Writes: the pending reads and the write are sent immediately in one
+    round trip; the write's outcome is cached under the returned id. *)
+
+val register_sql : t -> string -> query_id
+
+val result : t -> query_id -> Sloth_storage.Result_set.t
+(** Fetch the result for an id, flushing the current batch in one round trip
+    if it is not yet available. *)
+
+val rows_affected : t -> query_id -> int
+(** For write statements, after execution. *)
+
+val is_available : t -> query_id -> bool
+val pending : t -> int
+(** Number of queries in the current (unsent) batch. *)
+
+val flush : t -> unit
+(** Force the current batch out, if non-empty. *)
+
+val batches_sent : t -> int
+val max_batch_size : t -> int
+val registered : t -> int
+(** Total register calls (including deduplicated hits). *)
+
+val sql_of_id : t -> query_id -> string
+(** Canonical SQL for an id — used by logging and the Fig. 2 style trace. *)
+
+(** {2 Tracing}
+
+    An optional event stream over the store's life cycle, enough to
+    reconstruct the paper's Fig. 2 operational diagram.  Events fire in
+    causal order; [Batch_sent] carries the batch in registration order. *)
+
+type event =
+  | Registered of query_id * string  (** a new query joined the batch *)
+  | Dedup_hit of query_id * string
+      (** a registration matched a pending query *)
+  | Write_through of query_id * string
+      (** a write forced the batch out immediately *)
+  | Batch_sent of (query_id * string) list
+  | Result_served of query_id  (** a cached result was handed out *)
+
+val set_tracer : t -> (event -> unit) option -> unit
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,47 @@
+type t = {
+  mutable clock : Sloth_net.Vclock.t option;
+  mutable alloc_cost_ms : float;
+  mutable force_cost_ms : float;
+  mutable allocs : int;
+  mutable forces : int;
+}
+
+let the =
+  {
+    clock = None;
+    alloc_cost_ms = 0.02;
+    force_cost_ms = 0.008;
+    allocs = 0;
+    forces = 0;
+  }
+
+let set_clock c = the.clock <- c
+let clock () = the.clock
+let alloc_cost_ms () = the.alloc_cost_ms
+let force_cost_ms () = the.force_cost_ms
+
+let set_costs ~alloc_ms ~force_ms =
+  the.alloc_cost_ms <- alloc_ms;
+  the.force_cost_ms <- force_ms
+
+let charge cost =
+  match the.clock with
+  | None -> ()
+  | Some clock -> Sloth_net.Vclock.advance clock Sloth_net.Vclock.App cost
+
+let charge_alloc () =
+  the.allocs <- the.allocs + 1;
+  charge the.alloc_cost_ms
+
+let charge_force () =
+  the.forces <- the.forces + 1;
+  charge the.force_cost_ms
+
+let charge_app ms = charge ms
+
+let allocs () = the.allocs
+let forces () = the.forces
+
+let reset () =
+  the.allocs <- 0;
+  the.forces <- 0

@@ -1,0 +1,34 @@
+(** Global accounting for the lazy-evaluation runtime.
+
+    The paper's evaluation hinges on laziness having a real cost (Sec. 6.6):
+    every thunk allocation and every force consumes application-server time.
+    Experiments install a virtual clock here; thunk operations then charge
+    the App category.  Counters are also kept so the optimization ablation
+    (Fig. 12) can report allocation savings directly.
+
+    The runtime is a process-wide singleton because thunks are created in
+    arbitrary application code; experiments run sequentially and call
+    {!reset} between measurements. *)
+
+val set_clock : Sloth_net.Vclock.t option -> unit
+val clock : unit -> Sloth_net.Vclock.t option
+
+val alloc_cost_ms : unit -> float
+val force_cost_ms : unit -> float
+
+val set_costs : alloc_ms:float -> force_ms:float -> unit
+(** Defaults: 0.02 ms per allocation, 0.008 ms per force — calibrated so
+    the TPC overhead experiment lands in the paper's 5–15 % band. *)
+
+val charge_app : float -> unit
+(** Charge arbitrary App time to the installed clock (interpreter ticks,
+    framework work). *)
+
+val charge_alloc : unit -> unit
+val charge_force : unit -> unit
+
+val allocs : unit -> int
+val forces : unit -> int
+
+val reset : unit -> unit
+(** Zero the counters (costs and clock binding are kept). *)

@@ -1,0 +1,33 @@
+type 'a state =
+  | Delayed of (unit -> 'a)
+  | Forced of 'a
+  | Failed of exn
+
+type 'a t = { mutable state : 'a state }
+
+let create f =
+  Runtime.charge_alloc ();
+  { state = Delayed f }
+
+let literal v = { state = Forced v }
+
+let force t =
+  match t.state with
+  | Forced v -> v
+  | Failed e -> raise e
+  | Delayed f -> (
+      Runtime.charge_force ();
+      match f () with
+      | v ->
+          t.state <- Forced v;
+          v
+      | exception e ->
+          t.state <- Failed e;
+          raise e)
+
+let is_forced t = match t.state with Delayed _ -> false | _ -> true
+let map f t = create (fun () -> f (force t))
+let map2 f a b = create (fun () -> f (force a) (force b))
+let both a b = map2 (fun a b -> (a, b)) a b
+let join t = create (fun () -> force (force t))
+let all ts = create (fun () -> List.map force ts)

@@ -1,0 +1,33 @@
+(** Thunks: the unit of deferred computation (paper Sec. 3.2).
+
+    A thunk remembers a suspended computation; {!force} runs it once and
+    memoizes the result, so repeated forcing is free (beyond the bookkeeping
+    charge).  [literal] corresponds to the paper's [LiteralThunk]: a wrapper
+    for an already-computed value, with no allocation or force cost — it is
+    what the eager execution strategy uses, so eager code pays nothing. *)
+
+type 'a t
+
+val create : (unit -> 'a) -> 'a t
+(** Suspend a computation.  Charges one allocation to {!Runtime}. *)
+
+val literal : 'a -> 'a t
+(** An already-forced thunk.  Free of runtime charges. *)
+
+val force : 'a t -> 'a
+(** Run the suspended computation (first time only; the result is memoized).
+    Charges one force to {!Runtime} when actual work is performed.  If the
+    computation raises, the exception is memoized and re-raised on
+    subsequent forces — mirroring the paper's limitation that exceptions
+    surface at force time rather than creation time (Sec. 3.7). *)
+
+val is_forced : 'a t -> bool
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Lazily apply a function; allocates a new thunk. *)
+
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val both : 'a t -> 'b t -> ('a * 'b) t
+val join : 'a t t -> 'a t
+val all : 'a t list -> 'a list t
+(** Force all when forced. *)

@@ -1,0 +1,1 @@
+lib/driver/connection.ml: Array Float List Sloth_net Sloth_sql Sloth_storage String

@@ -1,0 +1,1 @@
+lib/driver/connection.mli: Sloth_net Sloth_sql Sloth_storage

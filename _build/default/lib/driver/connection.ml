@@ -1,0 +1,160 @@
+module Db = Sloth_storage.Database
+module Rs = Sloth_storage.Result_set
+module Cost = Sloth_storage.Cost
+
+type t = {
+  db : Db.t;
+  link : Sloth_net.Link.t;
+  mutable slots : float array;
+      (* async pool: when each pooled connection becomes free *)
+}
+
+exception Server_error of string
+
+let app_cost_per_stmt_ms = ref 1.0
+let app_cost_per_row_ms = ref 0.02
+
+let create db link = { db; link; slots = [||] }
+let link t = t.link
+let clock t = Sloth_net.Link.clock t.link
+let stats t = Sloth_net.Link.stats t.link
+let database t = t.db
+
+let request_bytes stmts =
+  List.fold_left
+    (fun acc s -> acc + String.length (Sloth_sql.Printer.to_string s) + 8)
+    16 stmts
+
+let charge_db t ms = Sloth_net.Vclock.advance (clock t) Sloth_net.Vclock.Db ms
+
+(* Client-side work: statement preparation before the trip plus result-set
+   hydration after it. *)
+let charge_app t ~stmts ~rows =
+  Sloth_net.Vclock.advance (clock t) Sloth_net.Vclock.App
+    ((!app_cost_per_stmt_ms *. float_of_int stmts)
+    +. (!app_cost_per_row_ms *. float_of_int rows))
+
+let execute t stmt =
+  let outcome =
+    try Db.exec t.db stmt
+    with Db.Sql_error msg ->
+      (* A failed statement still consumed a round trip. *)
+      Sloth_net.Link.round_trip t.link ~queries:1
+        ~bytes:(request_bytes [ stmt ] + 16);
+      charge_db t (Db.cost_model t.db).fixed_ms;
+      raise (Server_error msg)
+  in
+  Sloth_net.Link.round_trip t.link ~queries:1
+    ~bytes:(request_bytes [ stmt ] + Rs.size_bytes outcome.rs);
+  charge_db t outcome.cost_ms;
+  charge_app t ~stmts:1 ~rows:(Rs.num_rows outcome.rs);
+  outcome
+
+let execute_sql t sql =
+  match Sloth_sql.Parser.parse sql with
+  | stmt -> execute t stmt
+  | exception Sloth_sql.Parser.Error msg -> raise (Server_error msg)
+
+let query t sql = (execute_sql t sql).rs
+
+let execute_batch t stmts =
+  match stmts with
+  | [] -> []
+  | _ ->
+      let outcomes =
+        List.map
+          (fun stmt ->
+            try Db.exec t.db stmt
+            with Db.Sql_error msg ->
+              Sloth_net.Link.round_trip t.link ~queries:(List.length stmts)
+                ~bytes:(request_bytes stmts + 16);
+              raise (Server_error msg))
+          stmts
+      in
+      (* Reads run in parallel on the server; writes run sequentially. *)
+      let read_costs, write_cost =
+        List.fold_left2
+          (fun (reads, writes) stmt (o : Db.outcome) ->
+            if Sloth_sql.Ast.is_write stmt then (reads, writes +. o.cost_ms)
+            else (o.cost_ms :: reads, writes))
+          ([], 0.0) stmts outcomes
+      in
+      let db_ms =
+        Cost.batch_ms (Db.cost_model t.db) (List.rev read_costs) +. write_cost
+      in
+      let response_bytes =
+        List.fold_left
+          (fun acc (o : Db.outcome) -> acc + Rs.size_bytes o.rs)
+          0 outcomes
+      in
+      Sloth_net.Link.round_trip t.link ~queries:(List.length stmts)
+        ~bytes:(request_bytes stmts + response_bytes);
+      charge_db t db_ms;
+      charge_app t ~stmts:(List.length stmts)
+        ~rows:
+          (List.fold_left
+             (fun acc (o : Db.outcome) -> acc + Rs.num_rows o.rs)
+             0 outcomes);
+      outcomes
+
+let execute_batch_sql t sqls =
+  let stmts =
+    List.map
+      (fun sql ->
+        match Sloth_sql.Parser.parse sql with
+        | stmt -> stmt
+        | exception Sloth_sql.Parser.Error msg -> raise (Server_error msg))
+      sqls
+  in
+  execute_batch t stmts
+
+type async_handle = {
+  outcome_async : Db.outcome;
+  ready_at : float;  (* absolute virtual time when the response lands *)
+  mutable awaited : bool;
+}
+
+let async_pool_size = ref 4
+
+(* One in-flight query per pooled connection: [slots.(i)] is the time at
+   which connection [i] becomes free again. *)
+let slots_for t =
+  if Array.length t.slots <> max 1 !async_pool_size then
+    t.slots <- Array.make (max 1 !async_pool_size) neg_infinity;
+  t.slots
+
+let execute_async t stmt =
+  let outcome =
+    try Db.exec t.db stmt
+    with Db.Sql_error msg -> raise (Server_error msg)
+  in
+  (* The request goes out on the first free pooled connection; the response
+     is due one round trip plus server execution after that.  The clock
+     does not advance: the application keeps computing while the query is
+     in flight — but parallelism is bounded by the pool, unlike a Sloth
+     batch, which ships everything in one request. *)
+  let bytes = request_bytes [ stmt ] + Rs.size_bytes outcome.rs in
+  Sloth_net.Stats.record_round_trip (stats t) ~queries:1 ~bytes;
+  charge_app t ~stmts:1 ~rows:(Rs.num_rows outcome.rs);
+  let slots = slots_for t in
+  let best = ref 0 in
+  Array.iteri (fun i free -> if free < slots.(!best) then best := i) slots;
+  let depart = Float.max (Sloth_net.Vclock.now (clock t)) slots.(!best) in
+  let ready_at =
+    depart
+    +. Sloth_net.Link.rtt_ms t.link
+    +. Sloth_net.Link.transfer_ms t.link ~bytes
+    +. outcome.cost_ms
+  in
+  slots.(!best) <- ready_at;
+  { outcome_async = outcome; ready_at; awaited = false }
+
+let await t h =
+  if not h.awaited then begin
+    h.awaited <- true;
+    let now = Sloth_net.Vclock.now (clock t) in
+    if now < h.ready_at then
+      Sloth_net.Vclock.advance (clock t) Sloth_net.Vclock.Network
+        (h.ready_at -. now)
+  end;
+  h.outcome_async

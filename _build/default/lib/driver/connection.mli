@@ -1,0 +1,68 @@
+(** Client connection to a (simulated) remote database server.
+
+    Two protocols are provided, mirroring the paper's Sec. 5:
+
+    - {!execute}: the standard driver — one statement per round trip.
+    - {!execute_batch}: the Sloth batch driver extension — many statements
+      in a single round trip; the server runs the read statements in
+      parallel and the writes sequentially in order.
+
+    Every call charges the connection's virtual clock: the Network category
+    for the round trip and payload, the Db category for server-side
+    execution. *)
+
+type t
+
+exception Server_error of string
+(** Surfaced [Database.Sql_error]s.  Time for the failed round trip is still
+    charged, like a real wire error. *)
+
+val create : Sloth_storage.Database.t -> Sloth_net.Link.t -> t
+
+val app_cost_per_stmt_ms : float ref
+(** Client-side CPU per statement: driver marshalling, ORM hydration,
+    framework bookkeeping (default 0.55 ms — calibrated so the page-load
+    time breakdown matches the paper's Fig. 8 proportions). *)
+
+val app_cost_per_row_ms : float ref
+(** Client-side CPU per returned row (default 0.02 ms). *)
+
+val link : t -> Sloth_net.Link.t
+val clock : t -> Sloth_net.Vclock.t
+val stats : t -> Sloth_net.Stats.t
+val database : t -> Sloth_storage.Database.t
+
+val execute : t -> Sloth_sql.Ast.stmt -> Sloth_storage.Database.outcome
+val execute_sql : t -> string -> Sloth_storage.Database.outcome
+
+val query : t -> string -> Sloth_storage.Result_set.t
+
+val execute_batch :
+  t -> Sloth_sql.Ast.stmt list -> Sloth_storage.Database.outcome list
+(** Empty batches cost nothing and perform no round trip. *)
+
+val execute_batch_sql :
+  t -> string list -> Sloth_storage.Database.outcome list
+
+(** {2 Asynchronous execution}
+
+    The prefetching baseline (Ramachandra et al., discussed in the paper's
+    Sec. 1) hides latency by issuing queries as soon as their parameters are
+    known and overlapping the round trip with computation.  [execute_async]
+    starts a query without blocking virtual time; [await] charges only the
+    part of the round trip that computation did not cover. *)
+
+type async_handle
+
+val async_pool_size : int ref
+(** Connections available for outstanding asynchronous queries
+    (default 4). *)
+
+val execute_async : t -> Sloth_sql.Ast.stmt -> async_handle
+(** Issue the statement now.  Counts a round trip and the per-statement
+    client cost; the wire-and-server time is only charged when awaited. *)
+
+val await : t -> async_handle -> Sloth_storage.Database.outcome
+(** Block (advance the clock) until the response would have arrived:
+    [max 0 (ready_time - now)], attributed to the Network category.
+    Idempotent. *)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Float Fun List Printf Report Sloth_core Sloth_driver Sloth_kernel Sloth_net Sloth_storage

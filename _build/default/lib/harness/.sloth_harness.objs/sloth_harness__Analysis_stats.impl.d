@@ -1,0 +1,1 @@
+lib/harness/analysis_stats.ml: Float List Printf Random Report Sloth_kernel

@@ -1,0 +1,1 @@
+lib/harness/analysis_stats.mli: Sloth_kernel

@@ -1,0 +1,1 @@
+lib/harness/baselines.ml: Hashtbl List Printf Report Runner Sloth_core Sloth_driver Sloth_web Sloth_workload

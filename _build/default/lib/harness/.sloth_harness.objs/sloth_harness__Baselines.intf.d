@@ -1,0 +1,1 @@
+lib/harness/baselines.mli:

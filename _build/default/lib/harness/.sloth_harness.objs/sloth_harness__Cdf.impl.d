@@ -1,0 +1,1 @@
+lib/harness/cdf.ml: Array Float List

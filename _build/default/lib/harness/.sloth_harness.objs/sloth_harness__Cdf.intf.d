@@ -1,0 +1,1 @@
+lib/harness/cdf.mli:

@@ -1,0 +1,1 @@
+lib/harness/db_scaling.ml: List Printf Report Runner Sloth_storage Sloth_web Sloth_workload

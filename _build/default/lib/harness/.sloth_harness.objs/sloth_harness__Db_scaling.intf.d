@@ -1,0 +1,1 @@
+lib/harness/db_scaling.mli: Runner Sloth_storage Sloth_workload

@@ -1,0 +1,1 @@
+lib/harness/overhead.ml: List Printf Report Sloth_core Sloth_driver Sloth_kernel Sloth_net Sloth_storage Sloth_workload

@@ -1,0 +1,1 @@
+lib/harness/page_experiments.ml: Hashtbl List Printf Report Runner Sloth_storage Sloth_web Sloth_workload

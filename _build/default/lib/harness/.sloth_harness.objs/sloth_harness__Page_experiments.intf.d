@@ -1,0 +1,1 @@
+lib/harness/page_experiments.mli: Runner Sloth_workload

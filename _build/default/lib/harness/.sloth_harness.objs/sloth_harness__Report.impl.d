@@ -1,0 +1,1 @@
+lib/harness/report.ml: Cdf Float List Printf Stdlib String

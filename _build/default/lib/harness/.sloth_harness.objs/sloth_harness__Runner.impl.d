@@ -1,0 +1,1 @@
+lib/harness/runner.ml: List Sloth_core Sloth_driver Sloth_net Sloth_storage Sloth_web Sloth_workload

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Sloth_core Sloth_storage Sloth_web Sloth_workload

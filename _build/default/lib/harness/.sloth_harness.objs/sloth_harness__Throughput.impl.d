@@ -1,0 +1,1 @@
+lib/harness/throughput.ml: Float List Option Page_experiments Printf Report Runner Sloth_net Sloth_web Sloth_workload

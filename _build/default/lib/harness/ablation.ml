@@ -1,0 +1,177 @@
+(** Fig. 12: effect of the compiler optimizations.
+
+    Kernel-language page programs (model construction over query results,
+    temporary chains, conditional sections, render loops) are executed
+    under extended lazy evaluation with the optimizations enabled one at a
+    time — no opts, SC, SC+TC, SC+TC+BD — plus the standard evaluator as
+    the original-program reference.  Total virtual time over the program
+    suite is reported, like the paper's stacked runs. *)
+
+module B = Sloth_kernel.Builder
+module Lazy_eval = Sloth_kernel.Lazy_eval
+module Vclock = Sloth_net.Vclock
+module Link = Sloth_net.Link
+module Conn = Sloth_driver.Connection
+module Runtime = Sloth_core.Runtime
+
+(* A synthetic "page": an access check, [sections] model sections each
+   registering a query and computing formatting temporaries through a
+   helper, a deferrable render loop, and a view that prints only
+   [consumed] of the sections — the rest of the model is never forced. *)
+let page_program ~sections ~consumed ~loop_iters =
+  let b = B.create () in
+  let open B in
+  let fmt =
+    func "fmt" [ "p0"; "p1" ]
+      (seq b
+         [
+           assign b "t" (var "p0" *% num 3);
+           assign b "u" (var "t" +% var "p1");
+           assign b "w" (var "u" %% num 97);
+           return b (var "w" +% num 1);
+         ])
+  in
+  let helper_free =
+    (* A non-persistent helper with a side effect-free body: SC compiles it
+       strictly. *)
+    func "scale" [ "p0"; "p1" ]
+      (seq b
+         [
+           assign b "acc" (num 0);
+           for_range b "j" ~from:(num 0) ~below:(num 4) (fun j ->
+               assign b "acc" (var "acc" +% (var "p0" *% j) +% var "p1"));
+           return b (var "acc");
+         ])
+  in
+  let section i =
+    let k = 1 + (i mod 19) in
+    let v n = Printf.sprintf "%s%d" n i in
+    [
+      (* The section's data: registered, consumed only if rendered. *)
+      assign b (v "rows")
+        (read (str (Printf.sprintf "SELECT v AS v, n AS n FROM kv WHERE k = %d" k)));
+      (* Temporary chain — coalescing fodder. *)
+      assign b (v "t1") (num i +% num 7);
+      assign b (v "t2") (var (v "t1") *% num 3);
+      assign b (v "t3") (var (v "t2") -% num 5);
+      assign b (v "t4") (call "fmt" [ var (v "t3"); num i ]);
+      assign b (v "out") (var (v "t4") +% call "scale" [ var (v "t1"); num 2 ]);
+      (* A heap write into the model record: never deferrable, so it splits
+         the statement sequence — what follows benefits from branch
+         deferral, not from coalescing. *)
+      set_field b (var "model") "a" (var (v "out"));
+      (* A deferrable conditional section. *)
+      if_ b
+        (var (v "t1") <% var (v "t2"))
+        (seq b
+           [
+             assign b (v "flag") (num 1);
+             assign b (v "extra") (var (v "t2") +% num 10);
+           ])
+        (assign b (v "flag") (num 0));
+      assign b (v "acc") (num 0);
+      set_field b (var "model") "b" (str (Printf.sprintf "s%d" i));
+      (* A deferrable render-preparation loop, standing alone after the
+         heap write: only branch deferral can postpone it. *)
+      for_range b "r" ~from:(num 0) ~below:(num loop_iters) (fun r ->
+          assign b (v "acc") (var (v "acc") +% (r *% num 2) +% var (v "t1")));
+    ]
+  in
+  let render i =
+    [
+      print b (var (Printf.sprintf "out%d" i));
+      print b (field (index (var (Printf.sprintf "rows%d" i)) (num 0)) "v");
+      print b (var (Printf.sprintf "acc%d" i));
+    ]
+  in
+  let main =
+    seq b
+      ([
+         assign b "x1" (num 3);
+         assign b "x2" (num 9);
+         assign b "model" (record [ ("a", num 0); ("b", str "") ]);
+         assign b "auth"
+           (field (index (read (str "SELECT COUNT(*) AS n FROM kv")) (num 0)) "n");
+       ]
+      @ List.concat_map section (List.init sections Fun.id)
+      @ [
+          if_ b (var "auth" >% num 0)
+            (seq b (List.concat_map render (List.init consumed Fun.id)))
+            (print b (str "unauthorized"));
+        ])
+  in
+  B.program [ fmt; helper_free ] main
+
+let suite name =
+  (* Two suites shaped like the two applications: medrec-k pages carry more
+     sections. *)
+  match name with
+  | "tracker-k" ->
+      List.init 6 (fun i ->
+          page_program ~sections:(4 + i) ~consumed:(2 + (i / 2))
+            ~loop_iters:(20 + (5 * i)))
+  | _ ->
+      List.init 8 (fun i ->
+          page_program ~sections:(6 + i) ~consumed:(3 + (i / 2))
+            ~loop_iters:(30 + (6 * i)))
+
+let fresh_env () =
+  let db = Sloth_storage.Database.create () in
+  Sloth_kernel.Generator.setup_schema db;
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms:0.5 clock in
+  (db, clock, Conn.create db link)
+
+let run_lazy_suite programs opts =
+  List.fold_left
+    (fun acc prog ->
+      let _db, clock, conn = fresh_env () in
+      let store = Sloth_core.Query_store.create conn in
+      Runtime.set_clock (Some clock);
+      Runtime.reset ();
+      ignore (Lazy_eval.run ~opts prog store);
+      Sloth_core.Query_store.flush store;
+      Runtime.set_clock None;
+      acc +. Vclock.total clock)
+    0.0 programs
+
+let run_standard_suite programs =
+  List.fold_left
+    (fun acc prog ->
+      let _db, clock, conn = fresh_env () in
+      Runtime.set_clock (Some clock);
+      Runtime.reset ();
+      ignore (Sloth_kernel.Standard.run prog conn);
+      Runtime.set_clock None;
+      acc +. Vclock.total clock)
+    0.0 programs
+
+let configs =
+  [
+    ("noopt", { Lazy_eval.sc = false; tc = false; bd = false });
+    ("SC", { Lazy_eval.sc = true; tc = false; bd = false });
+    ("SC+TC", { Lazy_eval.sc = true; tc = true; bd = false });
+    ("SC+TC+BD", Lazy_eval.all_opts);
+  ]
+
+let fig12 () =
+  Report.section "Fig 12: optimization ablation (kernel page suites)";
+  List.iter
+    (fun suite_name ->
+      let programs = suite suite_name in
+      Report.subsection suite_name;
+      let std = run_standard_suite programs in
+      let results =
+        List.map
+          (fun (label, opts) -> (label, run_lazy_suite programs opts))
+          configs
+      in
+      let worst = List.fold_left (fun m (_, t) -> Float.max m t) std results in
+      Report.bar ~label:"original (standard eval)" std ~max:worst;
+      List.iter (fun (label, t) -> Report.bar ~label t ~max:worst) results;
+      let noopt = List.assoc "noopt" results in
+      let full = List.assoc "SC+TC+BD" results in
+      Printf.printf
+        "  no-opt / fully-optimized = %.2fx; fully-optimized vs original = %.2fx\n"
+        (noopt /. full) (std /. full))
+    [ "tracker-k"; "medrec-k" ]

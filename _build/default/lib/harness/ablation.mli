@@ -1,0 +1,20 @@
+(** Fig. 12: effect of the compiler optimizations on kernel page suites. *)
+
+val page_program :
+  sections:int -> consumed:int -> loop_iters:int -> Sloth_kernel.Ast.program
+(** A synthetic page: access check, [sections] model sections (query
+    registration, temporary chains through helpers, a deferrable
+    conditional, a render loop split off by heap writes into the model
+    record), and a view printing only the first [consumed] sections. *)
+
+val suite : string -> Sloth_kernel.Ast.program list
+(** ["tracker-k"] (6 pages) or anything else for the larger medrec-k
+    (8 pages). *)
+
+val run_standard_suite : Sloth_kernel.Ast.program list -> float
+(** Total virtual milliseconds under the standard evaluator. *)
+
+val run_lazy_suite :
+  Sloth_kernel.Ast.program list -> Sloth_kernel.Lazy_eval.opts -> float
+
+val fig12 : unit -> unit

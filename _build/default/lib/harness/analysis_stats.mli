@@ -1,0 +1,15 @@
+(** Fig. 11: the selective-compilation persistence split, over synthetic
+    kernel corpora shaped like the paper's two codebases. *)
+
+val corpus :
+  name:string ->
+  n_funcs:int ->
+  direct_query_fraction:float ->
+  avg_calls:float ->
+  seed:int ->
+  string * Sloth_kernel.Ast.program
+
+val corpora : unit -> (string * Sloth_kernel.Ast.program) list
+(** The two calibrated corpora (9713 and 2452 methods). *)
+
+val fig11 : unit -> unit

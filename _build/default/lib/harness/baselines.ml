@@ -1,0 +1,91 @@
+(** Extra experiment (beyond the paper's figures, supporting its Sec. 1
+    argument): Sloth versus the prefetching baseline.
+
+    Prefetching hides each round trip behind subsequent computation but
+    still pays one trip per query and cannot help dependent chains; Sloth
+    collapses trips altogether.  The gap widens with network latency —
+    "there is not enough computation to perform between the point when the
+    query parameters are available and the query results are used". *)
+
+module Page = Sloth_web.Page
+
+let pages =
+  [
+    ("medrec", Sloth_workload.App_sig.medrec, "patient_dashboard");
+    ("medrec", Sloth_workload.App_sig.medrec, "encounter_display");
+    ("medrec", Sloth_workload.App_sig.medrec, "alert_list");
+    ("tracker", Sloth_workload.App_sig.tracker, "list_projects");
+    ("tracker", Sloth_workload.App_sig.tracker, "view_issue_activity");
+  ]
+
+let prefetch_compare () =
+  Report.section "Extra: Sloth vs the prefetching baseline";
+  Printf.printf "  (prefetch pool: %d connections)
+"
+    !Sloth_driver.Connection.async_pool_size;
+  let dbs = Hashtbl.create 4 in
+  let db_for name app =
+    match Hashtbl.find_opt dbs name with
+    | Some db -> db
+    | None ->
+        let db = Runner.prepare app in
+        Hashtbl.replace dbs name db;
+        db
+  in
+  List.iter
+    (fun rtt_ms ->
+      Report.subsection (Printf.sprintf "RTT %.1f ms" rtt_ms);
+      Report.table
+        ~header:
+          [ "page"; "original ms"; "prefetch ms"; "sloth ms";
+            "sloth vs prefetch" ]
+        (List.map
+           (fun (app_name, app, page) ->
+             let db = db_for app_name app in
+             let run = Runner.run_page ~db ~rtt_ms app page in
+             let pre = Runner.load_prefetch ~db ~rtt_ms app page in
+             [
+               Printf.sprintf "%s/%s" app_name page;
+               Printf.sprintf "%.1f" run.original.Page.total_ms;
+               Printf.sprintf "%.1f" pre.Page.total_ms;
+               Printf.sprintf "%.1f" run.sloth.Page.total_ms;
+               Printf.sprintf "%.2fx"
+                 (pre.Page.total_ms /. run.sloth.Page.total_ms);
+             ])
+           pages))
+    [ 0.5; 2.0; 10.0 ]
+
+(** Extra experiment: the alternative batch-shipping policies the paper
+    sketches as future work (Sec. 6.7) — flush eagerly once the pending
+    batch reaches a size threshold.  Small thresholds ship batches that
+    overlap less per trip; On_demand maximizes batch size. *)
+let flush_policies () =
+  Report.section "Extra: query store flush policies (Sec 6.7)";
+  let db = Runner.prepare Sloth_workload.App_sig.medrec in
+  let policies =
+    [
+      ("at-size 4", Some (Sloth_core.Query_store.At_size 4));
+      ("at-size 8", Some (Sloth_core.Query_store.At_size 8));
+      ("at-size 16", Some (Sloth_core.Query_store.At_size 16));
+      ("on-demand", None);
+    ]
+  in
+  List.iter
+    (fun page ->
+      Report.subsection page;
+      Report.table
+        ~header:[ "policy"; "sloth ms"; "round trips"; "max batch" ]
+        (List.map
+           (fun (label, policy) ->
+             let m =
+               Runner.load_sloth ?policy ~db ~rtt_ms:0.5
+                 Sloth_workload.App_sig.medrec page
+             in
+             [
+               label;
+               Printf.sprintf "%.1f" m.Page.total_ms;
+               string_of_int m.Page.round_trips;
+               string_of_int m.Page.max_batch;
+             ])
+           policies))
+    [ "encounter_display"; "patient_dashboard"; "admin/concept/list" ]

@@ -1,0 +1,9 @@
+(** Extra experiments beyond the paper's figures: the prefetching baseline
+    (supporting the Sec. 1 argument) and the Sec. 6.7 flush policies. *)
+
+val prefetch_compare : unit -> unit
+(** Original vs. prefetch (async issue over a bounded connection pool) vs.
+    Sloth, across an RTT sweep. *)
+
+val flush_policies : unit -> unit
+(** Sloth page loads under [At_size] thresholds vs. [On_demand]. *)

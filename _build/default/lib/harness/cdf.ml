@@ -1,0 +1,39 @@
+let sorted xs = List.sort compare xs
+
+let percentile xs p =
+  match sorted xs with
+  | [] -> invalid_arg "Cdf.percentile: empty sample"
+  | s ->
+      let a = Array.of_list s in
+      let n = Array.length a in
+      if n = 1 then a.(0)
+      else
+        let rank = p /. 100.0 *. float_of_int (n - 1) in
+        let lo = int_of_float (Float.floor rank) in
+        let hi = min (n - 1) (lo + 1) in
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median xs = percentile xs 50.0
+
+let mean = function
+  | [] -> invalid_arg "Cdf.mean: empty sample"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let minimum = function
+  | [] -> invalid_arg "Cdf.minimum: empty sample"
+  | x :: xs -> List.fold_left Float.min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Cdf.maximum: empty sample"
+  | x :: xs -> List.fold_left Float.max x xs
+
+let cdf_points ?(points = 20) xs =
+  let s = Array.of_list (sorted xs) in
+  let n = Array.length s in
+  if n = 0 then []
+  else
+    List.init points (fun i ->
+        let frac = float_of_int (i + 1) /. float_of_int points in
+        let idx = min (n - 1) (int_of_float (Float.round (frac *. float_of_int n)) - 1) in
+        (frac, s.(max 0 idx)))

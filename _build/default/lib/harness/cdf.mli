@@ -1,0 +1,16 @@
+(** Small statistics helpers for the experiment reports. *)
+
+val sorted : float list -> float list
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0,100]; linear interpolation.  Raises
+    [Invalid_argument] on an empty list. *)
+
+val median : float list -> float
+val mean : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+val cdf_points : ?points:int -> float list -> (float * float) list
+(** [(fraction, value)] pairs suitable for plotting a CDF, i.e. the sorted
+    sample downsampled to [points] (default 20). *)

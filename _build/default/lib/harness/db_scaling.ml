@@ -1,0 +1,65 @@
+(** Fig. 10: page load time vs database size.
+
+    Two entity-list pages, as in the paper: tracker's [list_projects] with
+    a growing number of projects, and medrec's [encounter_display] with a
+    growing number of observations (the skewed FK gives encounter 1 about
+    an eighth of them). *)
+
+module TS = Sloth_workload.Table_spec
+module Page = Sloth_web.Page
+
+let scaled_db (module A : Sloth_workload.App_sig.S) ~tables =
+  let specs =
+    List.map
+      (fun (s : TS.t) ->
+        match List.assoc_opt s.table tables with
+        | Some rows -> { s with rows_at = (fun _ -> rows) }
+        | None -> s)
+      A.specs
+  in
+  let db = Sloth_storage.Database.create () in
+  Sloth_workload.Datagen.populate ~scale:1 db specs;
+  db
+
+let sweep (module A : Sloth_workload.App_sig.S) ~page ~sizes =
+  List.map
+    (fun (label, tables) ->
+      let db = scaled_db (module A) ~tables in
+      let run = Runner.run_page ~db ~rtt_ms:0.5 (module A) page in
+      (label, run))
+    sizes
+
+let print_sweep ~what results =
+  Report.table
+    ~header:
+      [ what; "original ms"; "sloth ms"; "speedup"; "max batch" ]
+    (List.map
+       (fun (rows, (r : Runner.page_run)) ->
+         [
+           rows;
+           Printf.sprintf "%.1f" r.original.Page.total_ms;
+           Printf.sprintf "%.1f" r.sloth.Page.total_ms;
+           Printf.sprintf "%.2fx" (Runner.speedup r);
+           string_of_int r.sloth.Page.max_batch;
+         ])
+       results)
+
+let fig10 () =
+  Report.section "Fig 10: database scaling";
+  Report.subsection "(a) tracker list_projects vs number of projects";
+  print_sweep ~what:"projects"
+    (sweep Sloth_workload.App_sig.tracker ~page:"list_projects"
+       ~sizes:
+         (List.map
+            (fun n -> (string_of_int n, [ ("project", n) ]))
+            [ 10; 50; 100; 250; 500; 1000 ]));
+  Report.subsection
+    "(b) medrec encounter_display vs number of observations";
+  (* The whole dataset grows, as in the paper: more observations and a
+     proportionally larger concept dictionary. *)
+  print_sweep ~what:"observations"
+    (sweep Sloth_workload.App_sig.medrec ~page:"encounter_display"
+       ~sizes:
+         (List.map
+            (fun n -> (string_of_int n, [ ("obs", n); ("concept", n / 4) ]))
+            [ 400; 800; 1600; 3200; 6400; 12800 ]))

@@ -1,0 +1,16 @@
+(** Fig. 10: page load time vs. database size. *)
+
+val scaled_db :
+  (module Sloth_workload.App_sig.S) ->
+  tables:(string * int) list ->
+  Sloth_storage.Database.t
+(** Populate a fresh application database with the named tables' row
+    counts overridden. *)
+
+val sweep :
+  (module Sloth_workload.App_sig.S) ->
+  page:string ->
+  sizes:(string * (string * int) list) list ->
+  (string * Runner.page_run) list
+
+val fig10 : unit -> unit

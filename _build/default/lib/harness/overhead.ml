@@ -1,0 +1,94 @@
+(** Fig. 13: lazy-evaluation overhead on TPC-C and TPC-W.
+
+    Each transaction/interaction consumes its results immediately, so the
+    Sloth build gains nothing from batching and pays the thunk machinery —
+    the paper measures 5–15 % slowdown.  Both builds run the same seeds on
+    identical fresh databases; outputs are compared to guarantee the runs
+    did the same work. *)
+
+module Vclock = Sloth_net.Vclock
+module Link = Sloth_net.Link
+module Conn = Sloth_driver.Connection
+module Runtime = Sloth_core.Runtime
+
+let txn_count = 40
+
+let fresh_env populate =
+  let db = Sloth_storage.Database.create () in
+  populate db;
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms:0.5 clock in
+  (clock, Conn.create db link)
+
+let run_pair ~populate ~programs =
+  (* Standard build. *)
+  let clock_s, conn = fresh_env populate in
+  Runtime.set_clock (Some clock_s);
+  let out_std =
+    List.concat_map
+      (fun prog -> (Sloth_kernel.Standard.run prog conn).output)
+      programs
+  in
+  Runtime.set_clock None;
+  (* Sloth build, fully optimized, on an identical database. *)
+  let clock_l, conn = fresh_env populate in
+  let store = Sloth_core.Query_store.create conn in
+  Runtime.set_clock (Some clock_l);
+  let out_lazy =
+    List.concat_map
+      (fun prog ->
+        let r = Sloth_kernel.Lazy_eval.run prog store in
+        Sloth_core.Query_store.flush store;
+        r.output)
+      programs
+  in
+  Runtime.set_clock None;
+  if out_std <> out_lazy then
+    failwith "overhead experiment: builds produced different output";
+  (Vclock.total clock_s, Vclock.total clock_l)
+
+let tpcc_rows () =
+  List.map
+    (fun (name, make) ->
+      let programs = List.init txn_count (fun seed -> make ~seed:(seed + 1)) in
+      let std, lzy =
+        run_pair ~populate:(Sloth_workload.Tpcc.populate ~scale:1) ~programs
+      in
+      (name, std, lzy))
+    Sloth_workload.Tpcc.transactions
+
+let tpcw_rows () =
+  List.map
+    (fun (name, interactions) ->
+      let programs =
+        List.concat
+          (List.init 6 (fun round ->
+               List.mapi
+                 (fun i make -> make ~seed:(1 + i + (round * 17)))
+                 interactions))
+      in
+      let std, lzy =
+        run_pair ~populate:(Sloth_workload.Tpcw.populate ~scale:1) ~programs
+      in
+      (name, std, lzy))
+    Sloth_workload.Tpcw.mixes
+
+let fig13 () =
+  Report.section "Fig 13: lazy-evaluation overhead (TPC-C / TPC-W)";
+  let render rows =
+    Report.table
+      ~header:[ "transaction type"; "original (ms)"; "sloth (ms)"; "overhead" ]
+      (List.map
+         (fun (name, std, lzy) ->
+           [
+             name;
+             Printf.sprintf "%.1f" std;
+             Printf.sprintf "%.1f" lzy;
+             Printf.sprintf "%.1f%%" (100.0 *. ((lzy /. std) -. 1.0));
+           ])
+         rows)
+  in
+  Report.subsection "TPC-C";
+  render (tpcc_rows ());
+  Report.subsection "TPC-W";
+  render (tpcw_rows ())

@@ -1,0 +1,15 @@
+(** Fig. 13: lazy-evaluation overhead on TPC-C / TPC-W.
+
+    Both builds run identical transaction sequences on identical fresh
+    databases; outputs are compared byte-for-byte before any time is
+    reported. *)
+
+val txn_count : int
+(** Transactions per TPC-C type per build (40). *)
+
+val tpcc_rows : unit -> (string * float * float) list
+(** [(type, standard_ms, lazy_ms)] per transaction type. *)
+
+val tpcw_rows : unit -> (string * float * float) list
+
+val fig13 : unit -> unit

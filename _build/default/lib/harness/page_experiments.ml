@@ -1,0 +1,120 @@
+module Page = Sloth_web.Page
+
+let memo : (string * float, Runner.page_run list) Hashtbl.t = Hashtbl.create 8
+
+let db_memo : (string, Sloth_storage.Database.t) Hashtbl.t = Hashtbl.create 4
+
+let app_db (module A : Sloth_workload.App_sig.S) =
+  match Hashtbl.find_opt db_memo A.name with
+  | Some db -> db
+  | None ->
+      let db = Runner.prepare (module A) in
+      Hashtbl.replace db_memo A.name db;
+      db
+
+let runs (module A : Sloth_workload.App_sig.S) ~rtt_ms =
+  match Hashtbl.find_opt memo (A.name, rtt_ms) with
+  | Some r -> r
+  | None ->
+      let db = app_db (module A) in
+      let r = Runner.run_app ~rtt_ms ~db (module A) in
+      Hashtbl.replace memo (A.name, rtt_ms) r;
+      r
+
+let ratio_figure ~figure (module A : Sloth_workload.App_sig.S) =
+  let rs = runs (module A) ~rtt_ms:0.5 in
+  Report.section
+    (Printf.sprintf "%s: %s benchmarks (%d pages, RTT 0.5 ms)" figure A.name
+       (List.length rs));
+  let speedups = List.map Runner.speedup rs in
+  let trips = List.map Runner.round_trip_ratio rs in
+  let queries = List.map Runner.query_ratio rs in
+  Report.subsection "(a) load time ratio (original / Sloth)";
+  Report.cdf_summary ~name:"speedup" speedups;
+  Report.cdf_series ~name:"speedup" speedups;
+  Report.subsection "(b) round trip ratio (original / Sloth)";
+  Report.cdf_summary ~name:"round trips" trips;
+  Report.cdf_series ~name:"round trips" trips;
+  Report.subsection "(c) total issued queries ratio (original / Sloth)";
+  Report.cdf_summary ~name:"queries" queries;
+  Report.cdf_series ~name:"queries" queries;
+  let max_batch =
+    List.fold_left (fun acc r -> max acc r.Runner.sloth.Page.max_batch) 0 rs
+  in
+  Printf.printf "\n  largest single batch observed: %d queries\n" max_batch
+
+let fig5 () = ratio_figure ~figure:"Fig 5" Sloth_workload.App_sig.tracker
+let fig6 () = ratio_figure ~figure:"Fig 6" Sloth_workload.App_sig.medrec
+
+let fig8 () =
+  Report.section "Fig 8: aggregate time breakdown (network / app / db)";
+  List.iter
+    (fun (module A : Sloth_workload.App_sig.S) ->
+      let rs = runs (module A) ~rtt_ms:0.5 in
+      let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rs in
+      let line label app db net =
+        let total = app +. db +. net in
+        Report.table
+          ~header:[ label; "ms"; "share" ]
+          [
+            [ "network"; Printf.sprintf "%.0f" net;
+              Printf.sprintf "%.0f%%" (100.0 *. net /. total) ];
+            [ "app server"; Printf.sprintf "%.0f" app;
+              Printf.sprintf "%.0f%%" (100.0 *. app /. total) ];
+            [ "db"; Printf.sprintf "%.0f" db;
+              Printf.sprintf "%.0f%%" (100.0 *. db /. total) ];
+            [ "total"; Printf.sprintf "%.0f" total; "100%" ];
+          ]
+      in
+      Report.subsection (A.name ^ " / original");
+      line "original"
+        (sum (fun r -> r.Runner.original.Page.app_ms))
+        (sum (fun r -> r.Runner.original.Page.db_ms))
+        (sum (fun r -> r.Runner.original.Page.net_ms));
+      Report.subsection (A.name ^ " / Sloth");
+      line "sloth"
+        (sum (fun r -> r.Runner.sloth.Page.app_ms))
+        (sum (fun r -> r.Runner.sloth.Page.db_ms))
+        (sum (fun r -> r.Runner.sloth.Page.net_ms)))
+    [ Sloth_workload.App_sig.tracker; Sloth_workload.App_sig.medrec ]
+
+let fig9 () =
+  Report.section "Fig 9: speedup vs network round-trip time";
+  List.iter
+    (fun (module A : Sloth_workload.App_sig.S) ->
+      Report.subsection A.name;
+      List.iter
+        (fun rtt_ms ->
+          let rs = runs (module A) ~rtt_ms in
+          let speedups = List.map Runner.speedup rs in
+          Report.cdf_summary
+            ~name:(Printf.sprintf "RTT %.1f ms" rtt_ms)
+            speedups)
+        [ 0.5; 1.0; 10.0 ])
+    [ Sloth_workload.App_sig.tracker; Sloth_workload.App_sig.medrec ]
+
+let appendix () =
+  List.iter
+    (fun (module A : Sloth_workload.App_sig.S) ->
+      let rs = runs (module A) ~rtt_ms:0.5 in
+      Report.section (Printf.sprintf "Appendix: %s benchmarks" A.name);
+      Report.table
+        ~header:
+          [
+            "benchmark"; "orig ms"; "orig trips"; "sloth ms"; "sloth trips";
+            "max batch"; "orig queries"; "sloth queries";
+          ]
+        (List.map
+           (fun (r : Runner.page_run) ->
+             [
+               r.page;
+               Printf.sprintf "%.1f" r.original.Page.total_ms;
+               string_of_int r.original.Page.round_trips;
+               Printf.sprintf "%.1f" r.sloth.Page.total_ms;
+               string_of_int r.sloth.Page.round_trips;
+               string_of_int r.sloth.Page.max_batch;
+               string_of_int r.original.Page.queries;
+               string_of_int r.sloth.Page.queries;
+             ])
+           rs))
+    [ Sloth_workload.App_sig.tracker; Sloth_workload.App_sig.medrec ]

@@ -1,0 +1,24 @@
+(** The page-load experiment family: Fig. 5 (itracker-shaped app CDFs),
+    Fig. 6 (OpenMRS-shaped app CDFs), Fig. 8 (time breakdown), Fig. 9
+    (network latency scaling) and the appendix per-benchmark tables.
+
+    Runs are memoized per (application, RTT) so the figures that share data
+    do not repeat work. *)
+
+val runs :
+  (module Sloth_workload.App_sig.S) -> rtt_ms:float -> Runner.page_run list
+
+val fig5 : unit -> unit
+(** Tracker CDFs: speedup, round-trip ratio, queries-issued ratio. *)
+
+val fig6 : unit -> unit
+(** Medrec CDFs: same three ratios. *)
+
+val fig8 : unit -> unit
+(** Aggregate time breakdown (network / app server / db), both apps. *)
+
+val fig9 : unit -> unit
+(** Speedup CDFs at RTT 0.5 / 1 / 10 ms, both apps. *)
+
+val appendix : unit -> unit
+(** Per-benchmark tables like the paper's appendix. *)

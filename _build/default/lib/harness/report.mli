@@ -1,0 +1,19 @@
+(** ASCII rendering of experiment results: headers, tables, CDF summaries
+    and bar sketches, matching the rows/series the paper's figures show. *)
+
+val section : string -> unit
+(** A boxed heading on stdout. *)
+
+val subsection : string -> unit
+
+val table : header:string list -> string list list -> unit
+(** Column-aligned table. *)
+
+val cdf_summary : name:string -> float list -> unit
+(** One line: min / p25 / median / p75 / max of a sample. *)
+
+val cdf_series : name:string -> float list -> unit
+(** The downsampled CDF itself, one point per line fraction. *)
+
+val bar : label:string -> ?width:int -> float -> max:float -> unit
+(** A labelled horizontal bar scaled to [max]. *)

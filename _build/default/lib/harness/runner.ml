@@ -1,0 +1,91 @@
+module Db = Sloth_storage.Database
+module Vclock = Sloth_net.Vclock
+module Link = Sloth_net.Link
+module Conn = Sloth_driver.Connection
+module Runtime = Sloth_core.Runtime
+module Page = Sloth_web.Page
+
+type page_run = {
+  page : string;
+  original : Page.metrics;
+  sloth : Page.metrics;
+}
+
+let speedup r = r.original.Page.total_ms /. r.sloth.Page.total_ms
+
+let round_trip_ratio r =
+  float_of_int r.original.Page.round_trips
+  /. float_of_int (max 1 r.sloth.Page.round_trips)
+
+let query_ratio r =
+  float_of_int r.original.Page.queries
+  /. float_of_int (max 1 r.sloth.Page.queries)
+
+let prepare ?(scale = 1) (module A : Sloth_workload.App_sig.S) =
+  let db = Db.create () in
+  A.populate ~scale db;
+  db
+
+let load_original ~db ~rtt_ms (module A : Sloth_workload.App_sig.S) page =
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms clock in
+  let conn = Conn.create db link in
+  Runtime.set_clock (Some clock);
+  let module X = Sloth_core.Exec.Eager (struct
+    let conn = conn
+  end) in
+  let module P = A.Pages (X) in
+  let m = Page.load ~name:page ~clock ~link ~controller:(P.controller page) () in
+  Runtime.set_clock None;
+  m
+
+let load_sloth ?policy ~db ~rtt_ms (module A : Sloth_workload.App_sig.S) page =
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms clock in
+  let conn = Conn.create db link in
+  let store = Sloth_core.Query_store.create ?policy conn in
+  Runtime.set_clock (Some clock);
+  let module X = Sloth_core.Exec.Lazy (struct
+    let store = store
+  end) in
+  let module P = A.Pages (X) in
+  let m = Page.load ~name:page ~clock ~link ~controller:(P.controller page) () in
+  Runtime.set_clock None;
+  m
+
+let load_prefetch ~db ~rtt_ms (module A : Sloth_workload.App_sig.S) page =
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms clock in
+  let conn = Conn.create db link in
+  Runtime.set_clock (Some clock);
+  let module X = Sloth_core.Exec.Prefetch (struct
+    let conn = conn
+  end) in
+  let module P = A.Pages (X) in
+  let m = Page.load ~name:page ~clock ~link ~controller:(P.controller page) () in
+  Runtime.set_clock None;
+  m
+
+let run_page ~db ~rtt_ms (module A : Sloth_workload.App_sig.S) page =
+  {
+    page;
+    original = load_original ~db ~rtt_ms (module A) page;
+    sloth = load_sloth ~db ~rtt_ms (module A) page;
+  }
+
+let page_names (module A : Sloth_workload.App_sig.S) =
+  (* An instantiation just to read the page list; it runs no queries. *)
+  let dummy_db = Db.create () in
+  let clock = Vclock.create () in
+  let conn = Conn.create dummy_db (Link.create clock) in
+  let module X = Sloth_core.Exec.Eager (struct
+    let conn = conn
+  end) in
+  let module P = A.Pages (X) in
+  P.page_names
+
+let run_app ?(rtt_ms = 0.5) ?(scale = 1) ?db (module A : Sloth_workload.App_sig.S) =
+  let db = match db with Some db -> db | None -> prepare ~scale (module A) in
+  List.map
+    (fun page -> run_page ~db ~rtt_ms (module A) page)
+    (page_names (module A))

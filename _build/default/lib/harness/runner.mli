@@ -1,0 +1,53 @@
+(** Execute page benchmarks under both strategies over one shared
+    database. *)
+
+type page_run = {
+  page : string;
+  original : Sloth_web.Page.metrics;
+  sloth : Sloth_web.Page.metrics;
+}
+
+val speedup : page_run -> float
+(** original load time / Sloth load time. *)
+
+val round_trip_ratio : page_run -> float
+val query_ratio : page_run -> float
+
+val prepare : ?scale:int -> (module Sloth_workload.App_sig.S) ->
+  Sloth_storage.Database.t
+(** Create and populate the application database. *)
+
+val run_page :
+  db:Sloth_storage.Database.t ->
+  rtt_ms:float ->
+  (module Sloth_workload.App_sig.S) ->
+  string ->
+  page_run
+(** Load one page under both strategies (fresh connection, link and — for
+    Sloth — query store per load). *)
+
+val run_app :
+  ?rtt_ms:float ->
+  ?scale:int ->
+  ?db:Sloth_storage.Database.t ->
+  (module Sloth_workload.App_sig.S) ->
+  page_run list
+(** All pages of the application. *)
+
+val load_sloth :
+  ?policy:Sloth_core.Query_store.flush_policy ->
+  db:Sloth_storage.Database.t ->
+  rtt_ms:float ->
+  (module Sloth_workload.App_sig.S) ->
+  string ->
+  Sloth_web.Page.metrics
+(** Load a page under the Sloth strategy with a given flush policy. *)
+
+val load_prefetch :
+  db:Sloth_storage.Database.t ->
+  rtt_ms:float ->
+  (module Sloth_workload.App_sig.S) ->
+  string ->
+  Sloth_web.Page.metrics
+(** Load a page under the prefetching baseline (asynchronous issue, one
+    round trip per query). *)

@@ -1,0 +1,115 @@
+module Des = Sloth_net.Des
+module Page = Sloth_web.Page
+
+type profile = {
+  cpu_ms : float;
+  latency_ms : float;
+  db_ms : float;
+  trips : int;
+  inflation_per_client : float;
+      (** per-page CPU growth with population: context switches for both
+          builds, plus thunk/GC pressure for the Sloth build — the paper's
+          explanation of the post-peak decline *)
+}
+
+(* The share of app-server wall time actually spent on-CPU, and the CPU
+   cost of putting a worker thread to sleep and waking it per round trip. *)
+let cpu_fraction = 0.15
+let per_trip_cpu_ms = 0.35
+
+let profile_of_runs ~mode runs =
+  let n = float_of_int (List.length runs) in
+  let pick (r : Runner.page_run) =
+    match mode with `Original -> r.original | `Sloth -> r.sloth
+  in
+  let avg f = List.fold_left (fun acc r -> acc +. f (pick r)) 0.0 runs /. n in
+  let app = avg (fun m -> m.Page.app_ms) in
+  let trips = avg (fun m -> float_of_int m.Page.round_trips) in
+  {
+    cpu_ms = (cpu_fraction *. app) +. (per_trip_cpu_ms *. trips);
+    latency_ms = (1.0 -. cpu_fraction) *. app;
+    db_ms = avg (fun m -> m.Page.db_ms);
+    trips = int_of_float (Float.round trips);
+    inflation_per_client =
+      (match mode with `Original -> 0.0007 | `Sloth -> 0.0013);
+  }
+
+let think_time_ms = 200.0
+
+let simulate ?(cores = 8) ?(rtt_ms = 0.5) ?inflation_per_client profile
+    ~clients =
+  let inflation_per_client =
+    Option.value inflation_per_client ~default:profile.inflation_per_client
+  in
+  let sim = Des.create () in
+  let cpu = Des.Resource.create sim ~servers:cores in
+  let db = Des.Resource.create sim ~servers:12 in
+  let warmup = 2_000.0 and window = 20_000.0 in
+  let completed = ref 0 in
+  let inflation = 1.0 +. (inflation_per_client *. float_of_int clients) in
+  let cpu_slice =
+    inflation *. profile.cpu_ms /. float_of_int (profile.trips + 1)
+  in
+  let latency_slice = profile.latency_ms /. float_of_int (profile.trips + 1) in
+  let db_slice = profile.db_ms /. float_of_int (max 1 profile.trips) in
+  let rec page_loop () =
+    (* Alternate CPU/latency slices with round trips, then start over. *)
+    let rec trip k i =
+      if i >= profile.trips then k ()
+      else
+        Des.Resource.with_service cpu cpu_slice (fun () ->
+            Des.delay sim latency_slice (fun () ->
+                Des.delay sim rtt_ms (fun () ->
+                    Des.Resource.with_service db db_slice (fun () ->
+                        trip k (i + 1)))))
+    in
+    trip
+      (fun () ->
+        Des.Resource.with_service cpu cpu_slice (fun () ->
+            Des.delay sim latency_slice (fun () ->
+                let t = Des.now sim in
+                if t >= warmup && t < warmup +. window then incr completed;
+                Des.delay sim think_time_ms page_loop)))
+      0
+  in
+  (* Stagger client start-up so identical clients do not run in lockstep. *)
+  for c = 0 to clients - 1 do
+    Des.at sim (float_of_int c *. 0.37) page_loop
+  done;
+  Des.run sim ~until:(warmup +. window);
+  float_of_int !completed /. (window /. 1000.0)
+
+let client_counts = [ 10; 25; 50; 75; 100; 150; 200; 300; 400; 500; 600 ]
+
+let fig7 () =
+  Report.section "Fig 7: throughput vs number of clients (medrec pages)";
+  let runs =
+    Page_experiments.runs Sloth_workload.App_sig.medrec ~rtt_ms:0.5
+  in
+  let original = profile_of_runs ~mode:`Original runs in
+  let sloth = profile_of_runs ~mode:`Sloth runs in
+  Printf.printf
+    "  profiles: original cpu %.1f ms, wait %.1f ms, db %.1f ms, %d trips\n"
+    original.cpu_ms original.latency_ms original.db_ms original.trips;
+  Printf.printf
+    "            sloth    cpu %.1f ms, wait %.1f ms, db %.1f ms, %d trips\n"
+    sloth.cpu_ms sloth.latency_ms sloth.db_ms sloth.trips;
+  let rows =
+    List.map
+      (fun clients ->
+        let o = simulate original ~clients in
+        let s = simulate sloth ~clients in
+        (clients, o, s))
+      client_counts
+  in
+  Report.table
+    ~header:[ "clients"; "original (page/s)"; "sloth (page/s)" ]
+    (List.map
+       (fun (c, o, s) ->
+         [ string_of_int c; Printf.sprintf "%.1f" o; Printf.sprintf "%.1f" s ])
+       rows);
+  let peak sel = List.fold_left (fun acc r -> Float.max acc (sel r)) 0.0 rows in
+  let peak_o = peak (fun (_, o, _) -> o) in
+  let peak_s = peak (fun (_, _, s) -> s) in
+  Printf.printf "\n  peak throughput: original %.1f, sloth %.1f (%.2fx)\n"
+    peak_o peak_s (peak_s /. peak_o)

@@ -1,0 +1,36 @@
+(** Fig. 7: closed-system throughput, original vs Sloth.
+
+    A discrete-event simulation of the paper's setup: a fixed population of
+    clients loads random pages back-to-back against an app server (worker
+    pool + CPU cores) and a database server, over a fixed-latency link.
+    Page demands come from the measured page-load profiles.  On-CPU time is
+    a fraction of the app-server wall time (most of it is blocking), plus a
+    per-round-trip thread-scheduling cost — which is exactly the overhead
+    fewer round trips save, and why the Sloth server peaks higher.  Per-page
+    CPU inflates gently with the client population (context switching /
+    GC), producing the post-peak decline. *)
+
+type profile = {
+  cpu_ms : float;  (** on-CPU app-server time per page *)
+  latency_ms : float;  (** non-CPU app residence (waits, rendering) *)
+  db_ms : float;
+  trips : int;
+  inflation_per_client : float;
+      (** per-page CPU growth with client population (higher for the Sloth
+          build: thunk allocation raises GC pressure) *)
+}
+
+val profile_of_runs :
+  mode:[ `Original | `Sloth ] -> Runner.page_run list -> profile
+
+val simulate :
+  ?cores:int ->
+  ?rtt_ms:float ->
+  ?inflation_per_client:float ->
+  profile ->
+  clients:int ->
+  float
+(** Pages per second completed in the measurement window.  Clients pause
+    200 ms between page loads. *)
+
+val fig7 : unit -> unit

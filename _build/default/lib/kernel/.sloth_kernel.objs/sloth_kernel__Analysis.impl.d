@@ -1,0 +1,1 @@
+lib/kernel/analysis.ml: Ast Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/kernel/ast.ml: List String

@@ -1,0 +1,1 @@
+lib/kernel/builder.mli: Ast

@@ -1,0 +1,1 @@
+lib/kernel/generator.ml: Ast Builder List Pretty Printf QCheck Random Sloth_storage

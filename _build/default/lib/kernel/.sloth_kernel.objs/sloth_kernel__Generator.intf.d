@@ -1,0 +1,1 @@
+lib/kernel/generator.mli: Ast QCheck Random Sloth_storage

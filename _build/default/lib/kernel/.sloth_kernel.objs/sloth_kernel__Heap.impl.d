@@ -1,0 +1,1 @@
+lib/kernel/heap.ml: Array Hashtbl Kvalue List Printf String

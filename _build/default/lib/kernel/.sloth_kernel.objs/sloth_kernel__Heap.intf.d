@@ -1,0 +1,1 @@
+lib/kernel/heap.mli: Hashtbl Kvalue

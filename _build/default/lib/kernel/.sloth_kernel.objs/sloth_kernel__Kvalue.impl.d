@@ -1,0 +1,1 @@
+lib/kernel/kvalue.ml: Ast Format Printf Sloth_core Sloth_storage String

@@ -1,0 +1,1 @@
+lib/kernel/kvalue.mli: Ast Format Sloth_core Sloth_storage

@@ -1,0 +1,1 @@
+lib/kernel/lazy_eval.ml: Analysis Array Ast Hashtbl Heap Kvalue List Option Sloth_core Sloth_storage

@@ -1,0 +1,1 @@
+lib/kernel/lazy_eval.mli: Ast Hashtbl Heap Kvalue Sloth_core

@@ -1,0 +1,1 @@
+lib/kernel/parser.ml: Ast Buffer Builder Format List Scanf String

@@ -1,0 +1,1 @@
+lib/kernel/pretty.ml: Ast List Printf String

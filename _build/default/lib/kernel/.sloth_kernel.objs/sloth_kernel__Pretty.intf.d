@@ -1,0 +1,1 @@
+lib/kernel/pretty.mli: Ast

@@ -1,0 +1,1 @@
+lib/kernel/standard.ml: Array Ast Hashtbl Heap Kvalue List Option Sloth_core Sloth_driver Sloth_storage

@@ -1,0 +1,1 @@
+lib/kernel/standard.mli: Ast Hashtbl Heap Kvalue Sloth_driver

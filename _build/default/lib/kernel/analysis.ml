@@ -1,0 +1,360 @@
+open Ast
+module SS = Set.Make (String)
+
+type group = { leader : int; members : int list; outputs : string list }
+
+type t = {
+  program : program;
+  persistent : SS.t;
+  pure : SS.t;
+  deferrable_memo : (int, bool) Hashtbl.t;
+  groups : (int, group) Hashtbl.t;  (* keyed by leader sid *)
+  group_members : (int, int) Hashtbl.t;  (* member sid -> leader sid *)
+  body_uses : (int, (string, int) Hashtbl.t) Hashtbl.t;
+      (* sid -> usage counts of the enclosing body *)
+  main_persistent : bool;
+}
+
+(* --- syntactic facts ---------------------------------------------------- *)
+
+let expr_has_read e =
+  let found = ref false in
+  iter_exprs_of_expr (function Read _ -> found := true | _ -> ()) e;
+  !found
+
+(* Heap accesses are "thunk evaluations" in the paper's sense (the target
+   must be forced, and the cell read observes mutable state), so they
+   disqualify both deferrable statements and deferrable (pure) functions:
+   deferring a heap read past a heap write would change its result. *)
+let expr_has_heap_access e =
+  let found = ref false in
+  iter_exprs_of_expr
+    (function Field _ | Index _ | Length _ -> found := true | _ -> ())
+    e;
+  !found
+
+let stmt_tree_has_heap_access stmt =
+  let found = ref false in
+  iter_exprs (fun e -> if expr_has_heap_access e then found := true) stmt;
+  !found
+
+let stmt_tree_has_read stmt =
+  let found = ref false in
+  iter_exprs (fun e -> if expr_has_read e then found := true) stmt;
+  !found
+
+let expr_calls e =
+  let acc = ref SS.empty in
+  iter_exprs_of_expr
+    (function Call (f, _) -> acc := SS.add f !acc | _ -> ())
+    e;
+  !acc
+
+let stmt_tree_calls stmt =
+  let acc = ref SS.empty in
+  iter_exprs (fun e -> acc := SS.union (expr_calls e) !acc) stmt;
+  !acc
+
+let stmt_tree_has_query stmt =
+  let found = ref false in
+  iter_stmts (fun s -> match s.s with Write _ -> found := true | _ -> ()) stmt;
+  iter_exprs (fun e -> if expr_has_read e then found := true) stmt;
+  !found
+
+let stmt_tree_has_impure_stmt stmt =
+  (* Write, Print, or heap writes anywhere in the subtree. *)
+  let found = ref false in
+  iter_stmts
+    (fun s ->
+      match s.s with
+      | Write _ | Print _
+      | Assign (L_field _, _)
+      | Assign (L_index _, _) ->
+          found := true
+      | _ -> ())
+    stmt;
+  !found
+
+(* --- fixpoints over the call graph -------------------------------------- *)
+
+(* Least fixpoint of: f in set if [direct f] or f calls a member of set. *)
+let callgraph_fixpoint program ~direct =
+  let calls_of =
+    List.map (fun f -> (f.fname, stmt_tree_calls f.body)) program.funcs
+  in
+  let set =
+    ref
+      (List.fold_left
+         (fun acc f -> if direct f then SS.add f.fname acc else acc)
+         SS.empty program.funcs)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fname, calls) ->
+        if (not (SS.mem fname !set)) && not (SS.is_empty (SS.inter calls !set))
+        then begin
+          set := SS.add fname !set;
+          changed := true
+        end)
+      calls_of
+  done;
+  !set
+
+(* Greatest fixpoint for purity: start from all candidates, remove functions
+   that are directly impure or call something outside the set. *)
+let purity_fixpoint program =
+  let calls_of =
+    List.map (fun f -> (f.fname, stmt_tree_calls f.body)) program.funcs
+  in
+  let directly_impure f =
+    f.external_fn
+    || stmt_tree_has_impure_stmt f.body
+    (* Deferring a body that reads the heap or the database would observe
+       mutations that happen between call site and force. *)
+    || stmt_tree_has_heap_access f.body
+    || stmt_tree_has_read f.body
+  in
+  let set =
+    ref
+      (List.fold_left
+         (fun acc f -> if directly_impure f then acc else SS.add f.fname acc)
+         SS.empty program.funcs)
+  in
+  let known f = List.exists (fun g -> String.equal g.fname f) program.funcs in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fname, calls) ->
+        if
+          SS.mem fname !set
+          && SS.exists (fun g -> (not (known g)) || not (SS.mem g !set)) calls
+        then begin
+          set := SS.remove fname !set;
+          changed := true
+        end)
+      calls_of
+  done;
+  !set
+
+(* --- deferrable statements ---------------------------------------------- *)
+
+let rec deferrable_rec t ~loop_depth stmt =
+  let expr_ok e =
+    (not (expr_has_read e))
+    && (not (expr_has_heap_access e))
+    && SS.for_all
+         (fun f ->
+           SS.mem f t.pure
+           && (not (SS.mem f t.persistent))
+           &&
+           match find_func t.program f with
+           | Some fn -> not fn.external_fn
+           | None -> false)
+         (expr_calls e)
+  in
+  match stmt.s with
+  | Skip -> true
+  | Assign (L_var _, e) -> expr_ok e
+  | Assign (L_field _, _) | Assign (L_index _, _) ->
+      (* Heap writes are never deferred (Sec. 3.5). *)
+      false
+  | Write _ | Print _ -> false
+  | Break -> loop_depth > 0
+  | Seq (a, b) ->
+      deferrable_rec t ~loop_depth a && deferrable_rec t ~loop_depth b
+  | If (c, a, b) ->
+      expr_ok c
+      && deferrable_rec t ~loop_depth a
+      && deferrable_rec t ~loop_depth b
+  | While body -> deferrable_rec t ~loop_depth:(loop_depth + 1) body
+  | Expr_stmt e -> expr_ok e
+
+let deferrable t stmt =
+  match Hashtbl.find_opt t.deferrable_memo stmt.sid with
+  | Some b -> b
+  | None ->
+      let b = deferrable_rec t ~loop_depth:0 stmt in
+      Hashtbl.replace t.deferrable_memo stmt.sid b;
+      b
+
+(* --- variable uses ------------------------------------------------------ *)
+
+let expr_uses e =
+  let acc = ref SS.empty in
+  iter_exprs_of_expr (function Var x -> acc := SS.add x !acc | _ -> ()) e;
+  !acc
+
+let stmt_tree_var_defs stmt =
+  let acc = ref SS.empty in
+  iter_stmts
+    (fun s ->
+      match s.s with
+      | Assign (L_var x, _) -> acc := SS.add x !acc
+      | _ -> ())
+    stmt;
+  !acc
+
+(* --- coalescing groups --------------------------------------------------- *)
+
+(* A statement may join a coalescing group if it is a deferrable simple
+   variable assignment — the temporary chains code simplification
+   introduces.  Deferrable control flow is branch deferral's territory
+   (Sec. 4.2), kept separate as in the paper. *)
+let groupable t stmt =
+  match stmt.s with
+  | Assign (L_var _, _) -> deferrable t stmt
+  | _ -> false
+
+(* Variable uses of a single statement *node*: the expressions evaluated by
+   the node itself (an [If]'s condition, an assignment's right-hand side),
+   not those of nested statements — they are their own nodes. *)
+let node_uses s =
+  List.fold_left
+    (fun acc e -> SS.union acc (expr_uses e))
+    SS.empty (exprs_of_stmt s)
+
+let add_group t ~func_uses ~in_loop stmts =
+  match stmts with
+  | [] | [ _ ] -> ()  (* coalescing a single statement buys nothing *)
+  | leader :: _ ->
+      let members = List.map (fun s -> s.sid) stmts in
+      let defs =
+        List.fold_left
+          (fun acc s -> SS.union acc (stmt_tree_var_defs s))
+          SS.empty stmts
+      in
+      (* Number of statement nodes *anywhere inside the group* using each
+         variable (members may be compound statements). *)
+      let inside_count x =
+        let count = ref 0 in
+        List.iter
+          (fun s ->
+            iter_stmts
+              (fun s' -> if SS.mem x (node_uses s') then incr count)
+              s)
+          stmts;
+        !count
+      in
+      (* A defined variable escapes if some statement node outside the group
+         uses it, or it is the return variable.  Inside a loop the group
+         re-executes, so its own reads are loop-carried uses of the previous
+         iteration's value: in-group uses may not be discounted there. *)
+      let outputs =
+        SS.filter
+          (fun x ->
+            String.equal x return_var
+            ||
+            let total = Option.value ~default:0 (Hashtbl.find_opt func_uses x) in
+            let inside = if in_loop then 0 else inside_count x in
+            total > inside)
+          defs
+      in
+      let group =
+        { leader = leader.sid; members; outputs = SS.elements outputs }
+      in
+      Hashtbl.replace t.groups leader.sid group;
+      List.iter (fun sid -> Hashtbl.replace t.group_members sid leader.sid)
+        members
+
+let build_groups t body =
+  (* Usage counts at statement-node granularity over the whole body. *)
+  let func_uses = Hashtbl.create 32 in
+  iter_stmts
+    (fun s ->
+      SS.iter
+        (fun x ->
+          Hashtbl.replace func_uses x
+            (1 + Option.value ~default:0 (Hashtbl.find_opt func_uses x)))
+        (node_uses s))
+    body;
+  iter_stmts (fun s -> Hashtbl.replace t.body_uses s.sid func_uses) body;
+  (* Collect every Seq chain in the body (including nested ones), tracking
+     whether it sits inside a loop, and split each into maximal groupable
+     runs. *)
+  let chains = ref [] in
+  let rec collect ~in_loop stmt =
+    match stmt.s with
+    | Seq _ ->
+        let chain = flatten stmt in
+        chains := (in_loop, chain) :: !chains;
+        List.iter (collect_children ~in_loop) chain
+    | _ -> collect_children ~in_loop stmt
+  and collect_children ~in_loop stmt =
+    match stmt.s with
+    | If (_, a, b) ->
+        collect ~in_loop a;
+        collect ~in_loop b
+    | While inner -> collect ~in_loop:true inner
+    | Seq _ -> collect ~in_loop stmt
+    | _ -> ()
+  in
+  collect ~in_loop:false body;
+  List.iter
+    (fun (in_loop, chain) ->
+      let run = ref [] in
+      let flush () =
+        add_group t ~func_uses ~in_loop (List.rev !run);
+        run := []
+      in
+      List.iter
+        (fun s -> if groupable t s then run := s :: !run else flush ())
+        chain;
+      flush ())
+    !chains
+
+(* --- entry point --------------------------------------------------------- *)
+
+let analyze program =
+  let persistent =
+    callgraph_fixpoint program ~direct:(fun f -> stmt_tree_has_query f.body)
+  in
+  let pure = purity_fixpoint program in
+  let t =
+    {
+      program;
+      persistent;
+      pure;
+      deferrable_memo = Hashtbl.create 64;
+      groups = Hashtbl.create 16;
+      group_members = Hashtbl.create 64;
+      body_uses = Hashtbl.create 256;
+      main_persistent =
+        stmt_tree_has_query program.main
+        || SS.exists
+             (fun f -> SS.mem f persistent)
+             (stmt_tree_calls program.main);
+    }
+  in
+  build_groups t program.main;
+  List.iter (fun f -> build_groups t f.body) program.funcs;
+  t
+
+let persistent t name =
+  match find_func t.program name with
+  | None -> true
+  | Some _ -> SS.mem name t.persistent
+
+let pure t name = SS.mem name t.pure
+let main_persistent t = t.main_persistent
+let group_of_leader t sid = Hashtbl.find_opt t.groups sid
+let in_group t sid = Hashtbl.mem t.group_members sid
+
+let persistent_count t =
+  let p = SS.cardinal t.persistent in
+  (p, List.length t.program.funcs - p)
+
+let stmt_var_defs stmt = SS.elements (stmt_tree_var_defs stmt)
+
+let used_in_enclosing_body t sid x =
+  match Hashtbl.find_opt t.body_uses sid with
+  | None -> true (* unknown statement: be conservative *)
+  | Some uses -> Option.value ~default:0 (Hashtbl.find_opt uses x) > 0
+
+let stmts_var_defs stmts =
+  SS.elements
+    (List.fold_left
+       (fun acc s -> SS.union acc (stmt_tree_var_defs s))
+       SS.empty stmts)

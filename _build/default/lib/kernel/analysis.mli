@@ -1,0 +1,61 @@
+(** Static analyses backing the Sloth compiler's optimizations.
+
+    - {b Persistence} (Sec. 4.1, selective compilation): an
+      inter-procedural, flow-insensitive fixpoint labelling every function
+      that may touch the database.  Non-persistent functions are compiled
+      strictly (no thunks).
+    - {b Purity} (Sec. 3.4): a function is pure if it makes no externally
+      visible state change — no [W], no [Print], no heap writes, and calls
+      only pure internal functions.  Pure internal calls may be deferred.
+    - {b Deferrable statements} (Sec. 4.2, branch deferral): a statement is
+      deferrable if executing it can be postponed wholesale — no queries, no
+      output, no heap writes, no calls to impure/external/persistent
+      functions, and any [Break] stays inside a loop contained in the
+      statement.
+    - {b Coalescing groups} (Sec. 4.3, thunk coalescing): maximal runs of
+      consecutive deferrable variable assignments inside each statement
+      sequence, with their output variables (the assigned variables still
+      referenced outside the group — a flow-insensitive safe approximation
+      of the paper's liveness analysis). *)
+
+type t
+
+type group = {
+  leader : int;  (** sid of the first statement of the group *)
+  members : int list;  (** sids in execution order, including the leader *)
+  outputs : string list;  (** variables that must escape as thunks *)
+}
+
+val analyze : Ast.program -> t
+
+val persistent : t -> string -> bool
+(** Is the named function persistent (may issue queries)?  Unknown names
+    are treated as persistent (conservative). *)
+
+val pure : t -> string -> bool
+
+val main_persistent : t -> bool
+(** Whether the main body itself touches the database. *)
+
+val deferrable : t -> Ast.stmt -> bool
+
+val group_of_leader : t -> int -> group option
+(** [Some g] iff the sid is the leader of a coalescing group (of ≥ 2
+    statements). *)
+
+val in_group : t -> int -> bool
+(** Whether the sid belongs to some group (leader or member). *)
+
+val persistent_count : t -> int * int
+(** [(persistent, non_persistent)] over the program's functions (the Fig. 11
+    table). *)
+
+val stmt_var_defs : Ast.stmt -> string list
+(** All variables assigned anywhere in the statement subtree (sorted). *)
+
+val used_in_enclosing_body : t -> int -> string -> bool
+(** [used_in_enclosing_body t sid x]: does any statement node of the body
+    containing statement [sid] read variable [x]?  Conservatively true for
+    unknown sids. *)
+
+val stmts_var_defs : Ast.stmt list -> string list

@@ -1,0 +1,135 @@
+(** The kernel language of the paper (Fig. 4), extended with the constructs
+    the formalization assumes around it: functions (with the [@] return
+    variable convention), arrays, records, and an observable [Print]
+    statement standing for "statements that produce output".
+
+    Loops are the paper's [while(True)] form; [Break] is the desugared
+    control-flow marker the paper encodes with boolean flags (Sec. 3.8,
+    "unstructured control flow ... translated into boolean variable
+    assignments" — we keep it first-class to make programs executable, and
+    the analyses treat it as control flow).
+
+    Every statement carries a unique id ([sid]) so the compiler passes can
+    attach analysis results without rebuilding the tree. *)
+
+type binop =
+  | Add  (** numeric addition; string concatenation when either side is a
+             string (the formalization's query strings are built this way) *)
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | And
+  | Or
+  | Eq
+  | Lt
+  | Gt
+
+type unop = Not | Neg
+
+type const = C_num of int | C_str of string | C_bool of bool | C_null
+
+type expr =
+  | Const of const
+  | Var of string
+  | Field of expr * string  (** e.f *)
+  | Record of (string * expr) list  (** allocation: {fi = ei} *)
+  | Index of expr * expr  (** ea[ei] *)
+  | Array_lit of expr list  (** array allocation *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** f(e...) *)
+  | Read of expr  (** R(e): a read query; e evaluates to a SQL string *)
+  | Length of expr  (** array length — needed to loop over query results *)
+
+type lvalue =
+  | L_var of string
+  | L_field of expr * string
+  | L_index of expr * expr
+
+type stmt = { sid : int; s : snode }
+
+and snode =
+  | Skip
+  | Assign of lvalue * expr
+  | If of expr * stmt * stmt
+  | While of stmt  (** while(True) do s; exited by Break *)
+  | Break
+  | Write of expr  (** W(e): a mutating query; e evaluates to a SQL string *)
+  | Print of expr  (** externally visible output; forces its argument *)
+  | Seq of stmt * stmt
+  | Expr_stmt of expr  (** evaluate for effect (e.g. a call) *)
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt;
+  external_fn : bool;
+      (** true = treated as library code the compiler cannot see: calls are
+          never deferred and arguments are forced (Sec. 3.4) *)
+}
+
+type program = { funcs : func list; main : stmt }
+
+(** The return-value variable of the paper's convention. *)
+let return_var = "@"
+
+let find_func program name =
+  List.find_opt (fun f -> String.equal f.fname name) program.funcs
+
+(* --- traversal helpers used by the analyses ---------------------------- *)
+
+let rec iter_stmts f stmt =
+  f stmt;
+  match stmt.s with
+  | Seq (a, b) ->
+      iter_stmts f a;
+      iter_stmts f b
+  | If (_, a, b) ->
+      iter_stmts f a;
+      iter_stmts f b
+  | While body -> iter_stmts f body
+  | Skip | Assign _ | Break | Write _ | Print _ | Expr_stmt _ -> ()
+
+let rec iter_exprs_of_expr f expr =
+  f expr;
+  match expr with
+  | Const _ | Var _ -> ()
+  | Field (e, _) | Unop (_, e) | Read e | Length e -> iter_exprs_of_expr f e
+  | Record fields -> List.iter (fun (_, e) -> iter_exprs_of_expr f e) fields
+  | Array_lit es | Call (_, es) -> List.iter (iter_exprs_of_expr f) es
+  | Index (a, b) | Binop (_, a, b) ->
+      iter_exprs_of_expr f a;
+      iter_exprs_of_expr f b
+
+let exprs_of_stmt stmt =
+  match stmt.s with
+  | Skip | Break -> []
+  | Assign (L_var _, e) | Write e | Print e | Expr_stmt e -> [ e ]
+  | Assign (L_field (target, _), e) -> [ target; e ]
+  | Assign (L_index (target, idx), e) -> [ target; idx; e ]
+  | If (c, _, _) -> [ c ]
+  | While _ | Seq _ -> []
+
+let iter_exprs f stmt =
+  iter_stmts
+    (fun s -> List.iter (iter_exprs_of_expr f) (exprs_of_stmt s))
+    stmt
+
+(** Statements of a [Seq] chain in execution order. *)
+let rec flatten stmt =
+  match stmt.s with Seq (a, b) -> flatten a @ flatten b | _ -> [ stmt ]
+
+let count_stmts stmt =
+  let n = ref 0 in
+  iter_stmts (fun _ -> incr n) stmt;
+  !n
+
+let rec expr_size = function
+  | Const _ | Var _ -> 1
+  | Field (e, _) | Unop (_, e) | Read e | Length e -> 1 + expr_size e
+  | Record fields ->
+      1 + List.fold_left (fun acc (_, e) -> acc + expr_size e) 0 fields
+  | Array_lit es | Call (_, es) ->
+      1 + List.fold_left (fun acc e -> acc + expr_size e) 0 es
+  | Index (a, b) | Binop (_, a, b) -> 1 + expr_size a + expr_size b

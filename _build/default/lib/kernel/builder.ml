@@ -1,0 +1,65 @@
+open Ast
+
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let fresh t =
+  let id = t.next in
+  t.next <- id + 1;
+  id
+
+let num n = Const (C_num n)
+let str s = Const (C_str s)
+let bool_ b = Const (C_bool b)
+let null = Const C_null
+let var x = Var x
+let field e f = Field (e, f)
+let record fields = Record fields
+let index a i = Index (a, i)
+let array es = Array_lit es
+let len e = Length e
+let call f args = Call (f, args)
+let read e = Read e
+let ( +% ) a b = Binop (Add, a, b)
+let ( -% ) a b = Binop (Sub, a, b)
+let ( *% ) a b = Binop (Mul, a, b)
+let ( /% ) a b = Binop (Div, a, b)
+let ( %% ) a b = Binop (Mod, a, b)
+let ( =% ) a b = Binop (Eq, a, b)
+let ( <% ) a b = Binop (Lt, a, b)
+let ( >% ) a b = Binop (Gt, a, b)
+let ( &&% ) a b = Binop (And, a, b)
+let ( ||% ) a b = Binop (Or, a, b)
+let not_ e = Unop (Not, e)
+
+let mk t s = { sid = fresh t; s }
+let skip t = mk t Skip
+let assign t x e = mk t (Assign (L_var x, e))
+let set_field t target f e = mk t (Assign (L_field (target, f), e))
+let set_index t target i e = mk t (Assign (L_index (target, i), e))
+let if_ t c a b = mk t (If (c, a, b))
+let while_ t body = mk t (While body)
+let break t = mk t Break
+let write t e = mk t (Write e)
+let print t e = mk t (Print e)
+let expr_stmt t e = mk t (Expr_stmt e)
+
+let seq t stmts =
+  match stmts with
+  | [] -> skip t
+  | first :: rest -> List.fold_left (fun acc s -> mk t (Seq (acc, s))) first rest
+
+let return t e = assign t return_var e
+
+let for_range t x ~from ~below body =
+  let init = assign t x from in
+  let guard = if_ t (not_ (var x <% below)) (break t) (skip t) in
+  let step = assign t x (var x +% num 1) in
+  let loop = while_ t (seq t [ guard; body (var x); step ]) in
+  seq t [ init; loop ]
+
+let func ?(external_fn = false) fname params body =
+  { fname; params; body; external_fn }
+
+let program funcs main = { funcs; main }

@@ -1,0 +1,58 @@
+(** Convenience eDSL for constructing kernel-language programs.
+
+    Statement ids must be unique within a program; the builder hands them
+    out from a private counter, so always build a whole program with one
+    builder. *)
+
+type t
+
+val create : unit -> t
+
+(* expressions (no ids needed) *)
+val num : int -> Ast.expr
+val str : string -> Ast.expr
+val bool_ : bool -> Ast.expr
+val null : Ast.expr
+val var : string -> Ast.expr
+val field : Ast.expr -> string -> Ast.expr
+val record : (string * Ast.expr) list -> Ast.expr
+val index : Ast.expr -> Ast.expr -> Ast.expr
+val array : Ast.expr list -> Ast.expr
+val len : Ast.expr -> Ast.expr
+val call : string -> Ast.expr list -> Ast.expr
+val read : Ast.expr -> Ast.expr
+val ( +% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( -% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( *% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( /% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( %% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( =% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( &&% ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ||% ) : Ast.expr -> Ast.expr -> Ast.expr
+val not_ : Ast.expr -> Ast.expr
+
+(* statements (fresh ids from the builder) *)
+val skip : t -> Ast.stmt
+val assign : t -> string -> Ast.expr -> Ast.stmt
+val set_field : t -> Ast.expr -> string -> Ast.expr -> Ast.stmt
+val set_index : t -> Ast.expr -> Ast.expr -> Ast.expr -> Ast.stmt
+val if_ : t -> Ast.expr -> Ast.stmt -> Ast.stmt -> Ast.stmt
+val while_ : t -> Ast.stmt -> Ast.stmt
+val break : t -> Ast.stmt
+val write : t -> Ast.expr -> Ast.stmt
+val print : t -> Ast.expr -> Ast.stmt
+val expr_stmt : t -> Ast.expr -> Ast.stmt
+val seq : t -> Ast.stmt list -> Ast.stmt
+val return : t -> Ast.expr -> Ast.stmt
+(** Assign the function's return variable. *)
+
+val for_range : t -> string -> from:Ast.expr -> below:Ast.expr -> (Ast.expr -> Ast.stmt) -> Ast.stmt
+(** Desugars a counted loop into the kernel's [while(True)] + guarded
+    [Break] form, exactly as the paper's code-simplification pass does. *)
+
+val func :
+  ?external_fn:bool -> string -> string list -> Ast.stmt -> Ast.func
+
+val program : Ast.func list -> Ast.stmt -> Ast.program

@@ -1,0 +1,241 @@
+open Builder
+module B = Builder
+
+type config = {
+  n_funcs : int;
+  stmts_per_block : int;
+  max_depth : int;
+  query_weight : int;
+  external_fraction : float;
+}
+
+let default_config =
+  {
+    n_funcs = 4;
+    stmts_per_block = 6;
+    max_depth = 2;
+    query_weight = 3;
+    external_fraction = 0.2;
+  }
+
+let key_space = 20
+
+let setup_schema db =
+  ignore
+    (Sloth_storage.Database.exec_sql db
+       "CREATE TABLE kv (k INT NOT NULL, v TEXT NOT NULL, n INT NOT NULL, \
+        PRIMARY KEY (k))");
+  for i = 1 to key_space do
+    ignore
+      (Sloth_storage.Database.exec_sql db
+         (Printf.sprintf "INSERT INTO kv (k, v, n) VALUES (%d, 'w%d', %d)" i i
+            (i * 3 mod 7)))
+  done
+
+(* Variable pools.  Every generated body initializes all of them in a
+   prologue, so references are always bound. *)
+let int_vars = [ "x0"; "x1"; "x2"; "x3"; "x4" ]
+let str_vars = [ "s0"; "s1"; "s2" ]
+let rec_vars = [ "r0"; "r1" ]
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* A key expression guaranteed to hit an existing row: ((e mod K) + K) mod K + 1. *)
+let key_of e =
+  Binop (Ast.Mod, Binop (Ast.Add, Binop (Ast.Mod, e, num key_space), num key_space), num key_space)
+  +% num 1
+
+let read_row_sql key_expr =
+  read (str "SELECT v AS v, n AS n FROM kv WHERE k = " +% key_of key_expr)
+
+let read_count_sql bound_expr =
+  read (str "SELECT COUNT(*) AS n FROM kv WHERE n > " +% bound_expr)
+
+let write_sql value_expr key_expr =
+  str "UPDATE kv SET n = " +% value_expr +% str " WHERE k = " +% key_of key_expr
+
+(* --- expressions -------------------------------------------------------- *)
+
+(* [funcs_below] lists callable functions (int -> int -> int), acyclic by
+   construction: a function may only call earlier ones. *)
+let rec int_expr rng cfg ~funcs_below ~depth =
+  if depth <= 0 then
+    match Random.State.int rng 3 with
+    | 0 -> num (Random.State.int rng 10)
+    | _ -> var (pick rng int_vars)
+  else
+    match Random.State.int rng 12 with
+    | 0 | 1 -> num (Random.State.int rng 10)
+    | 2 | 3 | 4 -> var (pick rng int_vars)
+    | 5 ->
+        int_expr rng cfg ~funcs_below ~depth:(depth - 1)
+        +% int_expr rng cfg ~funcs_below ~depth:(depth - 1)
+    | 6 ->
+        int_expr rng cfg ~funcs_below ~depth:(depth - 1)
+        -% int_expr rng cfg ~funcs_below ~depth:(depth - 1)
+    | 7 ->
+        int_expr rng cfg ~funcs_below ~depth:(depth - 1)
+        *% num (1 + Random.State.int rng 3)
+    | 8 ->
+        (* Modulo by a positive constant only: no runtime failures. *)
+        Binop
+          ( Ast.Mod,
+            int_expr rng cfg ~funcs_below ~depth:(depth - 1),
+            num (2 + Random.State.int rng 5) )
+    | 9 -> Unop (Ast.Neg, int_expr rng cfg ~funcs_below ~depth:(depth - 1))
+    | 10 -> field (var (pick rng rec_vars)) "a"
+    | _ -> (
+        match funcs_below with
+        | [] -> var (pick rng int_vars)
+        | fs ->
+            let f = pick rng fs in
+            call f
+              [
+                int_expr rng cfg ~funcs_below:[] ~depth:(depth - 1);
+                int_expr rng cfg ~funcs_below:[] ~depth:(depth - 1);
+              ])
+
+let str_expr rng cfg ~funcs_below ~depth =
+  match Random.State.int rng 5 with
+  | 0 -> str (pick rng [ "a"; "bb"; "c!"; "" ])
+  | 1 | 2 -> var (pick rng str_vars)
+  | 3 -> field (var (pick rng rec_vars)) "b"
+  | _ ->
+      var (pick rng str_vars)
+      +% int_expr rng cfg ~funcs_below ~depth:(min depth 1)
+
+let bool_expr rng cfg ~funcs_below ~depth =
+  let ie () = int_expr rng cfg ~funcs_below ~depth:(min depth 1) in
+  match Random.State.int rng 6 with
+  | 0 -> ie () <% ie ()
+  | 1 -> ie () >% ie ()
+  | 2 -> ie () =% ie ()
+  | 3 -> (ie () <% ie ()) &&% (ie () >% ie ())
+  | 4 -> (ie () =% ie ()) ||% (ie () <% ie ())
+  | _ -> not_ (ie () <% ie ())
+
+(* --- statements --------------------------------------------------------- *)
+
+let rec gen_stmt b rng cfg ~funcs_below ~depth ~in_loop =
+  let ie ?(d = depth) () = int_expr rng cfg ~funcs_below ~depth:d in
+  let se () = str_expr rng cfg ~funcs_below ~depth in
+  let roll = Random.State.int rng (20 + cfg.query_weight * 3) in
+  if roll >= 20 then
+    (* query statements, weighted by [query_weight] *)
+    match roll mod 3 with
+    | 0 ->
+        B.assign b (pick rng int_vars)
+          (field (index (read_count_sql (ie ())) (num 0)) "n")
+    | 1 ->
+        B.assign b (pick rng str_vars)
+          (field (index (read_row_sql (ie ())) (num 0)) "v")
+    | _ -> B.write b (write_sql (ie ()) (ie ()))
+  else
+    match roll with
+    | 0 | 1 | 2 | 3 | 4 -> B.assign b (pick rng int_vars) (ie ())
+    | 5 | 6 -> B.assign b (pick rng str_vars) (se ())
+    | 7 -> B.set_field b (var (pick rng rec_vars)) "a" (ie ())
+    | 8 -> B.set_field b (var (pick rng rec_vars)) "b" (se ())
+    | 9 -> B.assign b (pick rng rec_vars) (record [ ("a", ie ()); ("b", se ()) ])
+    | 10 | 11 ->
+        if depth <= 0 then B.assign b (pick rng int_vars) (ie ())
+        else
+          B.if_ b
+            (bool_expr rng cfg ~funcs_below ~depth)
+            (gen_block b rng cfg ~funcs_below ~depth:(depth - 1) ~in_loop
+               ~n:(1 + Random.State.int rng 3))
+            (gen_block b rng cfg ~funcs_below ~depth:(depth - 1) ~in_loop
+               ~n:(1 + Random.State.int rng 2))
+    | 12 ->
+        if depth <= 0 then B.assign b (pick rng int_vars) (ie ())
+        else
+          (* Loop counters live outside the assignable pool so generated
+             bodies cannot reset them: loops always terminate. *)
+          let loop_var = Printf.sprintf "i%d" depth in
+          B.for_range b loop_var ~from:(num 0)
+            ~below:(num (1 + Random.State.int rng 3))
+            (fun _i ->
+              gen_block b rng cfg ~funcs_below ~depth:(depth - 1)
+                ~in_loop:true
+                ~n:(1 + Random.State.int rng 2))
+    | 13 -> B.print b (ie ())
+    | 14 -> B.print b (se ())
+    | 15 when in_loop && Random.State.int rng 4 = 0 ->
+        (* A guarded early exit, like the paper's desugared break. *)
+        B.if_ b (bool_expr rng cfg ~funcs_below ~depth:0) (B.break b) (B.skip b)
+    | _ -> B.assign b (pick rng int_vars) (ie ~d:(min depth 1) ())
+
+and gen_block b rng cfg ~funcs_below ~depth ~in_loop ~n =
+  B.seq b
+    (List.init n (fun _ -> gen_stmt b rng cfg ~funcs_below ~depth ~in_loop))
+
+(* Prologue: bind every pool variable. *)
+let prologue b rng =
+  let ints =
+    List.map (fun x -> B.assign b x (num (Random.State.int rng 10))) int_vars
+  in
+  let strs =
+    List.map (fun s -> B.assign b s (str (pick rng [ "p"; "qq"; "r" ]))) str_vars
+  in
+  let recs =
+    List.map
+      (fun r ->
+        B.assign b r
+          (record [ ("a", num (Random.State.int rng 5)); ("b", str "init") ]))
+      rec_vars
+  in
+  ints @ strs @ recs
+
+let gen_func b rng cfg ~index ~funcs_below =
+  let fname = Printf.sprintf "f%d" index in
+  let external_fn = Random.State.float rng 1.0 < cfg.external_fraction in
+  let cfg =
+    (* External bodies are executed strictly; keep them small and
+       query-free so "library code" stays plausible. *)
+    if external_fn then { cfg with query_weight = 0 } else cfg
+  in
+  let body_stmts =
+    List.init cfg.stmts_per_block (fun _ ->
+        gen_stmt b rng cfg ~funcs_below ~depth:cfg.max_depth ~in_loop:false)
+  in
+  let ret = B.return b (int_expr rng cfg ~funcs_below ~depth:1) in
+  let params = [ "p0"; "p1" ] in
+  (* The prologue binds the whole pool; parameters are then folded into two
+     of the integer variables so they influence the result. *)
+  let body =
+    B.seq b
+      (prologue b rng
+      @ [
+          B.assign b "x2" (var "p0" %% num 10);
+          B.assign b "x3" (var "p1" %% num 10);
+        ]
+      @ body_stmts @ [ ret ])
+  in
+  B.func ~external_fn fname params body
+
+let program rng cfg =
+  let b = B.create () in
+  let funcs =
+    let rec build i acc =
+      if i >= cfg.n_funcs then List.rev acc
+      else
+        let funcs_below = List.map (fun (f : Ast.func) -> f.fname) acc in
+        build (i + 1) (gen_func b rng cfg ~index:i ~funcs_below :: acc)
+    in
+    build 0 []
+  in
+  let fnames = List.map (fun (f : Ast.func) -> f.fname) funcs in
+  let main_stmts =
+    List.init cfg.stmts_per_block (fun _ ->
+        gen_stmt b rng cfg ~funcs_below:fnames ~depth:cfg.max_depth
+          ~in_loop:false)
+  in
+  let epilogue =
+    (* Observe the final state so laziness has something to force. *)
+    List.map (fun x -> B.print b (var x)) (int_vars @ str_vars)
+  in
+  let main = B.seq b (prologue b rng @ main_stmts @ epilogue) in
+  B.program funcs main
+
+let gen cfg rng = program rng cfg
+let arbitrary cfg = QCheck.make (gen cfg) ~print:Pretty.program_to_string

@@ -1,0 +1,35 @@
+(** Random kernel-language programs.
+
+    Two uses:
+    - the soundness property test (standard ≡ extended-lazy after forcing)
+      runs randomly generated programs under both evaluators;
+    - the Fig. 11 experiment labels synthetic corpora shaped like the
+      paper's applications with the persistence analysis.
+
+    Generated programs are well-typed by construction (separate integer,
+    string and record variable pools, all initialized by a prologue),
+    terminate (loops are bounded counted loops, call graphs are acyclic)
+    and never raise at runtime (no division by variables, all query keys
+    stay within the seeded key range). *)
+
+type config = {
+  n_funcs : int;  (** functions besides main *)
+  stmts_per_block : int;  (** approximate statements per body *)
+  max_depth : int;  (** nesting depth of if/while *)
+  query_weight : int;  (** relative frequency of R/W statements, 0-10 *)
+  external_fraction : float;  (** fraction of functions marked external *)
+}
+
+val default_config : config
+
+val setup_schema : Sloth_storage.Database.t -> unit
+(** Create and seed the [kv] table the generated queries run against
+    (keys 1..20). *)
+
+val program : Random.State.t -> config -> Ast.program
+
+val gen : config -> Ast.program QCheck.Gen.t
+(** qcheck wrapper around {!program}. *)
+
+val arbitrary : config -> Ast.program QCheck.arbitrary
+(** With a program printer attached for counterexample reports. *)

@@ -1,0 +1,126 @@
+(** The program heap of the kernel language: records and arrays. *)
+
+type hobj =
+  | H_record of (string, Kvalue.t) Hashtbl.t
+  | H_array of Kvalue.t array
+
+type t = { objs : (int, hobj) Hashtbl.t; mutable next : int }
+
+let create () = { objs = Hashtbl.create 64; next = 0 }
+
+let alloc t obj =
+  let addr = t.next in
+  t.next <- addr + 1;
+  Hashtbl.replace t.objs addr obj;
+  addr
+
+let get t addr =
+  match Hashtbl.find_opt t.objs addr with
+  | Some obj -> obj
+  | None -> Kvalue.error "dangling address %d" addr
+
+let alloc_record t fields =
+  let tbl = Hashtbl.create (List.length fields) in
+  List.iter (fun (f, v) -> Hashtbl.replace tbl f v) fields;
+  alloc t (H_record tbl)
+
+let alloc_array t values = alloc t (H_array (Array.of_list values))
+
+let get_field t addr f =
+  match get t addr with
+  | H_record tbl -> (
+      match Hashtbl.find_opt tbl f with
+      | Some v -> v
+      | None -> Kvalue.error "no field %s" f)
+  | H_array _ -> Kvalue.error "field access on an array"
+
+let set_field t addr f v =
+  match get t addr with
+  | H_record tbl -> Hashtbl.replace tbl f v
+  | H_array _ -> Kvalue.error "field write on an array"
+
+let get_index t addr i =
+  match get t addr with
+  | H_array a ->
+      if i < 0 || i >= Array.length a then
+        Kvalue.error "array index %d out of bounds (length %d)" i
+          (Array.length a)
+      else a.(i)
+  | H_record _ -> Kvalue.error "index access on a record"
+
+let set_index t addr i v =
+  match get t addr with
+  | H_array a ->
+      if i < 0 || i >= Array.length a then
+        Kvalue.error "array index %d out of bounds (length %d)" i
+          (Array.length a)
+      else a.(i) <- v
+  | H_record _ -> Kvalue.error "index write on a record"
+
+let length t addr =
+  match get t addr with
+  | H_array a -> Array.length a
+  | H_record _ -> Kvalue.error "length of a record"
+
+let sorted_fields tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Force every thunk reachable from [v], in place for heap objects. *)
+let rec deep_force t v =
+  match Kvalue.force v with
+  | Kvalue.V_addr addr as v ->
+      (match get t addr with
+      | H_record tbl ->
+          List.iter
+            (fun (f, fv) -> Hashtbl.replace tbl f (deep_force t fv))
+            (sorted_fields tbl)
+      | H_array a ->
+          Array.iteri (fun i av -> a.(i) <- deep_force t av) a);
+      v
+  | v -> v
+
+(* Render a value for Print: scalars inline, heap structures recursively
+   with sorted record fields so output is deterministic.  Forces thunks. *)
+let rec render t v =
+  match Kvalue.force v with
+  | Kvalue.V_addr addr -> (
+      match get t addr with
+      | H_record tbl ->
+          let fields =
+            List.map
+              (fun (f, fv) -> Printf.sprintf "%s=%s" f (render t fv))
+              (sorted_fields tbl)
+          in
+          "{" ^ String.concat ", " fields ^ "}"
+      | H_array a ->
+          let items = Array.to_list (Array.map (render t) a) in
+          "[" ^ String.concat ", " items ^ "]")
+  | v -> Kvalue.to_display_string v
+
+(* Structural isomorphism between values in two heaps, used by the
+   soundness tests: addresses are compared up to a consistent bijection.
+   Thunks are forced along the way. *)
+let iso ha va hb vb =
+  let mapping = Hashtbl.create 16 in
+  let rec go va vb =
+    match (Kvalue.force va, Kvalue.force vb) with
+    | Kvalue.V_addr a, Kvalue.V_addr b -> (
+        match Hashtbl.find_opt mapping a with
+        | Some b' -> b = b'
+        | None -> (
+            Hashtbl.replace mapping a b;
+            match (get ha a, get hb b) with
+            | H_record ta, H_record tb ->
+                let fa = sorted_fields ta and fb = sorted_fields tb in
+                List.length fa = List.length fb
+                && List.for_all2
+                     (fun (na, va) (nb, vb) -> String.equal na nb && go va vb)
+                     fa fb
+            | H_array aa, H_array ab ->
+                Array.length aa = Array.length ab
+                && Array.for_all2 (fun x y -> go x y) aa ab
+            | _ -> false))
+    | va, vb -> va = vb
+  in
+  go va vb

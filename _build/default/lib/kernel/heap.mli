@@ -1,0 +1,33 @@
+(** The program heap of the kernel language: mutable records and arrays. *)
+
+type hobj =
+  | H_record of (string, Kvalue.t) Hashtbl.t
+  | H_array of Kvalue.t array
+
+type t
+
+val create : unit -> t
+val alloc : t -> hobj -> int
+val get : t -> int -> hobj
+
+val alloc_record : t -> (string * Kvalue.t) list -> int
+val alloc_array : t -> Kvalue.t list -> int
+
+val get_field : t -> int -> string -> Kvalue.t
+val set_field : t -> int -> string -> Kvalue.t -> unit
+val get_index : t -> int -> int -> Kvalue.t
+val set_index : t -> int -> int -> Kvalue.t -> unit
+val length : t -> int -> int
+
+val deep_force : t -> Kvalue.t -> Kvalue.t
+(** Force every thunk reachable from the value, updating heap cells in
+    place; returns the forced root. *)
+
+val render : t -> Kvalue.t -> string
+(** Deterministic textual rendering (records with sorted fields) used by
+    [Print]; forces whatever it shows. *)
+
+val iso : t -> Kvalue.t -> t -> Kvalue.t -> bool
+(** Structural isomorphism between values living in two heaps: addresses
+    are compared up to a consistent mapping, thunks are forced along the
+    way.  This is the equality of the soundness theorem. *)

@@ -1,0 +1,106 @@
+(** Runtime values of the kernel language.
+
+    [V_thunk] only ever appears under the extended-lazy evaluator; the
+    standard evaluator never constructs one.  Heap objects are referenced by
+    address; structural comparison across two evaluations therefore goes
+    through {!Heap.iso} rather than [=]. *)
+
+type t =
+  | V_num of int
+  | V_str of string
+  | V_bool of bool
+  | V_null
+  | V_addr of int
+  | V_thunk of t Sloth_core.Thunk.t
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+let rec force = function V_thunk t -> force (Sloth_core.Thunk.force t) | v -> v
+
+let of_const = function
+  | Ast.C_num n -> V_num n
+  | Ast.C_str s -> V_str s
+  | Ast.C_bool b -> V_bool b
+  | Ast.C_null -> V_null
+
+let truthy = function
+  | V_bool b -> b
+  | V_num n -> n <> 0
+  | V_null -> false
+  | V_str s -> s <> ""
+  | V_addr _ -> true
+  | V_thunk _ -> error "truthiness of an unforced thunk"
+
+let to_display_string = function
+  | V_num n -> string_of_int n
+  | V_str s -> s
+  | V_bool b -> string_of_bool b
+  | V_null -> "null"
+  | V_addr a -> Printf.sprintf "<addr %d>" a
+  | V_thunk _ -> "<thunk>"
+
+(* Binary operations on *forced* scalar values.  Add doubles as string
+   concatenation (with coercion) — the formalization builds SQL query
+   strings this way. *)
+let binop op a b =
+  let num_op f =
+    match (a, b) with
+    | V_num x, V_num y -> V_num (f x y)
+    | _ ->
+        error "numeric operation on %s and %s" (to_display_string a)
+          (to_display_string b)
+  in
+  match op with
+  | Ast.Add -> (
+      match (a, b) with
+      | V_num x, V_num y -> V_num (x + y)
+      | (V_str _, _ | _, V_str _) ->
+          V_str (to_display_string a ^ to_display_string b)
+      | _ ->
+          error "cannot add %s and %s" (to_display_string a)
+            (to_display_string b))
+  | Ast.Sub -> num_op ( - )
+  | Ast.Mul -> num_op ( * )
+  | Ast.Div ->
+      num_op (fun x y -> if y = 0 then error "division by zero" else x / y)
+  | Ast.Mod ->
+      num_op (fun x y -> if y = 0 then error "modulo by zero" else x mod y)
+  | Ast.And -> V_bool (truthy a && truthy b)
+  | Ast.Or -> V_bool (truthy a || truthy b)
+  | Ast.Eq -> (
+      match (a, b) with
+      | V_num x, V_num y -> V_bool (x = y)
+      | V_str x, V_str y -> V_bool (String.equal x y)
+      | V_bool x, V_bool y -> V_bool (x = y)
+      | V_null, V_null -> V_bool true
+      | V_addr x, V_addr y -> V_bool (x = y)
+      | _ -> V_bool false)
+  | Ast.Lt -> (
+      match (a, b) with
+      | V_num x, V_num y -> V_bool (x < y)
+      | V_str x, V_str y -> V_bool (String.compare x y < 0)
+      | _ ->
+          error "cannot compare %s and %s" (to_display_string a)
+            (to_display_string b))
+  | Ast.Gt -> (
+      match (a, b) with
+      | V_num x, V_num y -> V_bool (x > y)
+      | V_str x, V_str y -> V_bool (String.compare x y > 0)
+      | _ ->
+          error "cannot compare %s and %s" (to_display_string a)
+            (to_display_string b))
+
+let unop op v =
+  match (op, v) with
+  | Ast.Not, v -> V_bool (not (truthy v))
+  | Ast.Neg, V_num n -> V_num (-n)
+  | Ast.Neg, _ -> error "cannot negate %s" (to_display_string v)
+
+let of_sql_value = function
+  | Sloth_storage.Value.Null -> V_null
+  | Sloth_storage.Value.Int n -> V_num n
+  | Sloth_storage.Value.Float f -> V_num (int_of_float f)
+  | Sloth_storage.Value.Text s -> V_str s
+  | Sloth_storage.Value.Bool b -> V_bool b

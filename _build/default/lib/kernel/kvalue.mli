@@ -1,0 +1,36 @@
+(** Runtime values of the kernel language.
+
+    [V_thunk] only ever appears under the extended-lazy evaluator; the
+    standard evaluator never constructs one.  Heap objects are referenced
+    by address, so structural comparison across two evaluations goes
+    through {!Heap.iso} rather than [=]. *)
+
+type t =
+  | V_num of int
+  | V_str of string
+  | V_bool of bool
+  | V_null
+  | V_addr of int
+  | V_thunk of t Sloth_core.Thunk.t
+
+exception Runtime_error of string
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Runtime_error} with a formatted message. *)
+
+val force : t -> t
+(** Force through nested thunks to a non-thunk value. *)
+
+val of_const : Ast.const -> t
+val of_sql_value : Sloth_storage.Value.t -> t
+
+val truthy : t -> bool
+(** Raises on an unforced thunk — callers force first. *)
+
+val to_display_string : t -> string
+
+val binop : Ast.binop -> t -> t -> t
+(** On forced scalars; [Add] doubles as string concatenation with coercion
+    (the formalization builds SQL strings this way). *)
+
+val unop : Ast.unop -> t -> t

@@ -1,0 +1,491 @@
+open Ast
+module Thunk = Sloth_core.Thunk
+module Store = Sloth_core.Query_store
+
+type opts = { sc : bool; tc : bool; bd : bool }
+
+let no_opts = { sc = false; tc = false; bd = false }
+let all_opts = { sc = true; tc = true; bd = true }
+
+type result = {
+  env : (string, Kvalue.t) Hashtbl.t;
+  heap : Heap.t;
+  output : string list;
+}
+
+exception Fuel_exhausted
+exception Break_exn
+
+type ctx = {
+  program : program;
+  store : Store.t;
+  heap : Heap.t;
+  analysis : Analysis.t;
+  opts : opts;
+  mutable output : string list;  (* reversed *)
+  mutable fuel : int;
+}
+
+(* Every interpretation step costs a sliver of application CPU, so lazy
+   evaluation's extra work (thunk bodies re-walked at force time) shows up
+   in the App category alongside the per-thunk charges. *)
+let tick_cost_ms = ref 0.003
+
+let tick ctx =
+  ctx.fuel <- ctx.fuel - 1;
+  if ctx.fuel <= 0 then raise Fuel_exhausted;
+  Sloth_core.Runtime.charge_app !tick_cost_ms
+
+let lookup env x =
+  match Hashtbl.find_opt env x with
+  | Some v -> v
+  | None -> Kvalue.error "unbound variable %s" x
+
+let as_addr what v =
+  match Kvalue.force v with
+  | Kvalue.V_addr a -> a
+  | v ->
+      Kvalue.error "%s expects a heap object, got %s" what
+        (Kvalue.to_display_string v)
+
+let as_num what v =
+  match Kvalue.force v with
+  | Kvalue.V_num n -> n
+  | v ->
+      Kvalue.error "%s expects a number, got %s" what
+        (Kvalue.to_display_string v)
+
+let as_str what v =
+  match Kvalue.force v with
+  | Kvalue.V_str s -> s
+  | v ->
+      Kvalue.error "%s expects a string, got %s" what
+        (Kvalue.to_display_string v)
+
+let deserialize ctx rs =
+  let columns = Sloth_storage.Result_set.columns rs in
+  let rows =
+    List.map
+      (fun row ->
+        let fields =
+          List.mapi (fun i c -> (c, Kvalue.of_sql_value row.(i))) columns
+        in
+        Kvalue.V_addr (Heap.alloc_record ctx.heap fields))
+      (Sloth_storage.Result_set.rows rs)
+  in
+  Kvalue.V_addr (Heap.alloc_array ctx.heap rows)
+
+(* Register a read query and return the memoizing thunk over its result —
+   the [Read query] evaluation rule: registration is eager, consumption is
+   deferred. *)
+let register_read ctx sql =
+  let id = Store.register_sql ctx.store sql in
+  Thunk.create (fun () -> deserialize ctx (Store.result ctx.store id))
+
+let fn_strict ctx fname =
+  (* Should a call to [fname] run strictly (no thunks in its body)?
+     External functions always do; with SC, so do non-persistent ones. *)
+  match find_func ctx.program fname with
+  | None -> Kvalue.error "unknown function %s" fname
+  | Some f ->
+      f.external_fn || (ctx.opts.sc && not (Analysis.persistent ctx.analysis fname))
+
+let fn_deferrable ctx fname =
+  (* May a call be deferred into a thunk?  Internal pure functions only. *)
+  match find_func ctx.program fname with
+  | None -> false
+  | Some f -> (not f.external_fn) && Analysis.pure ctx.analysis fname
+
+(* ====================================================================== *)
+(* Strict evaluation: used inside forced thunk bodies, for external /
+   SC-compiled functions, and for deferred blocks once they fire.  Thunks
+   encountered in the environment or heap are forced at use. *)
+(* ====================================================================== *)
+
+let rec eval_strict ctx env expr =
+  tick ctx;
+  match expr with
+  | Const c -> Kvalue.of_const c
+  | Var x -> Kvalue.force (lookup env x)
+  | Field (e, f) ->
+      Kvalue.force (Heap.get_field ctx.heap (as_addr "field access" (eval_strict ctx env e)) f)
+  | Record fields ->
+      let vs = List.map (fun (f, e) -> (f, eval_strict ctx env e)) fields in
+      Kvalue.V_addr (Heap.alloc_record ctx.heap vs)
+  | Array_lit es ->
+      let vs = List.map (eval_strict ctx env) es in
+      Kvalue.V_addr (Heap.alloc_array ctx.heap vs)
+  | Index (ea, ei) ->
+      let a = as_addr "indexing" (eval_strict ctx env ea) in
+      let i = as_num "index" (eval_strict ctx env ei) in
+      Kvalue.force (Heap.get_index ctx.heap a i)
+  | Length e ->
+      Kvalue.V_num (Heap.length ctx.heap (as_addr "length" (eval_strict ctx env e)))
+  | Binop (op, a, b) ->
+      let va = eval_strict ctx env a in
+      let vb = eval_strict ctx env b in
+      Kvalue.binop op va vb
+  | Unop (op, e) -> Kvalue.unop op (eval_strict ctx env e)
+  | Call (f, args) ->
+      let vs = List.map (eval_strict ctx env) args in
+      call_strict ctx f vs
+  | Read e ->
+      (* Strict code consumes the result immediately: register and force,
+         which flushes the pending batch — semantically one round trip
+         carrying whatever was pending plus this query. *)
+      let sql = as_str "R()" (eval_strict ctx env e) in
+      Kvalue.force (Kvalue.V_thunk (register_read ctx sql))
+
+and call_strict ctx fname args =
+  match find_func ctx.program fname with
+  | None -> Kvalue.error "unknown function %s" fname
+  | Some f ->
+      if List.length f.params <> List.length args then
+        Kvalue.error "%s expects %d arguments, got %d" fname
+          (List.length f.params) (List.length args);
+      let env = Hashtbl.create 16 in
+      List.iter2 (fun p v -> Hashtbl.replace env p v) f.params args;
+      (try exec_strict ctx env f.body
+       with Break_exn -> Kvalue.error "break outside of a loop in %s" fname);
+      Kvalue.force
+        (Option.value ~default:Kvalue.V_null (Hashtbl.find_opt env return_var))
+
+and exec_strict ctx env stmt =
+  tick ctx;
+  match stmt.s with
+  | Skip -> ()
+  | Seq (a, b) ->
+      exec_strict ctx env a;
+      exec_strict ctx env b
+  | Assign (L_var x, e) -> Hashtbl.replace env x (eval_strict ctx env e)
+  | Assign (L_field (target, f), e) ->
+      let addr = as_addr "field write" (eval_strict ctx env target) in
+      Heap.set_field ctx.heap addr f (eval_strict ctx env e)
+  | Assign (L_index (target, idx), e) ->
+      let addr = as_addr "index write" (eval_strict ctx env target) in
+      let i = as_num "index write" (eval_strict ctx env idx) in
+      Heap.set_index ctx.heap addr i (eval_strict ctx env e)
+  | If (c, a, b) ->
+      if Kvalue.truthy (eval_strict ctx env c) then exec_strict ctx env a
+      else exec_strict ctx env b
+  | While body -> (
+      try
+        while true do
+          exec_strict ctx env body
+        done
+      with Break_exn -> ())
+  | Break -> raise Break_exn
+  | Write e ->
+      let sql = as_str "W()" (eval_strict ctx env e) in
+      ignore (Store.register_sql ctx.store sql)
+  | Print e ->
+      let v = eval_strict ctx env e in
+      ctx.output <- Heap.render ctx.heap v :: ctx.output
+  | Expr_stmt e -> ignore (eval_strict ctx env e)
+
+(* ====================================================================== *)
+(* Lazy expression compilation.
+
+   Evaluating an expression under extended lazy semantics walks the tree
+   once, *now*, performing the parts that may not be deferred (query
+   registration, impure / external / strict calls, object allocation) and
+   suspending the rest.
+
+   Two code generators share that walk:
+   - [eval_nodes] (basic compilation, Sec. 3.2): every operation node
+     allocates its own thunk — mirroring the per-temporary thunks that code
+     simplification introduces;
+   - [eval_coalesced] (thunk coalescing, Sec. 4.3): the eager parts run
+     now, and a single thunk wraps the residual computation. *)
+(* ====================================================================== *)
+
+let rec eval_nodes ctx env expr : Kvalue.t =
+  tick ctx;
+  match expr with
+  | Const c -> Kvalue.of_const c
+  | Var x -> lookup env x
+  | Field (e, f) ->
+      (* Heap reads are performed when encountered (Sec. 3.6): the target is
+         forced and the cell is read now; the cell's *content* may be a
+         thunk and stays one. *)
+      let addr = as_addr "field access" (eval_nodes ctx env e) in
+      Heap.get_field ctx.heap addr f
+  | Record fields ->
+      (* Object allocation is eager; field values stay lazy. *)
+      let vs = List.map (fun (f, e) -> (f, eval_nodes ctx env e)) fields in
+      Kvalue.V_addr (Heap.alloc_record ctx.heap vs)
+  | Array_lit es ->
+      let vs = List.map (eval_nodes ctx env) es in
+      Kvalue.V_addr (Heap.alloc_array ctx.heap vs)
+  | Index (ea, ei) ->
+      let a = as_addr "indexing" (eval_nodes ctx env ea) in
+      let i = as_num "index" (eval_nodes ctx env ei) in
+      Heap.get_index ctx.heap a i
+  | Length e ->
+      let a = as_addr "length" (eval_nodes ctx env e) in
+      Kvalue.V_num (Heap.length ctx.heap a)
+  | Binop (op, a, b) ->
+      let va = eval_nodes ctx env a in
+      let vb = eval_nodes ctx env b in
+      Kvalue.V_thunk
+        (Thunk.create (fun () ->
+             Kvalue.binop op (Kvalue.force va) (Kvalue.force vb)))
+  | Unop (op, e) ->
+      let v = eval_nodes ctx env e in
+      Kvalue.V_thunk (Thunk.create (fun () -> Kvalue.unop op (Kvalue.force v)))
+  | Call (f, args) -> eval_call ctx env ~subeval:eval_nodes f args
+  | Read e ->
+      let sql = as_str "R()" (Kvalue.force (eval_nodes ctx env e)) in
+      Kvalue.V_thunk (register_read ctx sql)
+
+(* Calls share semantics between the two generators; [subeval] evaluates
+   the argument expressions in the surrounding style. *)
+and eval_call ctx env ~subeval f args =
+  if fn_strict ctx f then
+    (* External or SC-compiled: arguments forced, body strict. *)
+    let vs = List.map (fun a -> Kvalue.force (subeval ctx env a)) args in
+    call_strict ctx f vs
+  else if fn_deferrable ctx f then begin
+    (* Internal pure: defer the whole call. *)
+    let vs = List.map (subeval ctx env) args in
+    Kvalue.V_thunk (Thunk.create (fun () -> Kvalue.force (call_lazy ctx f vs)))
+  end
+  else
+    (* Internal with side effects: run the body now (lazily); arguments
+       stay thunks. *)
+    let vs = List.map (subeval ctx env) args in
+    call_lazy ctx f vs
+
+and call_lazy ctx fname args =
+  match find_func ctx.program fname with
+  | None -> Kvalue.error "unknown function %s" fname
+  | Some f ->
+      if List.length f.params <> List.length args then
+        Kvalue.error "%s expects %d arguments, got %d" fname
+          (List.length f.params) (List.length args);
+      let env = Hashtbl.create 16 in
+      List.iter2 (fun p v -> Hashtbl.replace env p v) f.params args;
+      (try exec_lazy ctx env f.body
+       with Break_exn -> Kvalue.error "break outside of a loop in %s" fname);
+      Option.value ~default:Kvalue.V_null (Hashtbl.find_opt env return_var)
+
+(* Coalesced generation: returns a closure for the residual computation;
+   eager parts (registration, strict/impure calls, allocation) already ran
+   when the closure is returned. *)
+and comp ctx env expr : unit -> Kvalue.t =
+  tick ctx;
+  match expr with
+  | Const c ->
+      let v = Kvalue.of_const c in
+      fun () -> v
+  | Var x ->
+      let v = lookup env x in
+      fun () -> v
+  | Field (e, f) ->
+      (* Heap reads happen now (see [eval_nodes]); the content may stay a
+         thunk. *)
+      let v = Heap.get_field ctx.heap (as_addr "field access" ((comp ctx env e) ())) f in
+      fun () -> v
+  | Record fields ->
+      let vs =
+        List.map
+          (fun (f, e) ->
+            (* Field values become individual thunks so they can live in the
+               heap; allocation itself is eager. *)
+            (f, eval_coalesced ctx env e))
+          fields
+      in
+      let v = Kvalue.V_addr (Heap.alloc_record ctx.heap vs) in
+      fun () -> v
+  | Array_lit es ->
+      let vs = List.map (eval_coalesced ctx env) es in
+      let v = Kvalue.V_addr (Heap.alloc_array ctx.heap vs) in
+      fun () -> v
+  | Index (ea, ei) ->
+      let a = as_addr "indexing" ((comp ctx env ea) ()) in
+      let i = as_num "index" ((comp ctx env ei) ()) in
+      let v = Heap.get_index ctx.heap a i in
+      fun () -> v
+  | Length e ->
+      let v = Kvalue.V_num (Heap.length ctx.heap (as_addr "length" ((comp ctx env e) ()))) in
+      fun () -> v
+  | Binop (op, a, b) ->
+      let ca = comp ctx env a in
+      let cb = comp ctx env b in
+      fun () -> Kvalue.binop op (Kvalue.force (ca ())) (Kvalue.force (cb ()))
+  | Unop (op, e) ->
+      let c = comp ctx env e in
+      fun () -> Kvalue.unop op (Kvalue.force (c ()))
+  | Call (f, args) ->
+      let v = eval_call ctx env ~subeval:eval_coalesced f args in
+      fun () -> v
+  | Read e ->
+      let sql = as_str "R()" ((comp ctx env e) ()) in
+      let t = register_read ctx sql in
+      fun () -> Kvalue.V_thunk t
+
+(* One thunk for the whole expression (or none for trivial ones). *)
+and eval_coalesced ctx env expr : Kvalue.t =
+  match expr with
+  | Const c -> Kvalue.of_const c
+  | Var x -> lookup env x
+  | _ ->
+      let cl = comp ctx env expr in
+      Kvalue.V_thunk (Thunk.create (fun () -> Kvalue.force (cl ())))
+
+and eval_lazy ctx env expr =
+  if ctx.opts.tc then eval_coalesced ctx env expr else eval_nodes ctx env expr
+
+(* Strict evaluation of an expression in lazy code, for positions the
+   semantics cannot defer (branch conditions, query strings, heap-write
+   targets): evaluate with the lazy generator, then force. *)
+and eval_forced ctx env expr = Kvalue.force (eval_lazy ctx env expr)
+
+(* ====================================================================== *)
+(* Lazy statement execution *)
+(* ====================================================================== *)
+
+(* Defer a whole statement (branch deferral / deferred loop): snapshot the
+   environment, allocate one block thunk that runs the statement strictly
+   over the snapshot when forced, and rebind every variable the statement
+   assigns to a projection thunk. *)
+and defer_block ctx env stmt =
+  let snapshot = Hashtbl.copy env in
+  let block =
+    Thunk.create (fun () ->
+        (try exec_strict ctx snapshot stmt
+         with Break_exn ->
+           Kvalue.error "break escaped a deferred block");
+        Kvalue.V_null)
+  in
+  (* Only variables that can still be observed need projection thunks: ones
+     already bound (the block may rebind them) or read somewhere in the
+     enclosing body.  A variable that is neither — e.g. one thunk
+     coalescing already dropped as dead — gets no projection; projecting it
+     would fail when the not-taken branch leaves it undefined in the
+     snapshot. *)
+  List.iter
+    (fun x ->
+      if
+        Hashtbl.mem env x
+        || Analysis.used_in_enclosing_body ctx.analysis stmt.sid x
+      then
+        Hashtbl.replace env x
+          (Kvalue.V_thunk
+             (Thunk.create (fun () ->
+                  ignore (Thunk.force block);
+                  Kvalue.force (lookup snapshot x))))
+      else Hashtbl.remove env x)
+    (Analysis.stmt_var_defs stmt)
+
+and exec_group ctx env (group : Analysis.group) stmts =
+  (* Coalesced thunk block (Sec. 4.3): one thunk for the run of statements,
+     plus one projection thunk per output variable. *)
+  let snapshot = Hashtbl.copy env in
+  let block =
+    Thunk.create (fun () ->
+        List.iter (fun s -> exec_strict ctx snapshot s) stmts;
+        Kvalue.V_null)
+  in
+  (* Output variables escape through projection thunks. *)
+  List.iter
+    (fun x ->
+      Hashtbl.replace env x
+        (Kvalue.V_thunk
+           (Thunk.create (fun () ->
+                ignore (Thunk.force block);
+                Kvalue.force (lookup snapshot x)))))
+    group.outputs;
+  (* Non-output definitions are dead after the group (that is what the
+     liveness-style analysis established): no thunk is allocated for them —
+     the paper's optimization — and their stale bindings are dropped so a
+     wrong analysis fails loudly instead of yielding stale values. *)
+  List.iter
+    (fun x ->
+      if not (List.mem x group.outputs) then Hashtbl.remove env x)
+    (Analysis.stmts_var_defs stmts)
+
+and exec_lazy ctx env stmt =
+  tick ctx;
+  match stmt.s with
+  | Skip -> ()
+  | Seq _ ->
+      let chain = flatten stmt in
+      exec_chain ctx env chain
+  | Assign (L_var x, e) -> Hashtbl.replace env x (eval_lazy ctx env e)
+  | Assign (L_field (target, f), e) ->
+      (* The write target is forced; the written value stays lazy. *)
+      let addr = as_addr "field write" (eval_forced ctx env target) in
+      Heap.set_field ctx.heap addr f (eval_lazy ctx env e)
+  | Assign (L_index (target, idx), e) ->
+      let addr = as_addr "index write" (eval_forced ctx env target) in
+      let i = as_num "index write" (eval_forced ctx env idx) in
+      Heap.set_index ctx.heap addr i (eval_lazy ctx env e)
+  | If (c, a, b) ->
+      if ctx.opts.bd && Analysis.deferrable ctx.analysis stmt then
+        defer_block ctx env stmt
+      else if Kvalue.truthy (eval_forced ctx env c) then exec_lazy ctx env a
+      else exec_lazy ctx env b
+  | While _ when ctx.opts.bd && Analysis.deferrable ctx.analysis stmt ->
+      defer_block ctx env stmt
+  | While body -> (
+      try
+        while true do
+          exec_lazy ctx env body
+        done
+      with Break_exn -> ())
+  | Break -> raise Break_exn
+  | Write e ->
+      let sql = as_str "W()" (eval_forced ctx env e) in
+      ignore (Store.register_sql ctx.store sql)
+  | Print e ->
+      let v = eval_lazy ctx env e in
+      ctx.output <- Heap.render ctx.heap v :: ctx.output
+  | Expr_stmt e ->
+      (* Eager parts (calls, registration) run during evaluation; the pure
+         residual is discarded unexecuted. *)
+      ignore (eval_lazy ctx env e)
+
+and exec_chain ctx env chain =
+  match chain with
+  | [] -> ()
+  | stmt :: rest -> (
+      match
+        if ctx.opts.tc then Analysis.group_of_leader ctx.analysis stmt.sid
+        else None
+      with
+      | Some group ->
+          let n = List.length group.members in
+          let members, rest' =
+            let rec split i acc = function
+              | s :: tl when i < n -> split (i + 1) (s :: acc) tl
+              | tl -> (List.rev acc, tl)
+            in
+            split 0 [] (stmt :: rest)
+          in
+          exec_group ctx env group members;
+          exec_chain ctx env rest'
+      | None ->
+          exec_lazy ctx env stmt;
+          exec_chain ctx env rest)
+
+let run ?(fuel = 1_000_000) ?(opts = all_opts) program store =
+  let analysis = Analysis.analyze program in
+  let ctx =
+    {
+      program;
+      store;
+      heap = Heap.create ();
+      analysis;
+      opts;
+      output = [];
+      fuel;
+    }
+  in
+  let env = Hashtbl.create 32 in
+  (try
+     if opts.sc && not (Analysis.main_persistent analysis) then
+       exec_strict ctx env program.main
+     else exec_lazy ctx env program.main
+   with Break_exn -> Kvalue.error "break outside of a loop in main");
+  { env; heap = ctx.heap; output = List.rev ctx.output }

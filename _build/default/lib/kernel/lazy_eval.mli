@@ -1,0 +1,42 @@
+(** The extended-lazy evaluator (paper Sec. 3.8 and appendix), with the
+    three compiler optimizations of Sec. 4 as switches.
+
+    Statement evaluation defers computation into thunks; queries register
+    eagerly with the query store and are fetched in batches when any
+    dependent thunk is forced.  Following the formal rules:
+
+    - branch conditions are forced when an [If] is met — unless branch
+      deferral ([bd]) applies and the whole branch statement is deferrable;
+    - heap-write targets are forced, the written value stays a thunk;
+    - [W(e)] is never deferred and flushes pending reads in the same round
+      trip;
+    - [Print] (output) forces everything it renders;
+    - calls to internal pure functions are deferred; calls to impure
+      internal functions run now with thunk arguments; calls to external
+      functions force their arguments and run strictly;
+    - with selective compilation ([sc]), calls to non-persistent functions
+      run strictly (no thunks inside);
+    - with thunk coalescing ([tc]), one thunk per statement / coalescing
+      group is allocated instead of one per operation node. *)
+
+type opts = { sc : bool; tc : bool; bd : bool }
+
+val no_opts : opts
+val all_opts : opts
+
+type result = {
+  env : (string, Kvalue.t) Hashtbl.t;
+  heap : Heap.t;
+  output : string list;
+}
+
+exception Fuel_exhausted
+
+val run :
+  ?fuel:int ->
+  ?opts:opts ->
+  Ast.program ->
+  Sloth_core.Query_store.t ->
+  result
+(** Unforced thunks may remain in [env]/[heap]; callers interested in final
+    state should [Heap.deep_force] them (the soundness tests do). *)

@@ -1,0 +1,361 @@
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* --- lexer --------------------------------------------------------------- *)
+
+type token =
+  | NUM of int
+  | STR of string
+  | ID of string  (* identifiers, including '@' *)
+  | PUNCT of string  (* operators and delimiters *)
+  | TEOF
+
+let keywords = [ "function"; "external"; "main"; "if"; "else"; "while";
+                 "break"; "skip"; "print"; "true"; "false"; "null"; "len" ]
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '@'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\n' || c = '\t' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      toks := NUM (int_of_string (String.sub src start (!i - start))) :: !toks
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      incr i;
+      while !i < n && is_id_char src.[!i] do incr i done;
+      toks := ID (String.sub src start (!i - start)) :: !toks
+    end
+    else if c = '"' then begin
+      (* OCaml-style escaped string, as Pretty prints with %S. *)
+      let buf = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf src.[!i];
+          Buffer.add_char buf src.[!i + 1];
+          i := !i + 2
+        end
+        else if src.[!i] = '"' then begin
+          closed := true;
+          incr i
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then error "unterminated string literal";
+      let s =
+        try Scanf.unescaped (Buffer.contents buf)
+        with Scanf.Scan_failure _ -> error "bad escape in string literal"
+      in
+      toks := STR s :: !toks
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "&&" | "||" | "==" ->
+          toks := PUNCT two :: !toks;
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '{' | '}' | '(' | ')' | '[' | ']' | ',' | ';' | '.' | '=' | '<'
+          | '>' | '+' | '-' | '*' | '/' | '%' | '!' ->
+              toks := PUNCT (String.make 1 c) :: !toks
+          | _ -> error "unexpected character %C" c)
+    end
+  done;
+  List.rev (TEOF :: !toks)
+
+(* --- parser state -------------------------------------------------------- *)
+
+type state = { mutable toks : token list; b : Builder.t }
+
+let peek st = match st.toks with [] -> TEOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let pp_token ppf = function
+  | NUM n -> Format.fprintf ppf "%d" n
+  | STR s -> Format.fprintf ppf "%S" s
+  | ID s -> Format.pp_print_string ppf s
+  | PUNCT s -> Format.pp_print_string ppf s
+  | TEOF -> Format.pp_print_string ppf "<eof>"
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then error "expected %a, found %a" pp_token tok pp_token t
+
+let expect_punct st s = expect st (PUNCT s)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match next st with
+  | ID s when not (List.mem s keywords) -> s
+  | t -> error "expected identifier, found %a" pp_token t
+
+(* --- expressions ---------------------------------------------------------- *)
+
+open Ast
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = ref (and_expr st) in
+  while accept st (PUNCT "||") do
+    lhs := Binop (Or, !lhs, and_expr st)
+  done;
+  !lhs
+
+and and_expr st =
+  let lhs = ref (not_expr st) in
+  while accept st (PUNCT "&&") do
+    lhs := Binop (And, !lhs, not_expr st)
+  done;
+  !lhs
+
+and not_expr st =
+  if accept st (PUNCT "!") then Unop (Not, not_expr st) else cmp_expr st
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  match peek st with
+  | PUNCT "==" ->
+      advance st;
+      Binop (Eq, lhs, add_expr st)
+  | PUNCT "<" ->
+      advance st;
+      Binop (Lt, lhs, add_expr st)
+  | PUNCT ">" ->
+      advance st;
+      Binop (Gt, lhs, add_expr st)
+  | _ -> lhs
+
+and add_expr st =
+  let lhs = ref (mul_expr st) in
+  let continue = ref true in
+  while !continue do
+    if accept st (PUNCT "+") then lhs := Binop (Add, !lhs, mul_expr st)
+    else if accept st (PUNCT "-") then lhs := Binop (Sub, !lhs, mul_expr st)
+    else continue := false
+  done;
+  !lhs
+
+and mul_expr st =
+  let lhs = ref (unary_expr st) in
+  let continue = ref true in
+  while !continue do
+    if accept st (PUNCT "*") then lhs := Binop (Mul, !lhs, unary_expr st)
+    else if accept st (PUNCT "/") then lhs := Binop (Div, !lhs, unary_expr st)
+    else if accept st (PUNCT "%") then lhs := Binop (Mod, !lhs, unary_expr st)
+    else continue := false
+  done;
+  !lhs
+
+and unary_expr st =
+  if accept st (PUNCT "-") then Unop (Neg, unary_expr st)
+  else postfix_expr st
+
+and postfix_expr st =
+  let e = ref (primary_expr st) in
+  let continue = ref true in
+  while !continue do
+    if accept st (PUNCT ".") then e := Field (!e, ident st)
+    else if accept st (PUNCT "[") then begin
+      let idx = expr st in
+      expect_punct st "]";
+      e := Index (!e, idx)
+    end
+    else continue := false
+  done;
+  !e
+
+and primary_expr st =
+  match next st with
+  | NUM n -> Const (C_num n)
+  | STR s -> Const (C_str s)
+  | ID "true" -> Const (C_bool true)
+  | ID "false" -> Const (C_bool false)
+  | ID "null" -> Const C_null
+  | ID "len" ->
+      expect_punct st "(";
+      let e = expr st in
+      expect_punct st ")";
+      Length e
+  | ID "R" ->
+      expect_punct st "(";
+      let e = expr st in
+      expect_punct st ")";
+      Read e
+  | ID name when not (List.mem name keywords) ->
+      if peek st = PUNCT "(" then begin
+        advance st;
+        let args = ref [] in
+        if peek st <> PUNCT ")" then begin
+          args := [ expr st ];
+          while accept st (PUNCT ",") do
+            args := expr st :: !args
+          done
+        end;
+        expect_punct st ")";
+        Call (name, List.rev !args)
+      end
+      else Var name
+  | PUNCT "(" ->
+      let e = expr st in
+      expect_punct st ")";
+      e
+  | PUNCT "{" ->
+      (* record literal: {f = e, ...} *)
+      let field () =
+        let f = ident st in
+        expect_punct st "=";
+        (f, expr st)
+      in
+      let fields = ref [ field () ] in
+      while accept st (PUNCT ",") do
+        fields := field () :: !fields
+      done;
+      expect_punct st "}";
+      Record (List.rev !fields)
+  | PUNCT "[" ->
+      let items = ref [] in
+      if peek st <> PUNCT "]" then begin
+        items := [ expr st ];
+        while accept st (PUNCT ",") do
+          items := expr st :: !items
+        done
+      end;
+      expect_punct st "]";
+      Array_lit (List.rev !items)
+  | t -> error "unexpected token %a in expression" pp_token t
+
+(* --- statements ----------------------------------------------------------- *)
+
+let rec stmt st =
+  match peek st with
+  | ID "skip" ->
+      advance st;
+      expect_punct st ";";
+      Builder.skip st.b
+  | ID "break" ->
+      advance st;
+      expect_punct st ";";
+      Builder.break st.b
+  | ID "print" ->
+      advance st;
+      expect_punct st "(";
+      let e = expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      Builder.print st.b e
+  | ID "W" ->
+      advance st;
+      expect_punct st "(";
+      let e = expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      Builder.write st.b e
+  | ID "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = expr st in
+      expect_punct st ")";
+      let then_ = block st in
+      expect st (ID "else");
+      let else_ = block st in
+      Builder.if_ st.b c then_ else_
+  | ID "while" ->
+      advance st;
+      expect_punct st "(";
+      expect st (ID "true");
+      expect_punct st ")";
+      Builder.while_ st.b (block st)
+  | _ ->
+      (* assignment or expression statement: parse an expression; if '='
+         follows, the expression must be an lvalue. *)
+      let e = expr st in
+      if accept st (PUNCT "=") then begin
+        let rhs = expr st in
+        expect_punct st ";";
+        match e with
+        | Var x -> Builder.assign st.b x rhs
+        | Field (target, f) -> Builder.set_field st.b target f rhs
+        | Index (target, i) -> Builder.set_index st.b target i rhs
+        | _ -> error "left-hand side of assignment is not an lvalue"
+      end
+      else begin
+        expect_punct st ";";
+        Builder.expr_stmt st.b e
+      end
+
+and block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while peek st <> PUNCT "}" do
+    stmts := stmt st :: !stmts
+  done;
+  expect_punct st "}";
+  Builder.seq st.b (List.rev !stmts)
+
+let func st =
+  let external_fn = accept st (ID "external") in
+  expect st (ID "function");
+  let fname = ident st in
+  expect_punct st "(";
+  let params = ref [] in
+  if peek st <> PUNCT ")" then begin
+    params := [ ident st ];
+    while accept st (PUNCT ",") do
+      params := ident st :: !params
+    done
+  end;
+  expect_punct st ")";
+  let body = block st in
+  Builder.func ~external_fn fname (List.rev !params) body
+
+let parse src =
+  let st = { toks = tokenize src; b = Builder.create () } in
+  let funcs = ref [] in
+  while peek st = ID "function" || peek st = ID "external" do
+    funcs := func st :: !funcs
+  done;
+  expect st (ID "main");
+  let main = block st in
+  (match peek st with
+  | TEOF -> ()
+  | t -> error "trailing input after main block: %a" pp_token t);
+  Builder.program (List.rev !funcs) main
+
+let parse_expr src =
+  let st = { toks = tokenize src; b = Builder.create () } in
+  let e = expr st in
+  (match peek st with
+  | TEOF -> ()
+  | t -> error "trailing input after expression: %a" pp_token t);
+  e

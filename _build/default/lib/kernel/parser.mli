@@ -1,0 +1,21 @@
+(** Parser for the kernel language's concrete syntax — the same syntax
+    {!Pretty} prints, so [parse (Pretty.program_to_string p)] rebuilds [p]
+    (up to statement ids; checked by a qcheck property).
+
+    Grammar sketch:
+    {v
+    program  := func* main-block
+    func     := ["external"] "function" name "(" params ")" "{" stmt* "}"
+    main     := "main" "{" stmt* "}"
+    stmt     := lvalue "=" expr ";" | "if" "(" expr ")" block "else" block
+              | "while" "(" "true" ")" block | "break" ";" | "skip" ";"
+              | "W" "(" expr ")" ";" | "print" "(" expr ")" ";" | expr ";"
+    expr     := ||, &&, !, == < >, + -, * / %, unary -, postfix .f [e],
+                literals, ident, f(args), R(e), len(e),
+                {f = e, ...}, [e, ...], (e)
+    v} *)
+
+exception Error of string
+
+val parse : string -> Ast.program
+val parse_expr : string -> Ast.expr

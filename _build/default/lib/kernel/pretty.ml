@@ -1,0 +1,86 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | And -> "&&"
+  | Or -> "||"
+  | Eq -> "=="
+  | Lt -> "<"
+  | Gt -> ">"
+
+let const_str = function
+  | C_num n -> string_of_int n
+  | C_str s -> Printf.sprintf "%S" s
+  | C_bool b -> string_of_bool b
+  | C_null -> "null"
+
+let rec expr_to_string = function
+  | Const c -> const_str c
+  | Var x -> x
+  | Field (e, f) -> Printf.sprintf "%s.%s" (expr_to_string e) f
+  | Record fields ->
+      let fs =
+        List.map (fun (f, e) -> f ^ " = " ^ expr_to_string e) fields
+      in
+      "{" ^ String.concat ", " fs ^ "}"
+  | Index (a, i) ->
+      Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+  | Array_lit es ->
+      "[" ^ String.concat ", " (List.map expr_to_string es) ^ "]"
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op)
+        (expr_to_string b)
+  | Unop (Not, e) -> Printf.sprintf "(!%s)" (expr_to_string e)
+  | Unop (Neg, e) -> Printf.sprintf "(-%s)" (expr_to_string e)
+  | Call (f, args) ->
+      Printf.sprintf "%s(%s)" f
+        (String.concat ", " (List.map expr_to_string args))
+  | Read e -> Printf.sprintf "R(%s)" (expr_to_string e)
+  | Length e -> Printf.sprintf "len(%s)" (expr_to_string e)
+
+let lvalue_to_string = function
+  | L_var x -> x
+  | L_field (e, f) -> Printf.sprintf "%s.%s" (expr_to_string e) f
+  | L_index (a, i) ->
+      Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+
+let rec stmt_to_string ?(indent = 0) stmt =
+  let pad = String.make indent ' ' in
+  match stmt.s with
+  | Skip -> pad ^ "skip;"
+  | Assign (lv, e) ->
+      Printf.sprintf "%s%s = %s;" pad (lvalue_to_string lv) (expr_to_string e)
+  | If (c, a, b) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad
+        (expr_to_string c)
+        (stmt_to_string ~indent:(indent + 2) a)
+        pad
+        (stmt_to_string ~indent:(indent + 2) b)
+        pad
+  | While body ->
+      Printf.sprintf "%swhile (true) {\n%s\n%s}" pad
+        (stmt_to_string ~indent:(indent + 2) body)
+        pad
+  | Break -> pad ^ "break;"
+  | Write e -> Printf.sprintf "%sW(%s);" pad (expr_to_string e)
+  | Print e -> Printf.sprintf "%sprint(%s);" pad (expr_to_string e)
+  | Seq (a, b) ->
+      stmt_to_string ~indent a ^ "\n" ^ stmt_to_string ~indent b
+  | Expr_stmt e -> Printf.sprintf "%s%s;" pad (expr_to_string e)
+
+let program_to_string p =
+  let funcs =
+    List.map
+      (fun f ->
+        Printf.sprintf "%sfunction %s(%s) {\n%s\n}"
+          (if f.external_fn then "external " else "")
+          f.fname
+          (String.concat ", " f.params)
+          (stmt_to_string ~indent:2 f.body))
+      p.funcs
+  in
+  String.concat "\n\n" (funcs @ [ "main {\n" ^ stmt_to_string ~indent:2 p.main ^ "\n}" ])

@@ -1,0 +1,6 @@
+(** Source rendering of kernel-language programs, for debugging output and
+    qcheck counterexample printing. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,151 @@
+open Ast
+
+type result = {
+  env : (string, Kvalue.t) Hashtbl.t;
+  heap : Heap.t;
+  output : string list;
+}
+
+exception Fuel_exhausted
+exception Break_exn
+
+type ctx = {
+  program : program;
+  conn : Sloth_driver.Connection.t;
+  heap : Heap.t;
+  mutable output : string list;  (* reversed *)
+  mutable fuel : int;
+}
+
+(* Every interpretation step costs a sliver of application CPU, so lazy
+   evaluation's extra work (thunk bodies re-walked at force time) shows up
+   in the App category alongside the per-thunk charges. *)
+let tick_cost_ms = ref 0.002
+
+let tick ctx =
+  ctx.fuel <- ctx.fuel - 1;
+  if ctx.fuel <= 0 then raise Fuel_exhausted;
+  Sloth_core.Runtime.charge_app !tick_cost_ms
+
+let deserialize ctx rs =
+  let columns = Sloth_storage.Result_set.columns rs in
+  let rows =
+    List.map
+      (fun row ->
+        let fields =
+          List.mapi
+            (fun i c -> (c, Kvalue.of_sql_value row.(i)))
+            columns
+        in
+        Kvalue.V_addr (Heap.alloc_record ctx.heap fields))
+      (Sloth_storage.Result_set.rows rs)
+  in
+  Kvalue.V_addr (Heap.alloc_array ctx.heap rows)
+
+let run_query ctx sql =
+  let outcome = Sloth_driver.Connection.execute_sql ctx.conn sql in
+  outcome.rs
+
+let as_addr what v =
+  match Kvalue.force v with
+  | Kvalue.V_addr a -> a
+  | v -> Kvalue.error "%s expects a heap object, got %s" what
+           (Kvalue.to_display_string v)
+
+let as_num what v =
+  match Kvalue.force v with
+  | Kvalue.V_num n -> n
+  | v -> Kvalue.error "%s expects a number, got %s" what
+           (Kvalue.to_display_string v)
+
+let as_str what v =
+  match Kvalue.force v with
+  | Kvalue.V_str s -> s
+  | v -> Kvalue.error "%s expects a string, got %s" what
+           (Kvalue.to_display_string v)
+
+let rec eval ctx env expr =
+  tick ctx;
+  match expr with
+  | Const c -> Kvalue.of_const c
+  | Var x -> (
+      match Hashtbl.find_opt env x with
+      | Some v -> v
+      | None -> Kvalue.error "unbound variable %s" x)
+  | Field (e, f) -> Heap.get_field ctx.heap (as_addr "field access" (eval ctx env e)) f
+  | Record fields ->
+      let vs = List.map (fun (f, e) -> (f, eval ctx env e)) fields in
+      Kvalue.V_addr (Heap.alloc_record ctx.heap vs)
+  | Array_lit es ->
+      let vs = List.map (eval ctx env) es in
+      Kvalue.V_addr (Heap.alloc_array ctx.heap vs)
+  | Index (ea, ei) ->
+      let a = as_addr "indexing" (eval ctx env ea) in
+      let i = as_num "index" (eval ctx env ei) in
+      Heap.get_index ctx.heap a i
+  | Length e -> Kvalue.V_num (Heap.length ctx.heap (as_addr "length" (eval ctx env e)))
+  | Binop (op, a, b) ->
+      let va = eval ctx env a in
+      let vb = eval ctx env b in
+      Kvalue.binop op va vb
+  | Unop (op, e) -> Kvalue.unop op (eval ctx env e)
+  | Call (f, args) ->
+      let vs = List.map (eval ctx env) args in
+      call ctx f vs
+  | Read e ->
+      let sql = as_str "R()" (eval ctx env e) in
+      deserialize ctx (run_query ctx sql)
+
+and call ctx fname args =
+  match find_func ctx.program fname with
+  | None -> Kvalue.error "unknown function %s" fname
+  | Some f ->
+      if List.length f.params <> List.length args then
+        Kvalue.error "%s expects %d arguments, got %d" fname
+          (List.length f.params) (List.length args);
+      let env = Hashtbl.create 16 in
+      List.iter2 (fun p v -> Hashtbl.replace env p v) f.params args;
+      (try exec ctx env f.body
+       with Break_exn -> Kvalue.error "break outside of a loop in %s" fname);
+      Option.value ~default:Kvalue.V_null (Hashtbl.find_opt env return_var)
+
+and exec ctx env stmt =
+  tick ctx;
+  match stmt.s with
+  | Skip -> ()
+  | Seq (a, b) ->
+      exec ctx env a;
+      exec ctx env b
+  | Assign (L_var x, e) -> Hashtbl.replace env x (eval ctx env e)
+  | Assign (L_field (target, f), e) ->
+      let addr = as_addr "field write" (eval ctx env target) in
+      let v = eval ctx env e in
+      Heap.set_field ctx.heap addr f v
+  | Assign (L_index (target, idx), e) ->
+      let addr = as_addr "index write" (eval ctx env target) in
+      let i = as_num "index write" (eval ctx env idx) in
+      let v = eval ctx env e in
+      Heap.set_index ctx.heap addr i v
+  | If (c, a, b) ->
+      if Kvalue.truthy (eval ctx env c) then exec ctx env a else exec ctx env b
+  | While body -> (
+      try
+        while true do
+          exec ctx env body
+        done
+      with Break_exn -> ())
+  | Break -> raise Break_exn
+  | Write e ->
+      let sql = as_str "W()" (eval ctx env e) in
+      ignore (Sloth_driver.Connection.execute_sql ctx.conn sql)
+  | Print e ->
+      let v = eval ctx env e in
+      ctx.output <- Heap.render ctx.heap v :: ctx.output
+  | Expr_stmt e -> ignore (eval ctx env e)
+
+let run ?(fuel = 1_000_000) program conn =
+  let ctx = { program; conn; heap = Heap.create (); output = []; fuel } in
+  let env = Hashtbl.create 32 in
+  (try exec ctx env program.main
+   with Break_exn -> Kvalue.error "break outside of a loop in main");
+  { env; heap = ctx.heap; output = List.rev ctx.output }

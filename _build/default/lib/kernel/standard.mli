@@ -1,0 +1,22 @@
+(** The standard (strict) evaluator for the kernel language — the paper's
+    baseline semantics of Sec. 3.8.
+
+    Every [R(e)] executes immediately through the connection (one round trip
+    per query, like the original applications), and every statement runs to
+    completion before the next. *)
+
+type result = {
+  env : (string, Kvalue.t) Hashtbl.t;  (** main's final environment *)
+  heap : Heap.t;
+  output : string list;  (** values printed, in order *)
+}
+
+exception Fuel_exhausted
+
+val run :
+  ?fuel:int -> Ast.program -> Sloth_driver.Connection.t -> result
+(** Execute a program.  [fuel] bounds the number of statement steps
+    (default 1_000_000) and guards against non-terminating loops.  Raises
+    {!Kvalue.Runtime_error} on dynamic type errors,
+    [Sloth_driver.Connection.Server_error] on SQL failures, and
+    {!Fuel_exhausted}. *)

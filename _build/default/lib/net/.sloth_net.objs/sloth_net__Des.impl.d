@@ -1,0 +1,1 @@
+lib/net/des.ml: Array Queue

@@ -1,0 +1,1 @@
+lib/net/link.ml: Stats Vclock

@@ -1,0 +1,1 @@
+lib/net/vclock.ml: Format

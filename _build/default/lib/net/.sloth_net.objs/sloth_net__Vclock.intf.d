@@ -1,0 +1,1 @@
+lib/net/vclock.mli: Format

@@ -1,0 +1,151 @@
+(* Event calendar: a binary min-heap on (time, sequence number).  The
+   sequence number makes simultaneous events run in insertion order, which
+   keeps simulations deterministic. *)
+
+type event = { time : float; seq : int; run : unit -> unit }
+
+module Heap = struct
+  type t = { mutable a : event array; mutable len : int }
+
+  let dummy = { time = 0.0; seq = 0; run = ignore }
+  let create () = { a = Array.make 64 dummy; len = 0 }
+  let is_empty h = h.len = 0
+
+  let lt x y = x.time < y.time || (x.time = y.time && x.seq < y.seq)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let a = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 a 0 h.len;
+      h.a <- a
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    (* sift up *)
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      lt h.a.(!i) h.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    assert (h.len > 0);
+    let top = h.a.(0) in
+    h.len <- h.len - 1;
+    h.a.(0) <- h.a.(h.len);
+    h.a.(h.len) <- dummy;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && lt h.a.(l) h.a.(!smallest) then smallest := l;
+      if r < h.len && lt h.a.(r) h.a.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.a.(!smallest) in
+        h.a.(!smallest) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+type t = { heap : Heap.t; mutable clock : float; mutable next_seq : int }
+
+let create () = { heap = Heap.create (); clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let at t time k =
+  let time = if time < t.clock then t.clock else time in
+  let e = { time; seq = t.next_seq; run = k } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap e
+
+let delay t d k = at t (t.clock +. d) k
+
+let run t ~until =
+  let continue = ref true in
+  while !continue && not (Heap.is_empty t.heap) do
+    let e = Heap.pop t.heap in
+    if e.time > until then continue := false
+    else begin
+      t.clock <- e.time;
+      e.run ()
+    end
+  done
+
+module Resource = struct
+  type sim = t
+
+  type t = {
+    sim : sim;
+    servers : int;
+    mutable in_use : int;
+    waiters : (unit -> unit) Queue.t;
+    mutable busy_time : float;
+    mutable last_change : float;
+  }
+
+  let create sim ~servers =
+    assert (servers > 0);
+    {
+      sim;
+      servers;
+      in_use = 0;
+      waiters = Queue.create ();
+      busy_time = 0.0;
+      last_change = 0.0;
+    }
+
+  let account r =
+    let t = now r.sim in
+    r.busy_time <- r.busy_time +. (float_of_int r.in_use *. (t -. r.last_change));
+    r.last_change <- t
+
+  let acquire r k =
+    if r.in_use < r.servers then begin
+      account r;
+      r.in_use <- r.in_use + 1;
+      (* Run the continuation via the calendar so acquisition never
+         re-enters the caller synchronously at a surprising point. *)
+      at r.sim (now r.sim) k
+    end
+    else Queue.push k r.waiters
+
+  let release r =
+    assert (r.in_use > 0);
+    if Queue.is_empty r.waiters then begin
+      account r;
+      r.in_use <- r.in_use - 1
+    end
+    else begin
+      (* Hand the server directly to the next waiter. *)
+      let k = Queue.pop r.waiters in
+      at r.sim (now r.sim) k
+    end
+
+  let with_service r d k =
+    acquire r (fun () ->
+        delay r.sim d (fun () ->
+            release r;
+            k ()))
+
+  let in_use r = r.in_use
+  let queue_length r = Queue.length r.waiters
+
+  let busy_time r =
+    (* Fold in the in-progress interval. *)
+    r.busy_time +. (float_of_int r.in_use *. (now r.sim -. r.last_change))
+end

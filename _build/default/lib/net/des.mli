@@ -1,0 +1,58 @@
+(** A minimal discrete-event simulator.
+
+    Used by the throughput experiment (Fig. 7) to simulate a closed system:
+    a fixed population of clients repeatedly loading pages against an
+    application server with a bounded worker pool and CPU, and a database
+    server, connected by a fixed-latency link.
+
+    Processes are written in continuation-passing style: every blocking
+    operation takes the rest of the process as a [unit -> unit]
+    continuation. *)
+
+type t
+(** A simulation instance with its own event calendar and clock. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (milliseconds). *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** [at sim time k] schedules [k] to run at absolute [time]; if [time] is in
+    the past it runs at the current time.  Events at equal times run in
+    insertion order. *)
+
+val delay : t -> float -> (unit -> unit) -> unit
+(** [delay sim d k] runs [k] after [d] milliseconds of pure delay (e.g. a
+    network round trip — no queueing). *)
+
+val run : t -> until:float -> unit
+(** Execute events in timestamp order until the calendar is empty or the
+    clock passes [until]. *)
+
+module Resource : sig
+  (** A multi-server FCFS resource (CPU cores, DB workers, thread pool). *)
+
+  type sim := t
+  type t
+
+  val create : sim -> servers:int -> t
+
+  val acquire : t -> (unit -> unit) -> unit
+  (** Take one server, queueing FCFS if all are busy; the continuation runs
+      once a server is granted. *)
+
+  val release : t -> unit
+  (** Return one server, waking the longest-waiting acquirer if any. *)
+
+  val with_service : t -> float -> (unit -> unit) -> unit
+  (** [with_service r d k]: acquire, hold for [d] ms, release, then [k]. *)
+
+  val in_use : t -> int
+  (** Servers currently held (granted and not yet released). *)
+
+  val queue_length : t -> int
+
+  val busy_time : t -> float
+  (** Aggregate busy server-milliseconds, for utilization reports. *)
+end

@@ -1,0 +1,22 @@
+type t = {
+  mutable rtt_ms : float;
+  bandwidth_mb_s : float;
+  clock : Vclock.t;
+  stats : Stats.t;
+}
+
+let create ?(rtt_ms = 0.5) ?(bandwidth_mb_s = 100.0) clock =
+  { rtt_ms; bandwidth_mb_s; clock; stats = Stats.create () }
+
+let rtt_ms t = t.rtt_ms
+let set_rtt_ms t rtt = t.rtt_ms <- rtt
+let clock t = t.clock
+let stats t = t.stats
+
+let transfer_ms t ~bytes =
+  (* bandwidth is MB/s; convert bytes to ms of transfer time. *)
+  float_of_int bytes /. (t.bandwidth_mb_s *. 1_000_000.0) *. 1000.0
+
+let round_trip t ~queries ~bytes =
+  Stats.record_round_trip t.stats ~queries ~bytes;
+  Vclock.advance t.clock Vclock.Network (t.rtt_ms +. transfer_ms t ~bytes)

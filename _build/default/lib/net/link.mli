@@ -1,0 +1,23 @@
+(** Network link model between application server and database server.
+
+    A round trip costs one RTT plus payload transfer time.  The default RTT
+    is 0.5 ms, matching the paper's same-datacenter setting; the scaling
+    experiment (Fig. 9) sweeps it to 1 ms and 10 ms. *)
+
+type t
+
+val create : ?rtt_ms:float -> ?bandwidth_mb_s:float -> Vclock.t -> t
+(** Defaults: [rtt_ms = 0.5], [bandwidth_mb_s = 100.0]. *)
+
+val rtt_ms : t -> float
+val set_rtt_ms : t -> float -> unit
+
+val clock : t -> Vclock.t
+val stats : t -> Stats.t
+
+val round_trip : t -> queries:int -> bytes:int -> unit
+(** Charge one round trip to the clock's Network category and record it in
+    the stats. *)
+
+val transfer_ms : t -> bytes:int -> float
+(** Payload transfer time only (no RTT), for diagnostics. *)

@@ -1,0 +1,29 @@
+type t = {
+  mutable round_trips : int;
+  mutable queries : int;
+  mutable bytes : int;
+  mutable max_batch : int;
+}
+
+let create () = { round_trips = 0; queries = 0; bytes = 0; max_batch = 0 }
+
+let record_round_trip t ~queries ~bytes =
+  t.round_trips <- t.round_trips + 1;
+  t.queries <- t.queries + queries;
+  t.bytes <- t.bytes + bytes;
+  if queries > t.max_batch then t.max_batch <- queries
+
+let round_trips t = t.round_trips
+let queries t = t.queries
+let bytes t = t.bytes
+let max_batch t = t.max_batch
+
+let reset t =
+  t.round_trips <- 0;
+  t.queries <- 0;
+  t.bytes <- 0;
+  t.max_batch <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "round-trips=%d queries=%d bytes=%d max-batch=%d"
+    t.round_trips t.queries t.bytes t.max_batch

@@ -1,0 +1,24 @@
+(** Traffic counters for a simulated database connection.
+
+    The paper's headline metrics are the number of *round trips* and the
+    number of *queries issued*; both are tracked here, together with batch
+    sizes so the "max queries in a batch" appendix column can be
+    reproduced. *)
+
+type t
+
+val create : unit -> t
+
+val record_round_trip : t -> queries:int -> bytes:int -> unit
+(** One wire round trip carrying [queries] statements and [bytes] payload. *)
+
+val round_trips : t -> int
+val queries : t -> int
+val bytes : t -> int
+
+val max_batch : t -> int
+(** Largest number of queries carried by a single round trip. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type category = App | Db | Network
+
+type t = {
+  mutable now : float;
+  mutable app : float;
+  mutable db : float;
+  mutable net : float;
+}
+
+let create () = { now = 0.0; app = 0.0; db = 0.0; net = 0.0 }
+
+let now t = t.now
+
+let advance t cat ms =
+  assert (ms >= 0.0);
+  t.now <- t.now +. ms;
+  match cat with
+  | App -> t.app <- t.app +. ms
+  | Db -> t.db <- t.db +. ms
+  | Network -> t.net <- t.net +. ms
+
+let elapsed t = function
+  | App -> t.app
+  | Db -> t.db
+  | Network -> t.net
+
+let total t = t.app +. t.db +. t.net
+
+let reset t =
+  t.app <- 0.0;
+  t.db <- 0.0;
+  t.net <- 0.0
+
+let snapshot t = (t.app, t.db, t.net)
+
+let pp_category ppf = function
+  | App -> Format.pp_print_string ppf "app"
+  | Db -> Format.pp_print_string ppf "db"
+  | Network -> Format.pp_print_string ppf "network"

@@ -1,0 +1,1 @@
+lib/orm/desc.ml: List Printf Row Sloth_sql Sloth_storage String

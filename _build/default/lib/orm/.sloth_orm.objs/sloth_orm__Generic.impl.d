@@ -1,0 +1,1 @@
+lib/orm/generic.ml: Desc Fun Row

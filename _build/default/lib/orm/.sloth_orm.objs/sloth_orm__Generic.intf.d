@@ -1,0 +1,1 @@
+lib/orm/generic.mli: Desc Row Sloth_sql

@@ -1,0 +1,1 @@
+lib/orm/repo.ml: Desc Hashtbl List Option Row Sloth_core Sloth_sql Sloth_storage

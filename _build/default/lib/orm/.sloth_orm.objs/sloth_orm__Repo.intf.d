@@ -1,0 +1,1 @@
+lib/orm/repo.mli: Desc Row Sloth_core Sloth_sql Sloth_storage

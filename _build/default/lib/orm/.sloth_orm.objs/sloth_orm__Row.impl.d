@@ -1,0 +1,1 @@
+lib/orm/row.ml: Array Format List Sloth_storage

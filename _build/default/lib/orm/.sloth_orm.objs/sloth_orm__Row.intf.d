@@ -1,0 +1,1 @@
+lib/orm/row.mli: Sloth_storage

@@ -1,0 +1,48 @@
+(** Entity descriptors: the ORM's mapping configuration.
+
+    A descriptor plays the role of a Hibernate mapping file: table name,
+    integer primary key, column list, (de)serialization functions and
+    association fetch strategies.  The paper's discussion of lazy vs. eager
+    fetching (Sec. 1) maps onto {!fetch}: [Eager_fetch] associations are
+    loaded immediately with the owning entity under the original execution
+    strategy, possibly wastefully; [Lazy_fetch] associations are loaded on
+    first access. *)
+
+type fetch = Lazy_fetch | Eager_fetch
+
+type assoc = {
+  assoc_name : string;
+  child_table : string;
+  fk_column : string;  (** column on the child table referencing the key *)
+  fetch : fetch;
+}
+
+type 'a t = {
+  table : string;
+  key : string;  (** integer primary-key column *)
+  columns : (string * Sloth_sql.Ast.col_type) list;  (** including the key *)
+  assocs : assoc list;
+  of_row : Row.t -> 'a;
+  to_row : 'a -> (string * Sloth_storage.Value.t) list;
+}
+
+let create_table_stmt d =
+  let columns =
+    List.map
+      (fun (name, ty) ->
+        {
+          Sloth_sql.Ast.cd_name = name;
+          cd_type = ty;
+          cd_nullable = not (String.equal name d.key);
+        })
+      d.columns
+  in
+  Sloth_sql.Ast.Create_table
+    { table = d.table; columns; primary_key = Some d.key }
+
+let assoc d name =
+  match List.find_opt (fun a -> String.equal a.assoc_name name) d.assocs with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "entity %s has no association %s" d.table name)

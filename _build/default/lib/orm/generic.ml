@@ -1,0 +1,20 @@
+module type ROW_ENTITY = sig
+  type t = Row.t
+
+  val desc : t Desc.t
+end
+
+let entity ~table ?(key = "id") ~columns ?(assocs = []) () =
+  (module struct
+    type t = Row.t
+
+    let desc =
+      {
+        Desc.table;
+        key;
+        columns;
+        assocs;
+        of_row = Fun.id;
+        to_row = Row.to_list;
+      }
+  end : ROW_ENTITY)

@@ -1,0 +1,21 @@
+(** Untyped ("generic") entities: rows as entities.
+
+    The two evaluation applications have dozens of small administrative
+    tables whose pages are structurally identical; generic entities let
+    those pages share one implementation while the rich domain entities
+    (patients, encounters, issues, …) keep typed records. *)
+
+module type ROW_ENTITY = sig
+  type t = Row.t
+
+  val desc : t Desc.t
+end
+
+val entity :
+  table:string ->
+  ?key:string ->
+  columns:(string * Sloth_sql.Ast.col_type) list ->
+  ?assocs:Desc.assoc list ->
+  unit ->
+  (module ROW_ENTITY)
+(** [key] defaults to ["id"]; [columns] must include it. *)

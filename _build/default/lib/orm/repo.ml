@@ -1,0 +1,192 @@
+open Sloth_sql.Ast
+module Value = Sloth_storage.Value
+
+let lit = function
+  | Value.Null -> Lit L_null
+  | Value.Int n -> Lit (L_int n)
+  | Value.Float f -> Lit (L_float f)
+  | Value.Text s -> Lit (L_string s)
+  | Value.Bool b -> Lit (L_bool b)
+
+module Make (X : Sloth_core.Exec.S) (E : sig
+  type t
+
+  val desc : t Desc.t
+end) =
+struct
+  let desc = E.desc
+
+  (* First-level (session) caches. *)
+  let find_cache : (int, E.t option X.v) Hashtbl.t = Hashtbl.create 32
+
+  let assoc_cache : (string * int, Row.t list X.v) Hashtbl.t =
+    Hashtbl.create 32
+
+  let select ?order_by ?limit where =
+    let order_by =
+      match order_by with
+      | Some c -> [ { o_expr = Col (None, c); o_asc = true } ]
+      | None ->
+          (* Deterministic order for reproducible HTML output. *)
+          [ { o_expr = Col (None, desc.key); o_asc = true } ]
+    in
+    Select
+      {
+        sel_distinct = false;
+        sel_items = [ Star ];
+        sel_from = Some (desc.table, None);
+        sel_joins = [];
+        sel_where = where;
+        sel_group_by = [];
+        sel_having = None;
+        sel_order_by = order_by;
+        sel_limit = limit;
+        sel_offset = None;
+      }
+
+  let key_of e =
+    match List.assoc_opt desc.key (desc.to_row e) with
+    | Some (Value.Int id) -> Some id
+    | _ -> None
+
+  let assoc_query (a : Desc.assoc) parent_id =
+    let stmt =
+      Select
+        {
+          sel_distinct = false;
+          sel_items = [ Star ];
+          sel_from = Some (a.child_table, None);
+          sel_joins = [];
+          sel_where =
+            Some (Binop (Eq, Col (None, a.fk_column), Lit (L_int parent_id)));
+          sel_group_by = [];
+          sel_having = None;
+          sel_order_by = [];
+          sel_limit = None;
+          sel_offset = None;
+        }
+    in
+    X.query stmt Row.of_result_set
+
+  let fetch_assoc (a : Desc.assoc) parent_id =
+    match Hashtbl.find_opt assoc_cache (a.assoc_name, parent_id) with
+    | Some rows -> rows
+    | None ->
+        let rows = assoc_query a parent_id in
+        Hashtbl.replace assoc_cache (a.assoc_name, parent_id) rows;
+        rows
+
+  (* Hibernate-style eager fetching: when the strategy executes queries
+     immediately, load eager associations together with the entity. *)
+  let prefetch_eager_assocs id =
+    if X.immediate then
+      List.iter
+        (fun (a : Desc.assoc) ->
+          match a.fetch with
+          | Desc.Eager_fetch -> ignore (fetch_assoc a id)
+          | Desc.Lazy_fetch -> ())
+        desc.assocs
+
+  (* Hydrating any result list applies the fetch strategies to every
+     loaded entity, exactly like Hibernate: eagerly mapped associations of
+     every row in a list page are fetched immediately under the original
+     runtime. *)
+  let hydrate_list rs =
+    let rows = Row.of_result_set rs in
+    let entities = List.map desc.of_row rows in
+    if X.immediate then
+      List.iter
+        (fun e -> Option.iter prefetch_eager_assocs (key_of e))
+        entities;
+    entities
+
+  let find id =
+    match Hashtbl.find_opt find_cache id with
+    | Some v -> v
+    | None ->
+        let stmt =
+          select (Some (Binop (Eq, Col (None, desc.key), Lit (L_int id))))
+        in
+        let v =
+          X.query stmt (fun rs ->
+              match Row.of_result_set rs with
+              | [] -> None
+              | row :: _ -> Some (desc.of_row row))
+        in
+        Hashtbl.replace find_cache id v;
+        prefetch_eager_assocs id;
+        v
+
+  let find_exn id =
+    X.map
+      (function
+        | Some e -> e
+        | None -> raise Not_found)
+      (find id)
+
+  let all ?order_by ?limit () =
+    X.query (select ?order_by ?limit None) hydrate_list
+
+  let where ?order_by ?limit pred =
+    X.query (select ?order_by ?limit (Some pred)) hydrate_list
+
+  let find_by column v =
+    X.query (select (Some (Binop (Eq, Col (None, column), lit v)))) hydrate_list
+
+  let count ?where () =
+    let stmt =
+      Select
+        {
+          sel_distinct = false;
+          sel_items = [ Sel_expr (Agg (Count, None), Some "n") ];
+          sel_from = Some (desc.table, None);
+          sel_joins = [];
+          sel_where = where;
+          sel_group_by = [];
+          sel_having = None;
+          sel_order_by = [];
+          sel_limit = None;
+          sel_offset = None;
+        }
+    in
+    X.query stmt (fun rs ->
+        match Sloth_storage.Result_set.scalar rs with
+        | Some (Value.Int n) -> n
+        | _ -> 0)
+
+  let assoc_rows name parent_id = fetch_assoc (Desc.assoc desc name) parent_id
+
+  let insert e =
+    let row = desc.to_row e in
+    let stmt =
+      Insert
+        {
+          table = desc.table;
+          columns = List.map fst row;
+          rows = [ List.map (fun (_, v) -> lit v) row ];
+        }
+    in
+    ignore (X.command stmt)
+
+  let update_fields id fields =
+    let stmt =
+      Update
+        {
+          table = desc.table;
+          set = List.map (fun (c, v) -> (c, lit v)) fields;
+          where = Some (Binop (Eq, Col (None, desc.key), Lit (L_int id)));
+        }
+    in
+    X.command stmt
+
+  let delete id =
+    X.command
+      (Delete
+         {
+           table = desc.table;
+           where = Some (Binop (Eq, Col (None, desc.key), Lit (L_int id)));
+         })
+
+  let create_table () =
+    ignore (X.command (Desc.create_table_stmt desc))
+end

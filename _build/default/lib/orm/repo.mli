@@ -1,0 +1,50 @@
+(** Repositories: typed data access over an execution strategy.
+
+    A repository instance corresponds to one Hibernate session's view of one
+    entity: it carries a first-level cache (find-by-id and association
+    results are fetched once per session) and applies the entity's fetch
+    strategies.
+
+    Under the eager strategy ([X.immediate]), [Eager_fetch] associations are
+    loaded together with the owning entity — one extra query per
+    association, used or not, exactly the waste the paper attributes to
+    eager fetching.  Under the Sloth strategy nothing is fetched until the
+    association is first accessed, and then only registered with the query
+    store. *)
+
+module Make (X : Sloth_core.Exec.S) (E : sig
+  type t
+
+  val desc : t Desc.t
+end) : sig
+  val find : int -> E.t option X.v
+  (** Fetch by primary key; cached per repository instance. *)
+
+  val find_exn : int -> E.t X.v
+  (** Like {!find} but the deferred value raises [Not_found] when absent. *)
+
+  val all : ?order_by:string -> ?limit:int -> unit -> E.t list X.v
+
+  val where :
+    ?order_by:string -> ?limit:int -> Sloth_sql.Ast.expr -> E.t list X.v
+
+  val find_by : string -> Sloth_storage.Value.t -> E.t list X.v
+  (** Equality on one column. *)
+
+  val count : ?where:Sloth_sql.Ast.expr -> unit -> int X.v
+
+  val assoc_rows : string -> int -> Row.t list X.v
+  (** [assoc_rows name parent_id]: rows of the named association, honouring
+      its fetch strategy and the session cache. *)
+
+  val insert : E.t -> unit
+  val update_fields : int -> (string * Sloth_storage.Value.t) list -> int
+  val delete : int -> int
+
+  val create_table : unit -> unit
+  (** Issue the entity's CREATE TABLE.  Association foreign-key indexes are
+      created by the data generators directly on the database. *)
+end
+
+val lit : Sloth_storage.Value.t -> Sloth_sql.Ast.expr
+(** Embed a runtime value as a SQL literal expression. *)

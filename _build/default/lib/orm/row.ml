@@ -1,0 +1,54 @@
+module Value = Sloth_storage.Value
+
+type t = (string * Value.t) list
+
+exception Hydration_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Hydration_error s)) fmt
+
+let of_result_set rs =
+  let columns = Sloth_storage.Result_set.columns rs in
+  List.map
+    (fun row -> List.mapi (fun i c -> (c, row.(i))) columns)
+    (Sloth_storage.Result_set.rows rs)
+
+let value t c =
+  match List.assoc_opt c t with
+  | Some v -> v
+  | None -> error "no column %s in row" c
+
+let int t c =
+  match value t c with
+  | Value.Int n -> n
+  | v -> error "column %s: expected int, got %s" c (Value.to_string v)
+
+let int_opt t c =
+  match value t c with
+  | Value.Null -> None
+  | Value.Int n -> Some n
+  | v -> error "column %s: expected int or null, got %s" c (Value.to_string v)
+
+let str t c =
+  match value t c with
+  | Value.Text s -> s
+  | v -> error "column %s: expected text, got %s" c (Value.to_string v)
+
+let str_opt t c =
+  match value t c with
+  | Value.Null -> None
+  | Value.Text s -> Some s
+  | v -> error "column %s: expected text or null, got %s" c (Value.to_string v)
+
+let float t c =
+  match value t c with
+  | Value.Float f -> f
+  | Value.Int n -> float_of_int n
+  | v -> error "column %s: expected float, got %s" c (Value.to_string v)
+
+let bool t c =
+  match value t c with
+  | Value.Bool b -> b
+  | v -> error "column %s: expected bool, got %s" c (Value.to_string v)
+
+let to_list t = t
+let of_list l = l

@@ -1,0 +1,24 @@
+(** Typed access to result-set rows during entity hydration. *)
+
+type t
+
+val of_result_set : Sloth_storage.Result_set.t -> t list
+
+exception Hydration_error of string
+
+val int : t -> string -> int
+(** Raises {!Hydration_error} on missing column or wrong type. *)
+
+val int_opt : t -> string -> int option
+(** [None] for SQL NULL. *)
+
+val str : t -> string -> string
+val str_opt : t -> string -> string option
+val float : t -> string -> float
+val bool : t -> string -> bool
+val value : t -> string -> Sloth_storage.Value.t
+
+val to_list : t -> (string * Sloth_storage.Value.t) list
+(** All columns in result order. *)
+
+val of_list : (string * Sloth_storage.Value.t) list -> t

@@ -1,0 +1,1 @@
+lib/sql/printer.ml: Ast Buffer Format List Option Printf String

@@ -1,0 +1,133 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KEYWORD of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | SEMI
+  | OP of string
+  | EOF
+
+exception Error of string * int
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "INSERT"; "INTO";
+    "VALUES"; "UPDATE"; "SET"; "DELETE"; "JOIN"; "INNER"; "ON"; "AS";
+    "ORDER"; "BY"; "ASC"; "DESC"; "LIMIT"; "GROUP"; "IN"; "IS"; "NULL";
+    "LIKE"; "TRUE"; "FALSE"; "COUNT"; "SUM"; "MIN"; "MAX"; "AVG";
+    "CREATE"; "TABLE"; "PRIMARY"; "KEY"; "INT"; "FLOAT"; "TEXT"; "BOOL";
+    "BEGIN"; "COMMIT"; "ROLLBACK"; "DISTINCT"; "HAVING"; "OFFSET"; "BETWEEN";
+  ]
+
+let keyword_set =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) keywords;
+  tbl
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if Hashtbl.mem keyword_set upper then emit (KEYWORD upper)
+      else emit (IDENT word)
+    end
+    else if c = '\'' then begin
+      (* SQL string literal; '' escapes a quote. *)
+      let buf = Buffer.create 16 in
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Error ("unterminated string literal", start));
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some (("<>" | "<=" | ">=" | "!=") as op) ->
+          emit (OP (if op = "!=" then "<>" else op));
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '(' -> emit LPAREN
+          | ')' -> emit RPAREN
+          | ',' -> emit COMMA
+          | '.' -> emit DOT
+          | '*' -> emit STAR
+          | ';' -> emit SEMI
+          | '=' | '<' | '>' | '+' | '-' | '/' -> emit (OP (String.make 1 c))
+          | _ ->
+              raise
+                (Error (Printf.sprintf "unexpected character %C" c, !i - 1)))
+    end
+  done;
+  List.rev (EOF :: !toks)
+
+let pp_token ppf = function
+  | INT n -> Format.fprintf ppf "INT(%d)" n
+  | FLOAT f -> Format.fprintf ppf "FLOAT(%g)" f
+  | STRING s -> Format.fprintf ppf "STRING(%S)" s
+  | IDENT s -> Format.fprintf ppf "IDENT(%s)" s
+  | KEYWORD s -> Format.fprintf ppf "KEYWORD(%s)" s
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | COMMA -> Format.pp_print_string ppf ","
+  | DOT -> Format.pp_print_string ppf "."
+  | STAR -> Format.pp_print_string ppf "*"
+  | SEMI -> Format.pp_print_string ppf ";"
+  | OP s -> Format.fprintf ppf "OP(%s)" s
+  | EOF -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,23 @@
+(** Hand-written lexer for the SQL dialect. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string  (** unquoted identifier, original case preserved *)
+  | KEYWORD of string  (** upper-cased reserved word *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | SEMI
+  | OP of string  (** '=', '<>', '<', '<=', '>', '>=', '+', '-', '/' *)
+  | EOF
+
+exception Error of string * int  (** message, byte offset *)
+
+val tokenize : string -> token list
+(** Raises {!Error} on malformed input (unterminated string, bad char). *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,424 @@
+open Ast
+
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok what =
+  let t = next st in
+  if t <> tok then error "expected %s, found %a" what Lexer.pp_token t
+
+let expect_kw st kw = expect st (Lexer.KEYWORD kw) kw
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (Lexer.KEYWORD kw)
+
+let ident st =
+  match next st with
+  | Lexer.IDENT s -> s
+  | t -> error "expected identifier, found %a" Lexer.pp_token t
+
+let agg_of_kw = function
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "AVG" -> Some Avg
+  | _ -> None
+
+(* --- expressions ------------------------------------------------------ *)
+
+(* Subqueries make expressions and SELECT mutually recursive; the SELECT
+   parser is tied in after its definition below. *)
+let select_ref : (state -> select) ref =
+  ref (fun _ -> error "select parser not initialised")
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = ref (and_expr st) in
+  while accept_kw st "OR" do
+    lhs := Binop (Or, !lhs, and_expr st)
+  done;
+  !lhs
+
+and and_expr st =
+  let lhs = ref (not_expr st) in
+  while accept_kw st "AND" do
+    lhs := Binop (And, !lhs, not_expr st)
+  done;
+  !lhs
+
+and not_expr st =
+  if accept_kw st "NOT" then Unop (Not, not_expr st) else cmp_expr st
+
+and cmp_expr st =
+  let lhs = add_expr st in
+  match peek st with
+  | Lexer.OP (("=" | "<>" | "<" | "<=" | ">" | ">=") as op) ->
+      advance st;
+      let rhs = add_expr st in
+      let bop =
+        match op with
+        | "=" -> Eq
+        | "<>" -> Neq
+        | "<" -> Lt
+        | "<=" -> Le
+        | ">" -> Gt
+        | ">=" -> Ge
+        | _ -> assert false
+      in
+      Binop (bop, lhs, rhs)
+  | Lexer.KEYWORD "IS" ->
+      advance st;
+      let negated = accept_kw st "NOT" in
+      expect_kw st "NULL";
+      Is_null { e = lhs; negated }
+  | Lexer.KEYWORD "IN" ->
+      advance st;
+      expect st Lexer.LPAREN "'('";
+      if peek st = Lexer.KEYWORD "SELECT" then begin
+        let sub = !select_ref st in
+        expect st Lexer.RPAREN "')'";
+        In_select (lhs, sub)
+      end
+      else begin
+        let items = ref [ expr st ] in
+        while accept st Lexer.COMMA do
+          items := expr st :: !items
+        done;
+        expect st Lexer.RPAREN "')'";
+        In_list (lhs, List.rev !items)
+      end
+  | Lexer.KEYWORD "LIKE" -> (
+      advance st;
+      match next st with
+      | Lexer.STRING pat -> Like (lhs, pat)
+      | t -> error "LIKE expects a string pattern, found %a" Lexer.pp_token t)
+  | Lexer.KEYWORD "BETWEEN" ->
+      advance st;
+      let lo = add_expr st in
+      expect_kw st "AND";
+      let hi = add_expr st in
+      Between { e = lhs; lo; hi }
+  | _ -> lhs
+
+and add_expr st =
+  let lhs = ref (mul_expr st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.OP "+" ->
+        advance st;
+        lhs := Binop (Add, !lhs, mul_expr st)
+    | Lexer.OP "-" ->
+        advance st;
+        lhs := Binop (Sub, !lhs, mul_expr st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and mul_expr st =
+  let lhs = ref (unary_expr st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        lhs := Binop (Mul, !lhs, unary_expr st)
+    | Lexer.OP "/" ->
+        advance st;
+        lhs := Binop (Div, !lhs, unary_expr st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and unary_expr st =
+  if accept st (Lexer.OP "-") then Unop (Neg, unary_expr st)
+  else primary_expr st
+
+and primary_expr st =
+  match next st with
+  | Lexer.INT n -> Lit (L_int n)
+  | Lexer.FLOAT f -> Lit (L_float f)
+  | Lexer.STRING s -> Lit (L_string s)
+  | Lexer.KEYWORD "TRUE" -> Lit (L_bool true)
+  | Lexer.KEYWORD "FALSE" -> Lit (L_bool false)
+  | Lexer.KEYWORD "NULL" -> Lit L_null
+  | Lexer.KEYWORD kw when agg_of_kw kw <> None ->
+      let agg = Option.get (agg_of_kw kw) in
+      expect st Lexer.LPAREN "'('";
+      let arg = if accept st Lexer.STAR then None else Some (expr st) in
+      expect st Lexer.RPAREN "')'";
+      Agg (agg, arg)
+  | Lexer.IDENT name ->
+      if accept st Lexer.DOT then Col (Some name, ident st) else Col (None, name)
+  | Lexer.LPAREN ->
+      let e = expr st in
+      expect st Lexer.RPAREN "')'";
+      e
+  | t -> error "unexpected token %a in expression" Lexer.pp_token t
+
+(* --- statements ------------------------------------------------------- *)
+
+let sel_item st =
+  if accept st Lexer.STAR then Star
+  else
+    let e = expr st in
+    let alias = if accept_kw st "AS" then Some (ident st) else None in
+    Sel_expr (e, alias)
+
+let table_ref st =
+  let table = ident st in
+  let alias =
+    if accept_kw st "AS" then Some (ident st)
+    else
+      match peek st with
+      | Lexer.IDENT a ->
+          advance st;
+          Some a
+      | _ -> None
+  in
+  (table, alias)
+
+let parse_select_clause st =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let items = ref [ sel_item st ] in
+  while accept st Lexer.COMMA do
+    items := sel_item st :: !items
+  done;
+  let from =
+    if accept_kw st "FROM" then Some (table_ref st) else None
+  in
+  let joins = ref [] in
+  let rec join_loop () =
+    let inner = accept_kw st "INNER" in
+    if inner || peek st = Lexer.KEYWORD "JOIN" then begin
+      expect_kw st "JOIN";
+      let j_table, j_alias = table_ref st in
+      expect_kw st "ON";
+      let j_on = expr st in
+      joins := { j_table; j_alias; j_on } :: !joins;
+      join_loop ()
+    end
+  in
+  join_loop ();
+  let where = if accept_kw st "WHERE" then Some (expr st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let es = ref [ expr st ] in
+      while accept st Lexer.COMMA do
+        es := expr st :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (expr st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let one () =
+        let e = expr st in
+        let asc =
+          if accept_kw st "DESC" then false
+          else begin
+            ignore (accept_kw st "ASC");
+            true
+          end
+        in
+        { o_expr = e; o_asc = asc }
+      in
+      let os = ref [ one () ] in
+      while accept st Lexer.COMMA do
+        os := one () :: !os
+      done;
+      List.rev !os
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then
+      match next st with
+      | Lexer.INT n -> Some n
+      | t -> error "LIMIT expects an integer, found %a" Lexer.pp_token t
+    else None
+  in
+  let offset =
+    if accept_kw st "OFFSET" then
+      match next st with
+      | Lexer.INT n -> Some n
+      | t -> error "OFFSET expects an integer, found %a" Lexer.pp_token t
+    else None
+  in
+  {
+    sel_distinct = distinct;
+    sel_items = List.rev !items;
+    sel_from = from;
+    sel_joins = List.rev !joins;
+    sel_where = where;
+    sel_group_by = group_by;
+    sel_having = having;
+    sel_order_by = order_by;
+    sel_limit = limit;
+    sel_offset = offset;
+  }
+
+let () = select_ref := parse_select_clause
+let parse_select st = Select (parse_select_clause st)
+
+let parse_insert st =
+  expect_kw st "INSERT";
+  expect_kw st "INTO";
+  let table = ident st in
+  expect st Lexer.LPAREN "'('";
+  let columns = ref [ ident st ] in
+  while accept st Lexer.COMMA do
+    columns := ident st :: !columns
+  done;
+  expect st Lexer.RPAREN "')'";
+  expect_kw st "VALUES";
+  let row () =
+    expect st Lexer.LPAREN "'('";
+    let vs = ref [ expr st ] in
+    while accept st Lexer.COMMA do
+      vs := expr st :: !vs
+    done;
+    expect st Lexer.RPAREN "')'";
+    List.rev !vs
+  in
+  let rows = ref [ row () ] in
+  while accept st Lexer.COMMA do
+    rows := row () :: !rows
+  done;
+  Insert { table; columns = List.rev !columns; rows = List.rev !rows }
+
+let parse_update st =
+  expect_kw st "UPDATE";
+  let table = ident st in
+  expect_kw st "SET";
+  let one () =
+    let c = ident st in
+    expect st (Lexer.OP "=") "'='";
+    (c, expr st)
+  in
+  let set = ref [ one () ] in
+  while accept st Lexer.COMMA do
+    set := one () :: !set
+  done;
+  let where = if accept_kw st "WHERE" then Some (expr st) else None in
+  Update { table; set = List.rev !set; where }
+
+let parse_delete st =
+  expect_kw st "DELETE";
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = if accept_kw st "WHERE" then Some (expr st) else None in
+  Delete { table; where }
+
+let parse_create st =
+  expect_kw st "CREATE";
+  expect_kw st "TABLE";
+  let table = ident st in
+  expect st Lexer.LPAREN "'('";
+  let pk = ref None in
+  let columns = ref [] in
+  let column () =
+    if accept_kw st "PRIMARY" then begin
+      expect_kw st "KEY";
+      expect st Lexer.LPAREN "'('";
+      let c = ident st in
+      expect st Lexer.RPAREN "')'";
+      pk := Some c
+    end
+    else begin
+      let cd_name = ident st in
+      let cd_type =
+        match next st with
+        | Lexer.KEYWORD "INT" -> T_int
+        | Lexer.KEYWORD "FLOAT" -> T_float
+        | Lexer.KEYWORD "TEXT" -> T_text
+        | Lexer.KEYWORD "BOOL" -> T_bool
+        | t -> error "expected a column type, found %a" Lexer.pp_token t
+      in
+      let cd_nullable =
+        if accept_kw st "NOT" then begin
+          expect_kw st "NULL";
+          false
+        end
+        else begin
+          ignore (accept_kw st "NULL");
+          true
+        end
+      in
+      columns := { cd_name; cd_type; cd_nullable } :: !columns
+    end
+  in
+  column ();
+  while accept st Lexer.COMMA do
+    column ()
+  done;
+  expect st Lexer.RPAREN "')'";
+  Create_table { table; columns = List.rev !columns; primary_key = !pk }
+
+let parse_stmt st =
+  match peek st with
+  | Lexer.KEYWORD "SELECT" -> parse_select st
+  | Lexer.KEYWORD "INSERT" -> parse_insert st
+  | Lexer.KEYWORD "UPDATE" -> parse_update st
+  | Lexer.KEYWORD "DELETE" -> parse_delete st
+  | Lexer.KEYWORD "CREATE" -> parse_create st
+  | Lexer.KEYWORD "BEGIN" ->
+      advance st;
+      Begin_txn
+  | Lexer.KEYWORD "COMMIT" ->
+      advance st;
+      Commit
+  | Lexer.KEYWORD "ROLLBACK" ->
+      advance st;
+      Rollback
+  | t -> error "unexpected token %a at start of statement" Lexer.pp_token t
+
+let finish st what =
+  ignore (accept st Lexer.SEMI);
+  match peek st with
+  | Lexer.EOF -> ()
+  | t -> error "trailing input after %s: %a" what Lexer.pp_token t
+
+let parse src =
+  let st =
+    try { toks = Lexer.tokenize src }
+    with Lexer.Error (msg, pos) -> error "lex error at %d: %s" pos msg
+  in
+  let s = parse_stmt st in
+  finish st "statement";
+  s
+
+let parse_expr src =
+  let st =
+    try { toks = Lexer.tokenize src }
+    with Lexer.Error (msg, pos) -> error "lex error at %d: %s" pos msg
+  in
+  let e = expr st in
+  finish st "expression";
+  e

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the SQL dialect.
+
+    Accepts exactly the statements described in {!module:Ast}; operator
+    precedence is OR < AND < NOT < comparison < additive < multiplicative
+    < unary minus. *)
+
+exception Error of string
+(** Raised on syntax errors; the message names the offending token. *)
+
+val parse : string -> Ast.stmt
+(** Parse a single statement (a trailing [';'] is allowed). *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a stand-alone expression — used by tests. *)

@@ -1,0 +1,167 @@
+open Ast
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let literal_to_string = function
+  | L_int n -> string_of_int n
+  | L_float f ->
+      (* Keep a decimal point so the round trip stays a float. *)
+      let s = Printf.sprintf "%.12g" f in
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  | L_string s -> Printf.sprintf "'%s'" (escape_string s)
+  | L_bool true -> "TRUE"
+  | L_bool false -> "FALSE"
+  | L_null -> "NULL"
+
+let binop_to_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+
+let agg_to_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Avg -> "AVG"
+
+(* Fully parenthesize compound sub-expressions: canonical and unambiguous,
+   at the cost of a few extra parens.  The parser accepts the output and the
+   round trip is exact. *)
+let rec expr_to_string = function
+  | Lit l -> literal_to_string l
+  | Col (None, c) -> c
+  | Col (Some t, c) -> t ^ "." ^ c
+  | Binop (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+        (expr_to_string b)
+  | Unop (Not, e) -> Printf.sprintf "(NOT %s)" (expr_to_string e)
+  | Unop (Neg, e) -> Printf.sprintf "(- %s)" (expr_to_string e)
+  | In_list (e, items) ->
+      Printf.sprintf "(%s IN (%s))" (expr_to_string e)
+        (String.concat ", " (List.map expr_to_string items))
+  | In_select (e, sub) ->
+      Printf.sprintf "(%s IN (%s))" (expr_to_string e) (select_to_string sub)
+  | Is_null { e; negated } ->
+      Printf.sprintf "(%s IS %sNULL)" (expr_to_string e)
+        (if negated then "NOT " else "")
+  | Like (e, pat) ->
+      Printf.sprintf "(%s LIKE '%s')" (expr_to_string e) (escape_string pat)
+  | Between { e; lo; hi } ->
+      Printf.sprintf "(%s BETWEEN %s AND %s)" (expr_to_string e)
+        (expr_to_string lo) (expr_to_string hi)
+  | Agg (a, None) -> agg_to_string a ^ "(*)"
+  | Agg (a, Some e) ->
+      Printf.sprintf "%s(%s)" (agg_to_string a) (expr_to_string e)
+
+and sel_item_to_string = function
+  | Star -> "*"
+  | Sel_expr (e, None) -> expr_to_string e
+  | Sel_expr (e, Some a) -> expr_to_string e ^ " AS " ^ a
+
+and select_to_string s =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "SELECT ";
+  if s.sel_distinct then Buffer.add_string buf "DISTINCT ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map sel_item_to_string s.sel_items));
+  (match s.sel_from with
+  | None -> ()
+  | Some (t, alias) ->
+      Buffer.add_string buf (" FROM " ^ t);
+      Option.iter (fun a -> Buffer.add_string buf (" AS " ^ a)) alias);
+  List.iter
+    (fun j ->
+      Buffer.add_string buf (" JOIN " ^ j.j_table);
+      Option.iter (fun a -> Buffer.add_string buf (" AS " ^ a)) j.j_alias;
+      Buffer.add_string buf (" ON " ^ expr_to_string j.j_on))
+    s.sel_joins;
+  Option.iter
+    (fun w -> Buffer.add_string buf (" WHERE " ^ expr_to_string w))
+    s.sel_where;
+  (match s.sel_group_by with
+  | [] -> ()
+  | gs ->
+      Buffer.add_string buf
+        (" GROUP BY " ^ String.concat ", " (List.map expr_to_string gs)));
+  Option.iter
+    (fun h -> Buffer.add_string buf (" HAVING " ^ expr_to_string h))
+    s.sel_having;
+  (match s.sel_order_by with
+  | [] -> ()
+  | os ->
+      let one o =
+        expr_to_string o.o_expr ^ if o.o_asc then " ASC" else " DESC"
+      in
+      Buffer.add_string buf
+        (" ORDER BY " ^ String.concat ", " (List.map one os)));
+  Option.iter
+    (fun l -> Buffer.add_string buf (" LIMIT " ^ string_of_int l))
+    s.sel_limit;
+  Option.iter
+    (fun o -> Buffer.add_string buf (" OFFSET " ^ string_of_int o))
+    s.sel_offset;
+  Buffer.contents buf
+
+let col_type_to_string = function
+  | T_int -> "INT"
+  | T_float -> "FLOAT"
+  | T_text -> "TEXT"
+  | T_bool -> "BOOL"
+
+let to_string = function
+  | Select s -> select_to_string s
+  | Insert { table; columns; rows } ->
+      let row vs =
+        "(" ^ String.concat ", " (List.map expr_to_string vs) ^ ")"
+      in
+      Printf.sprintf "INSERT INTO %s (%s) VALUES %s" table
+        (String.concat ", " columns)
+        (String.concat ", " (List.map row rows))
+  | Update { table; set; where } ->
+      let one (c, e) = c ^ " = " ^ expr_to_string e in
+      Printf.sprintf "UPDATE %s SET %s%s" table
+        (String.concat ", " (List.map one set))
+        (match where with
+        | None -> ""
+        | Some w -> " WHERE " ^ expr_to_string w)
+  | Delete { table; where } ->
+      Printf.sprintf "DELETE FROM %s%s" table
+        (match where with
+        | None -> ""
+        | Some w -> " WHERE " ^ expr_to_string w)
+  | Create_table { table; columns; primary_key } ->
+      let col c =
+        Printf.sprintf "%s %s%s" c.cd_name
+          (col_type_to_string c.cd_type)
+          (if c.cd_nullable then "" else " NOT NULL")
+      in
+      let pk =
+        match primary_key with
+        | None -> ""
+        | Some c -> Printf.sprintf ", PRIMARY KEY (%s)" c
+      in
+      Printf.sprintf "CREATE TABLE %s (%s%s)" table
+        (String.concat ", " (List.map col columns))
+        pk
+  | Begin_txn -> "BEGIN"
+  | Commit -> "COMMIT"
+  | Rollback -> "ROLLBACK"
+
+let pp_expr ppf e = Format.pp_print_string ppf (expr_to_string e)
+let pp ppf s = Format.pp_print_string ppf (to_string s)

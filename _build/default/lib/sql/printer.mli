@@ -1,0 +1,11 @@
+(** Render SQL ASTs back to text.
+
+    The output is canonical: printing then re-parsing yields an equal AST
+    (checked by a qcheck property).  Canonical text is also what the query
+    store uses as the deduplication key for batched queries. *)
+
+val expr_to_string : Ast.expr -> string
+val to_string : Ast.stmt -> string
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp : Format.formatter -> Ast.stmt -> unit

@@ -1,0 +1,1 @@
+lib/storage/database.ml: Cost Executor Format Hashtbl Option Result_set Schema Sloth_sql Table Txn

@@ -1,0 +1,1 @@
+lib/storage/database.mli: Cost Result_set Schema Sloth_sql Table

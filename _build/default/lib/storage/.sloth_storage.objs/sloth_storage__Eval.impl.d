@@ -1,0 +1,1 @@
+lib/storage/eval.ml: Array Format List Schema Sloth_sql String Value

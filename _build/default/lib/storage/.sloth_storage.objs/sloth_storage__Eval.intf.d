@@ -1,0 +1,1 @@
+lib/storage/eval.mli: Schema Sloth_sql Value

@@ -1,0 +1,1 @@
+lib/storage/executor.ml: Array Eval Format Hashtbl Int List Option Result_set Schema Sloth_sql String Table Txn Value

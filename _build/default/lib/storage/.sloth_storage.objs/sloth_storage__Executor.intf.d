@@ -1,0 +1,1 @@
+lib/storage/executor.mli: Result_set Schema Sloth_sql Table Txn

@@ -1,0 +1,1 @@
+lib/storage/ordered_index.ml: Int List Map Option Value

@@ -1,0 +1,1 @@
+lib/storage/result_set.ml: Array Format List String Value

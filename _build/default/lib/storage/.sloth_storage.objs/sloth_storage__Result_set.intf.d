@@ -1,0 +1,1 @@
+lib/storage/result_set.mli: Format Value

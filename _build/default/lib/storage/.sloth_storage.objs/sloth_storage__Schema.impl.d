@@ -1,0 +1,1 @@
+lib/storage/schema.ml: Array Hashtbl List Printf Sloth_sql Value

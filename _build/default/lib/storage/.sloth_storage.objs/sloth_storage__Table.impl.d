@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Hashtbl Int List Option Ordered_index Printf Schema String Value Vec

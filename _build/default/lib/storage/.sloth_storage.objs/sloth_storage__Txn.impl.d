@@ -1,0 +1,1 @@
+lib/storage/txn.ml: List Table Value

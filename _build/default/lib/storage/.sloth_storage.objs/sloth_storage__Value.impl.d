@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Float Format Int Printf Sloth_sql String

@@ -1,0 +1,22 @@
+type model = {
+  fixed_ms : float;
+  scan_row_ms : float;
+  return_row_ms : float;
+}
+
+(* Defaults are calibrated so that a typical indexed point query costs
+   ~0.1 ms, in line with the paper's MySQL-on-LAN setting where round trips
+   (0.5 ms) dominate individual query execution. *)
+let default = { fixed_ms = 0.08; scan_row_ms = 0.0004; return_row_ms = 0.002 }
+
+let query_ms m ~rows_scanned ~rows_returned =
+  m.fixed_ms
+  +. (m.scan_row_ms *. float_of_int rows_scanned)
+  +. (m.return_row_ms *. float_of_int rows_returned)
+
+let batch_ms _model costs =
+  match costs with
+  | [] -> 0.0
+  | _ ->
+      let coordination = 0.01 *. float_of_int (List.length costs) in
+      List.fold_left Float.max 0.0 costs +. coordination

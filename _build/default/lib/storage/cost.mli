@@ -1,0 +1,21 @@
+(** Query execution cost model.
+
+    The database server charges virtual time per executed query.  The model
+    is deliberately simple — a fixed dispatch cost plus per-row scan and
+    return costs — but it is enough to reproduce the paper's shape: index
+    lookups are cheap, scans grow with table size, and a batch of reads
+    executed in parallel costs its maximum rather than its sum. *)
+
+type model = {
+  fixed_ms : float;  (** parse/plan/dispatch per statement *)
+  scan_row_ms : float;  (** per row examined *)
+  return_row_ms : float;  (** per row serialized into the result *)
+}
+
+val default : model
+
+val query_ms : model -> rows_scanned:int -> rows_returned:int -> float
+
+val batch_ms : model -> float list -> float
+(** Cost of executing a batch of read queries in parallel (Sec. 5): the max
+    of the individual costs plus a small per-query coordination overhead. *)

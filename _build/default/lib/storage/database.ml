@@ -1,0 +1,93 @@
+type outcome = {
+  rs : Result_set.t;
+  rows_affected : int;
+  cost_ms : float;
+}
+
+exception Sql_error of string
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  mutable order : string list;  (* creation order, for deterministic listing *)
+  mutable txn : Txn.t option;
+  cost : Cost.model;
+}
+
+let error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
+
+let create ?(cost = Cost.default) () =
+  { tables = Hashtbl.create 32; order = []; txn = None; cost }
+
+let cost_model t = t.cost
+
+let create_table t schema =
+  let name = Schema.name schema in
+  if Hashtbl.mem t.tables name then error "table %s already exists" name;
+  Hashtbl.replace t.tables name (Table.create schema);
+  t.order <- t.order @ [ name ]
+
+let create_index t ~table ~column =
+  match Hashtbl.find_opt t.tables table with
+  | None -> error "no such table: %s" table
+  | Some tbl -> (
+      try Table.create_index tbl column
+      with Not_found -> error "no such column: %s.%s" table column)
+
+let create_ordered_index t ~table ~column =
+  match Hashtbl.find_opt t.tables table with
+  | None -> error "no such table: %s" table
+  | Some tbl -> (
+      try Table.create_ordered_index tbl column
+      with Not_found -> error "no such column: %s.%s" table column)
+
+let table t name = Hashtbl.find_opt t.tables name
+let table_names t = t.order
+
+let row_count t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> Table.row_count tbl
+  | None -> 0
+
+let in_txn t = t.txn <> None
+
+let catalog t : Executor.catalog =
+  {
+    find_table = (fun name -> Hashtbl.find_opt t.tables name);
+    add_table = (fun schema -> create_table t schema);
+  }
+
+let exec t stmt =
+  match stmt with
+  | Sloth_sql.Ast.Begin_txn ->
+      if t.txn <> None then error "nested transactions are not supported";
+      t.txn <- Some (Txn.create ());
+      { rs = Result_set.empty; rows_affected = 0; cost_ms = t.cost.fixed_ms }
+  | Sloth_sql.Ast.Commit ->
+      (match t.txn with
+      | Some txn -> Txn.commit txn
+      | None -> () (* COMMIT outside a transaction is a no-op *));
+      t.txn <- None;
+      { rs = Result_set.empty; rows_affected = 0; cost_ms = t.cost.fixed_ms }
+  | Sloth_sql.Ast.Rollback ->
+      (match t.txn with
+      | Some txn -> Txn.rollback txn
+      | None -> ());
+      t.txn <- None;
+      { rs = Result_set.empty; rows_affected = 0; cost_ms = t.cost.fixed_ms }
+  | _ -> (
+      let log = Option.map (fun txn e -> Txn.log txn e) t.txn in
+      match Executor.execute (catalog t) ?log stmt with
+      | { rs; rows_scanned; rows_affected } ->
+          let cost_ms =
+            Cost.query_ms t.cost ~rows_scanned
+              ~rows_returned:(Result_set.num_rows rs)
+          in
+          { rs; rows_affected; cost_ms }
+      | exception Executor.Sql_error msg -> error "%s" msg)
+
+let exec_sql t sql =
+  match Sloth_sql.Parser.parse sql with
+  | stmt -> exec t stmt
+  | exception Sloth_sql.Parser.Error msg -> error "parse error: %s" msg
+
+let query t sql = (exec_sql t sql).rs

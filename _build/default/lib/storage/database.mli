@@ -1,0 +1,44 @@
+(** A database instance: catalog, transaction state and cost accounting.
+
+    This is the server-side entry point used by the drivers.  Every
+    execution reports a virtual execution cost derived from {!Cost} so the
+    network layer can charge the Db category of the clock. *)
+
+type t
+
+type outcome = {
+  rs : Result_set.t;
+  rows_affected : int;
+  cost_ms : float;  (** estimated execution time of this statement *)
+}
+
+exception Sql_error of string
+
+val create : ?cost:Cost.model -> unit -> t
+
+val cost_model : t -> Cost.model
+
+val create_table : t -> Schema.t -> unit
+(** Raises {!Sql_error} if a table with that name exists. *)
+
+val create_index : t -> table:string -> column:string -> unit
+val create_ordered_index : t -> table:string -> column:string -> unit
+val table : t -> string -> Table.t option
+val table_names : t -> string list
+
+val row_count : t -> string -> int
+(** 0 for unknown tables. *)
+
+val in_txn : t -> bool
+
+val exec : t -> Sloth_sql.Ast.stmt -> outcome
+(** Execute any statement, including BEGIN / COMMIT / ROLLBACK.  Outside an
+    explicit transaction, writes are autocommitted.  Raises {!Sql_error} on
+    constraint violations or malformed statements; if the error happens
+    inside a transaction the transaction stays open (the client decides). *)
+
+val exec_sql : t -> string -> outcome
+(** Parse then {!exec}. *)
+
+val query : t -> string -> Result_set.t
+(** Convenience wrapper over {!exec_sql} returning just the rows. *)

@@ -1,0 +1,138 @@
+open Sloth_sql.Ast
+
+type env = (string * Schema.t * Value.t array) list
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* SQL LIKE matching: '%' = any run, '_' = any single char.  Classic
+   two-pointer algorithm with backtracking on the last '%'. *)
+let like_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si star_pi star_si =
+    if si = ns then
+      (* Consume trailing '%'s. *)
+      let rec only_percent i =
+        i >= np || (pattern.[i] = '%' && only_percent (i + 1))
+      in
+      only_percent pi
+    else if pi < np && pattern.[pi] = '%' then go (pi + 1) si (pi + 1) si
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_pi star_si
+    else if star_pi >= 0 then go star_pi (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let resolve env qualifier column =
+  match qualifier with
+  | Some q -> (
+      match
+        List.find_opt (fun (name, _, _) -> String.equal name q) env
+      with
+      | None -> error "unknown table or alias %s" q
+      | Some (_, schema, row) -> (
+          match Schema.column_index schema column with
+          | Some i -> row.(i)
+          | None -> error "unknown column %s.%s" q column))
+  | None -> (
+      let rec find = function
+        | [] -> error "unknown column %s" column
+        | (_, schema, row) :: rest -> (
+            match Schema.column_index schema column with
+            | Some i -> row.(i)
+            | None -> find rest)
+      in
+      find env)
+
+let arith op a b =
+  let open Value in
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> (
+      match op with
+      | Add -> Int (x + y)
+      | Sub -> Int (x - y)
+      | Mul -> Int (x * y)
+      | Div ->
+          if y = 0 then error "division by zero" else Int (x / y)
+      | _ -> assert false)
+  | _ -> (
+      match (Value.to_float a, Value.to_float b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Float (x +. y)
+          | Sub -> Float (x -. y)
+          | Mul -> Float (x *. y)
+          | Div ->
+              if y = 0.0 then error "division by zero" else Float (x /. y)
+          | _ -> assert false)
+      | _ ->
+          error "arithmetic on non-numeric values %s, %s" (Value.to_string a)
+            (Value.to_string b))
+
+let comparison op a b =
+  let open Value in
+  if a = Null || b = Null then Bool false
+  else
+    let c = Value.compare a b in
+    let r =
+      match op with
+      | Eq -> Value.equal a b
+      | Neq -> not (Value.equal a b)
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+      | _ -> assert false
+    in
+    Bool r
+
+let rec eval env expr =
+  match expr with
+  | Lit l -> Value.of_literal l
+  | Col (q, c) -> resolve env q c
+  | Binop (And, a, b) ->
+      Value.Bool (Value.is_truthy (eval env a) && Value.is_truthy (eval env b))
+  | Binop (Or, a, b) ->
+      Value.Bool (Value.is_truthy (eval env a) || Value.is_truthy (eval env b))
+  | Binop (((Eq | Neq | Lt | Le | Gt | Ge) as op), a, b) ->
+      comparison op (eval env a) (eval env b)
+  | Binop (((Add | Sub | Mul | Div) as op), a, b) ->
+      arith op (eval env a) (eval env b)
+  | Unop (Not, e) -> Value.Bool (not (Value.is_truthy (eval env e)))
+  | Unop (Neg, e) -> (
+      match eval env e with
+      | Value.Int n -> Value.Int (-n)
+      | Value.Float f -> Value.Float (-.f)
+      | Value.Null -> Value.Null
+      | v -> error "cannot negate %s" (Value.to_string v))
+  | In_list (e, items) ->
+      let v = eval env e in
+      if v = Value.Null then Value.Bool false
+      else
+        Value.Bool
+          (List.exists (fun item -> Value.equal v (eval env item)) items)
+  | Is_null { e; negated } ->
+      let isnull = eval env e = Value.Null in
+      Value.Bool (if negated then not isnull else isnull)
+  | Like (e, pattern) -> (
+      match eval env e with
+      | Value.Text s -> Value.Bool (like_match ~pattern s)
+      | Value.Null -> Value.Bool false
+      | v -> error "LIKE on non-text value %s" (Value.to_string v))
+  | Between { e; lo; hi } ->
+      let v = eval env e in
+      let vlo = eval env lo in
+      let vhi = eval env hi in
+      if v = Value.Null || vlo = Value.Null || vhi = Value.Null then
+        Value.Bool false
+      else Value.Bool (Value.compare vlo v <= 0 && Value.compare v vhi <= 0)
+  | In_select _ ->
+      (* The executor materializes uncorrelated subqueries into In_list
+         before row-level evaluation. *)
+      error "subquery reached the row evaluator unmaterialized"
+  | Agg _ -> error "aggregate used outside of a SELECT list"
+
+let eval_const expr = eval [] expr

@@ -1,0 +1,25 @@
+(** Row-level evaluation of SQL expressions.
+
+    An environment is the ordered list of table bindings visible to the
+    expression: [(binding_name, schema, row)].  The binding name is the
+    table alias if one was given, otherwise the table name.  Unqualified
+    columns resolve to the first binding that has them. *)
+
+type env = (string * Schema.t * Value.t array) list
+
+exception Error of string
+
+val eval : env -> Sloth_sql.Ast.expr -> Value.t
+(** NULL handling follows the engine's documented simplification of SQL
+    three-valued logic: comparisons involving NULL yield FALSE, arithmetic
+    involving NULL yields NULL, [IS NULL] tests work as usual.  Aggregates
+    are rejected here (the executor computes them over groups). *)
+
+val eval_const : Sloth_sql.Ast.expr -> Value.t
+(** Evaluate a closed expression (no column references). *)
+
+val like_match : pattern:string -> string -> bool
+(** SQL LIKE: ['%'] matches any run, ['_'] any single character. *)
+
+val resolve : env -> string option -> string -> Value.t
+(** Column lookup; raises {!Error} when unknown or ambiguous qualifier. *)

@@ -1,0 +1,708 @@
+open Sloth_sql.Ast
+
+type catalog = {
+  find_table : string -> Table.t option;
+  add_table : Schema.t -> unit;
+}
+
+type outcome = {
+  rs : Result_set.t;
+  rows_scanned : int;
+  rows_affected : int;
+}
+
+exception Sql_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
+
+let get_table cat name =
+  match cat.find_table name with
+  | Some t -> t
+  | None -> error "no such table: %s" name
+
+let binding_name table alias = Option.value alias ~default:table
+
+(* --- predicate analysis ----------------------------------------------- *)
+
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec is_closed = function
+  | Lit _ -> true
+  | Col _ -> false
+  | Binop (_, a, b) -> is_closed a && is_closed b
+  | Unop (_, e) -> is_closed e
+  | In_list (e, items) -> is_closed e && List.for_all is_closed items
+  | Is_null { e; _ } -> is_closed e
+  | Like (e, _) -> is_closed e
+  | Between { e; lo; hi } -> is_closed e && is_closed lo && is_closed hi
+  | In_select _ -> false
+  | Agg _ -> false
+
+(* Find an equality [col = closed-expr] over the given binding that can use
+   an index of [table]. *)
+let indexable_eq ~binding table preds =
+  let candidate col rhs =
+    if Table.has_index table col && is_closed rhs then
+      Some (col, Eval.eval_const rhs)
+    else None
+  in
+  let matches_binding q col =
+    (match q with Some q -> String.equal q binding | None -> true)
+    && Schema.mem (Table.schema table) col
+  in
+  List.find_map
+    (function
+      | Binop (Eq, Col (q, c), rhs) when matches_binding q c ->
+          candidate c rhs
+      | Binop (Eq, rhs, Col (q, c)) when matches_binding q c ->
+          candidate c rhs
+      | _ -> None)
+    preds
+
+(* Find a range predicate [col < / <= / > / >= closed-expr] or
+   [col BETWEEN closed AND closed] over an ordered-indexed column. *)
+let indexable_range ~binding table preds =
+  let matches_binding q col =
+    (match q with Some q -> String.equal q binding | None -> true)
+    && Schema.mem (Table.schema table) col
+  in
+  let ok q c rhs =
+    matches_binding q c && Table.has_ordered_index table c && is_closed rhs
+  in
+  let bound op v =
+    match op with
+    | Gt -> (Some (v, false), None)
+    | Ge -> (Some (v, true), None)
+    | Lt -> (None, Some (v, false))
+    | Le -> (None, Some (v, true))
+    | _ -> assert false
+  in
+  let flip = function Gt -> Lt | Ge -> Le | Lt -> Gt | Le -> Ge | op -> op in
+  List.find_map
+    (function
+      | Binop (((Gt | Ge | Lt | Le) as op), Col (q, c), rhs) when ok q c rhs ->
+          let lo, hi = bound op (Eval.eval_const rhs) in
+          Some (c, lo, hi)
+      | Binop (((Gt | Ge | Lt | Le) as op), rhs, Col (q, c)) when ok q c rhs ->
+          let lo, hi = bound (flip op) (Eval.eval_const rhs) in
+          Some (c, lo, hi)
+      | Between { e = Col (q, c); lo; hi }
+        when matches_binding q c
+             && Table.has_ordered_index table c
+             && is_closed lo && is_closed hi ->
+          Some
+            ( c,
+              Some (Eval.eval_const lo, true),
+              Some (Eval.eval_const hi, true) )
+      | _ -> None)
+    preds
+
+(* --- base row production ---------------------------------------------- *)
+
+(* Produce the environments for the FROM table, using an index when a WHERE
+   conjunct allows it.  Returns (envs, rows_scanned). *)
+let base_rows cat scanned (table_name, alias) where =
+  let table = get_table cat table_name in
+  let binding = binding_name table_name alias in
+  let schema = Table.schema table in
+  let preds = match where with None -> [] | Some w -> conjuncts w in
+  let candidate_rids =
+    match indexable_eq ~binding table preds with
+    | Some (col, key) -> Table.lookup_indexed table col key
+    | None -> (
+        match indexable_range ~binding table preds with
+        | Some (col, lo, hi) ->
+            (* Back to rid order so index and scan paths agree exactly. *)
+            Option.map (List.sort Int.compare)
+              (Table.lookup_range table col ?lo ?hi ())
+        | None -> None)
+  in
+  match candidate_rids with
+  | Some rids ->
+      scanned := !scanned + List.length rids;
+      List.filter_map
+        (fun rid ->
+          Option.map (fun row -> [ (binding, schema, row) ]) (Table.get table rid))
+        rids
+  | None ->
+      scanned := !scanned + Table.row_count table;
+      let acc = ref [] in
+      Table.iter (fun _ row -> acc := [ (binding, schema, row) ] :: !acc) table;
+      List.rev !acc
+
+(* Extend each environment with rows of a joined table.  Uses an index when
+   the ON clause is an equality whose one side is a column of the joined
+   table and whose other side is evaluable in the outer environment. *)
+let join_rows cat scanned envs { j_table; j_alias; j_on } =
+  let table = get_table cat j_table in
+  let binding = binding_name j_table j_alias in
+  let schema = Table.schema table in
+  let refs_join_only q c =
+    (match q with Some q -> String.equal q binding | None -> true)
+    && Schema.mem schema c
+  in
+  let index_plan =
+    match j_on with
+    | Binop (Eq, Col (q, c), other) when refs_join_only q c && Table.has_index table c ->
+        Some (c, other)
+    | Binop (Eq, other, Col (q, c)) when refs_join_only q c && Table.has_index table c ->
+        Some (c, other)
+    | _ -> None
+  in
+  let extend env =
+    match index_plan with
+    | Some (col, other_side) -> (
+        (* The other side must be evaluable in the outer env alone. *)
+        match Eval.eval env other_side with
+        | key ->
+            let rids = Option.get (Table.lookup_indexed table col key) in
+            scanned := !scanned + List.length rids;
+            List.filter_map
+              (fun rid ->
+                match Table.get table rid with
+                | Some row ->
+                    let env' = env @ [ (binding, schema, row) ] in
+                    if Value.is_truthy (Eval.eval env' j_on) then Some env'
+                    else None
+                | None -> None)
+              rids
+        | exception Eval.Error _ ->
+            (* Fall back to a scan below by raising through. *)
+            scanned := !scanned + Table.row_count table;
+            let acc = ref [] in
+            Table.iter
+              (fun _ row ->
+                let env' = env @ [ (binding, schema, row) ] in
+                if Value.is_truthy (Eval.eval env' j_on) then acc := env' :: !acc)
+              table;
+            List.rev !acc)
+    | None ->
+        scanned := !scanned + Table.row_count table;
+        let acc = ref [] in
+        Table.iter
+          (fun _ row ->
+            let env' = env @ [ (binding, schema, row) ] in
+            if Value.is_truthy (Eval.eval env' j_on) then acc := env' :: !acc)
+          table;
+        List.rev !acc
+  in
+  List.concat_map extend envs
+
+(* --- projection -------------------------------------------------------- *)
+
+let rec has_agg = function
+  | Agg _ -> true
+  | Binop (_, a, b) -> has_agg a || has_agg b
+  | Unop (_, e) -> has_agg e
+  | In_list (e, items) -> has_agg e || List.exists has_agg items
+  | Is_null { e; _ } -> has_agg e
+  | Like (e, _) -> has_agg e
+  | Between { e; lo; hi } -> has_agg e || has_agg lo || has_agg hi
+  | In_select (e, _) -> has_agg e
+  | Lit _ | Col _ -> false
+
+let item_name = function
+  | Star -> error "SELECT * cannot be aliased"
+  | Sel_expr (_, Some alias) -> alias
+  | Sel_expr (Col (_, c), None) -> c
+  | Sel_expr (e, None) -> Sloth_sql.Printer.expr_to_string e
+
+(* Expand items to (column_name, expr) pairs; Star expands to every column
+   of every binding, qualified with the binding name when several bindings
+   are in scope. *)
+let expand_items env_bindings items =
+  let star_columns () =
+    let qualify = List.length env_bindings > 1 in
+    List.concat_map
+      (fun (binding, schema) ->
+        List.map
+          (fun (c : Schema.column) ->
+            let name = if qualify then binding ^ "." ^ c.name else c.name in
+            (name, Col (Some binding, c.name)))
+          (Schema.columns schema))
+      env_bindings
+  in
+  List.concat_map
+    (function
+      | Star -> star_columns ()
+      | Sel_expr (e, _) as item -> [ (item_name item, e) ])
+    items
+
+let value_to_lit = function
+  | Value.Null -> L_null
+  | Value.Int n -> L_int n
+  | Value.Float f -> L_float f
+  | Value.Text s -> L_string s
+  | Value.Bool b -> L_bool b
+
+(* Evaluate an expression over a group of rows: aggregate nodes are computed
+   over the whole group and substituted as literals, then the residual
+   expression is evaluated on the group's first row. *)
+let eval_in_group group e =
+  let first = match group with g :: _ -> g | [] -> assert false in
+  let agg_value agg arg =
+    match (agg, arg) with
+    | Count, None -> Value.Int (List.length group)
+    | _, None -> error "only COUNT accepts a star argument"
+    | _, Some arg -> (
+        let vs =
+          List.filter_map
+            (fun env ->
+              match Eval.eval env arg with Value.Null -> None | v -> Some v)
+            group
+        in
+        match agg with
+        | Count -> Value.Int (List.length vs)
+        | Min -> (
+            match vs with
+            | [] -> Value.Null
+            | v :: rest -> List.fold_left Value.(fun a b -> if compare b a < 0 then b else a) v rest)
+        | Max -> (
+            match vs with
+            | [] -> Value.Null
+            | v :: rest -> List.fold_left Value.(fun a b -> if compare b a > 0 then b else a) v rest)
+        | Sum | Avg -> (
+            match vs with
+            | [] -> Value.Null
+            | _ ->
+                let fs =
+                  List.map
+                    (fun v ->
+                      match Value.to_float v with
+                      | Some f -> f
+                      | None -> error "SUM/AVG over non-numeric values")
+                    vs
+                in
+                let total = List.fold_left ( +. ) 0.0 fs in
+                let all_int =
+                  List.for_all (function Value.Int _ -> true | _ -> false) vs
+                in
+                if agg = Avg then Value.Float (total /. float_of_int (List.length fs))
+                else if all_int then Value.Int (int_of_float total)
+                else Value.Float total))
+  in
+  let rec subst = function
+    | Agg (a, arg) -> Lit (value_to_lit (agg_value a arg))
+    | Binop (op, x, y) -> Binop (op, subst x, subst y)
+    | Unop (op, x) -> Unop (op, subst x)
+    | In_list (x, items) -> In_list (subst x, List.map subst items)
+    | Is_null { e; negated } -> Is_null { e = subst e; negated }
+    | Like (x, p) -> Like (subst x, p)
+    | Between { e; lo; hi } ->
+        Between { e = subst e; lo = subst lo; hi = subst hi }
+    | In_select (x, sub) -> In_select (subst x, sub)
+    | (Lit _ | Col _) as e -> e
+  in
+  Eval.eval first (subst e)
+
+(* DISTINCT: drop later duplicates, preserving first-occurrence order. *)
+let dedupe_rows rows =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun row ->
+      let key = Array.to_list (Array.map Value.to_string row) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    rows
+
+(* --- SELECT ------------------------------------------------------------ *)
+
+(* Check column references against the visible bindings so that unknown
+   columns fail even when the input has no rows (plan-time validation). *)
+let rec validate_cols bindings = function
+  | Col (Some q, c) -> (
+      match List.find_opt (fun (b, _) -> String.equal b q) bindings with
+      | None -> error "unknown table or alias %s" q
+      | Some (_, schema) ->
+          if not (Schema.mem schema c) then error "unknown column %s.%s" q c)
+  | Col (None, c) ->
+      if not (List.exists (fun (_, schema) -> Schema.mem schema c) bindings)
+      then error "unknown column %s" c
+  | Lit _ -> ()
+  | Binop (_, a, b) ->
+      validate_cols bindings a;
+      validate_cols bindings b
+  | Unop (_, e) -> validate_cols bindings e
+  | In_list (e, items) ->
+      validate_cols bindings e;
+      List.iter (validate_cols bindings) items
+  | Is_null { e; _ } -> validate_cols bindings e
+  | Like (e, _) -> validate_cols bindings e
+  | Between { e; lo; hi } ->
+      validate_cols bindings e;
+      validate_cols bindings lo;
+      validate_cols bindings hi
+  | In_select (e, _) ->
+      (* The subquery is validated when it is materialized (it sees its own
+         bindings, not the outer ones — subqueries are uncorrelated). *)
+      validate_cols bindings e
+  | Agg (_, arg) -> Option.iter (validate_cols bindings) arg
+
+let select_bindings cat (s : select) =
+  match s.sel_from with
+  | None -> []
+  | Some (t, alias) ->
+      (binding_name t alias, Table.schema (get_table cat t))
+      :: List.map
+           (fun j ->
+             ( binding_name j.j_table j.j_alias,
+               Table.schema (get_table cat j.j_table) ))
+           s.sel_joins
+
+let validate_select cat (s : select) =
+  let bindings = select_bindings cat s in
+  List.iter
+    (function Star -> () | Sel_expr (e, _) -> validate_cols bindings e)
+    s.sel_items;
+  Option.iter (validate_cols bindings) s.sel_where;
+  List.iter (validate_cols bindings) s.sel_group_by;
+  Option.iter (validate_cols bindings) s.sel_having;
+  List.iter (fun o -> validate_cols bindings o.o_expr) s.sel_order_by;
+  List.iter (fun j -> validate_cols bindings j.j_on) s.sel_joins
+
+(* Replace every [e IN (SELECT ...)] with [e IN (v1, ..., vn)] by running
+   the (uncorrelated) subquery — a single-column result — up front.
+   [exec_ref] breaks the recursion with exec_select. *)
+let exec_select_ref :
+    (catalog -> select -> outcome) ref =
+  ref (fun _ _ -> error "executor not initialised")
+
+let rec materialize cat expr =
+  match expr with
+  | Lit _ | Col _ -> expr
+  | Binop (op, a, b) -> Binop (op, materialize cat a, materialize cat b)
+  | Unop (op, e) -> Unop (op, materialize cat e)
+  | In_list (e, items) ->
+      In_list (materialize cat e, List.map (materialize cat) items)
+  | Is_null { e; negated } -> Is_null { e = materialize cat e; negated }
+  | Like (e, p) -> Like (materialize cat e, p)
+  | Between { e; lo; hi } ->
+      Between
+        { e = materialize cat e; lo = materialize cat lo;
+          hi = materialize cat hi }
+  | Agg (a, arg) -> Agg (a, Option.map (materialize cat) arg)
+  | In_select (e, sub) ->
+      let outcome = !exec_select_ref cat sub in
+      let values =
+        List.map
+          (fun row ->
+            if Array.length row <> 1 then
+              error "IN subquery must produce a single column"
+            else Lit (value_to_lit row.(0)))
+          (Result_set.rows outcome.rs)
+      in
+      In_list (materialize cat e, values)
+
+let materialize_select cat (s : select) =
+  {
+    s with
+    sel_where = Option.map (materialize cat) s.sel_where;
+    sel_having = Option.map (materialize cat) s.sel_having;
+  }
+
+let exec_select cat (s : select) =
+  let s = materialize_select cat s in
+  validate_select cat s;
+  let scanned = ref 0 in
+  let envs =
+    match s.sel_from with
+    | None -> [ [] ]
+    | Some from ->
+        let base = base_rows cat scanned from s.sel_where in
+        List.fold_left (join_rows cat scanned) base s.sel_joins
+  in
+  (* Apply the full WHERE (the index was only a pre-filter). *)
+  let envs =
+    match s.sel_where with
+    | None -> envs
+    | Some w -> List.filter (fun env -> Value.is_truthy (Eval.eval env w)) envs
+  in
+  let bindings =
+    match envs with
+    | env :: _ -> List.map (fun (b, sch, _) -> (b, sch)) env
+    | [] -> select_bindings cat s
+  in
+  let aggregated =
+    s.sel_group_by <> []
+    || List.exists
+         (function Star -> false | Sel_expr (e, _) -> has_agg e)
+         s.sel_items
+  in
+  if aggregated then begin
+    (* Group rows by the GROUP BY key (all rows form one group if absent). *)
+    let key env = List.map (fun e -> Eval.eval env e) s.sel_group_by in
+    let groups : (Value.t list * Eval.env list ref) list ref = ref [] in
+    List.iter
+      (fun env ->
+        let k = key env in
+        match
+          List.find_opt (fun (k', _) -> List.equal Value.equal k k') !groups
+        with
+        | Some (_, cell) -> cell := env :: !cell
+        | None -> groups := (k, ref [ env ]) :: !groups)
+      envs;
+    let groups =
+      List.rev_map (fun (k, cell) -> (k, List.rev !cell)) !groups
+    in
+    let groups =
+      (* A global aggregate over an empty input still yields one row. *)
+      if groups = [] && s.sel_group_by = [] && envs = [] then
+        if s.sel_from = None then [ ([], [ [] ]) ] else [ ([], []) ]
+      else groups
+    in
+    let items =
+      List.map
+        (function
+          | Star -> error "SELECT * cannot be combined with aggregates"
+          | Sel_expr (e, _) as item -> (item_name item, e))
+        s.sel_items
+    in
+    let row_of_group (_, group) =
+      Array.of_list
+        (List.map
+           (fun (_, e) ->
+             match group with
+             | [] -> (
+                 (* Empty global group: COUNT = 0, other aggregates NULL. *)
+                 match e with
+                 | Agg (Count, _) -> Value.Int 0
+                 | Agg _ -> Value.Null
+                 | _ -> Value.Null)
+             | _ -> eval_in_group group e)
+           items)
+    in
+    (* HAVING filters groups; the predicate may mix aggregates and group
+       keys, evaluated the same way as select items. *)
+    let groups =
+      match s.sel_having with
+      | None -> groups
+      | Some h ->
+          List.filter
+            (fun (_, group) ->
+              match group with
+              | [] -> false
+              | _ -> Value.is_truthy (eval_in_group group h))
+            groups
+    in
+    let groups =
+      match s.sel_order_by with
+      | [] -> groups
+      | os ->
+          let keyed =
+            List.map
+              (fun ((_, group) as g) ->
+                let ks =
+                  List.map
+                    (fun o ->
+                      let v =
+                        match group with
+                        | [] -> Value.Null
+                        | _ -> eval_in_group group o.o_expr
+                      in
+                      (v, o.o_asc))
+                    os
+                in
+                (ks, g))
+              groups
+          in
+          let cmp (ka, _) (kb, _) =
+            let rec go a b =
+              match (a, b) with
+              | [], [] -> 0
+              | (va, asc) :: ra, (vb, _) :: rb ->
+                  let c = Value.compare va vb in
+                  if c <> 0 then if asc then c else -c else go ra rb
+              | _ -> 0
+            in
+            go ka kb
+          in
+          List.map snd (List.stable_sort cmp keyed)
+    in
+    let groups =
+      match s.sel_offset with
+      | None -> groups
+      | Some n -> List.filteri (fun i _ -> i >= n) groups
+    in
+    let groups =
+      match s.sel_limit with
+      | None -> groups
+      | Some n -> List.filteri (fun i _ -> i < n) groups
+    in
+    let rows = List.map row_of_group groups in
+    let rows = if s.sel_distinct then dedupe_rows rows else rows in
+    {
+      rs = Result_set.create ~columns:(List.map fst items) rows;
+      rows_scanned = !scanned;
+      rows_affected = 0;
+    }
+  end
+  else begin
+    let envs =
+      match s.sel_order_by with
+      | [] -> envs
+      | os ->
+          let keyed =
+            List.map
+              (fun env ->
+                (List.map (fun o -> (Eval.eval env o.o_expr, o.o_asc)) os, env))
+              envs
+          in
+          let cmp (ka, _) (kb, _) =
+            let rec go a b =
+              match (a, b) with
+              | [], [] -> 0
+              | (va, asc) :: ra, (vb, _) :: rb ->
+                  let c = Value.compare va vb in
+                  if c <> 0 then if asc then c else -c else go ra rb
+              | _ -> 0
+            in
+            go ka kb
+          in
+          List.map snd (List.stable_sort cmp keyed)
+    in
+    let envs =
+      match s.sel_offset with
+      | None -> envs
+      | Some n -> List.filteri (fun i _ -> i >= n) envs
+    in
+    let envs =
+      match s.sel_limit with
+      | None -> envs
+      | Some n -> List.filteri (fun i _ -> i < n) envs
+    in
+    let named = expand_items bindings s.sel_items in
+    let rows =
+      List.map
+        (fun env ->
+          Array.of_list (List.map (fun (_, e) -> Eval.eval env e) named))
+        envs
+    in
+    let rows = if s.sel_distinct then dedupe_rows rows else rows in
+    {
+      rs = Result_set.create ~columns:(List.map fst named) rows;
+      rows_scanned = !scanned;
+      rows_affected = 0;
+    }
+  end
+
+(* --- writes ------------------------------------------------------------ *)
+
+let build_row schema columns values =
+  let arity = Schema.arity schema in
+  let row = Array.make arity Value.Null in
+  if List.length columns <> List.length values then
+    error "INSERT: %d columns but %d values" (List.length columns)
+      (List.length values);
+  List.iter2
+    (fun c e ->
+      match Schema.column_index schema c with
+      | Some i -> row.(i) <- Eval.eval_const e
+      | None -> error "INSERT: unknown column %s" c)
+    columns values;
+  row
+
+let exec_insert cat ?log ~table ~columns ~rows () =
+  let t = get_table cat table in
+  let schema = Table.schema t in
+  let n = ref 0 in
+  List.iter
+    (fun values ->
+      let row = build_row schema columns values in
+      match Table.insert t row with
+      | rid ->
+          Option.iter (fun log -> log (Txn.Inserted (t, rid))) log;
+          incr n
+      | exception Table.Constraint_violation msg -> error "%s" msg)
+    rows;
+  { rs = Result_set.empty; rows_scanned = 0; rows_affected = !n }
+
+(* Rows matching a WHERE clause on a single table, as (rid, row) pairs. *)
+let matching_rows table where scanned =
+  let binding = Schema.name (Table.schema table) in
+  let schema = Table.schema table in
+  let preds = match where with None -> [] | Some w -> conjuncts w in
+  let candidates =
+    match indexable_eq ~binding table preds with
+    | Some (col, key) ->
+        let rids = Option.get (Table.lookup_indexed table col key) in
+        scanned := !scanned + List.length rids;
+        List.filter_map
+          (fun rid -> Option.map (fun row -> (rid, row)) (Table.get table rid))
+          rids
+    | None ->
+        scanned := !scanned + Table.row_count table;
+        let acc = ref [] in
+        Table.iter (fun rid row -> acc := (rid, row) :: !acc) table;
+        List.rev !acc
+  in
+  match where with
+  | None -> candidates
+  | Some w ->
+      List.filter
+        (fun (_, row) -> Value.is_truthy (Eval.eval [ (binding, schema, row) ] w))
+        candidates
+
+let exec_update cat ?log ~table ~set ~where () =
+  let where = Option.map (materialize cat) where in
+  let t = get_table cat table in
+  let schema = Table.schema t in
+  let binding = Schema.name schema in
+  let scanned = ref 0 in
+  let targets = matching_rows t where scanned in
+  List.iter
+    (fun (rid, row) ->
+      let updated = Array.copy row in
+      List.iter
+        (fun (c, e) ->
+          match Schema.column_index schema c with
+          | Some i -> updated.(i) <- Eval.eval [ (binding, schema, row) ] e
+          | None -> error "UPDATE: unknown column %s" c)
+        set;
+      match Table.update t rid updated with
+      | old -> Option.iter (fun log -> log (Txn.Updated (t, rid, old))) log
+      | exception Table.Constraint_violation msg -> error "%s" msg)
+    targets;
+  {
+    rs = Result_set.empty;
+    rows_scanned = !scanned;
+    rows_affected = List.length targets;
+  }
+
+let exec_delete cat ?log ~table ~where () =
+  let where = Option.map (materialize cat) where in
+  let t = get_table cat table in
+  let scanned = ref 0 in
+  let targets = matching_rows t where scanned in
+  List.iter
+    (fun (rid, _) ->
+      match Table.delete t rid with
+      | Some old -> Option.iter (fun log -> log (Txn.Deleted (t, rid, old))) log
+      | None -> ())
+    targets;
+  {
+    rs = Result_set.empty;
+    rows_scanned = !scanned;
+    rows_affected = List.length targets;
+  }
+
+let () = exec_select_ref := exec_select
+
+let execute cat ?log stmt =
+  try
+    match stmt with
+    | Select s -> exec_select cat s
+    | Insert { table; columns; rows } ->
+        exec_insert cat ?log ~table ~columns ~rows ()
+    | Update { table; set; where } -> exec_update cat ?log ~table ~set ~where ()
+    | Delete { table; where } -> exec_delete cat ?log ~table ~where ()
+    | Create_table { table; columns; primary_key } ->
+        cat.add_table (Schema.of_ast ~table columns ~primary_key);
+        { rs = Result_set.empty; rows_scanned = 0; rows_affected = 0 }
+    | Begin_txn | Commit | Rollback ->
+        error "transaction control reached the executor"
+  with Eval.Error msg -> error "%s" msg

@@ -1,0 +1,25 @@
+(** Statement execution against a catalog of tables.
+
+    The executor is deliberately planner-free: the only optimization is
+    using a hash index for equality predicates (primary key or secondary),
+    both for base-table selection and for equi-joins.  Everything else is a
+    deterministic scan in row-id order. *)
+
+type catalog = {
+  find_table : string -> Table.t option;
+  add_table : Schema.t -> unit;  (** raises {!Sql_error} if it exists *)
+}
+
+type outcome = {
+  rs : Result_set.t;
+  rows_scanned : int;  (** rows examined, feeding the cost model *)
+  rows_affected : int;  (** for writes *)
+}
+
+exception Sql_error of string
+
+val execute :
+  catalog -> ?log:(Txn.entry -> unit) -> Sloth_sql.Ast.stmt -> outcome
+(** Execute SELECT / INSERT / UPDATE / DELETE / CREATE TABLE.  Transaction
+    control statements are the database layer's business and raise
+    {!Sql_error} here.  [log] receives undo entries for heap mutations. *)

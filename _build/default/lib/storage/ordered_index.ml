@@ -1,0 +1,59 @@
+module M = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type t = { mutable map : int list M.t; mutable entries : int }
+
+let create () = { map = M.empty; entries = 0 }
+
+let add t key rid =
+  let rids = Option.value ~default:[] (M.find_opt key t.map) in
+  t.map <- M.add key (rid :: rids) t.map;
+  t.entries <- t.entries + 1
+
+let remove t key rid =
+  match M.find_opt key t.map with
+  | None -> ()
+  | Some rids ->
+      let rest = List.filter (fun r -> r <> rid) rids in
+      if List.length rest < List.length rids then t.entries <- t.entries - 1;
+      t.map <-
+        (if rest = [] then M.remove key t.map else M.add key rest t.map)
+
+let lookup t key =
+  List.sort Int.compare (Option.value ~default:[] (M.find_opt key t.map))
+
+let range t ?lo ?hi () =
+  (* Trim the map with split (O(log n)), then walk the remainder. *)
+  let m = t.map in
+  let m =
+    match lo with
+    | None -> m
+    | Some (v, inclusive) ->
+        let _, at, above = M.split v m in
+        let above =
+          match at with
+          | Some rids when inclusive -> M.add v rids above
+          | _ -> above
+        in
+        above
+  in
+  let m =
+    match hi with
+    | None -> m
+    | Some (v, inclusive) ->
+        let below, at, _ = M.split v m in
+        let below =
+          match at with
+          | Some rids when inclusive -> M.add v rids below
+          | _ -> below
+        in
+        below
+  in
+  List.concat_map
+    (fun (_, rids) -> List.sort Int.compare rids)
+    (M.bindings m)
+
+let cardinality t = t.entries

@@ -1,0 +1,22 @@
+(** An ordered (balanced-tree) secondary index supporting range scans.
+
+    Complements the hash indexes in {!Table}: equality probes stay O(1)
+    there; range predicates ([<], [<=], [>], [>=], [BETWEEN]) resolve here
+    in O(log n + k).  Non-unique: each key maps to the rids holding it. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Value.t -> int -> unit
+val remove : t -> Value.t -> int -> unit
+
+val lookup : t -> Value.t -> int list
+(** Rids with exactly this key, ascending. *)
+
+val range : t -> ?lo:Value.t * bool -> ?hi:Value.t * bool -> unit -> int list
+(** [range t ~lo:(v, incl) ~hi:(w, incl) ()] — rids whose key lies between
+    the bounds (each side optional; the bool is inclusiveness), in
+    ascending (key, rid) order. *)
+
+val cardinality : t -> int
+(** Total number of (key, rid) entries. *)

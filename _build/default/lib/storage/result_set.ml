@@ -1,0 +1,56 @@
+type t = { columns : string list; rows : Value.t array list }
+
+let create ~columns rows = { columns; rows }
+let empty = { columns = []; rows = [] }
+let columns t = t.columns
+let rows t = t.rows
+let num_rows t = List.length t.rows
+
+let column_index t name =
+  let rec find i = function
+    | [] -> None
+    | c :: _ when String.equal c name -> Some i
+    | _ :: rest -> find (i + 1) rest
+  in
+  find 0 t.columns
+
+let cell t ~row name =
+  match column_index t name with
+  | None -> raise Not_found
+  | Some i ->
+      let r = List.nth t.rows row in
+      r.(i)
+
+let first t = match t.rows with [] -> None | r :: _ -> Some r
+
+let scalar t =
+  match (t.rows, t.columns) with
+  | [ [| v |] ], [ _ ] -> Some v
+  | _ -> None
+
+let size_bytes t =
+  let header =
+    List.fold_left (fun acc c -> acc + String.length c + 4) 16 t.columns
+  in
+  List.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc v -> acc + Value.size_bytes v) acc row)
+    header t.rows
+
+let equal a b =
+  List.equal String.equal a.columns b.columns
+  && List.equal
+       (fun x y ->
+         Array.length x = Array.length y
+         && Array.for_all2 Value.equal x y)
+       a.rows b.rows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " t.columns);
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%s@,"
+        (String.concat " | "
+           (Array.to_list (Array.map Value.to_string row))))
+    t.rows;
+  Format.fprintf ppf "(%d rows)@]" (num_rows t)

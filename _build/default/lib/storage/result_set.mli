@@ -1,0 +1,28 @@
+(** Query results shipped from the database server to the application. *)
+
+type t
+
+val create : columns:string list -> Value.t array list -> t
+val empty : t
+
+val columns : t -> string list
+val rows : t -> Value.t array list
+val num_rows : t -> int
+
+val column_index : t -> string -> int option
+
+val cell : t -> row:int -> string -> Value.t
+(** Raises [Not_found] if the column does not exist, [Invalid_argument] on a
+    bad row index. *)
+
+val first : t -> Value.t array option
+(** The first row, if any. *)
+
+val scalar : t -> Value.t option
+(** The single cell of a 1x1 result (aggregates), if the shape matches. *)
+
+val size_bytes : t -> int
+(** Approximate wire size of the result payload. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+type column = {
+  name : string;
+  ty : Sloth_sql.Ast.col_type;
+  nullable : bool;
+}
+
+type t = {
+  table_name : string;
+  columns : column array;
+  by_name : (string, int) Hashtbl.t;
+  primary_key : string option;
+}
+
+let create ~name ?primary_key columns =
+  let by_name = Hashtbl.create 16 in
+  List.iteri
+    (fun i c ->
+      if Hashtbl.mem by_name c.name then
+        invalid_arg (Printf.sprintf "Schema: duplicate column %s" c.name);
+      Hashtbl.replace by_name c.name i)
+    columns;
+  (match primary_key with
+  | Some pk when not (Hashtbl.mem by_name pk) ->
+      invalid_arg (Printf.sprintf "Schema: primary key %s is not a column" pk)
+  | _ -> ());
+  {
+    table_name = name;
+    columns = Array.of_list columns;
+    by_name;
+    primary_key;
+  }
+
+let of_ast ~table defs ~primary_key =
+  let columns =
+    List.map
+      (fun (d : Sloth_sql.Ast.column_def) ->
+        { name = d.cd_name; ty = d.cd_type; nullable = d.cd_nullable })
+      defs
+  in
+  create ~name:table ?primary_key columns
+
+let name t = t.table_name
+let columns t = Array.to_list t.columns
+let arity t = Array.length t.columns
+let primary_key t = t.primary_key
+let column_index t c = Hashtbl.find_opt t.by_name c
+
+let column_index_exn t c =
+  match Hashtbl.find_opt t.by_name c with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem t c = Hashtbl.mem t.by_name c
+
+let validate_row t row =
+  if Array.length row <> Array.length t.columns then
+    Error
+      (Printf.sprintf "table %s expects %d columns, got %d" t.table_name
+         (Array.length t.columns) (Array.length row))
+  else
+    let err = ref None in
+    Array.iteri
+      (fun i v ->
+        if !err = None then
+          let c = t.columns.(i) in
+          if v = Value.Null && not c.nullable then
+            err :=
+              Some (Printf.sprintf "column %s.%s is NOT NULL" t.table_name c.name)
+          else if not (Value.matches_type v c.ty) then
+            err :=
+              Some
+                (Printf.sprintf "column %s.%s: type mismatch for value %s"
+                   t.table_name c.name (Value.to_string v)))
+      row;
+    match !err with None -> Ok () | Some m -> Error m

@@ -1,0 +1,34 @@
+(** Table schemas: ordered columns with types, nullability and primary key. *)
+
+type column = {
+  name : string;
+  ty : Sloth_sql.Ast.col_type;
+  nullable : bool;
+}
+
+type t
+
+val create :
+  name:string -> ?primary_key:string -> column list -> t
+(** Raises [Invalid_argument] on duplicate column names or a primary key
+    that names no column. *)
+
+val of_ast :
+  table:string ->
+  Sloth_sql.Ast.column_def list ->
+  primary_key:string option ->
+  t
+
+val name : t -> string
+val columns : t -> column list
+val arity : t -> int
+val primary_key : t -> string option
+
+val column_index : t -> string -> int option
+val column_index_exn : t -> string -> int
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+
+val validate_row : t -> Value.t array -> (unit, string) result
+(** Arity, types, and NOT NULL checks. *)

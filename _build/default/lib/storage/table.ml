@@ -1,0 +1,190 @@
+type rid = int
+
+exception Constraint_violation of string
+
+type index = {
+  column : int;  (* column offset in the schema *)
+  entries : (Value.t, rid list) Hashtbl.t;
+}
+
+type ordered = { ocolumn : int; oindex : Ordered_index.t }
+
+type t = {
+  schema : Schema.t;
+  heap : Value.t array option Vec.t;
+  pk_col : int option;
+  pk_index : (Value.t, rid) Hashtbl.t;
+  mutable secondary : (string * index) list;
+  mutable ordered : (string * ordered) list;
+  mutable live : int;
+}
+
+let create schema =
+  let pk_col =
+    Option.map (Schema.column_index_exn schema) (Schema.primary_key schema)
+  in
+  {
+    schema;
+    heap = Vec.create ();
+    pk_col;
+    pk_index = Hashtbl.create 64;
+    secondary = [];
+    ordered = [];
+    live = 0;
+  }
+
+let schema t = t.schema
+let row_count t = t.live
+
+let index_add idx v rid =
+  let rids = Option.value ~default:[] (Hashtbl.find_opt idx.entries v) in
+  Hashtbl.replace idx.entries v (rid :: rids)
+
+let index_remove idx v rid =
+  match Hashtbl.find_opt idx.entries v with
+  | None -> ()
+  | Some rids -> (
+      match List.filter (fun r -> r <> rid) rids with
+      | [] -> Hashtbl.remove idx.entries v
+      | rest -> Hashtbl.replace idx.entries v rest)
+
+let create_index t column =
+  if not (List.mem_assoc column t.secondary) then begin
+    let col = Schema.column_index_exn t.schema column in
+    let idx = { column = col; entries = Hashtbl.create 64 } in
+    Vec.iteri
+      (fun rid row ->
+        match row with
+        | Some row -> index_add idx row.(col) rid
+        | None -> ())
+      t.heap;
+    t.secondary <- (column, idx) :: t.secondary
+  end
+
+let create_ordered_index t column =
+  if not (List.mem_assoc column t.ordered) then begin
+    let col = Schema.column_index_exn t.schema column in
+    let o = { ocolumn = col; oindex = Ordered_index.create () } in
+    Vec.iteri
+      (fun rid row ->
+        match row with
+        | Some row -> Ordered_index.add o.oindex row.(col) rid
+        | None -> ())
+      t.heap;
+    t.ordered <- (column, o) :: t.ordered
+  end
+
+let has_ordered_index t column = List.mem_assoc column t.ordered
+
+let has_index t column =
+  List.mem_assoc column t.secondary
+  ||
+  match Schema.primary_key t.schema with
+  | Some pk -> String.equal pk column
+  | None -> false
+
+let validate t row =
+  match Schema.validate_row t.schema row with
+  | Ok () -> ()
+  | Error msg -> raise (Constraint_violation msg)
+
+let check_pk_free t row =
+  match t.pk_col with
+  | None -> ()
+  | Some col ->
+      let key = row.(col) in
+      if key = Value.Null then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "table %s: NULL primary key" (Schema.name t.schema)));
+      if Hashtbl.mem t.pk_index key then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "table %s: duplicate primary key %s"
+                (Schema.name t.schema) (Value.to_string key)))
+
+let link_indexes t rid row =
+  Option.iter (fun col -> Hashtbl.replace t.pk_index row.(col) rid) t.pk_col;
+  List.iter (fun (_, idx) -> index_add idx row.(idx.column) rid) t.secondary;
+  List.iter
+    (fun (_, o) -> Ordered_index.add o.oindex row.(o.ocolumn) rid)
+    t.ordered
+
+let unlink_indexes t rid row =
+  Option.iter (fun col -> Hashtbl.remove t.pk_index row.(col)) t.pk_col;
+  List.iter (fun (_, idx) -> index_remove idx row.(idx.column) rid) t.secondary;
+  List.iter
+    (fun (_, o) -> Ordered_index.remove o.oindex row.(o.ocolumn) rid)
+    t.ordered
+
+let insert t row =
+  validate t row;
+  check_pk_free t row;
+  let rid = Vec.push t.heap (Some row) in
+  link_indexes t rid row;
+  t.live <- t.live + 1;
+  rid
+
+let get t rid = Vec.get t.heap rid
+
+let delete t rid =
+  match Vec.get t.heap rid with
+  | None -> None
+  | Some row ->
+      Vec.set t.heap rid None;
+      unlink_indexes t rid row;
+      t.live <- t.live - 1;
+      Some row
+
+let update t rid row =
+  match Vec.get t.heap rid with
+  | None -> invalid_arg "Table.update: deleted rid"
+  | Some old ->
+      validate t row;
+      (* Allow the primary key to stay the same; forbid collisions. *)
+      (match t.pk_col with
+      | Some col when not (Value.equal old.(col) row.(col)) ->
+          check_pk_free t row
+      | _ -> ());
+      unlink_indexes t rid old;
+      Vec.set t.heap rid (Some row);
+      link_indexes t rid row;
+      old
+
+let restore t rid row =
+  match Vec.get t.heap rid with
+  | Some _ -> invalid_arg "Table.restore: slot is occupied"
+  | None ->
+      Vec.set t.heap rid (Some row);
+      link_indexes t rid row;
+      t.live <- t.live + 1
+
+let iter f t =
+  Vec.iteri
+    (fun rid row -> match row with Some row -> f rid row | None -> ())
+    t.heap
+
+let lookup_pk t key = Hashtbl.find_opt t.pk_index key
+
+let lookup_indexed t column key =
+  let pk_matches =
+    match Schema.primary_key t.schema with
+    | Some pk -> String.equal pk column
+    | None -> false
+  in
+  if pk_matches then
+    Some (match Hashtbl.find_opt t.pk_index key with
+         | Some rid -> [ rid ]
+         | None -> [])
+  else
+    match List.assoc_opt column t.secondary with
+    | None -> None
+    | Some idx ->
+        Some
+          (List.sort Int.compare
+             (Option.value ~default:[] (Hashtbl.find_opt idx.entries key)))
+
+let lookup_range t column ?lo ?hi () =
+  match List.assoc_opt column t.ordered with
+  | None -> None
+  | Some o -> Some (Ordered_index.range o.oindex ?lo ?hi ())

@@ -1,0 +1,62 @@
+(** Heap storage for one table, with a unique primary-key index and optional
+    secondary (non-unique) hash indexes.
+
+    Rows are identified by an internal row id ([rid]); scans visit rows in
+    rid order so results are deterministic. *)
+
+type t
+type rid = int
+
+exception Constraint_violation of string
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val row_count : t -> int
+(** Live rows (excluding deleted slots). *)
+
+val create_index : t -> string -> unit
+(** Add a secondary hash index on a column; idempotent.  Existing rows are
+    indexed immediately.  Raises [Not_found] for an unknown column. *)
+
+val create_ordered_index : t -> string -> unit
+(** Add an ordered secondary index supporting range scans; idempotent. *)
+
+val has_index : t -> string -> bool
+val has_ordered_index : t -> string -> bool
+
+val insert : t -> Value.t array -> rid
+(** Validates the row against the schema and the primary-key uniqueness
+    constraint.  Raises {!Constraint_violation}. *)
+
+val delete : t -> rid -> Value.t array option
+(** Remove a row; returns the old row, or [None] if the rid was already
+    deleted.  Raises [Invalid_argument] on an out-of-range rid. *)
+
+val update : t -> rid -> Value.t array -> Value.t array
+(** Replace a row, maintaining all indexes; returns the old row.  Raises
+    {!Constraint_violation} or [Invalid_argument]. *)
+
+val get : t -> rid -> Value.t array option
+
+val restore : t -> rid -> Value.t array -> unit
+(** Put a previously deleted row back in its original slot (transaction
+    rollback support). *)
+
+val iter : (rid -> Value.t array -> unit) -> t -> unit
+(** Visit live rows in rid order. *)
+
+val lookup_pk : t -> Value.t -> rid option
+
+val lookup_indexed : t -> string -> Value.t -> rid list option
+(** [Some rids] (sorted) if the column has an index (primary or secondary),
+    [None] if no index exists. *)
+
+val lookup_range :
+  t ->
+  string ->
+  ?lo:Value.t * bool ->
+  ?hi:Value.t * bool ->
+  unit ->
+  rid list option
+(** Range scan over an ordered index ([None] if the column has none); each
+    bound is a value plus inclusiveness. *)

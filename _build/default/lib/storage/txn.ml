@@ -1,0 +1,20 @@
+type entry =
+  | Inserted of Table.t * Table.rid
+  | Deleted of Table.t * Table.rid * Value.t array
+  | Updated of Table.t * Table.rid * Value.t array
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+let log t e = t.entries <- e :: t.entries
+let entry_count t = List.length t.entries
+let commit t = t.entries <- []
+
+let undo = function
+  | Inserted (table, rid) -> ignore (Table.delete table rid)
+  | Deleted (table, rid, row) -> Table.restore table rid row
+  | Updated (table, rid, old) -> ignore (Table.update table rid old)
+
+let rollback t =
+  List.iter undo t.entries;
+  t.entries <- []

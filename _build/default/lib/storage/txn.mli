@@ -1,0 +1,23 @@
+(** Transaction support: an undo log that can roll back heap mutations.
+
+    The Sloth transformation must preserve transaction boundaries (Sec. 1);
+    the engine therefore implements real BEGIN/COMMIT/ROLLBACK so that the
+    query store's write-flush behaviour can be tested against actual
+    atomicity. *)
+
+type t
+
+type entry =
+  | Inserted of Table.t * Table.rid
+  | Deleted of Table.t * Table.rid * Value.t array
+  | Updated of Table.t * Table.rid * Value.t array  (** old row *)
+
+val create : unit -> t
+val log : t -> entry -> unit
+val entry_count : t -> int
+
+val commit : t -> unit
+(** Discard the undo log. *)
+
+val rollback : t -> unit
+(** Undo every logged mutation, most recent first. *)

@@ -1,0 +1,80 @@
+type t = Null | Int of int | Float of float | Text of string | Bool of bool
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int a, Int b -> a = b
+  | Float a, Float b -> a = b
+  | Int a, Float b | Float b, Int a -> float_of_int a = b
+  | Text a, Text b -> String.equal a b
+  | Bool a, Bool b -> a = b
+  | _ -> false
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Text _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Float a, Float b -> Float.compare a b
+  | Int a, Float b -> Float.compare (float_of_int a) b
+  | Float a, Int b -> Float.compare a (float_of_int b)
+  | Text a, Text b -> String.compare a b
+  | _ -> Int.compare (rank a) (rank b)
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Sloth_sql.Ast.T_int
+  | Float _ -> Some Sloth_sql.Ast.T_float
+  | Text _ -> Some Sloth_sql.Ast.T_text
+  | Bool _ -> Some Sloth_sql.Ast.T_bool
+
+let matches_type v ty =
+  match (v, ty) with
+  | Null, _ -> true
+  | Int _, Sloth_sql.Ast.T_int -> true
+  | (Int _ | Float _), Sloth_sql.Ast.T_float -> true
+  | Text _, Sloth_sql.Ast.T_text -> true
+  | Bool _, Sloth_sql.Ast.T_bool -> true
+  | _ -> false
+
+let to_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | Null | Text _ | Bool _ -> None
+
+let is_truthy = function
+  | Bool b -> b
+  | Null -> false
+  | Int n -> n <> 0
+  | Float f -> f <> 0.0
+  | Text s -> s <> ""
+
+let size_bytes = function
+  | Null -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | Bool _ -> 1
+  | Text s -> String.length s + 4
+
+let of_literal = function
+  | Sloth_sql.Ast.L_int n -> Int n
+  | Sloth_sql.Ast.L_float f -> Float f
+  | Sloth_sql.Ast.L_string s -> Text s
+  | Sloth_sql.Ast.L_bool b -> Bool b
+  | Sloth_sql.Ast.L_null -> Null
+
+let to_string = function
+  | Null -> "NULL"
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%.12g" f
+  | Text s -> s
+  | Bool true -> "true"
+  | Bool false -> "false"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

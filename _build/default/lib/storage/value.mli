@@ -1,0 +1,28 @@
+(** Runtime values stored in tables and produced by queries. *)
+
+type t = Null | Int of int | Float of float | Text of string | Bool of bool
+
+val equal : t -> t -> bool
+(** Structural equality; [Null] equals only [Null].  SQL comparisons against
+    NULL are handled in the evaluator, not here. *)
+
+val compare : t -> t -> int
+(** Total order used by ORDER BY and ordered indexes: Null < Bool < Int ~
+    Float (numeric comparison) < Text. *)
+
+val type_of : t -> Sloth_sql.Ast.col_type option
+(** [None] for [Null]. *)
+
+val matches_type : t -> Sloth_sql.Ast.col_type -> bool
+(** Whether the value may be stored in a column of the given type ([Null]
+    matches every type; Int is accepted by Float columns). *)
+
+val to_float : t -> float option
+val is_truthy : t -> bool
+
+val size_bytes : t -> int
+(** Approximate wire size, used by the network payload model. *)
+
+val of_literal : Sloth_sql.Ast.literal -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

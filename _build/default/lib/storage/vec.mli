@@ -1,0 +1,17 @@
+(** A growable array (OCaml 5.1 predates [Dynarray]).
+
+    Table heaps use it so that scans visit rows in insertion order, keeping
+    every query result deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** Append; returns the index of the new element. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list

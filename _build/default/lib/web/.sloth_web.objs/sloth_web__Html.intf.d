@@ -1,0 +1,1 @@
+lib/web/html.mli:

@@ -1,0 +1,1 @@
+lib/web/model.ml: Hashtbl Html List Sloth_core

@@ -1,0 +1,1 @@
+lib/web/model.mli: Html Sloth_core

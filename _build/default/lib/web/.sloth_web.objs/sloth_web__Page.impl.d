@@ -1,0 +1,1 @@
+lib/web/page.ml: Format Sloth_core Sloth_net View Writer

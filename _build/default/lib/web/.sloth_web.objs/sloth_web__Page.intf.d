@@ -1,0 +1,1 @@
+lib/web/page.mli: Format Model Sloth_net

@@ -1,0 +1,1 @@
+lib/web/view.ml: Html List Model Writer

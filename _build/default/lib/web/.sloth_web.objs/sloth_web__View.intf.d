@@ -1,0 +1,1 @@
+lib/web/view.mli: Model Writer

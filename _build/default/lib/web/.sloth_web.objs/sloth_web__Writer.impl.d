@@ -1,0 +1,1 @@
+lib/web/writer.ml: Buffer Html List Sloth_core Sloth_net

@@ -1,0 +1,1 @@
+lib/web/writer.mli: Html Sloth_core Sloth_net

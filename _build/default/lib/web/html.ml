@@ -1,0 +1,65 @@
+type t =
+  | Text of string
+  | Raw of string
+  | El of string * (string * string) list * t list
+  | Fragment of t list
+
+let text s = Text s
+let raw s = Raw s
+let el ?(attrs = []) tag children = El (tag, attrs, children)
+let fragment ts = Fragment ts
+let empty = Fragment []
+let div ?attrs children = el ?attrs "div" children
+let span ?attrs children = el ?attrs "span" children
+let h1 s = el "h1" [ text s ]
+let h2 s = el "h2" [ text s ]
+let p children = el "p" children
+let li children = el "li" children
+let ul children = el "ul" children
+let tr children = el "tr" children
+let td children = el "td" children
+let table children = el "table" children
+let int n = text (string_of_int n)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf (escape s)
+    | Raw s -> Buffer.add_string buf s
+    | El (tag, attrs, children) ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf tag;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string buf
+              (Printf.sprintf " %s=\"%s\"" k (escape v)))
+          attrs;
+        Buffer.add_char buf '>';
+        List.iter go children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+    | Fragment children -> List.iter go children
+  in
+  go t;
+  Buffer.contents buf
+
+let rec node_count = function
+  | Text _ | Raw _ -> 1
+  | El (_, _, children) ->
+      1 + List.fold_left (fun acc c -> acc + node_count c) 0 children
+  | Fragment children ->
+      List.fold_left (fun acc c -> acc + node_count c) 0 children

@@ -1,0 +1,33 @@
+(** A minimal HTML fragment builder with deterministic rendering. *)
+
+type t
+
+val text : string -> t
+(** Escaped text node. *)
+
+val raw : string -> t
+(** Unescaped markup. *)
+
+val el : ?attrs:(string * string) list -> string -> t list -> t
+val fragment : t list -> t
+val empty : t
+
+(* Conveniences used by the view layer. *)
+val div : ?attrs:(string * string) list -> t list -> t
+val span : ?attrs:(string * string) list -> t list -> t
+val h1 : string -> t
+val h2 : string -> t
+val p : t list -> t
+val li : t list -> t
+val ul : t list -> t
+val tr : t list -> t
+val td : t list -> t
+val table : t list -> t
+
+val int : int -> t
+(** [text] of an integer. *)
+
+val to_string : t -> string
+
+val node_count : t -> int
+(** Number of nodes — the view layer charges render time per node. *)

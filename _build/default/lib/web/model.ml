@@ -1,0 +1,18 @@
+type t = {
+  mutable order : string list;  (* reversed insertion order *)
+  cells : (string, Html.t Sloth_core.Thunk.t) Hashtbl.t;
+}
+
+let create () = { order = []; cells = Hashtbl.create 16 }
+
+let put t name cell =
+  if not (Hashtbl.mem t.cells name) then t.order <- name :: t.order;
+  Hashtbl.replace t.cells name cell
+
+let put_now t name html = put t name (Sloth_core.Thunk.literal html)
+
+let entries t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.cells name)) t.order
+
+let get t name = Hashtbl.find_opt t.cells name
+let size t = List.length t.order

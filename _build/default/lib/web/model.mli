@@ -1,0 +1,22 @@
+(** The MVC model: an ordered map from names to possibly-deferred HTML
+    fragments.
+
+    Under the original strategy every cell is an already-computed literal
+    thunk; under Sloth, cells are genuine thunks holding back query results
+    until the view writer flushes (the Spring extension of Sec. 5). *)
+
+type t
+
+val create : unit -> t
+
+val put : t -> string -> Html.t Sloth_core.Thunk.t -> unit
+(** Later [put]s with the same name override (last wins), as controller
+    chains do in Spring. *)
+
+val put_now : t -> string -> Html.t -> unit
+
+val entries : t -> (string * Html.t Sloth_core.Thunk.t) list
+(** In insertion order (of first put). *)
+
+val get : t -> string -> Html.t Sloth_core.Thunk.t option
+val size : t -> int

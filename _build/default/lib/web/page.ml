@@ -1,0 +1,51 @@
+module Vclock = Sloth_net.Vclock
+module Stats = Sloth_net.Stats
+module Link = Sloth_net.Link
+
+type metrics = {
+  page : string;
+  html : string;
+  total_ms : float;
+  app_ms : float;
+  db_ms : float;
+  net_ms : float;
+  round_trips : int;
+  queries : int;
+  max_batch : int;
+  thunk_allocs : int;
+  thunk_forces : int;
+}
+
+let dispatch_cost_ms = ref 2.0
+
+let load ~name ~clock ~link ~controller () =
+  Vclock.reset clock;
+  Stats.reset (Link.stats link);
+  Sloth_core.Runtime.reset ();
+  Vclock.advance clock Vclock.App !dispatch_cost_ms;
+  let writer = Writer.create clock in
+  let model = controller () in
+  View.render writer ~title:name model;
+  let html = Writer.flush writer in
+  let app, db, net = Vclock.snapshot clock in
+  let stats = Link.stats link in
+  {
+    page = name;
+    html;
+    total_ms = app +. db +. net;
+    app_ms = app;
+    db_ms = db;
+    net_ms = net;
+    round_trips = Stats.round_trips stats;
+    queries = Stats.queries stats;
+    max_batch = Stats.max_batch stats;
+    thunk_allocs = Sloth_core.Runtime.allocs ();
+    thunk_forces = Sloth_core.Runtime.forces ();
+  }
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "%s: %.2f ms (app %.2f, db %.2f, net %.2f) trips=%d queries=%d \
+     max-batch=%d"
+    m.page m.total_ms m.app_ms m.db_ms m.net_ms m.round_trips m.queries
+    m.max_batch

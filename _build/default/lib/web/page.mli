@@ -1,0 +1,32 @@
+(** The request pipeline: run a controller, render its model, flush the
+    writer, and account every millisecond (the Fig. 8 breakdown needs App /
+    Db / Network attribution per page load). *)
+
+type metrics = {
+  page : string;
+  html : string;
+  total_ms : float;
+  app_ms : float;
+  db_ms : float;
+  net_ms : float;
+  round_trips : int;
+  queries : int;
+  max_batch : int;  (** largest number of queries in one round trip *)
+  thunk_allocs : int;
+  thunk_forces : int;
+}
+
+val dispatch_cost_ms : float ref
+(** Fixed framework dispatch cost per request (default 2.0 ms). *)
+
+val load :
+  name:string ->
+  clock:Sloth_net.Vclock.t ->
+  link:Sloth_net.Link.t ->
+  controller:(unit -> Model.t) ->
+  unit ->
+  metrics
+(** Resets the clock accounting, link stats and thunk counters, then runs
+    the full request.  The returned metrics cover exactly this load. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -1,0 +1,7 @@
+let render writer ~title model =
+  Writer.write_html writer (Html.h1 title);
+  List.iter
+    (fun (name, cell) ->
+      Writer.write_html writer (Html.h2 name);
+      Writer.write_thunk writer cell)
+    (Model.entries model)

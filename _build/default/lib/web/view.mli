@@ -1,0 +1,4 @@
+(** The standard view: renders a model into sections through the
+    thunk-aware writer, deferring every cell until flush. *)
+
+val render : Writer.t -> title:string -> Model.t -> unit

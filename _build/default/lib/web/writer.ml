@@ -1,0 +1,32 @@
+type chunk = Str of string | Deferred of Html.t Sloth_core.Thunk.t
+
+type t = { clock : Sloth_net.Vclock.t; mutable chunks : chunk list }
+
+let render_cost_per_node_ms = ref 0.0005
+
+let create clock = { clock; chunks = [] }
+let write t s = t.chunks <- Str s :: t.chunks
+
+let charge_render t html =
+  Sloth_net.Vclock.advance t.clock Sloth_net.Vclock.App
+    (!render_cost_per_node_ms *. float_of_int (Html.node_count html))
+
+let write_html t html =
+  charge_render t html;
+  t.chunks <- Str (Html.to_string html) :: t.chunks
+
+let write_thunk t thunk = t.chunks <- Deferred thunk :: t.chunks
+
+let flush t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun chunk ->
+      match chunk with
+      | Str s -> Buffer.add_string buf s
+      | Deferred thunk ->
+          let html = Sloth_core.Thunk.force thunk in
+          charge_render t html;
+          Buffer.add_string buf (Html.to_string html))
+    (List.rev t.chunks);
+  t.chunks <- [];
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** The thunk-aware output writer (the paper's JspWriter extension,
+    Sec. 5): thunks written to the stream are buffered unevaluated and only
+    forced when the page is flushed, which is what lets whole models of
+    deferred query results accumulate into one batch. *)
+
+type t
+
+val create : Sloth_net.Vclock.t -> t
+
+val write : t -> string -> unit
+val write_html : t -> Html.t -> unit
+val write_thunk : t -> Html.t Sloth_core.Thunk.t -> unit
+
+val flush : t -> string
+(** Force buffered thunks in order and produce the final page.  Rendering
+    charges App time per HTML node (template engines are not free). *)
+
+val render_cost_per_node_ms : float ref
+(** Virtual App-time per rendered HTML node (default 0.0005 ms). *)

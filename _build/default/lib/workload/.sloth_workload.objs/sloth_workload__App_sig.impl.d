@@ -1,0 +1,1 @@
+lib/workload/app_sig.ml: Medrec Sloth_core Sloth_storage Sloth_web Table_spec Tracker

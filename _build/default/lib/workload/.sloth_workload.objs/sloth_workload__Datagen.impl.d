@@ -1,0 +1,1 @@
+lib/workload/datagen.ml: Array Hashtbl List Printf Random Sloth_storage Table_spec

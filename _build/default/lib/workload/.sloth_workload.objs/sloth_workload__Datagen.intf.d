@@ -1,0 +1,1 @@
+lib/workload/datagen.mli: Sloth_storage Table_spec

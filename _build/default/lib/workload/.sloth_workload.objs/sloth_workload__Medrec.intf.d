@@ -1,0 +1,1 @@
+lib/workload/medrec.mli: Sloth_core Sloth_storage Sloth_web Table_spec

@@ -1,0 +1,1 @@
+lib/workload/table_spec.ml: List Printf Sloth_orm Sloth_sql Sloth_storage String

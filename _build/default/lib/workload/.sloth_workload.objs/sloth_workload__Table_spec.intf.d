@@ -1,0 +1,1 @@
+lib/workload/table_spec.mli: Sloth_orm Sloth_sql Sloth_storage

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Array Datagen List Printf Sloth_kernel Sloth_sql Sloth_storage Table_spec

@@ -1,0 +1,1 @@
+lib/workload/tpcc.mli: Sloth_kernel Sloth_storage Table_spec

@@ -1,0 +1,1 @@
+lib/workload/tpcw.ml: Datagen List Printf Sloth_kernel Sloth_sql Table_spec

@@ -1,0 +1,1 @@
+lib/workload/tpcw.mli: Sloth_kernel Sloth_storage Table_spec

@@ -1,0 +1,1 @@
+lib/workload/tracker.ml: Datagen Hashtbl List Printf Sloth_core Sloth_orm Sloth_sql Sloth_storage Sloth_web Table_spec Webapp

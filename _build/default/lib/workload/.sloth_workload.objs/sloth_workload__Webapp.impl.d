@@ -1,0 +1,1 @@
+lib/workload/webapp.ml: Hashtbl List Option Printf Repo Row Sloth_core Sloth_orm Sloth_sql Sloth_storage Sloth_web String Table_spec

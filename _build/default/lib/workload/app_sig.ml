@@ -1,0 +1,16 @@
+(** The interface an evaluation application exposes to the harness. *)
+
+module type S = sig
+  val name : string
+  val specs : Table_spec.t list
+  val populate : ?scale:int -> Sloth_storage.Database.t -> unit
+
+  module Pages (X : Sloth_core.Exec.S) : sig
+    val pages : (string * (unit -> Sloth_web.Model.t)) list
+    val page_names : string list
+    val controller : string -> unit -> Sloth_web.Model.t
+  end
+end
+
+let medrec : (module S) = (module Medrec)
+let tracker : (module S) = (module Tracker)

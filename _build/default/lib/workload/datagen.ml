@@ -1,0 +1,77 @@
+(** Deterministic database population from table specs. *)
+
+module Db = Sloth_storage.Database
+module Value = Sloth_storage.Value
+
+(* Insert directly through the storage API: population is setup, not
+   workload, so it must not touch the link or the clock. *)
+let populate_table db rng counts (spec : Table_spec.t) ~scale =
+  let n = spec.rows_at scale in
+  Hashtbl.replace counts spec.table n;
+  let table =
+    match Db.table db spec.table with
+    | Some t -> t
+    | None -> invalid_arg ("table not created: " ^ spec.table)
+  in
+  for id = 1 to n do
+    let row =
+      List.map
+        (fun (c : Table_spec.col) ->
+          match c.cgen with
+          | Table_spec.Serial -> Value.Int id
+          | Table_spec.Fk parent | Table_spec.Skewed_fk parent ->
+              let parent_n =
+                match Hashtbl.find_opt counts parent with
+                | Some n when n > 0 -> n
+                | _ ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "%s.%s references %s, which has no rows yet"
+                         spec.table c.cname parent)
+              in
+              let skewed =
+                match c.cgen with
+                | Table_spec.Skewed_fk _ -> Random.State.int rng 8 = 0
+                | _ -> false
+              in
+              if skewed then Value.Int 1
+              else Value.Int (1 + Random.State.int rng parent_n)
+          | Table_spec.Name_like prefix -> Value.Text (prefix ^ string_of_int id)
+          | Table_spec.Int_range (lo, hi) ->
+              Value.Int (lo + Random.State.int rng (hi - lo + 1))
+          | Table_spec.Float_range (lo, hi) ->
+              Value.Float (lo +. Random.State.float rng (hi -. lo))
+          | Table_spec.Choice options ->
+              Value.Text
+                (List.nth options (Random.State.int rng (List.length options)))
+          | Table_spec.Flag -> Value.Bool (Random.State.bool rng)
+          | Table_spec.Derived f -> f id)
+        spec.cols
+    in
+    ignore (Sloth_storage.Table.insert table (Array.of_list row))
+  done
+
+let populate ?(seed = 7) ~scale db specs =
+  let rng = Random.State.make [| seed |] in
+  let counts = Hashtbl.create 32 in
+  (* Create all tables and FK indexes first. *)
+  List.iter
+    (fun spec -> Db.create_table db (Table_spec.schema spec))
+    specs;
+  List.iter
+    (fun (spec : Table_spec.t) ->
+      List.iter
+        (fun (c : Table_spec.col) ->
+          match c.cgen with
+          | Table_spec.Fk _ | Table_spec.Skewed_fk _ ->
+              Db.create_index db ~table:spec.table ~column:c.cname
+          | Table_spec.Int_range _ | Table_spec.Float_range _ ->
+              (* Numeric attributes get ordered indexes for range
+                 predicates. *)
+              Db.create_ordered_index db ~table:spec.table ~column:c.cname
+          | _ -> ())
+        spec.cols)
+    specs;
+  (* Population order: the spec list must be topologically sorted (parents
+     first); the generator checks this at run time. *)
+  List.iter (fun spec -> populate_table db rng counts spec ~scale) specs

@@ -1,0 +1,12 @@
+(** Deterministic database population from table specs.
+
+    Creates every table (with indexes on all foreign-key columns), then
+    inserts rows in spec order with a seeded RNG — the spec list must be
+    topologically sorted (parents before children), which is checked at
+    run time.  Population bypasses the driver entirely: it touches neither
+    the link statistics nor the virtual clock. *)
+
+val populate :
+  ?seed:int -> scale:int -> Sloth_storage.Database.t -> Table_spec.t list -> unit
+(** Raises [Invalid_argument] on a child table populated before its
+    parent.  Same seed, same specs, same scale → byte-identical data. *)

@@ -1,0 +1,625 @@
+(** Medrec: the OpenMRS-shaped medical-records application.
+
+    Schema and page inventory mirror the structure of the paper's second
+    evaluation application: a patient/visit/encounter/observation core, a
+    concept dictionary, and a long tail of administrative entities whose
+    management pages dominate the benchmark list (112 pages, like the
+    paper's appendix). *)
+
+module TS = Table_spec
+open TS
+
+let name = "medrec"
+
+let status_choices = [ "active"; "pending"; "closed"; "voided" ]
+
+let specs =
+  [
+    spec "role" [ name_col "role" ] (fun _ -> 5);
+    spec "app_user"
+      [ col "username" Sloth_sql.Ast.T_text (Name_like "user"); fk "role_id" "role" ]
+      (fun _ -> 20);
+    spec "privilege"
+      [ name_col "priv"; fk "role_id" "role" ]
+      (fun _ -> 120)
+      ~list_deps:[ "role_id" ];
+    spec "person"
+      [
+        name_col "person";
+        col "gender" Sloth_sql.Ast.T_text (Choice [ "F"; "M" ]);
+        col "birth_year" Sloth_sql.Ast.T_int (Int_range (1930, 2010));
+      ]
+      (fun s -> 150 * s);
+    spec "concept_class" [ name_col "class" ] (fun _ -> 10);
+    spec "concept_datatype" [ name_col "datatype" ] (fun _ -> 8);
+    spec "concept"
+      [
+        name_col "concept";
+        fk "class_id" "concept_class";
+        fk "datatype_id" "concept_datatype";
+      ]
+      (fun s -> 100 * s)
+      ~list_deps:[ "class_id"; "datatype_id" ]
+      ~lookups:[ "concept_class"; "concept_datatype" ]
+      ~eager_children:[ ("drug", "concept_id") ];
+    spec "concept_source" [ name_col "source" ] (fun _ -> 6);
+    spec "concept_reference_term"
+      [ fk "source_id" "concept_source"; col "code" Sloth_sql.Ast.T_text (Name_like "code") ]
+      (fun _ -> 50)
+      ~list_deps:[ "source_id" ]
+      ~lookups:[ "concept_source" ];
+    spec "concept_proposal"
+      [ fk "concept_id" "concept"; col "status" Sloth_sql.Ast.T_text (Choice status_choices) ]
+      (fun _ -> 20)
+      ~list_deps:[ "concept_id" ];
+    spec "drug"
+      [ name_col "drug"; fk "concept_id" "concept";
+        col "dosage" Sloth_sql.Ast.T_float (Float_range (0.5, 20.0)) ]
+      (fun _ -> 40)
+      ~list_deps:[ "concept_id" ]
+      ~lookups:[ "concept_class" ];
+    spec "location"
+      [ name_col "location"; fk "parent_id" "location" ]
+      (fun _ -> 15)
+      ~list_deps:[ "parent_id" ];
+    spec "location_attribute_type" [ name_col "locattr" ] (fun _ -> 6);
+    spec "visit_type" [ name_col "visittype" ] (fun _ -> 6);
+    spec "visit_attribute_type" [ name_col "visitattr" ] (fun _ -> 6);
+    spec "encounter_type" [ name_col "enctype" ] (fun _ -> 8);
+    spec "field_type" [ name_col "fieldtype" ] (fun _ -> 5);
+    spec "patient"
+      [ col "identifier" Sloth_sql.Ast.T_text (Name_like "pat"); fk "person_id" "person" ]
+      (fun s -> 100 * s)
+      ~list_deps:[ "person_id" ]
+      ~eager_children:[ ("visit", "patient_id") ];
+    spec "provider"
+      [ name_col "provider"; fk "person_id" "person" ]
+      (fun _ -> 15)
+      ~list_deps:[ "person_id" ];
+    spec "provider_attribute_type" [ name_col "provattr" ] (fun _ -> 6);
+    spec "visit"
+      [
+        fk "patient_id" "patient";
+        fk "visit_type_id" "visit_type";
+        fk "location_id" "location";
+        col "started" Sloth_sql.Ast.T_int (Int_range (2015, 2026));
+      ]
+      (fun s -> 200 * s)
+      ~list_deps:[ "patient_id"; "visit_type_id" ]
+      ~lookups:[ "visit_type"; "location" ]
+      ~eager_children:[ ("encounter", "visit_id") ];
+    spec "encounter"
+      [
+        Table_spec.{ cname = "patient_id"; cty = Sloth_sql.Ast.T_int; cgen = Fk "patient" };
+        fk "visit_id" "visit";
+        fk "encounter_type_id" "encounter_type";
+        fk "location_id" "location";
+        fk "provider_id" "provider";
+      ]
+      (fun s -> 250 * s)
+      ~list_deps:[ "patient_id"; "encounter_type_id" ]
+      ~lookups:[ "encounter_type"; "location"; "provider" ];
+    spec "obs"
+      [
+        Table_spec.{ cname = "encounter_id"; cty = Sloth_sql.Ast.T_int; cgen = Skewed_fk "encounter" };
+        fk "concept_id" "concept";
+        col "value_num" Sloth_sql.Ast.T_int (Int_range (0, 200));
+        col "status" Sloth_sql.Ast.T_text (Choice status_choices);
+      ]
+      (fun s -> 400 * s)
+      ~list_deps:[ "concept_id" ];
+    spec "order_rec"
+      [
+        fk "patient_id" "patient";
+        fk "concept_id" "concept";
+        fk "provider_id" "provider";
+        col "amount" Sloth_sql.Ast.T_float (Float_range (1.0, 500.0));
+      ]
+      (fun s -> 150 * s)
+      ~list_deps:[ "patient_id"; "concept_id" ]
+      ~lookups:[ "provider" ];
+    spec "program"
+      [ name_col "program"; fk "concept_id" "concept" ]
+      (fun _ -> 8)
+      ~list_deps:[ "concept_id" ];
+    spec "patient_program"
+      [
+        fk "patient_id" "patient";
+        fk "program_id" "program";
+        col "status" Sloth_sql.Ast.T_text (Choice status_choices);
+      ]
+      (fun s -> 80 * s)
+      ~list_deps:[ "patient_id"; "program_id" ];
+    spec "form_def"
+      [ name_col "form"; fk "encounter_type_id" "encounter_type";
+        col "published" Sloth_sql.Ast.T_bool Flag ]
+      (fun _ -> 20)
+      ~list_deps:[ "encounter_type_id" ]
+      ~lookups:[ "encounter_type" ]
+      ~eager_children:[ ("field_def", "form_id") ];
+    spec "field_def"
+      [
+        fk "form_id" "form_def";
+        fk "concept_id" "concept";
+        fk "field_type_id" "field_type";
+        col "field_number" Sloth_sql.Ast.T_int (Int_range (1, 40));
+      ]
+      (fun _ -> 100)
+      ~list_deps:[ "form_id"; "field_type_id" ]
+      ~lookups:[ "field_type"; "form_def" ];
+    spec "person_attribute_type" [ name_col "persattr" ] (fun _ -> 8);
+    spec "relationship_type"
+      [ name_col "reltype";
+        col "description" Sloth_sql.Ast.T_text (Choice [ "family"; "care"; "other" ]) ]
+      (fun _ -> 6);
+    spec "relationship"
+      [
+        fk "person_a" "person";
+        fk "person_b" "person";
+        fk "relationship_type_id" "relationship_type";
+      ]
+      (fun s -> 60 * s)
+      ~list_deps:[ "relationship_type_id" ]
+      ~lookups:[ "relationship_type" ];
+    spec "hl7_source" [ name_col "hl7src" ] (fun _ -> 4)
+      ~eager_children:[ ("hl7_message", "source_id") ];
+    spec "hl7_message"
+      [ fk "source_id" "hl7_source";
+        col "status" Sloth_sql.Ast.T_text (Choice [ "queued"; "held"; "error"; "archived" ]) ]
+      (fun s -> 40 * s)
+      ~list_deps:[ "source_id" ]
+      ~lookups:[ "hl7_source" ];
+    spec "alert"
+      [ fk "user_id" "app_user";
+        col "text" Sloth_sql.Ast.T_text (Choice [ "review"; "signoff"; "expire" ]) ]
+      (fun s -> 120 * s)
+      ~list_deps:[ "user_id" ];
+    spec "global_property"
+      [ col "prop" Sloth_sql.Ast.T_text (Name_like "prop");
+        col "value" Sloth_sql.Ast.T_text (Choice [ "true"; "false"; "10"; "default" ]) ]
+      (fun _ -> 40);
+    spec "scheduler_task"
+      [ name_col "task"; col "interval_s" Sloth_sql.Ast.T_int (Int_range (30, 86400)) ]
+      (fun _ -> 8);
+    spec "module_def"
+      [ name_col "module";
+        col "version" Sloth_sql.Ast.T_text (Choice [ "1.0"; "1.1"; "2.0" ]) ]
+      (fun _ -> 12);
+  ]
+
+let populate ?(scale = 1) db = Datagen.populate ~scale db specs
+
+(* Tables that get the standard admin list+form page pair. *)
+let admin_tables =
+  [
+    "privilege"; "concept"; "concept_source"; "concept_reference_term";
+    "concept_proposal"; "drug"; "location"; "location_attribute_type";
+    "visit_type"; "visit_attribute_type"; "encounter_type"; "field_type";
+    "patient"; "provider"; "provider_attribute_type"; "visit"; "encounter";
+    "order_rec"; "program"; "patient_program"; "form_def"; "field_def";
+    "person_attribute_type"; "relationship_type"; "relationship";
+    "hl7_source"; "hl7_message"; "global_property"; "scheduler_task";
+    "module_def"; "app_user"; "role"; "concept_class"; "concept_datatype";
+  ]
+
+(* Tables that additionally get a read-only view page with child counts. *)
+let view_tables =
+  [
+    ("patient", [ ("visit", "patient_id"); ("encounter", "patient_id");
+                  ("order_rec", "patient_id") ]);
+    ("visit", [ ("encounter", "visit_id") ]);
+    ("encounter", [ ("obs", "encounter_id") ]);
+    ("concept", [ ("drug", "concept_id"); ("obs", "concept_id");
+                  ("concept_proposal", "concept_id") ]);
+    ("provider", [ ("encounter", "provider_id"); ("order_rec", "provider_id") ]);
+    ("location", [ ("visit", "location_id"); ("encounter", "location_id") ]);
+    ("program", [ ("patient_program", "program_id") ]);
+    ("form_def", [ ("field_def", "form_id") ]);
+    ("hl7_source", [ ("hl7_message", "source_id") ]);
+    ("role", [ ("app_user", "role_id"); ("privilege", "role_id") ]);
+    ("person", [ ("patient", "person_id"); ("relationship", "person_a") ]);
+    ("concept_class", [ ("concept", "class_id") ]);
+  ]
+
+module Pages (X : Sloth_core.Exec.S) = struct
+  module K = Webapp.Kit (X)
+  module Html = Sloth_web.Html
+  module Model = Sloth_web.Model
+  module Row = Sloth_orm.Row
+  module Repo = Sloth_orm.Repo
+  module Value = Sloth_storage.Value
+  open Sloth_sql.Ast
+
+  (* The per-page number of menu privilege checks varies like real pages'
+     menus do; derived deterministically from the page name. *)
+  let menu_checks page_name = 18 + (Hashtbl.hash page_name mod 14)
+
+  let forced_checks page_name = 12 + (Hashtbl.hash (page_name ^ "!") mod 26)
+
+  let std page_name build =
+    ( page_name,
+      fun () ->
+        let req = K.new_request specs in
+        if
+          K.prelude req ~user_table:"app_user" ~privilege_table:"privilege"
+            ~menu_checks:(menu_checks page_name)
+            ~forced_checks:(forced_checks page_name) ~user_id:1 ()
+        then build req;
+        req.model )
+
+  let generic_pages =
+    List.concat_map
+      (fun table ->
+        let s = TS.find specs table in
+        [
+          std (Printf.sprintf "admin/%s/list" table) (fun req ->
+              K.list_page req s ());
+          std (Printf.sprintf "admin/%s/form" table) (fun req ->
+              K.form_page req s ~id:2 ());
+        ])
+      admin_tables
+
+  let view_pages =
+    List.map
+      (fun (table, children) ->
+        let s = TS.find specs table in
+        std (Printf.sprintf "admin/%s/view" table) (fun req ->
+            K.view_page req s ~id:2 ~children ()))
+      view_tables
+
+  (* --- rich, hand-written pages ----------------------------------------- *)
+
+  let patient_dashboard =
+    std "patient_dashboard" (fun req ->
+        let module Patients = (val req.repo (K.spec req "patient")) in
+        let module Persons = (val req.repo (K.spec req "person")) in
+        let module Visits = (val req.repo (K.spec req "visit")) in
+        let module Encounters = (val req.repo (K.spec req "encounter")) in
+        let module Orders = (val req.repo (K.spec req "order_rec")) in
+        let module Programs = (val req.repo (K.spec req "patient_program")) in
+        match X.get (Patients.find 1) with
+        | None -> Model.put_now req.model "patient" (Html.text "(missing)")
+        | Some patient ->
+            Model.put_now req.model "patient" (K.definition_html patient);
+            (* The person record is only displayed: defer. *)
+            Model.put req.model "person"
+              (X.to_thunk
+                 (X.map (K.opt_html K.definition_html)
+                    (Persons.find (Row.int patient "person_id"))));
+            (* Visits are iterated to build per-visit sections: forced. *)
+            let visits =
+              X.get (Visits.find_by "patient_id" (Value.Int 1))
+            in
+            List.iteri
+              (fun i visit ->
+                let vid = Row.int visit "id" in
+                Model.put req.model
+                  (Printf.sprintf "visit_%d_encounters" i)
+                  (X.to_thunk
+                     (X.map K.rows_table
+                        (Encounters.find_by "visit_id" (Value.Int vid)))))
+              visits;
+            (* Aggregates straight into the model: all batchable. *)
+            Model.put req.model "active_visits"
+              (X.to_thunk
+                 (X.map
+                    (fun n -> Html.p [ Html.int n ])
+                    (Visits.count
+                       ~where:
+                         (Binop
+                            ( And,
+                              Binop (Eq, Col (None, "patient_id"), Lit (L_int 1)),
+                              Binop (Gt, Col (None, "started"), Lit (L_int 2023))
+                            ))
+                       ())));
+            Model.put req.model "orders"
+              (X.to_thunk
+                 (X.map K.rows_table (Orders.find_by "patient_id" (Value.Int 1))));
+            Model.put req.model "programs"
+              (X.to_thunk
+                 (X.map K.rows_table (Programs.find_by "patient_id" (Value.Int 1)))))
+
+  (* The paper's running example (Sec. 6.1): load an encounter's
+     observations, fetch each observation's concept, store everything in
+     the model.  Encounter 1 is the hot entity of the skewed FK. *)
+  let encounter_display =
+    std "encounter_display" (fun req ->
+        let module Encounters = (val req.repo (K.spec req "encounter")) in
+        let module Obs = (val req.repo (K.spec req "obs")) in
+        let module Concepts = (val req.repo (K.spec req "concept")) in
+        match X.get (Encounters.find 1) with
+        | None -> Model.put_now req.model "encounter" (Html.text "(missing)")
+        | Some enc ->
+            Model.put_now req.model "encounter" (K.definition_html enc);
+            let obs = X.get (Obs.find_by "encounter_id" (Value.Int 1)) in
+            let cells =
+              List.map
+                (fun o ->
+                  let concept_id = Row.int o "concept_id" in
+                  X.map
+                    (fun concept ->
+                      Html.tr
+                        [
+                          Html.td [ Html.int (Row.int o "value_num") ];
+                          Html.td
+                            [
+                              (match concept with
+                              | Some c -> Html.text (Row.str c "name")
+                              | None -> Html.text "?");
+                            ];
+                        ])
+                    (Concepts.find concept_id))
+                obs
+            in
+            Model.put req.model "obs_map"
+              (X.to_thunk (X.map (fun trs -> Html.table trs) (X.all cells))))
+
+  let person_dashboard =
+    std "person_dashboard" (fun req ->
+        let module Persons = (val req.repo (K.spec req "person")) in
+        let module Rels = (val req.repo (K.spec req "relationship")) in
+        match X.get (Persons.find 1) with
+        | None -> Model.put_now req.model "person" (Html.text "(missing)")
+        | Some person ->
+            Model.put_now req.model "person" (K.definition_html person);
+            let rels = X.get (Rels.find_by "person_a" (Value.Int 1)) in
+            let cells =
+              List.map
+                (fun r ->
+                  X.map
+                    (K.opt_html (fun other ->
+                         Html.li [ Html.text (Row.str other "name") ]))
+                    (Persons.find (Row.int r "person_b")))
+                rels
+            in
+            Model.put req.model "relationships"
+              (X.to_thunk (X.map (fun lis -> Html.ul lis) (X.all cells))))
+
+  let merge_patients =
+    std "merge_patients" (fun req ->
+        let module Patients = (val req.repo (K.spec req "patient")) in
+        let module Visits = (val req.repo (K.spec req "visit")) in
+        let module Encounters = (val req.repo (K.spec req "encounter")) in
+        List.iter
+          (fun pid ->
+            Model.put req.model
+              (Printf.sprintf "patient_%d" pid)
+              (X.to_thunk
+                 (X.map (K.opt_html K.definition_html) (Patients.find pid)));
+            Model.put req.model
+              (Printf.sprintf "patient_%d_visits" pid)
+              (X.to_thunk
+                 (X.map K.rows_table
+                    (Visits.find_by "patient_id" (Value.Int pid))));
+            Model.put req.model
+              (Printf.sprintf "patient_%d_encounters" pid)
+              (X.to_thunk
+                 (X.map K.rows_table
+                    (Encounters.find_by "patient_id" (Value.Int pid)))))
+          [ 1; 2 ])
+
+  (* The paper's pathological page (alertList: 1705 queries): every alert
+     fetches its user, and every user its role — a dependent 1+N+N chain. *)
+  let alert_list =
+    std "alert_list" (fun req ->
+        let module Alerts = (val req.repo (K.spec req "alert")) in
+        let module Users = (val req.repo (K.spec req "app_user")) in
+        let module Roles = (val req.repo (K.spec req "role")) in
+        let alerts = X.get (Alerts.all ()) in
+        let cells =
+          List.map
+            (fun a ->
+              let user_cell =
+                X.bind
+                  (function
+                    | None -> X.pure (Html.text "?")
+                    | Some user ->
+                        X.map
+                          (fun role ->
+                            Html.span
+                              [
+                                Html.text (Row.str user "username");
+                                Html.text "/";
+                                (match role with
+                                | Some r -> Html.text (Row.str r "name")
+                                | None -> Html.text "?");
+                              ])
+                          (Roles.find (Row.int user "role_id")))
+                  (Users.find (Row.int a "user_id"))
+              in
+              X.map
+                (fun user_html ->
+                  Html.tr
+                    [ Html.td [ Html.text (Row.str a "text") ];
+                      Html.td [ user_html ] ])
+                user_cell)
+            alerts
+        in
+        Model.put req.model "alerts"
+          (X.to_thunk (X.map (fun trs -> Html.table trs) (X.all cells))))
+
+  let admin_index =
+    std "admin_index" (fun req ->
+        List.iter
+          (fun table ->
+            let module R = (val req.repo (K.spec req table)) in
+            Model.put req.model ("n_" ^ table)
+              (X.to_thunk
+                 (X.map (fun n -> Html.p [ Html.int n ]) (R.count ()))))
+          [
+            "patient"; "visit"; "encounter"; "obs"; "concept"; "provider";
+            "location"; "program"; "form_def"; "app_user"; "alert";
+            "hl7_message";
+          ])
+
+  let system_info =
+    std "system_info" (fun req ->
+        let module Modules = (val req.repo (K.spec req "module_def")) in
+        let module Props = (val req.repo (K.spec req "global_property")) in
+        Model.put req.model "modules"
+          (X.to_thunk (X.map K.rows_table (Modules.all ())));
+        (* Individual property lookups, like real settings pages. *)
+        List.iter
+          (fun i ->
+            Model.put req.model
+              (Printf.sprintf "prop_%d" i)
+              (X.to_thunk
+                 (X.map K.rows_table
+                    (Props.find_by "prop" (Value.Text (Printf.sprintf "prop%d" i))))))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+  let current_users =
+    std "current_users" (fun req ->
+        let module Users = (val req.repo (K.spec req "app_user")) in
+        let module Roles = (val req.repo (K.spec req "role")) in
+        let users = X.get (Users.all ()) in
+        let cells =
+          List.map
+            (fun u ->
+              X.map
+                (fun role ->
+                  Html.tr
+                    [
+                      Html.td [ Html.text (Row.str u "username") ];
+                      Html.td
+                        [
+                          (match role with
+                          | Some r -> Html.text (Row.str r "name")
+                          | None -> Html.text "?");
+                        ];
+                    ])
+                (Roles.find (Row.int u "role_id")))
+            users
+        in
+        Model.put req.model "users"
+          (X.to_thunk (X.map (fun trs -> Html.table trs) (X.all cells))))
+
+  let quick_report =
+    std "quick_report" (fun req ->
+        ignore (K.spec req "encounter");
+        let stmt =
+          select_of "encounter"
+            ~items:
+              [
+                Sel_expr (Col (None, "encounter_type_id"), Some "ty");
+                Sel_expr (Agg (Count, None), Some "n");
+              ]
+            ~group_by:[ Col (None, "encounter_type_id") ]
+            ~order_by:
+              [ { o_expr = Col (None, "encounter_type_id"); o_asc = true } ]
+        in
+        Model.put req.model "report"
+          (X.to_thunk
+             (X.map
+                (fun rows -> K.rows_table rows)
+                (X.query stmt Row.of_result_set))))
+
+  let concept_stats =
+    std "dictionary/concept_stats" (fun req ->
+        let module Obs = (val req.repo (K.spec req "obs")) in
+        let module Concepts = (val req.repo (K.spec req "concept")) in
+        match X.get (Concepts.find 1) with
+        | None -> Model.put_now req.model "concept" (Html.text "(missing)")
+        | Some c ->
+            Model.put_now req.model "concept" (K.definition_html c);
+            Model.put req.model "obs_count"
+              (X.to_thunk
+                 (X.map
+                    (fun n -> Html.p [ Html.int n ])
+                    (Obs.count
+                       ~where:(Binop (Eq, Col (None, "concept_id"), Lit (L_int 1)))
+                       ())));
+            let stmt =
+              select_of "obs"
+                ~items:
+                  [
+                    Sel_expr (Col (None, "status"), Some "status");
+                    Sel_expr (Agg (Count, None), Some "n");
+                    Sel_expr
+                      (Agg (Avg, Some (Col (None, "value_num"))), Some "avg");
+                  ]
+                ~where:(Binop (Eq, Col (None, "concept_id"), Lit (L_int 1)))
+                ~group_by:[ Col (None, "status") ]
+                ~order_by:[ { o_expr = Col (None, "status"); o_asc = true } ]
+            in
+            Model.put req.model "histogram"
+              (X.to_thunk
+                 (X.map K.rows_table (X.query stmt Row.of_result_set))))
+
+  let light_page page_name =
+    std page_name (fun req ->
+        let module Props = (val req.repo (K.spec req "global_property")) in
+        Model.put req.model "config"
+          (X.to_thunk (X.map K.rows_table (Props.all ~limit:10 ()))))
+
+  (* Pages whose view renders only part of what the controller fetched:
+     under Sloth the whole pending batch still executes once anything
+     forces — the paper's "a few extra queries" case (Fig. 6c). *)
+  let partial_list table =
+    std (Printf.sprintf "admin/%s/recent" table) (fun req ->
+        K.list_page req (TS.find specs table) ~limit:25 ~render_limit:8 ())
+
+  (* Search pages: a filtered list over a column, like search_issues /
+     findPatient forms after submission. *)
+  let search_page table column value =
+    std (Printf.sprintf "search/%s" table) (fun req ->
+        K.list_page req (TS.find specs table)
+          ~where:(Binop (Eq, Col (None, column), Repo.lit value))
+          ())
+
+  let search_pages =
+    [
+      search_page "patient" "person_id" (Value.Int 3);
+      search_page "encounter" "patient_id" (Value.Int 1);
+      search_page "visit" "patient_id" (Value.Int 1);
+      search_page "obs" "status" (Value.Text "active");
+      search_page "concept" "class_id" (Value.Int 2);
+      search_page "order_rec" "provider_id" (Value.Int 1);
+      search_page "alert" "text" (Value.Text "review");
+      search_page "hl7_message" "status" (Value.Text "queued");
+    ]
+
+  let dictionary_pages =
+    [
+      std "dictionary/concept_list" (fun req ->
+          K.list_page req (TS.find specs "concept") ());
+      std "dictionary/concept_view" (fun req ->
+          K.view_page req (TS.find specs "concept") ~id:1
+            ~children:
+              [ ("drug", "concept_id"); ("obs", "concept_id");
+                ("field_def", "concept_id") ]
+            ());
+      concept_stats;
+    ]
+
+  let special_pages =
+    [
+      patient_dashboard;
+      encounter_display;
+      person_dashboard;
+      merge_patients;
+      alert_list;
+      admin_index;
+      system_info;
+      current_users;
+      quick_report;
+      light_page "help";
+      light_page "options";
+      light_page "forgot_password";
+      light_page "feedback";
+      light_page "server_log";
+      light_page "database_changes_info";
+      partial_list "obs";
+      partial_list "encounter";
+      partial_list "visit";
+      partial_list "alert";
+      light_page "admin/forms/resources";
+      light_page "admin/maintenance/implementation";
+    ]
+
+  let pages =
+    generic_pages @ view_pages @ dictionary_pages @ search_pages
+    @ special_pages
+  let page_names = List.map fst pages
+  let controller page_name = List.assoc page_name pages
+end

@@ -1,0 +1,28 @@
+(** Medrec: the OpenMRS-shaped medical-records evaluation application.
+
+    A patient/visit/encounter/observation core, a concept dictionary, and
+    a long tail of administrative entities.  Exposes the paper's 112 page
+    benchmarks: generic admin list/form pages per entity, read-only view
+    pages with child counts, search pages, and rich hand-written pages —
+    the patient dashboard (Fig. 1), encounter display (the Sec. 6.1
+    example, driven by the skewed observation FK), person dashboard, merge
+    patients, the pathological alert list (a dependent 1+N+N chain), admin
+    index, system info, and the lightweight configuration pages. *)
+
+val name : string
+
+val specs : Table_spec.t list
+(** Topologically sorted (parents first), as {!Datagen.populate} expects. *)
+
+val populate : ?scale:int -> Sloth_storage.Database.t -> unit
+
+module Pages (X : Sloth_core.Exec.S) : sig
+  val pages : (string * (unit -> Sloth_web.Model.t)) list
+  (** 112 named controllers, each building a fresh request (own repository
+      session) when invoked. *)
+
+  val page_names : string list
+
+  val controller : string -> unit -> Sloth_web.Model.t
+  (** Raises [Not_found] for unknown pages. *)
+end

@@ -1,0 +1,89 @@
+(** Data-driven table descriptions shared by the data generator, the
+    generic entities, and the page builders of both evaluation
+    applications. *)
+
+type colgen =
+  | Serial  (** 1..n primary keys *)
+  | Fk of string  (** reference into the named parent table *)
+  | Skewed_fk of string
+      (** like [Fk] but one eighth of the children attach to parent id 1 —
+          a hot entity, used by the database-scaling experiment *)
+  | Name_like of string  (** [prefix ^ string_of_int id] *)
+  | Int_range of int * int
+  | Float_range of float * float
+  | Choice of string list
+  | Flag  (** boolean *)
+  | Derived of (int -> Sloth_storage.Value.t)
+      (** computed from the row id — e.g. exhaustive pair enumeration *)
+
+type col = { cname : string; cty : Sloth_sql.Ast.col_type; cgen : colgen }
+
+type t = {
+  table : string;
+  cols : col list;  (** first column must be the Serial primary key *)
+  rows_at : int -> int;  (** scale factor -> row count *)
+  list_deps : string list;
+      (** FK columns expanded per row on list pages (the 1+N pattern) *)
+  lookups : string list;
+      (** tables loaded wholesale on form pages (dropdown sources) *)
+  eager_children : (string * string) list;
+      (** [(child_table, fk_column)] associations the application maps with
+          Hibernate's EAGER strategy: the original runtime loads them with
+          every owning entity, used or not (the paper's wasted queries);
+          Sloth never issues them unless accessed *)
+}
+
+let id_col = { cname = "id"; cty = Sloth_sql.Ast.T_int; cgen = Serial }
+
+let spec ?(list_deps = []) ?(lookups = []) ?(eager_children = []) table cols
+    rows_at =
+  { table; cols = id_col :: cols; rows_at; list_deps; lookups; eager_children }
+
+let col cname cty cgen = { cname; cty; cgen }
+let fk cname parent = { cname; cty = Sloth_sql.Ast.T_int; cgen = Fk parent }
+
+let name_col ?(cname = "name") prefix =
+  { cname; cty = Sloth_sql.Ast.T_text; cgen = Name_like prefix }
+
+let find specs table =
+  match List.find_opt (fun s -> String.equal s.table table) specs with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "no table spec for %s" table)
+
+let parent_of_fk t cname =
+  match
+    List.find_opt (fun c -> String.equal c.cname cname) t.cols
+  with
+  | Some { cgen = Fk parent; _ } | Some { cgen = Skewed_fk parent; _ } ->
+      parent
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "%s.%s is not a foreign key" t.table cname)
+
+(** The generic ORM entity for a spec, including its eager associations. *)
+let entity t =
+  let assocs =
+    List.map
+      (fun (child_table, fk_column) ->
+        {
+          Sloth_orm.Desc.assoc_name = child_table;
+          child_table;
+          fk_column;
+          fetch = Sloth_orm.Desc.Eager_fetch;
+        })
+      t.eager_children
+  in
+  Sloth_orm.Generic.entity ~table:t.table
+    ~columns:(List.map (fun c -> (c.cname, c.cty)) t.cols)
+    ~assocs ()
+
+let schema t =
+  Sloth_storage.Schema.create ~name:t.table ~primary_key:"id"
+    (List.map
+       (fun c ->
+         {
+           Sloth_storage.Schema.name = c.cname;
+           ty = c.cty;
+           nullable = not (String.equal c.cname "id");
+         })
+       t.cols)

@@ -1,0 +1,61 @@
+(** Data-driven table descriptions shared by the data generator, the
+    generic ORM entities, and the page builders of both evaluation
+    applications. *)
+
+type colgen =
+  | Serial  (** 1..n primary keys *)
+  | Fk of string  (** uniform reference into the named parent table *)
+  | Skewed_fk of string
+      (** like [Fk] but one eighth of the children attach to parent id 1 —
+          a hot entity, used by the database-scaling experiment *)
+  | Name_like of string  (** [prefix ^ string_of_int id] *)
+  | Int_range of int * int  (** inclusive *)
+  | Float_range of float * float
+  | Choice of string list
+  | Flag  (** boolean *)
+  | Derived of (int -> Sloth_storage.Value.t)
+      (** computed from the row id — e.g. exhaustive pair enumeration *)
+
+type col = { cname : string; cty : Sloth_sql.Ast.col_type; cgen : colgen }
+
+type t = {
+  table : string;
+  cols : col list;  (** first column is always the Serial primary key *)
+  rows_at : int -> int;  (** scale factor -> row count *)
+  list_deps : string list;
+      (** FK columns expanded per row on list pages (the 1+N pattern) *)
+  lookups : string list;
+      (** tables loaded wholesale on form pages (dropdown sources) *)
+  eager_children : (string * string) list;
+      (** [(child_table, fk_column)] associations mapped with Hibernate's
+          EAGER strategy: loaded with every owning entity under the
+          original runtime, used or not; never issued by Sloth unless
+          accessed *)
+}
+
+val spec :
+  ?list_deps:string list ->
+  ?lookups:string list ->
+  ?eager_children:(string * string) list ->
+  string ->
+  col list ->
+  (int -> int) ->
+  t
+(** [spec table cols rows_at] prepends the [id] Serial primary key. *)
+
+val col : string -> Sloth_sql.Ast.col_type -> colgen -> col
+val fk : string -> string -> col
+val name_col : ?cname:string -> string -> col
+val id_col : col
+
+val find : t list -> string -> t
+(** Raises [Invalid_argument] for unknown tables. *)
+
+val parent_of_fk : t -> string -> string
+(** The parent table of a (possibly skewed) foreign-key column. *)
+
+val entity : t -> (module Sloth_orm.Generic.ROW_ENTITY)
+(** The generic ORM entity for the spec, including its eager
+    associations. *)
+
+val schema : t -> Sloth_storage.Schema.t

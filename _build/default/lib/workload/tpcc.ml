@@ -1,0 +1,328 @@
+(** TPC-C, expressed in the kernel language and compiled both ways.
+
+    The paper uses TPC-C purely as an overhead probe (Sec. 6.6): its
+    transactions consume every query result immediately (printed to the
+    console), so Sloth has nothing to batch and the measured difference is
+    the cost of lazy evaluation itself.  We reproduce that setup: the five
+    transaction types are kernel-language programs that issue the classic
+    query sequences and print their results. *)
+
+module TS = Table_spec
+module B = Sloth_kernel.Builder
+open TS
+
+let n_warehouses = 4
+let districts_per_wh = 10
+let customers_per_district = 30
+let n_items = 200
+
+let specs =
+  [
+    spec "tpcc_warehouse"
+      [ name_col "wh"; col "ytd" Sloth_sql.Ast.T_int (Int_range (0, 1000)) ]
+      (fun _ -> n_warehouses);
+    spec "tpcc_district"
+      [
+        name_col "dist";
+        fk "warehouse_id" "tpcc_warehouse";
+        col "ytd" Sloth_sql.Ast.T_int (Int_range (0, 1000));
+        col "next_o_id" Sloth_sql.Ast.T_int (Int_range (1000, 1000));
+      ]
+      (fun _ -> n_warehouses * districts_per_wh);
+    spec "tpcc_customer"
+      [
+        name_col "cust";
+        fk "district_id" "tpcc_district";
+        col "balance" Sloth_sql.Ast.T_int (Int_range (0, 500));
+        col "payment_cnt" Sloth_sql.Ast.T_int (Int_range (0, 0));
+      ]
+      (fun _ -> n_warehouses * districts_per_wh * customers_per_district);
+    spec "tpcc_item"
+      [ name_col "item"; col "price" Sloth_sql.Ast.T_int (Int_range (1, 100)) ]
+      (fun _ -> n_items);
+    spec "tpcc_stock"
+      [
+        (* Exhaustive (warehouse, item) enumeration: every combination has
+           exactly one stock row, as in the real schema's composite key. *)
+        col "warehouse_id" Sloth_sql.Ast.T_int
+          (Derived (fun id -> Sloth_storage.Value.Int (((id - 1) / n_items) + 1)));
+        col "item_id" Sloth_sql.Ast.T_int
+          (Derived (fun id -> Sloth_storage.Value.Int (((id - 1) mod n_items) + 1)));
+        col "quantity" Sloth_sql.Ast.T_int (Int_range (10, 100));
+      ]
+      (fun _ -> n_warehouses * n_items);
+    spec "tpcc_order"
+      [
+        fk "district_id" "tpcc_district";
+        fk "customer_id" "tpcc_customer";
+        col "carrier_id" Sloth_sql.Ast.T_int (Int_range (0, 10));
+        col "line_count" Sloth_sql.Ast.T_int (Int_range (5, 10));
+      ]
+      (fun _ -> 400);
+    spec "tpcc_order_line"
+      [
+        fk "order_id" "tpcc_order";
+        fk "item_id" "tpcc_item";
+        col "quantity" Sloth_sql.Ast.T_int (Int_range (1, 10));
+        col "amount" Sloth_sql.Ast.T_int (Int_range (1, 500));
+      ]
+      (fun _ -> 2400);
+    spec "tpcc_new_order"
+      [ fk "order_id" "tpcc_order" ]
+      (fun _ -> 120);
+    spec "tpcc_history"
+      [ fk "customer_id" "tpcc_customer";
+        col "amount" Sloth_sql.Ast.T_int (Int_range (1, 100)) ]
+      (fun _ -> 200);
+  ]
+
+let populate ?(scale = 1) db =
+  Datagen.populate ~scale db specs;
+  (* Derived columns get no automatic index; stock is probed by both. *)
+  Sloth_storage.Database.create_index db ~table:"tpcc_stock"
+    ~column:"warehouse_id";
+  Sloth_storage.Database.create_index db ~table:"tpcc_stock" ~column:"item_id"
+
+(* --- transaction programs ----------------------------------------------- *)
+
+(* Query strings are assembled with kernel-language string concatenation
+   (the formalization's R(e) / W(e) with computed e), so the lazy compiler
+   sees real dependent computation. *)
+
+let sel table id_expr =
+  B.(read (str (Printf.sprintf "SELECT * FROM %s WHERE id = " table) +% id_expr))
+
+let scalar_field rows f = B.(field (index rows (num 0)) f)
+
+(* NEW-ORDER: read customer and district, take an order id, then for each
+   of the items read the item and its stock, update the stock and insert an
+   order line; finally insert the order and print the total. *)
+let new_order ~seed =
+  let b = B.create () in
+  let open B in
+  let w = 1 + (seed mod n_warehouses) in
+  let d = 1 + (seed mod (n_warehouses * districts_per_wh)) in
+  let c = 1 + (seed * 7 mod (n_warehouses * districts_per_wh * customers_per_district)) in
+  let line_items = 5 + (seed mod 6) in
+  let item_ids =
+    Array.init line_items (fun i -> 1 + ((seed * 13) + (i * 17)) mod n_items)
+  in
+  let main =
+    seq b
+      [
+        assign b "cust" (sel "tpcc_customer" (num c));
+        print b (field (index (var "cust") (num 0)) "name");
+        assign b "dist" (sel "tpcc_district" (num d));
+        print b (field (index (var "dist") (num 0)) "name");
+        assign b "oid"
+          (scalar_field
+             (read (str "SELECT COUNT(*) AS n FROM tpcc_order"))
+             "n"
+          +% num 1);
+        write b
+          (str "UPDATE tpcc_district SET next_o_id = next_o_id + 1 WHERE id = "
+          +% num d);
+        write b
+          (str "INSERT INTO tpcc_order (id, district_id, customer_id, \
+                carrier_id, line_count) VALUES ("
+          +% var "oid" +% str ", " +% num d +% str ", " +% num c
+          +% str ", 0, " +% num line_items +% str ")");
+        write b
+          (str "INSERT INTO tpcc_new_order (id, order_id) VALUES ("
+          +% (var "oid" +% num 100000)
+          +% str ", " +% var "oid" +% str ")");
+        assign b "total" (num 0);
+        assign b "line" (num 0);
+        seq b
+          (List.concat_map
+             (fun item_id ->
+               [
+                 assign b "item" (sel "tpcc_item" (num item_id));
+                 assign b "price" (field (index (var "item") (num 0)) "price");
+                 assign b "stock_rows"
+                   (read
+                      (str
+                         "SELECT * FROM tpcc_stock WHERE warehouse_id = "
+                      +% num w
+                      +% str " AND item_id = "
+                      +% num item_id));
+                 assign b "qty" (field (index (var "stock_rows") (num 0)) "quantity");
+                 write b
+                   (str "UPDATE tpcc_stock SET quantity = quantity - 1 WHERE \
+                         warehouse_id = "
+                   +% num w +% str " AND item_id = " +% num item_id);
+                 assign b "line" (var "line" +% num 1);
+                 assign b "amount" (var "price" *% num 2);
+                 write b
+                   (str
+                      "INSERT INTO tpcc_order_line (id, order_id, item_id, \
+                       quantity, amount) VALUES ("
+                   +% ((var "oid" *% num 100) +% var "line")
+                   +% str ", " +% var "oid" +% str ", " +% num item_id
+                   +% str ", 2, " +% var "amount" +% str ")");
+                 assign b "total" (var "total" +% var "amount");
+                 (* The console output the reference implementation emits. *)
+                 print b (var "qty");
+               ])
+             (Array.to_list item_ids));
+        print b (var "total");
+      ]
+  in
+  B.program [] main
+
+(* PAYMENT: read warehouse/district/customer, apply the payment, record
+   history, print the receipt. *)
+let payment ~seed =
+  let b = B.create () in
+  let open B in
+  let w = 1 + (seed mod n_warehouses) in
+  let d = 1 + (seed mod (n_warehouses * districts_per_wh)) in
+  let c = 1 + (seed * 11 mod (n_warehouses * districts_per_wh * customers_per_district)) in
+  let amount = 10 + (seed mod 90) in
+  let main =
+    seq b
+      [
+        assign b "wh" (sel "tpcc_warehouse" (num w));
+        print b (field (index (var "wh") (num 0)) "name");
+        assign b "dist" (sel "tpcc_district" (num d));
+        print b (field (index (var "dist") (num 0)) "name");
+        assign b "cust" (sel "tpcc_customer" (num c));
+        print b (field (index (var "cust") (num 0)) "name");
+        write b
+          (str "UPDATE tpcc_customer SET balance = balance - " +% num amount
+          +% str ", payment_cnt = payment_cnt + 1 WHERE id = " +% num c);
+        write b
+          (str "UPDATE tpcc_district SET ytd = ytd + " +% num amount
+          +% str " WHERE id = " +% num d);
+        write b
+          (str "UPDATE tpcc_warehouse SET ytd = ytd + " +% num amount
+          +% str " WHERE id = " +% num w);
+        write b
+          (str "INSERT INTO tpcc_history (id, customer_id, amount) VALUES ("
+          +% num (100000 + seed)
+          +% str ", " +% num c +% str ", " +% num amount +% str ")");
+        print b (field (index (var "cust") (num 0)) "balance");
+      ]
+  in
+  B.program [] main
+
+(* ORDER-STATUS: customer, most recent order, its lines. *)
+let order_status ~seed =
+  let b = B.create () in
+  let open B in
+  let c = 1 + (seed * 3 mod (n_warehouses * districts_per_wh * customers_per_district)) in
+  let main =
+    seq b
+      [
+        assign b "cust" (sel "tpcc_customer" (num c));
+        print b (field (index (var "cust") (num 0)) "balance");
+        assign b "orders"
+          (read
+             (str "SELECT * FROM tpcc_order WHERE customer_id = " +% num c
+             +% str " ORDER BY id DESC LIMIT 1"));
+        if_ b
+          (len (var "orders") >% num 0)
+          (seq b
+             [
+               assign b "oid" (field (index (var "orders") (num 0)) "id");
+               assign b "lines"
+                 (read
+                    (str "SELECT * FROM tpcc_order_line WHERE order_id = "
+                    +% var "oid"));
+               assign b "i" (num 0);
+               while_ b
+                 (seq b
+                    [
+                      if_ b
+                        (not_ (var "i" <% len (var "lines")))
+                        (break b) (skip b);
+                      print b (field (index (var "lines") (var "i")) "amount");
+                      assign b "i" (var "i" +% num 1);
+                    ]);
+             ])
+          (print b (str "no orders"));
+      ]
+  in
+  B.program [] main
+
+(* DELIVERY: for a batch of districts, take the oldest new-order, deliver
+   it, credit the customer. *)
+let delivery ~seed =
+  let b = B.create () in
+  let open B in
+  let carrier = 1 + (seed mod 10) in
+  let main =
+    seq b
+      [
+        assign b "delivered" (num 0);
+        for_range b "d" ~from:(num 1) ~below:(num 4) (fun _d ->
+            seq b
+              [
+                assign b "pending"
+                  (read (str "SELECT * FROM tpcc_new_order ORDER BY id ASC LIMIT 1"));
+                if_ b
+                  (len (var "pending") >% num 0)
+                  (seq b
+                     [
+                       assign b "no_id" (field (index (var "pending") (num 0)) "id");
+                       assign b "oid"
+                         (field (index (var "pending") (num 0)) "order_id");
+                       write b
+                         (str "DELETE FROM tpcc_new_order WHERE id = " +% var "no_id");
+                       write b
+                         (str "UPDATE tpcc_order SET carrier_id = " +% num carrier
+                         +% str " WHERE id = " +% var "oid");
+                       assign b "sum_rows"
+                         (read
+                            (str
+                               "SELECT SUM(amount) AS total FROM \
+                                tpcc_order_line WHERE order_id = "
+                            +% var "oid"));
+                       print b (field (index (var "sum_rows") (num 0)) "total");
+                       assign b "ord" (sel "tpcc_order" (var "oid"));
+                       assign b "cid"
+                         (field (index (var "ord") (num 0)) "customer_id");
+                       print b (var "oid");
+                       assign b "delivered" (var "delivered" +% num 1);
+                     ])
+                  (skip b);
+              ]);
+        print b (var "delivered");
+      ]
+  in
+  B.program [] main
+
+(* STOCK-LEVEL: low-stock count for a district's recent orders. *)
+let stock_level ~seed =
+  let b = B.create () in
+  let open B in
+  let w = 1 + (seed mod n_warehouses) in
+  let threshold = 15 + (seed mod 10) in
+  let main =
+    seq b
+      [
+        assign b "low"
+          (scalar_field
+             (read
+                (str
+                   "SELECT COUNT(*) AS n FROM tpcc_stock WHERE warehouse_id = "
+                +% num w +% str " AND quantity < " +% num threshold))
+             "n");
+        print b (var "low");
+        assign b "lines"
+          (scalar_field
+             (read (str "SELECT COUNT(*) AS n FROM tpcc_order_line"))
+             "n");
+        print b (var "lines");
+      ]
+  in
+  B.program [] main
+
+let transactions =
+  [
+    ("New order", new_order);
+    ("Order status", order_status);
+    ("Stock level", stock_level);
+    ("Payment", payment);
+    ("Delivery", delivery);
+  ]

@@ -1,0 +1,18 @@
+(** TPC-C in the kernel language — the paper's lazy-overhead probe
+    (Sec. 6.6).
+
+    The five transaction types are kernel-language programs issuing the
+    classic query sequences with every result consumed (printed)
+    immediately, so Sloth has nothing to batch and the measured difference
+    between the standard and lazy builds is pure lazy-evaluation cost. *)
+
+val specs : Table_spec.t list
+val populate : ?scale:int -> Sloth_storage.Database.t -> unit
+
+val transactions : (string * (seed:int -> Sloth_kernel.Ast.program)) list
+(** [(name, make)] for New order, Order status, Stock level, Payment and
+    Delivery; [seed] varies the parameters (warehouse, district, customer,
+    items) deterministically. *)
+
+val n_warehouses : int
+val n_items : int

@@ -1,0 +1,251 @@
+(** TPC-W (browsing / shopping / ordering mixes) in the kernel language —
+    the second overhead probe of Sec. 6.6.  Every interaction converts its
+    results to output immediately (the reference implementation renders
+    HTML straight away), leaving no batching opportunity. *)
+
+module TS = Table_spec
+module B = Sloth_kernel.Builder
+open TS
+
+let n_items = 500
+let n_customers = 100
+
+let specs =
+  [
+    spec "tw_author" [ name_col "author" ] (fun _ -> 50);
+    spec "tw_customer"
+      [ name_col "cust"; col "balance" Sloth_sql.Ast.T_int (Int_range (0, 500)) ]
+      (fun _ -> n_customers);
+    spec "tw_item"
+      [
+        name_col "book";
+        fk "author_id" "tw_author";
+        col "price" Sloth_sql.Ast.T_int (Int_range (5, 80));
+        col "stock" Sloth_sql.Ast.T_int (Int_range (10, 100));
+        col "subject" Sloth_sql.Ast.T_text
+          (Choice [ "arts"; "biographies"; "computers"; "history"; "travel" ]);
+      ]
+      (fun _ -> n_items);
+    spec "tw_cart"
+      [ fk "customer_id" "tw_customer" ]
+      (fun _ -> n_customers);
+    spec "tw_cart_line"
+      [ fk "cart_id" "tw_cart"; fk "item_id" "tw_item";
+        col "qty" Sloth_sql.Ast.T_int (Int_range (1, 4)) ]
+      (fun _ -> 300);
+    spec "tw_order"
+      [ fk "customer_id" "tw_customer";
+        col "total" Sloth_sql.Ast.T_int (Int_range (10, 400)) ]
+      (fun _ -> 200);
+    spec "tw_order_line"
+      [ fk "order_id" "tw_order"; fk "item_id" "tw_item";
+        col "qty" Sloth_sql.Ast.T_int (Int_range (1, 4)) ]
+      (fun _ -> 600);
+  ]
+
+let populate ?(scale = 1) db = Datagen.populate ~scale db specs
+
+(* --- interactions -------------------------------------------------------- *)
+
+let sel table id_expr =
+  B.(read (str (Printf.sprintf "SELECT * FROM %s WHERE id = " table) +% id_expr))
+
+let print_first_name b rows_var =
+  B.(print b (field (index (var rows_var) (num 0)) "name"))
+
+let home ~seed =
+  let b = B.create () in
+  let open B in
+  let c = 1 + (seed mod n_customers) in
+  let promos = List.init 5 (fun i -> 1 + ((seed * 31) + (i * 97)) mod n_items) in
+  let main =
+    seq b
+      ([ assign b "cust" (sel "tw_customer" (num c));
+         print b (field (index (var "cust") (num 0)) "name") ]
+      @ List.concat_map
+          (fun item ->
+            [
+              assign b "promo" (sel "tw_item" (num item));
+              print_first_name b "promo";
+            ])
+          promos)
+  in
+  B.program [] main
+
+let new_products ~seed =
+  let b = B.create () in
+  let open B in
+  let subject =
+    List.nth [ "arts"; "biographies"; "computers"; "history"; "travel" ]
+      (seed mod 5)
+  in
+  let main =
+    seq b
+      [
+        assign b "items"
+          (read
+             (str
+                (Printf.sprintf
+                   "SELECT * FROM tw_item WHERE subject = '%s' ORDER BY id \
+                    DESC LIMIT 10"
+                   subject)));
+        assign b "i" (num 0);
+        while_ b
+          (seq b
+             [
+               if_ b (not_ (var "i" <% len (var "items"))) (break b) (skip b);
+               print b (field (index (var "items") (var "i")) "name");
+               assign b "i" (var "i" +% num 1);
+             ]);
+      ]
+  in
+  B.program [] main
+
+let best_sellers ~seed =
+  let b = B.create () in
+  let open B in
+  ignore seed;
+  let main =
+    seq b
+      [
+        assign b "top"
+          (read
+             (str
+                "SELECT item_id AS item_id, COUNT(*) AS n FROM tw_order_line \
+                 GROUP BY item_id ORDER BY COUNT(*) DESC LIMIT 5"));
+        assign b "i" (num 0);
+        while_ b
+          (seq b
+             [
+               if_ b (not_ (var "i" <% len (var "top"))) (break b) (skip b);
+               assign b "item"
+                 (sel "tw_item" (field (index (var "top") (var "i")) "item_id"));
+               print_first_name b "item";
+               assign b "i" (var "i" +% num 1);
+             ]);
+      ]
+  in
+  B.program [] main
+
+let product_detail ~seed =
+  let b = B.create () in
+  let open B in
+  let item = 1 + (seed * 7 mod n_items) in
+  let main =
+    seq b
+      [
+        assign b "item" (sel "tw_item" (num item));
+        print_first_name b "item";
+        print b (field (index (var "item") (num 0)) "price");
+        assign b "author"
+          (sel "tw_author" (field (index (var "item") (num 0)) "author_id"));
+        print_first_name b "author";
+      ]
+  in
+  B.program [] main
+
+let search ~seed =
+  let b = B.create () in
+  let open B in
+  let prefix = Printf.sprintf "book%d%%" (seed mod 10) in
+  let main =
+    seq b
+      [
+        assign b "hits"
+          (read
+             (str
+                (Printf.sprintf
+                   "SELECT COUNT(*) AS n FROM tw_item WHERE name LIKE '%s'"
+                   prefix)));
+        print b (field (index (var "hits") (num 0)) "n");
+      ]
+  in
+  B.program [] main
+
+let shopping_cart ~seed =
+  let b = B.create () in
+  let open B in
+  let cart = 1 + (seed mod n_customers) in
+  let item = 1 + (seed * 13 mod n_items) in
+  let main =
+    seq b
+      [
+        assign b "item" (sel "tw_item" (num item));
+        print b (field (index (var "item") (num 0)) "price");
+        write b
+          (str "INSERT INTO tw_cart_line (id, cart_id, item_id, qty) VALUES ("
+          +% num (10000 + (seed * 3))
+          +% str ", " +% num cart +% str ", " +% num item +% str ", 1)");
+        assign b "lines"
+          (read (str "SELECT * FROM tw_cart_line WHERE cart_id = " +% num cart));
+        print b (len (var "lines"));
+      ]
+  in
+  B.program [] main
+
+let buy_confirm ~seed =
+  let b = B.create () in
+  let open B in
+  let cart = 1 + (seed mod n_customers) in
+  let cust = cart in
+  let main =
+    seq b
+      [
+        assign b "lines"
+          (read (str "SELECT * FROM tw_cart_line WHERE cart_id = " +% num cart));
+        assign b "oid"
+          (field (index (read (str "SELECT COUNT(*) AS n FROM tw_order")) (num 0)) "n"
+          +% num 1000);
+        write b
+          (str "INSERT INTO tw_order (id, customer_id, total) VALUES ("
+          +% var "oid" +% str ", " +% num cust +% str ", 0)");
+        assign b "total" (num 0);
+        assign b "i" (num 0);
+        while_ b
+          (seq b
+             [
+               if_ b (not_ (var "i" <% len (var "lines"))) (break b) (skip b);
+               assign b "item_id"
+                 (field (index (var "lines") (var "i")) "item_id");
+               assign b "qty" (field (index (var "lines") (var "i")) "qty");
+               assign b "item" (sel "tw_item" (var "item_id"));
+               assign b "total"
+                 (var "total"
+                 +% (field (index (var "item") (num 0)) "price" *% var "qty"));
+               write b
+                 (str "UPDATE tw_item SET stock = stock - " +% var "qty"
+                 +% str " WHERE id = " +% var "item_id");
+               write b
+                 (str
+                    "INSERT INTO tw_order_line (id, order_id, item_id, qty) \
+                     VALUES ("
+                 +% ((var "oid" *% num 100) +% var "i")
+                 +% str ", " +% var "oid" +% str ", " +% var "item_id"
+                 +% str ", " +% var "qty" +% str ")");
+               assign b "i" (var "i" +% num 1);
+             ]);
+        write b
+          (str "UPDATE tw_order SET total = " +% var "total"
+          +% str " WHERE id = " +% var "oid");
+        write b
+          (str "DELETE FROM tw_cart_line WHERE cart_id = " +% num cart);
+        print b (var "oid");
+        print b (var "total");
+      ]
+  in
+  B.program [] main
+
+(* The three TPC-W mixes: interaction sequences weighted like the standard
+   browse/shop/order profiles. *)
+let mixes =
+  [
+    ( "Browsing mix",
+      [ home; new_products; best_sellers; product_detail; search; home;
+        product_detail; new_products ] );
+    ( "Shopping mix",
+      [ home; product_detail; search; shopping_cart; new_products;
+        shopping_cart; best_sellers ] );
+    ( "Ordering mix",
+      [ home; shopping_cart; buy_confirm; product_detail; shopping_cart;
+        buy_confirm ] );
+  ]

@@ -1,0 +1,12 @@
+(** TPC-W in the kernel language — the second overhead probe of Sec. 6.6.
+
+    Interactions (home, new products, best sellers, product detail,
+    search, shopping cart, buy confirm) render their results immediately;
+    the three standard mixes weight them like the browse/shop/order
+    profiles. *)
+
+val specs : Table_spec.t list
+val populate : ?scale:int -> Sloth_storage.Database.t -> unit
+
+val mixes : (string * (seed:int -> Sloth_kernel.Ast.program) list) list
+(** [(mix name, interaction sequence)]. *)

@@ -1,0 +1,346 @@
+(** Tracker: the itracker-shaped issue-management application (38 pages,
+    like the paper's first benchmark set). *)
+
+module TS = Table_spec
+open TS
+
+let name = "tracker"
+
+let specs =
+  [
+    spec "role" [ name_col "role" ] (fun _ -> 4);
+    spec "app_user"
+      [ col "username" Sloth_sql.Ast.T_text (Name_like "user"); fk "role_id" "role" ]
+      (fun _ -> 20);
+    spec "privilege"
+      [ name_col "priv"; fk "role_id" "role" ]
+      (fun _ -> 90)
+      ~list_deps:[ "role_id" ];
+    spec "project"
+      [ name_col "project";
+        col "status" Sloth_sql.Ast.T_text (Choice [ "active"; "locked"; "viewable" ]) ]
+      (fun s -> 10 * s)
+      ~eager_children:[ ("component", "project_id"); ("version", "project_id") ];
+    spec "component"
+      [ name_col "component"; fk "project_id" "project" ]
+      (fun s -> 30 * s)
+      ~list_deps:[ "project_id" ]
+      ~lookups:[ "project" ];
+    spec "version"
+      [ fk "project_id" "project";
+        col "number" Sloth_sql.Ast.T_text (Name_like "v") ]
+      (fun s -> 25 * s)
+      ~list_deps:[ "project_id" ]
+      ~lookups:[ "project" ];
+    spec "issue"
+      [
+        Table_spec.{ cname = "project_id"; cty = Sloth_sql.Ast.T_int; cgen = Skewed_fk "project" };
+        fk "component_id" "component";
+        fk "creator_id" "app_user";
+        fk "owner_id" "app_user";
+        col "severity" Sloth_sql.Ast.T_int (Int_range (1, 5));
+        col "status" Sloth_sql.Ast.T_text (Choice [ "new"; "open"; "resolved"; "closed" ]);
+      ]
+      (fun s -> 500 * s)
+      ~list_deps:[ "component_id"; "owner_id" ]
+      ~lookups:[ "component"; "version"; "app_user" ]
+      ~eager_children:[ ("attachment", "issue_id") ];
+    spec "issue_history"
+      [ fk "issue_id" "issue"; fk "user_id" "app_user";
+        col "action" Sloth_sql.Ast.T_text (Choice [ "created"; "assigned"; "commented"; "closed" ]) ]
+      (fun s -> 800 * s)
+      ~list_deps:[ "issue_id"; "user_id" ];
+    spec "attachment"
+      [ fk "issue_id" "issue";
+        col "filename" Sloth_sql.Ast.T_text (Name_like "file");
+        col "size" Sloth_sql.Ast.T_int (Int_range (100, 1000000)) ]
+      (fun s -> 60 * s)
+      ~list_deps:[ "issue_id" ];
+    spec "notification"
+      [ fk "issue_id" "issue"; fk "user_id" "app_user" ]
+      (fun s -> 100 * s)
+      ~list_deps:[ "issue_id"; "user_id" ];
+    spec "language_key" [ col "code" Sloth_sql.Ast.T_text (Name_like "key") ]
+      (fun _ -> 50)
+      ~eager_children:[ ("language_value", "key_id") ];
+    spec "language_value"
+      [ fk "key_id" "language_key";
+        col "locale" Sloth_sql.Ast.T_text (Choice [ "en"; "fr"; "es"; "de" ]);
+        col "value" Sloth_sql.Ast.T_text (Name_like "text") ]
+      (fun _ -> 150)
+      ~list_deps:[ "key_id" ];
+    spec "report_def" [ name_col "report" ] (fun _ -> 8);
+    spec "scheduled_task"
+      [ name_col "task"; col "interval_s" Sloth_sql.Ast.T_int (Int_range (60, 86400)) ]
+      (fun _ -> 6);
+    spec "configuration_item"
+      [ col "prop" Sloth_sql.Ast.T_text (Name_like "conf");
+        col "value" Sloth_sql.Ast.T_text (Choice [ "on"; "off"; "5"; "default" ]) ]
+      (fun _ -> 30);
+    spec "custom_field"
+      [ name_col "field";
+        col "kind" Sloth_sql.Ast.T_text (Choice [ "string"; "int"; "date"; "list" ]) ]
+      (fun _ -> 10);
+    spec "workflow_script"
+      [ name_col "script"; fk "project_id" "project" ]
+      (fun _ -> 12)
+      ~list_deps:[ "project_id" ]
+      ~lookups:[ "project" ];
+  ]
+
+let populate ?(scale = 1) db = Datagen.populate ~scale db specs
+
+let admin_tables =
+  [
+    "report_def"; "configuration_item"; "workflow_script"; "app_user";
+    "project"; "attachment"; "scheduled_task"; "custom_field";
+  ]
+
+module Pages (X : Sloth_core.Exec.S) = struct
+  module K = Webapp.Kit (X)
+  module Html = Sloth_web.Html
+  module Model = Sloth_web.Model
+  module Row = Sloth_orm.Row
+  module Repo = Sloth_orm.Repo
+  module Value = Sloth_storage.Value
+  open Sloth_sql.Ast
+
+  let menu_checks page_name = 14 + (Hashtbl.hash page_name mod 12)
+
+  let forced_checks page_name = 4 + (Hashtbl.hash (page_name ^ "!") mod 14)
+
+  let std page_name build =
+    ( page_name,
+      fun () ->
+        let req = K.new_request specs in
+        if
+          K.prelude req ~user_table:"app_user" ~privilege_table:"privilege"
+            ~menu_checks:(menu_checks page_name)
+            ~forced_checks:(forced_checks page_name) ~user_id:1 ()
+        then build req;
+        req.model )
+
+  let generic_pages =
+    List.concat_map
+      (fun table ->
+        let s = TS.find specs table in
+        [
+          std (Printf.sprintf "admin/%s/list" table) (fun req ->
+              K.list_page req s ());
+          std (Printf.sprintf "admin/%s/edit" table) (fun req ->
+              K.form_page req s ~id:2 ());
+        ])
+      admin_tables
+
+  (* Project list with per-project issue/component/version counts — the
+     Fig. 10(a) scaling page: no LIMIT, every project rendered. *)
+  let list_projects =
+    std "list_projects" (fun req ->
+        let module Projects = (val req.repo (K.spec req "project")) in
+        let module Issues = (val req.repo (K.spec req "issue")) in
+        let module Components = (val req.repo (K.spec req "component")) in
+        let module Versions = (val req.repo (K.spec req "version")) in
+        let projects = X.get (Projects.all ()) in
+        let cells =
+          List.map
+            (fun p ->
+              let pid = Row.int p "id" in
+              let count (module R : K.ROW_REPO) =
+                R.count
+                  ~where:(Binop (Eq, Col (None, "project_id"), Lit (L_int pid)))
+                  ()
+              in
+              let issues = count (module Issues) in
+              let comps = count (module Components) in
+              let vers = count (module Versions) in
+              X.map2
+                (fun n_issues (n_comps, n_vers) ->
+                  Html.tr
+                    [
+                      Html.td [ Html.text (Row.str p "name") ];
+                      Html.td [ Html.int n_issues ];
+                      Html.td [ Html.int n_comps ];
+                      Html.td [ Html.int n_vers ];
+                    ])
+                issues
+                (X.map2 (fun a b -> (a, b)) comps vers))
+            projects
+        in
+        Model.put req.model "projects"
+          (X.to_thunk (X.map (fun trs -> Html.table trs) (X.all cells))))
+
+  let portal_home =
+    std "portal_home" (fun req ->
+        let module Projects = (val req.repo (K.spec req "project")) in
+        let module Issues = (val req.repo (K.spec req "issue")) in
+        let module Notifications = (val req.repo (K.spec req "notification")) in
+        Model.put req.model "open_issues"
+          (X.to_thunk
+             (X.map
+                (fun n -> Html.p [ Html.int n ])
+                (Issues.count
+                   ~where:(Binop (Eq, Col (None, "status"), Lit (L_string "open")))
+                   ())));
+        Model.put req.model "projects"
+          (X.to_thunk (X.map K.rows_table (Projects.all ~limit:10 ())));
+        Model.put req.model "notifications"
+          (X.to_thunk
+             (X.map K.rows_table (Notifications.find_by "user_id" (Value.Int 1)))))
+
+  let list_issues =
+    std "list_issues" (fun req ->
+        K.list_page req (TS.find specs "issue")
+          ~where:(Binop (Eq, Col (None, "project_id"), Lit (L_int 1)))
+          ~limit:30 ())
+
+  let view_issue =
+    std "view_issue" (fun req ->
+        let module Issues = (val req.repo (K.spec req "issue")) in
+        let module Users = (val req.repo (K.spec req "app_user")) in
+        let module Components = (val req.repo (K.spec req "component")) in
+        let module History = (val req.repo (K.spec req "issue_history")) in
+        let module Attachments = (val req.repo (K.spec req "attachment")) in
+        match X.get (Issues.find 1) with
+        | None -> Model.put_now req.model "issue" (Html.text "(missing)")
+        | Some issue ->
+            Model.put_now req.model "issue" (K.definition_html issue);
+            Model.put req.model "owner"
+              (X.to_thunk
+                 (X.map (K.opt_html K.definition_html)
+                    (Users.find (Row.int issue "owner_id"))));
+            Model.put req.model "creator"
+              (X.to_thunk
+                 (X.map (K.opt_html K.definition_html)
+                    (Users.find (Row.int issue "creator_id"))));
+            Model.put req.model "component"
+              (X.to_thunk
+                 (X.map (K.opt_html K.definition_html)
+                    (Components.find (Row.int issue "component_id"))));
+            Model.put req.model "history"
+              (X.to_thunk
+                 (X.map K.rows_table (History.find_by "issue_id" (Value.Int 1))));
+            Model.put req.model "attachments"
+              (X.to_thunk
+                 (X.map K.rows_table
+                    (Attachments.find_by "issue_id" (Value.Int 1)))))
+
+  (* Each history entry resolves its acting user — a dependent 1+N. *)
+  let view_issue_activity =
+    std "view_issue_activity" (fun req ->
+        let module History = (val req.repo (K.spec req "issue_history")) in
+        let module Users = (val req.repo (K.spec req "app_user")) in
+        let entries = X.get (History.find_by "issue_id" (Value.Int 1)) in
+        let cells =
+          List.map
+            (fun h ->
+              X.map
+                (fun user ->
+                  Html.tr
+                    [
+                      Html.td [ Html.text (Row.str h "action") ];
+                      Html.td
+                        [
+                          (match user with
+                          | Some u -> Html.text (Row.str u "username")
+                          | None -> Html.text "?");
+                        ];
+                    ])
+                (Users.find (Row.int h "user_id")))
+            entries
+        in
+        Model.put req.model "activity"
+          (X.to_thunk (X.map (fun trs -> Html.table trs) (X.all cells))))
+
+  let edit_issue =
+    std "edit_issue" (fun req ->
+        K.form_page req (TS.find specs "issue") ~id:1 ())
+
+  let create_issue =
+    std "create_issue" (fun req ->
+        (* A creation form: lookups only. *)
+        List.iter
+          (fun dep ->
+            let dspec = K.spec req dep in
+            let module D = (val req.repo dspec) in
+            Model.put req.model ("options_" ^ dep)
+              (X.to_thunk (X.map K.rows_table (D.all ~limit:30 ()))))
+          [ "project"; "component"; "version"; "app_user"; "custom_field" ])
+
+  let move_issue =
+    std "move_issue" (fun req ->
+        let module Issues = (val req.repo (K.spec req "issue")) in
+        let module Projects = (val req.repo (K.spec req "project")) in
+        Model.put req.model "issue"
+          (X.to_thunk
+             (X.map (K.opt_html K.definition_html) (Issues.find 1)));
+        Model.put req.model "projects"
+          (X.to_thunk (X.map K.rows_table (Projects.all ()))))
+
+  let search_issues_form =
+    std "search_issues_form" (fun req ->
+        List.iter
+          (fun dep ->
+            let module D = (val req.repo (K.spec req dep)) in
+            Model.put req.model ("options_" ^ dep)
+              (X.to_thunk (X.map K.rows_table (D.all ~limit:30 ()))))
+          [ "project"; "component"; "version"; "custom_field" ])
+
+  let edit_language =
+    std "admin/language/edit" (fun req ->
+        K.list_page req (TS.find specs "language_value")
+          ~where:(Binop (Eq, Col (None, "locale"), Lit (L_string "en")))
+          ())
+
+  let admin_home =
+    std "admin_home" (fun req ->
+        List.iter
+          (fun table ->
+            let module R = (val req.repo (K.spec req table)) in
+            Model.put req.model ("n_" ^ table)
+              (X.to_thunk
+                 (X.map (fun n -> Html.p [ Html.int n ]) (R.count ()))))
+          [ "project"; "issue"; "app_user"; "attachment"; "component";
+            "version"; "notification"; "report_def" ])
+
+  let light_page page_name =
+    std page_name (fun req ->
+        let module Conf = (val req.repo (K.spec req "configuration_item")) in
+        Model.put req.model "config"
+          (X.to_thunk (X.map K.rows_table (Conf.all ~limit:10 ()))))
+
+  let special_pages =
+    [
+      portal_home;
+      list_projects;
+      list_issues;
+      view_issue;
+      view_issue_activity;
+      edit_issue;
+      create_issue;
+      move_issue;
+      search_issues_form;
+      edit_language;
+      admin_home;
+      std "admin/language/list" (fun req ->
+          K.list_page req (TS.find specs "language_key") ());
+      std "admin/language/create_key" (fun req ->
+          K.form_page req (TS.find specs "language_key") ~id:2 ());
+      std "admin/project/edit_component" (fun req ->
+          K.form_page req (TS.find specs "component") ~id:2 ());
+      std "admin/project/edit_version" (fun req ->
+          K.form_page req (TS.find specs "version") ~id:2 ());
+      std "admin/reports/list" (fun req ->
+          K.list_page req (TS.find specs "report_def") ());
+      std "preferences" (fun req ->
+          K.form_page req (TS.find specs "app_user") ~id:1 ());
+      light_page "self_register";
+      light_page "forgot_password";
+      light_page "error";
+      light_page "unauthorized";
+      light_page "help";
+    ]
+
+  let pages = generic_pages @ special_pages
+  let page_names = List.map fst pages
+  let controller page_name = List.assoc page_name pages
+end

@@ -1,0 +1,16 @@
+(** Tracker: the itracker-shaped issue-management evaluation application —
+    projects, components, versions, issues, history, attachments,
+    notifications — exposing the paper's 38 page benchmarks, including the
+    portal home, the Fig. 10(a) scaling page [list_projects] (per-project
+    issue/component/version counts over every project), issue view/edit
+    pages, and the dependent 1+N activity page. *)
+
+val name : string
+val specs : Table_spec.t list
+val populate : ?scale:int -> Sloth_storage.Database.t -> unit
+
+module Pages (X : Sloth_core.Exec.S) : sig
+  val pages : (string * (unit -> Sloth_web.Model.t)) list
+  val page_names : string list
+  val controller : string -> unit -> Sloth_web.Model.t
+end

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Printf QCheck QCheck_alcotest Sloth_core Sloth_driver Sloth_net Sloth_sql Sloth_storage

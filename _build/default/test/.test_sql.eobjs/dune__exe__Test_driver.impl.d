@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest List Printf Sloth_driver Sloth_net Sloth_sql Sloth_storage

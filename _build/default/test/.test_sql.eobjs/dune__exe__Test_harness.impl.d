@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float List Printf Sloth_harness Sloth_web Sloth_workload String

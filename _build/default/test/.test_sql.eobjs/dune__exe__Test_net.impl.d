@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Des Gen Link List QCheck QCheck_alcotest Sloth_net Stats Vclock

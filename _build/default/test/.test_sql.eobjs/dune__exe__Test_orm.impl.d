@@ -1,0 +1,1 @@
+test/test_orm.ml: Alcotest Desc Generic List Option Printf QCheck QCheck_alcotest Repo Row Sloth_core Sloth_driver Sloth_net Sloth_orm Sloth_sql Sloth_storage

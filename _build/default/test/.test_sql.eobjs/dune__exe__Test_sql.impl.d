@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Lexer List Parser Printer Printf QCheck QCheck_alcotest Sloth_sql String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Database Eval List Option Printf QCheck QCheck_alcotest Result Result_set Schema Sloth_sql Sloth_storage Table Value Vec

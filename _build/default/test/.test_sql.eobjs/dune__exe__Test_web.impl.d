@@ -1,0 +1,1 @@
+test/test_web.ml: Alcotest List Option Sloth_core Sloth_net Sloth_web String

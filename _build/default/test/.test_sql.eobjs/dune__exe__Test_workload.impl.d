@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Lazy List Printf Sloth_core Sloth_driver Sloth_harness Sloth_kernel Sloth_net Sloth_storage Sloth_web Sloth_workload String

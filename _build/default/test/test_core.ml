@@ -1,0 +1,434 @@
+(* Tests for the Sloth runtime: thunks, query store batching, dedup,
+   write-flush behaviour, and the two execution strategies. *)
+
+module Db = Sloth_storage.Database
+module Rs = Sloth_storage.Result_set
+module Value = Sloth_storage.Value
+module Vclock = Sloth_net.Vclock
+module Stats = Sloth_net.Stats
+module Link = Sloth_net.Link
+module Conn = Sloth_driver.Connection
+module Thunk = Sloth_core.Thunk
+module Runtime = Sloth_core.Runtime
+module Query_store = Sloth_core.Query_store
+
+let setup () =
+  Runtime.set_clock None;
+  Runtime.reset ();
+  let db = Db.create () in
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE kv (k INT NOT NULL, v TEXT NOT NULL, PRIMARY KEY (k))");
+  for i = 1 to 20 do
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf "INSERT INTO kv (k, v) VALUES (%d, 'val%d')" i i))
+  done;
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms:0.5 clock in
+  let conn = Conn.create db link in
+  (db, clock, link, conn)
+
+(* --- thunks ------------------------------------------------------------ *)
+
+let test_thunk_memoization () =
+  let runs = ref 0 in
+  let t =
+    Thunk.create (fun () ->
+        incr runs;
+        !runs)
+  in
+  Alcotest.(check bool) "not forced yet" false (Thunk.is_forced t);
+  Alcotest.(check int) "first force" 1 (Thunk.force t);
+  Alcotest.(check int) "memoized" 1 (Thunk.force t);
+  Alcotest.(check int) "ran once" 1 !runs;
+  Alcotest.(check bool) "forced" true (Thunk.is_forced t)
+
+let test_thunk_laziness () =
+  let ran = ref false in
+  let _t = Thunk.create (fun () -> ran := true) in
+  Alcotest.(check bool) "not run at creation" false !ran
+
+let test_thunk_exception_memoized () =
+  let runs = ref 0 in
+  let t =
+    Thunk.create (fun () ->
+        incr runs;
+        failwith "boom")
+  in
+  (match Thunk.force t with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected failure");
+  (match Thunk.force t with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected memoized failure");
+  Alcotest.(check int) "ran once" 1 !runs
+
+let test_thunk_combinators () =
+  let a = Thunk.literal 2 and b = Thunk.create (fun () -> 3) in
+  Alcotest.(check int) "map" 4 (Thunk.force (Thunk.map (( * ) 2) a));
+  Alcotest.(check int) "map2" 5 (Thunk.force (Thunk.map2 ( + ) a b));
+  Alcotest.(check (pair int int)) "both" (2, 3) (Thunk.force (Thunk.both a b));
+  Alcotest.(check (list int)) "all" [ 2; 3 ] (Thunk.force (Thunk.all [ a; b ]));
+  Alcotest.(check int) "join" 7
+    (Thunk.force (Thunk.join (Thunk.literal (Thunk.literal 7))))
+
+let test_runtime_accounting () =
+  Runtime.reset ();
+  let clock = Vclock.create () in
+  Runtime.set_clock (Some clock);
+  Runtime.set_costs ~alloc_ms:0.001 ~force_ms:0.0005;
+  let t = Thunk.create (fun () -> 1) in
+  let _lit = Thunk.literal 2 in
+  ignore (Thunk.force t);
+  ignore (Thunk.force t);
+  Alcotest.(check int) "one alloc (literal free)" 1 (Runtime.allocs ());
+  Alcotest.(check int) "one force (memoized free)" 1 (Runtime.forces ());
+  Alcotest.(check (float 1e-9)) "app time charged" 0.0015
+    (Vclock.elapsed clock Vclock.App);
+  Runtime.set_clock None;
+  Runtime.set_costs ~alloc_ms:0.02 ~force_ms:0.008
+
+(* --- query store ------------------------------------------------------- *)
+
+let sel k = Printf.sprintf "SELECT * FROM kv WHERE k = %d" k
+
+let test_batching_single_round_trip () =
+  let _db, _clock, link, conn = setup () in
+  let store = Query_store.create conn in
+  Stats.reset (Link.stats link);
+  let q1 = Query_store.register_sql store (sel 1) in
+  let q2 = Query_store.register_sql store (sel 2) in
+  let q3 = Query_store.register_sql store (sel 3) in
+  Alcotest.(check int) "pending 3" 3 (Query_store.pending store);
+  Alcotest.(check int) "no round trips yet" 0 (Stats.round_trips (Link.stats link));
+  let rs1 = Query_store.result store q1 in
+  Alcotest.(check int) "one round trip for the whole batch" 1
+    (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "queries in trip" 3 (Stats.queries (Link.stats link));
+  Alcotest.(check string) "right row" "val1"
+    (Value.to_string (Rs.cell rs1 ~row:0 "v"));
+  ignore (Query_store.result store q2);
+  ignore (Query_store.result store q3);
+  Alcotest.(check int) "still one round trip" 1
+    (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "max batch" 3 (Query_store.max_batch_size store)
+
+let test_dedup_within_batch () =
+  let _db, _clock, _link, conn = setup () in
+  let store = Query_store.create conn in
+  let q1 = Query_store.register_sql store (sel 1) in
+  let q2 = Query_store.register_sql store (sel 1) in
+  Alcotest.(check bool) "same id" true (q1 = q2);
+  Alcotest.(check int) "one pending" 1 (Query_store.pending store);
+  Alcotest.(check int) "two registrations" 2 (Query_store.registered store)
+
+let test_no_dedup_across_batches () =
+  let _db, _clock, _link, conn = setup () in
+  let store = Query_store.create conn in
+  let q1 = Query_store.register_sql store (sel 1) in
+  ignore (Query_store.result store q1);
+  let q2 = Query_store.register_sql store (sel 1) in
+  Alcotest.(check bool) "fresh id after flush" false (q1 = q2);
+  Alcotest.(check int) "pending again" 1 (Query_store.pending store)
+
+let test_write_flushes () =
+  let db, _clock, link, conn = setup () in
+  let store = Query_store.create conn in
+  Stats.reset (Link.stats link);
+  let q1 = Query_store.register_sql store (sel 1) in
+  let w = Query_store.register_sql store "UPDATE kv SET v = 'new' WHERE k = 1" in
+  Alcotest.(check int) "single combined round trip" 1
+    (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "no pending" 0 (Query_store.pending store);
+  Alcotest.(check bool) "read available" true (Query_store.is_available store q1);
+  Alcotest.(check int) "write applied" 1 (Query_store.rows_affected store w);
+  let rs = Db.query db "SELECT v FROM kv WHERE k = 1" in
+  Alcotest.(check string) "value updated" "new"
+    (Value.to_string (Rs.cell rs ~row:0 "v"));
+  (* Reads were executed before the write in the same batch. *)
+  let rs1 = Query_store.result store q1 in
+  Alcotest.(check string) "read saw pre-write value" "val1"
+    (Value.to_string (Rs.cell rs1 ~row:0 "v"))
+
+let test_flush_empty_is_noop () =
+  let _db, _clock, link, conn = setup () in
+  let store = Query_store.create conn in
+  Stats.reset (Link.stats link);
+  Query_store.flush store;
+  Alcotest.(check int) "no trip" 0 (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "no batch" 0 (Query_store.batches_sent store)
+
+let test_transaction_boundaries_preserved () =
+  let db, _clock, _link, conn = setup () in
+  let store = Query_store.create conn in
+  ignore (Query_store.register_sql store "BEGIN");
+  ignore (Query_store.register_sql store "UPDATE kv SET v = 'tmp' WHERE k = 2");
+  ignore (Query_store.register_sql store "ROLLBACK");
+  let rs = Db.query db "SELECT v FROM kv WHERE k = 2" in
+  Alcotest.(check string) "rolled back" "val2"
+    (Value.to_string (Rs.cell rs ~row:0 "v"))
+
+let test_round_trip_savings () =
+  (* The headline comparison: N reads = N round trips eagerly, 1 batched. *)
+  let _db, _clock, link, conn = setup () in
+  Stats.reset (Link.stats link);
+  for k = 1 to 10 do
+    ignore (Conn.execute_sql conn (sel k))
+  done;
+  let eager_trips = Stats.round_trips (Link.stats link) in
+  Stats.reset (Link.stats link);
+  let store = Query_store.create conn in
+  let ids = List.init 10 (fun k -> Query_store.register_sql store (sel (k + 1))) in
+  List.iter (fun id -> ignore (Query_store.result store id)) ids;
+  let lazy_trips = Stats.round_trips (Link.stats link) in
+  Alcotest.(check int) "eager: one trip per query" 10 eager_trips;
+  Alcotest.(check int) "sloth: one trip" 1 lazy_trips
+
+let test_batch_db_time_parallel () =
+  (* Batched reads charge max(cost) + epsilon, not the sum. *)
+  let _db, clock, _link, conn = setup () in
+  let t0 = Vclock.elapsed clock Vclock.Db in
+  ignore (Conn.execute_batch_sql conn (List.init 5 (fun k -> sel (k + 1))));
+  let batch_db = Vclock.elapsed clock Vclock.Db -. t0 in
+  let t1 = Vclock.elapsed clock Vclock.Db in
+  List.iter (fun k -> ignore (Conn.execute_sql conn (sel k))) [ 1; 2; 3; 4; 5 ];
+  let seq_db = Vclock.elapsed clock Vclock.Db -. t1 in
+  Alcotest.(check bool) "parallel cheaper than sequential" true
+    (batch_db < seq_db)
+
+(* --- tracing -------------------------------------------------------------- *)
+
+let test_tracer_events () =
+  let _db, _clock, _link, conn = setup () in
+  let store = Query_store.create conn in
+  let events = ref [] in
+  Query_store.set_tracer store (Some (fun e -> events := e :: !events));
+  let q1 = Query_store.register_sql store (sel 1) in
+  let q1' = Query_store.register_sql store (sel 1) in
+  ignore (Query_store.result store q1);
+  ignore (Query_store.result store q1');
+  ignore (Query_store.register_sql store "UPDATE kv SET v = 'x' WHERE k = 9");
+  let kinds =
+    List.rev_map
+      (function
+        | Query_store.Registered _ -> "reg"
+        | Query_store.Dedup_hit _ -> "dup"
+        | Query_store.Write_through _ -> "write"
+        | Query_store.Batch_sent b -> Printf.sprintf "batch%d" (List.length b)
+        | Query_store.Result_served _ -> "cached")
+      !events
+  in
+  Alcotest.(check (list string)) "event sequence"
+    [ "reg"; "dup"; "batch1"; "cached"; "write"; "batch1" ]
+    kinds
+
+(* --- flush policies ------------------------------------------------------ *)
+
+let test_at_size_policy () =
+  let _db, _clock, link, conn = setup () in
+  let store = Query_store.create ~policy:(Query_store.At_size 3) conn in
+  Stats.reset (Link.stats link);
+  ignore (Query_store.register_sql store (sel 1));
+  ignore (Query_store.register_sql store (sel 2));
+  Alcotest.(check int) "below threshold: nothing sent" 0
+    (Stats.round_trips (Link.stats link));
+  ignore (Query_store.register_sql store (sel 3));
+  Alcotest.(check int) "threshold reached: batch shipped" 1
+    (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "pending drained" 0 (Query_store.pending store);
+  Alcotest.(check int) "batch of three" 3 (Query_store.max_batch_size store)
+
+let test_at_size_results_still_correct () =
+  let _db, _clock, _link, conn = setup () in
+  let store = Query_store.create ~policy:(Query_store.At_size 2) conn in
+  let ids = List.init 5 (fun k -> Query_store.register_sql store (sel (k + 1))) in
+  List.iteri
+    (fun k id ->
+      let rs = Query_store.result store id in
+      Alcotest.(check string)
+        (Printf.sprintf "row %d" (k + 1))
+        (Printf.sprintf "val%d" (k + 1))
+        (Value.to_string (Rs.cell rs ~row:0 "v")))
+    ids
+
+(* --- prefetch strategy --------------------------------------------------- *)
+
+let test_prefetch_hides_latency () =
+  (* Three independent queries issued up front; by the time they are
+     consumed the round trips have completed, so the network wait is less
+     than three full RTTs. *)
+  let _db, clock, link, conn = setup () in
+  let module X = Sloth_core.Exec.Prefetch (struct
+    let conn = conn
+  end) in
+  let cells =
+    List.init 3 (fun k ->
+        X.query (Sloth_sql.Parser.parse (sel (k + 1))) (fun rs ->
+            Value.to_string (Rs.cell rs ~row:0 "v")))
+  in
+  (* Simulate work between issue and use. *)
+  Sloth_net.Vclock.advance clock Vclock.App 5.0;
+  let values = List.map X.get cells in
+  Alcotest.(check (list string)) "values" [ "val1"; "val2"; "val3" ] values;
+  Alcotest.(check int) "one trip per query" 3
+    (Stats.round_trips (Link.stats link));
+  Alcotest.(check bool)
+    (Printf.sprintf "latency hidden (net %.2f < 1.5)"
+       (Vclock.elapsed clock Vclock.Network))
+    true
+    (Vclock.elapsed clock Vclock.Network < 1.5)
+
+let test_prefetch_pool_bounds_parallelism () =
+  (* At WAN latency the client work between issues no longer hides the
+     trips: n queries through a pool of k take about ceil(n/k) round trips
+     of waiting. *)
+  let old = !Conn.async_pool_size in
+  Conn.async_pool_size := 2;
+  let db, _, _, _ = setup () in
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms:10.0 clock in
+  let conn = Conn.create db link in
+  let module X = Sloth_core.Exec.Prefetch (struct
+    let conn = conn
+  end) in
+  let cells =
+    List.init 6 (fun k ->
+        X.query (Sloth_sql.Parser.parse (sel (k + 1))) (fun rs -> Rs.num_rows rs))
+  in
+  List.iter (fun c -> ignore (X.get c)) cells;
+  Conn.async_pool_size := old;
+  (* Three waves of ~10 ms, minus what issue-time computation hid. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "pool-bound wait (net %.2f >= 20)"
+       (Vclock.elapsed clock Vclock.Network))
+    true
+    (Vclock.elapsed clock Vclock.Network >= 20.0)
+
+let test_prefetch_agrees_with_eager () =
+  let _db, _clock, _link, conn = setup () in
+  let module E = Sloth_core.Exec.Eager (struct
+    let conn = conn
+  end) in
+  let module P = Sloth_core.Exec.Prefetch (struct
+    let conn = conn
+  end) in
+  let q (module X : Sloth_core.Exec.S) k =
+    X.get (X.query (Sloth_sql.Parser.parse (sel k)) (fun rs -> Rs.num_rows rs))
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check int) "same rows" (q (module E) k) (q (module P) k))
+    [ 1; 5; 9 ]
+
+(* --- exec strategies --------------------------------------------------- *)
+
+let count_rows rs = Rs.num_rows rs
+
+let run_strategy (module X : Sloth_core.Exec.S) =
+  (* A controller-like computation: one query whose result feeds another,
+     plus two queries whose results are only consumed at the very end. *)
+  let open Sloth_sql.Ast in
+  let first = X.query (Sloth_sql.Parser.parse (sel 1)) (fun rs -> rs) in
+  let dependent =
+    X.map (fun rs -> Value.to_string (Rs.cell rs ~row:0 "v")) first
+  in
+  let k2 =
+    X.query (select_of "kv" ~where:(col "v" =% str (X.get dependent))) count_rows
+  in
+  let k3 = X.query (Sloth_sql.Parser.parse (sel 3)) count_rows in
+  let k4 = X.query (Sloth_sql.Parser.parse (sel 4)) count_rows in
+  (X.get k2, X.get k3, X.get k4)
+
+let test_strategies_agree () =
+  let _db, _clock, link, conn = setup () in
+  let module Eager = Sloth_core.Exec.Eager (struct
+    let conn = conn
+  end) in
+  Stats.reset (Link.stats link);
+  let eager_result = run_strategy (module Eager) in
+  let eager_trips = Stats.round_trips (Link.stats link) in
+  let store = Query_store.create conn in
+  let module LazyX = Sloth_core.Exec.Lazy (struct
+    let store = store
+  end) in
+  Stats.reset (Link.stats link);
+  let lazy_result = run_strategy (module LazyX) in
+  let lazy_trips = Stats.round_trips (Link.stats link) in
+  Alcotest.(check (triple int int int))
+    "same answer under both strategies" eager_result lazy_result;
+  Alcotest.(check int) "eager trips" 4 eager_trips;
+  (* Lazy: trip 1 = q1 alone (forced to build q2), trip 2 = q2+q3+q4. *)
+  Alcotest.(check int) "lazy trips" 2 lazy_trips
+
+(* --- properties -------------------------------------------------------- *)
+
+let prop_store_result_stable =
+  QCheck.Test.make ~count:50 ~name:"store result is stable across re-reads"
+    QCheck.(small_list (int_range 1 20))
+    (fun ks ->
+      let _db, _clock, _link, conn = setup () in
+      let store = Query_store.create conn in
+      let ids = List.map (fun k -> Query_store.register_sql store (sel k)) ks in
+      let once = List.map (fun id -> Query_store.result store id) ids in
+      let twice = List.map (fun id -> Query_store.result store id) ids in
+      List.for_all2 Rs.equal once twice)
+
+let prop_batched_equals_eager =
+  QCheck.Test.make ~count:50 ~name:"batched reads equal eager reads"
+    QCheck.(small_list (int_range 1 20))
+    (fun ks ->
+      let _db, _clock, _link, conn = setup () in
+      let eager = List.map (fun k -> Conn.query conn (sel k)) ks in
+      let store = Query_store.create conn in
+      let ids = List.map (fun k -> Query_store.register_sql store (sel k)) ks in
+      let batched = List.map (fun id -> Query_store.result store id) ids in
+      List.for_all2 Rs.equal eager batched)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "thunk",
+        [
+          Alcotest.test_case "memoization" `Quick test_thunk_memoization;
+          Alcotest.test_case "laziness" `Quick test_thunk_laziness;
+          Alcotest.test_case "exceptions" `Quick test_thunk_exception_memoized;
+          Alcotest.test_case "combinators" `Quick test_thunk_combinators;
+          Alcotest.test_case "runtime accounting" `Quick test_runtime_accounting;
+        ] );
+      ( "query store",
+        [
+          Alcotest.test_case "batching" `Quick test_batching_single_round_trip;
+          Alcotest.test_case "dedup" `Quick test_dedup_within_batch;
+          Alcotest.test_case "no dedup across batches" `Quick
+            test_no_dedup_across_batches;
+          Alcotest.test_case "write flush" `Quick test_write_flushes;
+          Alcotest.test_case "empty flush" `Quick test_flush_empty_is_noop;
+          Alcotest.test_case "transaction boundaries" `Quick
+            test_transaction_boundaries_preserved;
+          Alcotest.test_case "round-trip savings" `Quick test_round_trip_savings;
+          Alcotest.test_case "parallel batch cost" `Quick
+            test_batch_db_time_parallel;
+        ] );
+      ( "tracing",
+        [ Alcotest.test_case "event sequence" `Quick test_tracer_events ] );
+      ( "flush policies",
+        [
+          Alcotest.test_case "at-size ships eagerly" `Quick test_at_size_policy;
+          Alcotest.test_case "at-size results correct" `Quick
+            test_at_size_results_still_correct;
+        ] );
+      ( "prefetch",
+        [
+          Alcotest.test_case "hides latency" `Quick test_prefetch_hides_latency;
+          Alcotest.test_case "pool bounds parallelism" `Quick
+            test_prefetch_pool_bounds_parallelism;
+          Alcotest.test_case "agrees with eager" `Quick
+            test_prefetch_agrees_with_eager;
+        ] );
+      ( "exec strategies",
+        [ Alcotest.test_case "agree" `Quick test_strategies_agree ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_store_result_stable; prop_batched_equals_eager ] );
+    ]

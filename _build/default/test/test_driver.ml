@@ -1,0 +1,147 @@
+(* Tests for the driver layer: wire accounting of the simple and batch
+   protocols, error behaviour, and the asynchronous (prefetch) API. *)
+
+module Db = Sloth_storage.Database
+module Rs = Sloth_storage.Result_set
+module Vclock = Sloth_net.Vclock
+module Stats = Sloth_net.Stats
+module Link = Sloth_net.Link
+module Conn = Sloth_driver.Connection
+
+let setup ?(rtt_ms = 0.5) () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE t (id INT NOT NULL, v TEXT NOT NULL, PRIMARY KEY (id))");
+  for i = 1 to 50 do
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf "INSERT INTO t (id, v) VALUES (%d, 'v%d')" i i))
+  done;
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms clock in
+  (db, clock, link, Conn.create db link)
+
+let test_execute_accounting () =
+  let _db, clock, link, conn = setup () in
+  let outcome = Conn.execute_sql conn "SELECT * FROM t WHERE id = 1" in
+  Alcotest.(check int) "one row" 1 (Rs.num_rows outcome.rs);
+  Alcotest.(check int) "one trip" 1 (Stats.round_trips (Link.stats link));
+  Alcotest.(check bool) "network charged" true
+    (Vclock.elapsed clock Vclock.Network >= 0.5);
+  Alcotest.(check bool) "db charged" true (Vclock.elapsed clock Vclock.Db > 0.0);
+  Alcotest.(check bool) "app charged" true
+    (Vclock.elapsed clock Vclock.App > 0.0)
+
+let test_batch_one_trip () =
+  let _db, _clock, link, conn = setup () in
+  let outcomes =
+    Conn.execute_batch_sql conn
+      (List.init 8 (fun i -> Printf.sprintf "SELECT * FROM t WHERE id = %d" (i + 1)))
+  in
+  Alcotest.(check int) "8 outcomes" 8 (List.length outcomes);
+  Alcotest.(check int) "one trip" 1 (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "8 queries counted" 8 (Stats.queries (Link.stats link));
+  Alcotest.(check int) "max batch" 8 (Stats.max_batch (Link.stats link))
+
+let test_empty_batch () =
+  let _db, clock, link, conn = setup () in
+  let before = Vclock.total clock in
+  Alcotest.(check int) "no outcomes" 0 (List.length (Conn.execute_batch conn []));
+  Alcotest.(check int) "no trip" 0 (Stats.round_trips (Link.stats link));
+  Alcotest.(check (float 1e-9)) "no time" before (Vclock.total clock)
+
+let test_batch_reads_parallel_writes_serial () =
+  let _db, clock, _link, conn = setup () in
+  let t0 = Vclock.elapsed clock Vclock.Db in
+  ignore
+    (Conn.execute_batch_sql conn
+       [ "SELECT * FROM t"; "SELECT * FROM t"; "SELECT * FROM t" ]);
+  let parallel_reads = Vclock.elapsed clock Vclock.Db -. t0 in
+  let t1 = Vclock.elapsed clock Vclock.Db in
+  ignore (Conn.execute_sql conn "SELECT * FROM t");
+  let single = Vclock.elapsed clock Vclock.Db -. t1 in
+  (* Three identical reads in parallel cost barely more than one. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel (%f) < 2x single (%f)" parallel_reads single)
+    true
+    (parallel_reads < 2.0 *. single)
+
+let test_batch_preserves_order () =
+  let db, _clock, _link, conn = setup () in
+  ignore
+    (Conn.execute_batch_sql conn
+       [
+         "SELECT v FROM t WHERE id = 1";
+         "UPDATE t SET v = 'changed' WHERE id = 1";
+       ]);
+  (* The read ran before the write (reads first). *)
+  let rs = Db.query db "SELECT v FROM t WHERE id = 1" in
+  Alcotest.(check string) "write applied" "changed"
+    (Sloth_storage.Value.to_string (Rs.cell rs ~row:0 "v"))
+
+let test_server_error_still_costs () =
+  let _db, _clock, link, conn = setup () in
+  (match Conn.execute_sql conn "SELECT * FROM missing" with
+  | exception Conn.Server_error _ -> ()
+  | _ -> Alcotest.fail "expected server error");
+  Alcotest.(check int) "failed trip recorded" 1
+    (Stats.round_trips (Link.stats link))
+
+let test_payload_grows_with_result () =
+  let _db, _clock, link, conn = setup () in
+  ignore (Conn.execute_sql conn "SELECT * FROM t WHERE id = 1");
+  let small = Stats.bytes (Link.stats link) in
+  Stats.reset (Link.stats link);
+  ignore (Conn.execute_sql conn "SELECT * FROM t");
+  let big = Stats.bytes (Link.stats link) in
+  Alcotest.(check bool) "bigger result, bigger payload" true (big > small)
+
+let test_async_overlap_and_order () =
+  let _db, clock, _link, conn = setup ~rtt_ms:5.0 () in
+  let h1 = Conn.execute_async conn (Sloth_sql.Parser.parse "SELECT * FROM t WHERE id = 1") in
+  let h2 = Conn.execute_async conn (Sloth_sql.Parser.parse "SELECT * FROM t WHERE id = 2") in
+  (* Computation covering the round trip. *)
+  Vclock.advance clock Vclock.App 20.0;
+  let net_before = Vclock.elapsed clock Vclock.Network in
+  let o1 = Conn.await conn h1 in
+  let o2 = Conn.await conn h2 in
+  Alcotest.(check (float 1e-9)) "fully hidden" net_before
+    (Vclock.elapsed clock Vclock.Network);
+  Alcotest.(check int) "results intact" 1 (Rs.num_rows o1.rs);
+  Alcotest.(check int) "results intact 2" 1 (Rs.num_rows o2.rs);
+  (* Awaiting twice is idempotent. *)
+  ignore (Conn.await conn h1);
+  Alcotest.(check (float 1e-9)) "idempotent await" net_before
+    (Vclock.elapsed clock Vclock.Network)
+
+let test_async_unhidden_wait () =
+  let _db, clock, _link, conn = setup ~rtt_ms:5.0 () in
+  let h = Conn.execute_async conn (Sloth_sql.Parser.parse "SELECT * FROM t WHERE id = 1") in
+  ignore (Conn.await conn h);
+  Alcotest.(check bool) "waited most of the rtt" true
+    (Vclock.elapsed clock Vclock.Network > 3.0)
+
+let () =
+  Alcotest.run "driver"
+    [
+      ( "simple protocol",
+        [
+          Alcotest.test_case "accounting" `Quick test_execute_accounting;
+          Alcotest.test_case "error costs" `Quick test_server_error_still_costs;
+          Alcotest.test_case "payload size" `Quick test_payload_grows_with_result;
+        ] );
+      ( "batch protocol",
+        [
+          Alcotest.test_case "one trip" `Quick test_batch_one_trip;
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+          Alcotest.test_case "parallel reads" `Quick
+            test_batch_reads_parallel_writes_serial;
+          Alcotest.test_case "order preserved" `Quick test_batch_preserves_order;
+        ] );
+      ( "async protocol",
+        [
+          Alcotest.test_case "overlap" `Quick test_async_overlap_and_order;
+          Alcotest.test_case "unhidden wait" `Quick test_async_unhidden_wait;
+        ] );
+    ]

@@ -1,0 +1,601 @@
+(* Tests for the kernel language: both evaluators, the static analyses, the
+   optimizations, and the paper's soundness theorem as a qcheck property. *)
+
+open Sloth_kernel
+module B = Builder
+module Db = Sloth_storage.Database
+module Rs = Sloth_storage.Result_set
+module Vclock = Sloth_net.Vclock
+module Stats = Sloth_net.Stats
+module Link = Sloth_net.Link
+module Conn = Sloth_driver.Connection
+module Store = Sloth_core.Query_store
+module Runtime = Sloth_core.Runtime
+
+let fresh_conn () =
+  let db = Db.create () in
+  Generator.setup_schema db;
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms:0.5 clock in
+  (db, link, Conn.create db link)
+
+let dump_db db =
+  Rs.rows (Db.query db "SELECT * FROM kv ORDER BY k")
+  |> List.map (fun r ->
+         Array.to_list (Array.map Sloth_storage.Value.to_string r))
+
+let run_standard prog =
+  let db, link, conn = fresh_conn () in
+  let r = Standard.run prog conn in
+  (r, db, link)
+
+let run_lazy ?opts prog =
+  let db, link, conn = fresh_conn () in
+  let store = Store.create conn in
+  let r = Lazy_eval.run ?opts prog store in
+  (r, db, link, store)
+
+(* The soundness theorem: after forcing all thunks, environments, heaps,
+   database and output agree with the standard run. *)
+let check_equiv ?(opts = Lazy_eval.no_opts) prog =
+  let std, db_s, _ = run_standard prog in
+  let lzy, db_l, _, _ = run_lazy ~opts prog in
+  (* Deep-force everything reachable from the lazy environment.  A
+     projection thunk for a variable that a deferred, not-taken branch
+     would have defined legitimately reports "unbound": under standard
+     semantics the variable simply does not exist on this path (and no
+     program code reads it, or execution itself would have failed), so the
+     binding is dropped rather than compared. *)
+  Hashtbl.iter
+    (fun x v ->
+      match Heap.deep_force lzy.heap v with
+      | v -> Hashtbl.replace lzy.env x v
+      | exception Kvalue.Runtime_error msg
+        when String.length msg >= 7 && String.sub msg 0 7 = "unbound" ->
+          Hashtbl.remove lzy.env x)
+    (Hashtbl.copy lzy.env);
+  if std.output <> lzy.output then
+    QCheck.Test.fail_reportf "output differs:\nstd: %s\nlzy: %s"
+      (String.concat " | " std.output)
+      (String.concat " | " lzy.output);
+  if dump_db db_s <> dump_db db_l then
+    QCheck.Test.fail_reportf "database state differs";
+  (* Every lazy binding must match the standard one. *)
+  Hashtbl.iter
+    (fun x lv ->
+      match Hashtbl.find_opt std.env x with
+      | None -> QCheck.Test.fail_reportf "lazy env has extra variable %s" x
+      | Some sv ->
+          if not (Heap.iso std.heap sv lzy.heap lv) then
+            QCheck.Test.fail_reportf "variable %s differs" x)
+    lzy.env;
+  (* Without optimizations no binding may be dropped either. *)
+  if opts = Lazy_eval.no_opts then
+    Hashtbl.iter
+      (fun x _ ->
+        if not (Hashtbl.mem lzy.env x) then
+          QCheck.Test.fail_reportf "lazy env dropped variable %s" x)
+      std.env;
+  true
+
+(* --- hand-written programs --------------------------------------------- *)
+
+(* The paper's Fig. 1/2 pattern: one essential query whose result feeds
+   three more, which are stored (not consumed) and only rendered at the
+   end. *)
+let dashboard_program () =
+  let b = B.create () in
+  let open B in
+  let q sel = read (str sel) in
+  let main =
+    seq b
+      [
+        assign b "p" (q "SELECT v AS v, n AS n FROM kv WHERE k = 1");
+        (* Forces p: the patient id is needed to build the next queries. *)
+        assign b "pid" (field (index (var "p") (num 0)) "n");
+        assign b "enc"
+          (read (str "SELECT COUNT(*) AS n FROM kv WHERE n > " +% var "pid"));
+        assign b "vis"
+          (read
+             (str "SELECT COUNT(*) AS n FROM kv WHERE n > "
+             +% (var "pid" +% num 1)));
+        assign b "act"
+          (read
+             (str "SELECT COUNT(*) AS n FROM kv WHERE n > "
+             +% (var "pid" +% num 2)));
+        (* Rendering the model forces the remaining three as one batch. *)
+        print b (var "enc");
+        print b (var "vis");
+        print b (var "act");
+      ]
+  in
+  B.program [] main
+
+let test_dashboard_round_trips () =
+  let prog = dashboard_program () in
+  let std, _, link_s = run_standard prog in
+  let lzy, _, link_l, store = run_lazy ~opts:Lazy_eval.no_opts prog in
+  Alcotest.(check (list string)) "same output" std.output lzy.output;
+  Alcotest.(check int) "standard: one trip per query" 4
+    (Stats.round_trips (Link.stats link_s));
+  Alcotest.(check int) "lazy: two trips" 2
+    (Stats.round_trips (Link.stats link_l));
+  Alcotest.(check int) "lazy: batch of three" 3 (Store.max_batch_size store)
+
+let test_write_flush_order () =
+  (* A read registered before a write must observe the pre-write database
+     even though its result is consumed after the write. *)
+  let b = B.create () in
+  let open B in
+  let main =
+    seq b
+      [
+        assign b "before"
+          (read (str "SELECT n AS n FROM kv WHERE k = 1"));
+        write b (str "UPDATE kv SET n = 99 WHERE k = 1");
+        assign b "after" (read (str "SELECT n AS n FROM kv WHERE k = 1"));
+        print b (field (index (var "before") (num 0)) "n");
+        print b (field (index (var "after") (num 0)) "n");
+      ]
+  in
+  let prog = B.program [] main in
+  let std, _, _ = run_standard prog in
+  let lzy, _, _, _ = run_lazy prog in
+  Alcotest.(check (list string)) "lazy output equals standard" std.output
+    lzy.output;
+  Alcotest.(check (list string)) "read-before-write sees old value"
+    [ "3"; "99" ] std.output
+
+let test_conditional_query () =
+  (* Queries under a branch only execute when the branch is taken — the
+     case static prefetching cannot handle (Sec. 1). *)
+  let b = B.create () in
+  let open B in
+  let prog taken =
+    let main =
+      seq b
+        [
+          assign b "x" (num (if taken then 1 else 0));
+          if_ b
+            (var "x" =% num 1)
+            (assign b "r"
+               (read (str "SELECT COUNT(*) AS n FROM kv WHERE n > 1")))
+            (assign b "r" (num 0));
+          print b (var "x");
+        ]
+    in
+    B.program [] main
+  in
+  let _, _, _, store_taken = run_lazy (prog true) in
+  Alcotest.(check int) "query registered when taken" 1
+    (Store.registered store_taken)
+
+let test_unconsumed_query_never_runs () =
+  (* A registered query whose result is never needed is never executed —
+     "they might not be executed at all" (Sec. 2). *)
+  let prog = dashboard_program () in
+  let b = B.create () in
+  let open B in
+  (* Same program but without the prints: nothing forces Q2-Q4. *)
+  let main =
+    seq b
+      [
+        assign b "p" (read (str "SELECT v AS v, n AS n FROM kv WHERE k = 1"));
+        assign b "pid" (field (index (var "p") (num 0)) "n");
+        assign b "enc"
+          (read (str "SELECT COUNT(*) AS n FROM kv WHERE n > " +% var "pid"));
+      ]
+  in
+  ignore prog;
+  let silent = B.program [] main in
+  let _, _, link, store = run_lazy silent in
+  Alcotest.(check int) "only the forced query was shipped" 1
+    (Stats.queries (Link.stats link));
+  Alcotest.(check int) "second query stayed pending" 1 (Store.pending store)
+
+(* --- analyses ----------------------------------------------------------- *)
+
+let analysis_fixture () =
+  let b = B.create () in
+  let open B in
+  let leaf_pure = func "leaf_pure" [ "p0"; "p1" ] (return b (var "p0" +% num 1)) in
+  let uses_query =
+    func "uses_query" [ "p0"; "p1" ]
+      (seq b
+         [
+           assign b "r" (read (str "SELECT COUNT(*) AS n FROM kv"));
+           return b (field (index (var "r") (num 0)) "n");
+         ])
+  in
+  let calls_query =
+    func "calls_query" [ "p0"; "p1" ]
+      (return b (call "uses_query" [ var "p0"; var "p1" ]))
+  in
+  let pure_caller =
+    func "pure_caller" [ "p0"; "p1" ]
+      (return b (call "leaf_pure" [ var "p0"; num 2 ]))
+  in
+  let printer =
+    func "printer" [ "p0"; "p1" ]
+      (seq b [ print b (var "p0"); return b (num 0) ])
+  in
+  let ext = func ~external_fn:true "ext" [ "p0"; "p1" ] (return b (var "p0")) in
+  let main = seq b [ assign b "x" (call "calls_query" [ num 1; num 2 ]) ] in
+  (b, B.program [ leaf_pure; uses_query; calls_query; pure_caller; printer; ext ] main)
+
+let test_persistence_analysis () =
+  let _, prog = analysis_fixture () in
+  let a = Analysis.analyze prog in
+  Alcotest.(check bool) "leaf_pure not persistent" false
+    (Analysis.persistent a "leaf_pure");
+  Alcotest.(check bool) "uses_query persistent" true
+    (Analysis.persistent a "uses_query");
+  Alcotest.(check bool) "calls_query persistent (transitive)" true
+    (Analysis.persistent a "calls_query");
+  Alcotest.(check bool) "pure_caller not persistent" false
+    (Analysis.persistent a "pure_caller");
+  Alcotest.(check bool) "unknown treated as persistent" true
+    (Analysis.persistent a "no_such_fn");
+  Alcotest.(check bool) "main is persistent" true (Analysis.main_persistent a);
+  let p, np = Analysis.persistent_count a in
+  Alcotest.(check (pair int int)) "counts" (2, 4) (p, np)
+
+let test_purity_analysis () =
+  let _, prog = analysis_fixture () in
+  let a = Analysis.analyze prog in
+  Alcotest.(check bool) "leaf_pure pure" true (Analysis.pure a "leaf_pure");
+  Alcotest.(check bool) "pure_caller pure" true (Analysis.pure a "pure_caller");
+  Alcotest.(check bool) "printer impure" false (Analysis.pure a "printer");
+  Alcotest.(check bool) "external impure" false (Analysis.pure a "ext");
+  Alcotest.(check bool) "query reader not deferrable-pure" false
+    (Analysis.pure a "uses_query")
+
+let test_deferrable_and_groups () =
+  let b = B.create () in
+  let open B in
+  (* e = a + b; f = e + c; g = f + d — the paper's coalescing example. *)
+  let s1 = assign b "e" (var "a" +% var "b") in
+  let s2 = assign b "f" (var "e" +% var "c") in
+  let s3 = assign b "g" (var "f" +% var "d") in
+  let body =
+    seq b
+      [
+        assign b "a" (num 1);
+        assign b "b" (num 2);
+        assign b "c" (num 3);
+        assign b "d" (num 4);
+        s1;
+        s2;
+        s3;
+        print b (var "g");
+      ]
+  in
+  let prog = B.program [] body in
+  let a = Analysis.analyze prog in
+  Alcotest.(check bool) "assign deferrable" true (Analysis.deferrable a s1);
+  (* The whole prologue + computation run coalesces into one group whose
+     only outputs are the variables used later (g, plus the operands read
+     inside the group are inputs, not outputs). *)
+  (match Analysis.group_of_leader a (List.hd (Ast.flatten body)).Ast.sid with
+  | Some g ->
+      Alcotest.(check (list string)) "only g escapes" [ "g" ] g.outputs
+  | None -> Alcotest.fail "expected a coalescing group");
+  Alcotest.(check bool) "print not groupable" false
+    (Analysis.in_group a (List.nth (Ast.flatten body) 7).Ast.sid)
+
+let test_branch_deferral_defers_flush () =
+  (* With BD, evaluating a deferrable branch must not force the pending
+     query that feeds its condition. *)
+  let b = B.create () in
+  let open B in
+  let main =
+    seq b
+      [
+        assign b "r" (read (str "SELECT COUNT(*) AS n FROM kv WHERE n > 1"));
+        assign b "c" (num 1);
+        if_ b (var "c" =% num 1)
+          (assign b "y" (num 10))
+          (assign b "y" (num 20));
+        assign b "z" (num 5);
+      ]
+  in
+  let prog = B.program [] main in
+  let _, _, _, store_bd =
+    run_lazy ~opts:{ Lazy_eval.sc = false; tc = false; bd = true } prog
+  in
+  Alcotest.(check int) "query still pending with BD" 1 (Store.pending store_bd)
+
+let test_tc_reduces_allocations () =
+  let b = B.create () in
+  let open B in
+  (* A pure computation chain with plenty of operation nodes. *)
+  let stmts =
+    List.init 20 (fun i ->
+        assign b
+          (Printf.sprintf "t%d" i)
+          (num i +% (num 2 *% num 3) +% (num 4 -% num 1)))
+  in
+  let main = seq b (stmts @ [ print b (var "t19") ]) in
+  let prog = B.program [] main in
+  Runtime.reset ();
+  let _ = run_lazy ~opts:Lazy_eval.no_opts prog in
+  let noopt_allocs = Runtime.allocs () in
+  Runtime.reset ();
+  let _ = run_lazy ~opts:{ Lazy_eval.sc = false; tc = true; bd = false } prog in
+  let tc_allocs = Runtime.allocs () in
+  Runtime.reset ();
+  Alcotest.(check bool)
+    (Printf.sprintf "TC allocates less (%d < %d)" tc_allocs noopt_allocs)
+    true
+    (tc_allocs < noopt_allocs)
+
+let test_sc_skips_nonpersistent () =
+  let b = B.create () in
+  let open B in
+  let helper =
+    func "helper" [ "p0"; "p1" ]
+      (seq b
+         [
+           assign b "acc" (var "p0" +% var "p1");
+           assign b "acc" (var "acc" *% num 2);
+           return b (var "acc");
+         ])
+  in
+  let main =
+    seq b
+      [
+        assign b "x" (call "helper" [ num 3; num 4 ]);
+        print b (var "x");
+      ]
+  in
+  let prog = B.program [ helper ] main in
+  Runtime.reset ();
+  let r1, _, _, _ = run_lazy ~opts:Lazy_eval.no_opts prog in
+  let without_sc = Runtime.allocs () in
+  Runtime.reset ();
+  let r2, _, _, _ =
+    run_lazy ~opts:{ Lazy_eval.sc = true; tc = false; bd = false } prog
+  in
+  let with_sc = Runtime.allocs () in
+  Runtime.reset ();
+  Alcotest.(check (list string)) "same output" r1.output r2.output;
+  Alcotest.(check (list string)) "value" [ "14" ] r2.output;
+  Alcotest.(check bool)
+    (Printf.sprintf "SC allocates less (%d < %d)" with_sc without_sc)
+    true (with_sc < without_sc)
+
+(* --- interpreters on fixed programs ------------------------------------- *)
+
+let test_loop_and_break () =
+  let b = B.create () in
+  let open B in
+  let main =
+    seq b
+      [
+        assign b "sum" (num 0);
+        for_range b "i" ~from:(num 0) ~below:(num 5) (fun i ->
+            assign b "sum" (var "sum" +% i));
+        print b (var "sum");
+      ]
+  in
+  let prog = B.program [] main in
+  let std, _, _ = run_standard prog in
+  Alcotest.(check (list string)) "sum 0..4" [ "10" ] std.output;
+  let lzy, _, _, _ = run_lazy prog in
+  Alcotest.(check (list string)) "lazy agrees" [ "10" ] lzy.output
+
+let test_records_and_arrays () =
+  let b = B.create () in
+  let open B in
+  let main =
+    seq b
+      [
+        assign b "r" (record [ ("a", num 1); ("b", str "x") ]);
+        set_field b (var "r") "a" (num 42);
+        assign b "arr" (array [ num 1; num 2; num 3 ]);
+        set_index b (var "arr") (num 1) (num 9);
+        print b (field (var "r") "a");
+        print b (index (var "arr") (num 1));
+        print b (len (var "arr"));
+      ]
+  in
+  let prog = B.program [] main in
+  let std, _, _ = run_standard prog in
+  Alcotest.(check (list string)) "standard" [ "42"; "9"; "3" ] std.output;
+  let lzy, _, _, _ = run_lazy prog in
+  Alcotest.(check (list string)) "lazy" [ "42"; "9"; "3" ] lzy.output
+
+let test_mutation_vs_laziness () =
+  (* The subtle case: a value computed from a field, the field mutated, the
+     value consumed after the mutation.  Must see the pre-mutation value. *)
+  let b = B.create () in
+  let open B in
+  let main =
+    seq b
+      [
+        assign b "r" (record [ ("a", num 1); ("b", str "x") ]);
+        assign b "y" (field (var "r") "a" +% num 100);
+        set_field b (var "r") "a" (num 2);
+        print b (var "y");
+        print b (field (var "r") "a");
+      ]
+  in
+  let prog = B.program [] main in
+  let std, _, _ = run_standard prog in
+  let lzy, _, _, _ = run_lazy prog in
+  Alcotest.(check (list string)) "standard sees old value" [ "101"; "2" ]
+    std.output;
+  Alcotest.(check (list string)) "lazy agrees" std.output lzy.output
+
+let test_fuel () =
+  let b = B.create () in
+  let open B in
+  let main = while_ b (assign b "x" (num 1)) in
+  let prog = B.program [] main in
+  let db = Db.create () in
+  Generator.setup_schema db;
+  let conn = Conn.create db (Link.create (Vclock.create ())) in
+  (match Standard.run ~fuel:1000 prog conn with
+  | exception Standard.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion");
+  let store = Store.create conn in
+  match Lazy_eval.run ~fuel:1000 prog store with
+  | exception Lazy_eval.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion (lazy)"
+
+let test_exception_timing_limitation () =
+  (* The paper's documented limitation (Sec. 3.7): under lazy evaluation an
+     exception surfaces when the thunk is forced — later than in the
+     original program, or never if the result is never needed. *)
+  let b = B.create () in
+  let open B in
+  let main =
+    seq b
+      [
+        assign b "x" (num 1 /% num 0);
+        print b (str "reached");
+      ]
+  in
+  let prog = B.program [] main in
+  (* Standard: the division faults before any output. *)
+  (match run_standard prog with
+  | exception Kvalue.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "standard evaluation should fault");
+  (* Lazy (without SC — selective compilation would run this query-free
+     main strictly, faulting like the original): x is never consumed, so
+     the fault never fires. *)
+  let lzy, _, _, _ = run_lazy ~opts:Lazy_eval.no_opts prog in
+  Alcotest.(check (list string)) "lazy runs past the latent fault"
+    [ "reached" ] lzy.output;
+  (* Forcing x surfaces the fault after the fact. *)
+  match Heap.deep_force lzy.heap (Hashtbl.find lzy.env "x") with
+  | exception Kvalue.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "forcing should surface the fault"
+
+(* --- concrete syntax ------------------------------------------------------ *)
+
+let test_parse_roundtrip_fixed () =
+  let src =
+    "function fmt(p0, p1) {\n  t = ((p0 * 7) + p1);\n  @ = (t % 100);\n}\n\n\
+     external function ext(p0, p1) {\n  @ = p0;\n}\n\n\
+     main {\n  x = 1;\n  r = {a = 2, b = \"hi\"};\n  arr = [1, 2, 3];\n\
+     \  r.a = arr[1];\n  rows = R((\"SELECT COUNT(*) AS n FROM kv WHERE n > \" + x));\n\
+     \  if ((x < 2)) {\n    y = fmt(x, 3);\n  } else {\n    y = 0;\n  }\n\
+     \  i = 0;\n  while (true) {\n    if ((!(i < 2))) {\n      break;\n    } else {\n      skip;\n    }\n\
+     \    i = (i + 1);\n  }\n\
+     \  W((\"UPDATE kv SET n = \" + y + \" WHERE k = 1\"));\n\
+     \  print(rows[0].n);\n  print(len(arr));\n}"
+  in
+  let prog = Parser.parse src in
+  let printed = Pretty.program_to_string prog in
+  let reparsed = Parser.parse printed in
+  Alcotest.(check string) "pretty/parse fixpoint" printed
+    (Pretty.program_to_string reparsed);
+  (* And it runs, with identical results under both semantics. *)
+  let std, _, _ = run_standard prog in
+  let lzy, _, _, _ = run_lazy prog in
+  Alcotest.(check (list string)) "parsed program runs" std.output lzy.output
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | exception Parser.Error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" src)
+    [
+      "main { x = ; }";
+      "main { if (x) { y = 1; } }" (* missing else *);
+      "main { 1 = 2; }";
+      "function f { }";
+      "main { x = 1 }" (* missing semicolon *);
+      "";
+    ]
+
+let prop_pretty_parse_roundtrip =
+  QCheck.Test.make ~count:150 ~name:"pretty/parse round-trip on random programs"
+    (Generator.arbitrary Generator.default_config)
+    (fun prog ->
+      let printed = Pretty.program_to_string prog in
+      match Parser.parse printed with
+      | reparsed -> Pretty.program_to_string reparsed = printed
+      | exception Parser.Error msg ->
+          QCheck.Test.fail_reportf "parse error: %s\non:\n%s" msg printed)
+
+(* Parsed programs behave identically to the originals. *)
+let prop_parse_preserves_semantics =
+  QCheck.Test.make ~count:60 ~name:"parsing preserves program behaviour"
+    (Generator.arbitrary Generator.default_config)
+    (fun prog ->
+      let reparsed = Parser.parse (Pretty.program_to_string prog) in
+      let a, _, _ = run_standard prog in
+      let b, _, _ = run_standard reparsed in
+      a.output = b.output)
+
+(* --- the soundness theorem, property-tested ----------------------------- *)
+
+let soundness_test ~name ~opts =
+  QCheck.Test.make ~count:120 ~name
+    (Generator.arbitrary Generator.default_config)
+    (fun prog -> check_equiv ~opts prog)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "batching",
+        [
+          Alcotest.test_case "dashboard round trips" `Quick
+            test_dashboard_round_trips;
+          Alcotest.test_case "write flush order" `Quick test_write_flush_order;
+          Alcotest.test_case "conditional query" `Quick test_conditional_query;
+          Alcotest.test_case "unconsumed query" `Quick
+            test_unconsumed_query_never_runs;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "persistence" `Quick test_persistence_analysis;
+          Alcotest.test_case "purity" `Quick test_purity_analysis;
+          Alcotest.test_case "deferrable + groups" `Quick
+            test_deferrable_and_groups;
+        ] );
+      ( "optimizations",
+        [
+          Alcotest.test_case "BD defers flush" `Quick
+            test_branch_deferral_defers_flush;
+          Alcotest.test_case "TC reduces allocations" `Quick
+            test_tc_reduces_allocations;
+          Alcotest.test_case "SC skips non-persistent" `Quick
+            test_sc_skips_nonpersistent;
+        ] );
+      ( "interpreters",
+        [
+          Alcotest.test_case "loop and break" `Quick test_loop_and_break;
+          Alcotest.test_case "records and arrays" `Quick
+            test_records_and_arrays;
+          Alcotest.test_case "mutation vs laziness" `Quick
+            test_mutation_vs_laziness;
+          Alcotest.test_case "exception timing (Sec 3.7)" `Quick
+            test_exception_timing_limitation;
+          Alcotest.test_case "fuel" `Quick test_fuel;
+        ] );
+      ( "concrete syntax",
+        [
+          Alcotest.test_case "fixed round-trip" `Quick test_parse_roundtrip_fixed;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_pretty_parse_roundtrip; prop_parse_preserves_semantics ] );
+      ( "soundness",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            soundness_test ~name:"lazy = standard (no optimizations)"
+              ~opts:Lazy_eval.no_opts;
+            soundness_test ~name:"lazy = standard (SC)"
+              ~opts:{ Lazy_eval.sc = true; tc = false; bd = false };
+            soundness_test ~name:"lazy = standard (TC)"
+              ~opts:{ Lazy_eval.sc = false; tc = true; bd = false };
+            soundness_test ~name:"lazy = standard (BD)"
+              ~opts:{ Lazy_eval.sc = false; tc = false; bd = true };
+            soundness_test ~name:"lazy = standard (all optimizations)"
+              ~opts:Lazy_eval.all_opts;
+          ] );
+    ]

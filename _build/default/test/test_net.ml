@@ -1,0 +1,144 @@
+(* Tests for the virtual clock, link model, and discrete-event simulator. *)
+
+open Sloth_net
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_vclock () =
+  let c = Vclock.create () in
+  Vclock.advance c Vclock.App 1.0;
+  Vclock.advance c Vclock.Db 2.0;
+  Vclock.advance c Vclock.Network 3.5;
+  feq "now" 6.5 (Vclock.now c);
+  feq "app" 1.0 (Vclock.elapsed c Vclock.App);
+  feq "db" 2.0 (Vclock.elapsed c Vclock.Db);
+  feq "net" 3.5 (Vclock.elapsed c Vclock.Network);
+  feq "total" 6.5 (Vclock.total c);
+  Vclock.reset c;
+  feq "after reset" 0.0 (Vclock.total c);
+  feq "clock monotonic" 6.5 (Vclock.now c)
+
+let test_stats () =
+  let s = Stats.create () in
+  Stats.record_round_trip s ~queries:1 ~bytes:100;
+  Stats.record_round_trip s ~queries:5 ~bytes:200;
+  Alcotest.(check int) "round trips" 2 (Stats.round_trips s);
+  Alcotest.(check int) "queries" 6 (Stats.queries s);
+  Alcotest.(check int) "bytes" 300 (Stats.bytes s);
+  Alcotest.(check int) "max batch" 5 (Stats.max_batch s);
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.round_trips s)
+
+let test_link () =
+  let c = Vclock.create () in
+  let l = Link.create ~rtt_ms:0.5 ~bandwidth_mb_s:100.0 c in
+  Link.round_trip l ~queries:1 ~bytes:0;
+  feq "pure rtt" 0.5 (Vclock.elapsed c Vclock.Network);
+  Link.round_trip l ~queries:1 ~bytes:1_000_000;
+  (* 1 MB at 100 MB/s = 10 ms transfer *)
+  feq "rtt + transfer" (0.5 +. 0.5 +. 10.0) (Vclock.elapsed c Vclock.Network);
+  Link.set_rtt_ms l 10.0;
+  Link.round_trip l ~queries:1 ~bytes:0;
+  feq "rtt raised" 21.0 (Vclock.elapsed c Vclock.Network);
+  Alcotest.(check int) "stats" 3 (Stats.round_trips (Link.stats l))
+
+let test_des_ordering () =
+  let sim = Des.create () in
+  let log = ref [] in
+  Des.at sim 5.0 (fun () -> log := "b" :: !log);
+  Des.at sim 1.0 (fun () -> log := "a" :: !log);
+  Des.at sim 5.0 (fun () -> log := "c" :: !log);
+  Des.run sim ~until:10.0;
+  Alcotest.(check (list string)) "timestamp then insertion order"
+    [ "a"; "b"; "c" ] (List.rev !log);
+  feq "clock at last event" 5.0 (Des.now sim)
+
+let test_des_until () =
+  let sim = Des.create () in
+  let hits = ref 0 in
+  let rec tick () =
+    incr hits;
+    Des.delay sim 1.0 tick
+  in
+  Des.at sim 0.0 tick;
+  Des.run sim ~until:10.5;
+  Alcotest.(check int) "ticks until cutoff" 11 !hits
+
+let test_resource_fcfs () =
+  let sim = Des.create () in
+  let r = Des.Resource.create sim ~servers:1 in
+  let finished = ref [] in
+  let job name dur =
+    Des.Resource.with_service r dur (fun () ->
+        finished := (name, Des.now sim) :: !finished)
+  in
+  Des.at sim 0.0 (fun () -> job "j1" 2.0);
+  Des.at sim 0.0 (fun () -> job "j2" 3.0);
+  Des.at sim 0.0 (fun () -> job "j3" 1.0);
+  Des.run sim ~until:100.0;
+  let order = List.rev !finished in
+  Alcotest.(check (list string)) "FCFS order" [ "j1"; "j2"; "j3" ]
+    (List.map fst order);
+  (* j1: 0-2, j2: 2-5, j3: 5-6 *)
+  feq "j1 end" 2.0 (List.assoc "j1" order);
+  feq "j2 end" 5.0 (List.assoc "j2" order);
+  feq "j3 end" 6.0 (List.assoc "j3" order)
+
+let test_resource_parallel () =
+  let sim = Des.create () in
+  let r = Des.Resource.create sim ~servers:2 in
+  let finished = ref [] in
+  let job name dur =
+    Des.Resource.with_service r dur (fun () ->
+        finished := (name, Des.now sim) :: !finished)
+  in
+  Des.at sim 0.0 (fun () -> job "j1" 2.0);
+  Des.at sim 0.0 (fun () -> job "j2" 2.0);
+  Des.at sim 0.0 (fun () -> job "j3" 2.0);
+  Des.run sim ~until:100.0;
+  let order = List.rev !finished in
+  (* two run in parallel (end at 2), third queues (end at 4) *)
+  feq "j1 end" 2.0 (List.assoc "j1" order);
+  feq "j2 end" 2.0 (List.assoc "j2" order);
+  feq "j3 end" 4.0 (List.assoc "j3" order)
+
+let test_resource_utilization () =
+  let sim = Des.create () in
+  let r = Des.Resource.create sim ~servers:1 in
+  Des.at sim 0.0 (fun () -> Des.Resource.with_service r 5.0 ignore);
+  Des.run sim ~until:100.0;
+  feq "busy time" 5.0 (Des.Resource.busy_time r)
+
+let prop_heap_order =
+  QCheck.Test.make ~count:200 ~name:"events fire in timestamp order"
+    QCheck.(list_of_size (Gen.int_range 0 100) (float_bound_exclusive 1000.0))
+    (fun times ->
+      let sim = Des.create () in
+      let seen = ref [] in
+      List.iter (fun t -> Des.at sim t (fun () -> seen := t :: !seen)) times;
+      Des.run sim ~until:infinity;
+      let seen = List.rev !seen in
+      List.length seen = List.length times
+      && seen = List.sort compare times
+         (* stable sort matches because equal keys keep insertion order *))
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "vclock",
+        [
+          Alcotest.test_case "accounting" `Quick test_vclock;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "link" `Quick test_link;
+        ] );
+      ( "des",
+        [
+          Alcotest.test_case "ordering" `Quick test_des_ordering;
+          Alcotest.test_case "until" `Quick test_des_until;
+          Alcotest.test_case "fcfs resource" `Quick test_resource_fcfs;
+          Alcotest.test_case "parallel resource" `Quick test_resource_parallel;
+          Alcotest.test_case "utilization" `Quick test_resource_utilization;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_heap_order ] );
+    ]

@@ -1,0 +1,265 @@
+(* Tests for the ORM layer: row hydration, repositories under both
+   strategies, session caching, fetch strategies, and writes. *)
+
+module Db = Sloth_storage.Database
+module Value = Sloth_storage.Value
+module Vclock = Sloth_net.Vclock
+module Link = Sloth_net.Link
+module Stats = Sloth_net.Stats
+module Conn = Sloth_driver.Connection
+open Sloth_orm
+
+type author = { id : int; name : string; rating : int option }
+
+let author_desc : author Desc.t =
+  {
+    Desc.table = "author";
+    key = "id";
+    columns =
+      [ ("id", Sloth_sql.Ast.T_int); ("name", Sloth_sql.Ast.T_text);
+        ("rating", Sloth_sql.Ast.T_int) ];
+    assocs =
+      [
+        {
+          Desc.assoc_name = "books";
+          child_table = "book";
+          fk_column = "author_id";
+          fetch = Desc.Eager_fetch;
+        };
+      ];
+    of_row =
+      (fun row ->
+        { id = Row.int row "id"; name = Row.str row "name";
+          rating = Row.int_opt row "rating" });
+    to_row =
+      (fun a ->
+        [
+          ("id", Value.Int a.id);
+          ("name", Value.Text a.name);
+          ("rating",
+           match a.rating with Some r -> Value.Int r | None -> Value.Null);
+        ]);
+  }
+
+module Author = struct
+  type t = author
+
+  let desc = author_desc
+end
+
+let setup () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE author (id INT NOT NULL, name TEXT NOT NULL, rating \
+        INT, PRIMARY KEY (id))");
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE book (id INT NOT NULL, author_id INT NOT NULL, title \
+        TEXT NOT NULL, PRIMARY KEY (id))");
+  Db.create_index db ~table:"book" ~column:"author_id";
+  for i = 1 to 6 do
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf
+            "INSERT INTO author (id, name, rating) VALUES (%d, 'author%d', %s)"
+            i i
+            (if i mod 2 = 0 then string_of_int (i * 10) else "NULL")))
+  done;
+  for i = 1 to 12 do
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf
+            "INSERT INTO book (id, author_id, title) VALUES (%d, %d, 'book%d')"
+            i ((i mod 6) + 1) i))
+  done;
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms:0.5 clock in
+  (db, link, Conn.create db link)
+
+let eager conn =
+  (module Sloth_core.Exec.Eager (struct
+    let conn = conn
+  end) : Sloth_core.Exec.S)
+
+let lazy_x conn =
+  let store = Sloth_core.Query_store.create conn in
+  (module Sloth_core.Exec.Lazy (struct
+    let store = store
+  end) : Sloth_core.Exec.S)
+
+(* --- rows --------------------------------------------------------------- *)
+
+let test_row_access () =
+  let rs =
+    Sloth_storage.Result_set.create ~columns:[ "a"; "b"; "c" ]
+      [ [| Value.Int 1; Value.Text "x"; Value.Null |] ]
+  in
+  match Row.of_result_set rs with
+  | [ row ] ->
+      Alcotest.(check int) "int" 1 (Row.int row "a");
+      Alcotest.(check string) "str" "x" (Row.str row "b");
+      Alcotest.(check bool) "null opt" true (Row.int_opt row "c" = None);
+      (match Row.int row "b" with
+      | exception Row.Hydration_error _ -> ()
+      | _ -> Alcotest.fail "expected type error");
+      (match Row.value row "zz" with
+      | exception Row.Hydration_error _ -> ()
+      | _ -> Alcotest.fail "expected missing-column error")
+  | _ -> Alcotest.fail "expected one row"
+
+(* --- repository, eager strategy ----------------------------------------- *)
+
+let test_find_and_hydrate () =
+  let _db, _link, conn = setup () in
+  let module X = (val eager conn) in
+  let module R = Repo.Make (X) (Author) in
+  match X.get (R.find 2) with
+  | Some a ->
+      Alcotest.(check string) "name" "author2" a.name;
+      Alcotest.(check bool) "rating" true (a.rating = Some 20)
+  | None -> Alcotest.fail "author 2 should exist"
+
+let test_find_missing () =
+  let _db, _link, conn = setup () in
+  let module X = (val eager conn) in
+  let module R = Repo.Make (X) (Author) in
+  Alcotest.(check bool) "missing" true (X.get (R.find 999) = None);
+  match X.get (R.find_exn 999) with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_session_cache () =
+  let _db, link, conn = setup () in
+  let module X = (val eager conn) in
+  let module R = Repo.Make (X) (Author) in
+  Stats.reset (Link.stats link);
+  ignore (X.get (R.find 1));
+  let first = Stats.queries (Link.stats link) in
+  ignore (X.get (R.find 1));
+  Alcotest.(check int) "second find served from cache" first
+    (Stats.queries (Link.stats link))
+
+let test_eager_fetch_prefetches () =
+  (* With the eager strategy, loading an author also loads its books. *)
+  let _db, link, conn = setup () in
+  let module X = (val eager conn) in
+  let module R = Repo.Make (X) (Author) in
+  Stats.reset (Link.stats link);
+  ignore (X.get (R.find 1));
+  Alcotest.(check int) "find + eager association" 2
+    (Stats.queries (Link.stats link));
+  (* The association access is then free. *)
+  ignore (X.get (R.assoc_rows "books" 1));
+  Alcotest.(check int) "assoc served from cache" 2
+    (Stats.queries (Link.stats link))
+
+let test_sloth_skips_eager_fetch () =
+  (* Under Sloth nothing is prefetched; unused associations never execute. *)
+  let _db, link, conn = setup () in
+  let module X = (val lazy_x conn) in
+  let module R = Repo.Make (X) (Author) in
+  Stats.reset (Link.stats link);
+  (match X.get (R.find 1) with
+  | Some a -> Alcotest.(check string) "hydrates" "author1" a.name
+  | None -> Alcotest.fail "expected author");
+  Alcotest.(check int) "only the entity query executed" 1
+    (Stats.queries (Link.stats link))
+
+let test_where_order_limit () =
+  let _db, _link, conn = setup () in
+  let module X = (val eager conn) in
+  let module R = Repo.Make (X) (Author) in
+  let open Sloth_sql.Ast in
+  let rated = X.get (R.where (Is_null { e = Col (None, "rating"); negated = true })) in
+  Alcotest.(check int) "3 rated authors" 3 (List.length rated);
+  let top = X.get (R.all ~order_by:"name" ~limit:2 ()) in
+  Alcotest.(check int) "limit" 2 (List.length top);
+  Alcotest.(check string) "order" "author1" (List.hd top).name
+
+let test_count_and_find_by () =
+  let _db, _link, conn = setup () in
+  let module X = (val eager conn) in
+  let module R = Repo.Make (X) (Author) in
+  Alcotest.(check int) "count" 6 (X.get (R.count ()));
+  let hits = X.get (R.find_by "name" (Value.Text "author3")) in
+  Alcotest.(check int) "find_by" 1 (List.length hits)
+
+let test_insert_update_delete () =
+  let db, _link, conn = setup () in
+  let module X = (val eager conn) in
+  let module R = Repo.Make (X) (Author) in
+  R.insert { id = 50; name = "newbie"; rating = None };
+  Alcotest.(check int) "inserted" 7 (Db.row_count db "author");
+  Alcotest.(check int) "updated" 1
+    (R.update_fields 50 [ ("rating", Value.Int 5) ]);
+  (match X.get (R.find 50) with
+  | Some a -> Alcotest.(check bool) "rating set" true (a.rating = Some 5)
+  | None -> Alcotest.fail "expected new author");
+  (* The find cache now holds id 50; delete still goes through. *)
+  Alcotest.(check int) "deleted" 1 (R.delete 50);
+  Alcotest.(check int) "gone" 6 (Db.row_count db "author")
+
+let test_generic_entity () =
+  let _db, _link, conn = setup () in
+  let module X = (val eager conn) in
+  let ent =
+    Generic.entity ~table:"book"
+      ~columns:
+        [ ("id", Sloth_sql.Ast.T_int); ("author_id", Sloth_sql.Ast.T_int);
+          ("title", Sloth_sql.Ast.T_text) ]
+      ()
+  in
+  let module R = Repo.Make (X) ((val ent)) in
+  match X.get (R.find 3) with
+  | Some row -> Alcotest.(check string) "title" "book3" (Row.str row "title")
+  | None -> Alcotest.fail "book 3 should exist"
+
+let test_hydrate_roundtrip () =
+  (* to_row then re-insert then of_row gives the same entity. *)
+  let db, _link, conn = setup () in
+  let module X = (val eager conn) in
+  let module R = Repo.Make (X) (Author) in
+  let original = Option.get (X.get (R.find 4)) in
+  ignore (Db.exec_sql db "DELETE FROM author WHERE id = 4");
+  R.insert original;
+  (* A fresh repo avoids the session cache. *)
+  let module R2 = Repo.Make (X) (Author) in
+  let back = Option.get (X.get (R2.find 4)) in
+  Alcotest.(check bool) "roundtrip" true (original = back)
+
+let prop_lazy_eager_agree =
+  QCheck.Test.make ~count:40 ~name:"repositories agree across strategies"
+    QCheck.(small_list (int_range 1 8))
+    (fun ids ->
+      let _db, _link, conn = setup () in
+      let module E = (val eager conn) in
+      let module L = (val lazy_x conn) in
+      let module RE = Repo.Make (E) (Author) in
+      let module RL = Repo.Make (L) (Author) in
+      List.for_all
+        (fun id -> E.get (RE.find id) = L.get (RL.find id))
+        ids)
+
+let () =
+  Alcotest.run "orm"
+    [
+      ("row", [ Alcotest.test_case "access" `Quick test_row_access ]);
+      ( "repository",
+        [
+          Alcotest.test_case "find/hydrate" `Quick test_find_and_hydrate;
+          Alcotest.test_case "missing" `Quick test_find_missing;
+          Alcotest.test_case "session cache" `Quick test_session_cache;
+          Alcotest.test_case "eager prefetch" `Quick test_eager_fetch_prefetches;
+          Alcotest.test_case "sloth skips prefetch" `Quick
+            test_sloth_skips_eager_fetch;
+          Alcotest.test_case "where/order/limit" `Quick test_where_order_limit;
+          Alcotest.test_case "count/find_by" `Quick test_count_and_find_by;
+          Alcotest.test_case "insert/update/delete" `Quick
+            test_insert_update_delete;
+          Alcotest.test_case "generic entity" `Quick test_generic_entity;
+          Alcotest.test_case "hydrate roundtrip" `Quick test_hydrate_roundtrip;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_lazy_eager_agree ] );
+    ]

@@ -1,0 +1,353 @@
+(* Tests for the SQL front end: lexer, parser, printer, and the
+   print-then-parse round-trip property. *)
+
+open Sloth_sql
+
+let parse = Parser.parse
+let parse_expr = Parser.parse_expr
+
+let check_roundtrip_stmt sql =
+  let ast = parse sql in
+  let printed = Printer.to_string ast in
+  let ast' = parse printed in
+  Alcotest.(check string)
+    (Printf.sprintf "idempotent print of %s" sql)
+    printed (Printer.to_string ast');
+  if ast <> ast' then Alcotest.failf "AST round-trip failed for %s" sql
+
+let test_select_star () =
+  match parse "SELECT * FROM users" with
+  | Ast.Select { sel_items = [ Ast.Star ]; sel_from = Some ("users", None); _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_select_where () =
+  match parse "SELECT id, name FROM users WHERE id = 42" with
+  | Ast.Select
+      {
+        sel_items = [ Ast.Sel_expr (Ast.Col (None, "id"), None); _ ];
+        sel_where = Some (Ast.Binop (Ast.Eq, Ast.Col (None, "id"), Ast.Lit (Ast.L_int 42)));
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_join () =
+  match
+    parse
+      "SELECT * FROM orders o JOIN items AS i ON i.order_id = o.id WHERE \
+       o.total > 10"
+  with
+  | Ast.Select
+      {
+        sel_from = Some ("orders", Some "o");
+        sel_joins = [ { j_table = "items"; j_alias = Some "i"; _ } ];
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_precedence () =
+  (* a OR b AND c parses as a OR (b AND c) *)
+  match parse_expr "a OR b AND c" with
+  | Ast.Binop (Ast.Or, Ast.Col (None, "a"), Ast.Binop (Ast.And, _, _)) -> ()
+  | _ -> Alcotest.fail "OR/AND precedence wrong"
+
+let test_arith_precedence () =
+  match parse_expr "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, Ast.Lit (Ast.L_int 1), Ast.Binop (Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "+/* precedence wrong"
+
+let test_string_escape () =
+  match parse_expr "'it''s'" with
+  | Ast.Lit (Ast.L_string "it's") -> ()
+  | _ -> Alcotest.fail "string escape"
+
+let test_insert () =
+  match parse "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')" with
+  | Ast.Insert { table = "t"; columns = [ "a"; "b" ]; rows = [ _; _ ] } -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_update () =
+  match parse "UPDATE t SET a = a + 1 WHERE b = 'x'" with
+  | Ast.Update { table = "t"; set = [ ("a", _) ]; where = Some _ } -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_delete () =
+  match parse "DELETE FROM t WHERE a IS NOT NULL" with
+  | Ast.Delete
+      { table = "t"; where = Some (Ast.Is_null { negated = true; _ }) } ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_create_table () =
+  match
+    parse
+      "CREATE TABLE t (id INT NOT NULL, name TEXT, score FLOAT, ok BOOL, \
+       PRIMARY KEY (id))"
+  with
+  | Ast.Create_table { table = "t"; columns; primary_key = Some "id" } ->
+      Alcotest.(check int) "4 columns" 4 (List.length columns);
+      let id = List.hd columns in
+      Alcotest.(check bool) "id not nullable" false id.Ast.cd_nullable
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_txn_stmts () =
+  Alcotest.(check bool) "begin" true (parse "BEGIN" = Ast.Begin_txn);
+  Alcotest.(check bool) "commit" true (parse "COMMIT" = Ast.Commit);
+  Alcotest.(check bool) "rollback" true (parse "ROLLBACK" = Ast.Rollback)
+
+let test_aggregates () =
+  match parse "SELECT COUNT(*), SUM(x), AVG(x) FROM t GROUP BY y" with
+  | Ast.Select
+      {
+        sel_items =
+          [
+            Ast.Sel_expr (Ast.Agg (Ast.Count, None), None);
+            Ast.Sel_expr (Ast.Agg (Ast.Sum, Some _), None);
+            Ast.Sel_expr (Ast.Agg (Ast.Avg, Some _), None);
+          ];
+        sel_group_by = [ _ ];
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_order_limit () =
+  match parse "SELECT * FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 10" with
+  | Ast.Select
+      {
+        sel_order_by = [ { o_asc = false; _ }; { o_asc = true; _ } ];
+        sel_limit = Some 5;
+        sel_offset = Some 10;
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_in_list () =
+  match parse_expr "x IN (1, 2, 3)" with
+  | Ast.In_list (Ast.Col (None, "x"), [ _; _; _ ]) -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_like () =
+  match parse_expr "name LIKE 'a%'" with
+  | Ast.Like (Ast.Col (None, "name"), "a%") -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_errors () =
+  let bad = [ "SELECT"; "SELECT FROM"; "INSERT INTO"; "UPDATE SET"; "FOO" ] in
+  List.iter
+    (fun sql ->
+      match parse sql with
+      | exception Parser.Error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" sql)
+    bad
+
+let test_lex_errors () =
+  (match Lexer.tokenize "SELECT 'unterminated" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lex error");
+  match Lexer.tokenize "SELECT #" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected lex error"
+
+let test_fixed_roundtrips () =
+  List.iter check_roundtrip_stmt
+    [
+      "SELECT * FROM users";
+      "SELECT id, name AS n FROM users WHERE age >= 21 AND city = 'NYC'";
+      "SELECT * FROM a JOIN b ON b.a_id = a.id JOIN c ON c.b_id = b.id";
+      "SELECT COUNT(*) FROM t WHERE x IS NULL OR y IN (1, 2)";
+      "SELECT x, COUNT(*) AS n FROM t GROUP BY x ORDER BY n DESC LIMIT 10";
+      "INSERT INTO t (a, b, c) VALUES (1, 2.5, 'three')";
+      "UPDATE t SET a = 1, b = b + 1 WHERE NOT (c = 'x')";
+      "DELETE FROM t";
+      "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))";
+      "SELECT * FROM t WHERE name LIKE '%o_o%'";
+      "SELECT DISTINCT name FROM t WHERE age BETWEEN 20 AND 30";
+      "SELECT x, COUNT(*) AS n FROM t GROUP BY x HAVING COUNT(*) > 2";
+      "SELECT * FROM t ORDER BY a LIMIT 10 OFFSET 20";
+      "BEGIN";
+      "COMMIT";
+      "ROLLBACK";
+    ]
+
+(* --- property tests ---------------------------------------------------- *)
+
+let gen_ident =
+  QCheck.Gen.(
+    let* len = int_range 1 8 in
+    let* chars =
+      list_repeat len (oneof [ char_range 'a' 'z'; return '_' ])
+    in
+    let s = "v" ^ String.concat "" (List.map (String.make 1) chars) in
+    return s)
+
+let gen_literal =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Ast.L_int n) (int_range 0 1_000_000);
+        map (fun n -> Ast.L_float (float_of_int n /. 4.0)) (int_range 0 10_000);
+        map (fun s -> Ast.L_string s) (string_size ~gen:printable (int_range 0 12));
+        map (fun b -> Ast.L_bool b) bool;
+        return Ast.L_null;
+      ])
+
+let gen_expr =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun l -> Ast.Lit l) gen_literal;
+              map (fun c -> Ast.Col (None, c)) gen_ident;
+              map2 (fun t c -> Ast.Col (Some t, c)) gen_ident gen_ident;
+            ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              map (fun l -> Ast.Lit l) gen_literal;
+              map (fun c -> Ast.Col (None, c)) gen_ident;
+              map3
+                (fun op a b -> Ast.Binop (op, a, b))
+                (oneofl
+                   Ast.[ Eq; Neq; Lt; Le; Gt; Ge; And; Or; Add; Sub; Mul; Div ])
+                sub sub;
+              map (fun e -> Ast.Unop (Ast.Not, e)) sub;
+              map (fun e -> Ast.Unop (Ast.Neg, e)) sub;
+              map2 (fun e items -> Ast.In_list (e, items)) sub
+                (list_size (int_range 1 3) sub);
+              map2
+                (fun e negated -> Ast.Is_null { e; negated })
+                sub bool;
+              map2 (fun e p -> Ast.Like (e, p)) sub
+                (string_size ~gen:(oneofl [ 'a'; 'b'; '%'; '_' ]) (int_range 0 5));
+              map3 (fun e lo hi -> Ast.Between { e; lo; hi }) sub sub sub;
+            ]))
+
+let gen_order =
+  QCheck.Gen.(
+    map2 (fun e asc -> Ast.{ o_expr = e; o_asc = asc }) gen_expr bool)
+
+let gen_select =
+  QCheck.Gen.(
+    let* distinct = bool in
+    let* items =
+      oneof
+        [
+          return [ Ast.Star ];
+          list_size (int_range 1 4)
+            (let* e = gen_expr in
+             let* alias = opt gen_ident in
+             return (Ast.Sel_expr (e, alias)));
+        ]
+    in
+    let* table = gen_ident in
+    let* alias = opt gen_ident in
+    let* joins =
+      list_size (int_range 0 2)
+        (let* t = gen_ident in
+         let* a = opt gen_ident in
+         let* on = gen_expr in
+         return Ast.{ j_table = t; j_alias = a; j_on = on })
+    in
+    let* where = opt gen_expr in
+    let* order_by = list_size (int_range 0 2) gen_order in
+    let* limit = opt (int_range 0 100) in
+    let* offset = opt (int_range 0 100) in
+    return
+      (Ast.Select
+         {
+           sel_distinct = distinct;
+           sel_items = items;
+           sel_from = Some (table, alias);
+           sel_joins = joins;
+           sel_where = where;
+           sel_group_by = [];
+           sel_having = None;
+           sel_order_by = order_by;
+           sel_limit = limit;
+           sel_offset = offset;
+         }))
+
+let gen_stmt =
+  QCheck.Gen.(
+    oneof
+      [
+        gen_select;
+        (let* table = gen_ident in
+         let* columns = list_size (int_range 1 4) gen_ident in
+         let* rows =
+           list_size (int_range 1 3)
+             (list_repeat (List.length columns)
+                (map (fun l -> Ast.Lit l) gen_literal))
+         in
+         return (Ast.Insert { table; columns; rows }));
+        (let* table = gen_ident in
+         let* set =
+           list_size (int_range 1 3)
+             (let* c = gen_ident in
+              let* e = gen_expr in
+              return (c, e))
+         in
+         let* where = opt gen_expr in
+         return (Ast.Update { table; set; where }));
+        (let* table = gen_ident in
+         let* where = opt gen_expr in
+         return (Ast.Delete { table; where }));
+      ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"print/parse round-trip"
+    (QCheck.make gen_stmt ~print:Printer.to_string)
+    (fun stmt ->
+      let printed = Printer.to_string stmt in
+      match parse printed with
+      | ast -> ast = stmt
+      | exception Parser.Error msg ->
+          QCheck.Test.fail_reportf "parse error on %S: %s" printed msg)
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"expression print/parse round-trip"
+    (QCheck.make gen_expr ~print:Printer.expr_to_string)
+    (fun e ->
+      let printed = Printer.expr_to_string e in
+      match parse_expr printed with
+      | e' -> e' = e
+      | exception Parser.Error msg ->
+          QCheck.Test.fail_reportf "parse error on %S: %s" printed msg)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "select star" `Quick test_select_star;
+          Alcotest.test_case "select where" `Quick test_select_where;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "bool precedence" `Quick test_precedence;
+          Alcotest.test_case "arith precedence" `Quick test_arith_precedence;
+          Alcotest.test_case "string escape" `Quick test_string_escape;
+          Alcotest.test_case "insert" `Quick test_insert;
+          Alcotest.test_case "update" `Quick test_update;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "create table" `Quick test_create_table;
+          Alcotest.test_case "txn statements" `Quick test_txn_stmts;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "order/limit" `Quick test_order_limit;
+          Alcotest.test_case "in list" `Quick test_in_list;
+          Alcotest.test_case "like" `Quick test_like;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "lex errors" `Quick test_lex_errors;
+        ] );
+      ( "printer",
+        [ Alcotest.test_case "fixed round-trips" `Quick test_fixed_roundtrips ]
+      );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_expr_roundtrip ] );
+    ]

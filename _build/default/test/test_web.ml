@@ -1,0 +1,123 @@
+(* Tests for the web framework: HTML rendering, models, the thunk-buffering
+   writer, and the page pipeline's accounting. *)
+
+module Html = Sloth_web.Html
+module Model = Sloth_web.Model
+module Writer = Sloth_web.Writer
+module View = Sloth_web.View
+module Page = Sloth_web.Page
+module Thunk = Sloth_core.Thunk
+module Vclock = Sloth_net.Vclock
+module Link = Sloth_net.Link
+
+let test_html_render () =
+  let doc =
+    Html.div
+      ~attrs:[ ("class", "x") ]
+      [ Html.h1 "T"; Html.p [ Html.text "a<b"; Html.raw "<hr>" ] ]
+  in
+  Alcotest.(check string) "rendering"
+    "<div class=\"x\"><h1>T</h1><p>a&lt;b<hr></p></div>"
+    (Html.to_string doc)
+
+let test_html_escape () =
+  Alcotest.(check string) "escape"
+    "&lt;script&gt;&amp;&quot;" (Html.to_string (Html.text "<script>&\""))
+
+let test_node_count () =
+  let doc = Html.ul [ Html.li [ Html.text "a" ]; Html.li [ Html.text "b" ] ] in
+  Alcotest.(check int) "nodes" 5 (Html.node_count doc)
+
+let test_model_order_and_override () =
+  let m = Model.create () in
+  Model.put_now m "a" (Html.text "1");
+  Model.put_now m "b" (Html.text "2");
+  Model.put_now m "a" (Html.text "3");
+  Alcotest.(check (list string)) "order by first insertion" [ "a"; "b" ]
+    (List.map fst (Model.entries m));
+  Alcotest.(check string) "override wins" "3"
+    (Html.to_string (Thunk.force (Option.get (Model.get m "a"))));
+  Alcotest.(check int) "size" 2 (Model.size m)
+
+let test_writer_defers_thunks () =
+  let clock = Vclock.create () in
+  let w = Writer.create clock in
+  let forced = ref false in
+  Writer.write w "<body>";
+  Writer.write_thunk w
+    (Thunk.create (fun () ->
+         forced := true;
+         Html.text "later"));
+  Writer.write w "</body>";
+  Alcotest.(check bool) "not forced until flush" false !forced;
+  let out = Writer.flush w in
+  Alcotest.(check bool) "forced at flush" true !forced;
+  Alcotest.(check string) "order preserved" "<body>later</body>" out
+
+let test_writer_charges_render_time () =
+  let clock = Vclock.create () in
+  let w = Writer.create clock in
+  Writer.write_html w (Html.ul (List.init 10 (fun _ -> Html.li [ Html.text "x" ])));
+  ignore (Writer.flush w);
+  Alcotest.(check bool) "app time charged" true
+    (Vclock.elapsed clock Vclock.App > 0.0)
+
+let test_page_load_pipeline () =
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms:0.5 clock in
+  let controller () =
+    let m = Model.create () in
+    Model.put_now m "hello" (Html.text "world");
+    Model.put m "deferred" (Thunk.create (fun () -> Html.int 42));
+    m
+  in
+  let metrics = Page.load ~name:"test" ~clock ~link ~controller () in
+  Alcotest.(check bool) "title rendered" true
+    (String.length metrics.Page.html > 0);
+  Alcotest.(check bool) "42 rendered" true
+    (let h = metrics.Page.html in
+     let n = String.length h in
+     let rec find i =
+       i + 1 < n && ((h.[i] = '4' && h.[i + 1] = '2') || find (i + 1))
+     in
+     find 0);
+  Alcotest.(check bool) "dispatch cost charged" true
+    (metrics.Page.app_ms >= !Page.dispatch_cost_ms);
+  Alcotest.(check int) "no queries" 0 metrics.Page.queries
+
+let test_view_renders_all_cells () =
+  let clock = Vclock.create () in
+  let w = Writer.create clock in
+  let m = Model.create () in
+  Model.put_now m "one" (Html.text "A");
+  Model.put_now m "two" (Html.text "B");
+  View.render w ~title:"t" m;
+  let out = Writer.flush w in
+  Alcotest.(check string) "full page"
+    "<h1>t</h1><h2>one</h2>A<h2>two</h2>B" out
+
+let () =
+  Alcotest.run "web"
+    [
+      ( "html",
+        [
+          Alcotest.test_case "render" `Quick test_html_render;
+          Alcotest.test_case "escape" `Quick test_html_escape;
+          Alcotest.test_case "node count" `Quick test_node_count;
+        ] );
+      ( "model",
+        [ Alcotest.test_case "order/override" `Quick test_model_order_and_override ]
+      );
+      ( "writer",
+        [
+          Alcotest.test_case "defers thunks" `Quick test_writer_defers_thunks;
+          Alcotest.test_case "charges render" `Quick
+            test_writer_charges_render_time;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "page load" `Quick test_page_load_pipeline;
+          Alcotest.test_case "view renders cells" `Quick
+            test_view_renders_all_cells;
+        ] );
+    ]

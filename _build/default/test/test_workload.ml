@@ -1,0 +1,181 @@
+(* Integration tests over the evaluation workloads: every page of both
+   applications must render identical HTML under both strategies while
+   reducing round trips; the TPC programs must behave identically under
+   both kernel evaluators; the data generator must respect its specs. *)
+
+module Db = Sloth_storage.Database
+module Page = Sloth_web.Page
+module Runner = Sloth_harness.Runner
+
+let tracker_runs =
+  lazy (Runner.run_app ~rtt_ms:0.5 Sloth_workload.App_sig.tracker)
+
+let medrec_runs =
+  lazy (Runner.run_app ~rtt_ms:0.5 Sloth_workload.App_sig.medrec)
+
+let check_app name runs expected_pages =
+  let runs = Lazy.force runs in
+  Alcotest.(check int)
+    (name ^ " page count (as in the paper)")
+    expected_pages (List.length runs);
+  List.iter
+    (fun (r : Runner.page_run) ->
+      if not (String.equal r.original.Page.html r.sloth.Page.html) then
+        Alcotest.failf "%s/%s: HTML differs between strategies" name r.page;
+      if r.sloth.Page.round_trips > r.original.Page.round_trips then
+        Alcotest.failf "%s/%s: Sloth used more round trips (%d > %d)" name
+          r.page r.sloth.Page.round_trips r.original.Page.round_trips;
+      if r.sloth.Page.round_trips <= 0 then
+        Alcotest.failf "%s/%s: no round trips recorded" name r.page)
+    runs
+
+let test_tracker_pages () =
+  check_app "tracker" tracker_runs 38
+
+let test_medrec_pages () =
+  check_app "medrec" medrec_runs 112
+
+let test_batching_happens () =
+  (* Every page must batch something: max batch > 1 somewhere, and the
+     medians must show a real reduction. *)
+  let runs = Lazy.force medrec_runs in
+  let batched =
+    List.filter (fun (r : Runner.page_run) -> r.sloth.Page.max_batch > 1) runs
+  in
+  Alcotest.(check bool) "most pages batch queries" true
+    (List.length batched > List.length runs * 9 / 10);
+  let speedups = List.map Runner.speedup runs in
+  let median = Sloth_harness.Cdf.median speedups in
+  Alcotest.(check bool)
+    (Printf.sprintf "median speedup %.2f within the paper's band" median)
+    true
+    (median > 1.05 && median < 1.6)
+
+let test_queries_ratio_sides () =
+  (* Some pages save queries (eager-fetch waste), and at least one page has
+     Sloth issuing as many or more (partial rendering) — both phenomena the
+     paper reports. *)
+  let runs = Lazy.force medrec_runs in
+  let savers =
+    List.filter (fun r -> Runner.query_ratio r > 1.05) runs
+  in
+  let non_savers =
+    List.filter (fun r -> Runner.query_ratio r <= 1.0) runs
+  in
+  Alcotest.(check bool) "some pages avoid queries" true (List.length savers > 10);
+  Alcotest.(check bool) "some pages do not" true (List.length non_savers > 10)
+
+let test_datagen_counts () =
+  let db = Db.create () in
+  Sloth_workload.Medrec.populate ~scale:1 db;
+  List.iter
+    (fun (spec : Sloth_workload.Table_spec.t) ->
+      Alcotest.(check int)
+        (spec.table ^ " row count")
+        (spec.rows_at 1)
+        (Db.row_count db spec.table))
+    Sloth_workload.Medrec.specs
+
+let test_datagen_determinism () =
+  let dump db =
+    List.map
+      (fun t ->
+        ( t,
+          Sloth_storage.Result_set.rows
+            (Db.query db (Printf.sprintf "SELECT * FROM %s ORDER BY id" t)) ))
+      (Db.table_names db)
+  in
+  let db1 = Db.create () in
+  Sloth_workload.Tracker.populate db1;
+  let db2 = Db.create () in
+  Sloth_workload.Tracker.populate db2;
+  Alcotest.(check bool) "two populations identical" true (dump db1 = dump db2)
+
+let test_fk_integrity () =
+  let db = Db.create () in
+  Sloth_workload.Tracker.populate db;
+  (* Every issue's project exists. *)
+  let rs =
+    Db.query db
+      "SELECT COUNT(*) AS n FROM issue JOIN project ON project.id = \
+       issue.project_id"
+  in
+  let joined =
+    match Sloth_storage.Result_set.scalar rs with
+    | Some (Sloth_storage.Value.Int n) -> n
+    | _ -> -1
+  in
+  Alcotest.(check int) "all issues join a project" (Db.row_count db "issue")
+    joined
+
+(* --- TPC programs under both evaluators ---------------------------------- *)
+
+let run_tpc populate programs =
+  let fresh () =
+    let db = Db.create () in
+    populate db;
+    let clock = Sloth_net.Vclock.create () in
+    let link = Sloth_net.Link.create ~rtt_ms:0.5 clock in
+    Sloth_driver.Connection.create db link
+  in
+  let conn = fresh () in
+  let std =
+    List.concat_map
+      (fun p -> (Sloth_kernel.Standard.run p conn).output)
+      programs
+  in
+  let conn = fresh () in
+  let store = Sloth_core.Query_store.create conn in
+  let lzy =
+    List.concat_map
+      (fun p ->
+        let r = Sloth_kernel.Lazy_eval.run p store in
+        Sloth_core.Query_store.flush store;
+        r.output)
+      programs
+  in
+  (std, lzy)
+
+let test_tpcc_equivalence () =
+  List.iter
+    (fun (name, make) ->
+      let programs = List.init 10 (fun seed -> make ~seed:(seed + 1)) in
+      let std, lzy =
+        run_tpc (Sloth_workload.Tpcc.populate ~scale:1) programs
+      in
+      Alcotest.(check (list string)) (name ^ " output") std lzy)
+    Sloth_workload.Tpcc.transactions
+
+let test_tpcw_equivalence () =
+  List.iter
+    (fun (name, interactions) ->
+      let programs = List.mapi (fun i make -> make ~seed:(i + 1)) interactions in
+      let std, lzy = run_tpc (Sloth_workload.Tpcw.populate ~scale:1) programs in
+      Alcotest.(check (list string)) (name ^ " output") std lzy)
+    Sloth_workload.Tpcw.mixes
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "pages",
+        [
+          Alcotest.test_case "tracker: 38 pages, identical html" `Slow
+            test_tracker_pages;
+          Alcotest.test_case "medrec: 112 pages, identical html" `Slow
+            test_medrec_pages;
+          Alcotest.test_case "batching happens" `Slow test_batching_happens;
+          Alcotest.test_case "query ratios both sides" `Slow
+            test_queries_ratio_sides;
+        ] );
+      ( "datagen",
+        [
+          Alcotest.test_case "row counts" `Quick test_datagen_counts;
+          Alcotest.test_case "determinism" `Quick test_datagen_determinism;
+          Alcotest.test_case "fk integrity" `Quick test_fk_integrity;
+        ] );
+      ( "tpc",
+        [
+          Alcotest.test_case "tpcc std = lazy" `Slow test_tpcc_equivalence;
+          Alcotest.test_case "tpcw std = lazy" `Slow test_tpcw_equivalence;
+        ] );
+    ]

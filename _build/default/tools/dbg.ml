@@ -1,0 +1,53 @@
+open Sloth_kernel
+module Db = Sloth_storage.Database
+module Conn = Sloth_driver.Connection
+module Store = Sloth_core.Query_store
+module Link = Sloth_net.Link
+module Vclock = Sloth_net.Vclock
+
+let fresh_conn () =
+  let db = Db.create () in
+  Generator.setup_schema db;
+  (db, Conn.create db (Link.create (Vclock.create ())))
+
+let () =
+  Printexc.record_backtrace true;
+  let rng = Random.State.make [| int_of_float (Unix.gettimeofday () *. 1000.) |] in
+  let all_opts =
+    [ Lazy_eval.no_opts;
+      { Lazy_eval.sc = true; tc = false; bd = false };
+      { Lazy_eval.sc = false; tc = true; bd = false };
+      { Lazy_eval.sc = false; tc = false; bd = true };
+      { Lazy_eval.sc = true; tc = true; bd = false };
+      { Lazy_eval.sc = true; tc = false; bd = true };
+      { Lazy_eval.sc = false; tc = true; bd = true };
+      Lazy_eval.all_opts ]
+  in
+  for i = 0 to 4000 do
+    let opts = List.nth all_opts (i mod 8) in
+    let prog = Generator.program rng Generator.default_config in
+    let _, conn1 = fresh_conn () in
+    let _, conn2 = fresh_conn () in
+    let store = Store.create conn2 in
+    (try
+      let std = Standard.run prog conn1 in
+      (try
+        let lzy = Lazy_eval.run ~opts prog store in
+        Hashtbl.iter (fun x v ->
+            match Heap.deep_force lzy.heap v with
+            | v -> Hashtbl.replace lzy.env x v
+            | exception Kvalue.Runtime_error msg
+              when String.length msg >= 7 && String.sub msg 0 7 = "unbound" ->
+                Hashtbl.remove lzy.env x)
+          (Hashtbl.copy lzy.env);
+        if std.output <> lzy.output then begin
+          Printf.printf "OUTPUT MISMATCH at %d\n%s\n" i (Pretty.program_to_string prog);
+          Printf.printf "std: %s\nlzy: %s\n" (String.concat "|" std.output) (String.concat "|" lzy.output);
+          exit 1
+        end
+      with e ->
+        Printf.printf "LAZY FAILURE at %d: %s\n%s\n%s\n" i (Printexc.to_string e) (Printexc.get_backtrace ()) (Pretty.program_to_string prog);
+        exit 1)
+    with e -> Printf.printf "std raised %s at %d (skipping)\n" (Printexc.to_string e) i)
+  done;
+  print_endline "all ok"

@@ -1,0 +1,43 @@
+(* Smoke: run both apps' pages in both modes; verify HTML equality and show
+   aggregate batching behaviour. *)
+let () =
+  List.iter
+    (fun (appname, app) ->
+      let runs = Sloth_harness.Runner.run_app app in
+      let mismatches =
+        List.filter
+          (fun (r : Sloth_harness.Runner.page_run) ->
+            r.original.html <> r.sloth.html)
+          runs
+      in
+      Printf.printf "%s: %d pages, %d html mismatches\n" appname
+        (List.length runs) (List.length mismatches);
+      List.iteri
+        (fun i (r : Sloth_harness.Runner.page_run) ->
+          if i < 8 || r.original.html <> r.sloth.html then
+            Printf.printf
+              "  %-40s speedup %.2fx  trips %d->%d  queries %d->%d  maxbatch %d\n"
+              r.page
+              (Sloth_harness.Runner.speedup r)
+              r.original.round_trips r.sloth.round_trips r.original.queries
+              r.sloth.queries r.sloth.max_batch)
+        runs;
+      let med xs = List.nth (List.sort compare xs) (List.length xs / 2) in
+      Printf.printf "  median speedup: %.2f  max: %.2f  min: %.2f\n"
+        (med (List.map Sloth_harness.Runner.speedup runs))
+        (List.fold_left max 0. (List.map Sloth_harness.Runner.speedup runs))
+        (List.fold_left min 99. (List.map Sloth_harness.Runner.speedup runs));
+      let sum f = List.fold_left (fun a r -> a +. f r) 0. runs in
+      let oa = sum (fun (r:Sloth_harness.Runner.page_run) -> r.original.app_ms)
+      and od = sum (fun r -> r.original.db_ms)
+      and on = sum (fun r -> r.original.net_ms)
+      and sa = sum (fun r -> r.sloth.app_ms)
+      and sd = sum (fun r -> r.sloth.db_ms)
+      and sn = sum (fun r -> r.sloth.net_ms) in
+      let pct a b c x = 100. *. x /. (a +. b +. c) in
+      Printf.printf "  original breakdown: app %.0f%% db %.0f%% net %.0f%% (total %.0f ms)\n"
+        (pct oa od on oa) (pct oa od on od) (pct oa od on on) (oa+.od+.on);
+      Printf.printf "  sloth    breakdown: app %.0f%% db %.0f%% net %.0f%% (total %.0f ms)\n"
+        (pct sa sd sn sa) (pct sa sd sn sd) (pct sa sd sn sn) (sa+.sd+.sn))
+    [ ("tracker", Sloth_workload.App_sig.tracker);
+      ("medrec", Sloth_workload.App_sig.medrec) ]
