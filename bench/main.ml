@@ -2,10 +2,12 @@
    paper's evaluation section, plus wall-clock microbenchmarks of the thunk
    machinery (Bechamel).
 
-   Usage: main.exe [experiment ...]
-   Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 appendix
-   micro.  With no argument everything except `appendix` runs (the appendix
-   tables are long; they are included in `all`). *)
+   Usage: main.exe [experiment ...] [--faults RATE]
+   Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 chaos
+   appendix micro.  With no argument everything except `appendix` runs (the
+   appendix tables are long; they are included in `all`).  [--faults RATE]
+   appends a one-line chaos summary at that fault rate (alone, it runs only
+   that summary). *)
 
 open Sloth_harness
 
@@ -106,15 +108,37 @@ let experiments =
     ("fig13", Overhead.fig13);
     ("prefetch", Baselines.prefetch_compare);
     ("policies", Baselines.flush_policies);
+    ("chaos", Chaos.chaos);
     ("appendix", Page_experiments.appendix);
     ("micro", micro);
   ]
 
 let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  let faults = ref None in
+  let rec strip = function
+    | [] -> []
+    | [ "--faults" ] ->
+        prerr_endline "--faults needs a numeric rate";
+        exit 1
+    | "--faults" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some v ->
+            faults := Some v;
+            strip rest
+        | None ->
+            prerr_endline "--faults needs a numeric rate";
+            exit 1)
+    | x :: rest -> x :: strip rest
+  in
+  let names = strip args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match (names, !faults) with
+    | [], Some _ -> [] (* the knob alone: just the tracked summary *)
+    | [], None -> List.map fst experiments
+    | names, _ -> names
   in
   List.iter
     (fun name ->
@@ -124,4 +148,5 @@ let () =
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
-    requested
+    requested;
+  Option.iter (fun rate -> Chaos.tracked ~rate ()) !faults

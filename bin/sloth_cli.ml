@@ -64,28 +64,76 @@ let load_cmd =
   let html_arg =
     Arg.(value & flag & info [ "html" ] ~doc:"Print the rendered HTML too.")
   in
-  let run (module A : Sloth_workload.App_sig.S) rtt_ms page html =
+  let faults_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "faults" ] ~docv:"RATE"
+          ~doc:
+            "Inject wire faults at this rate (0 disables; the driver then \
+             retries with its default policy).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the fault RNG; same seed, same fault sequence.")
+  in
+  let show label (m : Sloth_web.Page.metrics) =
+    Printf.printf
+      "%-9s %8.1f ms  (app %6.1f  db %5.1f  net %6.1f)  trips %4d  queries \
+       %4d  max batch %3d"
+      label m.total_ms m.app_ms m.db_ms m.net_ms m.round_trips m.queries
+      m.max_batch;
+    if m.faults > 0 || m.retries > 0 then
+      Printf.printf "  faults %d  retries %d" m.faults m.retries;
+    print_newline ()
+  in
+  let run (module A : Sloth_workload.App_sig.S) rtt_ms page html rate seed =
     let db = Sloth_harness.Runner.prepare (module A) in
-    match Sloth_harness.Runner.run_page ~db ~rtt_ms (module A) page with
-    | r ->
-        let show label (m : Sloth_web.Page.metrics) =
-          Printf.printf
-            "%-9s %8.1f ms  (app %6.1f  db %5.1f  net %6.1f)  trips %4d  \
-             queries %4d  max batch %3d\n"
-            label m.total_ms m.app_ms m.db_ms m.net_ms m.round_trips m.queries
-            m.max_batch
-        in
-        show "original" r.original;
-        show "sloth" r.sloth;
-        Printf.printf "speedup %.2fx   html identical: %b\n"
-          (Sloth_harness.Runner.speedup r)
-          (String.equal r.original.html r.sloth.html);
-        if html then print_endline r.sloth.html
-    | exception Not_found -> prerr_endline ("no such page: " ^ page)
+    if rate <= 0.0 then
+      match Sloth_harness.Runner.run_page ~db ~rtt_ms (module A) page with
+      | r ->
+          show "original" r.original;
+          show "sloth" r.sloth;
+          Printf.printf "speedup %.2fx   html identical: %b\n"
+            (Sloth_harness.Runner.speedup r)
+            (String.equal r.original.html r.sloth.html);
+          if html then print_endline r.sloth.html
+      | exception Not_found -> prerr_endline ("no such page: " ^ page)
+    else
+      (* Both strategies face the same fault plan (fresh fault state each,
+         so both see the same seeded sequence). *)
+      let fresh_fault () =
+        Sloth_net.Fault.create (Sloth_net.Fault.uniform ~seed rate)
+      in
+      let report label = function
+        | Ok m ->
+            show label m;
+            if html && String.equal label "sloth" then print_endline m.html
+        | Error e -> Printf.printf "%-9s aborted: %s\n" label e
+      in
+      match
+        ( Sloth_harness.Runner.load_original_result ~fault:(fresh_fault ())
+            ~db ~rtt_ms (module A) page,
+          Sloth_harness.Runner.load_sloth_result ~fault:(fresh_fault ()) ~db
+            ~rtt_ms (module A) page )
+      with
+      | orig, sloth ->
+          report "original" orig;
+          report "sloth" sloth;
+          (match (orig, sloth) with
+          | Ok o, Ok s ->
+              Printf.printf "speedup %.2fx   html identical: %b\n"
+                (o.Sloth_web.Page.total_ms /. s.Sloth_web.Page.total_ms)
+                (String.equal o.Sloth_web.Page.html s.Sloth_web.Page.html)
+          | _ -> ())
+      | exception Not_found -> prerr_endline ("no such page: " ^ page)
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Load one page under both strategies.")
-    Term.(const run $ app_arg $ rtt_arg $ page_arg $ html_arg)
+    Term.(
+      const run $ app_arg $ rtt_arg $ page_arg $ html_arg $ faults_arg
+      $ fault_seed_arg)
 
 (* --- sql ----------------------------------------------------------------- *)
 
@@ -244,6 +292,7 @@ let exp_cmd =
       ("fig11", Sloth_harness.Analysis_stats.fig11);
       ("fig12", Sloth_harness.Ablation.fig12);
       ("fig13", Sloth_harness.Overhead.fig13);
+      ("chaos", Sloth_harness.Chaos.chaos);
       ("appendix", Sloth_harness.Page_experiments.appendix);
     ]
   in
@@ -251,7 +300,7 @@ let exp_cmd =
     Arg.(
       required
       & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) experiments))) None
-      & info [] ~docv:"EXPERIMENT" ~doc:"fig5..fig13 or appendix.")
+      & info [] ~docv:"EXPERIMENT" ~doc:"fig5..fig13, chaos or appendix.")
   in
   let run name = (List.assoc name experiments) () in
   Cmd.v

@@ -13,11 +13,15 @@ type event =
   | Write_through of query_id * string
   | Batch_sent of (query_id * string) list
   | Result_served of query_id
+  | Query_poisoned of query_id * string
+
+exception Query_failed of query_id * string
 
 type entry = {
   stmt : Sloth_sql.Ast.stmt;
   sql : string;  (* canonical text, the dedup key *)
   mutable result : Sloth_storage.Database.outcome option;
+  mutable error : string option;  (* isolated poison query, or lost batch *)
 }
 
 type t = {
@@ -26,9 +30,12 @@ type t = {
   entries : (query_id, entry) Hashtbl.t;
   mutable batch : query_id list;  (* pending, newest first *)
   mutable next_id : int;
+  mutable next_token : int;
   mutable batches_sent : int;
   mutable max_batch_size : int;
   mutable registered : int;
+  mutable degraded_batches : int;
+  mutable poisoned : int;
   mutable tracer : (event -> unit) option;
 }
 
@@ -39,9 +46,12 @@ let create ?(policy = On_demand) conn =
     entries = Hashtbl.create 64;
     batch = [];
     next_id = 0;
+    next_token = 0;
     batches_sent = 0;
     max_batch_size = 0;
     registered = 0;
+    degraded_batches = 0;
+    poisoned = 0;
     tracer = None;
   }
 
@@ -55,8 +65,51 @@ let entry t id = Hashtbl.find t.entries id
 let fresh_id t stmt sql =
   let id = t.next_id in
   t.next_id <- id + 1;
-  Hashtbl.replace t.entries id { stmt; sql; result = None };
+  Hashtbl.replace t.entries id { stmt; sql; result = None; error = None };
   id
+
+let fresh_token t =
+  let k = t.next_token in
+  t.next_token <- k + 1;
+  Printf.sprintf "qs-batch-%d" k
+
+let fill t ids outcomes =
+  List.iter2 (fun id outcome -> (entry t id).result <- Some outcome) ids outcomes
+
+let stmts_of t ids = List.map (fun id -> (entry t id).stmt) ids
+
+(* Bisect an all-read batch that the server rejected: halve until the poison
+   query (or queries) are isolated, fail only those ids, serve the rest.
+   Infrastructure failures ([Retries_exhausted]) propagate — with the link
+   down there is nothing to isolate. *)
+let rec degrade t ids =
+  match ids with
+  | [] -> ()
+  | [ id ] -> (
+      let e = entry t id in
+      match Conn.execute_batch t.conn [ e.stmt ] with
+      | [ outcome ] -> e.result <- Some outcome
+      | _ -> assert false
+      | exception Conn.Server_error msg ->
+          e.error <- Some msg;
+          t.poisoned <- t.poisoned + 1;
+          Logs.warn ~src:log_src (fun m ->
+              m "poison query isolated [Q%d]: %s" id msg);
+          emit t (Query_poisoned (id, msg)))
+  | _ ->
+      let n = List.length ids in
+      let left = List.filteri (fun i _ -> i < n / 2) ids in
+      let right = List.filteri (fun i _ -> i >= n / 2) ids in
+      attempt t left;
+      attempt t right
+
+and attempt t ids =
+  match ids with
+  | [] -> ()
+  | _ -> (
+      match Conn.execute_batch t.conn (stmts_of t ids) with
+      | outcomes -> fill t ids outcomes
+      | exception Conn.Server_error _ -> degrade t ids)
 
 let send t ids =
   match ids with
@@ -66,11 +119,25 @@ let send t ids =
       Logs.debug ~src:log_src (fun m ->
           m "shipping batch of %d queries" (List.length ids));
       emit t (Batch_sent (List.map (fun id -> (id, (entry t id).sql)) ids));
-      let stmts = List.map (fun id -> (entry t id).stmt) ids in
-      let outcomes = Conn.execute_batch t.conn stmts in
-      List.iter2
-        (fun id outcome -> (entry t id).result <- Some outcome)
-        ids outcomes;
+      let stmts = stmts_of t ids in
+      let has_write = List.exists Sloth_sql.Ast.is_write stmts in
+      (match
+         if has_write then
+           Conn.execute_batch ~token:(fresh_token t) t.conn stmts
+         else Conn.execute_batch t.conn stmts
+       with
+      | outcomes -> fill t ids outcomes
+      | exception Conn.Server_error _ when not has_write ->
+          (* Graceful degradation: retry the reads by bisection so only the
+             poison query fails; every other registered read is served. *)
+          t.degraded_batches <- t.degraded_batches + 1;
+          degrade t ids
+      | exception Conn.Server_error msg ->
+          (* A write-containing flush fails whole (the batch driver already
+             rolled its statements back); the write's registrant sees the
+             error, and the reads that rode along are marked lost. *)
+          List.iter (fun id -> (entry t id).error <- Some msg) ids;
+          raise (Conn.Server_error msg));
       t.batches_sent <- t.batches_sent + 1;
       let n = List.length ids in
       if n > t.max_batch_size then t.max_batch_size <- n
@@ -94,7 +161,8 @@ let register t stmt =
     id
   end
   else
-    (* Dedup against the *pending* batch only. *)
+    (* Dedup against the *pending* batch only.  A poisoned or lost query is
+       never pending again, so re-registering its SQL builds a fresh entry. *)
     let dup =
       List.find_opt (fun id -> String.equal (entry t id).sql sql) t.batch
     in
@@ -113,30 +181,34 @@ let register t stmt =
 
 let register_sql t sql = register t (Sloth_sql.Parser.parse sql)
 
-let result t id =
+let outcome_of t id =
   let e = entry t id in
-  (match e.result with
-  | None -> flush t
-  | Some _ -> emit t (Result_served id));
-  match (entry t id).result with
-  | Some outcome -> outcome.rs
-  | None ->
-      (* Cannot happen: the id was either pending (flushed above) or already
-         executed. *)
-      assert false
+  (match (e.result, e.error) with
+  | None, None -> flush t
+  | Some _, _ -> emit t (Result_served id)
+  | None, Some _ -> ());
+  let e = entry t id in
+  match (e.result, e.error) with
+  | Some outcome, _ -> outcome
+  | None, Some msg -> raise (Query_failed (id, msg))
+  | None, None ->
+      (* The id was pending but the flush above did not resolve it: its
+         batch was lost to an earlier infrastructure failure. *)
+      let msg = "batch lost before a result arrived" in
+      e.error <- Some msg;
+      raise (Query_failed (id, msg))
 
-let rows_affected t id =
-  let e = entry t id in
-  (match e.result with None -> flush t | Some _ -> ());
-  match (entry t id).result with
-  | Some outcome -> outcome.rows_affected
-  | None -> assert false
+let result t id = (outcome_of t id).rs
+let rows_affected t id = (outcome_of t id).rows_affected
 
 let is_available t id = (entry t id).result <> None
+let error_of t id = (entry t id).error
 let pending t = List.length t.batch
 let batches_sent t = t.batches_sent
 let max_batch_size t = t.max_batch_size
 let registered t = t.registered
+let degraded_batches t = t.degraded_batches
+let poisoned t = t.poisoned
 let sql_of_id t id = (entry t id).sql
 
 let pp_event ppf = function
@@ -148,3 +220,5 @@ let pp_event ppf = function
       Format.fprintf ppf "batch sent (%d):" (List.length batch);
       List.iter (fun (id, sql) -> Format.fprintf ppf " [Q%d] %s;" id sql) batch
   | Result_served id -> Format.fprintf ppf "cached result [Q%d]" id
+  | Query_poisoned (id, msg) ->
+      Format.fprintf ppf "poison isolated [Q%d]: %s" id msg

@@ -7,10 +7,25 @@
     (the batch driver executes the reads in parallel).  Write statements are
     never deferred: registering one flushes the pending reads and executes
     the write in the same round trip, preserving ordering and transaction
-    boundaries. *)
+    boundaries.
+
+    {b Failure handling.}  A batch is not a single point of failure.  When
+    the server rejects an all-read batch, the store isolates the poison
+    query by bisection: only its id fails (raising {!Query_failed} when its
+    result is demanded), every other registered read is still served.
+    Write-containing flushes are retried whole by the driver under a batch
+    idempotency token, so a retried write is applied exactly once; if the
+    write ultimately fails, the batch was rolled back server-side and the
+    error propagates to the registrant.  Infrastructure failures
+    ({!Sloth_driver.Connection.Retries_exhausted}) propagate — there is
+    nothing to isolate when the link is down. *)
 
 type t
 type query_id
+
+exception Query_failed of query_id * string
+(** Demanding the result of a query that failed individually: it was
+    isolated as its batch's poison query, or its batch was lost. *)
 
 type flush_policy =
   | On_demand
@@ -30,7 +45,9 @@ val register : t -> Sloth_sql.Ast.stmt -> query_id
     the current batch, its id is returned — the paper's deduplication rule.
     Re-registering a query whose result is already cached creates a fresh
     pending entry (results may have been invalidated by writes in between;
-    the ORM layer, not the store, decides on entity-level caching).
+    the ORM layer, not the store, decides on entity-level caching).  A
+    failed query is likewise never deduplicated against: re-registering its
+    SQL creates a fresh pending entry.
 
     Writes: the pending reads and the write are sent immediately in one
     round trip; the write's outcome is cached under the returned id. *)
@@ -39,12 +56,18 @@ val register_sql : t -> string -> query_id
 
 val result : t -> query_id -> Sloth_storage.Result_set.t
 (** Fetch the result for an id, flushing the current batch in one round trip
-    if it is not yet available. *)
+    if it is not yet available.  Raises {!Query_failed} if this query was
+    isolated as a poison query (or its batch was lost). *)
 
 val rows_affected : t -> query_id -> int
-(** For write statements, after execution. *)
+(** For write statements, after execution.  Raises {!Query_failed} like
+    {!result}. *)
 
 val is_available : t -> query_id -> bool
+
+val error_of : t -> query_id -> string option
+(** The failure recorded for an id, if any. *)
+
 val pending : t -> int
 (** Number of queries in the current (unsent) batch. *)
 
@@ -55,6 +78,12 @@ val batches_sent : t -> int
 val max_batch_size : t -> int
 val registered : t -> int
 (** Total register calls (including deduplicated hits). *)
+
+val degraded_batches : t -> int
+(** Batches whose failure was degraded to per-query isolation. *)
+
+val poisoned : t -> int
+(** Queries individually failed after bisection. *)
 
 val sql_of_id : t -> query_id -> string
 (** Canonical SQL for an id — used by logging and the Fig. 2 style trace. *)
@@ -73,6 +102,8 @@ type event =
       (** a write forced the batch out immediately *)
   | Batch_sent of (query_id * string) list
   | Result_served of query_id  (** a cached result was handed out *)
+  | Query_poisoned of query_id * string
+      (** bisection isolated this query as its batch's poison *)
 
 val set_tracer : t -> (event -> unit) option -> unit
 

@@ -1,24 +1,80 @@
 module Db = Sloth_storage.Database
 module Rs = Sloth_storage.Result_set
 module Cost = Sloth_storage.Cost
+module Link = Sloth_net.Link
+module Vclock = Sloth_net.Vclock
+module Stats = Sloth_net.Stats
+module Fault = Sloth_net.Fault
+
+module Retry_policy = struct
+  type t = {
+    max_attempts : int;
+    backoff_base_ms : float;
+    backoff_max_ms : float;
+    jitter : float;
+    breaker_threshold : int;
+    breaker_cooldown_ms : float;
+  }
+
+  let default =
+    {
+      max_attempts = 4;
+      backoff_base_ms = 1.0;
+      backoff_max_ms = 32.0;
+      jitter = 0.2;
+      breaker_threshold = 8;
+      breaker_cooldown_ms = 100.0;
+    }
+
+  let no_retry = { default with max_attempts = 1 }
+end
+
+type breaker = Closed | Open_until of float | Half_open
 
 type t = {
   db : Db.t;
   link : Sloth_net.Link.t;
   mutable slots : float array;
       (* async pool: when each pooled connection becomes free *)
+  mutable retry : Retry_policy.t;
+  mutable breaker : breaker;
+  mutable consecutive_failures : int;
+  applied : (string, Db.outcome list) Hashtbl.t;
+      (* server-side idempotency table: token -> outcomes of the already
+         processed batch, replayed instead of re-executed on retry *)
+  jitter_rng : Random.State.t;
 }
 
 exception Server_error of string
+exception Retries_exhausted of { attempts : int; last : string }
 
 let app_cost_per_stmt_ms = ref 1.0
 let app_cost_per_row_ms = ref 0.02
 
-let create db link = { db; link; slots = [||] }
+let create db link =
+  {
+    db;
+    link;
+    slots = [||];
+    retry = Retry_policy.default;
+    breaker = Closed;
+    consecutive_failures = 0;
+    applied = Hashtbl.create 16;
+    jitter_rng = Random.State.make [| 0x5107 |];
+  }
+
 let link t = t.link
 let clock t = Sloth_net.Link.clock t.link
 let stats t = Sloth_net.Link.stats t.link
 let database t = t.db
+let retry_policy t = t.retry
+let set_retry_policy t p = t.retry <- p
+
+let breaker_state t =
+  match t.breaker with
+  | Closed -> `Closed
+  | Open_until _ -> `Open
+  | Half_open -> `Half_open
 
 let request_bytes stmts =
   List.fold_left
@@ -34,21 +90,121 @@ let charge_app t ~stmts ~rows =
     ((!app_cost_per_stmt_ms *. float_of_int stmts)
     +. (!app_cost_per_row_ms *. float_of_int rows))
 
-let execute t stmt =
-  let outcome =
-    try Db.exec t.db stmt
-    with Db.Sql_error msg ->
-      (* A failed statement still consumed a round trip. *)
-      Sloth_net.Link.round_trip t.link ~queries:1
-        ~bytes:(request_bytes [ stmt ] + 16);
-      charge_db t (Db.cost_model t.db).fixed_ms;
-      raise (Server_error msg)
+(* --- retry / circuit-breaker machinery ---------------------------------- *)
+
+let breaker_check t ~attempt =
+  match t.breaker with
+  | Closed | Half_open -> ()
+  | Open_until until ->
+      if Vclock.now (clock t) >= until then
+        (* cooldown over: this attempt is the half-open probe *)
+        t.breaker <- Half_open
+      else
+        raise (Retries_exhausted { attempts = attempt - 1; last = "circuit open" })
+
+let breaker_success t =
+  t.consecutive_failures <- 0;
+  t.breaker <- Closed
+
+let breaker_failure t =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  let open_now () =
+    t.breaker <-
+      Open_until (Vclock.now (clock t) +. t.retry.breaker_cooldown_ms)
   in
-  Sloth_net.Link.round_trip t.link ~queries:1
-    ~bytes:(request_bytes [ stmt ] + Rs.size_bytes outcome.rs);
-  charge_db t outcome.cost_ms;
-  charge_app t ~stmts:1 ~rows:(Rs.num_rows outcome.rs);
-  outcome
+  match t.breaker with
+  | Half_open -> open_now () (* the probe failed: back to open *)
+  | Closed | Open_until _ ->
+      if t.consecutive_failures >= t.retry.breaker_threshold then open_now ()
+
+(* Bounded exponential backoff with deterministic jitter, charged to the
+   virtual clock so latency experiments pay for every retry. *)
+let backoff t attempt =
+  let p = t.retry in
+  let base = p.backoff_base_ms *. (2.0 ** float_of_int (attempt - 1)) in
+  let capped = Float.min base p.backoff_max_ms in
+  let jit =
+    if p.jitter <= 0.0 then 0.0
+    else capped *. p.jitter *. Random.State.float t.jitter_rng 1.0
+  in
+  Vclock.advance (clock t) Vclock.Network (capped +. jit)
+
+(* One logical round trip under the installed fault plan, retried per the
+   policy.  [run ~observed] performs the server-side work and returns
+   [(outcomes, db_ms, rows, response_bytes)]; it is called with
+   [observed:false] when the response leg fails after the server processed
+   the request — the work happens (and any idempotency token is recorded)
+   but the client sees only its timeout.  A [Db.Sql_error] from [run] is a
+   real server answer, not an infrastructure fault: it is never retried and
+   costs the round trip plus [error_db_ms]. *)
+let resilient t fault ~queries ~req_bytes ~error_db_ms ~run =
+  let rec go attempt =
+    breaker_check t ~attempt;
+    match Fault.decide fault with
+    | Fault.Deliver extra_ms -> (
+        match run ~observed:true with
+        | outcomes, db_ms, rows, resp_bytes ->
+            Link.deliver t.link ~queries ~bytes:(req_bytes + resp_bytes)
+              ~extra_ms;
+            breaker_success t;
+            charge_db t db_ms;
+            charge_app t ~stmts:queries ~rows;
+            outcomes
+        | exception Db.Sql_error msg ->
+            Link.deliver t.link ~queries ~bytes:(req_bytes + 16) ~extra_ms;
+            if error_db_ms > 0.0 then charge_db t error_db_ms;
+            (* the wire and server are fine; only the statement is bad *)
+            breaker_success t;
+            raise (Server_error msg))
+    | Fault.Fail (failure, leg) ->
+        (if leg = Fault.Response then
+           (* The request reached the server and was executed; only the
+              reply vanished.  An error reply is lost along with it. *)
+           try ignore (run ~observed:false) with Db.Sql_error _ -> ());
+        Link.charge_failure t.link ~queries ~bytes:req_bytes failure;
+        breaker_failure t;
+        if attempt >= t.retry.max_attempts then
+          raise
+            (Retries_exhausted
+               { attempts = attempt; last = Fault.failure_label failure })
+        else begin
+          Stats.record_retry (stats t);
+          backoff t attempt;
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+(* --- simple protocol ----------------------------------------------------- *)
+
+let execute t stmt =
+  match Link.fault t.link with
+  | None ->
+      let outcome =
+        try Db.exec t.db stmt
+        with Db.Sql_error msg ->
+          (* A failed statement still consumed a round trip. *)
+          Sloth_net.Link.round_trip t.link ~queries:1
+            ~bytes:(request_bytes [ stmt ] + 16);
+          charge_db t (Db.cost_model t.db).fixed_ms;
+          raise (Server_error msg)
+      in
+      Sloth_net.Link.round_trip t.link ~queries:1
+        ~bytes:(request_bytes [ stmt ] + Rs.size_bytes outcome.rs);
+      charge_db t outcome.cost_ms;
+      charge_app t ~stmts:1 ~rows:(Rs.num_rows outcome.rs);
+      outcome
+  | Some fault -> (
+      let run ~observed:_ =
+        let o = Db.exec t.db stmt in
+        ([ o ], o.cost_ms, Rs.num_rows o.rs, Rs.size_bytes o.rs)
+      in
+      match
+        resilient t fault ~queries:1 ~req_bytes:(request_bytes [ stmt ])
+          ~error_db_ms:(Db.cost_model t.db).fixed_ms ~run
+      with
+      | [ o ] -> o
+      | _ -> assert false)
 
 let execute_sql t sql =
   match Sloth_sql.Parser.parse sql with
@@ -57,20 +213,44 @@ let execute_sql t sql =
 
 let query t sql = (execute_sql t sql).rs
 
-let execute_batch t stmts =
-  match stmts with
-  | [] -> []
-  | _ ->
-      let outcomes =
-        List.map
-          (fun stmt ->
-            try Db.exec t.db stmt
-            with Db.Sql_error msg ->
-              Sloth_net.Link.round_trip t.link ~queries:(List.length stmts)
-                ~bytes:(request_bytes stmts + 16);
-              raise (Server_error msg))
-          stmts
+(* --- batch protocol ------------------------------------------------------ *)
+
+let is_txn_control = function
+  | Sloth_sql.Ast.Begin_txn | Sloth_sql.Ast.Commit | Sloth_sql.Ast.Rollback ->
+      true
+  | _ -> false
+
+(* Server-side execution of a batch: reads run in parallel, writes
+   sequentially.  A write-containing batch (without explicit transaction
+   control) executes atomically — a mid-batch error rolls every earlier
+   statement of the batch back.  When [token] is provided and the batch
+   writes, the outcomes are stored under it so a retransmission of the same
+   batch is answered from the table instead of re-applied (exactly-once). *)
+let run_batch t stmts ~token () =
+  match token with
+  | Some k when Hashtbl.mem t.applied k ->
+      let outcomes = Hashtbl.find t.applied k in
+      let rows =
+        List.fold_left (fun acc (o : Db.outcome) -> acc + Rs.num_rows o.rs) 0
+          outcomes
       in
+      let resp =
+        List.fold_left (fun acc (o : Db.outcome) -> acc + Rs.size_bytes o.rs) 0
+          outcomes
+      in
+      (* replay: the server just looks the batch up *)
+      (outcomes, (Db.cost_model t.db).fixed_ms, rows, resp)
+  | _ ->
+      let has_write = List.exists Sloth_sql.Ast.is_write stmts in
+      let exec_all () = List.map (fun s -> Db.exec t.db s) stmts in
+      let outcomes =
+        if has_write && not (List.exists is_txn_control stmts) then
+          Db.atomically t.db exec_all
+        else exec_all ()
+      in
+      (match token with
+      | Some k when has_write -> Hashtbl.replace t.applied k outcomes
+      | _ -> ());
       (* Reads run in parallel on the server; writes run sequentially. *)
       let read_costs, write_cost =
         List.fold_left2
@@ -82,20 +262,39 @@ let execute_batch t stmts =
       let db_ms =
         Cost.batch_ms (Db.cost_model t.db) (List.rev read_costs) +. write_cost
       in
-      let response_bytes =
-        List.fold_left
-          (fun acc (o : Db.outcome) -> acc + Rs.size_bytes o.rs)
-          0 outcomes
+      let rows =
+        List.fold_left (fun acc (o : Db.outcome) -> acc + Rs.num_rows o.rs) 0
+          outcomes
       in
-      Sloth_net.Link.round_trip t.link ~queries:(List.length stmts)
-        ~bytes:(request_bytes stmts + response_bytes);
-      charge_db t db_ms;
-      charge_app t ~stmts:(List.length stmts)
-        ~rows:
-          (List.fold_left
-             (fun acc (o : Db.outcome) -> acc + Rs.num_rows o.rs)
-             0 outcomes);
-      outcomes
+      let resp =
+        List.fold_left (fun acc (o : Db.outcome) -> acc + Rs.size_bytes o.rs) 0
+          outcomes
+      in
+      (outcomes, db_ms, rows, resp)
+
+let execute_batch ?token t stmts =
+  match stmts with
+  | [] -> [] (* the documented guarantee: no round trip, no cost *)
+  | _ -> (
+      let nq = List.length stmts in
+      let req_bytes = request_bytes stmts in
+      let run = run_batch t stmts ~token in
+      match Link.fault t.link with
+      | None -> (
+          match run () with
+          | outcomes, db_ms, rows, resp_bytes ->
+              Sloth_net.Link.round_trip t.link ~queries:nq
+                ~bytes:(req_bytes + resp_bytes);
+              charge_db t db_ms;
+              charge_app t ~stmts:nq ~rows;
+              outcomes
+          | exception Db.Sql_error msg ->
+              Sloth_net.Link.round_trip t.link ~queries:nq
+                ~bytes:(req_bytes + 16);
+              raise (Server_error msg))
+      | Some fault ->
+          resilient t fault ~queries:nq ~req_bytes ~error_db_ms:0.0
+            ~run:(fun ~observed:_ -> run ()))
 
 let execute_batch_sql t sqls =
   let stmts =
@@ -107,6 +306,8 @@ let execute_batch_sql t sqls =
       sqls
   in
   execute_batch t stmts
+
+(* --- asynchronous (prefetch) protocol ------------------------------------ *)
 
 type async_handle = {
   outcome_async : Db.outcome;

@@ -9,13 +9,52 @@
 
     Every call charges the connection's virtual clock: the Network category
     for the round trip and payload, the Db category for server-side
-    execution. *)
+    execution.
+
+    {b Resilience.}  When a {!Sloth_net.Fault.t} is installed on the link,
+    both protocols consult it per round trip and retry failed trips under
+    the connection's {!Retry_policy}: bounded exponential backoff with
+    deterministic jitter, all of it charged to the virtual clock, plus a
+    circuit breaker that opens after a run of consecutive failures and
+    lets a half-open probe through after a cooldown.  A trip whose retry
+    budget is exhausted (or that arrives while the breaker is open) raises
+    {!Retries_exhausted} instead of hanging.  Write batches passed an
+    idempotency [token] are applied exactly once even when a response is
+    lost and the batch retransmitted: the simulated server remembers the
+    token and replays the stored outcomes.  Without a fault plan the
+    behaviour (and timing) is exactly the fault-free driver's. *)
 
 type t
 
 exception Server_error of string
 (** Surfaced [Database.Sql_error]s.  Time for the failed round trip is still
-    charged, like a real wire error. *)
+    charged, like a real wire error.  Never retried: the wire worked, the
+    statement is bad. *)
+
+exception Retries_exhausted of { attempts : int; last : string }
+(** The round trip failed [attempts] times (the last failure is named) and
+    the retry budget ran out — or the circuit breaker was open. *)
+
+module Retry_policy : sig
+  type t = {
+    max_attempts : int;  (** total attempts per logical round trip (>= 1) *)
+    backoff_base_ms : float;  (** first retry's backoff *)
+    backoff_max_ms : float;  (** cap on the exponential growth *)
+    jitter : float;
+        (** extra backoff fraction in [0..jitter], drawn from a seeded RNG *)
+    breaker_threshold : int;
+        (** consecutive failed attempts before the breaker opens *)
+    breaker_cooldown_ms : float;
+        (** how long the breaker stays open before a half-open probe *)
+  }
+
+  val default : t
+  (** 4 attempts, 1 ms base backoff doubling up to 32 ms, 20% jitter,
+      breaker at 8 consecutive failures with a 100 ms cooldown. *)
+
+  val no_retry : t
+  (** A single attempt: failures surface immediately. *)
+end
 
 val create : Sloth_storage.Database.t -> Sloth_net.Link.t -> t
 
@@ -32,14 +71,31 @@ val clock : t -> Sloth_net.Vclock.t
 val stats : t -> Sloth_net.Stats.t
 val database : t -> Sloth_storage.Database.t
 
+val retry_policy : t -> Retry_policy.t
+val set_retry_policy : t -> Retry_policy.t -> unit
+
+val breaker_state : t -> [ `Closed | `Open | `Half_open ]
+(** Current circuit-breaker state, for tests and diagnostics. *)
+
 val execute : t -> Sloth_sql.Ast.stmt -> Sloth_storage.Database.outcome
 val execute_sql : t -> string -> Sloth_storage.Database.outcome
 
 val query : t -> string -> Sloth_storage.Result_set.t
 
 val execute_batch :
-  t -> Sloth_sql.Ast.stmt list -> Sloth_storage.Database.outcome list
-(** Empty batches cost nothing and perform no round trip. *)
+  ?token:string ->
+  t ->
+  Sloth_sql.Ast.stmt list ->
+  Sloth_storage.Database.outcome list
+(** Empty batches cost nothing and perform no round trip.
+
+    A batch containing writes (and no explicit BEGIN/COMMIT/ROLLBACK)
+    executes atomically on the server: a mid-batch error rolls back the
+    statements already applied before surfacing as {!Server_error}.
+
+    [token] is a batch idempotency token: if a write-containing batch with
+    this token was already processed (its response may have been lost), the
+    server replays the stored outcomes instead of executing again. *)
 
 val execute_batch_sql :
   t -> string list -> Sloth_storage.Database.outcome list

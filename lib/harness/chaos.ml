@@ -1,0 +1,118 @@
+(** Chaos experiment: page loads under seeded fault injection.
+
+    Sweeps fault rate × retry policy over read-only pages from both
+    applications.  Every load gets a fresh {!Sloth_net.Fault.t} with a
+    deterministic seed, so the whole sweep is exactly reproducible; a load
+    either completes (counted with its latency, surviving faults and
+    retries) or aborts (retry budget exhausted, circuit open, or a poisoned
+    query demanded by the view).  Rate 0 runs the fault-free legacy path
+    and anchors the latency curves. *)
+
+module Page = Sloth_web.Page
+module Fault = Sloth_net.Fault
+module Conn = Sloth_driver.Connection
+
+let pages =
+  [
+    ("medrec", Sloth_workload.App_sig.medrec, "patient_dashboard");
+    ("medrec", Sloth_workload.App_sig.medrec, "alert_list");
+    ("tracker", Sloth_workload.App_sig.tracker, "list_projects");
+  ]
+
+let rates = [ 0.0; 0.02; 0.05; 0.1; 0.2 ]
+let loads_per_page = 12
+let rtt_ms = 2.0
+
+let policies =
+  [
+    ("no-retry", Conn.Retry_policy.no_retry);
+    ("retry-4", Conn.Retry_policy.default);
+    ( "retry+breaker",
+      {
+        Conn.Retry_policy.default with
+        breaker_threshold = 3;
+        breaker_cooldown_ms = 50.0;
+      } );
+  ]
+
+type cell = {
+  mutable ok : int;
+  mutable aborts : int;
+  mutable total_ms : float;  (** over completed loads only *)
+  mutable faults : int;  (** injected by the fault layer, all loads *)
+  mutable retries : int;  (** driver retries, completed loads only *)
+}
+
+let db_for dbs name app =
+  match Hashtbl.find_opt dbs name with
+  | Some db -> db
+  | None ->
+      let db = Runner.prepare app in
+      Hashtbl.replace dbs name db;
+      db
+
+let run_cell ~dbs ~rate ~retry ~rate_i ~pol_i =
+  let c = { ok = 0; aborts = 0; total_ms = 0.0; faults = 0; retries = 0 } in
+  List.iteri
+    (fun page_i (app_name, app, page) ->
+      let db = db_for dbs app_name app in
+      for iter = 0 to loads_per_page - 1 do
+        let seed = 1 + (7919 * rate_i) + (611 * pol_i) + (101 * page_i) + iter in
+        let fault =
+          if rate <= 0.0 then None
+          else Some (Fault.create (Fault.uniform ~seed rate))
+        in
+        (match Runner.load_sloth_result ~retry ?fault ~db ~rtt_ms app page with
+        | Ok m ->
+            c.ok <- c.ok + 1;
+            c.total_ms <- c.total_ms +. m.Page.total_ms;
+            c.retries <- c.retries + m.Page.retries
+        | Error _ -> c.aborts <- c.aborts + 1);
+        Option.iter (fun f -> c.faults <- c.faults + Fault.injected f) fault
+      done)
+    pages;
+  c
+
+let chaos () =
+  Report.section "Chaos: resilience under injected faults";
+  Printf.printf
+    "  (%d pages x %d loads per cell, rtt %.1f ms; seeded, so reruns are \
+     identical)\n"
+    (List.length pages) loads_per_page rtt_ms;
+  let dbs = Hashtbl.create 4 in
+  List.iteri
+    (fun rate_i rate ->
+      Report.subsection (Printf.sprintf "fault rate %.2f" rate);
+      Report.table
+        ~header:
+          [ "policy"; "ok"; "aborts"; "abort rate"; "mean ms"; "faults";
+            "retries" ]
+        (List.mapi
+           (fun pol_i (label, retry) ->
+             let c = run_cell ~dbs ~rate ~retry ~rate_i ~pol_i in
+             let n = max 1 (c.ok + c.aborts) in
+             [
+               label;
+               string_of_int c.ok;
+               string_of_int c.aborts;
+               Printf.sprintf "%.0f%%"
+                 (100.0 *. float_of_int c.aborts /. float_of_int n);
+               (if c.ok = 0 then "-"
+                else Printf.sprintf "%.1f" (c.total_ms /. float_of_int c.ok));
+               string_of_int c.faults;
+               string_of_int c.retries;
+             ])
+           policies))
+    rates
+
+let tracked ?(rate = 0.05) () =
+  let dbs = Hashtbl.create 4 in
+  let c =
+    run_cell ~dbs ~rate ~retry:Conn.Retry_policy.default ~rate_i:0 ~pol_i:0
+  in
+  Printf.printf
+    "chaos@%.2f: ok %d, aborts %d, mean %s ms, faults %d, retries %d\n" rate
+    c.ok c.aborts
+    (if c.ok = 0 then "-"
+     else Printf.sprintf "%.1f" (c.total_ms /. float_of_int c.ok))
+    c.faults c.retries

@@ -1,0 +1,11 @@
+(** Chaos experiment: page loads under seeded fault injection, sweeping
+    fault rate × retry policy and reporting per-cell completion counts,
+    abort rates, mean latency of completed loads, injected-fault and retry
+    totals. *)
+
+val chaos : unit -> unit
+(** The full sweep (rates 0–0.2 × no-retry / retry / retry+breaker). *)
+
+val tracked : ?rate:float -> unit -> unit
+(** One summary line for a single fault rate (default 0.05) under the
+    default retry policy — the bench [--faults RATE] knob. *)

@@ -53,6 +53,65 @@ let load_sloth ?policy ~db ~rtt_ms (module A : Sloth_workload.App_sig.S) page =
   Runtime.set_clock None;
   m
 
+(* Fault-aware loads: install a fault plan and retry policy on a fresh
+   connection, then run the page; an abort (retry budget exhausted, circuit
+   open, or a lost/poisoned query demanded) is returned as [Error], with the
+   runtime clock detached either way. *)
+let guard_load run =
+  let fin () = Runtime.set_clock None in
+  match run () with
+  | m ->
+      fin ();
+      Ok m
+  | exception Conn.Retries_exhausted { last; _ } ->
+      fin ();
+      Error (Printf.sprintf "retries exhausted (%s)" last)
+  | exception Sloth_core.Query_store.Query_failed (_, msg) ->
+      fin ();
+      Error (Printf.sprintf "query failed (%s)" msg)
+  | exception Conn.Server_error msg ->
+      fin ();
+      Error (Printf.sprintf "server error (%s)" msg)
+
+let load_original_result ?retry ?fault ~db ~rtt_ms
+    (module A : Sloth_workload.App_sig.S) page =
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms clock in
+  Link.set_fault link fault;
+  let conn = Conn.create db link in
+  Option.iter (Conn.set_retry_policy conn) retry;
+  Runtime.set_clock (Some clock);
+  let module X = Sloth_core.Exec.Eager (struct
+    let conn = conn
+  end) in
+  let module P = A.Pages (X) in
+  guard_load (fun () ->
+      let m =
+        Page.load ~name:page ~clock ~link ~controller:(P.controller page) ()
+      in
+      Runtime.set_clock None;
+      m)
+
+let load_sloth_result ?policy ?retry ?fault ~db ~rtt_ms
+    (module A : Sloth_workload.App_sig.S) page =
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms clock in
+  Link.set_fault link fault;
+  let conn = Conn.create db link in
+  Option.iter (Conn.set_retry_policy conn) retry;
+  let store = Sloth_core.Query_store.create ?policy conn in
+  Runtime.set_clock (Some clock);
+  let module X = Sloth_core.Exec.Lazy (struct
+    let store = store
+  end) in
+  let module P = A.Pages (X) in
+  guard_load (fun () ->
+      let m =
+        Page.load ~name:page ~clock ~link ~controller:(P.controller page) ()
+      in
+      Runtime.set_clock None;
+      m)
+
 let load_prefetch ~db ~rtt_ms (module A : Sloth_workload.App_sig.S) page =
   let clock = Vclock.create () in
   let link = Link.create ~rtt_ms clock in

@@ -51,3 +51,30 @@ val load_prefetch :
   Sloth_web.Page.metrics
 (** Load a page under the prefetching baseline (asynchronous issue, one
     round trip per query). *)
+
+(** {2 Loading under injected faults}
+
+    The [_result] variants install a fault state and retry policy on the
+    load's connection and return [Error reason] instead of raising when the
+    load aborts (retry budget exhausted, circuit open, poison query
+    demanded, or an unhandled server error).  The caller keeps the
+    {!Sloth_net.Fault.t} handle and can read its counters afterwards. *)
+
+val load_original_result :
+  ?retry:Sloth_driver.Connection.Retry_policy.t ->
+  ?fault:Sloth_net.Fault.t ->
+  db:Sloth_storage.Database.t ->
+  rtt_ms:float ->
+  (module Sloth_workload.App_sig.S) ->
+  string ->
+  (Sloth_web.Page.metrics, string) result
+
+val load_sloth_result :
+  ?policy:Sloth_core.Query_store.flush_policy ->
+  ?retry:Sloth_driver.Connection.Retry_policy.t ->
+  ?fault:Sloth_net.Fault.t ->
+  db:Sloth_storage.Database.t ->
+  rtt_ms:float ->
+  (module Sloth_workload.App_sig.S) ->
+  string ->
+  (Sloth_web.Page.metrics, string) result

@@ -1,0 +1,134 @@
+type failure = Drop | Reset | Server_busy | Deadlock
+type leg = Request | Response
+type decision = Deliver of float | Fail of failure * leg
+
+type plan = {
+  drop_p : float;
+  reset_p : float;
+  busy_p : float;
+  deadlock_p : float;
+  spike_p : float;
+  spike_ms : float;
+  timeout_ms : float;
+  seed : int;
+}
+
+let plan ?(drop_p = 0.0) ?(reset_p = 0.0) ?(busy_p = 0.0) ?(deadlock_p = 0.0)
+    ?(spike_p = 0.0) ?(spike_ms = 5.0) ?(timeout_ms = 10.0) ?(seed = 1) () =
+  { drop_p; reset_p; busy_p; deadlock_p; spike_p; spike_ms; timeout_ms; seed }
+
+let uniform ?seed rate =
+  plan ?seed ~drop_p:(0.4 *. rate) ~reset_p:(0.2 *. rate)
+    ~busy_p:(0.2 *. rate) ~deadlock_p:(0.2 *. rate) ~spike_p:rate ()
+
+type window = { first : int; last : int; w_failure : failure; w_leg : leg }
+
+type t = {
+  plan : plan;
+  rng : Random.State.t;
+  mutable windows : window list;  (* in installation order *)
+  mutable trips : int;
+  mutable drops : int;
+  mutable resets : int;
+  mutable busys : int;
+  mutable deadlocks : int;
+  mutable spikes : int;
+}
+
+let create plan =
+  {
+    plan;
+    rng = Random.State.make [| plan.seed |];
+    windows = [];
+    trips = 0;
+    drops = 0;
+    resets = 0;
+    busys = 0;
+    deadlocks = 0;
+    spikes = 0;
+  }
+
+let the_plan t = t.plan
+let timeout_ms t = t.plan.timeout_ms
+
+let script t ~first ~last failure leg =
+  t.windows <- t.windows @ [ { first; last; w_failure = failure; w_leg = leg } ]
+
+let record t = function
+  | Drop -> t.drops <- t.drops + 1
+  | Reset -> t.resets <- t.resets + 1
+  | Server_busy -> t.busys <- t.busys + 1
+  | Deadlock -> t.deadlocks <- t.deadlocks + 1
+
+let quiet p =
+  p.drop_p = 0.0 && p.reset_p = 0.0 && p.busy_p = 0.0 && p.deadlock_p = 0.0
+  && p.spike_p = 0.0
+
+let decide t =
+  t.trips <- t.trips + 1;
+  let scripted =
+    List.find_opt (fun w -> w.first <= t.trips && t.trips <= w.last) t.windows
+  in
+  match scripted with
+  | Some w ->
+      record t w.w_failure;
+      Fail (w.w_failure, w.w_leg)
+  | None ->
+      let p = t.plan in
+      if quiet p then Deliver 0.0
+      else
+        let u = Random.State.float t.rng 1.0 in
+        (* A lost trip can fail on either leg; transient server errors mean
+           the server received the request but refused it, so nothing was
+           applied — always the request leg. *)
+        let lost_leg () =
+          if Random.State.bool t.rng then Request else Response
+        in
+        let c1 = p.drop_p in
+        let c2 = c1 +. p.reset_p in
+        let c3 = c2 +. p.busy_p in
+        let c4 = c3 +. p.deadlock_p in
+        let c5 = c4 +. p.spike_p in
+        if u < c1 then begin
+          record t Drop;
+          Fail (Drop, lost_leg ())
+        end
+        else if u < c2 then begin
+          record t Reset;
+          Fail (Reset, lost_leg ())
+        end
+        else if u < c3 then begin
+          record t Server_busy;
+          Fail (Server_busy, Request)
+        end
+        else if u < c4 then begin
+          record t Deadlock;
+          Fail (Deadlock, Request)
+        end
+        else if u < c5 then begin
+          t.spikes <- t.spikes + 1;
+          Deliver p.spike_ms
+        end
+        else Deliver 0.0
+
+let trips t = t.trips
+let injected t = t.drops + t.resets + t.busys + t.deadlocks
+
+let count t = function
+  | Drop -> t.drops
+  | Reset -> t.resets
+  | Server_busy -> t.busys
+  | Deadlock -> t.deadlocks
+
+let spikes t = t.spikes
+
+let failure_label = function
+  | Drop -> "drop"
+  | Reset -> "reset"
+  | Server_busy -> "server-busy"
+  | Deadlock -> "deadlock"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "trips=%d injected=%d (drop=%d reset=%d busy=%d deadlock=%d) spikes=%d"
+    t.trips (injected t) t.drops t.resets t.busys t.deadlocks t.spikes

@@ -1,0 +1,90 @@
+(** Deterministic, seeded fault injection for the simulated link.
+
+    A {!plan} describes the failure distribution of a connection: per
+    round-trip probabilities of the request being dropped, the connection
+    being reset, and the server answering with a transient error
+    ([Server_busy] from an overloaded server, [Deadlock] from a lock-manager
+    victim pick), plus occasional latency spikes on otherwise-successful
+    trips.  A {!t} instantiates a plan with a seeded RNG, so a given seed
+    always produces the same fault sequence — experiments under faults are
+    exactly reproducible.
+
+    Scripted {e fault windows} override the RNG for a range of round-trip
+    indices; tests use them to force, say, "the response of trip 3 is
+    lost".
+
+    A plan in which every probability is zero never draws from the RNG and
+    always delivers: the fault layer is zero-cost when disabled. *)
+
+type failure =
+  | Drop         (** the packet vanished; the client burns its timeout *)
+  | Reset        (** the connection was torn down mid-flight *)
+  | Server_busy  (** transient server error: too many connections/requests *)
+  | Deadlock     (** transient server error: picked as deadlock victim *)
+
+type leg =
+  | Request   (** the failure hit before the server saw the request *)
+  | Response  (** the server processed the request; the reply was lost *)
+
+type decision =
+  | Deliver of float        (** success, with this much extra latency (ms) *)
+  | Fail of failure * leg
+
+type plan = {
+  drop_p : float;
+  reset_p : float;
+  busy_p : float;
+  deadlock_p : float;
+  spike_p : float;     (** probability of a latency spike on a clean trip *)
+  spike_ms : float;    (** extra latency of a spike *)
+  timeout_ms : float;  (** how long the client waits out a dropped trip *)
+  seed : int;
+}
+
+val plan :
+  ?drop_p:float ->
+  ?reset_p:float ->
+  ?busy_p:float ->
+  ?deadlock_p:float ->
+  ?spike_p:float ->
+  ?spike_ms:float ->
+  ?timeout_ms:float ->
+  ?seed:int ->
+  unit ->
+  plan
+(** All probabilities default to 0; [spike_ms] to 5.0, [timeout_ms] to 10.0,
+    [seed] to 1. *)
+
+val uniform : ?seed:int -> float -> plan
+(** [uniform rate] spreads a total failure probability [rate] over the four
+    failure kinds (40% drops, 20% resets, 20% busy, 20% deadlocks) and adds
+    latency spikes with the same probability [rate]. *)
+
+type t
+
+val create : plan -> t
+(** Fresh fault state: RNG seeded from the plan, counters at zero. *)
+
+val the_plan : t -> plan
+val timeout_ms : t -> float
+
+val script : t -> first:int -> last:int -> failure -> leg -> unit
+(** Force every round trip whose index lies in [first..last] (1-based,
+    inclusive) to fail as given, bypassing the RNG.  Windows may be stacked;
+    the earliest-installed matching window wins. *)
+
+val decide : t -> decision
+(** Advance to the next round trip and decide its fate.  Deterministic in
+    the seed and the call sequence. *)
+
+val trips : t -> int
+(** Round trips decided so far. *)
+
+val injected : t -> int
+(** Total failures injected. *)
+
+val count : t -> failure -> int
+val spikes : t -> int
+
+val failure_label : failure -> string
+val pp : Format.formatter -> t -> unit

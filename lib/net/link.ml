@@ -3,20 +3,53 @@ type t = {
   bandwidth_mb_s : float;
   clock : Vclock.t;
   stats : Stats.t;
+  mutable fault : Fault.t option;
 }
 
+exception Injected of Fault.failure
+
 let create ?(rtt_ms = 0.5) ?(bandwidth_mb_s = 100.0) clock =
-  { rtt_ms; bandwidth_mb_s; clock; stats = Stats.create () }
+  { rtt_ms; bandwidth_mb_s; clock; stats = Stats.create (); fault = None }
 
 let rtt_ms t = t.rtt_ms
 let set_rtt_ms t rtt = t.rtt_ms <- rtt
 let clock t = t.clock
 let stats t = t.stats
+let fault t = t.fault
+let set_fault t f = t.fault <- f
 
 let transfer_ms t ~bytes =
   (* bandwidth is MB/s; convert bytes to ms of transfer time. *)
   float_of_int bytes /. (t.bandwidth_mb_s *. 1_000_000.0) *. 1000.0
 
-let round_trip t ~queries ~bytes =
+let deliver t ~queries ~bytes ~extra_ms =
   Stats.record_round_trip t.stats ~queries ~bytes;
-  Vclock.advance t.clock Vclock.Network (t.rtt_ms +. transfer_ms t ~bytes)
+  Vclock.advance t.clock Vclock.Network
+    (t.rtt_ms +. transfer_ms t ~bytes +. extra_ms)
+
+(* How long the client loses to a failed attempt: a drop burns the plan's
+   timeout, a reset is detected in half a round trip, and a transient server
+   error costs the full trip (the server received the request and answered
+   with a small error frame). *)
+let failure_cost t fault ~bytes = function
+  | Fault.Drop -> Fault.timeout_ms fault
+  | Fault.Reset -> 0.5 *. t.rtt_ms
+  | Fault.Server_busy | Fault.Deadlock -> t.rtt_ms +. transfer_ms t ~bytes
+
+let charge_failure t ~queries ~bytes failure =
+  match t.fault with
+  | None -> ()
+  | Some f ->
+      Stats.record_round_trip t.stats ~queries ~bytes;
+      Stats.record_fault t.stats;
+      Vclock.advance t.clock Vclock.Network (failure_cost t f ~bytes failure)
+
+let round_trip t ~queries ~bytes =
+  match t.fault with
+  | None -> deliver t ~queries ~bytes ~extra_ms:0.0
+  | Some f -> (
+      match Fault.decide f with
+      | Fault.Deliver extra_ms -> deliver t ~queries ~bytes ~extra_ms
+      | Fault.Fail (failure, _leg) ->
+          charge_failure t ~queries ~bytes failure;
+          raise (Injected failure))

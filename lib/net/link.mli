@@ -2,12 +2,21 @@
 
     A round trip costs one RTT plus payload transfer time.  The default RTT
     is 0.5 ms, matching the paper's same-datacenter setting; the scaling
-    experiment (Fig. 9) sweeps it to 1 ms and 10 ms. *)
+    experiment (Fig. 9) sweeps it to 1 ms and 10 ms.
+
+    A {!Fault.t} may be installed on the link; {!round_trip} then consults
+    it for every trip and raises {!Injected} (after charging the wasted wire
+    time) when the trip fails.  With no fault state installed — or an
+    all-zero plan — the link behaves exactly as before. *)
 
 type t
 
+exception Injected of Fault.failure
+(** A consulted fault plan killed the round trip.  The time lost to the
+    failure has already been charged to the clock when this is raised. *)
+
 val create : ?rtt_ms:float -> ?bandwidth_mb_s:float -> Vclock.t -> t
-(** Defaults: [rtt_ms = 0.5], [bandwidth_mb_s = 100.0]. *)
+(** Defaults: [rtt_ms = 0.5], [bandwidth_mb_s = 100.0], no fault state. *)
 
 val rtt_ms : t -> float
 val set_rtt_ms : t -> float -> unit
@@ -15,9 +24,23 @@ val set_rtt_ms : t -> float -> unit
 val clock : t -> Vclock.t
 val stats : t -> Stats.t
 
+val fault : t -> Fault.t option
+val set_fault : t -> Fault.t option -> unit
+
 val round_trip : t -> queries:int -> bytes:int -> unit
 (** Charge one round trip to the clock's Network category and record it in
-    the stats. *)
+    the stats.  With a fault plan installed, may raise {!Injected}. *)
+
+val deliver : t -> queries:int -> bytes:int -> extra_ms:float -> unit
+(** A round trip known to succeed: record and charge it, plus [extra_ms]
+    of injected latency.  Used by resilient drivers that consult the fault
+    plan themselves (they need the failure leg to decide whether server-side
+    work ran before the response was lost). *)
+
+val charge_failure : t -> queries:int -> bytes:int -> Fault.failure -> unit
+(** Record one failed attempt and charge the time it burned: the fault
+    plan's timeout for a drop, half an RTT for a reset, a full trip for a
+    transient server error.  No-op if no fault state is installed. *)
 
 val transfer_ms : t -> bytes:int -> float
 (** Payload transfer time only (no RTT), for diagnostics. *)

@@ -3,9 +3,19 @@ type t = {
   mutable queries : int;
   mutable bytes : int;
   mutable max_batch : int;
+  mutable faults : int;
+  mutable retries : int;
 }
 
-let create () = { round_trips = 0; queries = 0; bytes = 0; max_batch = 0 }
+let create () =
+  {
+    round_trips = 0;
+    queries = 0;
+    bytes = 0;
+    max_batch = 0;
+    faults = 0;
+    retries = 0;
+  }
 
 let record_round_trip t ~queries ~bytes =
   t.round_trips <- t.round_trips + 1;
@@ -13,17 +23,26 @@ let record_round_trip t ~queries ~bytes =
   t.bytes <- t.bytes + bytes;
   if queries > t.max_batch then t.max_batch <- queries
 
+let record_fault t = t.faults <- t.faults + 1
+let record_retry t = t.retries <- t.retries + 1
+
 let round_trips t = t.round_trips
 let queries t = t.queries
 let bytes t = t.bytes
 let max_batch t = t.max_batch
+let faults t = t.faults
+let retries t = t.retries
 
 let reset t =
   t.round_trips <- 0;
   t.queries <- 0;
   t.bytes <- 0;
-  t.max_batch <- 0
+  t.max_batch <- 0;
+  t.faults <- 0;
+  t.retries <- 0
 
 let pp ppf t =
   Format.fprintf ppf "round-trips=%d queries=%d bytes=%d max-batch=%d"
-    t.round_trips t.queries t.bytes t.max_batch
+    t.round_trips t.queries t.bytes t.max_batch;
+  if t.faults > 0 || t.retries > 0 then
+    Format.fprintf ppf " faults=%d retries=%d" t.faults t.retries

@@ -12,12 +12,21 @@ val create : unit -> t
 val record_round_trip : t -> queries:int -> bytes:int -> unit
 (** One wire round trip carrying [queries] statements and [bytes] payload. *)
 
+val record_fault : t -> unit
+(** One injected fault (the round trip it killed is recorded separately). *)
+
+val record_retry : t -> unit
+(** The driver decided to retry a failed round trip. *)
+
 val round_trips : t -> int
 val queries : t -> int
 val bytes : t -> int
 
 val max_batch : t -> int
 (** Largest number of queries carried by a single round trip. *)
+
+val faults : t -> int
+val retries : t -> int
 
 val reset : t -> unit
 

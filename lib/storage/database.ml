@@ -50,6 +50,23 @@ let row_count t name =
 
 let in_txn t = t.txn <> None
 
+let atomically t f =
+  match t.txn with
+  | Some _ -> f () (* the client's transaction already provides atomicity *)
+  | None ->
+      let txn = Txn.create () in
+      t.txn <- Some txn;
+      let finish () = t.txn <- None in
+      (match f () with
+      | v ->
+          Txn.commit txn;
+          finish ();
+          v
+      | exception e ->
+          Txn.rollback txn;
+          finish ();
+          raise e)
+
 let catalog t : Executor.catalog =
   {
     find_table = (fun name -> Hashtbl.find_opt t.tables name);

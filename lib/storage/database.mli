@@ -31,6 +31,14 @@ val row_count : t -> string -> int
 
 val in_txn : t -> bool
 
+val atomically : t -> (unit -> 'a) -> 'a
+(** Run [f] atomically: if no client transaction is open, an implicit one
+    wraps the call — committed when [f] returns, rolled back (undoing every
+    mutation [f] made, most recent first) when it raises.  Inside an open
+    client transaction [f] just runs: the client's own COMMIT / ROLLBACK
+    decides.  Charges no execution cost; the batch driver uses this to make
+    a multi-statement flush all-or-nothing. *)
+
 val exec : t -> Sloth_sql.Ast.stmt -> outcome
 (** Execute any statement, including BEGIN / COMMIT / ROLLBACK.  Outside an
     explicit transaction, writes are autocommitted.  Raises {!Sql_error} on

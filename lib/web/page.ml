@@ -12,6 +12,8 @@ type metrics = {
   round_trips : int;
   queries : int;
   max_batch : int;
+  faults : int;
+  retries : int;
   thunk_allocs : int;
   thunk_forces : int;
 }
@@ -39,6 +41,8 @@ let load ~name ~clock ~link ~controller () =
     round_trips = Stats.round_trips stats;
     queries = Stats.queries stats;
     max_batch = Stats.max_batch stats;
+    faults = Stats.faults stats;
+    retries = Stats.retries stats;
     thunk_allocs = Sloth_core.Runtime.allocs ();
     thunk_forces = Sloth_core.Runtime.forces ();
   }

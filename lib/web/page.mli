@@ -12,6 +12,8 @@ type metrics = {
   round_trips : int;
   queries : int;
   max_batch : int;  (** largest number of queries in one round trip *)
+  faults : int;  (** injected wire faults survived during the load *)
+  retries : int;  (** round-trip retries the driver performed *)
   thunk_allocs : int;
   thunk_forces : int;
 }

@@ -216,7 +216,8 @@ let test_tracer_events () =
         | Query_store.Dedup_hit _ -> "dup"
         | Query_store.Write_through _ -> "write"
         | Query_store.Batch_sent b -> Printf.sprintf "batch%d" (List.length b)
-        | Query_store.Result_served _ -> "cached")
+        | Query_store.Result_served _ -> "cached"
+        | Query_store.Query_poisoned _ -> "poison")
       !events
   in
   Alcotest.(check (list string)) "event sequence"

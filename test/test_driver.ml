@@ -88,6 +88,19 @@ let test_server_error_still_costs () =
   Alcotest.(check int) "failed trip recorded" 1
     (Stats.round_trips (Link.stats link))
 
+let test_batch_error_still_costs () =
+  let _db, clock, link, conn = setup () in
+  (match
+     Conn.execute_batch_sql conn
+       [ "SELECT * FROM t WHERE id = 1"; "SELECT * FROM missing" ]
+   with
+  | exception Conn.Server_error _ -> ()
+  | _ -> Alcotest.fail "expected server error");
+  Alcotest.(check int) "failed trip recorded" 1
+    (Stats.round_trips (Link.stats link));
+  Alcotest.(check bool) "network time charged" true
+    (Vclock.elapsed clock Vclock.Network >= 0.5)
+
 let test_payload_grows_with_result () =
   let _db, _clock, link, conn = setup () in
   ignore (Conn.execute_sql conn "SELECT * FROM t WHERE id = 1");
@@ -135,6 +148,8 @@ let () =
         [
           Alcotest.test_case "one trip" `Quick test_batch_one_trip;
           Alcotest.test_case "empty batch" `Quick test_empty_batch;
+          Alcotest.test_case "batch error costs" `Quick
+            test_batch_error_still_costs;
           Alcotest.test_case "parallel reads" `Quick
             test_batch_reads_parallel_writes_serial;
           Alcotest.test_case "order preserved" `Quick test_batch_preserves_order;

@@ -1,0 +1,355 @@
+(* Tests for the fault-injection layer and the resilient driver: seeded
+   determinism, scripted fault windows, wire-time accounting of failures,
+   retry/backoff, the circuit breaker, exactly-once write batches, and the
+   query store's graceful batch degradation. *)
+
+module Db = Sloth_storage.Database
+module Rs = Sloth_storage.Result_set
+module Vclock = Sloth_net.Vclock
+module Stats = Sloth_net.Stats
+module Link = Sloth_net.Link
+module Fault = Sloth_net.Fault
+module Conn = Sloth_driver.Connection
+module Qs = Sloth_core.Query_store
+
+let feq = Alcotest.(check (float 1e-6))
+
+let setup ?(rtt_ms = 0.5) () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE t (id INT NOT NULL, v TEXT NOT NULL, PRIMARY KEY (id))");
+  for i = 1 to 50 do
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf "INSERT INTO t (id, v) VALUES (%d, 'v%d')" i i))
+  done;
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms clock in
+  (db, clock, link, Conn.create db link)
+
+let install link plan =
+  let f = Fault.create plan in
+  Link.set_fault link (Some f);
+  f
+
+(* --- the fault plan itself ----------------------------------------------- *)
+
+let test_plan_determinism () =
+  let sequence () =
+    let f = Fault.create (Fault.uniform ~seed:7 0.3) in
+    List.init 200 (fun _ -> Fault.decide f)
+  in
+  Alcotest.(check bool)
+    "same seed, same fault sequence" true
+    (sequence () = sequence ())
+
+let test_quiet_plan_always_delivers () =
+  let f = Fault.create (Fault.plan ()) in
+  for _ = 1 to 100 do
+    match Fault.decide f with
+    | Fault.Deliver extra -> feq "no extra latency" 0.0 extra
+    | Fault.Fail _ -> Alcotest.fail "quiet plan injected a failure"
+  done;
+  Alcotest.(check int) "trips counted" 100 (Fault.trips f);
+  Alcotest.(check int) "nothing injected" 0 (Fault.injected f)
+
+let test_scripted_window () =
+  let f = Fault.create (Fault.plan ()) in
+  Fault.script f ~first:2 ~last:3 Fault.Drop Fault.Response;
+  let decisions = List.init 4 (fun _ -> Fault.decide f) in
+  (match decisions with
+  | [ Fault.Deliver _; Fault.Fail (Fault.Drop, Fault.Response);
+      Fault.Fail (Fault.Drop, Fault.Response); Fault.Deliver _ ] ->
+      ()
+  | _ -> Alcotest.fail "scripted window did not fire on trips 2-3");
+  Alcotest.(check int) "two drops" 2 (Fault.count f Fault.Drop);
+  Alcotest.(check int) "injected total" 2 (Fault.injected f)
+
+(* --- the link under faults ----------------------------------------------- *)
+
+let test_rate_zero_timing_identical () =
+  let run with_fault =
+    let clock = Vclock.create () in
+    let link = Link.create ~rtt_ms:2.0 clock in
+    if with_fault then ignore (install link (Fault.plan ()));
+    Link.round_trip link ~queries:3 ~bytes:4096;
+    Link.round_trip link ~queries:1 ~bytes:128;
+    (Vclock.elapsed clock Vclock.Network, Stats.faults (Link.stats link))
+  in
+  let plain_ms, _ = run false in
+  let quiet_ms, quiet_faults = run true in
+  feq "network time identical" plain_ms quiet_ms;
+  Alcotest.(check int) "no faults recorded" 0 quiet_faults
+
+let test_drop_charges_timeout () =
+  let clock = Vclock.create () in
+  let link = Link.create ~rtt_ms:0.5 clock in
+  let f = install link (Fault.plan ()) in
+  Fault.script f ~first:1 ~last:1 Fault.Drop Fault.Request;
+  (match Link.round_trip link ~queries:1 ~bytes:100 with
+  | () -> Alcotest.fail "expected Link.Injected"
+  | exception Link.Injected Fault.Drop -> ());
+  feq "timeout burned" (Fault.timeout_ms f) (Vclock.elapsed clock Vclock.Network);
+  Alcotest.(check int) "attempt recorded" 1 (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "fault recorded" 1 (Stats.faults (Link.stats link))
+
+(* --- retry machinery ------------------------------------------------------ *)
+
+let test_retry_recovers () =
+  let _db, clock, link, conn = setup () in
+  let f = install link (Fault.plan ()) in
+  Fault.script f ~first:1 ~last:1 Fault.Drop Fault.Request;
+  let outcome = Conn.execute_sql conn "SELECT * FROM t WHERE id = 1" in
+  Alcotest.(check int) "row served" 1 (Rs.num_rows outcome.rs);
+  Alcotest.(check int) "one retry" 1 (Stats.retries (Link.stats link));
+  Alcotest.(check int) "both attempts counted" 2
+    (Stats.round_trips (Link.stats link));
+  Alcotest.(check bool) "timeout + backoff + trip charged" true
+    (Vclock.elapsed clock Vclock.Network
+    >= Fault.timeout_ms f +. 1.0 +. 0.5);
+  Alcotest.(check bool) "breaker closed after success" true
+    (Conn.breaker_state conn = `Closed)
+
+let test_retries_exhausted () =
+  let _db, _clock, link, conn = setup () in
+  ignore (install link (Fault.plan ~drop_p:1.0 ()));
+  (match Conn.execute_sql conn "SELECT * FROM t WHERE id = 1" with
+  | _ -> Alcotest.fail "expected Retries_exhausted"
+  | exception Conn.Retries_exhausted { attempts; last } ->
+      Alcotest.(check int) "budget spent" 4 attempts;
+      Alcotest.(check string) "drop named" "drop" last);
+  Alcotest.(check int) "all attempts on the wire" 4
+    (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "retries between attempts" 3
+    (Stats.retries (Link.stats link));
+  Alcotest.(check int) "faults recorded" 4 (Stats.faults (Link.stats link))
+
+let test_backoff_growth () =
+  let _db, clock, link, conn = setup () in
+  Conn.set_retry_policy conn
+    {
+      Conn.Retry_policy.default with
+      max_attempts = 5;
+      backoff_base_ms = 1.0;
+      backoff_max_ms = 8.0;
+      jitter = 0.0;
+    };
+  let f = install link (Fault.plan ~drop_p:1.0 ()) in
+  (match Conn.execute_sql conn "SELECT * FROM t WHERE id = 1" with
+  | _ -> Alcotest.fail "expected Retries_exhausted"
+  | exception Conn.Retries_exhausted _ -> ());
+  (* 5 dropped attempts burn the timeout each; the backoffs between them
+     double from the base to the cap: 1 + 2 + 4 + 8. *)
+  feq "exponential backoff, capped"
+    ((5.0 *. Fault.timeout_ms f) +. 1.0 +. 2.0 +. 4.0 +. 8.0)
+    (Vclock.elapsed clock Vclock.Network)
+
+let test_circuit_breaker () =
+  let _db, clock, link, conn = setup () in
+  Conn.set_retry_policy conn
+    {
+      Conn.Retry_policy.no_retry with
+      breaker_threshold = 2;
+      breaker_cooldown_ms = 100.0;
+    };
+  let f = install link (Fault.plan ~drop_p:1.0 ()) in
+  let expect_exhausted () =
+    match Conn.execute_sql conn "SELECT * FROM t WHERE id = 1" with
+    | _ -> Alcotest.fail "expected Retries_exhausted"
+    | exception Conn.Retries_exhausted { last; _ } -> last
+  in
+  ignore (expect_exhausted ());
+  Alcotest.(check bool) "one failure: still closed" true
+    (Conn.breaker_state conn = `Closed);
+  ignore (expect_exhausted ());
+  Alcotest.(check bool) "threshold reached: open" true
+    (Conn.breaker_state conn = `Open);
+  (* While open, calls fail fast: no fault consulted, no wire time. *)
+  let trips_before = Fault.trips f in
+  Alcotest.(check string) "failed fast" "circuit open" (expect_exhausted ());
+  Alcotest.(check int) "no trip attempted" trips_before (Fault.trips f);
+  (* After the cooldown a half-open probe goes through; a healthy link
+     closes the breaker again. *)
+  Vclock.advance clock Vclock.App 150.0;
+  Link.set_fault link (Some (Fault.create (Fault.plan ())));
+  let outcome = Conn.execute_sql conn "SELECT * FROM t WHERE id = 1" in
+  Alcotest.(check int) "probe served" 1 (Rs.num_rows outcome.rs);
+  Alcotest.(check bool) "breaker closed again" true
+    (Conn.breaker_state conn = `Closed)
+
+(* --- exactly-once writes -------------------------------------------------- *)
+
+let test_write_exactly_once_with_token () =
+  let db, _clock, link, conn = setup () in
+  let f = install link (Fault.plan ()) in
+  Fault.script f ~first:1 ~last:1 Fault.Drop Fault.Response;
+  (* The first attempt executes server-side but its response is lost; the
+     retransmission must be answered from the idempotency table, not
+     re-applied. *)
+  let outcomes =
+    Conn.execute_batch ~token:"batch-1" conn
+      [ Sloth_sql.Parser.parse "INSERT INTO t (id, v) VALUES (60, 'v60')" ]
+  in
+  Alcotest.(check int) "one outcome" 1 (List.length outcomes);
+  Alcotest.(check int) "one retry" 1 (Stats.retries (Link.stats link));
+  let count = (Db.exec_sql db "SELECT * FROM t WHERE id = 60").rs in
+  Alcotest.(check int) "row applied exactly once" 1 (Rs.num_rows count)
+
+let test_write_double_applies_without_token () =
+  let db, _clock, link, conn = setup () in
+  let f = install link (Fault.plan ()) in
+  Fault.script f ~first:1 ~last:1 Fault.Drop Fault.Response;
+  (* Same lost response, but no idempotency token: the retransmission
+     re-executes the INSERT and collides with the first application's
+     primary key.  This is the hazard the token exists to remove. *)
+  (match
+     Conn.execute_batch conn
+       [ Sloth_sql.Parser.parse "INSERT INTO t (id, v) VALUES (61, 'v61')" ]
+   with
+  | _ -> Alcotest.fail "expected a duplicate-key Server_error"
+  | exception Conn.Server_error _ -> ());
+  let count = (Db.exec_sql db "SELECT * FROM t WHERE id = 61").rs in
+  Alcotest.(check int) "first application stuck" 1 (Rs.num_rows count)
+
+(* --- empty batches under a fault plan ------------------------------------- *)
+
+let test_empty_batch_no_fault_consulted () =
+  let _db, clock, link, conn = setup () in
+  let f = install link (Fault.plan ~drop_p:1.0 ()) in
+  let before = Vclock.total clock in
+  Alcotest.(check int) "no outcomes" 0 (List.length (Conn.execute_batch conn []));
+  Alcotest.(check int) "no trip" 0 (Stats.round_trips (Link.stats link));
+  Alcotest.(check int) "fault plan untouched" 0 (Fault.trips f);
+  feq "no time" before (Vclock.total clock)
+
+(* --- query store degradation ---------------------------------------------- *)
+
+let store_setup () =
+  let _db, clock, link, conn = setup () in
+  (clock, link, Qs.create conn)
+
+let test_bisection_isolates_poison () =
+  let _clock, _link, store = store_setup () in
+  let good =
+    List.init 7 (fun i ->
+        Qs.register_sql store
+          (Printf.sprintf "SELECT * FROM t WHERE id = %d" (i + 1)))
+  in
+  let poison = Qs.register_sql store "SELECT * FROM missing" in
+  (* Demanding any result ships the batch; the server rejects it, and
+     bisection pins the failure on the poison query alone. *)
+  List.iteri
+    (fun i id ->
+      Alcotest.(check int)
+        (Printf.sprintf "read %d served" (i + 1))
+        1
+        (Rs.num_rows (Qs.result store id)))
+    good;
+  (match Qs.result store poison with
+  | _ -> Alcotest.fail "poison query should fail"
+  | exception Qs.Query_failed (_, _) -> ());
+  Alcotest.(check bool) "failure recorded" true
+    (Qs.error_of store poison <> None);
+  Alcotest.(check int) "one degraded batch" 1 (Qs.degraded_batches store);
+  Alcotest.(check int) "one poisoned query" 1 (Qs.poisoned store)
+
+let test_poisoned_query_not_deduped () =
+  let _clock, _link, store = store_setup () in
+  let poison = Qs.register_sql store "SELECT * FROM missing" in
+  (match Qs.result store poison with
+  | _ -> Alcotest.fail "poison query should fail"
+  | exception Qs.Query_failed (_, _) -> ());
+  (* Re-registering the failed SQL must open a fresh pending entry, not hit
+     the poisoned one. *)
+  let again = Qs.register_sql store "SELECT * FROM missing" in
+  Alcotest.(check int) "fresh pending entry" 1 (Qs.pending store);
+  Alcotest.(check bool) "new id unblemished" true
+    (Qs.error_of store again = None);
+  Alcotest.(check bool) "old id still failed" true
+    (Qs.error_of store poison <> None)
+
+let test_write_batch_failure_propagates () =
+  let _clock, _link, store = store_setup () in
+  let read = Qs.register_sql store "SELECT * FROM t WHERE id = 1" in
+  (* Registering a write flushes immediately; a bad write fails the whole
+     batch (it was rolled back server-side), so the pending read is marked
+     failed too. *)
+  (match Qs.register_sql store "UPDATE missing SET v = 'x' WHERE id = 1" with
+  | _ -> Alcotest.fail "write against a missing table should fail"
+  | exception Conn.Server_error _ -> ());
+  Alcotest.(check bool) "read marked failed" true
+    (Qs.error_of store read <> None);
+  match Qs.result store read with
+  | _ -> Alcotest.fail "lost read should raise"
+  | exception Qs.Query_failed (_, _) -> ()
+
+(* --- page loads under faults remain deterministic -------------------------- *)
+
+let test_seeded_load_deterministic () =
+  let app = Sloth_workload.App_sig.medrec in
+  let db = Sloth_harness.Runner.prepare app in
+  let load () =
+    let fault = Fault.create (Fault.uniform ~seed:11 0.1) in
+    match
+      Sloth_harness.Runner.load_sloth_result ~fault ~db ~rtt_ms:2.0 app
+        "patient_dashboard"
+    with
+    | Ok m -> (m.Sloth_web.Page.total_ms, m.faults, m.retries, m.html)
+    | Error e -> Alcotest.fail ("load aborted: " ^ e)
+  in
+  let t1, f1, r1, h1 = load () in
+  let t2, f2, r2, h2 = load () in
+  feq "same latency" t1 t2;
+  Alcotest.(check int) "same faults" f1 f2;
+  Alcotest.(check int) "same retries" r1 r2;
+  Alcotest.(check string) "same html" h1 h2
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "fault plan",
+        [
+          Alcotest.test_case "seeded determinism" `Quick test_plan_determinism;
+          Alcotest.test_case "quiet plan delivers" `Quick
+            test_quiet_plan_always_delivers;
+          Alcotest.test_case "scripted window" `Quick test_scripted_window;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "rate 0 timing identical" `Quick
+            test_rate_zero_timing_identical;
+          Alcotest.test_case "drop charges timeout" `Quick
+            test_drop_charges_timeout;
+        ] );
+      ( "retries",
+        [
+          Alcotest.test_case "recovers" `Quick test_retry_recovers;
+          Alcotest.test_case "budget exhausted" `Quick test_retries_exhausted;
+          Alcotest.test_case "backoff growth" `Quick test_backoff_growth;
+          Alcotest.test_case "circuit breaker" `Quick test_circuit_breaker;
+        ] );
+      ( "write batches",
+        [
+          Alcotest.test_case "exactly once with token" `Quick
+            test_write_exactly_once_with_token;
+          Alcotest.test_case "double-apply without token" `Quick
+            test_write_double_applies_without_token;
+          Alcotest.test_case "empty batch" `Quick
+            test_empty_batch_no_fault_consulted;
+        ] );
+      ( "query store degradation",
+        [
+          Alcotest.test_case "bisection isolates poison" `Quick
+            test_bisection_isolates_poison;
+          Alcotest.test_case "no dedup against failed" `Quick
+            test_poisoned_query_not_deduped;
+          Alcotest.test_case "write failure propagates" `Quick
+            test_write_batch_failure_propagates;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "seeded load deterministic" `Quick
+            test_seeded_load_deterministic;
+        ] );
+    ]

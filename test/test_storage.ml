@@ -452,6 +452,63 @@ let test_nested_txn_rejected () =
   | exception Database.Sql_error _ -> ()
   | _ -> Alcotest.fail "expected nested txn error"
 
+let test_atomically_commits () =
+  let db = make_db () in
+  Database.atomically db (fun () ->
+      ignore
+        (Database.exec_sql db "INSERT INTO users (id, name) VALUES (1, 'a')");
+      ignore
+        (Database.exec_sql db "INSERT INTO users (id, name) VALUES (2, 'b')"));
+  Alcotest.(check bool) "implicit txn closed" false (Database.in_txn db);
+  Alcotest.(check int) "both rows kept" 2 (Database.row_count db "users")
+
+let test_atomically_rolls_back_batch () =
+  let db = make_db () in
+  seed_users db 3;
+  (* A mid-batch failure must undo the insert, update and delete that the
+     batch already applied — in the right order. *)
+  (match
+     Database.atomically db (fun () ->
+         ignore
+           (Database.exec_sql db
+              "INSERT INTO users (id, name) VALUES (10, 'x')");
+         ignore (Database.exec_sql db "UPDATE users SET age = 1 WHERE id = 1");
+         ignore (Database.exec_sql db "DELETE FROM users WHERE id = 2");
+         ignore (Database.exec_sql db "SELECT * FROM missing"))
+   with
+  | () -> Alcotest.fail "expected the poison statement to fail"
+  | exception Database.Sql_error _ -> ());
+  Alcotest.(check bool) "implicit txn closed" false (Database.in_txn db);
+  Alcotest.(check int) "count restored" 3 (Database.row_count db "users");
+  let rs = Database.query db "SELECT age FROM users WHERE id = 1" in
+  Alcotest.(check string) "update undone" "21"
+    (Value.to_string (Result_set.cell rs ~row:0 "age"));
+  let rs = Database.query db "SELECT COUNT(*) FROM users WHERE id = 2" in
+  Alcotest.(check bool) "delete undone" true
+    (Result_set.scalar rs = Some (v_int 1));
+  let rs = Database.query db "SELECT COUNT(*) FROM users WHERE id = 10" in
+  Alcotest.(check bool) "insert undone" true
+    (Result_set.scalar rs = Some (v_int 0))
+
+let test_atomically_transparent_inside_client_txn () =
+  let db = make_db () in
+  ignore (Database.exec_sql db "BEGIN");
+  (match
+     Database.atomically db (fun () ->
+         ignore
+           (Database.exec_sql db "INSERT INTO users (id, name) VALUES (1, 'a')");
+         raise Exit)
+   with
+  | () -> Alcotest.fail "expected Exit"
+  | exception Exit -> ());
+  (* Inside a client transaction [atomically] defers entirely to it: the
+     failure above must not undo anything — only the client may decide. *)
+  Alcotest.(check bool) "client txn still open" true (Database.in_txn db);
+  Alcotest.(check int) "insert still visible" 1 (Database.row_count db "users");
+  ignore (Database.exec_sql db "ROLLBACK");
+  Alcotest.(check int) "client rollback undoes it" 0
+    (Database.row_count db "users")
+
 (* --- properties -------------------------------------------------------- *)
 
 (* A naive reference implementation of single-table SELECT semantics:
@@ -697,6 +754,11 @@ let () =
           Alcotest.test_case "commit" `Quick test_txn_commit;
           Alcotest.test_case "rollback" `Quick test_txn_rollback;
           Alcotest.test_case "nested rejected" `Quick test_nested_txn_rejected;
+          Alcotest.test_case "atomically commits" `Quick test_atomically_commits;
+          Alcotest.test_case "atomically rolls back" `Quick
+            test_atomically_rolls_back_batch;
+          Alcotest.test_case "atomically in client txn" `Quick
+            test_atomically_transparent_inside_client_txn;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Tier-1 gate: the whole build and every test suite must pass.
+set -e
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
