@@ -2,12 +2,15 @@
    paper's evaluation section, plus wall-clock microbenchmarks of the thunk
    machinery (Bechamel).
 
-   Usage: main.exe [experiment ...] [--faults RATE]
+   Usage: main.exe [experiment ...] [--faults RATE] [--crash RATE]
+          [--checkpoint-every N]
    Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 chaos
-   appendix micro.  With no argument everything except `appendix` runs (the
-   appendix tables are long; they are included in `all`).  [--faults RATE]
-   appends a one-line chaos summary at that fault rate (alone, it runs only
-   that summary). *)
+   recovery appendix micro.  With no argument everything except `recovery`
+   runs (the crash-point sweep also writes BENCH_recovery.json; run it
+   explicitly).  [--faults RATE] appends a one-line chaos summary at that
+   fault rate (alone, it runs only that summary); [--crash RATE] likewise
+   appends a one-line recovery summary with random server crashes at that
+   rate, checkpointing every N commits (default 4). *)
 
 open Sloth_harness
 
@@ -109,6 +112,7 @@ let experiments =
     ("prefetch", Baselines.prefetch_compare);
     ("policies", Baselines.flush_policies);
     ("chaos", Chaos.chaos);
+    ("recovery", fun () -> Recovery.recovery ~json:"BENCH_recovery.json" ());
     ("appendix", Page_experiments.appendix);
     ("micro", micro);
   ]
@@ -118,6 +122,8 @@ let () =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
   let faults = ref None in
+  let crash = ref None in
+  let checkpoint_every = ref None in
   let rec strip = function
     | [] -> []
     | [ "--faults" ] ->
@@ -131,14 +137,40 @@ let () =
         | None ->
             prerr_endline "--faults needs a numeric rate";
             exit 1)
+    | [ "--crash" ] ->
+        prerr_endline "--crash needs a numeric rate";
+        exit 1
+    | "--crash" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some v ->
+            crash := Some v;
+            strip rest
+        | None ->
+            prerr_endline "--crash needs a numeric rate";
+            exit 1)
+    | [ "--checkpoint-every" ] ->
+        prerr_endline "--checkpoint-every needs an integer";
+        exit 1
+    | "--checkpoint-every" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v ->
+            checkpoint_every := Some v;
+            strip rest
+        | None ->
+            prerr_endline "--checkpoint-every needs an integer";
+            exit 1)
     | x :: rest -> x :: strip rest
   in
   let names = strip args in
   let requested =
-    match (names, !faults) with
-    | [], Some _ -> [] (* the knob alone: just the tracked summary *)
-    | [], None -> List.map fst experiments
-    | names, _ -> names
+    match (names, !faults, !crash) with
+    | [], Some _, _ | [], _, Some _ ->
+        [] (* a knob alone: just its tracked summary *)
+    | [], None, None ->
+        (* `recovery` is opt-in: the default run's output must not change
+           when the durability subsystem is idle *)
+        List.filter (fun n -> n <> "recovery") (List.map fst experiments)
+    | names, _, _ -> names
   in
   List.iter
     (fun name ->
@@ -149,4 +181,7 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 1)
     requested;
-  Option.iter (fun rate -> Chaos.tracked ~rate ()) !faults
+  Option.iter (fun rate -> Chaos.tracked ~rate ()) !faults;
+  Option.iter
+    (fun rate -> Recovery.tracked ~crash:rate ?checkpoint_every:!checkpoint_every ())
+    !crash

@@ -293,6 +293,7 @@ let exp_cmd =
       ("fig12", Sloth_harness.Ablation.fig12);
       ("fig13", Sloth_harness.Overhead.fig13);
       ("chaos", Sloth_harness.Chaos.chaos);
+      ("recovery", fun () -> Sloth_harness.Recovery.recovery ());
       ("appendix", Sloth_harness.Page_experiments.appendix);
     ]
   in
@@ -300,12 +301,37 @@ let exp_cmd =
     Arg.(
       required
       & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) experiments))) None
-      & info [] ~docv:"EXPERIMENT" ~doc:"fig5..fig13, chaos or appendix.")
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"fig5..fig13, chaos, recovery or appendix.")
   in
-  let run name = (List.assoc name experiments) () in
+  let crash_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "crash" ] ~docv:"RATE"
+          ~doc:
+            "Instead of the named experiment's full sweep, print a one-line \
+             recovery summary with random server crashes at $(docv) per \
+             round trip (only meaningful with the recovery experiment).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Checkpoint interval, in commits, for --crash runs (default 4; \
+             0 disables checkpoints so recovery replays the whole log).")
+  in
+  let run name crash checkpoint_every =
+    match (name, crash) with
+    | "recovery", Some rate ->
+        Sloth_harness.Recovery.tracked ~crash:rate ?checkpoint_every ()
+    | _ -> (List.assoc name experiments) ()
+  in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run one of the paper's experiments.")
-    Term.(const run $ name_arg)
+    Term.(const run $ name_arg $ crash_arg $ checkpoint_arg)
 
 let () =
   let info =

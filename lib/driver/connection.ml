@@ -42,6 +42,12 @@ type t = {
   applied : (string, Db.outcome list) Hashtbl.t;
       (* server-side idempotency table: token -> outcomes of the already
          processed batch, replayed instead of re-executed on retry *)
+  applied_order : string Queue.t;  (* FIFO of cached tokens, for eviction *)
+  mutable applied_capacity : int;
+  admitted : (string, unit) Hashtbl.t;
+      (* every token the server ever accepted (cheap: strings only) — lets
+         it distinguish "brand-new token" from "token whose cached outcome
+         was evicted", which must NOT be silently re-applied *)
   jitter_rng : Random.State.t;
 }
 
@@ -60,6 +66,9 @@ let create db link =
     breaker = Closed;
     consecutive_failures = 0;
     applied = Hashtbl.create 16;
+    applied_order = Queue.create ();
+    applied_capacity = 512;
+    admitted = Hashtbl.create 16;
     jitter_rng = Random.State.make [| 0x5107 |];
   }
 
@@ -75,6 +84,37 @@ let breaker_state t =
   | Closed -> `Closed
   | Open_until _ -> `Open
   | Half_open -> `Half_open
+
+let idempotency_window t = t.applied_capacity
+
+let set_idempotency_window t n =
+  if n < 1 then invalid_arg "Connection.set_idempotency_window";
+  t.applied_capacity <- n;
+  while Queue.length t.applied_order > n do
+    Hashtbl.remove t.applied (Queue.pop t.applied_order)
+  done
+
+(* FIFO eviction keeps the outcome cache bounded; [admitted] keeps only the
+   token strings, so an evicted token retransmitted later is answered with
+   an error instead of being silently applied a second time. *)
+let remember_applied t k outcomes =
+  if not (Hashtbl.mem t.applied k) then begin
+    Queue.push k t.applied_order;
+    while Queue.length t.applied_order > t.applied_capacity do
+      Hashtbl.remove t.applied (Queue.pop t.applied_order)
+    done
+  end;
+  Hashtbl.replace t.applied k outcomes;
+  Hashtbl.replace t.admitted k ()
+
+(* The server process dies: its idempotency cache is volatile and vanishes
+   with it; the database recovers from checkpoint + WAL (or is wiped, if
+   durability is off). *)
+let server_crash t =
+  Db.crash_restart t.db;
+  Hashtbl.reset t.applied;
+  Queue.clear t.applied_order;
+  Hashtbl.reset t.admitted
 
 let request_bytes stmts =
   List.fold_left
@@ -134,10 +174,14 @@ let backoff t attempt =
    [(outcomes, db_ms, rows, response_bytes)]; it is called with
    [observed:false] when the response leg fails after the server processed
    the request — the work happens (and any idempotency token is recorded)
-   but the client sees only its timeout.  A [Db.Sql_error] from [run] is a
-   real server answer, not an infrastructure fault: it is never retried and
-   costs the round trip plus [error_db_ms]. *)
-let resilient t fault ~queries ~req_bytes ~error_db_ms ~run =
+   but the client sees only its timeout.  [partial k] simulates the server
+   dying between statement [k] and [k+1] of the batch: the statements run
+   inside a transaction that is never committed, so nothing reaches the
+   WAL.  A [Db.Sql_error] from [run] is a real server answer, not an
+   infrastructure fault: it is never retried and costs the round trip plus
+   [error_db_ms]. *)
+let resilient ?(partial = fun _ -> ()) t fault ~queries ~req_bytes ~error_db_ms
+    ~run =
   let rec go attempt =
     breaker_check t ~attempt;
     match Fault.decide fault with
@@ -157,10 +201,22 @@ let resilient t fault ~queries ~req_bytes ~error_db_ms ~run =
             breaker_success t;
             raise (Server_error msg))
     | Fault.Fail (failure, leg) ->
-        (if leg = Fault.Response then
-           (* The request reached the server and was executed; only the
-              reply vanished.  An error reply is lost along with it. *)
-           try ignore (run ~observed:false) with Db.Sql_error _ -> ());
+        (match (failure, leg) with
+        | Fault.Server_crash, leg ->
+            (* How much of the request the server executed before dying
+               depends on the leg it crashed on; either way the process is
+               gone afterwards and restarts into recovery. *)
+            (match leg with
+            | Fault.Request -> ()
+            | Fault.Mid_batch k -> partial k
+            | Fault.Response -> (
+                try ignore (run ~observed:false) with Db.Sql_error _ -> ()));
+            server_crash t
+        | _, Fault.Response -> (
+            (* The request reached the server and was executed; only the
+               reply vanished.  An error reply is lost along with it. *)
+            try ignore (run ~observed:false) with Db.Sql_error _ -> ())
+        | _, (Fault.Request | Fault.Mid_batch _) -> ());
         Link.charge_failure t.link ~queries ~bytes:req_bytes failure;
         breaker_failure t;
         if attempt >= t.retry.max_attempts then
@@ -220,6 +276,19 @@ let is_txn_control = function
       true
   | _ -> false
 
+(* Execute the first [k] statements of a batch inside a transaction that is
+   never committed — the shape of a server that died mid-batch.  None of
+   the work reaches the WAL (redo records are emitted at commit), so
+   recovery lands on the pre-batch state. *)
+let abandoned_exec t stmts k =
+  let k = min k (List.length stmts) in
+  if k > 0 && not (List.exists is_txn_control stmts) then begin
+    try
+      ignore (Db.exec t.db Sloth_sql.Ast.Begin_txn);
+      List.iteri (fun i s -> if i < k then ignore (Db.exec t.db s)) stmts
+    with Db.Sql_error _ -> ()
+  end
+
 (* Server-side execution of a batch: reads run in parallel, writes
    sequentially.  A write-containing batch (without explicit transaction
    control) executes atomically — a mid-batch error rolls every earlier
@@ -240,16 +309,38 @@ let run_batch t stmts ~token () =
       in
       (* replay: the server just looks the batch up *)
       (outcomes, (Db.cost_model t.db).fixed_ms, rows, resp)
+  | Some k when Db.token_applied t.db k ->
+      (* The outcome cache died with the server, but the WAL proves the
+         batch committed: acknowledge without re-executing.  The original
+         result sets are gone — a durable ack carries only "applied". *)
+      let ack =
+        List.map
+          (fun _ : Db.outcome ->
+            {
+              Db.rs = Rs.empty;
+              rows_affected = 0;
+              cost_ms = (Db.cost_model t.db).fixed_ms;
+            })
+          stmts
+      in
+      (ack, (Db.cost_model t.db).fixed_ms, 0, 16)
+  | Some k when Hashtbl.mem t.admitted k ->
+      (* The token was seen before but its outcome was evicted from the
+         bounded window and no durable record exists.  Re-applying would
+         break exactly-once; answering from thin air would lie.  Refuse. *)
+      raise
+        (Db.Sql_error
+           (Printf.sprintf "idempotency replay-window miss for token %s" k))
   | _ ->
       let has_write = List.exists Sloth_sql.Ast.is_write stmts in
       let exec_all () = List.map (fun s -> Db.exec t.db s) stmts in
       let outcomes =
         if has_write && not (List.exists is_txn_control stmts) then
-          Db.atomically t.db exec_all
+          Db.atomically ?token t.db exec_all
         else exec_all ()
       in
       (match token with
-      | Some k when has_write -> Hashtbl.replace t.applied k outcomes
+      | Some k when has_write -> remember_applied t k outcomes
       | _ -> ());
       (* Reads run in parallel on the server; writes run sequentially. *)
       let read_costs, write_cost =
@@ -294,6 +385,7 @@ let execute_batch ?token t stmts =
               raise (Server_error msg))
       | Some fault ->
           resilient t fault ~queries:nq ~req_bytes ~error_db_ms:0.0
+            ~partial:(fun k -> abandoned_exec t stmts k)
             ~run:(fun ~observed:_ -> run ()))
 
 let execute_batch_sql t sqls =

@@ -77,6 +77,24 @@ val set_retry_policy : t -> Retry_policy.t -> unit
 val breaker_state : t -> [ `Closed | `Open | `Half_open ]
 (** Current circuit-breaker state, for tests and diagnostics. *)
 
+val idempotency_window : t -> int
+(** Capacity of the server's idempotency outcome cache (default 512). *)
+
+val set_idempotency_window : t -> int -> unit
+(** Bound the idempotency table: when more than this many tokens are
+    cached, the oldest (FIFO) are evicted.  A retransmission of an evicted
+    token whose batch has no durable WAL record is answered with a
+    {!Server_error} ("replay-window miss") rather than silently re-applied
+    — an exactly-once guarantee the server can no longer honour must fail
+    loudly.  Raises [Invalid_argument] for [n < 1]. *)
+
+val server_crash : t -> unit
+(** Simulate the server process dying and restarting: the volatile
+    idempotency cache is lost and the database recovers from its
+    checkpoint + WAL ({!Sloth_storage.Database.crash_restart}).  Injected
+    automatically when an installed fault plan decides
+    [Fail (Server_crash, _)]; exposed for tests and experiments. *)
+
 val execute : t -> Sloth_sql.Ast.stmt -> Sloth_storage.Database.outcome
 val execute_sql : t -> string -> Sloth_storage.Database.outcome
 

@@ -1,0 +1,370 @@
+module Db = Sloth_storage.Database
+module Wal = Sloth_storage.Wal
+module Vclock = Sloth_net.Vclock
+module Link = Sloth_net.Link
+module Fault = Sloth_net.Fault
+module Conn = Sloth_driver.Connection
+
+let rtt_ms = 2.0
+
+(* --- the chaos write workload -------------------------------------------- *)
+
+let seed_sql =
+  "CREATE TABLE kv (id INT NOT NULL, v TEXT NOT NULL, n INT NOT NULL, \
+   PRIMARY KEY (id))"
+  :: List.init 20 (fun i ->
+         Printf.sprintf "INSERT INTO kv (id, v, n) VALUES (%d, 'r%d', %d)"
+           (i + 1) (i + 1)
+           ((i + 1) * 10))
+
+(* Each batch is a multi-statement write transaction; together they walk the
+   table through inserts, updates and deletes so every crash point lands on
+   a different shape of redo log. *)
+let batches_sql =
+  [
+    [
+      "INSERT INTO kv (id, v, n) VALUES (21, 'n21', 210)";
+      "UPDATE kv SET v = 'u1' WHERE id = 1";
+      "UPDATE kv SET n = 2000 WHERE id = 2";
+    ];
+    [
+      "DELETE FROM kv WHERE id = 3";
+      "INSERT INTO kv (id, v, n) VALUES (22, 'n22', 220)";
+      "UPDATE kv SET n = 999 WHERE id = 21";
+    ];
+    [
+      "UPDATE kv SET v = 'u4' WHERE id = 4";
+      "UPDATE kv SET v = 'u5' WHERE id = 5";
+      "DELETE FROM kv WHERE id = 6";
+      "INSERT INTO kv (id, v, n) VALUES (23, 'n23', 230)";
+    ];
+    [
+      "INSERT INTO kv (id, v, n) VALUES (24, 'n24', 240)";
+      "DELETE FROM kv WHERE id = 22";
+    ];
+    [
+      "UPDATE kv SET n = 77 WHERE id = 7";
+      "INSERT INTO kv (id, v, n) VALUES (25, 'n25', 250)";
+      "UPDATE kv SET v = 'u24' WHERE id = 24";
+    ];
+    [
+      "DELETE FROM kv WHERE id = 1";
+      "DELETE FROM kv WHERE id = 2";
+      "INSERT INTO kv (id, v, n) VALUES (26, 'n26', 260)";
+    ];
+    [
+      "UPDATE kv SET n = 1 WHERE id = 26";
+      "INSERT INTO kv (id, v, n) VALUES (27, 'n27', 270)";
+      "UPDATE kv SET v = 'u8' WHERE id = 8";
+    ];
+    [
+      "DELETE FROM kv WHERE id = 27";
+      "UPDATE kv SET v = 'u9' WHERE id = 9";
+      "INSERT INTO kv (id, v, n) VALUES (28, 'n28', 280)";
+      "UPDATE kv SET n = 100 WHERE id = 10";
+    ];
+  ]
+
+let parse sql =
+  match Sloth_sql.Parser.parse sql with
+  | stmt -> stmt
+  | exception Sloth_sql.Parser.Error msg ->
+      failwith ("recovery workload: " ^ msg)
+
+let batches = List.map (List.map parse) batches_sql
+let n_batches = List.length batches
+let token_of i = Printf.sprintf "rec-%d" i
+
+let seed_db db = List.iter (fun sql -> ignore (Db.exec_sql db sql)) seed_sql
+
+let durable_db ~checkpoint_every () =
+  let db = Db.create () in
+  Db.enable_durability ~checkpoint_every ~wal:(Wal.mem ())
+    ~checkpoint:(Wal.mem ()) db;
+  seed_db db;
+  db
+
+(* Fingerprints of the intended state after the seed and after each batch,
+   computed once on a plain fault-free database. *)
+let shadow_fps =
+  lazy
+    (let db = Db.create () in
+     seed_db db;
+     let fps = Array.make (n_batches + 1) "" in
+     fps.(0) <- Db.fingerprint db;
+     List.iteri
+       (fun i stmts ->
+         Db.atomically db (fun () ->
+             List.iter (fun s -> ignore (Db.exec db s)) stmts);
+         fps.(i + 1) <- Db.fingerprint db)
+       batches;
+     fps)
+
+(* --- one crash run -------------------------------------------------------- *)
+
+type verdict = {
+  recovered_to : [ `Pre | `Post | `Torn ];
+  resume_exact_once : bool;  (** re-driving the token converged on post *)
+  final_ok : bool;  (** the remaining batches landed on the shadow state *)
+  stats : Db.recovery_stats option;
+}
+
+(* Crash the server on batch [crash_at]'s round trip (on the given leg),
+   verify the recovered state is exactly pre- or post-batch, then reconnect
+   and re-drive the same idempotency token to completion. *)
+let crash_run ~checkpoint_every ~crash_at ~leg =
+  let shadow = Lazy.force shadow_fps in
+  let db = durable_db ~checkpoint_every () in
+  let link = Link.create ~rtt_ms (Vclock.create ()) in
+  let conn = Conn.create db link in
+  Conn.set_retry_policy conn Conn.Retry_policy.no_retry;
+  let run_batch conn i =
+    ignore
+      (Conn.execute_batch ~token:(token_of i) conn (List.nth batches i))
+  in
+  for i = 0 to crash_at - 1 do
+    run_batch conn i
+  done;
+  let pre = Db.fingerprint db in
+  let fault = Fault.create (Fault.plan ()) in
+  Fault.script fault ~first:1 ~last:1 Fault.Server_crash leg;
+  Link.set_fault link (Some fault);
+  let aborted =
+    match run_batch conn crash_at with
+    | () -> false
+    | exception Conn.Retries_exhausted _ -> true
+  in
+  assert aborted;
+  let stats = Db.last_recovery db in
+  let recovered = Db.fingerprint db in
+  let recovered_to =
+    if recovered = pre then `Pre
+    else if recovered = shadow.(crash_at + 1) then `Post
+    else `Torn
+  in
+  (* The client saw a timeout: it reconnects and retransmits the batch
+     under the same token.  Exactly-once demands this converges on the
+     post-batch state whether or not the crashed server had committed. *)
+  Link.set_fault link None;
+  let conn2 = Conn.create db link in
+  run_batch conn2 crash_at;
+  let resume_exact_once = Db.fingerprint db = shadow.(crash_at + 1) in
+  for i = crash_at + 1 to n_batches - 1 do
+    run_batch conn2 i
+  done;
+  let final_ok = Db.fingerprint db = shadow.(n_batches) in
+  { recovered_to; resume_exact_once; final_ok; stats }
+
+(* --- the experiment ------------------------------------------------------- *)
+
+let legs =
+  [
+    ("request", Fault.Request);
+    ("mid-batch 1", Fault.Mid_batch 1);
+    ("mid-batch 2", Fault.Mid_batch 2);
+    ("mid-batch all", Fault.Mid_batch 99);
+    ("response", Fault.Response);
+  ]
+
+let checkpoint_intervals = [ 1; 4; 0 ]
+
+type cell = {
+  ck : int;
+  leg_label : string;
+  runs : int;
+  pre : int;
+  post : int;
+  torn : int;
+  resume_ok : int;
+  final_ok : int;
+  mean_replayed_txns : float;
+  mean_wal_bytes : float;
+  mean_recovery_ms : float;
+}
+
+let run_cell ~ck ~leg_label ~leg =
+  let pre = ref 0
+  and post = ref 0
+  and torn = ref 0
+  and resume_ok = ref 0
+  and final_ok = ref 0
+  and replayed = ref 0
+  and wal_bytes = ref 0
+  and rec_ms = ref 0.0 in
+  for crash_at = 0 to n_batches - 1 do
+    let v = crash_run ~checkpoint_every:ck ~crash_at ~leg in
+    (match v.recovered_to with
+    | `Pre -> incr pre
+    | `Post -> incr post
+    | `Torn -> incr torn);
+    if v.resume_exact_once then incr resume_ok;
+    if v.final_ok then incr final_ok;
+    Option.iter
+      (fun (s : Db.recovery_stats) ->
+        replayed := !replayed + s.replayed_txns;
+        wal_bytes := !wal_bytes + s.wal_bytes;
+        rec_ms := !rec_ms +. s.recovery_ms)
+      v.stats
+  done;
+  let n = float_of_int n_batches in
+  {
+    ck;
+    leg_label;
+    runs = n_batches;
+    pre = !pre;
+    post = !post;
+    torn = !torn;
+    resume_ok = !resume_ok;
+    final_ok = !final_ok;
+    mean_replayed_txns = float_of_int !replayed /. n;
+    mean_wal_bytes = float_of_int !wal_bytes /. n;
+    mean_recovery_ms = !rec_ms /. n;
+  }
+
+let json_of_cells cells =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"experiment\": \"recovery\",\n  \"cells\": [\n";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"checkpoint_every\": %d, \"leg\": \"%s\", \"runs\": %d, \
+            \"pre\": %d, \"post\": %d, \"torn\": %d, \"resume_exact_once\": \
+            %d, \"final_ok\": %d, \"mean_replayed_txns\": %.2f, \
+            \"mean_wal_bytes\": %.1f, \"mean_recovery_ms\": %.4f}"
+           c.ck c.leg_label c.runs c.pre c.post c.torn c.resume_ok c.final_ok
+           c.mean_replayed_txns c.mean_wal_bytes c.mean_recovery_ms))
+    cells;
+  let torn_total = List.fold_left (fun acc c -> acc + c.torn) 0 cells in
+  Buffer.add_string b
+    (Printf.sprintf "\n  ],\n  \"torn_total\": %d\n}\n" torn_total);
+  Buffer.contents b
+
+let recovery ?json () =
+  Report.section "Recovery: crash durability via WAL + checkpoints";
+  Printf.printf
+    "  (%d write batches, crash swept over every batch x %d crash legs x %d \
+     checkpoint intervals;\n\
+    \   each recovered state must equal the pre- or post-batch state, then \
+     the client re-drives\n\
+    \   its idempotency token to exactly-once completion)\n"
+    n_batches (List.length legs)
+    (List.length checkpoint_intervals);
+  let all_cells = ref [] in
+  List.iter
+    (fun ck ->
+      Report.subsection
+        (if ck = 0 then "checkpoint: never (replay whole log)"
+         else Printf.sprintf "checkpoint every %d commit(s)" ck);
+      let cells =
+        List.map
+          (fun (leg_label, leg) -> run_cell ~ck ~leg_label ~leg)
+          legs
+      in
+      all_cells := !all_cells @ cells;
+      Report.table
+        ~header:
+          [ "crash leg"; "runs"; "pre"; "post"; "torn"; "exact-once";
+            "replayed txns"; "wal bytes" ]
+        (List.map
+           (fun c ->
+             [
+               c.leg_label;
+               string_of_int c.runs;
+               string_of_int c.pre;
+               string_of_int c.post;
+               string_of_int c.torn;
+               Printf.sprintf "%d/%d" c.resume_ok c.runs;
+               Printf.sprintf "%.1f" c.mean_replayed_txns;
+               Printf.sprintf "%.0f" c.mean_wal_bytes;
+             ])
+           cells))
+    checkpoint_intervals;
+  Report.subsection "recovery time vs checkpoint interval";
+  Printf.printf "  (wall-clock; non-deterministic, indicative only)\n";
+  List.iter
+    (fun ck ->
+      let cells = List.filter (fun c -> c.ck = ck) !all_cells in
+      let n = max 1 (List.length cells) in
+      let mean_ms =
+        List.fold_left (fun acc c -> acc +. c.mean_recovery_ms) 0.0 cells
+        /. float_of_int n
+      and mean_replay =
+        List.fold_left (fun acc c -> acc +. c.mean_replayed_txns) 0.0 cells
+        /. float_of_int n
+      in
+      Printf.printf "  checkpoint %-7s mean replayed txns %5.1f, mean %.4f ms\n"
+        (if ck = 0 then "never:" else Printf.sprintf "%d:" ck)
+        mean_replay mean_ms)
+    checkpoint_intervals;
+  let torn_total =
+    List.fold_left (fun acc c -> acc + c.torn) 0 !all_cells
+  in
+  let exact =
+    List.for_all (fun c -> c.resume_ok = c.runs && c.final_ok = c.runs)
+      !all_cells
+  in
+  Printf.printf "\n  torn batches: %d, exactly-once resume everywhere: %b\n"
+    torn_total exact;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (json_of_cells !all_cells);
+      close_out oc;
+      Printf.printf "  wrote %s\n" path)
+    json
+
+(* --- tracked one-liner ----------------------------------------------------
+   Random crashes at rate [crash] under the default retry policy: the driver
+   itself must reconnect-and-retransmit, so the token machinery (durable
+   registry + replay cache) is exercised end to end.  The final state is
+   compared to the fault-free shadow. *)
+
+let tracked_batches =
+  List.init 40 (fun j ->
+      List.map parse
+        [
+          Printf.sprintf "INSERT INTO kv (id, v, n) VALUES (%d, 't%d', %d)"
+            (100 + j) j (j * 3);
+          Printf.sprintf "UPDATE kv SET n = %d WHERE id = %d" j (100 + j);
+          Printf.sprintf "UPDATE kv SET v = 'w%d' WHERE id = %d" j
+            ((j mod 20) + 1);
+        ])
+
+let tracked ?(crash = 0.05) ?(checkpoint_every = 4) () =
+  let shadow_db = Db.create () in
+  seed_db shadow_db;
+  List.iter
+    (fun stmts ->
+      Db.atomically shadow_db (fun () ->
+          List.iter (fun s -> ignore (Db.exec shadow_db s)) stmts))
+    tracked_batches;
+  let shadow = Db.fingerprint shadow_db in
+  let db = durable_db ~checkpoint_every () in
+  let link = Link.create ~rtt_ms (Vclock.create ()) in
+  let conn = Conn.create db link in
+  Conn.set_retry_policy conn
+    { Conn.Retry_policy.default with max_attempts = 6 };
+  let fault = Fault.create (Fault.plan ~crash_p:crash ~seed:42 ()) in
+  Link.set_fault link (Some fault);
+  let aborts = ref 0 in
+  List.iteri
+    (fun i stmts ->
+      let rec drive attempt =
+        match Conn.execute_batch ~token:(token_of i) conn stmts with
+        | _ -> ()
+        | exception Conn.Retries_exhausted _ when attempt < 20 ->
+            incr aborts;
+            drive (attempt + 1)
+      in
+      drive 0)
+    tracked_batches;
+  let crashes = Fault.count fault Fault.Server_crash in
+  let ok = Db.fingerprint db = shadow in
+  Printf.printf
+    "recovery@%.2f: batches %d, crashes %d, client aborts %d, checkpoint \
+     every %d, final state matches fault-free run: %b\n"
+    crash
+    (List.length tracked_batches)
+    crashes !aborts checkpoint_every ok

@@ -1,0 +1,21 @@
+(** Recovery experiment: crash durability under the WAL + checkpoint
+    subsystem.
+
+    Sweeps a scripted server crash over every batch of a chaos write
+    workload, on every crash leg (before the request, after each prefix of
+    the batch, after the reply was computed), for several checkpoint
+    intervals.  At each point the recovered database must fingerprint-equal
+    either the pre-batch or the post-batch state — never a torn batch — and
+    a reconnecting client re-driving its idempotency token must converge on
+    the post state exactly once.  Reports recovered-state counts, replayed
+    transaction counts and (indicative, wall-clock) recovery time per
+    checkpoint interval. *)
+
+val recovery : ?json:string -> unit -> unit
+(** Run the full sweep; when [json] is given, also write the cells as a
+    machine-readable JSON file (e.g. [BENCH_recovery.json]). *)
+
+val tracked : ?crash:float -> ?checkpoint_every:int -> unit -> unit
+(** One-line variant for bench tracking: random server crashes at rate
+    [crash] (default 0.05) under the default retry policy; prints crash /
+    abort counts and whether the final state matches the fault-free run. *)

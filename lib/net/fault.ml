@@ -1,5 +1,5 @@
-type failure = Drop | Reset | Server_busy | Deadlock
-type leg = Request | Response
+type failure = Drop | Reset | Server_busy | Deadlock | Server_crash
+type leg = Request | Mid_batch of int | Response
 type decision = Deliver of float | Fail of failure * leg
 
 type plan = {
@@ -7,6 +7,7 @@ type plan = {
   reset_p : float;
   busy_p : float;
   deadlock_p : float;
+  crash_p : float;
   spike_p : float;
   spike_ms : float;
   timeout_ms : float;
@@ -14,8 +15,19 @@ type plan = {
 }
 
 let plan ?(drop_p = 0.0) ?(reset_p = 0.0) ?(busy_p = 0.0) ?(deadlock_p = 0.0)
-    ?(spike_p = 0.0) ?(spike_ms = 5.0) ?(timeout_ms = 10.0) ?(seed = 1) () =
-  { drop_p; reset_p; busy_p; deadlock_p; spike_p; spike_ms; timeout_ms; seed }
+    ?(crash_p = 0.0) ?(spike_p = 0.0) ?(spike_ms = 5.0) ?(timeout_ms = 10.0)
+    ?(seed = 1) () =
+  {
+    drop_p;
+    reset_p;
+    busy_p;
+    deadlock_p;
+    crash_p;
+    spike_p;
+    spike_ms;
+    timeout_ms;
+    seed;
+  }
 
 let uniform ?seed rate =
   plan ?seed ~drop_p:(0.4 *. rate) ~reset_p:(0.2 *. rate)
@@ -32,6 +44,7 @@ type t = {
   mutable resets : int;
   mutable busys : int;
   mutable deadlocks : int;
+  mutable crashes : int;
   mutable spikes : int;
 }
 
@@ -45,6 +58,7 @@ let create plan =
     resets = 0;
     busys = 0;
     deadlocks = 0;
+    crashes = 0;
     spikes = 0;
   }
 
@@ -59,10 +73,11 @@ let record t = function
   | Reset -> t.resets <- t.resets + 1
   | Server_busy -> t.busys <- t.busys + 1
   | Deadlock -> t.deadlocks <- t.deadlocks + 1
+  | Server_crash -> t.crashes <- t.crashes + 1
 
 let quiet p =
   p.drop_p = 0.0 && p.reset_p = 0.0 && p.busy_p = 0.0 && p.deadlock_p = 0.0
-  && p.spike_p = 0.0
+  && p.crash_p = 0.0 && p.spike_p = 0.0
 
 let decide t =
   t.trips <- t.trips + 1;
@@ -84,11 +99,21 @@ let decide t =
         let lost_leg () =
           if Random.State.bool t.rng then Request else Response
         in
+        (* A crashing server can die before the request arrives, between
+           two statements of a batch, or after replying — the recovery
+           experiment sweeps all three deliberately. *)
+        let crash_leg () =
+          match Random.State.int t.rng 3 with
+          | 0 -> Request
+          | 1 -> Mid_batch (Random.State.int t.rng 8)
+          | _ -> Response
+        in
         let c1 = p.drop_p in
         let c2 = c1 +. p.reset_p in
         let c3 = c2 +. p.busy_p in
         let c4 = c3 +. p.deadlock_p in
-        let c5 = c4 +. p.spike_p in
+        let c4' = c4 +. p.crash_p in
+        let c5 = c4' +. p.spike_p in
         if u < c1 then begin
           record t Drop;
           Fail (Drop, lost_leg ())
@@ -105,6 +130,10 @@ let decide t =
           record t Deadlock;
           Fail (Deadlock, Request)
         end
+        else if u < c4' then begin
+          record t Server_crash;
+          Fail (Server_crash, crash_leg ())
+        end
         else if u < c5 then begin
           t.spikes <- t.spikes + 1;
           Deliver p.spike_ms
@@ -112,13 +141,14 @@ let decide t =
         else Deliver 0.0
 
 let trips t = t.trips
-let injected t = t.drops + t.resets + t.busys + t.deadlocks
+let injected t = t.drops + t.resets + t.busys + t.deadlocks + t.crashes
 
 let count t = function
   | Drop -> t.drops
   | Reset -> t.resets
   | Server_busy -> t.busys
   | Deadlock -> t.deadlocks
+  | Server_crash -> t.crashes
 
 let spikes t = t.spikes
 
@@ -127,8 +157,11 @@ let failure_label = function
   | Reset -> "reset"
   | Server_busy -> "server-busy"
   | Deadlock -> "deadlock"
+  | Server_crash -> "server-crash"
 
 let pp ppf t =
   Format.fprintf ppf
-    "trips=%d injected=%d (drop=%d reset=%d busy=%d deadlock=%d) spikes=%d"
-    t.trips (injected t) t.drops t.resets t.busys t.deadlocks t.spikes
+    "trips=%d injected=%d (drop=%d reset=%d busy=%d deadlock=%d crash=%d) \
+     spikes=%d"
+    t.trips (injected t) t.drops t.resets t.busys t.deadlocks t.crashes
+    t.spikes

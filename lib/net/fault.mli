@@ -21,9 +21,16 @@ type failure =
   | Reset        (** the connection was torn down mid-flight *)
   | Server_busy  (** transient server error: too many connections/requests *)
   | Deadlock     (** transient server error: picked as deadlock victim *)
+  | Server_crash
+      (** the server process died and restarted — volatile state is lost and
+          the database recovers from its checkpoint + WAL *)
 
 type leg =
   | Request   (** the failure hit before the server saw the request *)
+  | Mid_batch of int
+      (** a crash after the server executed the first [k] statements of the
+          batch but before committing — only meaningful for {!Server_crash};
+          [k] is clamped to the batch size by the connection *)
   | Response  (** the server processed the request; the reply was lost *)
 
 type decision =
@@ -35,6 +42,7 @@ type plan = {
   reset_p : float;
   busy_p : float;
   deadlock_p : float;
+  crash_p : float;     (** probability of a server crash on a trip *)
   spike_p : float;     (** probability of a latency spike on a clean trip *)
   spike_ms : float;    (** extra latency of a spike *)
   timeout_ms : float;  (** how long the client waits out a dropped trip *)
@@ -46,6 +54,7 @@ val plan :
   ?reset_p:float ->
   ?busy_p:float ->
   ?deadlock_p:float ->
+  ?crash_p:float ->
   ?spike_p:float ->
   ?spike_ms:float ->
   ?timeout_ms:float ->
@@ -53,7 +62,9 @@ val plan :
   unit ->
   plan
 (** All probabilities default to 0; [spike_ms] to 5.0, [timeout_ms] to 10.0,
-    [seed] to 1. *)
+    [seed] to 1.  With [crash_p] at 0 the RNG draw sequence is identical to
+    a plan without crashes, so enabling the field changes nothing for
+    existing seeded experiments. *)
 
 val uniform : ?seed:int -> float -> plan
 (** [uniform rate] spreads a total failure probability [rate] over the four

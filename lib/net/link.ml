@@ -30,9 +30,10 @@ let deliver t ~queries ~bytes ~extra_ms =
 (* How long the client loses to a failed attempt: a drop burns the plan's
    timeout, a reset is detected in half a round trip, and a transient server
    error costs the full trip (the server received the request and answered
-   with a small error frame). *)
+   with a small error frame).  A server crash looks like a drop from the
+   client's side: the reply never comes and the timeout expires. *)
 let failure_cost t fault ~bytes = function
-  | Fault.Drop -> Fault.timeout_ms fault
+  | Fault.Drop | Fault.Server_crash -> Fault.timeout_ms fault
   | Fault.Reset -> 0.5 *. t.rtt_ms
   | Fault.Server_busy | Fault.Deadlock -> t.rtt_ms +. transfer_ms t ~bytes
 

@@ -6,39 +6,327 @@ type outcome = {
 
 exception Sql_error of string
 
+type recovery_stats = {
+  from_checkpoint : bool;
+  replayed_txns : int;
+  replayed_records : int;
+  discarded_bytes : int;
+  wal_bytes : int;
+  recovery_ms : float;
+}
+
+(* Durability state: a redo log appended at commit, a checkpoint store
+   overwritten every [checkpoint_every] commits, and the durable registry
+   of applied idempotency tokens. *)
+type dur = {
+  wal : Wal.store;
+  ck : Wal.store;
+  checkpoint_every : int;  (* commits between checkpoints; 0 = never *)
+  mutable commits_since_ck : int;
+  mutable next_txn : int;
+  tokens : (string, unit) Hashtbl.t;
+  mutable last_recovery : recovery_stats option;
+}
+
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   mutable order : string list;  (* creation order, for deterministic listing *)
   mutable txn : Txn.t option;
   cost : Cost.model;
+  mutable dur : dur option;
 }
 
 let error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
 
 let create ?(cost = Cost.default) () =
-  { tables = Hashtbl.create 32; order = []; txn = None; cost }
+  { tables = Hashtbl.create 32; order = []; txn = None; cost; dur = None }
 
 let cost_model t = t.cost
+
+(* --- write-ahead logging ------------------------------------------------- *)
+
+let wal_ddl t record =
+  match t.dur with
+  | None -> ()
+  | Some d -> Wal.append_records d.wal [ record ]
+
+(* Build the checkpoint payload: every table (schema, index columns, the
+   whole heap including empty slots so rid allocation survives), the token
+   registry and the transaction-id high-water mark, all in one
+   checksummed frame — a torn checkpoint write is detected and the
+   previous durable state wins. *)
+let checkpoint_payload t d =
+  let b = Buffer.create 4096 in
+  Wal.Codec.put_int b (List.length t.order);
+  List.iter
+    (fun name ->
+      let tbl = Hashtbl.find t.tables name in
+      Wal.Codec.put_schema b (Table.schema tbl);
+      let put_cols cols =
+        Wal.Codec.put_int b (List.length cols);
+        List.iter (Wal.Codec.put_string b) cols
+      in
+      put_cols (Table.secondary_columns tbl);
+      put_cols (Table.ordered_columns tbl);
+      Wal.Codec.put_int b (Table.heap_length tbl);
+      Table.iter_slots (fun _ row -> Wal.Codec.put_row_opt b row) tbl)
+    t.order;
+  Wal.Codec.put_int b (Hashtbl.length d.tokens);
+  let toks = Hashtbl.fold (fun k () acc -> k :: acc) d.tokens [] in
+  List.iter (Wal.Codec.put_string b) (List.sort String.compare toks);
+  Wal.Codec.put_int b d.next_txn;
+  Buffer.contents b
+
+let write_checkpoint t d =
+  Wal.write_all d.ck (Wal.Codec.frame (checkpoint_payload t d));
+  Wal.write_all d.wal "";
+  d.commits_since_ck <- 0
+
+let maybe_checkpoint t d =
+  if d.checkpoint_every > 0 && d.commits_since_ck >= d.checkpoint_every then
+    write_checkpoint t d
+
+(* Append one committed transaction's redo records.  The entries are the
+   undo log in chronological order; every touched slot's *current* (= final,
+   we are at commit) content is its redo image, which makes replay
+   idempotent and collapses insert/update/delete into one record shape. *)
+let wal_commit ?token t entries =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      let sets =
+        List.map
+          (fun e ->
+            let tbl, rid =
+              match e with
+              | Txn.Inserted (tbl, rid) -> (tbl, rid)
+              | Txn.Deleted (tbl, rid, _) -> (tbl, rid)
+              | Txn.Updated (tbl, rid, _) -> (tbl, rid)
+            in
+            Wal.Set
+              {
+                table = Schema.name (Table.schema tbl);
+                rid;
+                row = Table.get tbl rid;
+              })
+          entries
+      in
+      if sets = [] && token = None then ()
+      else begin
+        let id = d.next_txn in
+        d.next_txn <- id + 1;
+        let toks =
+          match token with
+          | None -> []
+          | Some k ->
+              Hashtbl.replace d.tokens k ();
+              [ Wal.Token k ]
+        in
+        Wal.append_records d.wal
+          ((Wal.Begin id :: sets) @ toks @ [ Wal.Commit id ]);
+        d.commits_since_ck <- d.commits_since_ck + 1;
+        maybe_checkpoint t d
+      end
+
+(* --- recovery ------------------------------------------------------------ *)
+
+let install_table t name tbl =
+  Hashtbl.replace t.tables name tbl;
+  t.order <- t.order @ [ name ]
+
+let load_checkpoint t d =
+  match Wal.Codec.unframe (Wal.contents d.ck) 0 with
+  | None -> false
+  | Some (payload, _) -> (
+      try
+        let r = Wal.Codec.reader payload in
+        let n_tables = Wal.Codec.get_int r in
+        for _ = 1 to n_tables do
+          let schema = Wal.Codec.get_schema r in
+          let get_cols () =
+            let n = Wal.Codec.get_int r in
+            List.init n (fun _ -> Wal.Codec.get_string r)
+          in
+          let sec = get_cols () in
+          let ord = get_cols () in
+          let heap_len = Wal.Codec.get_int r in
+          let tbl = Table.create schema in
+          List.iter (Table.create_index tbl) sec;
+          List.iter (Table.create_ordered_index tbl) ord;
+          for rid = 0 to heap_len - 1 do
+            match Wal.Codec.get_row_opt r with
+            | Some row -> Table.apply_redo tbl rid (Some row)
+            | None -> Table.apply_redo tbl rid None
+          done;
+          install_table t (Schema.name schema) tbl
+        done;
+        let n_tokens = Wal.Codec.get_int r in
+        for _ = 1 to n_tokens do
+          Hashtbl.replace d.tokens (Wal.Codec.get_string r) ()
+        done;
+        d.next_txn <- Wal.Codec.get_int r;
+        true
+      with Wal.Codec.Corrupt ->
+        (* A corrupt checkpoint is treated as absent: wipe the partial
+           load and replay the log from genesis. *)
+        Hashtbl.reset t.tables;
+        t.order <- [];
+        false)
+
+let apply_record t d = function
+  | Wal.Set { table; rid; row } -> (
+      match Hashtbl.find_opt t.tables table with
+      | Some tbl -> Table.apply_redo tbl rid row
+      | None -> ())
+  | Wal.Create_table schema ->
+      let name = Schema.name schema in
+      if not (Hashtbl.mem t.tables name) then
+        install_table t name (Table.create schema)
+  | Wal.Create_index { table; column; ordered } -> (
+      match Hashtbl.find_opt t.tables table with
+      | Some tbl -> (
+          try
+            if ordered then Table.create_ordered_index tbl column
+            else Table.create_index tbl column
+          with Not_found -> ())
+      | None -> ())
+  | Wal.Token k -> Hashtbl.replace d.tokens k ()
+  | Wal.Begin _ | Wal.Commit _ -> ()
+
+let recover t d =
+  let t0 = Sys.time () in
+  Hashtbl.reset t.tables;
+  t.order <- [];
+  t.txn <- None;
+  Hashtbl.reset d.tokens;
+  let from_checkpoint = load_checkpoint t d in
+  let log = Wal.contents d.wal in
+  let records, valid = Wal.scan log in
+  let discarded_bytes = String.length log - valid in
+  (* Truncate the torn tail so future appends extend a clean log. *)
+  if discarded_bytes > 0 then Wal.write_all d.wal (String.sub log 0 valid);
+  let replayed_txns = ref 0 and replayed_records = ref 0 in
+  let pending = ref None in
+  List.iter
+    (fun r ->
+      match (r, !pending) with
+      | Wal.Begin id, _ -> pending := Some (id, [])
+      | Wal.Commit id, Some (id', acc) when id = id' ->
+          List.iter (apply_record t d) (List.rev acc);
+          replayed_records := !replayed_records + List.length acc;
+          incr replayed_txns;
+          if id >= d.next_txn then d.next_txn <- id + 1;
+          pending := None
+      | Wal.Commit _, _ -> pending := None
+      | r, Some (id, acc) -> pending := Some (id, r :: acc)
+      | r, None ->
+          (* standalone DDL record *)
+          apply_record t d r;
+          incr replayed_records)
+    records;
+  (* An uncommitted tail transaction in !pending is dropped: its commit
+     record never made it to the log, so it never happened. *)
+  d.commits_since_ck <- 0;
+  d.last_recovery <-
+    Some
+      {
+        from_checkpoint;
+        replayed_txns = !replayed_txns;
+        replayed_records = !replayed_records;
+        discarded_bytes;
+        wal_bytes = valid;
+        recovery_ms = (Sys.time () -. t0) *. 1000.0;
+      }
+
+let enable_durability ?(checkpoint_every = 8) ~wal ~checkpoint t =
+  let d =
+    {
+      wal;
+      ck = checkpoint;
+      checkpoint_every;
+      commits_since_ck = 0;
+      next_txn = 0;
+      tokens = Hashtbl.create 32;
+      last_recovery = None;
+    }
+  in
+  t.dur <- Some d;
+  if not (Wal.is_empty wal && Wal.is_empty checkpoint) then recover t d
+
+let durable t = t.dur <> None
+
+let crash_restart t =
+  t.txn <- None;
+  match t.dur with
+  | None ->
+      (* No durability: the crash wipes the server's whole state. *)
+      Hashtbl.reset t.tables;
+      t.order <- []
+  | Some d -> recover t d
+
+let last_recovery t = Option.bind t.dur (fun d -> d.last_recovery)
+let token_applied t k =
+  match t.dur with None -> false | Some d -> Hashtbl.mem d.tokens k
+
+let wal_size t =
+  match t.dur with None -> 0 | Some d -> String.length (Wal.contents d.wal)
+
+let checkpoint_now t =
+  match t.dur with None -> () | Some d -> write_checkpoint t d
+
+(* --- fingerprinting ------------------------------------------------------ *)
+
+let fingerprint t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tables name with
+      | None -> ()
+      | Some tbl ->
+          Buffer.add_string b name;
+          Buffer.add_char b '#';
+          Buffer.add_string b (string_of_int (Table.heap_length tbl));
+          Buffer.add_char b '\n';
+          Table.iter_slots
+            (fun rid row ->
+              match row with
+              | None -> ()
+              | Some row ->
+                  Buffer.add_string b (string_of_int rid);
+                  Array.iter
+                    (fun v ->
+                      Buffer.add_char b '|';
+                      Buffer.add_string b (Value.to_string v))
+                    row;
+                  Buffer.add_char b '\n')
+            tbl)
+    t.order;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* --- catalog ------------------------------------------------------------- *)
 
 let create_table t schema =
   let name = Schema.name schema in
   if Hashtbl.mem t.tables name then error "table %s already exists" name;
   Hashtbl.replace t.tables name (Table.create schema);
-  t.order <- t.order @ [ name ]
+  t.order <- t.order @ [ name ];
+  wal_ddl t (Wal.Create_table schema)
 
 let create_index t ~table ~column =
   match Hashtbl.find_opt t.tables table with
   | None -> error "no such table: %s" table
   | Some tbl -> (
-      try Table.create_index tbl column
-      with Not_found -> error "no such column: %s.%s" table column)
+      (try Table.create_index tbl column
+       with Not_found -> error "no such column: %s.%s" table column);
+      wal_ddl t (Wal.Create_index { table; column; ordered = false }))
 
 let create_ordered_index t ~table ~column =
   match Hashtbl.find_opt t.tables table with
   | None -> error "no such table: %s" table
   | Some tbl -> (
-      try Table.create_ordered_index tbl column
-      with Not_found -> error "no such column: %s.%s" table column)
+      (try Table.create_ordered_index tbl column
+       with Not_found -> error "no such column: %s.%s" table column);
+      wal_ddl t (Wal.Create_index { table; column; ordered = true }))
 
 let table t name = Hashtbl.find_opt t.tables name
 let table_names t = t.order
@@ -50,7 +338,7 @@ let row_count t name =
 
 let in_txn t = t.txn <> None
 
-let atomically t f =
+let atomically ?token t f =
   match t.txn with
   | Some _ -> f () (* the client's transaction already provides atomicity *)
   | None ->
@@ -59,8 +347,10 @@ let atomically t f =
       let finish () = t.txn <- None in
       (match f () with
       | v ->
+          let entries = Txn.entries txn in
           Txn.commit txn;
           finish ();
+          wal_commit ?token t entries;
           v
       | exception e ->
           Txn.rollback txn;
@@ -73,6 +363,11 @@ let catalog t : Executor.catalog =
     add_table = (fun schema -> create_table t schema);
   }
 
+let is_dml = function
+  | Sloth_sql.Ast.Insert _ | Sloth_sql.Ast.Update _ | Sloth_sql.Ast.Delete _ ->
+      true
+  | _ -> false
+
 let exec t stmt =
   match stmt with
   | Sloth_sql.Ast.Begin_txn ->
@@ -81,7 +376,11 @@ let exec t stmt =
       { rs = Result_set.empty; rows_affected = 0; cost_ms = t.cost.fixed_ms }
   | Sloth_sql.Ast.Commit ->
       (match t.txn with
-      | Some txn -> Txn.commit txn
+      | Some txn ->
+          let entries = Txn.entries txn in
+          Txn.commit txn;
+          t.txn <- None;
+          wal_commit t entries
       | None -> () (* COMMIT outside a transaction is a no-op *));
       t.txn <- None;
       { rs = Result_set.empty; rows_affected = 0; cost_ms = t.cost.fixed_ms }
@@ -91,6 +390,25 @@ let exec t stmt =
       | None -> ());
       t.txn <- None;
       { rs = Result_set.empty; rows_affected = 0; cost_ms = t.cost.fixed_ms }
+  | _ when t.txn = None && t.dur <> None && is_dml stmt -> (
+      (* Autocommitted write under durability: run it in an ephemeral
+         transaction so its redo records reach the log as one committed
+         unit (and a failing statement is rolled back whole rather than
+         left half-applied). *)
+      let txn = Txn.create () in
+      match Executor.execute (catalog t) ~log:(fun e -> Txn.log txn e) stmt with
+      | { rs; rows_scanned; rows_affected } ->
+          let entries = Txn.entries txn in
+          Txn.commit txn;
+          wal_commit t entries;
+          let cost_ms =
+            Cost.query_ms t.cost ~rows_scanned
+              ~rows_returned:(Result_set.num_rows rs)
+          in
+          { rs; rows_affected; cost_ms }
+      | exception Executor.Sql_error msg ->
+          Txn.rollback txn;
+          error "%s" msg)
   | _ -> (
       let log = Option.map (fun txn e -> Txn.log txn e) t.txn in
       match Executor.execute (catalog t) ?log stmt with

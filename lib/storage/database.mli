@@ -14,9 +14,53 @@ type outcome = {
 
 exception Sql_error of string
 
+type recovery_stats = {
+  from_checkpoint : bool;  (** a usable checkpoint frame was loaded *)
+  replayed_txns : int;  (** committed transactions re-applied from the log *)
+  replayed_records : int;  (** redo/DDL records applied *)
+  discarded_bytes : int;  (** torn tail truncated from the log *)
+  wal_bytes : int;  (** valid log bytes scanned *)
+  recovery_ms : float;  (** wall-clock recovery time (non-deterministic) *)
+}
+
 val create : ?cost:Cost.model -> unit -> t
 
 val cost_model : t -> Cost.model
+
+val enable_durability :
+  ?checkpoint_every:int -> wal:Wal.store -> checkpoint:Wal.store -> t -> unit
+(** Attach a write-ahead log and a checkpoint store.  Every commit appends
+    redo records framed with length + checksum; every [checkpoint_every]
+    commits (default 8; 0 = never) the full state is snapshotted and the log
+    truncated.  If either store is non-empty the database first {e recovers}
+    from them, replacing its current contents. *)
+
+val durable : t -> bool
+
+val crash_restart : t -> unit
+(** Simulate a server crash + restart, in place: volatile state (open
+    transaction, tables) is discarded and the database is rebuilt from the
+    checkpoint plus the committed WAL suffix.  Without durability enabled
+    this simply wipes the database. *)
+
+val last_recovery : t -> recovery_stats option
+(** Stats from the most recent recovery (via {!enable_durability} on
+    non-empty stores or {!crash_restart}). *)
+
+val token_applied : t -> string -> bool
+(** True if an idempotency token was durably recorded with a committed
+    transaction — survives {!crash_restart}, unlike the driver's in-memory
+    replay cache. *)
+
+val wal_size : t -> int
+(** Current WAL length in bytes (0 when durability is off). *)
+
+val checkpoint_now : t -> unit
+
+val fingerprint : t -> string
+(** Hex digest of the full logical contents (tables in creation order, heap
+    shape, every live row).  Two databases with equal fingerprints hold the
+    same data; the recovery experiment uses this to detect torn batches. *)
 
 val create_table : t -> Schema.t -> unit
 (** Raises {!Sql_error} if a table with that name exists. *)
@@ -31,13 +75,15 @@ val row_count : t -> string -> int
 
 val in_txn : t -> bool
 
-val atomically : t -> (unit -> 'a) -> 'a
+val atomically : ?token:string -> t -> (unit -> 'a) -> 'a
 (** Run [f] atomically: if no client transaction is open, an implicit one
     wraps the call — committed when [f] returns, rolled back (undoing every
     mutation [f] made, most recent first) when it raises.  Inside an open
     client transaction [f] just runs: the client's own COMMIT / ROLLBACK
     decides.  Charges no execution cost; the batch driver uses this to make
-    a multi-statement flush all-or-nothing. *)
+    a multi-statement flush all-or-nothing.  [token] is an idempotency token
+    logged inside the commit record, making "did this batch apply?"
+    answerable after a crash via {!token_applied}. *)
 
 val exec : t -> Sloth_sql.Ast.stmt -> outcome
 (** Execute any statement, including BEGIN / COMMIT / ROLLBACK.  Outside an

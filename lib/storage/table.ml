@@ -151,6 +151,45 @@ let update t rid row =
       link_indexes t rid row;
       old
 
+let heap_length t = Vec.length t.heap
+
+let iter_slots f t = Vec.iteri f t.heap
+
+let secondary_columns t = List.rev_map fst t.secondary
+let ordered_columns t = List.rev_map fst t.ordered
+
+(* Physical redo application (WAL replay): force slot [rid] to hold [row],
+   growing the heap as needed so rid allocation after recovery matches the
+   pre-crash history.  No constraint checks — the records describe already
+   committed states. *)
+let apply_redo t rid row =
+  while Vec.length t.heap <= rid do
+    ignore (Vec.push t.heap None)
+  done;
+  (match Vec.get t.heap rid with
+  | Some old ->
+      unlink_indexes t rid old;
+      t.live <- t.live - 1
+  | None -> ());
+  Vec.set t.heap rid row;
+  match row with
+  | Some row ->
+      link_indexes t rid row;
+      t.live <- t.live + 1
+  | None -> ()
+
+(* Undo of an insert: if every slot from [rid] up is empty, shrink the heap
+   back to [rid] so a rolled-back transaction leaves rid allocation exactly
+   as if it never ran.  Inserts are undone most-recent-first, so by the time
+   rid is undone everything above it is already empty. *)
+let shrink_tail t rid =
+  let len = Vec.length t.heap in
+  let all_empty = ref (rid <= len) in
+  for i = rid to len - 1 do
+    if Vec.get t.heap i <> None then all_empty := false
+  done;
+  if !all_empty then Vec.truncate t.heap rid
+
 let restore t rid row =
   match Vec.get t.heap rid with
   | Some _ -> invalid_arg "Table.restore: slot is occupied"

@@ -38,9 +38,31 @@ val update : t -> rid -> Value.t array -> Value.t array
 
 val get : t -> rid -> Value.t array option
 
+val shrink_tail : t -> rid -> unit
+(** If every slot at index >= [rid] is empty, truncate the heap to [rid]
+    (insert-undo support: rid allocation is restored to the pre-transaction
+    state). *)
+
 val restore : t -> rid -> Value.t array -> unit
 (** Put a previously deleted row back in its original slot (transaction
     rollback support). *)
+
+val heap_length : t -> int
+(** Total heap slots, including deleted ones — the next insert's rid. *)
+
+val iter_slots : (rid -> Value.t array option -> unit) -> t -> unit
+(** Visit every slot in rid order, deleted ones included (checkpointing). *)
+
+val secondary_columns : t -> string list
+(** Columns carrying a secondary hash index, in creation order. *)
+
+val ordered_columns : t -> string list
+
+val apply_redo : t -> rid -> Value.t array option -> unit
+(** Physically force slot [rid] to hold [row] ([None] empties it), growing
+    the heap as needed and maintaining every index and the live count.
+    Idempotent; performs no constraint validation — WAL replay applies
+    already-committed states. *)
 
 val iter : (rid -> Value.t array -> unit) -> t -> unit
 (** Visit live rows in rid order. *)

@@ -8,10 +8,13 @@ type t = { mutable entries : entry list }
 let create () = { entries = [] }
 let log t e = t.entries <- e :: t.entries
 let entry_count t = List.length t.entries
+let entries t = List.rev t.entries
 let commit t = t.entries <- []
 
 let undo = function
-  | Inserted (table, rid) -> ignore (Table.delete table rid)
+  | Inserted (table, rid) ->
+      ignore (Table.delete table rid);
+      Table.shrink_tail table rid
   | Deleted (table, rid, row) -> Table.restore table rid row
   | Updated (table, rid, old) -> ignore (Table.update table rid old)
 

@@ -16,6 +16,10 @@ val create : unit -> t
 val log : t -> entry -> unit
 val entry_count : t -> int
 
+val entries : t -> entry list
+(** Logged entries in chronological order (the WAL reads these at commit
+    to derive redo records). *)
+
 val commit : t -> unit
 (** Discard the undo log. *)
 

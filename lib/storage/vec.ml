@@ -25,6 +25,10 @@ let push t x =
   t.len <- t.len + 1;
   t.len - 1
 
+let truncate t len =
+  if len < 0 || len > t.len then invalid_arg "Vec.truncate";
+  t.len <- len
+
 let iteri f t =
   for i = 0 to t.len - 1 do
     f i t.data.(i)

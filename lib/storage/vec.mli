@@ -12,6 +12,10 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> int
 (** Append; returns the index of the new element. *)
 
+val truncate : 'a t -> int -> unit
+(** Drop elements from the tail down to the given length.  Raises
+    [Invalid_argument] if the length is negative or larger than {!length}. *)
+
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_list : 'a t -> 'a list

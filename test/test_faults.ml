@@ -212,6 +212,47 @@ let test_write_double_applies_without_token () =
   let count = (Db.exec_sql db "SELECT * FROM t WHERE id = 61").rs in
   Alcotest.(check int) "first application stuck" 1 (Rs.num_rows count)
 
+let insert_batch n =
+  [ Sloth_sql.Parser.parse
+      (Printf.sprintf "INSERT INTO t (id, v) VALUES (%d, 'v%d')" n n) ]
+
+let test_idempotency_window_eviction () =
+  let db, _clock, link, conn = setup () in
+  ignore link;
+  Conn.set_idempotency_window conn 2;
+  ignore (Conn.execute_batch ~token:"a" conn (insert_batch 70));
+  ignore (Conn.execute_batch ~token:"b" conn (insert_batch 71));
+  ignore (Conn.execute_batch ~token:"c" conn (insert_batch 72));
+  (* "b" is still inside the window: retransmission replays the cached
+     outcome without touching the table *)
+  let replayed = Conn.execute_batch ~token:"b" conn (insert_batch 71) in
+  Alcotest.(check int) "replay answered" 1 (List.length replayed);
+  let count n = Rs.num_rows (Db.exec_sql db
+    (Printf.sprintf "SELECT * FROM t WHERE id = %d" n)).rs in
+  Alcotest.(check int) "no double apply inside window" 1 (count 71);
+  (* "a" was evicted (FIFO, capacity 2) and there is no durable WAL record:
+     the server must refuse rather than silently re-apply *)
+  (match Conn.execute_batch ~token:"a" conn (insert_batch 70) with
+  | _ -> Alcotest.fail "expected a replay-window miss"
+  | exception Conn.Server_error msg ->
+      Alcotest.(check bool)
+        "miss is named" true
+        (String.length msg >= 4
+        && String.sub msg 0 11 = "idempotency"));
+  Alcotest.(check int) "evicted token not re-applied" 1 (count 70)
+
+let test_idempotency_window_shrink () =
+  let _db, _clock, _link, conn = setup () in
+  Alcotest.(check int) "default window" 512 (Conn.idempotency_window conn);
+  ignore (Conn.execute_batch ~token:"a" conn (insert_batch 80));
+  ignore (Conn.execute_batch ~token:"b" conn (insert_batch 81));
+  (* shrinking evicts immediately, oldest first *)
+  Conn.set_idempotency_window conn 1;
+  (match Conn.execute_batch ~token:"a" conn (insert_batch 80) with
+  | _ -> Alcotest.fail "expected a replay-window miss"
+  | exception Conn.Server_error _ -> ());
+  ignore (Conn.execute_batch ~token:"b" conn (insert_batch 81))
+
 (* --- empty batches under a fault plan ------------------------------------- *)
 
 let test_empty_batch_no_fault_consulted () =
@@ -335,6 +376,10 @@ let () =
             test_write_exactly_once_with_token;
           Alcotest.test_case "double-apply without token" `Quick
             test_write_double_applies_without_token;
+          Alcotest.test_case "bounded window evicts FIFO" `Quick
+            test_idempotency_window_eviction;
+          Alcotest.test_case "window shrink" `Quick
+            test_idempotency_window_shrink;
           Alcotest.test_case "empty batch" `Quick
             test_empty_batch_no_fault_consulted;
         ] );

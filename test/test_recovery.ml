@@ -1,0 +1,338 @@
+(* Tests for the durability subsystem: WAL framing and torn-tail detection,
+   checkpointed recovery, server-crash injection at every leg, and
+   exactly-once resume of idempotent batches across a crash. *)
+
+module Db = Sloth_storage.Database
+module Wal = Sloth_storage.Wal
+module Rs = Sloth_storage.Result_set
+module Vclock = Sloth_net.Vclock
+module Link = Sloth_net.Link
+module Fault = Sloth_net.Fault
+module Conn = Sloth_driver.Connection
+
+let some_records =
+  [
+    Wal.Begin 7;
+    Wal.Set { table = "t"; rid = 3; row = Some [| Sloth_storage.Value.Int 1 |] };
+    Wal.Set { table = "t"; rid = 4; row = None };
+    Wal.Token "tok-1";
+    Wal.Commit 7;
+  ]
+
+(* --- WAL framing ---------------------------------------------------------- *)
+
+let test_wal_roundtrip () =
+  let store = Wal.mem () in
+  Wal.append_records store some_records;
+  Wal.append_records store [ Wal.Begin 8; Wal.Commit 8 ];
+  let records, valid = Wal.scan (Wal.contents store) in
+  Alcotest.(check int)
+    "all bytes valid" valid
+    (String.length (Wal.contents store));
+  Alcotest.(check bool)
+    "records round-trip" true
+    (records = some_records @ [ Wal.Begin 8; Wal.Commit 8 ])
+
+let test_wal_torn_tail_every_offset () =
+  let chunk1 = Wal.encode [ Wal.Begin 1; Wal.Commit 1 ] in
+  let chunk2 = Wal.encode some_records in
+  (* one record = one frame; tearing anywhere inside it must lose exactly
+     this record and nothing before it *)
+  let tail =
+    Wal.encode
+      [
+        Wal.Set
+          {
+            table = "t";
+            rid = 9;
+            row =
+              Some
+                [| Sloth_storage.Value.Text "hello"; Sloth_storage.Value.Int 5 |];
+          };
+      ]
+  in
+  let base = chunk1 ^ chunk2 in
+  let base_records, base_valid = Wal.scan base in
+  Alcotest.(check int) "base fully valid" (String.length base) base_valid;
+  (* Truncating the tail record at EVERY byte offset must leave exactly the
+     complete prefix: same records, same valid length, no exception. *)
+  for off = 0 to String.length tail - 1 do
+    let log = base ^ String.sub tail 0 off in
+    let records, valid = Wal.scan log in
+    Alcotest.(check int)
+      (Printf.sprintf "valid prefix at offset %d" off)
+      (String.length base) valid;
+    Alcotest.(check bool)
+      (Printf.sprintf "records at offset %d" off)
+      true
+      (records = base_records)
+  done;
+  (* ... and the untruncated log parses in full. *)
+  let _, valid = Wal.scan (base ^ tail) in
+  Alcotest.(check int) "full log valid" (String.length (base ^ tail)) valid
+
+let test_wal_corrupt_byte () =
+  let chunk1 = Wal.encode [ Wal.Begin 1; Wal.Commit 1 ] in
+  let chunk2 = Wal.encode some_records in
+  let log = Bytes.of_string (chunk1 ^ chunk2) in
+  (* flip a payload byte inside the second chunk: its checksum must fail *)
+  let pos = String.length chunk1 + 9 in
+  Bytes.set log pos (Char.chr (Char.code (Bytes.get log pos) lxor 0xff));
+  let records, valid = Wal.scan (Bytes.to_string log) in
+  Alcotest.(check int) "stops at corruption" (String.length chunk1) valid;
+  Alcotest.(check bool) "keeps clean prefix" true
+    (records = [ Wal.Begin 1; Wal.Commit 1 ])
+
+let test_wal_garbage_resistant () =
+  (* Arbitrary garbage must never raise, only yield an empty prefix. *)
+  let garbage =
+    [ ""; "x"; "\x00\x00\x00\x04ABCDEFGH"; String.make 64 '\xff' ]
+  in
+  List.iter
+    (fun g ->
+      let records, valid = Wal.scan g in
+      Alcotest.(check bool) "no records from garbage" true (records = []);
+      Alcotest.(check int) "no valid bytes" 0 valid)
+    garbage
+
+(* --- database recovery ---------------------------------------------------- *)
+
+let seeded_durable ?(checkpoint_every = 0) () =
+  let db = Db.create () in
+  Db.enable_durability ~checkpoint_every ~wal:(Wal.mem ())
+    ~checkpoint:(Wal.mem ()) db;
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE t (id INT NOT NULL, v TEXT NOT NULL, PRIMARY KEY (id))");
+  Db.create_index db ~table:"t" ~column:"v";
+  for i = 1 to 10 do
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf "INSERT INTO t (id, v) VALUES (%d, 'v%d')" i i))
+  done;
+  db
+
+let test_recovery_replays_log () =
+  let db = seeded_durable () in
+  ignore (Db.exec_sql db "UPDATE t SET v = 'x' WHERE id = 3");
+  ignore (Db.exec_sql db "DELETE FROM t WHERE id = 5");
+  let before = Db.fingerprint db in
+  Db.crash_restart db;
+  Alcotest.(check string) "state survives crash" before (Db.fingerprint db);
+  let stats = Option.get (Db.last_recovery db) in
+  Alcotest.(check bool) "no checkpoint used" false stats.Db.from_checkpoint;
+  Alcotest.(check bool) "replayed txns" true (stats.Db.replayed_txns > 0);
+  (* the secondary index was rebuilt, not just the heap *)
+  let rs = Db.query db "SELECT id FROM t WHERE v = 'x'" in
+  Alcotest.(check int) "index answers after recovery" 1 (Rs.num_rows rs)
+
+let test_recovery_from_checkpoint () =
+  let db = seeded_durable ~checkpoint_every:4 () in
+  ignore (Db.exec_sql db "UPDATE t SET v = 'y' WHERE id = 1");
+  let before = Db.fingerprint db in
+  Db.crash_restart db;
+  Alcotest.(check string) "state survives crash" before (Db.fingerprint db);
+  let stats = Option.get (Db.last_recovery db) in
+  Alcotest.(check bool) "checkpoint used" true stats.Db.from_checkpoint;
+  Alcotest.(check bool)
+    "checkpoint bounds replay" true
+    (stats.Db.replayed_txns <= 4)
+
+let test_recovery_discards_uncommitted () =
+  let db = seeded_durable () in
+  let before = Db.fingerprint db in
+  ignore (Db.exec_sql db "BEGIN");
+  ignore (Db.exec_sql db "UPDATE t SET v = 'dirty' WHERE id = 2");
+  ignore (Db.exec_sql db "DELETE FROM t WHERE id = 7");
+  Db.crash_restart db;
+  Alcotest.(check string)
+    "open transaction vanishes" before (Db.fingerprint db)
+
+let test_recovery_truncates_torn_tail () =
+  let wal = Wal.mem () and ck = Wal.mem () in
+  let db = Db.create () in
+  Db.enable_durability ~checkpoint_every:0 ~wal ~checkpoint:ck db;
+  ignore (Db.exec_sql db "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))");
+  ignore (Db.exec_sql db "INSERT INTO t (id) VALUES (1)");
+  let clean = Wal.contents wal in
+  ignore (Db.exec_sql db "INSERT INTO t (id) VALUES (2)");
+  (* tear the last commit's frame in half, as a crash mid-append would *)
+  let torn = String.sub (Wal.contents wal) 0 (String.length clean + 5) in
+  Wal.write_all wal torn;
+  Db.crash_restart db;
+  Alcotest.(check int) "only committed rows" 1 (Db.row_count db "t");
+  let stats = Option.get (Db.last_recovery db) in
+  Alcotest.(check int) "tail truncated" 5 stats.Db.discarded_bytes;
+  Alcotest.(check int)
+    "log physically trimmed"
+    (String.length clean)
+    (String.length (Wal.contents wal));
+  (* the trimmed log keeps accepting appends *)
+  ignore (Db.exec_sql db "INSERT INTO t (id) VALUES (3)");
+  Db.crash_restart db;
+  Alcotest.(check int) "append after trim" 2 (Db.row_count db "t")
+
+let test_rid_stability_across_recovery () =
+  (* rid allocation must continue where it left off, or replayed Set
+     records and fresh inserts would collide *)
+  let db = seeded_durable () in
+  ignore (Db.exec_sql db "DELETE FROM t WHERE id = 10");
+  Db.crash_restart db;
+  ignore (Db.exec_sql db "INSERT INTO t (id, v) VALUES (11, 'v11')");
+  let shadow = Db.create () in
+  ignore
+    (Db.exec_sql shadow
+       "CREATE TABLE t (id INT NOT NULL, v TEXT NOT NULL, PRIMARY KEY (id))");
+  Db.create_index shadow ~table:"t" ~column:"v";
+  for i = 1 to 10 do
+    ignore
+      (Db.exec_sql shadow
+         (Printf.sprintf "INSERT INTO t (id, v) VALUES (%d, 'v%d')" i i))
+  done;
+  ignore (Db.exec_sql shadow "DELETE FROM t WHERE id = 10");
+  ignore (Db.exec_sql shadow "INSERT INTO t (id, v) VALUES (11, 'v11')");
+  Alcotest.(check string)
+    "same rids as an uncrashed run" (Db.fingerprint shadow) (Db.fingerprint db)
+
+let test_crash_without_durability_wipes () =
+  let db = Db.create () in
+  ignore (Db.exec_sql db "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))");
+  ignore (Db.exec_sql db "INSERT INTO t (id) VALUES (1)");
+  Db.crash_restart db;
+  Alcotest.(check int) "everything was volatile" 0 (Db.row_count db "t");
+  Alcotest.(check (list string)) "no tables left" [] (Db.table_names db)
+
+let test_file_store_roundtrip () =
+  let dir = Filename.temp_file "sloth_wal" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let wal_path = Filename.concat dir "wal.log"
+  and ck_path = Filename.concat dir "checkpoint.bin" in
+  let before =
+    let db = Db.create () in
+    Db.enable_durability ~checkpoint_every:3 ~wal:(Wal.file wal_path)
+      ~checkpoint:(Wal.file ck_path) db;
+    ignore
+      (Db.exec_sql db "CREATE TABLE t (id INT NOT NULL, PRIMARY KEY (id))");
+    for i = 1 to 7 do
+      ignore
+        (Db.exec_sql db (Printf.sprintf "INSERT INTO t (id) VALUES (%d)" i))
+    done;
+    Db.fingerprint db
+  in
+  (* a brand-new process: attach to the same files and recover *)
+  let db2 = Db.create () in
+  Db.enable_durability ~checkpoint_every:3 ~wal:(Wal.file wal_path)
+    ~checkpoint:(Wal.file ck_path) db2;
+  Alcotest.(check string) "recovered from disk" before (Db.fingerprint db2);
+  Sys.remove wal_path;
+  Sys.remove ck_path;
+  Sys.rmdir dir
+
+(* --- crash injection through the connection ------------------------------- *)
+
+let conn_setup ?(checkpoint_every = 2) () =
+  let db = seeded_durable ~checkpoint_every () in
+  let link = Link.create ~rtt_ms:0.5 (Vclock.create ()) in
+  let conn = Conn.create db link in
+  Conn.set_retry_policy conn Conn.Retry_policy.no_retry;
+  (db, link, conn)
+
+let batch =
+  List.map Sloth_sql.Parser.parse
+    [
+      "INSERT INTO t (id, v) VALUES (11, 'v11')";
+      "UPDATE t SET v = 'z' WHERE id = 1";
+      "DELETE FROM t WHERE id = 9";
+    ]
+
+let crash_on ~leg (db, link, conn) =
+  let pre = Db.fingerprint db in
+  let fault = Fault.create (Fault.plan ()) in
+  Fault.script fault ~first:1 ~last:1 Fault.Server_crash leg;
+  Link.set_fault link (Some fault);
+  (match Conn.execute_batch ~token:"tok" conn batch with
+  | _ -> Alcotest.fail "crash did not surface"
+  | exception Conn.Retries_exhausted { last; _ } ->
+      Alcotest.(check string) "crash named" "server-crash" last);
+  Link.set_fault link None;
+  pre
+
+let post_fingerprint () =
+  let db = seeded_durable () in
+  Db.atomically db (fun () -> List.iter (fun s -> ignore (Db.exec db s)) batch);
+  Db.fingerprint db
+
+let test_crash_request_leg () =
+  let ((db, _, _) as s) = conn_setup () in
+  let pre = crash_on ~leg:Fault.Request s in
+  Alcotest.(check string) "nothing applied" pre (Db.fingerprint db)
+
+let test_crash_mid_batch () =
+  let ((db, _, _) as s) = conn_setup () in
+  let pre = crash_on ~leg:(Fault.Mid_batch 2) s in
+  Alcotest.(check string)
+    "partial batch rolled back by recovery" pre (Db.fingerprint db);
+  Alcotest.(check bool) "token not durable" false (Db.token_applied db "tok")
+
+let test_crash_response_leg () =
+  let ((db, _, _) as s) = conn_setup () in
+  let _pre = crash_on ~leg:Fault.Response s in
+  Alcotest.(check string)
+    "batch committed before crash" (post_fingerprint ()) (Db.fingerprint db);
+  Alcotest.(check bool) "token durable" true (Db.token_applied db "tok")
+
+let test_resume_exactly_once () =
+  (* whichever side of the batch the crash fell on, retransmitting the same
+     token must land on exactly the post state *)
+  List.iter
+    (fun leg ->
+      let ((db, link, _) as s) = conn_setup () in
+      ignore (crash_on ~leg s);
+      let conn2 = Conn.create db link in
+      ignore (Conn.execute_batch ~token:"tok" conn2 batch);
+      Alcotest.(check string)
+        "retransmit converges on post state" (post_fingerprint ())
+        (Db.fingerprint db);
+      (* a second retransmit is also answered without re-applying *)
+      ignore (Conn.execute_batch ~token:"tok" conn2 batch);
+      Alcotest.(check string)
+        "idempotent thereafter" (post_fingerprint ()) (Db.fingerprint db))
+    [ Fault.Request; Fault.Mid_batch 1; Fault.Mid_batch 99; Fault.Response ]
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "wal framing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail at every offset" `Quick
+            test_wal_torn_tail_every_offset;
+          Alcotest.test_case "corrupt byte" `Quick test_wal_corrupt_byte;
+          Alcotest.test_case "garbage resistant" `Quick
+            test_wal_garbage_resistant;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "replays log" `Quick test_recovery_replays_log;
+          Alcotest.test_case "from checkpoint" `Quick
+            test_recovery_from_checkpoint;
+          Alcotest.test_case "discards uncommitted" `Quick
+            test_recovery_discards_uncommitted;
+          Alcotest.test_case "truncates torn tail" `Quick
+            test_recovery_truncates_torn_tail;
+          Alcotest.test_case "rid stability" `Quick
+            test_rid_stability_across_recovery;
+          Alcotest.test_case "no durability wipes" `Quick
+            test_crash_without_durability_wipes;
+          Alcotest.test_case "file store" `Quick test_file_store_roundtrip;
+        ] );
+      ( "crash injection",
+        [
+          Alcotest.test_case "request leg" `Quick test_crash_request_leg;
+          Alcotest.test_case "mid batch" `Quick test_crash_mid_batch;
+          Alcotest.test_case "response leg" `Quick test_crash_response_leg;
+          Alcotest.test_case "resume exactly once" `Quick
+            test_resume_exactly_once;
+        ] );
+    ]

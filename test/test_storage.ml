@@ -708,6 +708,63 @@ let prop_rollback_atomic =
       ignore (Database.exec_sql db "ROLLBACK");
       dump () = before)
 
+(* Stronger rollback property: the heap must be restored byte-identically —
+   same fingerprint (rids, heap shape, every row), same live count, and the
+   secondary index must answer exactly as before. *)
+let prop_rollback_fingerprint =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 30)
+        (oneof
+           [
+             map2 (fun id age -> `Insert (abs id mod 60, abs age mod 10)) int int;
+             map2 (fun id age -> `Update (abs id mod 60, abs age mod 10)) int int;
+             map (fun id -> `Delete (abs id mod 60)) int;
+           ]))
+  in
+  QCheck.Test.make ~count:100 ~name:"rollback restores byte-identical heap"
+    (QCheck.make gen)
+    (fun ops ->
+      let db = make_db () in
+      seed_users db 20;
+      Database.create_index db ~table:"users" ~column:"age";
+      let tbl = Option.get (Database.table db "users") in
+      let index_view () =
+        List.map
+          (fun age -> Table.lookup_indexed tbl "age" (v_int age))
+          [ 0; 3; 7; 9 ]
+      in
+      let fp_before = Database.fingerprint db in
+      let count_before = Database.row_count db "users" in
+      let idx_before = index_view () in
+      ignore (Database.exec_sql db "BEGIN");
+      List.iter
+        (fun op ->
+          try
+            match op with
+            | `Insert (id, age) ->
+                ignore
+                  (Database.exec_sql db
+                     (Printf.sprintf
+                        "INSERT INTO users (id, name, age) VALUES (%d, 'x', \
+                         %d)"
+                        (100 + id) age))
+            | `Update (id, age) ->
+                ignore
+                  (Database.exec_sql db
+                     (Printf.sprintf "UPDATE users SET age = %d WHERE id = %d"
+                        age id))
+            | `Delete id ->
+                ignore
+                  (Database.exec_sql db
+                     (Printf.sprintf "DELETE FROM users WHERE id = %d" id))
+          with Database.Sql_error _ -> ())
+        ops;
+      ignore (Database.exec_sql db "ROLLBACK");
+      Database.fingerprint db = fp_before
+      && Database.row_count db "users" = count_before
+      && index_view () = idx_before)
+
 let () =
   Alcotest.run "storage"
     [
@@ -763,5 +820,5 @@ let () =
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_index_vs_scan; prop_rollback_atomic;
-            prop_executor_vs_reference ] );
+            prop_rollback_fingerprint; prop_executor_vs_reference ] );
     ]
