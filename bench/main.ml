@@ -113,6 +113,7 @@ let experiments =
     ("policies", Baselines.flush_policies);
     ("chaos", Chaos.chaos);
     ("recovery", fun () -> Recovery.recovery ~json:"BENCH_recovery.json" ());
+    ("planner", fun () -> Planner_bench.planner ~json:"BENCH_planner.json" ());
     ("appendix", Page_experiments.appendix);
     ("micro", micro);
   ]

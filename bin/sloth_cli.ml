@@ -161,6 +161,63 @@ let sql_cmd =
        ~doc:"Run ad-hoc SQL against a freshly populated application database.")
     Term.(const run $ app_arg $ query_arg)
 
+(* --- explain ------------------------------------------------------------- *)
+
+let explain_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SQL" ~doc:"SELECT statement to explain.")
+  in
+  let no_planner_arg =
+    Arg.(
+      value & flag
+      & info [ "no-planner" ]
+          ~doc:
+            "Show the plan the legacy first-match heuristics would pick \
+             (the differential-oracle path) instead of the cost-based one.")
+  in
+  let run (module A : Sloth_workload.App_sig.S) sql no_planner =
+    let db = Sloth_storage.Database.create () in
+    A.populate db;
+    match Sloth_sql.Parser.parse sql with
+    | exception Sloth_sql.Parser.Error msg ->
+        Printf.eprintf "parse error: %s\n" msg;
+        exit 1
+    | Sloth_sql.Ast.Select s -> (
+        print_endline "Logical plan:";
+        print_endline
+          (Sloth_storage.Plan.logical_to_string (Sloth_storage.Planner.lower s));
+        let mode =
+          if no_planner then Sloth_storage.Executor.Direct
+          else Sloth_storage.Executor.Planned
+        in
+        match
+          Sloth_storage.Executor.plan_of_select
+            (Sloth_storage.Database.catalog db)
+            ~mode
+            ~model:(Sloth_storage.Database.cost_model db)
+            s
+        with
+        | phys ->
+            Printf.printf "\nPhysical plan (%s):\n"
+              (if no_planner then "legacy heuristics" else "cost-based");
+            print_endline (Sloth_storage.Plan.physical_to_string phys)
+        | exception Sloth_storage.Executor.Sql_error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1)
+    | _ ->
+        Printf.eprintf "error: explain supports SELECT statements only\n";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the logical and physical plan (with cost estimates) a SELECT \
+          gets against a freshly populated application database.")
+    Term.(const run $ app_arg $ query_arg $ no_planner_arg)
+
 (* --- soak ---------------------------------------------------------------- *)
 
 let soak_cmd =
@@ -341,4 +398,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ pages_cmd; load_cmd; sql_cmd; soak_cmd; kernel_cmd; exp_cmd ]))
+          [
+            pages_cmd;
+            load_cmd;
+            sql_cmd;
+            explain_cmd;
+            soak_cmd;
+            kernel_cmd;
+            exp_cmd;
+          ]))

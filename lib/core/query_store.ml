@@ -19,7 +19,8 @@ exception Query_failed of query_id * string
 
 type entry = {
   stmt : Sloth_sql.Ast.stmt;
-  sql : string;  (* canonical text, the dedup key *)
+  sql : string;  (* canonical text, for display and tracing *)
+  key : string;  (* normalized canonical text, the dedup key *)
   mutable result : Sloth_storage.Database.outcome option;
   mutable error : string option;  (* isolated poison query, or lost batch *)
 }
@@ -65,7 +66,8 @@ let entry t id = Hashtbl.find t.entries id
 let fresh_id t stmt sql =
   let id = t.next_id in
   t.next_id <- id + 1;
-  Hashtbl.replace t.entries id { stmt; sql; result = None; error = None };
+  let key = Sloth_sql.Normalize.key stmt in
+  Hashtbl.replace t.entries id { stmt; sql; key; result = None; error = None };
   id
 
 let fresh_token t =
@@ -161,10 +163,14 @@ let register t stmt =
     id
   end
   else
-    (* Dedup against the *pending* batch only.  A poisoned or lost query is
-       never pending again, so re-registering its SQL builds a fresh entry. *)
+    (* Dedup against the *pending* batch only, keyed on the normalized
+       canonical form: reads that differ in conjunct order or the operand
+       order of commutative operators batch as one query.  A poisoned or
+       lost query is never pending again, so re-registering its SQL builds
+       a fresh entry. *)
+    let key = Sloth_sql.Normalize.key stmt in
     let dup =
-      List.find_opt (fun id -> String.equal (entry t id).sql sql) t.batch
+      List.find_opt (fun id -> String.equal (entry t id).key key) t.batch
     in
     match dup with
     | Some id ->

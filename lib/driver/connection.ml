@@ -333,7 +333,9 @@ let run_batch t stmts ~token () =
            (Printf.sprintf "idempotency replay-window miss for token %s" k))
   | _ ->
       let has_write = List.exists Sloth_sql.Ast.is_write stmts in
-      let exec_all () = List.map (fun s -> Db.exec t.db s) stmts in
+      (* Whole-batch execution on the server: consecutive reads are planned
+         together, so duplicates collapse and compatible scans are shared. *)
+      let exec_all () = Db.exec_batch t.db stmts in
       let outcomes =
         if has_write && not (List.exists is_txn_control stmts) then
           Db.atomically ?token t.db exec_all

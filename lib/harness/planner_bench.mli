@@ -1,0 +1,11 @@
+(** The planner / shared-scan batch-execution experiment.
+
+    Captures the read batches Sloth-mode page loads ship for both
+    applications, re-executes each batch independently and through
+    {!Sloth_storage.Executor.execute_reads}, and reports total rows
+    scanned and virtual batch cost for both, plus a synthetic dashboard
+    fan-out over unindexed columns.  Result sets must be identical in both
+    modes.  [json] names a file to receive the machine-readable summary
+    (the CI smoke pass uploads it as an artifact). *)
+
+val planner : ?json:string -> unit -> unit

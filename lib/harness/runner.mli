@@ -17,6 +17,9 @@ val prepare : ?scale:int -> (module Sloth_workload.App_sig.S) ->
   Sloth_storage.Database.t
 (** Create and populate the application database. *)
 
+val page_names : (module Sloth_workload.App_sig.S) -> string list
+(** The application's page names, in declaration order. *)
+
 val run_page :
   db:Sloth_storage.Database.t ->
   rtt_ms:float ->

@@ -30,6 +30,8 @@ let keyword_set =
   List.iter (fun k -> Hashtbl.replace tbl k ()) keywords;
   tbl
 
+let is_keyword s = Hashtbl.mem keyword_set (String.uppercase_ascii s)
+
 let is_ident_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
@@ -67,6 +69,31 @@ let tokenize src =
       let upper = String.uppercase_ascii word in
       if Hashtbl.mem keyword_set upper then emit (KEYWORD upper)
       else emit (IDENT word)
+    end
+    else if c = '"' then begin
+      (* Quoted identifier: exact text, keywords included; "" escapes. *)
+      let buf = Buffer.create 16 in
+      let start = !i in
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '"' then
+          if !i + 1 < n && src.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then
+        raise (Error ("unterminated quoted identifier", start));
+      emit (IDENT (Buffer.contents buf))
     end
     else if c = '\'' then begin
       (* SQL string literal; '' escapes a quote. *)

@@ -4,7 +4,9 @@ type token =
   | INT of int
   | FLOAT of float
   | STRING of string
-  | IDENT of string  (** unquoted identifier, original case preserved *)
+  | IDENT of string
+      (** identifier, original case preserved; double-quoted identifiers
+          ("" escapes a quote) bypass the keyword check *)
   | KEYWORD of string  (** upper-cased reserved word *)
   | LPAREN
   | RPAREN
@@ -19,5 +21,9 @@ exception Error of string * int  (** message, byte offset *)
 
 val tokenize : string -> token list
 (** Raises {!Error} on malformed input (unterminated string, bad char). *)
+
+val is_keyword : string -> bool
+(** Case-insensitive reserved-word test (the printer quotes identifiers
+    that would otherwise lex as keywords). *)
 
 val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,60 @@
+open Ast
+
+(* Canonical ordering: the printer is canonical (fully parenthesized,
+   round-trips through the parser), so comparing printed forms is a total,
+   deterministic order on expressions in which equal strings mean equal
+   ASTs. *)
+let cmp_expr a b =
+  String.compare (Printer.expr_to_string a) (Printer.expr_to_string b)
+
+let rec flatten op = function
+  | Binop (o, a, b) when o = op -> flatten op a @ flatten op b
+  | e -> [ e ]
+
+(* Rebuild a left-deep chain; [flatten] of the result re-yields the same
+   sorted list, making normalization idempotent. *)
+let rebuild op = function
+  | [] -> invalid_arg "Normalize.rebuild: empty"
+  | e :: rest -> List.fold_left (fun acc x -> Binop (op, acc, x)) e rest
+
+let rec expr = function
+  | (Lit _ | Col _) as e -> e
+  | Binop (((And | Or) as op), _, _) as e ->
+      let parts = List.map expr (flatten op e) in
+      rebuild op (List.sort cmp_expr parts)
+  | Binop (((Eq | Neq | Add | Mul) as op), a, b) ->
+      (* Commutative: order the operands canonically. *)
+      let a = expr a and b = expr b in
+      if cmp_expr a b <= 0 then Binop (op, a, b) else Binop (op, b, a)
+  | Binop (Gt, a, b) -> Binop (Lt, expr b, expr a)
+  | Binop (Ge, a, b) -> Binop (Le, expr b, expr a)
+  | Binop (op, a, b) -> Binop (op, expr a, expr b)
+  | Unop (op, e) -> Unop (op, expr e)
+  | In_list (e, items) ->
+      In_list (expr e, List.sort cmp_expr (List.map expr items))
+  | In_select (e, sub) -> In_select (expr e, select sub)
+  | Is_null { e; negated } -> Is_null { e = expr e; negated }
+  | Like (e, p) -> Like (expr e, p)
+  | Between { e; lo; hi } -> Between { e = expr e; lo = expr lo; hi = expr hi }
+  | Agg (a, arg) -> Agg (a, Option.map expr arg)
+
+(* Select items are left untouched: an unaliased item's printed expression
+   is its result-column name, so rewriting it would change the result
+   set.  Clause lists (GROUP BY, ORDER BY) keep their order — it is
+   semantic — but each member expression is normalized. *)
+and select (s : select) =
+  {
+    s with
+    sel_joins = List.map (fun j -> { j with j_on = expr j.j_on }) s.sel_joins;
+    sel_where = Option.map expr s.sel_where;
+    sel_group_by = List.map expr s.sel_group_by;
+    sel_having = Option.map expr s.sel_having;
+    sel_order_by =
+      List.map (fun o -> { o with o_expr = expr o.o_expr }) s.sel_order_by;
+  }
+
+let stmt = function
+  | Select s -> Select (select s)
+  | s -> s
+
+let key s = Printer.to_string (stmt s)

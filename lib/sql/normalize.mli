@@ -1,0 +1,24 @@
+(** Semantic normalization of SQL ASTs.
+
+    Two statements that differ only in conjunct/disjunct order, the operand
+    order of commutative operators (equality, addition, multiplication),
+    the direction of
+    comparisons (a > b vs. b < a), or IN-list item order normalize to the
+    same AST — and therefore the same canonical text — so the query store
+    can deduplicate them as one batched query.
+
+    Select items are never rewritten (an unaliased item's printed form is
+    its result-column name) and clause lists keep their order, so the
+    normalized statement produces the same result set as the original.
+    The only observable difference is evaluation-error behavior: AND/OR
+    evaluate their operands left to right with short-circuiting, so
+    reordering can surface (or hide) an error in a branch the original
+    would have skipped.  Normalization is idempotent. *)
+
+val expr : Ast.expr -> Ast.expr
+val select : Ast.select -> Ast.select
+val stmt : Ast.stmt -> Ast.stmt
+
+val key : Ast.stmt -> string
+(** [Printer.to_string] of the normalized statement — the deduplication
+    key. *)

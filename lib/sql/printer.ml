@@ -8,6 +8,35 @@ let escape_string s =
     s;
   Buffer.contents buf
 
+(* Identifiers print bare unless they would lex back as a keyword (or are
+   not plain identifier shape), in which case they are double-quoted so the
+   round trip restores the exact name. *)
+let plain_ident s =
+  s <> ""
+  && (let c = s.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       s
+
+let ident_to_string s =
+  if plain_ident s && not (Lexer.is_keyword s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
 let literal_to_string = function
   | L_int n -> string_of_int n
   | L_float f ->
@@ -45,8 +74,8 @@ let agg_to_string = function
    round trip is exact. *)
 let rec expr_to_string = function
   | Lit l -> literal_to_string l
-  | Col (None, c) -> c
-  | Col (Some t, c) -> t ^ "." ^ c
+  | Col (None, c) -> ident_to_string c
+  | Col (Some t, c) -> ident_to_string t ^ "." ^ ident_to_string c
   | Binop (op, a, b) ->
       Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
         (expr_to_string b)
@@ -72,7 +101,7 @@ let rec expr_to_string = function
 and sel_item_to_string = function
   | Star -> "*"
   | Sel_expr (e, None) -> expr_to_string e
-  | Sel_expr (e, Some a) -> expr_to_string e ^ " AS " ^ a
+  | Sel_expr (e, Some a) -> expr_to_string e ^ " AS " ^ ident_to_string a
 
 and select_to_string s =
   let buf = Buffer.create 64 in
@@ -83,12 +112,16 @@ and select_to_string s =
   (match s.sel_from with
   | None -> ()
   | Some (t, alias) ->
-      Buffer.add_string buf (" FROM " ^ t);
-      Option.iter (fun a -> Buffer.add_string buf (" AS " ^ a)) alias);
+      Buffer.add_string buf (" FROM " ^ ident_to_string t);
+      Option.iter
+        (fun a -> Buffer.add_string buf (" AS " ^ ident_to_string a))
+        alias);
   List.iter
     (fun j ->
-      Buffer.add_string buf (" JOIN " ^ j.j_table);
-      Option.iter (fun a -> Buffer.add_string buf (" AS " ^ a)) j.j_alias;
+      Buffer.add_string buf (" JOIN " ^ ident_to_string j.j_table);
+      Option.iter
+        (fun a -> Buffer.add_string buf (" AS " ^ ident_to_string a))
+        j.j_alias;
       Buffer.add_string buf (" ON " ^ expr_to_string j.j_on))
     s.sel_joins;
   Option.iter
@@ -130,33 +163,33 @@ let to_string = function
       let row vs =
         "(" ^ String.concat ", " (List.map expr_to_string vs) ^ ")"
       in
-      Printf.sprintf "INSERT INTO %s (%s) VALUES %s" table
-        (String.concat ", " columns)
+      Printf.sprintf "INSERT INTO %s (%s) VALUES %s" (ident_to_string table)
+        (String.concat ", " (List.map ident_to_string columns))
         (String.concat ", " (List.map row rows))
   | Update { table; set; where } ->
-      let one (c, e) = c ^ " = " ^ expr_to_string e in
-      Printf.sprintf "UPDATE %s SET %s%s" table
+      let one (c, e) = ident_to_string c ^ " = " ^ expr_to_string e in
+      Printf.sprintf "UPDATE %s SET %s%s" (ident_to_string table)
         (String.concat ", " (List.map one set))
         (match where with
         | None -> ""
         | Some w -> " WHERE " ^ expr_to_string w)
   | Delete { table; where } ->
-      Printf.sprintf "DELETE FROM %s%s" table
+      Printf.sprintf "DELETE FROM %s%s" (ident_to_string table)
         (match where with
         | None -> ""
         | Some w -> " WHERE " ^ expr_to_string w)
   | Create_table { table; columns; primary_key } ->
       let col c =
-        Printf.sprintf "%s %s%s" c.cd_name
+        Printf.sprintf "%s %s%s" (ident_to_string c.cd_name)
           (col_type_to_string c.cd_type)
           (if c.cd_nullable then "" else " NOT NULL")
       in
       let pk =
         match primary_key with
         | None -> ""
-        | Some c -> Printf.sprintf ", PRIMARY KEY (%s)" c
+        | Some c -> Printf.sprintf ", PRIMARY KEY (%s)" (ident_to_string c)
       in
-      Printf.sprintf "CREATE TABLE %s (%s%s)" table
+      Printf.sprintf "CREATE TABLE %s (%s%s)" (ident_to_string table)
         (String.concat ", " (List.map col columns))
         pk
   | Begin_txn -> "BEGIN"

@@ -5,6 +5,8 @@
     store uses as the deduplication key for batched queries. *)
 
 val expr_to_string : Ast.expr -> string
+val sel_item_to_string : Ast.sel_item -> string
+val select_to_string : Ast.select -> string
 val to_string : Ast.stmt -> string
 
 val pp_expr : Format.formatter -> Ast.expr -> unit

@@ -34,14 +34,25 @@ type t = {
   mutable txn : Txn.t option;
   cost : Cost.model;
   mutable dur : dur option;
+  mutable planner : bool;  (* cost-based planning (off = legacy heuristics) *)
 }
 
 let error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
 
 let create ?(cost = Cost.default) () =
-  { tables = Hashtbl.create 32; order = []; txn = None; cost; dur = None }
+  {
+    tables = Hashtbl.create 32;
+    order = [];
+    txn = None;
+    cost;
+    dur = None;
+    planner = true;
+  }
 
 let cost_model t = t.cost
+let set_planner t on = t.planner <- on
+let planner_enabled t = t.planner
+let mode t = if t.planner then Executor.Planned else Executor.Direct
 
 (* --- write-ahead logging ------------------------------------------------- *)
 
@@ -396,7 +407,10 @@ let exec t stmt =
          unit (and a failing statement is rolled back whole rather than
          left half-applied). *)
       let txn = Txn.create () in
-      match Executor.execute (catalog t) ~log:(fun e -> Txn.log txn e) stmt with
+      match
+        Executor.execute (catalog t) ~log:(fun e -> Txn.log txn e)
+          ~mode:(mode t) ~model:t.cost stmt
+      with
       | { rs; rows_scanned; rows_affected } ->
           let entries = Txn.entries txn in
           Txn.commit txn;
@@ -411,7 +425,7 @@ let exec t stmt =
           error "%s" msg)
   | _ -> (
       let log = Option.map (fun txn e -> Txn.log txn e) t.txn in
-      match Executor.execute (catalog t) ?log stmt with
+      match Executor.execute (catalog t) ?log ~mode:(mode t) ~model:t.cost stmt with
       | { rs; rows_scanned; rows_affected } ->
           let cost_ms =
             Cost.query_ms t.cost ~rows_scanned
@@ -419,6 +433,45 @@ let exec t stmt =
           in
           { rs; rows_affected; cost_ms }
       | exception Executor.Sql_error msg -> error "%s" msg)
+
+(* Execute a whole batch.  With the planner on, maximal runs of consecutive
+   SELECTs go through {!Executor.execute_reads} together so identical
+   statements execute once and compatible sequential scans share one heap
+   pass; writes and transaction control run through {!exec} as barriers
+   between the read runs.  Outcomes come back in statement order. *)
+let exec_batch t stmts =
+  if not t.planner then List.map (exec t) stmts
+  else begin
+    let outcome_of_read (o : Executor.outcome) =
+      {
+        rs = o.rs;
+        rows_affected = o.rows_affected;
+        cost_ms =
+          Cost.query_ms t.cost ~rows_scanned:o.rows_scanned
+            ~rows_returned:(Result_set.num_rows o.rs);
+      }
+    in
+    let flush_reads pending acc =
+      match pending with
+      | [] -> acc
+      | _ -> (
+          let selects = List.rev pending in
+          match
+            Executor.execute_reads (catalog t) ~mode:(mode t) ~model:t.cost
+              selects
+          with
+          | outs -> List.rev_append (List.map outcome_of_read outs) acc
+          | exception Executor.Sql_error msg -> error "%s" msg)
+    in
+    let rec go pending acc = function
+      | [] -> List.rev (flush_reads pending acc)
+      | Sloth_sql.Ast.Select s :: rest -> go (s :: pending) acc rest
+      | stmt :: rest ->
+          let acc = flush_reads pending acc in
+          go [] (exec t stmt :: acc) rest
+    in
+    go [] [] stmts
+  end
 
 let exec_sql t sql =
   match Sloth_sql.Parser.parse sql with

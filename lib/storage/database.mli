@@ -27,6 +27,18 @@ val create : ?cost:Cost.model -> unit -> t
 
 val cost_model : t -> Cost.model
 
+val set_planner : t -> bool -> unit
+(** Toggle cost-based planning (on by default).  Off, every statement runs
+    through the legacy first-match heuristics ({!Executor.Direct}) and
+    {!exec_batch} degenerates to independent per-statement execution — the
+    differential oracle for the planned path. *)
+
+val planner_enabled : t -> bool
+
+val catalog : t -> Executor.catalog
+(** The executor's view of this database's tables (used by [explain] to
+    plan without executing). *)
+
 val enable_durability :
   ?checkpoint_every:int -> wal:Wal.store -> checkpoint:Wal.store -> t -> unit
 (** Attach a write-ahead log and a checkpoint store.  Every commit appends
@@ -90,6 +102,16 @@ val exec : t -> Sloth_sql.Ast.stmt -> outcome
     explicit transaction, writes are autocommitted.  Raises {!Sql_error} on
     constraint violations or malformed statements; if the error happens
     inside a transaction the transaction stays open (the client decides). *)
+
+val exec_batch : t -> Sloth_sql.Ast.stmt list -> outcome list
+(** Execute a whole batch, in order.  With the planner enabled, maximal
+    runs of consecutive SELECTs are executed together: statements that
+    normalize to the same canonical form run once (duplicates share the
+    result at zero scan cost) and plans that resolved to full sequential
+    scans of the same table share a single heap pass, so the summed
+    [cost_ms] reflects the shared work.  Writes and transaction control
+    act as barriers between read runs.  Result sets are identical to
+    [List.map (exec t)]. *)
 
 val exec_sql : t -> string -> outcome
 (** Parse then {!exec}. *)

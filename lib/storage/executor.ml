@@ -11,6 +11,8 @@ type outcome = {
   rows_affected : int;
 }
 
+type mode = Direct | Planned
+
 exception Sql_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
@@ -22,102 +24,23 @@ let get_table cat name =
 
 let binding_name table alias = Option.value alias ~default:table
 
-(* --- predicate analysis ----------------------------------------------- *)
+(* --- physical-plan interpretation --------------------------------------- *)
 
-let rec conjuncts = function
-  | Binop (And, a, b) -> conjuncts a @ conjuncts b
-  | e -> [ e ]
-
-let rec is_closed = function
-  | Lit _ -> true
-  | Col _ -> false
-  | Binop (_, a, b) -> is_closed a && is_closed b
-  | Unop (_, e) -> is_closed e
-  | In_list (e, items) -> is_closed e && List.for_all is_closed items
-  | Is_null { e; _ } -> is_closed e
-  | Like (e, _) -> is_closed e
-  | Between { e; lo; hi } -> is_closed e && is_closed lo && is_closed hi
-  | In_select _ -> false
-  | Agg _ -> false
-
-(* Find an equality [col = closed-expr] over the given binding that can use
-   an index of [table]. *)
-let indexable_eq ~binding table preds =
-  let candidate col rhs =
-    if Table.has_index table col && is_closed rhs then
-      Some (col, Eval.eval_const rhs)
-    else None
-  in
-  let matches_binding q col =
-    (match q with Some q -> String.equal q binding | None -> true)
-    && Schema.mem (Table.schema table) col
-  in
-  List.find_map
-    (function
-      | Binop (Eq, Col (q, c), rhs) when matches_binding q c ->
-          candidate c rhs
-      | Binop (Eq, rhs, Col (q, c)) when matches_binding q c ->
-          candidate c rhs
-      | _ -> None)
-    preds
-
-(* Find a range predicate [col < / <= / > / >= closed-expr] or
-   [col BETWEEN closed AND closed] over an ordered-indexed column. *)
-let indexable_range ~binding table preds =
-  let matches_binding q col =
-    (match q with Some q -> String.equal q binding | None -> true)
-    && Schema.mem (Table.schema table) col
-  in
-  let ok q c rhs =
-    matches_binding q c && Table.has_ordered_index table c && is_closed rhs
-  in
-  let bound op v =
-    match op with
-    | Gt -> (Some (v, false), None)
-    | Ge -> (Some (v, true), None)
-    | Lt -> (None, Some (v, false))
-    | Le -> (None, Some (v, true))
-    | _ -> assert false
-  in
-  let flip = function Gt -> Lt | Ge -> Le | Lt -> Gt | Le -> Ge | op -> op in
-  List.find_map
-    (function
-      | Binop (((Gt | Ge | Lt | Le) as op), Col (q, c), rhs) when ok q c rhs ->
-          let lo, hi = bound op (Eval.eval_const rhs) in
-          Some (c, lo, hi)
-      | Binop (((Gt | Ge | Lt | Le) as op), rhs, Col (q, c)) when ok q c rhs ->
-          let lo, hi = bound (flip op) (Eval.eval_const rhs) in
-          Some (c, lo, hi)
-      | Between { e = Col (q, c); lo; hi }
-        when matches_binding q c
-             && Table.has_ordered_index table c
-             && is_closed lo && is_closed hi ->
-          Some
-            ( c,
-              Some (Eval.eval_const lo, true),
-              Some (Eval.eval_const hi, true) )
-      | _ -> None)
-    preds
-
-(* --- base row production ---------------------------------------------- *)
-
-(* Produce the environments for the FROM table, using an index when a WHERE
-   conjunct allows it.  Returns (envs, rows_scanned). *)
-let base_rows cat scanned (table_name, alias) where =
+(* Produce the environments for one base table according to the planned
+   access path.  Index paths yield rids in ascending order (re-sorted for
+   range scans), so every access path enumerates rows in rid order and the
+   choice is invisible to the result. *)
+let run_access cat scanned ~table:table_name ~binding access =
   let table = get_table cat table_name in
-  let binding = binding_name table_name alias in
   let schema = Table.schema table in
-  let preds = match where with None -> [] | Some w -> conjuncts w in
   let candidate_rids =
-    match indexable_eq ~binding table preds with
-    | Some (col, key) -> Table.lookup_indexed table col key
-    | None -> (
-        match indexable_range ~binding table preds with
-        | Some (col, lo, hi) ->
-            (* Back to rid order so index and scan paths agree exactly. *)
-            Option.map (List.sort Int.compare)
-              (Table.lookup_range table col ?lo ?hi ())
-        | None -> None)
+    match access with
+    | Plan.Seq_scan -> None
+    | Plan.Index_eq { column; key } -> Table.lookup_indexed table column key
+    | Plan.Index_range { column; lo; hi } ->
+        (* Back to rid order so index and scan paths agree exactly. *)
+        Option.map (List.sort Int.compare)
+          (Table.lookup_range table column ?lo ?hi ())
   in
   match candidate_rids with
   | Some rids ->
@@ -132,63 +55,60 @@ let base_rows cat scanned (table_name, alias) where =
       Table.iter (fun _ row -> acc := [ (binding, schema, row) ] :: !acc) table;
       List.rev !acc
 
-(* Extend each environment with rows of a joined table.  Uses an index when
-   the ON clause is an equality whose one side is a column of the joined
-   table and whose other side is evaluable in the outer environment. *)
-let join_rows cat scanned envs { j_table; j_alias; j_on } =
+(* Extend each environment with rows of a joined table.  An index probe
+   evaluates the planned outer expression per environment; rows where it
+   cannot be evaluated fall back to a scan, and the full ON clause is
+   always re-applied. *)
+let run_join cat scanned envs ~table:j_table ~binding ~on strategy =
   let table = get_table cat j_table in
-  let binding = binding_name j_table j_alias in
   let schema = Table.schema table in
-  let refs_join_only q c =
-    (match q with Some q -> String.equal q binding | None -> true)
-    && Schema.mem schema c
-  in
-  let index_plan =
-    match j_on with
-    | Binop (Eq, Col (q, c), other) when refs_join_only q c && Table.has_index table c ->
-        Some (c, other)
-    | Binop (Eq, other, Col (q, c)) when refs_join_only q c && Table.has_index table c ->
-        Some (c, other)
-    | _ -> None
+  let scan_extend env =
+    scanned := !scanned + Table.row_count table;
+    let acc = ref [] in
+    Table.iter
+      (fun _ row ->
+        let env' = env @ [ (binding, schema, row) ] in
+        if Value.is_truthy (Eval.eval env' on) then acc := env' :: !acc)
+      table;
+    List.rev !acc
   in
   let extend env =
-    match index_plan with
-    | Some (col, other_side) -> (
-        (* The other side must be evaluable in the outer env alone. *)
-        match Eval.eval env other_side with
-        | key ->
-            let rids = Option.get (Table.lookup_indexed table col key) in
-            scanned := !scanned + List.length rids;
-            List.filter_map
-              (fun rid ->
-                match Table.get table rid with
-                | Some row ->
-                    let env' = env @ [ (binding, schema, row) ] in
-                    if Value.is_truthy (Eval.eval env' j_on) then Some env'
-                    else None
-                | None -> None)
-              rids
-        | exception Eval.Error _ ->
-            (* Fall back to a scan below by raising through. *)
-            scanned := !scanned + Table.row_count table;
-            let acc = ref [] in
-            Table.iter
-              (fun _ row ->
-                let env' = env @ [ (binding, schema, row) ] in
-                if Value.is_truthy (Eval.eval env' j_on) then acc := env' :: !acc)
-              table;
-            List.rev !acc)
-    | None ->
-        scanned := !scanned + Table.row_count table;
-        let acc = ref [] in
-        Table.iter
-          (fun _ row ->
-            let env' = env @ [ (binding, schema, row) ] in
-            if Value.is_truthy (Eval.eval env' j_on) then acc := env' :: !acc)
-          table;
-        List.rev !acc
+    match strategy with
+    | Plan.Nested_loop -> scan_extend env
+    | Plan.Index_probe { column; outer } -> (
+        match Eval.eval env outer with
+        | key -> (
+            match Table.lookup_indexed table column key with
+            | Some rids ->
+                scanned := !scanned + List.length rids;
+                List.filter_map
+                  (fun rid ->
+                    match Table.get table rid with
+                    | Some row ->
+                        let env' = env @ [ (binding, schema, row) ] in
+                        if Value.is_truthy (Eval.eval env' on) then Some env'
+                        else None
+                    | None -> None)
+                  rids
+            | None -> scan_extend env)
+        | exception Eval.Error _ -> scan_extend env)
   in
   List.concat_map extend envs
+
+let rec run_source cat scanned = function
+  | Plan.P_nothing -> [ [] ]
+  | Plan.P_scan { table; binding; access; _ } ->
+      run_access cat scanned ~table ~binding access
+  | Plan.P_join { left; table; binding; on; strategy; _ } ->
+      let envs = run_source cat scanned left in
+      run_join cat scanned envs ~table ~binding ~on strategy
+
+let rec source_schemas cat = function
+  | Plan.P_nothing -> []
+  | Plan.P_scan { table; binding; _ } ->
+      [ (binding, Table.schema (get_table cat table)) ]
+  | Plan.P_join { left; table; binding; _ } ->
+      source_schemas cat left @ [ (binding, Table.schema (get_table cat table)) ]
 
 (* --- projection -------------------------------------------------------- *)
 
@@ -365,77 +285,29 @@ let validate_select cat (s : select) =
   List.iter (fun o -> validate_cols bindings o.o_expr) s.sel_order_by;
   List.iter (fun j -> validate_cols bindings j.j_on) s.sel_joins
 
-(* Replace every [e IN (SELECT ...)] with [e IN (v1, ..., vn)] by running
-   the (uncorrelated) subquery — a single-column result — up front.
-   [exec_ref] breaks the recursion with exec_select. *)
-let exec_select_ref :
-    (catalog -> select -> outcome) ref =
-  ref (fun _ _ -> error "executor not initialised")
-
-let rec materialize cat expr =
-  match expr with
-  | Lit _ | Col _ -> expr
-  | Binop (op, a, b) -> Binop (op, materialize cat a, materialize cat b)
-  | Unop (op, e) -> Unop (op, materialize cat e)
-  | In_list (e, items) ->
-      In_list (materialize cat e, List.map (materialize cat) items)
-  | Is_null { e; negated } -> Is_null { e = materialize cat e; negated }
-  | Like (e, p) -> Like (materialize cat e, p)
-  | Between { e; lo; hi } ->
-      Between
-        { e = materialize cat e; lo = materialize cat lo;
-          hi = materialize cat hi }
-  | Agg (a, arg) -> Agg (a, Option.map (materialize cat) arg)
-  | In_select (e, sub) ->
-      let outcome = !exec_select_ref cat sub in
-      let values =
-        List.map
-          (fun row ->
-            if Array.length row <> 1 then
-              error "IN subquery must produce a single column"
-            else Lit (value_to_lit row.(0)))
-          (Result_set.rows outcome.rs)
-      in
-      In_list (materialize cat e, values)
-
-let materialize_select cat (s : select) =
-  {
-    s with
-    sel_where = Option.map (materialize cat) s.sel_where;
-    sel_having = Option.map (materialize cat) s.sel_having;
-  }
-
-let exec_select cat (s : select) =
-  let s = materialize_select cat s in
-  validate_select cat s;
-  let scanned = ref 0 in
-  let envs =
-    match s.sel_from with
-    | None -> [ [] ]
-    | Some from ->
-        let base = base_rows cat scanned from s.sel_where in
-        List.fold_left (join_rows cat scanned) base s.sel_joins
-  in
+(* The residual pipeline above the plan's source: filter, aggregate, sort,
+   paginate, project.  [scanned] already counts the source's work. *)
+let finish cat (p : Plan.physical) ~scanned envs =
   (* Apply the full WHERE (the index was only a pre-filter). *)
   let envs =
-    match s.sel_where with
+    match p.Plan.p_where with
     | None -> envs
     | Some w -> List.filter (fun env -> Value.is_truthy (Eval.eval env w)) envs
   in
   let bindings =
     match envs with
     | env :: _ -> List.map (fun (b, sch, _) -> (b, sch)) env
-    | [] -> select_bindings cat s
+    | [] -> source_schemas cat p.Plan.p_source
   in
   let aggregated =
-    s.sel_group_by <> []
+    p.Plan.p_group_by <> []
     || List.exists
          (function Star -> false | Sel_expr (e, _) -> has_agg e)
-         s.sel_items
+         p.Plan.p_items
   in
   if aggregated then begin
     (* Group rows by the GROUP BY key (all rows form one group if absent). *)
-    let key env = List.map (fun e -> Eval.eval env e) s.sel_group_by in
+    let key env = List.map (fun e -> Eval.eval env e) p.Plan.p_group_by in
     let groups : (Value.t list * Eval.env list ref) list ref = ref [] in
     List.iter
       (fun env ->
@@ -451,8 +323,9 @@ let exec_select cat (s : select) =
     in
     let groups =
       (* A global aggregate over an empty input still yields one row. *)
-      if groups = [] && s.sel_group_by = [] && envs = [] then
-        if s.sel_from = None then [ ([], [ [] ]) ] else [ ([], []) ]
+      if groups = [] && p.Plan.p_group_by = [] && envs = [] then
+        if p.Plan.p_source = Plan.P_nothing then [ ([], [ [] ]) ]
+        else [ ([], []) ]
       else groups
     in
     let items =
@@ -460,7 +333,7 @@ let exec_select cat (s : select) =
         (function
           | Star -> error "SELECT * cannot be combined with aggregates"
           | Sel_expr (e, _) as item -> (item_name item, e))
-        s.sel_items
+        p.Plan.p_items
     in
     let row_of_group (_, group) =
       Array.of_list
@@ -479,7 +352,7 @@ let exec_select cat (s : select) =
     (* HAVING filters groups; the predicate may mix aggregates and group
        keys, evaluated the same way as select items. *)
     let groups =
-      match s.sel_having with
+      match p.Plan.p_having with
       | None -> groups
       | Some h ->
           List.filter
@@ -490,7 +363,7 @@ let exec_select cat (s : select) =
             groups
     in
     let groups =
-      match s.sel_order_by with
+      match p.Plan.p_order_by with
       | [] -> groups
       | os ->
           let keyed =
@@ -524,17 +397,17 @@ let exec_select cat (s : select) =
           List.map snd (List.stable_sort cmp keyed)
     in
     let groups =
-      match s.sel_offset with
+      match p.Plan.p_offset with
       | None -> groups
       | Some n -> List.filteri (fun i _ -> i >= n) groups
     in
     let groups =
-      match s.sel_limit with
+      match p.Plan.p_limit with
       | None -> groups
       | Some n -> List.filteri (fun i _ -> i < n) groups
     in
     let rows = List.map row_of_group groups in
-    let rows = if s.sel_distinct then dedupe_rows rows else rows in
+    let rows = if p.Plan.p_distinct then dedupe_rows rows else rows in
     {
       rs = Result_set.create ~columns:(List.map fst items) rows;
       rows_scanned = !scanned;
@@ -543,7 +416,7 @@ let exec_select cat (s : select) =
   end
   else begin
     let envs =
-      match s.sel_order_by with
+      match p.Plan.p_order_by with
       | [] -> envs
       | os ->
           let keyed =
@@ -566,29 +439,199 @@ let exec_select cat (s : select) =
           List.map snd (List.stable_sort cmp keyed)
     in
     let envs =
-      match s.sel_offset with
+      match p.Plan.p_offset with
       | None -> envs
       | Some n -> List.filteri (fun i _ -> i >= n) envs
     in
     let envs =
-      match s.sel_limit with
+      match p.Plan.p_limit with
       | None -> envs
       | Some n -> List.filteri (fun i _ -> i < n) envs
     in
-    let named = expand_items bindings s.sel_items in
+    let named = expand_items bindings p.Plan.p_items in
     let rows =
       List.map
         (fun env ->
           Array.of_list (List.map (fun (_, e) -> Eval.eval env e) named))
         envs
     in
-    let rows = if s.sel_distinct then dedupe_rows rows else rows in
+    let rows = if p.Plan.p_distinct then dedupe_rows rows else rows in
     {
       rs = Result_set.create ~columns:(List.map fst named) rows;
       rows_scanned = !scanned;
       rows_affected = 0;
     }
   end
+
+(* Replace every [e IN (SELECT ...)] with [e IN (v1, ..., vn)] by running
+   the (uncorrelated) subquery — a single-column result — up front; its
+   scanned rows are the subquery's own business.  Then validate, plan and
+   interpret. *)
+let rec materialize cat ~mode ~model expr =
+  match expr with
+  | Lit _ | Col _ -> expr
+  | Binop (op, a, b) ->
+      Binop (op, materialize cat ~mode ~model a, materialize cat ~mode ~model b)
+  | Unop (op, e) -> Unop (op, materialize cat ~mode ~model e)
+  | In_list (e, items) ->
+      In_list
+        ( materialize cat ~mode ~model e,
+          List.map (materialize cat ~mode ~model) items )
+  | Is_null { e; negated } ->
+      Is_null { e = materialize cat ~mode ~model e; negated }
+  | Like (e, p) -> Like (materialize cat ~mode ~model e, p)
+  | Between { e; lo; hi } ->
+      Between
+        {
+          e = materialize cat ~mode ~model e;
+          lo = materialize cat ~mode ~model lo;
+          hi = materialize cat ~mode ~model hi;
+        }
+  | Agg (a, arg) -> Agg (a, Option.map (materialize cat ~mode ~model) arg)
+  | In_select (e, sub) ->
+      let outcome = exec_select cat ~mode ~model sub in
+      let values =
+        List.map
+          (fun row ->
+            if Array.length row <> 1 then
+              error "IN subquery must produce a single column"
+            else Lit (value_to_lit row.(0)))
+          (Result_set.rows outcome.rs)
+      in
+      In_list (materialize cat ~mode ~model e, values)
+
+and materialize_select cat ~mode ~model (s : select) =
+  {
+    s with
+    sel_where = Option.map (materialize cat ~mode ~model) s.sel_where;
+    sel_having = Option.map (materialize cat ~mode ~model) s.sel_having;
+  }
+
+and plan_select cat ~mode ~model (s : select) =
+  let find name = get_table cat name in
+  match mode with
+  | Planned -> Planner.plan ~find ~model s
+  | Direct -> Planner.direct ~find ~model s
+
+and exec_select cat ~mode ~model (s : select) =
+  let s = materialize_select cat ~mode ~model s in
+  validate_select cat s;
+  let p = plan_select cat ~mode ~model s in
+  let scanned = ref 0 in
+  let envs = run_source cat scanned p.Plan.p_source in
+  finish cat p ~scanned envs
+
+let plan_of_select cat ?(mode = Planned) ?(model = Cost.default) s =
+  let s = materialize_select cat ~mode ~model s in
+  validate_select cat s;
+  plan_select cat ~mode ~model s
+
+(* --- multi-query batch execution ---------------------------------------- *)
+
+type planned_read = {
+  pr_phys : Plan.physical;
+  mutable pr_outcome : outcome option;
+}
+
+(* Execute a batch of reads together (SharedDB-style): identical statements
+   (modulo normalization) are planned and executed once, and all plans that
+   resolved to a full sequential scan of the same table share a single pass
+   over its heap — the first sharer is charged the scan, the others ride
+   along for free.  Result sets are identical to independent execution:
+   every shared path enumerates rows in rid order and the full WHERE is
+   re-applied per query. *)
+let execute_reads cat ?(mode = Planned) ?(model = Cost.default) selects =
+  let by_key : (string, planned_read) Hashtbl.t = Hashtbl.create 16 in
+  let entries =
+    List.map
+      (fun s ->
+        let key =
+          Sloth_sql.Printer.to_string (Sloth_sql.Normalize.stmt (Select s))
+        in
+        match Hashtbl.find_opt by_key key with
+        | Some pr -> (pr, false)
+        | None ->
+            let s = materialize_select cat ~mode ~model s in
+            validate_select cat s;
+            let pr =
+              {
+                pr_phys = plan_select cat ~mode ~model s;
+                pr_outcome = None;
+              }
+            in
+            Hashtbl.add by_key key pr;
+            (pr, true))
+      selects
+  in
+  let reps = List.filter_map (fun (pr, first) -> if first then Some pr else None) entries in
+  (* Group shared-scannable plans (bare sequential scans, no joins) by
+     table, preserving first-come order within each group. *)
+  let scan_table pr =
+    match pr.pr_phys.Plan.p_source with
+    | Plan.P_scan { table; access = Plan.Seq_scan; _ } -> Some table
+    | _ -> None
+  in
+  let groups : (string, planned_read list ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun pr ->
+      match scan_table pr with
+      | Some table -> (
+          match Hashtbl.find_opt groups table with
+          | Some cell -> cell := pr :: !cell
+          | None -> Hashtbl.add groups table (ref [ pr ]))
+      | None -> ())
+    reps;
+  let shared_scan table members =
+    let tbl = get_table cat table in
+    let schema = Table.schema tbl in
+    let members =
+      List.map
+        (fun pr ->
+          let binding =
+            match pr.pr_phys.Plan.p_source with
+            | Plan.P_scan { binding; _ } -> binding
+            | _ -> assert false
+          in
+          (pr, binding, ref []))
+        members
+    in
+    (* One pass over the heap feeds every member's environment list. *)
+    Table.iter
+      (fun _ row ->
+        List.iter
+          (fun (_, binding, acc) -> acc := [ (binding, schema, row) ] :: !acc)
+          members)
+      tbl;
+    List.iteri
+      (fun i (pr, _, acc) ->
+        let scanned = ref (if i = 0 then Table.row_count tbl else 0) in
+        pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned (List.rev !acc)))
+      members
+  in
+  List.iter
+    (fun pr ->
+      if pr.pr_outcome = None then
+        match scan_table pr with
+        | Some table -> (
+            match Hashtbl.find_opt groups table with
+            | Some cell when List.length !cell > 1 ->
+                shared_scan table (List.rev !cell)
+            | _ ->
+                let scanned = ref 0 in
+                let envs = run_source cat scanned pr.pr_phys.Plan.p_source in
+                pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned envs))
+        | None ->
+            let scanned = ref 0 in
+            let envs = run_source cat scanned pr.pr_phys.Plan.p_source in
+            pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned envs))
+    reps;
+  List.map
+    (fun (pr, first) ->
+      let o = Option.get pr.pr_outcome in
+      (* A deduplicated copy shares the representative's result without
+         re-doing its work. *)
+      if first then o else { o with rows_scanned = 0 })
+    entries
 
 (* --- writes ------------------------------------------------------------ *)
 
@@ -621,13 +664,14 @@ let exec_insert cat ?log ~table ~columns ~rows () =
     rows;
   { rs = Result_set.empty; rows_scanned = 0; rows_affected = !n }
 
-(* Rows matching a WHERE clause on a single table, as (rid, row) pairs. *)
+(* Rows matching a WHERE clause on a single table, as (rid, row) pairs.
+   Writes keep the direct first-match heuristic — their row targeting is
+   not cost-planned. *)
 let matching_rows table where scanned =
   let binding = Schema.name (Table.schema table) in
   let schema = Table.schema table in
-  let preds = match where with None -> [] | Some w -> conjuncts w in
   let candidates =
-    match indexable_eq ~binding table preds with
+    match Planner.write_eq table where with
     | Some (col, key) ->
         let rids = Option.get (Table.lookup_indexed table col key) in
         scanned := !scanned + List.length rids;
@@ -647,8 +691,8 @@ let matching_rows table where scanned =
         (fun (_, row) -> Value.is_truthy (Eval.eval [ (binding, schema, row) ] w))
         candidates
 
-let exec_update cat ?log ~table ~set ~where () =
-  let where = Option.map (materialize cat) where in
+let exec_update cat ?log ~mode ~model ~table ~set ~where () =
+  let where = Option.map (materialize cat ~mode ~model) where in
   let t = get_table cat table in
   let schema = Table.schema t in
   let binding = Schema.name schema in
@@ -673,8 +717,8 @@ let exec_update cat ?log ~table ~set ~where () =
     rows_affected = List.length targets;
   }
 
-let exec_delete cat ?log ~table ~where () =
-  let where = Option.map (materialize cat) where in
+let exec_delete cat ?log ~mode ~model ~table ~where () =
+  let where = Option.map (materialize cat ~mode ~model) where in
   let t = get_table cat table in
   let scanned = ref 0 in
   let targets = matching_rows t where scanned in
@@ -690,19 +734,23 @@ let exec_delete cat ?log ~table ~where () =
     rows_affected = List.length targets;
   }
 
-let () = exec_select_ref := exec_select
-
-let execute cat ?log stmt =
+let execute cat ?log ?(mode = Planned) ?(model = Cost.default) stmt =
   try
     match stmt with
-    | Select s -> exec_select cat s
+    | Select s -> exec_select cat ~mode ~model s
     | Insert { table; columns; rows } ->
         exec_insert cat ?log ~table ~columns ~rows ()
-    | Update { table; set; where } -> exec_update cat ?log ~table ~set ~where ()
-    | Delete { table; where } -> exec_delete cat ?log ~table ~where ()
+    | Update { table; set; where } ->
+        exec_update cat ?log ~mode ~model ~table ~set ~where ()
+    | Delete { table; where } ->
+        exec_delete cat ?log ~mode ~model ~table ~where ()
     | Create_table { table; columns; primary_key } ->
         cat.add_table (Schema.of_ast ~table columns ~primary_key);
         { rs = Result_set.empty; rows_scanned = 0; rows_affected = 0 }
     | Begin_txn | Commit | Rollback ->
         error "transaction control reached the executor"
+  with Eval.Error msg -> error "%s" msg
+
+let execute_reads cat ?mode ?model selects =
+  try execute_reads cat ?mode ?model selects
   with Eval.Error msg -> error "%s" msg

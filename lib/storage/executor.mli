@@ -1,9 +1,12 @@
 (** Statement execution against a catalog of tables.
 
-    The executor is deliberately planner-free: the only optimization is
-    using a hash index for equality predicates (primary key or secondary),
-    both for base-table selection and for equi-joins.  Everything else is a
-    deterministic scan in row-id order. *)
+    The executor is a physical-plan interpreter: every SELECT is lowered and
+    planned by {!Planner} (cost-based in {!Planned} mode, the legacy
+    first-match heuristics in {!Direct} mode) and the resulting {!Plan}
+    operators are interpreted here.  All access paths enumerate rows in
+    row-id order and the full WHERE is re-applied above them, so the two
+    modes produce identical result sets — [Direct] survives as the
+    differential oracle for the planner. *)
 
 type catalog = {
   find_table : string -> Table.t option;
@@ -16,10 +19,45 @@ type outcome = {
   rows_affected : int;  (** for writes *)
 }
 
+(** How SELECT access paths are chosen. *)
+type mode =
+  | Direct  (** the legacy planner-free heuristics (oracle path) *)
+  | Planned  (** cost-based planning over table statistics *)
+
 exception Sql_error of string
 
 val execute :
-  catalog -> ?log:(Txn.entry -> unit) -> Sloth_sql.Ast.stmt -> outcome
+  catalog ->
+  ?log:(Txn.entry -> unit) ->
+  ?mode:mode ->
+  ?model:Cost.model ->
+  Sloth_sql.Ast.stmt ->
+  outcome
 (** Execute SELECT / INSERT / UPDATE / DELETE / CREATE TABLE.  Transaction
     control statements are the database layer's business and raise
-    {!Sql_error} here.  [log] receives undo entries for heap mutations. *)
+    {!Sql_error} here.  [log] receives undo entries for heap mutations.
+    [mode] defaults to [Planned]; [model] feeds the cost estimates. *)
+
+val execute_reads :
+  catalog ->
+  ?mode:mode ->
+  ?model:Cost.model ->
+  Sloth_sql.Ast.select list ->
+  outcome list
+(** Execute a batch of reads together (multi-query optimization).
+    Statements that normalize to the same canonical form are planned and
+    executed once — duplicates share the representative's result set with
+    [rows_scanned = 0].  Plans that resolved to a full sequential scan of
+    the same table share a single pass over its heap: the first sharer is
+    charged the scan, the rest report [rows_scanned = 0] for it.  Result
+    sets are identical to executing each statement independently.  Outcomes
+    are returned in input order; any statement's error fails the batch. *)
+
+val plan_of_select :
+  catalog ->
+  ?mode:mode ->
+  ?model:Cost.model ->
+  Sloth_sql.Ast.select ->
+  Plan.physical
+(** Materialize IN-subqueries, validate, and plan a SELECT without
+    executing it (the [explain] entry point). *)

@@ -1,0 +1,174 @@
+open Sloth_sql.Ast
+
+type est = { est_rows : float; est_ms : float }
+
+type access =
+  | Seq_scan
+  | Index_eq of { column : string; key : Value.t }
+  | Index_range of {
+      column : string;
+      lo : (Value.t * bool) option;
+      hi : (Value.t * bool) option;
+    }
+
+type join_strategy =
+  | Nested_loop
+  | Index_probe of { column : string; outer : expr }
+
+type l_source =
+  | L_nothing
+  | L_scan of { table : string; binding : string }
+  | L_join of { left : l_source; table : string; binding : string; on : expr }
+
+type logical = {
+  l_source : l_source;
+  l_where : expr option;
+  l_group_by : expr list;
+  l_having : expr option;
+  l_order_by : order list;
+  l_distinct : bool;
+  l_limit : int option;
+  l_offset : int option;
+  l_items : sel_item list;
+}
+
+type p_source =
+  | P_nothing
+  | P_scan of { table : string; binding : string; access : access; est : est }
+  | P_join of {
+      left : p_source;
+      table : string;
+      binding : string;
+      on : expr;
+      strategy : join_strategy;
+      est : est;
+    }
+
+type physical = {
+  p_source : p_source;
+  p_where : expr option;
+  p_group_by : expr list;
+  p_having : expr option;
+  p_order_by : order list;
+  p_distinct : bool;
+  p_limit : int option;
+  p_offset : int option;
+  p_items : sel_item list;
+  p_est : est;
+}
+
+let source_est = function
+  | P_nothing -> { est_rows = 1.0; est_ms = 0.0 }
+  | P_scan { est; _ } | P_join { est; _ } -> est
+
+(* --- pretty-printing ---------------------------------------------------- *)
+
+let expr_str = Sloth_sql.Printer.expr_to_string
+
+let binding_str ~table ~binding =
+  if String.equal table binding then table else table ^ " AS " ^ binding
+
+let items_str items =
+  String.concat ", " (List.map Sloth_sql.Printer.sel_item_to_string items)
+
+let order_str os =
+  String.concat ", "
+    (List.map
+       (fun o -> expr_str o.o_expr ^ if o.o_asc then " ASC" else " DESC")
+       os)
+
+let bound_str (lo, hi) =
+  Printf.sprintf "%s, %s"
+    (match lo with
+    | None -> "(-inf"
+    | Some (v, incl) -> (if incl then "[" else "(") ^ Value.to_string v)
+    (match hi with
+    | None -> "+inf)"
+    | Some (v, incl) -> Value.to_string v ^ if incl then "]" else ")")
+
+let est_str { est_rows; est_ms } =
+  Printf.sprintf "(est rows=%.1f cost=%.4fms)" est_rows est_ms
+
+let access_str ~table ~binding ~est = function
+  | Seq_scan ->
+      Printf.sprintf "SeqScan %s %s" (binding_str ~table ~binding)
+        (est_str est)
+  | Index_eq { column; key } ->
+      Printf.sprintf "IndexEqScan %s ON %s = %s %s"
+        (binding_str ~table ~binding)
+        column (Value.to_string key) (est_str est)
+  | Index_range { column; lo; hi } ->
+      Printf.sprintf "IndexRangeScan %s ON %s IN %s %s"
+        (binding_str ~table ~binding)
+        column
+        (bound_str (lo, hi))
+        (est_str est)
+
+(* Each plan prints as an indented operator tree, top operator first, so
+   `explain` output reads like a conventional EXPLAIN. *)
+let lines_of_pipeline ~items ~distinct ~limit ~offset ~order_by ~having
+    ~group_by ~where source_lines =
+  let wrap label lines = label :: List.map (fun l -> "  " ^ l) lines in
+  let opt o f lines = match o with None -> lines | Some v -> wrap (f v) lines in
+  let non_empty l f lines = if l = [] then lines else wrap (f l) lines in
+  let maybe cond label lines = if cond then wrap label lines else lines in
+  source_lines
+  |> opt where (fun w -> Printf.sprintf "Filter %s" (expr_str w))
+  |> non_empty group_by (fun gs ->
+         Printf.sprintf "GroupBy [%s]"
+           (String.concat ", " (List.map expr_str gs)))
+  |> opt having (fun h -> Printf.sprintf "Having %s" (expr_str h))
+  |> non_empty order_by (fun os -> Printf.sprintf "Sort [%s]" (order_str os))
+  |> opt offset (Printf.sprintf "Offset %d")
+  |> opt limit (Printf.sprintf "Limit %d")
+  |> maybe distinct "Distinct"
+  |> wrap (Printf.sprintf "Project [%s]" (items_str items))
+
+let rec lines_of_l_source = function
+  | L_nothing -> [ "NoTable" ]
+  | L_scan { table; binding } ->
+      [ Printf.sprintf "Scan %s" (binding_str ~table ~binding) ]
+  | L_join { left; table; binding; on } ->
+      Printf.sprintf "Join %s ON %s" (binding_str ~table ~binding)
+        (expr_str on)
+      :: List.map (fun l -> "  " ^ l) (lines_of_l_source left)
+
+let rec lines_of_p_source = function
+  | P_nothing -> [ "NoTable" ]
+  | P_scan { table; binding; access; est } ->
+      [ access_str ~table ~binding ~est access ]
+  | P_join { left; table; binding; on; strategy; est } ->
+      let head =
+        match strategy with
+        | Nested_loop ->
+            Printf.sprintf "NestedLoopJoin %s ON %s %s"
+              (binding_str ~table ~binding)
+              (expr_str on) (est_str est)
+        | Index_probe { column; outer } ->
+            Printf.sprintf "IndexProbeJoin %s probe %s = %s ON %s %s"
+              (binding_str ~table ~binding)
+              column (expr_str outer) (expr_str on) (est_str est)
+      in
+      head :: List.map (fun l -> "  " ^ l) (lines_of_p_source left)
+
+let logical_lines (l : logical) =
+  lines_of_pipeline ~items:l.l_items ~distinct:l.l_distinct ~limit:l.l_limit
+    ~offset:l.l_offset ~order_by:l.l_order_by ~having:l.l_having
+    ~group_by:l.l_group_by ~where:l.l_where
+    (lines_of_l_source l.l_source)
+
+let physical_lines (p : physical) =
+  lines_of_pipeline ~items:p.p_items ~distinct:p.p_distinct ~limit:p.p_limit
+    ~offset:p.p_offset ~order_by:p.p_order_by ~having:p.p_having
+    ~group_by:p.p_group_by ~where:p.p_where
+    (lines_of_p_source p.p_source)
+
+let pp_lines ppf lines =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    Format.pp_print_string ppf lines
+
+let pp_logical ppf l = pp_lines ppf (logical_lines l)
+let pp_physical ppf p = pp_lines ppf (physical_lines p)
+let logical_to_string l = String.concat "\n" (logical_lines l)
+let physical_to_string p = String.concat "\n" (physical_lines p)

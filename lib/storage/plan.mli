@@ -1,0 +1,86 @@
+(** The query-plan intermediate representation.
+
+    A SELECT lowers to a {!logical} plan — a join tree plus the residual
+    pipeline (filter, grouping, sort, pagination, projection) — which the
+    {!Planner} turns into a {!physical} plan by choosing an access path per
+    base table and a strategy per join, annotated with cardinality and cost
+    estimates from {!Cost} and {!Table} statistics.  {!Executor} interprets
+    physical plans; it contains no access-path decisions of its own. *)
+
+type est = { est_rows : float; est_ms : float }
+
+(** How the rows of a base table are produced. *)
+type access =
+  | Seq_scan  (** full heap scan in rid order *)
+  | Index_eq of { column : string; key : Value.t }
+      (** hash-index (or primary-key) point lookup *)
+  | Index_range of {
+      column : string;
+      lo : (Value.t * bool) option;
+      hi : (Value.t * bool) option;
+    }  (** ordered-index range scan; each bound is (value, inclusive) *)
+
+type join_strategy =
+  | Nested_loop  (** scan the inner table per outer row *)
+  | Index_probe of { column : string; outer : Sloth_sql.Ast.expr }
+      (** evaluate [outer] in the outer row's environment, probe the inner
+          table's index on [column]; falls back to a scan for rows where
+          [outer] cannot be evaluated *)
+
+type l_source =
+  | L_nothing  (** SELECT without FROM *)
+  | L_scan of { table : string; binding : string }
+  | L_join of {
+      left : l_source;
+      table : string;
+      binding : string;
+      on : Sloth_sql.Ast.expr;
+    }
+
+type logical = {
+  l_source : l_source;
+  l_where : Sloth_sql.Ast.expr option;
+  l_group_by : Sloth_sql.Ast.expr list;
+  l_having : Sloth_sql.Ast.expr option;
+  l_order_by : Sloth_sql.Ast.order list;
+  l_distinct : bool;
+  l_limit : int option;
+  l_offset : int option;
+  l_items : Sloth_sql.Ast.sel_item list;
+}
+
+type p_source =
+  | P_nothing
+  | P_scan of { table : string; binding : string; access : access; est : est }
+  | P_join of {
+      left : p_source;
+      table : string;
+      binding : string;
+      on : Sloth_sql.Ast.expr;
+      strategy : join_strategy;
+      est : est;
+    }
+
+type physical = {
+  p_source : p_source;
+  p_where : Sloth_sql.Ast.expr option;
+      (** the full WHERE, re-applied above the access path (the index is
+          only a pre-filter) *)
+  p_group_by : Sloth_sql.Ast.expr list;
+  p_having : Sloth_sql.Ast.expr option;
+  p_order_by : Sloth_sql.Ast.order list;
+  p_distinct : bool;
+  p_limit : int option;
+  p_offset : int option;
+  p_items : Sloth_sql.Ast.sel_item list;
+  p_est : est;  (** the source estimate: rows produced and access cost *)
+}
+
+val source_est : p_source -> est
+
+val pp_logical : Format.formatter -> logical -> unit
+val pp_physical : Format.formatter -> physical -> unit
+(** Indented operator trees, top operator first (EXPLAIN-style). *)
+
+val logical_to_string : logical -> string
+val physical_to_string : physical -> string

@@ -17,6 +17,8 @@ type t = {
   mutable secondary : (string * index) list;
   mutable ordered : (string * ordered) list;
   mutable live : int;
+  mutable version : int;  (* bumped on every data mutation *)
+  ndv_cache : (string, int * int) Hashtbl.t;  (* column -> (version, ndv) *)
 }
 
 let create schema =
@@ -31,10 +33,14 @@ let create schema =
     secondary = [];
     ordered = [];
     live = 0;
+    version = 0;
+    ndv_cache = Hashtbl.create 8;
   }
 
 let schema t = t.schema
 let row_count t = t.live
+let version t = t.version
+let touch t = t.version <- t.version + 1
 
 let index_add idx v rid =
   let rids = Option.value ~default:[] (Hashtbl.find_opt idx.entries v) in
@@ -123,6 +129,7 @@ let insert t row =
   let rid = Vec.push t.heap (Some row) in
   link_indexes t rid row;
   t.live <- t.live + 1;
+  touch t;
   rid
 
 let get t rid = Vec.get t.heap rid
@@ -134,6 +141,7 @@ let delete t rid =
       Vec.set t.heap rid None;
       unlink_indexes t rid row;
       t.live <- t.live - 1;
+      touch t;
       Some row
 
 let update t rid row =
@@ -149,6 +157,7 @@ let update t rid row =
       unlink_indexes t rid old;
       Vec.set t.heap rid (Some row);
       link_indexes t rid row;
+      touch t;
       old
 
 let heap_length t = Vec.length t.heap
@@ -172,6 +181,7 @@ let apply_redo t rid row =
       t.live <- t.live - 1
   | None -> ());
   Vec.set t.heap rid row;
+  touch t;
   match row with
   | Some row ->
       link_indexes t rid row;
@@ -196,7 +206,8 @@ let restore t rid row =
   | None ->
       Vec.set t.heap rid (Some row);
       link_indexes t rid row;
-      t.live <- t.live + 1
+      t.live <- t.live + 1;
+      touch t
 
 let iter f t =
   Vec.iteri
@@ -227,3 +238,39 @@ let lookup_range t column ?lo ?hi () =
   match List.assoc_opt column t.ordered with
   | None -> None
   | Some o -> Some (Ordered_index.range o.oindex ?lo ?hi ())
+
+(* --- statistics --------------------------------------------------------- *)
+
+(* Distinct non-NULL values in a column.  A secondary hash index knows its
+   answer in O(1); the primary key is unique by construction; otherwise we
+   scan once and cache against the table version, so the planner never pays
+   for the same statistic twice between mutations. *)
+let ndv t column =
+  match Hashtbl.find_opt t.ndv_cache column with
+  | Some (v, n) when v = t.version -> n
+  | _ ->
+      let n =
+        match List.assoc_opt column t.secondary with
+        | Some idx -> Hashtbl.length idx.entries
+        | None -> (
+            let pk_matches =
+              match Schema.primary_key t.schema with
+              | Some pk -> String.equal pk column
+              | None -> false
+            in
+            if pk_matches then t.live
+            else
+              match Schema.column_index t.schema column with
+              | None -> 0
+              | Some col ->
+                  let seen = Hashtbl.create 64 in
+                  iter
+                    (fun _ row ->
+                      match row.(col) with
+                      | Value.Null -> ()
+                      | v -> Hashtbl.replace seen v ())
+                    t;
+                  Hashtbl.length seen)
+      in
+      Hashtbl.replace t.ndv_cache column (t.version, n);
+      n

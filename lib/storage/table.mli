@@ -82,3 +82,13 @@ val lookup_range :
   rid list option
 (** Range scan over an ordered index ([None] if the column has none); each
     bound is a value plus inclusiveness. *)
+
+val version : t -> int
+(** Monotone data version, bumped on every mutation (insert, delete,
+    update, redo application, restore).  Statistics caches key on it. *)
+
+val ndv : t -> string -> int
+(** Number of distinct non-NULL values in a column: O(1) for indexed or
+    primary-key columns, one cached scan otherwise (invalidated by
+    {!version} changes).  0 for unknown columns.  Feeds the planner's
+    selectivity estimates. *)

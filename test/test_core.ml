@@ -123,6 +123,32 @@ let test_dedup_within_batch () =
   Alcotest.(check int) "one pending" 1 (Query_store.pending store);
   Alcotest.(check int) "two registrations" 2 (Query_store.registered store)
 
+(* Dedup keys on the normalized form, not the raw text: statements that
+   differ in whitespace, operand order, or conjunct order batch as one. *)
+let test_dedup_normalized_equivalents () =
+  let _db, _clock, _link, conn = setup () in
+  let store = Query_store.create conn in
+  let q1 =
+    Query_store.register_sql store
+      "SELECT * FROM kv WHERE k = 1 AND v = 'val1'"
+  in
+  let q2 =
+    Query_store.register_sql store
+      "select  *  from kv where v = 'val1' and 1 = k"
+  in
+  Alcotest.(check bool) "same id" true (q1 = q2);
+  Alcotest.(check int) "one pending" 1 (Query_store.pending store);
+  Alcotest.(check int) "two registrations" 2 (Query_store.registered store);
+  let rs = Query_store.result store q2 in
+  Alcotest.(check string) "right row" "val1"
+    (Value.to_string (Rs.cell rs ~row:0 "v"));
+  let q3 = Query_store.register_sql store "SELECT * FROM kv WHERE k = 2" in
+  let q4 = Query_store.register_sql store "SELECT * FROM kv WHERE 2 = k" in
+  let q5 = Query_store.register_sql store "SELECT * FROM kv WHERE k = 3" in
+  Alcotest.(check bool) "flipped operands share id" true (q3 = q4);
+  Alcotest.(check bool) "different literal distinct" false (q3 = q5);
+  Alcotest.(check int) "two pending" 2 (Query_store.pending store)
+
 let test_no_dedup_across_batches () =
   let _db, _clock, _link, conn = setup () in
   let store = Query_store.create conn in
@@ -401,6 +427,8 @@ let () =
         [
           Alcotest.test_case "batching" `Quick test_batching_single_round_trip;
           Alcotest.test_case "dedup" `Quick test_dedup_within_batch;
+          Alcotest.test_case "normalized dedup" `Quick
+            test_dedup_normalized_equivalents;
           Alcotest.test_case "no dedup across batches" `Quick
             test_no_dedup_across_batches;
           Alcotest.test_case "write flush" `Quick test_write_flushes;

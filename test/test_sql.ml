@@ -174,16 +174,97 @@ let test_fixed_roundtrips () =
       "ROLLBACK";
     ]
 
+(* Identifiers that would lex as keywords (or are not identifier-shaped)
+   print double-quoted, so a statement built directly from an AST — the ORM
+   layer does this — still round-trips through the parser. *)
+let test_quoted_ident_roundtrips () =
+  List.iter check_roundtrip_stmt
+    [
+      "SELECT AVG(value_num) AS \"avg\" FROM observation";
+      "SELECT \"select\".\"from\" FROM \"group\" AS \"select\"";
+      "SELECT \"two words\", \"quo\"\"te\" FROM t WHERE \"order\" = 1";
+      "INSERT INTO \"table\" (\"min\", \"max\") VALUES (1, 2)";
+      "UPDATE t SET \"count\" = (\"count\" + 1)";
+    ];
+  (* The medrec shape that motivated quoting: alias "avg" built in the AST. *)
+  let stmt =
+    Ast.Select
+      {
+        sel_distinct = false;
+        sel_items =
+          [
+            Ast.Sel_expr
+              (Ast.Agg (Ast.Avg, Some (Ast.Col (None, "value_num"))), Some "avg");
+          ];
+        sel_from = Some ("observation", None);
+        sel_joins = [];
+        sel_where = None;
+        sel_group_by = [];
+        sel_having = None;
+        sel_order_by = [];
+        sel_limit = None;
+        sel_offset = None;
+      }
+  in
+  let printed = Printer.to_string stmt in
+  Alcotest.(check bool)
+    (Printf.sprintf "ast-built alias reparses (%s)" printed)
+    true
+    (parse printed = stmt)
+
+(* Statements that differ only in commutative-operand order, conjunct
+   order, comparison direction, or IN-list order must share one dedup
+   key — and statements that genuinely differ must not. *)
+let test_normalize_equivalences () =
+  let key sql = Normalize.key (parse sql) in
+  let same a b =
+    Alcotest.(check string) (Printf.sprintf "%s ~ %s" a b) (key a) (key b)
+  in
+  let diff a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s !~ %s" a b)
+      false
+      (String.equal (key a) (key b))
+  in
+  same "SELECT * FROM t WHERE a = 1 AND b = 2" "SELECT * FROM t WHERE b = 2 AND a = 1";
+  same "SELECT * FROM t WHERE a = 1" "SELECT * FROM t WHERE 1 = a";
+  same "SELECT * FROM t WHERE a > b" "SELECT * FROM t WHERE b < a";
+  same "SELECT * FROM t WHERE a >= 3" "SELECT * FROM t WHERE 3 <= a";
+  same "SELECT * FROM t WHERE x IN (3, 1, 2)" "SELECT * FROM t WHERE x IN (1, 2, 3)";
+  same "SELECT * FROM t WHERE  a = 1  AND  (b = 2 OR c = 3)"
+    "SELECT * FROM t WHERE (c = 3 OR b = 2) AND a = 1";
+  same "SELECT n FROM t WHERE a + b = 4" "SELECT n FROM t WHERE b + a = 4";
+  diff "SELECT * FROM t WHERE a = 1" "SELECT * FROM t WHERE a = 2";
+  diff "SELECT * FROM t WHERE a > b" "SELECT * FROM t WHERE a < b";
+  diff "SELECT a FROM t" "SELECT b FROM t";
+  (* Select-item order is semantic (column order of the result set). *)
+  diff "SELECT a, b FROM t" "SELECT b, a FROM t";
+  (* ORDER BY key order is semantic too. *)
+  diff "SELECT * FROM t ORDER BY a, b" "SELECT * FROM t ORDER BY b, a"
+
 (* --- property tests ---------------------------------------------------- *)
 
 let gen_ident =
   QCheck.Gen.(
-    let* len = int_range 1 8 in
-    let* chars =
-      list_repeat len (oneof [ char_range 'a' 'z'; return '_' ])
+    let plain =
+      let* len = int_range 1 8 in
+      let* chars =
+        list_repeat len (oneof [ char_range 'a' 'z'; return '_' ])
+      in
+      let s = "v" ^ String.concat "" (List.map (String.make 1) chars) in
+      return s
     in
-    let s = "v" ^ String.concat "" (List.map (String.make 1) chars) in
-    return s)
+    (* A quarter of identifiers collide with keywords or are not plain
+       identifier shape, so the printer's quoting is exercised everywhere an
+       identifier can appear. *)
+    let tricky =
+      oneofl
+        [
+          "avg"; "count"; "sum"; "min"; "max"; "select"; "from"; "Group";
+          "Order"; "like"; "two words"; "3rd"; "quo\"te"; "dash-ed";
+        ]
+    in
+    frequency [ (3, plain); (1, tricky) ])
 
 let gen_literal =
   QCheck.Gen.(
@@ -227,6 +308,10 @@ let gen_expr =
               map2 (fun e p -> Ast.Like (e, p)) sub
                 (string_size ~gen:(oneofl [ 'a'; 'b'; '%'; '_' ]) (int_range 0 5));
               map3 (fun e lo hi -> Ast.Between { e; lo; hi }) sub sub sub;
+              map2
+                (fun a arg -> Ast.Agg (a, arg))
+                (oneofl Ast.[ Count; Sum; Min; Max; Avg ])
+                (opt sub);
             ]))
 
 let gen_order =
@@ -256,6 +341,8 @@ let gen_select =
          return Ast.{ j_table = t; j_alias = a; j_on = on })
     in
     let* where = opt gen_expr in
+    let* group_by = list_size (int_range 0 2) gen_expr in
+    let* having = if group_by = [] then return None else opt gen_expr in
     let* order_by = list_size (int_range 0 2) gen_order in
     let* limit = opt (int_range 0 100) in
     let* offset = opt (int_range 0 100) in
@@ -267,8 +354,8 @@ let gen_select =
            sel_from = Some (table, alias);
            sel_joins = joins;
            sel_where = where;
-           sel_group_by = [];
-           sel_having = None;
+           sel_group_by = group_by;
+           sel_having = having;
            sel_order_by = order_by;
            sel_limit = limit;
            sel_offset = offset;
@@ -321,6 +408,27 @@ let prop_expr_roundtrip =
       | exception Parser.Error msg ->
           QCheck.Test.fail_reportf "parse error on %S: %s" printed msg)
 
+(* Normalization must be a projection (applying it twice changes nothing),
+   and the canonical text it produces — the query store's dedup key — must
+   survive a print/parse cycle unchanged.  Together these make the dedup
+   key stable: any statement that prints to the key re-normalizes to it. *)
+let prop_normalize_idempotent =
+  QCheck.Test.make ~count:500 ~name:"normalization is idempotent"
+    (QCheck.make gen_stmt ~print:Printer.to_string)
+    (fun stmt ->
+      let once = Normalize.stmt stmt in
+      Normalize.stmt once = once)
+
+let prop_normalize_key_stable =
+  QCheck.Test.make ~count:500 ~name:"dedup key stable through print/parse"
+    (QCheck.make gen_stmt ~print:Printer.to_string)
+    (fun stmt ->
+      let key = Normalize.key stmt in
+      match parse key with
+      | reparsed -> String.equal (Normalize.key reparsed) key
+      | exception Parser.Error msg ->
+          QCheck.Test.fail_reportf "parse error on key %S: %s" key msg)
+
 let () =
   Alcotest.run "sql"
     [
@@ -345,9 +453,19 @@ let () =
           Alcotest.test_case "lex errors" `Quick test_lex_errors;
         ] );
       ( "printer",
-        [ Alcotest.test_case "fixed round-trips" `Quick test_fixed_roundtrips ]
-      );
+        [
+          Alcotest.test_case "fixed round-trips" `Quick test_fixed_roundtrips;
+          Alcotest.test_case "quoted identifiers" `Quick
+            test_quoted_ident_roundtrips;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "equivalences" `Quick test_normalize_equivalences;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_roundtrip; prop_expr_roundtrip ] );
+          [
+            prop_roundtrip; prop_expr_roundtrip; prop_normalize_idempotent;
+            prop_normalize_key_stable;
+          ] );
     ]

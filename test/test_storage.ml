@@ -509,6 +509,208 @@ let test_atomically_transparent_inside_client_txn () =
   Alcotest.(check int) "client rollback undoes it" 0
     (Database.row_count db "users")
 
+(* --- planner / plan IR -------------------------------------------------- *)
+
+let parse_select sql =
+  match Sloth_sql.Parser.parse sql with
+  | Ast.Select s -> s
+  | _ -> Alcotest.fail "expected a SELECT"
+
+let plan_of db ?(mode = Executor.Planned) sql =
+  Executor.plan_of_select (Database.catalog db) ~mode
+    ~model:(Database.cost_model db) (parse_select sql)
+
+let access_of (p : Plan.physical) =
+  match p.Plan.p_source with
+  | Plan.P_scan { access; _ } -> access
+  | _ -> Alcotest.fail "expected a single-table plan"
+
+let test_plan_pp_logical () =
+  let l =
+    Planner.lower
+      (parse_select
+         "SELECT u.name, o.total FROM users AS u JOIN orders AS o ON \
+          o.user_id = u.id WHERE o.total > 100.0 ORDER BY u.name DESC LIMIT 3")
+  in
+  Alcotest.(check string) "logical operator tree"
+    "Project [u.name, o.total]\n\
+    \  Limit 3\n\
+    \    Sort [u.name DESC]\n\
+    \      Filter (o.total > 100.0)\n\
+    \        Join orders AS o ON (o.user_id = u.id)\n\
+    \          Scan users AS u"
+    (Plan.logical_to_string l)
+
+let test_plan_pp_physical () =
+  let db = make_db () in
+  seed_users db 10;
+  Alcotest.(check string) "index plan with estimates"
+    "Project [name]\n\
+    \  Limit 2\n\
+    \    Offset 1\n\
+    \      Sort [name ASC]\n\
+    \        Filter (id = 3)\n\
+    \          IndexEqScan users ON id = 3 (est rows=1.0 cost=0.0012ms)"
+    (Plan.physical_to_string
+       (plan_of db
+          "SELECT name FROM users WHERE id = 3 ORDER BY name ASC LIMIT 2 \
+           OFFSET 1"));
+  Alcotest.(check string) "scan plan with estimates"
+    "Project [COUNT(*) AS n]\n\
+    \  Filter (name = 'x')\n\
+    \    SeqScan users (est rows=10.0 cost=0.0040ms)"
+    (Plan.physical_to_string
+       (plan_of db "SELECT COUNT(*) AS n FROM users WHERE name = 'x'"));
+  Alcotest.(check string) "group/having/distinct pipeline"
+    "Project [age]\n\
+    \  Distinct\n\
+    \    Having (COUNT(*) > 1)\n\
+    \      GroupBy [age]\n\
+    \        SeqScan users (est rows=10.0 cost=0.0040ms)"
+    (Plan.physical_to_string
+       (plan_of db
+          "SELECT DISTINCT age FROM users GROUP BY age HAVING COUNT(*) > 1"))
+
+(* Cost-based access selection: the planner must weigh selectivity
+   (statistics), not take the first usable conjunct like the oracle path. *)
+let test_planner_access_choice () =
+  let db = make_db () in
+  (* 60 rows but only 3 distinct ages: an age index is a poor key while the
+     primary key pins a single row. *)
+  for i = 1 to 60 do
+    ignore
+      (Database.exec_sql db
+         (Printf.sprintf
+            "INSERT INTO users (id, name, age) VALUES (%d, 'u%d', %d)" i i
+            (i mod 3)))
+  done;
+  Database.create_index db ~table:"users" ~column:"age";
+  Database.create_ordered_index db ~table:"users" ~column:"age";
+  (match access_of (plan_of db "SELECT * FROM users WHERE id = 7") with
+  | Plan.Index_eq { column = "id"; _ } -> ()
+  | _ -> Alcotest.fail "pk equality should pick IndexEqScan");
+  (match access_of (plan_of db "SELECT * FROM users WHERE age > 1") with
+  | Plan.Index_range { column = "age"; lo = Some (_, false); hi = None } -> ()
+  | _ -> Alcotest.fail "range predicate should pick IndexRangeScan");
+  (match access_of (plan_of db "SELECT * FROM users WHERE name = 'u3'") with
+  | Plan.Seq_scan -> ()
+  | _ -> Alcotest.fail "unindexed predicate should pick SeqScan");
+  (* Both conjuncts have indexes; the cost model must prefer the unique pk
+     over the 20-rows-per-value age index regardless of conjunct order ... *)
+  (match access_of (plan_of db "SELECT * FROM users WHERE age = 1 AND id = 7") with
+  | Plan.Index_eq { column = "id"; _ } -> ()
+  | _ -> Alcotest.fail "planner should pick the selective pk index");
+  (* ... while the legacy oracle takes the first usable equality conjunct. *)
+  (match
+     access_of
+       (plan_of db ~mode:Executor.Direct
+          "SELECT * FROM users WHERE age = 1 AND id = 7")
+   with
+  | Plan.Index_eq { column = "age"; _ } -> ()
+  | _ -> Alcotest.fail "direct mode should keep the first-match heuristic");
+  (* Join side: the ON equality probes the inner index. *)
+  seed_orders db 20;
+  match
+    (plan_of db
+       "SELECT * FROM users JOIN orders ON orders.user_id = users.id")
+      .Plan.p_source
+  with
+  | Plan.P_join
+      { strategy = Plan.Index_probe { column = "user_id"; _ }; _ } ->
+      ()
+  | _ -> Alcotest.fail "equi-join should pick IndexProbeJoin"
+
+let outcome_rows (o : Executor.outcome) =
+  ( Result_set.columns o.rs,
+    List.map Array.to_list (Result_set.rows o.rs) )
+
+(* Shared-scan batch execution: normalized duplicates run once, compatible
+   sequential scans of one table share a single heap pass, and the result
+   sets stay identical to independent execution. *)
+let test_execute_reads_sharing () =
+  let db = make_db () in
+  seed_users db 30;
+  let cat = Database.catalog db in
+  let model = Database.cost_model db in
+  let sqls =
+    [
+      "SELECT COUNT(*) AS n FROM users WHERE name = 'user1'";
+      "SELECT COUNT(*) AS n FROM users WHERE name = 'user2'";
+      (* Same normalized form as the first statement. *)
+      "SELECT COUNT(*) AS n FROM users WHERE 'user1' = name";
+    ]
+  in
+  let selects = List.map parse_select sqls in
+  let shared = Executor.execute_reads cat ~model selects in
+  let independent =
+    List.map (fun s -> Executor.execute cat ~model (Ast.Select s)) selects
+  in
+  Alcotest.(check bool) "results identical" true
+    (List.equal ( = )
+       (List.map outcome_rows shared)
+       (List.map outcome_rows independent));
+  (match List.map (fun (o : Executor.outcome) -> o.rows_scanned) shared with
+  | [ 30; 0; 0 ] -> ()
+  | scans ->
+      Alcotest.failf "expected one charged scan, got [%s]"
+        (String.concat "; " (List.map string_of_int scans)));
+  Alcotest.(check int) "independent path scans thrice" 90
+    (List.fold_left
+       (fun acc (o : Executor.outcome) -> acc + o.rows_scanned)
+       0 independent)
+
+let test_exec_batch_write_barrier () =
+  let db = make_db () in
+  seed_users db 5;
+  let stmts =
+    List.map Sloth_sql.Parser.parse
+      [
+        "SELECT COUNT(*) AS n FROM users";
+        "INSERT INTO users (id, name) VALUES (100, 'z')";
+        "SELECT COUNT(*) AS n FROM users";
+      ]
+  in
+  match Database.exec_batch db stmts with
+  | [ before; ins; after ] ->
+      Alcotest.(check bool) "count before" true
+        (Result_set.scalar before.rs = Some (v_int 5));
+      Alcotest.(check int) "insert applied" 1 ins.rows_affected;
+      Alcotest.(check bool) "count after sees the write" true
+        (Result_set.scalar after.rs = Some (v_int 6))
+  | _ -> Alcotest.fail "expected three outcomes"
+
+(* With the planner disabled the batch path degenerates to independent
+   execution — the differential oracle — and must return the same rows at a
+   higher (unshared) cost. *)
+let test_exec_batch_no_planner_oracle () =
+  let run db =
+    List.map
+      (fun (o : Database.outcome) ->
+        ( Result_set.columns o.rs,
+          List.map Array.to_list (Result_set.rows o.rs),
+          o.cost_ms ))
+      (Database.exec_batch db
+         (List.map Sloth_sql.Parser.parse
+            [
+              "SELECT COUNT(*) AS n FROM users WHERE name = 'user1'";
+              "SELECT COUNT(*) AS n FROM users WHERE name = 'user2'";
+              "SELECT COUNT(*) AS n FROM users WHERE 'user1' = name";
+            ]))
+  in
+  let db = make_db () in
+  seed_users db 30;
+  let planned = run db in
+  Database.set_planner db false;
+  Alcotest.(check bool) "planner off" false (Database.planner_enabled db);
+  let oracle = run db in
+  Alcotest.(check bool) "same result sets" true
+    (List.equal ( = )
+       (List.map (fun (c, r, _) -> (c, r)) planned)
+       (List.map (fun (c, r, _) -> (c, r)) oracle));
+  let total l = List.fold_left (fun acc (_, _, ms) -> acc +. ms) 0.0 l in
+  Alcotest.(check bool) "shared batch costs less" true
+    (total planned < total oracle)
+
 (* --- properties -------------------------------------------------------- *)
 
 (* A naive reference implementation of single-table SELECT semantics:
@@ -765,6 +967,205 @@ let prop_rollback_fingerprint =
       && Database.row_count db "users" = count_before
       && index_view () = idx_before)
 
+(* --- planner differential oracle ---------------------------------------- *)
+
+(* Like [gen_where] plus equality-on-age leaves, so the planner faces real
+   choices (hash index vs. ordered index vs. pk vs. scan) on every case. *)
+let gen_where_planner =
+  QCheck.Gen.(
+    let leaf =
+      oneof
+        [
+          map (fun n -> Ast.Binop (Ast.Eq, Ast.Col (None, "id"), Ast.Lit (Ast.L_int n)))
+            (int_range 1 40);
+          map (fun n -> Ast.Binop (Ast.Eq, Ast.Col (None, "age"), Ast.Lit (Ast.L_int n)))
+            (int_range 19 70);
+          map (fun n -> Ast.Binop (Ast.Eq, Ast.Lit (Ast.L_int n), Ast.Col (None, "age")))
+            (int_range 19 70);
+          map (fun n -> Ast.Binop (Ast.Gt, Ast.Col (None, "age"), Ast.Lit (Ast.L_int n)))
+            (int_range 19 70);
+          map (fun n -> Ast.Binop (Ast.Le, Ast.Col (None, "age"), Ast.Lit (Ast.L_int n)))
+            (int_range 19 70);
+          map
+            (fun (lo, hi) ->
+              Ast.Between
+                { e = Ast.Col (None, "age");
+                  lo = Ast.Lit (Ast.L_int lo);
+                  hi = Ast.Lit (Ast.L_int (lo + hi)) })
+            (pair (int_range 19 60) (int_range 0 20));
+          map (fun s -> Ast.Like (Ast.Col (None, "name"), s))
+            (oneofl [ "user%"; "%1%"; "user1_"; "%"; "nothing" ]);
+          return (Ast.Is_null { e = Ast.Col (None, "age"); negated = false });
+        ]
+    in
+    sized @@ fix (fun self n ->
+        if n <= 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map2 (fun a b -> Ast.Binop (Ast.And, a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Ast.Binop (Ast.Or, a, b)) (self (n / 2)) (self (n / 2));
+              map (fun a -> Ast.Unop (Ast.Not, a)) (self (n / 2));
+            ]))
+
+let col c = Ast.Col (None, c)
+let item ?alias e = Ast.Sel_expr (e, alias)
+
+let gen_fuzz_select =
+  QCheck.Gen.(
+    let* join = bool in
+    let* where = opt gen_where_planner in
+    let* limit = opt (int_range 1 50) in
+    let* offset = opt (int_range 0 10) in
+    let* shape = oneofl [ `Plain; `Agg ] in
+    let joins =
+      if join then
+        [
+          Ast.{
+            j_table = "orders";
+            j_alias = None;
+            j_on =
+              Binop (Eq, Col (Some "orders", "user_id"),
+                     Col (Some "users", "id"));
+          };
+        ]
+      else []
+    in
+    let base ~items ~group_by ~having ~order_by ~distinct =
+      Ast.{
+        sel_distinct = distinct;
+        sel_items = items;
+        sel_from = Some ("users", None);
+        sel_joins = joins;
+        sel_where = where;
+        sel_group_by = group_by;
+        sel_having = having;
+        sel_order_by = order_by;
+        sel_limit = limit;
+        sel_offset = offset;
+      }
+    in
+    match shape with
+    | `Plain ->
+        let* items =
+          oneofl
+            [
+              [ Ast.Star ];
+              [ item (col "id"); item (col "age") ];
+              [ item (col "name"); item ~alias:"a" (col "age") ];
+            ]
+        in
+        let* distinct = bool in
+        let* order_by =
+          oneofl
+            [
+              [];
+              [ Ast.{ o_expr = col "id"; o_asc = false } ];
+              [ Ast.{ o_expr = col "age"; o_asc = true };
+                Ast.{ o_expr = col "name"; o_asc = false } ];
+            ]
+        in
+        return (base ~items ~group_by:[] ~having:None ~order_by ~distinct)
+    | `Agg ->
+        let* group_by = oneofl [ []; [ col "age" ]; [ col "name" ] ] in
+        let* having =
+          if group_by = [] then return None
+          else
+            opt
+              (let* n = int_range 0 3 in
+               return
+                 (Ast.Binop (Ast.Gt, Ast.Agg (Ast.Count, None),
+                             Ast.Lit (Ast.L_int n))))
+        in
+        let items =
+          [
+            item ~alias:"n" (Ast.Agg (Ast.Count, None));
+            item ~alias:"lo" (Ast.Agg (Ast.Min, Some (col "id")));
+            item ~alias:"hi" (Ast.Agg (Ast.Max, Some (col "id")));
+          ]
+        in
+        return
+          (base ~items ~group_by ~having ~order_by:[] ~distinct:false))
+
+let planner_fuzz_db =
+  lazy
+    (let db = make_db () in
+     seed_users db 40;
+     seed_orders db 60;
+     Database.create_index db ~table:"users" ~column:"age";
+     Database.create_ordered_index db ~table:"users" ~column:"age";
+     ignore (Database.exec_sql db "UPDATE users SET age = NULL WHERE id = 3");
+     ignore (Database.exec_sql db "UPDATE users SET age = NULL WHERE id = 17");
+     db)
+
+(* The acceptance oracle: across ≥1000 generated statements, cost-based
+   planning must produce result sets identical to the legacy planner-free
+   path (both interpret plans here, but [Direct] reproduces the historical
+   access choices exactly). *)
+let prop_planned_vs_direct_oracle =
+  QCheck.Test.make ~count:1000
+    ~name:"planned execution agrees with the direct oracle"
+    (QCheck.make gen_fuzz_select ~print:(fun s ->
+         Sloth_sql.Printer.to_string (Ast.Select s)))
+    (fun sel ->
+      let db = Lazy.force planner_fuzz_db in
+      let cat = Database.catalog db in
+      let model = Database.cost_model db in
+      let a = Executor.execute cat ~model ~mode:Executor.Planned (Ast.Select sel) in
+      let b = Executor.execute cat ~model ~mode:Executor.Direct (Ast.Select sel) in
+      outcome_rows a = outcome_rows b)
+
+(* Multi-query batches drawn (with replacement, so duplicates are common)
+   from a pool of mixed statements: the shared path must return exactly the
+   independent path's result sets, never scanning more in total. *)
+let prop_batch_vs_independent =
+  let pool =
+    Array.map parse_select
+      [|
+        "SELECT COUNT(*) AS n FROM users WHERE name = 'user1'";
+        "SELECT COUNT(*) AS n FROM users WHERE name LIKE 'user1%'";
+        "SELECT COUNT(*) AS n FROM users WHERE name LIKE 'user1%'";
+        "SELECT name, COUNT(*) AS n FROM users GROUP BY name";
+        "SELECT * FROM users WHERE id = 5";
+        "SELECT id FROM users WHERE age > 30 ORDER BY id DESC";
+        "SELECT * FROM users WHERE age > 30 AND id = 7";
+        "SELECT * FROM users WHERE id = 7 AND age > 30";
+        "SELECT u.name, o.total FROM users AS u JOIN orders AS o ON \
+         o.user_id = u.id WHERE o.total > 200.0";
+        "SELECT COUNT(*) AS n FROM orders WHERE total > 100.0";
+        "SELECT COUNT(*) AS n FROM orders WHERE 100.0 < total";
+        "SELECT DISTINCT age FROM users ORDER BY age ASC";
+        "SELECT COUNT(*) AS n FROM users WHERE age = 25 AND name LIKE 'u%'";
+        "SELECT COUNT(*) AS n FROM users WHERE name LIKE 'u%' AND age = 25";
+      |]
+  in
+  QCheck.Test.make ~count:200
+    ~name:"shared batch execution agrees with independent execution"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 2 8) (int_bound (Array.length pool - 1)))
+       ~print:(fun idxs ->
+         String.concat "; "
+           (List.map
+              (fun i -> Sloth_sql.Printer.to_string (Ast.Select pool.(i)))
+              idxs)))
+    (fun idxs ->
+      let db = Lazy.force planner_fuzz_db in
+      let cat = Database.catalog db in
+      let model = Database.cost_model db in
+      let selects = List.map (fun i -> pool.(i)) idxs in
+      let shared = Executor.execute_reads cat ~model selects in
+      let independent =
+        List.map (fun s -> Executor.execute cat ~model (Ast.Select s)) selects
+      in
+      let total l =
+        List.fold_left (fun acc (o : Executor.outcome) -> acc + o.rows_scanned) 0 l
+      in
+      List.equal ( = )
+        (List.map outcome_rows shared)
+        (List.map outcome_rows independent)
+      && total shared <= total independent)
+
 let () =
   Alcotest.run "storage"
     [
@@ -817,8 +1218,20 @@ let () =
           Alcotest.test_case "atomically in client txn" `Quick
             test_atomically_transparent_inside_client_txn;
         ] );
+      ( "planner",
+        [
+          Alcotest.test_case "pp logical" `Quick test_plan_pp_logical;
+          Alcotest.test_case "pp physical" `Quick test_plan_pp_physical;
+          Alcotest.test_case "access choice" `Quick test_planner_access_choice;
+          Alcotest.test_case "shared reads" `Quick test_execute_reads_sharing;
+          Alcotest.test_case "batch write barrier" `Quick
+            test_exec_batch_write_barrier;
+          Alcotest.test_case "no-planner oracle" `Quick
+            test_exec_batch_no_planner_oracle;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_index_vs_scan; prop_rollback_atomic;
-            prop_rollback_fingerprint; prop_executor_vs_reference ] );
+            prop_rollback_fingerprint; prop_executor_vs_reference;
+            prop_planned_vs_direct_oracle; prop_batch_vs_independent ] );
     ]
