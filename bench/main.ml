@@ -5,9 +5,9 @@
    Usage: main.exe [experiment ...] [--faults RATE] [--crash RATE]
           [--checkpoint-every N]
    Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 chaos
-   recovery appendix micro.  With no argument everything except `recovery`
-   runs (the crash-point sweep also writes BENCH_recovery.json; run it
-   explicitly).  [--faults RATE] appends a one-line chaos summary at that
+   recovery throughput appendix micro.  With no argument everything except
+   `recovery` and `throughput` runs (those also write BENCH_recovery.json /
+   BENCH_throughput.json; run them explicitly).  [--faults RATE] appends a one-line chaos summary at that
    fault rate (alone, it runs only that summary); [--crash RATE] likewise
    appends a one-line recovery summary with random server crashes at that
    rate, checkpointing every N commits (default 4). *)
@@ -113,6 +113,8 @@ let experiments =
     ("policies", Baselines.flush_policies);
     ("chaos", Chaos.chaos);
     ("recovery", fun () -> Recovery.recovery ~json:"BENCH_recovery.json" ());
+    ( "throughput",
+      fun () -> Throughput.served ~json:"BENCH_throughput.json" () );
     ("planner", fun () -> Planner_bench.planner ~json:"BENCH_planner.json" ());
     ("appendix", Page_experiments.appendix);
     ("micro", micro);
@@ -168,9 +170,11 @@ let () =
     | [], Some _, _ | [], _, Some _ ->
         [] (* a knob alone: just its tracked summary *)
     | [], None, None ->
-        (* `recovery` is opt-in: the default run's output must not change
-           when the durability subsystem is idle *)
-        List.filter (fun n -> n <> "recovery") (List.map fst experiments)
+        (* `recovery` and `throughput` are opt-in: the default run's output
+           must not change when those subsystems are idle *)
+        List.filter
+          (fun n -> n <> "recovery" && n <> "throughput")
+          (List.map fst experiments)
     | names, _, _ -> names
   in
   List.iter

@@ -351,6 +351,7 @@ let exp_cmd =
       ("fig13", Sloth_harness.Overhead.fig13);
       ("chaos", Sloth_harness.Chaos.chaos);
       ("recovery", fun () -> Sloth_harness.Recovery.recovery ());
+      ("throughput", fun () -> Sloth_harness.Throughput.served ());
       ("appendix", Sloth_harness.Page_experiments.appendix);
     ]
   in
@@ -359,7 +360,7 @@ let exp_cmd =
       required
       & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) experiments))) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"fig5..fig13, chaos, recovery or appendix.")
+          ~doc:"fig5..fig13, chaos, recovery, throughput or appendix.")
   in
   let crash_arg =
     Arg.(

@@ -22,7 +22,13 @@
     idempotency [token] are applied exactly once even when a response is
     lost and the batch retransmitted: the simulated server remembers the
     token and replays the stored outcomes.  Without a fault plan the
-    behaviour (and timing) is exactly the fault-free driver's. *)
+    behaviour (and timing) is exactly the fault-free driver's.
+
+    {b Multi-session serving.}  A connection is synchronous and owns its
+    database: one client, one blocking round trip at a time.  To run many
+    concurrent clients against one server — with reads coalesced {e across}
+    sessions — use {!Session} (non-blocking [submit]/[await] futures on a
+    {!Sloth_net.Des} simulation) against a {!Sloth_server.Admission.t}. *)
 
 type t
 

@@ -1,0 +1,61 @@
+module Admission = Sloth_server.Admission
+module Des = Sloth_net.Des
+
+exception Parse_error of string
+
+type handle = {
+  h_fut : Admission.reply Des.Future.t;
+  h_submitted_at : float;
+}
+
+type t = {
+  ses : Admission.session;
+  sim : Des.t;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable errors : int;
+  mutable rev_latencies : float list;
+}
+
+let connect ?rtt_ms ?fault server =
+  {
+    ses = Admission.open_session ?rtt_ms ?fault server;
+    sim = Admission.sim server;
+    submitted = 0;
+    completed = 0;
+    errors = 0;
+    rev_latencies = [];
+  }
+
+let id t = Admission.session_id t.ses
+
+let submit t ?token stmts =
+  let fut = Admission.submit t.ses ?token stmts in
+  t.submitted <- t.submitted + 1;
+  let h = { h_fut = fut; h_submitted_at = Des.now t.sim } in
+  (* Latency is recorded whether or not the caller ever awaits: the batch
+     completed when its reply landed, not when somebody looked. *)
+  Des.Future.on_resolve fut (fun r ->
+      t.completed <- t.completed + 1;
+      (match r with Error _ -> t.errors <- t.errors + 1 | Ok _ -> ());
+      t.rev_latencies <- (Des.now t.sim -. h.h_submitted_at) :: t.rev_latencies);
+  h
+
+let submit_sql t ?token sqls =
+  let stmts =
+    List.map
+      (fun sql ->
+        match Sloth_sql.Parser.parse sql with
+        | stmt -> stmt
+        | exception Sloth_sql.Parser.Error msg -> raise (Parse_error msg))
+      sqls
+  in
+  submit t ?token stmts
+
+let await h k = Des.Future.on_resolve h.h_fut k
+let peek h = Des.Future.peek h.h_fut
+
+let submitted t = t.submitted
+let completed t = t.completed
+let errors t = t.errors
+let latencies t = List.rev t.rev_latencies

@@ -1,0 +1,54 @@
+(** Non-blocking client sessions against the asynchronous server.
+
+    Where {!Connection} is the paper's synchronous driver — one client, one
+    blocking round trip at a time, virtual time charged on a private clock —
+    a [Session] is one of many concurrent clients of a
+    {!Sloth_server.Admission.t}, all sharing that server's
+    {!Sloth_net.Des} simulation.  {!submit} sends a batch and returns
+    immediately; the reply arrives later in simulated time and resolves the
+    handle's future.  Splitting submit from await is what lets the server
+    coalesce reads {e across} clients while each client's page computation
+    overlaps its round trips.
+
+    The session records completion latency for every batch (submission to
+    reply arrival), which is what the served-throughput experiment
+    reports. *)
+
+type t
+
+exception Parse_error of string
+(** Raised by {!submit_sql} on malformed SQL — a client-side error: nothing
+    was sent. *)
+
+type handle
+(** One in-flight (or completed) batch. *)
+
+val connect :
+  ?rtt_ms:float -> ?fault:Sloth_net.Fault.t -> Sloth_server.Admission.t -> t
+(** Open a session ([rtt_ms] defaults to 0.5; [fault] injects per-attempt
+    delivery failures, retried by the server's admission protocol). *)
+
+val id : t -> int
+
+val submit :
+  t -> ?token:string -> Sloth_sql.Ast.stmt list -> handle
+(** Send a batch without blocking: simulated time does not advance here.
+    [token] makes a write batch idempotent under retransmission (tagged
+    with the session id server-side). *)
+
+val submit_sql : t -> ?token:string -> string list -> handle
+
+val await : handle -> (Sloth_server.Admission.reply -> unit) -> unit
+(** Continuation-passing await: [k] runs (via the event calendar) when the
+    reply has arrived — immediately, if it already has. *)
+
+val peek : handle -> Sloth_server.Admission.reply option
+(** Non-blocking poll. *)
+
+val submitted : t -> int
+val completed : t -> int
+val errors : t -> int
+
+val latencies : t -> float list
+(** Completion latency (ms) of every completed batch, in completion
+    order. *)

@@ -34,3 +34,18 @@ val simulate :
     200 ms between page loads. *)
 
 val fig7 : unit -> unit
+
+val served : ?json:string -> unit -> unit
+(** Served throughput: where {!fig7} models concurrency analytically, this
+    drives N {e real} interleaved sessions ({!Sloth_driver.Session}) against
+    an asynchronous server ({!Sloth_server.Admission}) on one shared
+    {!Sloth_net.Des} simulation.  Closed-loop clients submit dashboard read
+    batches; the server coalesces reads arriving within its admission window
+    and executes them as a single multi-query group, so normalized
+    duplicates and bare sequential scans are shared {e across} clients.
+    Each client count runs twice — cross-client sharing on and off — over
+    the identical schedule; the experiment reports rows scanned, latency and
+    batch throughput for both arms and checks the result sets are
+    identical.  The analytic model of {!fig7} is re-run at the same client
+    counts as a comparison curve.  [json] writes the full result table
+    (e.g. [BENCH_throughput.json]). *)

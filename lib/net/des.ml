@@ -86,6 +86,39 @@ let run t ~until =
     end
   done
 
+module Future = struct
+  type sim = t
+
+  type 'a state = Pending of ('a -> unit) list | Resolved of 'a
+
+  type 'a t = { sim : sim; mutable state : 'a state }
+
+  let create sim = { sim; state = Pending [] }
+
+  let peek f = match f.state with Resolved v -> Some v | Pending _ -> None
+  let is_resolved f = peek f <> None
+
+  (* Callbacks run via the calendar, never synchronously inside the
+     resolver: resolution order therefore never depends on who happened to
+     be on the stack, which keeps multi-session simulations deterministic. *)
+  let resolve f v =
+    match f.state with
+    | Resolved _ -> invalid_arg "Des.Future.resolve: already resolved"
+    | Pending ks ->
+        f.state <- Resolved v;
+        List.iter (fun k -> at f.sim (now f.sim) (fun () -> k v)) (List.rev ks)
+
+  let on_resolve f k =
+    match f.state with
+    | Resolved v -> at f.sim (now f.sim) (fun () -> k v)
+    | Pending ks -> f.state <- Pending (k :: ks)
+
+  let map f g =
+    let r = create f.sim in
+    on_resolve f (fun v -> resolve r (g v));
+    r
+end
+
 module Resource = struct
   type sim = t
 

@@ -30,6 +30,36 @@ val run : t -> until:float -> unit
 (** Execute events in timestamp order until the calendar is empty or the
     clock passes [until]. *)
 
+module Future : sig
+  (** Single-assignment cells resolved by simulation events — the value a
+      non-blocking [submit] hands back so the caller can [await] later.
+
+      Callbacks registered with {!on_resolve} are scheduled on the event
+      calendar at the resolution time rather than run synchronously, so the
+      order in which concurrent sessions observe their replies is a property
+      of the simulation, not of the resolver's call stack. *)
+
+  type sim := t
+  type 'a t
+
+  val create : sim -> 'a t
+
+  val resolve : 'a t -> 'a -> unit
+  (** Fulfil the future and schedule its callbacks (registration order).
+      Raises [Invalid_argument] on double resolution. *)
+
+  val on_resolve : 'a t -> ('a -> unit) -> unit
+  (** Register a callback; if already resolved it is scheduled to run at the
+      current simulated time. *)
+
+  val peek : 'a t -> 'a option
+  (** The value, if resolved — a non-blocking poll. *)
+
+  val is_resolved : 'a t -> bool
+
+  val map : 'a t -> ('a -> 'b) -> 'b t
+end
+
 module Resource : sig
   (** A multi-server FCFS resource (CPU cores, DB workers, thread pool). *)
 

@@ -1,0 +1,443 @@
+module Db = Sloth_storage.Database
+module Rs = Sloth_storage.Result_set
+module Cost = Sloth_storage.Cost
+module Des = Sloth_net.Des
+module Fault = Sloth_net.Fault
+module Ast = Sloth_sql.Ast
+
+type reply = (Db.outcome list, string) result
+
+type entry = {
+  e_session : int;
+  e_seq : int;
+  e_stmts : Ast.stmt list;
+  e_reads : bool;
+  e_delivered : bool;
+}
+
+type stats = {
+  batches : int;
+  read_batches : int;
+  flushes : int;
+  coalesced : int;
+  max_flush : int;
+  rows_scanned : int;
+  zero_scan_reads : int;
+  retransmits : int;
+  errors : int;
+}
+
+type batch = {
+  b_session : session;
+  b_seq : int;
+  b_stmts : Ast.stmt list;
+  b_selects : Ast.select list;  (* populated when the batch is read-only *)
+  b_read : bool;
+  b_token : string option;  (* already session-tagged *)
+}
+
+and session = {
+  srv : t;
+  id : int;
+  rtt_ms : float;
+  fault : Fault.t option;
+  mutable next_seq : int;
+}
+
+(* One delivery attempt that reached the server.  [a_deliver] is false when
+   the fault plan decided the response leg is lost: the batch executes (and
+   any token is recorded) but the client sees only its timeout. *)
+and arrival = {
+  a_b : batch;
+  a_extra : float;  (* injected latency, charged on the response leg *)
+  a_deliver : bool;
+  a_reply : reply -> unit;
+}
+
+and t = {
+  sim : Des.t;
+  db : Db.t;
+  window_ms : float;
+  max_coalesce : int;
+  share : bool;
+  max_attempts : int;
+  backoff_base_ms : float;
+  backoff_max_ms : float;
+  exec : Des.Resource.t;  (* the storage engine itself is single-threaded *)
+  read_q : arrival Queue.t;
+  mutable flush_scheduled : bool;
+  applied : (string, reply) Hashtbl.t;  (* tagged token -> cached reply *)
+  mutable next_session : int;
+  mutable rev_log : entry list;
+  (* stats *)
+  mutable s_batches : int;
+  mutable s_read_batches : int;
+  mutable s_flushes : int;
+  mutable s_coalesced : int;
+  mutable s_max_flush : int;
+  mutable s_rows_scanned : int;
+  mutable s_zero_scan : int;
+  mutable s_retransmits : int;
+  mutable s_errors : int;
+}
+
+let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
+    ?(max_attempts = 25) ?(backoff_base_ms = 1.0) ?(backoff_max_ms = 16.0) () =
+  if max_coalesce < 1 then invalid_arg "Admission.create: max_coalesce";
+  if max_attempts < 1 then invalid_arg "Admission.create: max_attempts";
+  {
+    sim;
+    db;
+    window_ms;
+    max_coalesce;
+    share;
+    max_attempts;
+    backoff_base_ms;
+    backoff_max_ms;
+    exec = Des.Resource.create sim ~servers:1;
+    read_q = Queue.create ();
+    flush_scheduled = false;
+    applied = Hashtbl.create 32;
+    next_session = 0;
+    rev_log = [];
+    s_batches = 0;
+    s_read_batches = 0;
+    s_flushes = 0;
+    s_coalesced = 0;
+    s_max_flush = 0;
+    s_rows_scanned = 0;
+    s_zero_scan = 0;
+    s_retransmits = 0;
+    s_errors = 0;
+  }
+
+let sim t = t.sim
+let database t = t.db
+
+let open_session ?(rtt_ms = 0.5) ?fault t =
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  { srv = t; id; rtt_ms; fault; next_seq = 0 }
+
+let session_id s = s.id
+let server s = s.srv
+
+let stats t =
+  {
+    batches = t.s_batches;
+    read_batches = t.s_read_batches;
+    flushes = t.s_flushes;
+    coalesced = t.s_coalesced;
+    max_flush = t.s_max_flush;
+    rows_scanned = t.s_rows_scanned;
+    zero_scan_reads = t.s_zero_scan;
+    retransmits = t.s_retransmits;
+    errors = t.s_errors;
+  }
+
+let log t = List.rev t.rev_log
+
+(* --- server-side execution ----------------------------------------------- *)
+
+let log_exec t a =
+  let b = a.a_b in
+  t.rev_log <-
+    {
+      e_session = b.b_session.id;
+      e_seq = b.b_seq;
+      e_stmts = b.b_stmts;
+      e_reads = b.b_read;
+      e_delivered = a.a_deliver;
+    }
+    :: t.rev_log
+
+(* Ship the reply back: half a round trip, plus whatever latency the fault
+   plan injected on this delivery. *)
+let respond t a r =
+  (match r with Error _ -> t.s_errors <- t.s_errors + 1 | Ok _ -> ());
+  if a.a_deliver then
+    Des.delay t.sim ((a.a_b.b_session.rtt_ms /. 2.0) +. a.a_extra) (fun () ->
+        a.a_reply r)
+
+let is_txn_control = function
+  | Ast.Begin_txn | Ast.Commit | Ast.Rollback -> true
+  | _ -> false
+
+let count_read_stats t outs =
+  List.iter
+    (fun ((_ : Db.outcome), scanned) ->
+      t.s_rows_scanned <- t.s_rows_scanned + scanned;
+      if scanned = 0 then t.s_zero_scan <- t.s_zero_scan + 1)
+    outs
+
+(* A barrier batch (writes and/or transaction control), executed alone in
+   arrival order — the per-session semantics of the synchronous driver,
+   including exactly-once replay of session-tagged idempotency tokens. *)
+let run_barrier t a finish =
+  let b = a.a_b in
+  let model = Db.cost_model t.db in
+  match b.b_token with
+  | Some k when Hashtbl.mem t.applied k ->
+      (* retransmission of an already-processed batch: replay the cache *)
+      finish model.Cost.fixed_ms (Hashtbl.find t.applied k)
+  | Some k when Db.token_applied t.db k ->
+      (* the cache is gone but the WAL proves the batch committed: a
+         durable ack carries only "applied" *)
+      let ack =
+        List.map
+          (fun _ : Db.outcome ->
+            { Db.rs = Rs.empty; rows_affected = 0; cost_ms = model.Cost.fixed_ms })
+          b.b_stmts
+      in
+      finish model.Cost.fixed_ms (Ok ack)
+  | _ -> (
+      let has_write = List.exists Ast.is_write b.b_stmts in
+      let has_txn = List.exists is_txn_control b.b_stmts in
+      let exec_all () = Db.exec_batch t.db b.b_stmts in
+      let rollback_if_open () =
+        if Db.in_txn t.db then ignore (Db.exec t.db Ast.Rollback)
+      in
+      match
+        if has_write && not has_txn then
+          Db.atomically ?token:b.b_token t.db exec_all
+        else exec_all ()
+      with
+      | outcomes ->
+          if Db.in_txn t.db then begin
+            (* A transaction spanning batches would hold every other
+               session hostage: batch-scoped or nothing. *)
+            rollback_if_open ();
+            finish model.Cost.fixed_ms
+              (Error
+                 "transaction left open at batch end (the multi-session \
+                  server requires batch-scoped transactions)")
+          end
+          else begin
+            (match b.b_token with
+            | Some k when has_write -> Hashtbl.replace t.applied k (Ok outcomes)
+            | _ -> ());
+            log_exec t a;
+            let read_costs, write_cost =
+              List.fold_left2
+                (fun (reads, writes) stmt (o : Db.outcome) ->
+                  if Ast.is_write stmt then (reads, writes +. o.Db.cost_ms)
+                  else (o.Db.cost_ms :: reads, writes))
+                ([], 0.0) b.b_stmts outcomes
+            in
+            finish
+              (Cost.batch_ms model (List.rev read_costs) +. write_cost)
+              (Ok outcomes)
+          end
+      | exception Db.Sql_error msg ->
+          rollback_if_open ();
+          finish model.Cost.fixed_ms (Error msg))
+
+(* Execute one arrival on the (single-server) executor resource and ship
+   its reply.  Used for barriers always, and for read batches when
+   cross-client sharing is off. *)
+let direct t a =
+  Des.Resource.acquire t.exec (fun () ->
+      let finish service r =
+        Des.delay t.sim service (fun () ->
+            Des.Resource.release t.exec;
+            respond t a r)
+      in
+      let b = a.a_b in
+      if b.b_read then
+        match Db.exec_reads t.db b.b_selects with
+        | outs ->
+            count_read_stats t outs;
+            log_exec t a;
+            let costs = List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs in
+            finish
+              (Cost.batch_ms (Db.cost_model t.db) costs)
+              (Ok (List.map fst outs))
+        | exception Db.Sql_error msg ->
+            finish (Db.cost_model t.db).Cost.fixed_ms (Error msg)
+      else run_barrier t a finish)
+
+(* One coalesced flush: every waiting batch's reads concatenated into a
+   single multi-query execution, so normalized duplicates and shareable
+   scans collapse across sessions.  All the batches of a flush finish
+   together (the group runs as one parallel read batch). *)
+let run_flush t group =
+  t.s_flushes <- t.s_flushes + 1;
+  let n = List.length group in
+  if n > t.s_max_flush then t.s_max_flush <- n;
+  if n > 1 then t.s_coalesced <- t.s_coalesced + n;
+  let model = Db.cost_model t.db in
+  let all_selects = List.concat_map (fun a -> a.a_b.b_selects) group in
+  let finish service replies =
+    Des.delay t.sim service (fun () ->
+        Des.Resource.release t.exec;
+        List.iter (fun (a, r) -> respond t a r) replies)
+  in
+  match Db.exec_reads t.db all_selects with
+  | outs ->
+      count_read_stats t outs;
+      let costs = List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs in
+      (* split the flat outcome list back into per-batch replies *)
+      let rec split outs = function
+        | [] -> []
+        | a :: rest ->
+            let rec take k acc outs =
+              if k = 0 then (List.rev acc, outs)
+              else
+                match outs with
+                | o :: tl -> take (k - 1) (o :: acc) tl
+                | [] -> assert false
+            in
+            let mine, outs = take (List.length a.a_b.b_selects) [] outs in
+            log_exec t a;
+            (a, Ok (List.map fst mine)) :: split outs rest
+      in
+      finish (Cost.batch_ms model costs) (split outs group)
+  | exception Db.Sql_error _ ->
+      (* A poison query somewhere in the flush: degrade to per-batch
+         execution so one session's bad statement cannot fail its
+         neighbours.  The sharing opportunity is lost; correctness is not. *)
+      let service = ref 0.0 in
+      let replies =
+        List.map
+          (fun a ->
+            match Db.exec_reads t.db a.a_b.b_selects with
+            | outs ->
+                count_read_stats t outs;
+                log_exec t a;
+                let costs =
+                  List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs
+                in
+                service := !service +. Cost.batch_ms model costs;
+                (a, Ok (List.map fst outs))
+            | exception Db.Sql_error msg ->
+                service := !service +. model.Cost.fixed_ms;
+                (a, Error msg))
+          group
+      in
+      finish !service replies
+
+(* The flush event: fires one window after the first read batch queued, but
+   drains the queue only once the executor is actually granted — reads that
+   piled up behind a barrier join the flush, which is where sharing under
+   load comes from. *)
+let rec flush t =
+  Des.Resource.acquire t.exec (fun () ->
+      let group = ref [] in
+      while
+        List.length !group < t.max_coalesce && not (Queue.is_empty t.read_q)
+      do
+        group := Queue.pop t.read_q :: !group
+      done;
+      t.flush_scheduled <- false;
+      if not (Queue.is_empty t.read_q) then begin
+        (* fairness cap hit: the leftovers have already waited a window *)
+        t.flush_scheduled <- true;
+        Des.at t.sim (Des.now t.sim) (fun () -> flush t)
+      end;
+      match List.rev !group with
+      | [] -> Des.Resource.release t.exec
+      | group -> run_flush t group)
+
+let arrive t a =
+  if a.a_b.b_read && t.share then begin
+    Queue.push a t.read_q;
+    if not t.flush_scheduled then begin
+      t.flush_scheduled <- true;
+      Des.at t.sim (Des.now t.sim +. t.window_ms) (fun () -> flush t)
+    end
+  end
+  else direct t a
+
+(* --- the client side of the wire ----------------------------------------- *)
+
+let submit ses ?token stmts =
+  let t = ses.srv in
+  let fut = Des.Future.create t.sim in
+  (match stmts with
+  | [] -> Des.Future.resolve fut (Ok []) (* no round trip, no cost *)
+  | _ ->
+      let seq = ses.next_seq in
+      ses.next_seq <- seq + 1;
+      t.s_batches <- t.s_batches + 1;
+      let selects =
+        List.filter_map
+          (function Ast.Select s -> Some s | _ -> None)
+          stmts
+      in
+      let read = List.length selects = List.length stmts in
+      if read then t.s_read_batches <- t.s_read_batches + 1;
+      let b =
+        {
+          b_session = ses;
+          b_seq = seq;
+          b_stmts = stmts;
+          b_selects = selects;
+          b_read = read;
+          b_token =
+            Option.map (fun k -> Printf.sprintf "s%d:%s" ses.id k) token;
+        }
+      in
+      let one_way = ses.rtt_ms /. 2.0 in
+      let rec attempt n =
+        let decision =
+          match ses.fault with
+          | None -> Fault.Deliver 0.0
+          | Some f -> Fault.decide f
+        in
+        match decision with
+        | Fault.Deliver extra ->
+            Des.delay t.sim one_way (fun () ->
+                arrive t
+                  {
+                    a_b = b;
+                    a_extra = extra;
+                    a_deliver = true;
+                    a_reply = Des.Future.resolve fut;
+                  })
+        | Fault.Fail (failure, leg) ->
+            (* The async server has no crash-restart integration yet
+               (ROADMAP): a crash decision degrades to a dropped trip. *)
+            let failure =
+              match failure with Fault.Server_crash -> Fault.Drop | f -> f
+            in
+            (match leg with
+            | Fault.Response | Fault.Mid_batch _ ->
+                (* the server executed the batch; only the reply died *)
+                Des.delay t.sim one_way (fun () ->
+                    arrive t
+                      {
+                        a_b = b;
+                        a_extra = 0.0;
+                        a_deliver = false;
+                        a_reply = ignore;
+                      })
+            | Fault.Request -> ());
+            let burn =
+              match failure with
+              | Fault.Drop -> (
+                  match ses.fault with
+                  | Some f -> Fault.timeout_ms f
+                  | None -> 10.0)
+              | Fault.Reset -> one_way
+              | Fault.Server_busy | Fault.Deadlock -> ses.rtt_ms
+              | Fault.Server_crash -> assert false
+            in
+            if n >= t.max_attempts then
+              Des.delay t.sim burn (fun () ->
+                  t.s_errors <- t.s_errors + 1;
+                  Des.Future.resolve fut
+                    (Error
+                       (Printf.sprintf "retries exhausted after %d attempts: %s"
+                          n
+                          (Fault.failure_label failure))))
+            else begin
+              t.s_retransmits <- t.s_retransmits + 1;
+              let backoff =
+                Float.min t.backoff_max_ms
+                  (t.backoff_base_ms *. (2.0 ** float_of_int (n - 1)))
+              in
+              Des.delay t.sim (burn +. backoff) (fun () -> attempt (n + 1))
+            end
+      in
+      attempt 1);
+  fut

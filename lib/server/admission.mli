@@ -1,0 +1,135 @@
+(** Server-side admission control for asynchronous multi-session serving.
+
+    The synchronous driver ({!Sloth_driver.Connection}) owns its database:
+    one client, one blocking round trip at a time.  This module puts a
+    server in front of the database instead.  Any number of {e sessions}
+    submit statement batches concurrently on a shared
+    {!Sloth_net.Des} simulation; each submission returns immediately with a
+    {!Sloth_net.Des.Future.t} that resolves when the reply lands back at
+    the client.
+
+    {b Cross-client sharing.}  Read-only batches are not executed on
+    arrival: they wait in an admission queue for up to [window_ms], and
+    everything waiting is then flushed through
+    {!Sloth_storage.Database.exec_reads} as {e one} multi-query group.
+    Statements from different sessions that normalize to the same canonical
+    form execute once, and plans that resolve to bare sequential scans of
+    the same table share a single heap pass — the SharedDB effect, across
+    clients instead of within one batch.  Under load the effect compounds:
+    while the executor is busy, arriving reads pile into the queue and the
+    next flush coalesces them all.
+
+    {b Barriers.}  A batch containing a write or transaction control
+    executes alone, in arrival order, exactly as the per-session driver
+    would run it: wrapped in {!Sloth_storage.Database.atomically} when it
+    writes without explicit transaction control.  Transactions must be
+    batch-scoped — a batch that leaves a transaction open is rolled back
+    and answered with an error, because a cross-batch transaction would
+    block every other session.
+
+    {b Fairness / starvation policy.}  Admission is FIFO.  A flush drains
+    at most [max_coalesce] batches (the leftovers flush immediately after),
+    so one chatty session cannot monopolize a flush, and barriers queue
+    FCFS on the executor with the flushes, so neither reads nor writes can
+    starve: every batch starts executing after at most one window plus the
+    work admitted ahead of it.
+
+    {b Faults and idempotency.}  A session may carry a
+    {!Sloth_net.Fault.t}; every delivery attempt consults it.  Failed
+    attempts are retransmitted with bounded exponential backoff, all in
+    simulated time.  Write batches should carry an idempotency token: the
+    token is tagged with the session id, and a retransmission of an
+    already-executed batch (its response was lost) is answered from the
+    server's outcome cache instead of being re-applied — the same
+    exactly-once contract as the synchronous driver, now per session.
+    [Server_crash] decisions degrade to dropped trips here; crash-restart
+    of the async server is future work (see ROADMAP).
+
+    Everything — arrivals, windows, execution, replies, retries — runs on
+    the event calendar, so a multi-session schedule is exactly
+    reproducible. *)
+
+type t
+(** The admission layer wrapping one database. *)
+
+type session
+(** One client's registration with the server. *)
+
+type reply = (Sloth_storage.Database.outcome list, string) result
+(** What a batch resolves to: per-statement outcomes in submission order,
+    or the server's error message (the batch was rolled back). *)
+
+type entry = {
+  e_session : int;  (** session id *)
+  e_seq : int;  (** per-session submission number *)
+  e_stmts : Sloth_sql.Ast.stmt list;
+  e_reads : bool;  (** a read-only batch *)
+  e_delivered : bool;
+      (** this execution's reply reached the client (false when the
+          response leg was lost and the client had to retransmit) *)
+}
+(** One successfully executed batch, as recorded in the execution log. *)
+
+type stats = {
+  batches : int;  (** batches admitted (excluding empty ones) *)
+  read_batches : int;
+  flushes : int;  (** shared read flushes executed *)
+  coalesced : int;  (** read batches that shared a flush with another *)
+  max_flush : int;  (** largest number of batches in one flush *)
+  rows_scanned : int;  (** heap rows examined by the read path *)
+  zero_scan_reads : int;
+      (** read statements answered without scanning (normalized duplicate
+          of, or scan shared with, another statement — possibly another
+          session's) *)
+  retransmits : int;  (** delivery attempts that failed and were retried *)
+  errors : int;  (** batches answered with [Error] *)
+}
+
+val create :
+  sim:Sloth_net.Des.t ->
+  db:Sloth_storage.Database.t ->
+  ?window_ms:float ->
+  ?max_coalesce:int ->
+  ?share:bool ->
+  ?max_attempts:int ->
+  ?backoff_base_ms:float ->
+  ?backoff_max_ms:float ->
+  unit ->
+  t
+(** Defaults: [window_ms = 2.0] (how long an arriving read batch may wait
+    for sharing partners), [max_coalesce = 64] (fairness cap per flush),
+    [share = true] (with [share = false] read batches execute on arrival,
+    one {!Sloth_storage.Database.exec_reads} call each — exactly the
+    per-session behaviour of the synchronous driver, kept as the
+    experiment's "no cross-client sharing" arm), [max_attempts = 25],
+    backoff base 1 ms doubling up to 16 ms. *)
+
+val sim : t -> Sloth_net.Des.t
+val database : t -> Sloth_storage.Database.t
+
+val open_session : ?rtt_ms:float -> ?fault:Sloth_net.Fault.t -> t -> session
+(** Register a client.  [rtt_ms] (default 0.5) is this session's round-trip
+    time to the server; [fault] injects per-attempt failures. *)
+
+val session_id : session -> int
+val server : session -> t
+
+val submit :
+  session ->
+  ?token:string ->
+  Sloth_sql.Ast.stmt list ->
+  reply Sloth_net.Des.Future.t
+(** Non-blocking submission: the batch departs now, the future resolves
+    when its reply arrives (simulated time passes in between).  An empty
+    batch resolves immediately with [Ok []] and costs nothing.  [token] is
+    an idempotency token, tagged with the session id before it reaches the
+    server, so different sessions' tokens can never collide. *)
+
+val stats : t -> stats
+
+val log : t -> entry list
+(** Every successfully executed batch in execution order — the
+    serialization order of the multi-session schedule.  Replaying the log
+    serially against an identically seeded database must reproduce every
+    delivered result set and the final database fingerprint; the
+    differential fuzz suite pins exactly that. *)

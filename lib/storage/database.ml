@@ -473,6 +473,30 @@ let exec_batch t stmts =
     go [] [] stmts
   end
 
+(* Execute a group of SELECTs through the multi-query read path and report
+   how many rows each one actually scanned — the admission layer's entry
+   point: a cross-session flush concatenates every waiting session's reads,
+   calls this once, and splits the outcomes back per batch.  The planner
+   toggle is respected; [Direct] mode plans each statement independently,
+   which is the differential oracle for cross-client sharing. *)
+let exec_reads t selects =
+  match
+    Executor.execute_reads (catalog t) ~mode:(mode t) ~model:t.cost selects
+  with
+  | outs ->
+      List.map
+        (fun (o : Executor.outcome) ->
+          ( {
+              rs = o.rs;
+              rows_affected = o.rows_affected;
+              cost_ms =
+                Cost.query_ms t.cost ~rows_scanned:o.rows_scanned
+                  ~rows_returned:(Result_set.num_rows o.rs);
+            },
+            o.rows_scanned ))
+        outs
+  | exception Executor.Sql_error msg -> error "%s" msg
+
 let exec_sql t sql =
   match Sloth_sql.Parser.parse sql with
   | stmt -> exec t stmt

@@ -113,6 +113,16 @@ val exec_batch : t -> Sloth_sql.Ast.stmt list -> outcome list
     act as barriers between read runs.  Result sets are identical to
     [List.map (exec t)]. *)
 
+val exec_reads : t -> Sloth_sql.Ast.select list -> (outcome * int) list
+(** Execute a group of SELECTs through the multi-query path of
+    {!exec_batch} and additionally report each statement's rows scanned
+    (0 for a normalized duplicate or a sharer of another statement's
+    sequential scan).  This is the async server's admission entry point: a
+    cross-session flush concatenates the reads of every coalesced batch,
+    executes them in one call so sharing happens {e across} sessions, and
+    splits the outcomes back per batch.  Respects {!set_planner}; in
+    [Direct] mode every statement is planned independently. *)
+
 val exec_sql : t -> string -> outcome
 (** Parse then {!exec}. *)
 

@@ -1,0 +1,475 @@
+(* Tests for the asynchronous multi-session server: futures on the event
+   calendar, cross-client shared-scan coalescing, barrier semantics,
+   session-tagged exactly-once tokens, fairness caps — and a differential
+   fuzz suite pinning interleaved multi-session execution (with and without
+   fault injection) to a serial replay of the server's execution log. *)
+
+module Db = Sloth_storage.Database
+module Rs = Sloth_storage.Result_set
+module Des = Sloth_net.Des
+module Fault = Sloth_net.Fault
+module Adm = Sloth_server.Admission
+module Session = Sloth_driver.Session
+module Parser = Sloth_sql.Parser
+
+let parse = Parser.parse
+let parse_all = List.map parse
+
+let setup () =
+  let db = Db.create () in
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE kv (id INT NOT NULL, grp INT NOT NULL, val TEXT NOT \
+        NULL, PRIMARY KEY (id))");
+  for i = 1 to 30 do
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf "INSERT INTO kv (id, grp, val) VALUES (%d, %d, 'v%d')"
+            i (i mod 5) i))
+  done;
+  db
+
+let server ?window_ms ?max_coalesce ?share db =
+  let sim = Des.create () in
+  (sim, Adm.create ~sim ~db ?window_ms ?max_coalesce ?share ())
+
+let run sim = Des.run sim ~until:Float.infinity
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let same_outcome (a : Db.outcome) (b : Db.outcome) =
+  Rs.columns a.rs = Rs.columns b.rs
+  && Rs.rows a.rs = Rs.rows b.rs
+  && a.rows_affected = b.rows_affected
+
+let same_outcomes a b =
+  List.length a = List.length b && List.for_all2 same_outcome a b
+
+(* --- futures -------------------------------------------------------------- *)
+
+let test_future_resolves_via_calendar () =
+  let sim = Des.create () in
+  let fut = Des.Future.create sim in
+  let seen = ref None in
+  Des.Future.on_resolve fut (fun v -> seen := Some v);
+  Des.Future.resolve fut 42;
+  Alcotest.(check (option int))
+    "callback is scheduled, not synchronous" None !seen;
+  Alcotest.(check bool) "but the value is visible" true
+    (Des.Future.peek fut = Some 42);
+  run sim;
+  Alcotest.(check (option int)) "callback ran under the calendar" (Some 42)
+    !seen;
+  (* late subscribers still go through the calendar *)
+  let late = ref None in
+  Des.Future.on_resolve fut (fun v -> late := Some v);
+  Alcotest.(check (option int)) "late callback also deferred" None !late;
+  run sim;
+  Alcotest.(check (option int)) "late callback ran" (Some 42) !late
+
+let test_future_double_resolve_raises () =
+  let sim = Des.create () in
+  let fut = Des.Future.create sim in
+  Des.Future.resolve fut 1;
+  Alcotest.check_raises "second resolve rejected"
+    (Invalid_argument "Des.Future.resolve: already resolved") (fun () ->
+      Des.Future.resolve fut 2)
+
+let test_future_map () =
+  let sim = Des.create () in
+  let fut = Des.Future.create sim in
+  let doubled = Des.Future.map fut (fun v -> v * 2) in
+  Des.Future.resolve fut 21;
+  run sim;
+  Alcotest.(check bool) "mapped future resolved" true
+    (Des.Future.peek doubled = Some 42)
+
+(* --- serving basics ------------------------------------------------------- *)
+
+let reads_sql =
+  [
+    "SELECT COUNT(*) AS n FROM kv";
+    "SELECT grp, COUNT(*) AS n FROM kv GROUP BY grp";
+  ]
+
+let test_single_session_reads () =
+  let db = setup () in
+  let expected = Db.exec_batch (setup ()) (parse_all reads_sql) in
+  let sim, srv = server db in
+  let ses = Session.connect srv in
+  let h = Session.submit_sql ses reads_sql in
+  run sim;
+  match Session.peek h with
+  | Some (Ok outs) ->
+      Alcotest.(check bool) "served batch equals direct execution" true
+        (same_outcomes outs expected);
+      Alcotest.(check int) "latency recorded" 1
+        (List.length (Session.latencies ses))
+  | Some (Error e) -> Alcotest.fail e
+  | None -> Alcotest.fail "future never resolved"
+
+let test_cross_client_sharing () =
+  let arm ~share =
+    let sim, srv = server ~share (setup ()) in
+    let sessions = List.init 4 (fun _ -> Session.connect srv) in
+    let handles =
+      List.map (fun s -> Session.submit_sql s [ "SELECT COUNT(*) AS n FROM kv" ])
+        sessions
+    in
+    run sim;
+    let replies =
+      List.map
+        (fun h ->
+          match Session.peek h with
+          | Some (Ok outs) -> outs
+          | _ -> Alcotest.fail "reply missing")
+        handles
+    in
+    (replies, Adm.stats srv)
+  in
+  let shared_r, shared = arm ~share:true in
+  let unshared_r, unshared = arm ~share:false in
+  Alcotest.(check bool) "same results with and without sharing" true
+    (List.for_all2 same_outcomes shared_r unshared_r);
+  Alcotest.(check int) "one flush covers all four clients" 1 shared.Adm.flushes;
+  Alcotest.(check int) "all four coalesced" 4 shared.Adm.coalesced;
+  Alcotest.(check int) "three of four answered without scanning" 3
+    shared.Adm.zero_scan_reads;
+  Alcotest.(check int) "shared arm scans the heap once" 30
+    shared.Adm.rows_scanned;
+  Alcotest.(check int) "unshared arm scans it per client" 120
+    unshared.Adm.rows_scanned;
+  Alcotest.(check int) "no coalescing when sharing is off" 0
+    unshared.Adm.coalesced
+
+let test_fairness_cap () =
+  let sim, srv = server ~max_coalesce:2 (setup ()) in
+  let handles =
+    List.init 5 (fun _ ->
+        Session.submit_sql (Session.connect srv)
+          [ "SELECT COUNT(*) AS n FROM kv" ])
+  in
+  run sim;
+  List.iter
+    (fun h ->
+      match Session.peek h with
+      | Some (Ok _) -> ()
+      | _ -> Alcotest.fail "capped flush lost a reply")
+    handles;
+  let s = Adm.stats srv in
+  Alcotest.(check int) "cap splits five batches into three flushes" 3
+    s.Adm.flushes;
+  Alcotest.(check int) "no flush exceeds the cap" 2 s.Adm.max_flush
+
+let test_write_barrier_rolls_back () =
+  let db = setup () in
+  let before = Db.fingerprint db in
+  let sim, srv = server db in
+  let ses = Session.connect srv in
+  let h =
+    Session.submit_sql ses ~token:"w1"
+      [
+        "INSERT INTO kv (id, grp, val) VALUES (100, 0, 'x')";
+        "INSERT INTO kv (id, grp, val) VALUES (1, 0, 'dup')";
+      ]
+  in
+  run sim;
+  (match Session.peek h with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "duplicate-key batch should be answered with Error");
+  Alcotest.(check string) "the partial insert was rolled back" before
+    (Db.fingerprint db);
+  Alcotest.(check int) "failed batches are not logged" 0
+    (List.length (Adm.log srv))
+
+let test_open_transaction_rejected () =
+  let db = setup () in
+  let before = Db.fingerprint db in
+  let sim, srv = server db in
+  let ses = Session.connect srv in
+  let h =
+    Session.submit_sql ses
+      [ "BEGIN"; "UPDATE kv SET val = 'u' WHERE id = 1" ]
+  in
+  run sim;
+  (match Session.peek h with
+  | Some (Error msg) ->
+      Alcotest.(check bool) "error names the batch-scoped policy" true
+        (contains_substring msg "batch-scoped")
+  | _ -> Alcotest.fail "open transaction should be answered with Error");
+  Alcotest.(check bool) "server is not left inside a transaction" false
+    (Db.in_txn db);
+  Alcotest.(check string) "the update was rolled back" before
+    (Db.fingerprint db)
+
+let test_exactly_once_under_response_loss () =
+  let db = setup () in
+  let sim, srv = server db in
+  let fault = Fault.create (Fault.plan ()) in
+  Fault.script fault ~first:1 ~last:1 Fault.Drop Fault.Response;
+  let ses = Session.connect ~fault srv in
+  let h =
+    Session.submit_sql ses ~token:"t1"
+      [ "INSERT INTO kv (id, grp, val) VALUES (200, 1, 'once')" ]
+  in
+  run sim;
+  (match Session.peek h with
+  | Some (Ok [ o ]) ->
+      Alcotest.(check int) "replayed outcome reports the insert" 1
+        o.Db.rows_affected
+  | _ -> Alcotest.fail "retransmitted tokened batch should resolve Ok");
+  let n =
+    Rs.rows (Db.exec_sql db "SELECT COUNT(*) AS n FROM kv WHERE id = 200").rs
+  in
+  Alcotest.(check bool) "the row exists exactly once" true
+    (match n with [ [| v |] ] -> v = Sloth_storage.Value.Int 1 | _ -> false);
+  Alcotest.(check int) "executed once despite the retransmission" 1
+    (List.length (Adm.log srv));
+  (match Adm.log srv with
+  | [ e ] ->
+      Alcotest.(check bool) "the logged execution's reply was lost" false
+        e.Adm.e_delivered
+  | _ -> assert false);
+  Alcotest.(check int) "the retry was counted" 1 (Adm.stats srv).Adm.retransmits
+
+let test_session_tagged_tokens () =
+  let db = setup () in
+  let sim, srv = server db in
+  let a = Session.connect srv and b = Session.connect srv in
+  let ha =
+    Session.submit_sql a ~token:"same"
+      [ "INSERT INTO kv (id, grp, val) VALUES (301, 0, 'a')" ]
+  in
+  let hb =
+    Session.submit_sql b ~token:"same"
+      [ "INSERT INTO kv (id, grp, val) VALUES (302, 0, 'b')" ]
+  in
+  run sim;
+  (match (Session.peek ha, Session.peek hb) with
+  | Some (Ok _), Some (Ok _) -> ()
+  | _ -> Alcotest.fail "both sessions' batches should succeed");
+  let n =
+    Rs.rows (Db.exec_sql db "SELECT COUNT(*) AS n FROM kv WHERE id > 300").rs
+  in
+  Alcotest.(check bool)
+    "equal token strings in different sessions never collide" true
+    (match n with [ [| v |] ] -> v = Sloth_storage.Value.Int 2 | _ -> false)
+
+let test_read_retransmission_logged_twice () =
+  let db = setup () in
+  let sim, srv = server db in
+  let fault = Fault.create (Fault.plan ()) in
+  Fault.script fault ~first:1 ~last:1 Fault.Drop Fault.Response;
+  let ses = Session.connect ~fault srv in
+  let h = Session.submit_sql ses [ "SELECT COUNT(*) AS n FROM kv" ] in
+  run sim;
+  (match Session.peek h with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "read should be retransmitted and answered");
+  match Adm.log srv with
+  | [ first; second ] ->
+      Alcotest.(check bool) "first execution's reply was lost" false
+        first.Adm.e_delivered;
+      Alcotest.(check bool) "second execution was delivered" true
+        second.Adm.e_delivered;
+      Alcotest.(check int) "both executions belong to the same batch"
+        first.Adm.e_seq second.Adm.e_seq
+  | l ->
+      Alcotest.failf "expected the read logged twice, got %d entries"
+        (List.length l)
+
+(* --- differential fuzz: interleaved serving vs serial replay -------------- *)
+
+(* A random multi-session schedule runs through the admission layer;
+   afterwards the server's execution log is replayed serially against an
+   identically seeded database.  The replay must reproduce (a) every
+   delivered [Ok] result set — matched against the *last* logged execution
+   of that (session, seq), which is the one whose reply was delivered —
+   and (b) the final database fingerprint.  Write batches always carry an
+   idempotency token, exactly as a resilient client would, so fault
+   injection cannot double-apply them. *)
+
+let fresh_id = ref 0
+
+let gen_read rng =
+  match Random.State.int rng 5 with
+  | 0 -> Printf.sprintf "SELECT * FROM kv WHERE id = %d" (1 + Random.State.int rng 40)
+  | 1 -> Printf.sprintf "SELECT COUNT(*) AS n FROM kv WHERE grp = %d" (Random.State.int rng 5)
+  | 2 -> "SELECT grp, COUNT(*) AS n FROM kv GROUP BY grp"
+  | 3 -> Printf.sprintf "SELECT * FROM kv WHERE grp = %d AND id < 20" (Random.State.int rng 5)
+  | _ -> "SELECT COUNT(*) AS n FROM kv"
+
+let gen_write rng =
+  match Random.State.int rng 3 with
+  | 0 ->
+      incr fresh_id;
+      Printf.sprintf "INSERT INTO kv (id, grp, val) VALUES (%d, %d, 'w%d')"
+        (1000 + !fresh_id) (Random.State.int rng 5) !fresh_id
+  | 1 ->
+      Printf.sprintf "UPDATE kv SET val = 'u%d' WHERE id = %d"
+        (Random.State.int rng 100) (1 + Random.State.int rng 30)
+  | _ -> Printf.sprintf "DELETE FROM kv WHERE id = %d" (1 + Random.State.int rng 30)
+
+(* A batch spec: the statements plus whether it needs a token (any write). *)
+let gen_batch rng =
+  match Random.State.int rng 10 with
+  | 0 | 1 | 2 | 3 | 4 ->
+      (List.init (1 + Random.State.int rng 3) (fun _ -> gen_read rng), false)
+  | 5 | 6 | 7 ->
+      let n = 1 + Random.State.int rng 3 in
+      let stmts =
+        List.init n (fun _ ->
+            if Random.State.int rng 3 = 0 then gen_read rng else gen_write rng)
+      in
+      (* guarantee at least one write so the batch is really a barrier *)
+      ((gen_write rng :: stmts), true)
+  | 8 ->
+      ( [ "BEGIN"; gen_write rng; gen_write rng;
+          (if Random.State.bool rng then "COMMIT" else "ROLLBACK") ],
+        true )
+  | _ ->
+      (* deliberately invalid: either a duplicate-key insert (rolls the
+         batch back) or a transaction left open (rejected by policy) *)
+      if Random.State.bool rng then
+        ( [ gen_write rng; "INSERT INTO kv (id, grp, val) VALUES (1, 0, 'dup')" ],
+          true )
+      else ([ "BEGIN"; gen_write rng ], true)
+
+let run_case ~case_seed ~sessions ~batches_per_session ~fault_rate =
+  fresh_id := 0;
+  let rng = Random.State.make [| 0xfacade; case_seed |] in
+  let schedule =
+    List.init sessions (fun _ ->
+        List.init
+          (1 + Random.State.int rng batches_per_session)
+          (fun _ ->
+            let stmts, tokened = gen_batch rng in
+            (stmts, tokened, Random.State.float rng 4.0)))
+  in
+  let db = setup () in
+  let sim = Des.create () in
+  let srv = Adm.create ~sim ~db ~window_ms:1.0 ~max_attempts:40 () in
+  let delivered = Hashtbl.create 64 in
+  let token = ref 0 in
+  List.iteri
+    (fun si batches ->
+      let fault =
+        if fault_rate > 0.0 then
+          Some (Fault.create (Fault.uniform ~seed:(case_seed + si) fault_rate))
+        else None
+      in
+      let ses = Adm.open_session ?fault srv in
+      let rec go seq = function
+        | [] -> ()
+        | (sqls, tokened, think) :: rest ->
+            let tok =
+              if tokened then (incr token; Some (Printf.sprintf "b%d" !token))
+              else None
+            in
+            let fut = Adm.submit ses ?token:tok (parse_all sqls) in
+            Des.Future.on_resolve fut (fun r ->
+                Hashtbl.replace delivered (si, seq) r);
+            Des.delay sim think (fun () -> go (seq + 1) rest)
+      in
+      Des.at sim (Random.State.float rng 2.0) (fun () -> go 0 batches))
+    schedule;
+  run sim;
+  (* serial replay of the execution log on a twin database *)
+  let oracle = setup () in
+  let oracle_out = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Adm.entry) ->
+      match Db.exec_batch oracle e.Adm.e_stmts with
+      | outs -> Hashtbl.replace oracle_out (e.Adm.e_session, e.Adm.e_seq) outs
+      | exception Db.Sql_error msg ->
+          QCheck.Test.fail_reportf
+            "serial replay diverged: logged batch failed with %s" msg)
+    (Adm.log srv);
+  let total = List.length schedule |> fun _ ->
+    List.fold_left (fun a b -> a + List.length b) 0 schedule
+  in
+  if Hashtbl.length delivered <> total then
+    QCheck.Test.fail_reportf "only %d of %d batches resolved"
+      (Hashtbl.length delivered) total;
+  Hashtbl.iter
+    (fun key reply ->
+      match reply with
+      | Error _ -> () (* rolled back / rejected / retries exhausted *)
+      | Ok outs -> (
+          match Hashtbl.find_opt oracle_out key with
+          | None ->
+              QCheck.Test.fail_reportf
+                "session %d seq %d delivered Ok but was never logged"
+                (fst key) (snd key)
+          | Some oracle_outs ->
+              if not (same_outcomes outs oracle_outs) then
+                QCheck.Test.fail_reportf
+                  "session %d seq %d: delivered results differ from serial \
+                   replay"
+                  (fst key) (snd key)))
+    delivered;
+  if Db.fingerprint db <> Db.fingerprint oracle then
+    QCheck.Test.fail_reportf
+      "final database differs from serial replay of the execution log";
+  true
+
+let case_gen =
+  QCheck.make
+    ~print:(fun (seed, sessions, batches) ->
+      Printf.sprintf "seed=%d sessions=%d batches<=%d" seed sessions batches)
+    QCheck.Gen.(
+      triple (int_bound 1_000_000) (int_range 2 4) (int_range 1 6))
+
+let fuzz_serial_equivalence =
+  QCheck.Test.make ~count:300
+    ~name:"interleaved multi-session execution equals serial replay"
+    case_gen
+    (fun (seed, sessions, batches) ->
+      run_case ~case_seed:seed ~sessions ~batches_per_session:batches
+        ~fault_rate:0.0)
+
+let fuzz_serial_equivalence_faults =
+  QCheck.Test.make ~count:300
+    ~name:"serial equivalence holds under fault injection"
+    case_gen
+    (fun (seed, sessions, batches) ->
+      let rate = [| 0.05; 0.1; 0.2 |].(seed mod 3) in
+      run_case ~case_seed:seed ~sessions ~batches_per_session:batches
+        ~fault_rate:rate)
+
+let () =
+  Alcotest.run "sessions"
+    [
+      ( "future",
+        [
+          Alcotest.test_case "resolves via calendar" `Quick
+            test_future_resolves_via_calendar;
+          Alcotest.test_case "double resolve raises" `Quick
+            test_future_double_resolve_raises;
+          Alcotest.test_case "map" `Quick test_future_map;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "single session reads" `Quick
+            test_single_session_reads;
+          Alcotest.test_case "cross-client sharing" `Quick
+            test_cross_client_sharing;
+          Alcotest.test_case "fairness cap" `Quick test_fairness_cap;
+          Alcotest.test_case "write barrier rolls back" `Quick
+            test_write_barrier_rolls_back;
+          Alcotest.test_case "open transaction rejected" `Quick
+            test_open_transaction_rejected;
+          Alcotest.test_case "exactly-once under response loss" `Quick
+            test_exactly_once_under_response_loss;
+          Alcotest.test_case "session-tagged tokens" `Quick
+            test_session_tagged_tokens;
+          Alcotest.test_case "read retransmission logged twice" `Quick
+            test_read_retransmission_logged_twice;
+        ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ fuzz_serial_equivalence; fuzz_serial_equivalence_faults ] );
+    ]
