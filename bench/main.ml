@@ -7,10 +7,13 @@
    Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 chaos
    recovery throughput appendix micro.  With no argument everything except
    `recovery` and `throughput` runs (those also write BENCH_recovery.json /
-   BENCH_throughput.json; run them explicitly).  [--faults RATE] appends a one-line chaos summary at that
-   fault rate (alone, it runs only that summary); [--crash RATE] likewise
-   appends a one-line recovery summary with random server crashes at that
-   rate, checkpointing every N commits (default 4). *)
+   BENCH_throughput.json; run them explicitly).  `recovery` includes the
+   served-crash arm: the async multi-session server under seeded random
+   crashes, with its crash/epoch/redrive counters in the JSON.  [--faults
+   RATE] appends a one-line chaos summary at that fault rate (alone, it
+   runs only that summary); [--crash RATE] likewise appends a one-line
+   recovery summary with random server crashes at that rate, checkpointing
+   every N commits (default 4). *)
 
 open Sloth_harness
 

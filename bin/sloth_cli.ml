@@ -360,7 +360,11 @@ let exp_cmd =
       required
       & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) experiments))) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"fig5..fig13, chaos, recovery, throughput or appendix.")
+          ~doc:
+            "fig5..fig13, chaos, recovery, throughput or appendix.  The \
+             recovery sweep includes the served-crash arm: the async \
+             multi-session server under seeded random crashes, re-driving \
+             torn batches through the durable idempotency path.")
   in
   let crash_arg =
     Arg.(

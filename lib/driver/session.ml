@@ -58,4 +58,5 @@ let peek h = Des.Future.peek h.h_fut
 let submitted t = t.submitted
 let completed t = t.completed
 let errors t = t.errors
+let reconnects t = Admission.session_reconnects t.ses
 let latencies t = List.rev t.rev_latencies

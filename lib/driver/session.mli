@@ -49,6 +49,11 @@ val submitted : t -> int
 val completed : t -> int
 val errors : t -> int
 
+val reconnects : t -> int
+(** Delivery attempts this session re-drove after a server crash (or while
+    the server was down): each one burned a timeout, backed off, and
+    retransmitted its batch to the recovered incarnation. *)
+
 val latencies : t -> float list
 (** Completion latency (ms) of every completed batch, in completion
     order. *)

@@ -9,10 +9,20 @@
     a reconnecting client re-driving its idempotency token must converge on
     the post state exactly once.  Reports recovered-state counts, replayed
     transaction counts and (indicative, wall-clock) recovery time per
-    checkpoint interval. *)
+    checkpoint interval.
+
+    The [served-crash] arm runs the same durability story through the
+    asynchronous multi-session server ({!Sloth_server.Admission}): several
+    closed-loop sessions under seeded random [Server_crash] faults, every
+    crash tearing the in-flight coalesced groups, sessions reconnecting and
+    re-driving through the durable idempotency path.  Delivered results
+    must match a serial replay of the crash-epoch-annotated execution log
+    and the recovered database must fingerprint-equal the replay; the
+    crash / epoch / re-drive counters land in [BENCH_recovery.json]. *)
 
 val recovery : ?json:string -> unit -> unit
-(** Run the full sweep; when [json] is given, also write the cells as a
+(** Run the full sweep plus the served-crash arm; when [json] is given,
+    also write the cells and the served-crash counters as a
     machine-readable JSON file (e.g. [BENCH_recovery.json]). *)
 
 val tracked : ?crash:float -> ?checkpoint_every:int -> unit -> unit

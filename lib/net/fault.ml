@@ -68,6 +68,12 @@ let timeout_ms t = t.plan.timeout_ms
 let script t ~first ~last failure leg =
   t.windows <- t.windows @ [ { first; last; w_failure = failure; w_leg = leg } ]
 
+(* Counters are bumped here, from [decide], and nowhere else.  A failure
+   decision is later *resolved* by the driver or server — a crash in
+   particular fans out into recovery, fail-over of every in-flight batch
+   and per-session re-drives — and none of that resolution machinery may
+   record the failure again: each injected fault counts exactly once, no
+   matter how many legs or sessions its resolution touches. *)
 let record t = function
   | Drop -> t.drops <- t.drops + 1
   | Reset -> t.resets <- t.resets + 1
@@ -84,10 +90,12 @@ let decide t =
   let scripted =
     List.find_opt (fun w -> w.first <= t.trips && t.trips <= w.last) t.windows
   in
+  let fail f leg =
+    record t f;
+    Fail (f, leg)
+  in
   match scripted with
-  | Some w ->
-      record t w.w_failure;
-      Fail (w.w_failure, w.w_leg)
+  | Some w -> fail w.w_failure w.w_leg
   | None ->
       let p = t.plan in
       if quiet p then Deliver 0.0
@@ -114,26 +122,11 @@ let decide t =
         let c4 = c3 +. p.deadlock_p in
         let c4' = c4 +. p.crash_p in
         let c5 = c4' +. p.spike_p in
-        if u < c1 then begin
-          record t Drop;
-          Fail (Drop, lost_leg ())
-        end
-        else if u < c2 then begin
-          record t Reset;
-          Fail (Reset, lost_leg ())
-        end
-        else if u < c3 then begin
-          record t Server_busy;
-          Fail (Server_busy, Request)
-        end
-        else if u < c4 then begin
-          record t Deadlock;
-          Fail (Deadlock, Request)
-        end
-        else if u < c4' then begin
-          record t Server_crash;
-          Fail (Server_crash, crash_leg ())
-        end
+        if u < c1 then fail Drop (lost_leg ())
+        else if u < c2 then fail Reset (lost_leg ())
+        else if u < c3 then fail Server_busy Request
+        else if u < c4 then fail Deadlock Request
+        else if u < c4' then fail Server_crash (crash_leg ())
         else if u < c5 then begin
           t.spikes <- t.spikes + 1;
           Deliver p.spike_ms

@@ -95,6 +95,11 @@ val injected : t -> int
 (** Total failures injected. *)
 
 val count : t -> failure -> int
+(** Injected failures of one kind, counted at {e decision} time: a
+    [Server_crash] decision whose resolution later tears many in-flight
+    batches, triggers a recovery and is re-driven by several sessions is
+    still exactly one crash.  No resolution path records a second time. *)
+
 val spikes : t -> int
 
 val failure_label : failure -> string

@@ -6,13 +6,15 @@ module Fault = Sloth_net.Fault
 module Ast = Sloth_sql.Ast
 
 type reply = (Db.outcome list, string) result
+type state = Serving | Crashed | Recovering | Draining_redrive
 
 type entry = {
   e_session : int;
   e_seq : int;
+  e_epoch : int;
   e_stmts : Ast.stmt list;
   e_reads : bool;
-  e_delivered : bool;
+  mutable e_delivered : bool;
 }
 
 type stats = {
@@ -25,6 +27,11 @@ type stats = {
   zero_scan_reads : int;
   retransmits : int;
   errors : int;
+  crashes : int;
+  recoveries : int;
+  torn_inflight : int;
+  redriven : int;
+  durable_acks : int;
 }
 
 type batch = {
@@ -42,16 +49,24 @@ and session = {
   rtt_ms : float;
   fault : Fault.t option;
   mutable next_seq : int;
+  mutable reconnects : int;
 }
 
 (* One delivery attempt that reached the server.  [a_deliver] is false when
    the fault plan decided the response leg is lost: the batch executes (and
-   any token is recorded) but the client sees only its timeout. *)
+   any token is recorded) but the client sees only its timeout.  [a_fail]
+   is the client's view of a crash with this attempt in flight — no reply
+   ever comes, so the client burns its timeout, reconnects and
+   retransmits.  [a_entry] is the execution-log entry of this attempt's
+   execution, if any, so a reply torn by a crash can be re-marked
+   undelivered. *)
 and arrival = {
   a_b : batch;
   a_extra : float;  (* injected latency, charged on the response leg *)
   a_deliver : bool;
   a_reply : reply -> unit;
+  a_fail : unit -> unit;
+  mutable a_entry : entry option;
 }
 
 and t = {
@@ -63,10 +78,24 @@ and t = {
   max_attempts : int;
   backoff_base_ms : float;
   backoff_max_ms : float;
+  restart_after_ms : float;  (* downtime before recovery begins *)
   exec : Des.Resource.t;  (* the storage engine itself is single-threaded *)
   read_q : arrival Queue.t;
   mutable flush_scheduled : bool;
+  (* Volatile idempotency state: a bounded FIFO window of cached replies
+     plus the set of every token ever admitted, so an evicted token can be
+     refused (replay-window miss) instead of silently re-applied.  All of
+     it dies with the process on a crash; only [Db.token_applied] spans
+     restarts. *)
   applied : (string, reply) Hashtbl.t;  (* tagged token -> cached reply *)
+  applied_order : string Queue.t;
+  mutable applied_capacity : int;
+  admitted : (string, unit) Hashtbl.t;
+  (* Crash-restart machinery. *)
+  mutable state : state;
+  mutable epoch : int;  (* bumped at every crash; tears stale replies *)
+  mutable rev_transitions : (float * state) list;
+  torn : (int * int, unit) Hashtbl.t;  (* (session, seq) awaiting re-drive *)
   mutable next_session : int;
   mutable rev_log : entry list;
   (* stats *)
@@ -79,12 +108,20 @@ and t = {
   mutable s_zero_scan : int;
   mutable s_retransmits : int;
   mutable s_errors : int;
+  mutable s_crashes : int;
+  mutable s_recoveries : int;
+  mutable s_torn : int;
+  mutable s_redriven : int;
+  mutable s_durable_acks : int;
 }
 
 let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
-    ?(max_attempts = 25) ?(backoff_base_ms = 1.0) ?(backoff_max_ms = 16.0) () =
+    ?(max_attempts = 25) ?(backoff_base_ms = 1.0) ?(backoff_max_ms = 16.0)
+    ?(restart_after_ms = 4.0) ?(idempotency_window = 512) () =
   if max_coalesce < 1 then invalid_arg "Admission.create: max_coalesce";
   if max_attempts < 1 then invalid_arg "Admission.create: max_attempts";
+  if idempotency_window < 1 then
+    invalid_arg "Admission.create: idempotency_window";
   {
     sim;
     db;
@@ -94,10 +131,18 @@ let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
     max_attempts;
     backoff_base_ms;
     backoff_max_ms;
+    restart_after_ms;
     exec = Des.Resource.create sim ~servers:1;
     read_q = Queue.create ();
     flush_scheduled = false;
     applied = Hashtbl.create 32;
+    applied_order = Queue.create ();
+    applied_capacity = idempotency_window;
+    admitted = Hashtbl.create 32;
+    state = Serving;
+    epoch = 0;
+    rev_transitions = [ (0.0, Serving) ];
+    torn = Hashtbl.create 8;
     next_session = 0;
     rev_log = [];
     s_batches = 0;
@@ -109,6 +154,11 @@ let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
     s_zero_scan = 0;
     s_retransmits = 0;
     s_errors = 0;
+    s_crashes = 0;
+    s_recoveries = 0;
+    s_torn = 0;
+    s_redriven = 0;
+    s_durable_acks = 0;
   }
 
 let sim t = t.sim
@@ -117,10 +167,22 @@ let database t = t.db
 let open_session ?(rtt_ms = 0.5) ?fault t =
   let id = t.next_session in
   t.next_session <- id + 1;
-  { srv = t; id; rtt_ms; fault; next_seq = 0 }
+  { srv = t; id; rtt_ms; fault; next_seq = 0; reconnects = 0 }
 
 let session_id s = s.id
 let server s = s.srv
+let session_reconnects s = s.reconnects
+let state t = t.state
+let epoch t = t.epoch
+let transitions t = List.rev t.rev_transitions
+let idempotency_window t = t.applied_capacity
+
+let set_idempotency_window t n =
+  if n < 1 then invalid_arg "Admission.set_idempotency_window";
+  t.applied_capacity <- n;
+  while Queue.length t.applied_order > n do
+    Hashtbl.remove t.applied (Queue.pop t.applied_order)
+  done
 
 let stats t =
   {
@@ -133,23 +195,35 @@ let stats t =
     zero_scan_reads = t.s_zero_scan;
     retransmits = t.s_retransmits;
     errors = t.s_errors;
+    crashes = t.s_crashes;
+    recoveries = t.s_recoveries;
+    torn_inflight = t.s_torn;
+    redriven = t.s_redriven;
+    durable_acks = t.s_durable_acks;
   }
 
 let log t = List.rev t.rev_log
 
 (* --- server-side execution ----------------------------------------------- *)
 
+let set_state t s =
+  t.state <- s;
+  t.rev_transitions <- (Des.now t.sim, s) :: t.rev_transitions
+
 let log_exec t a =
   let b = a.a_b in
-  t.rev_log <-
+  let e =
     {
       e_session = b.b_session.id;
       e_seq = b.b_seq;
+      e_epoch = t.epoch;
       e_stmts = b.b_stmts;
       e_reads = b.b_read;
       e_delivered = a.a_deliver;
     }
-    :: t.rev_log
+  in
+  t.rev_log <- e :: t.rev_log;
+  a.a_entry <- Some e
 
 (* Ship the reply back: half a round trip, plus whatever latency the fault
    plan injected on this delivery. *)
@@ -158,6 +232,35 @@ let respond t a r =
   if a.a_deliver then
     Des.delay t.sim ((a.a_b.b_session.rtt_ms /. 2.0) +. a.a_extra) (fun () ->
         a.a_reply r)
+
+(* The server died with this batch in flight — queued, executing, or
+   executed-but-unacked.  The client will never see a reply: register the
+   batch for re-drive accounting and hand control back to its
+   timeout/retransmit machinery. *)
+let torn_failover t a =
+  if a.a_deliver then begin
+    t.s_torn <- t.s_torn + 1;
+    Hashtbl.replace t.torn (a.a_b.b_session.id, a.a_b.b_seq) ();
+    a.a_fail ()
+  end
+
+(* A reply computed by the previous incarnation: the execution happened (and
+   is logged), but the ack died with the process. *)
+let reply_torn t a =
+  (match a.a_entry with Some e -> e.e_delivered <- false | None -> ());
+  torn_failover t a
+
+let maybe_drained t =
+  if t.state = Draining_redrive && Hashtbl.length t.torn = 0 then
+    set_state t Serving
+
+(* The client gave up on a torn batch (retries exhausted): it will never be
+   re-driven, so stop waiting for it. *)
+let abandon_redrive t key =
+  if Hashtbl.mem t.torn key then begin
+    Hashtbl.remove t.torn key;
+    maybe_drained t
+  end
 
 let is_txn_control = function
   | Ast.Begin_txn | Ast.Commit | Ast.Rollback -> true
@@ -170,6 +273,19 @@ let count_read_stats t outs =
       if scanned = 0 then t.s_zero_scan <- t.s_zero_scan + 1)
     outs
 
+(* Bounded FIFO window over cached replies; [admitted] keeps only the token
+   strings, so an evicted token retransmitted later is refused instead of
+   silently applied a second time (unless the WAL can vouch for it). *)
+let remember_applied t k reply =
+  if not (Hashtbl.mem t.applied k) then begin
+    Queue.push k t.applied_order;
+    while Queue.length t.applied_order > t.applied_capacity do
+      Hashtbl.remove t.applied (Queue.pop t.applied_order)
+    done
+  end;
+  Hashtbl.replace t.applied k reply;
+  Hashtbl.replace t.admitted k ()
+
 (* A barrier batch (writes and/or transaction control), executed alone in
    arrival order — the per-session semantics of the synchronous driver,
    including exactly-once replay of session-tagged idempotency tokens. *)
@@ -181,8 +297,9 @@ let run_barrier t a finish =
       (* retransmission of an already-processed batch: replay the cache *)
       finish model.Cost.fixed_ms (Hashtbl.find t.applied k)
   | Some k when Db.token_applied t.db k ->
-      (* the cache is gone but the WAL proves the batch committed: a
-         durable ack carries only "applied" *)
+      (* the cache is gone (evicted, or wiped by a crash) but the WAL
+         proves the batch committed: a durable ack carries only "applied" *)
+      t.s_durable_acks <- t.s_durable_acks + 1;
       let ack =
         List.map
           (fun _ : Db.outcome ->
@@ -190,6 +307,12 @@ let run_barrier t a finish =
           b.b_stmts
       in
       finish model.Cost.fixed_ms (Ok ack)
+  | Some k when Hashtbl.mem t.admitted k ->
+      (* The token was seen before but its outcome was evicted from the
+         bounded window and no durable record exists.  Re-applying would
+         break exactly-once; answering from thin air would lie.  Refuse. *)
+      finish model.Cost.fixed_ms
+        (Error (Printf.sprintf "idempotency replay-window miss for token %s" k))
   | _ -> (
       let has_write = List.exists Ast.is_write b.b_stmts in
       let has_txn = List.exists is_txn_control b.b_stmts in
@@ -214,7 +337,7 @@ let run_barrier t a finish =
           end
           else begin
             (match b.b_token with
-            | Some k when has_write -> Hashtbl.replace t.applied k (Ok outcomes)
+            | Some k when has_write -> remember_applied t k (Ok outcomes)
             | _ -> ());
             log_exec t a;
             let read_costs, write_cost =
@@ -234,33 +357,46 @@ let run_barrier t a finish =
 
 (* Execute one arrival on the (single-server) executor resource and ship
    its reply.  Used for barriers always, and for read batches when
-   cross-client sharing is off. *)
+   cross-client sharing is off.  The epoch is pinned at arrival: if the
+   server crashes while the batch waits for the executor, or between
+   execution and reply, the batch fails over instead of touching (or
+   answering from) the wrong incarnation. *)
 let direct t a =
+  let e0 = t.epoch in
   Des.Resource.acquire t.exec (fun () ->
-      let finish service r =
-        Des.delay t.sim service (fun () ->
-            Des.Resource.release t.exec;
-            respond t a r)
-      in
-      let b = a.a_b in
-      if b.b_read then
-        match Db.exec_reads t.db b.b_selects with
-        | outs ->
-            count_read_stats t outs;
-            log_exec t a;
-            let costs = List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs in
-            finish
-              (Cost.batch_ms (Db.cost_model t.db) costs)
-              (Ok (List.map fst outs))
-        | exception Db.Sql_error msg ->
-            finish (Db.cost_model t.db).Cost.fixed_ms (Error msg)
-      else run_barrier t a finish)
+      if t.epoch <> e0 then begin
+        Des.Resource.release t.exec;
+        torn_failover t a
+      end
+      else
+        let finish service r =
+          Des.delay t.sim service (fun () ->
+              Des.Resource.release t.exec;
+              if t.epoch = e0 then respond t a r else reply_torn t a)
+        in
+        let b = a.a_b in
+        if b.b_read then
+          match Db.exec_reads t.db b.b_selects with
+          | outs ->
+              count_read_stats t outs;
+              log_exec t a;
+              let costs =
+                List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs
+              in
+              finish
+                (Cost.batch_ms (Db.cost_model t.db) costs)
+                (Ok (List.map fst outs))
+          | exception Db.Sql_error msg ->
+              finish (Db.cost_model t.db).Cost.fixed_ms (Error msg)
+        else run_barrier t a finish)
 
 (* One coalesced flush: every waiting batch's reads concatenated into a
    single multi-query execution, so normalized duplicates and shareable
    scans collapse across sessions.  All the batches of a flush finish
-   together (the group runs as one parallel read batch). *)
+   together (the group runs as one parallel read batch) — and if the server
+   dies before the acks go out, they are torn together too. *)
 let run_flush t group =
+  let e0 = t.epoch in
   t.s_flushes <- t.s_flushes + 1;
   let n = List.length group in
   if n > t.s_max_flush then t.s_max_flush <- n;
@@ -270,7 +406,10 @@ let run_flush t group =
   let finish service replies =
     Des.delay t.sim service (fun () ->
         Des.Resource.release t.exec;
-        List.iter (fun (a, r) -> respond t a r) replies)
+        List.iter
+          (fun (a, r) ->
+            if t.epoch = e0 then respond t a r else reply_torn t a)
+          replies)
   in
   match Db.exec_reads t.db all_selects with
   | outs ->
@@ -321,32 +460,125 @@ let run_flush t group =
    piled up behind a barrier join the flush, which is where sharing under
    load comes from. *)
 let rec flush t =
+  let e0 = t.epoch in
   Des.Resource.acquire t.exec (fun () ->
-      let group = ref [] in
-      while
-        List.length !group < t.max_coalesce && not (Queue.is_empty t.read_q)
-      do
-        group := Queue.pop t.read_q :: !group
-      done;
-      t.flush_scheduled <- false;
-      if not (Queue.is_empty t.read_q) then begin
-        (* fairness cap hit: the leftovers have already waited a window *)
-        t.flush_scheduled <- true;
-        Des.at t.sim (Des.now t.sim) (fun () -> flush t)
-      end;
-      match List.rev !group with
-      | [] -> Des.Resource.release t.exec
-      | group -> run_flush t group)
+      if t.epoch <> e0 then
+        (* the queue this flush was meant to drain died with the old
+           incarnation; post-restart arrivals schedule their own flush *)
+        Des.Resource.release t.exec
+      else begin
+        let group = ref [] in
+        while
+          List.length !group < t.max_coalesce && not (Queue.is_empty t.read_q)
+        do
+          group := Queue.pop t.read_q :: !group
+        done;
+        t.flush_scheduled <- false;
+        if not (Queue.is_empty t.read_q) then begin
+          (* fairness cap hit: the leftovers have already waited a window *)
+          t.flush_scheduled <- true;
+          Des.at t.sim (Des.now t.sim) (fun () ->
+              if t.epoch = e0 then flush t)
+        end;
+        match List.rev !group with
+        | [] -> Des.Resource.release t.exec
+        | group -> run_flush t group
+      end)
 
 let arrive t a =
-  if a.a_b.b_read && t.share then begin
-    Queue.push a t.read_q;
-    if not t.flush_scheduled then begin
-      t.flush_scheduled <- true;
-      Des.at t.sim (Des.now t.sim +. t.window_ms) (fun () -> flush t)
-    end
-  end
-  else direct t a
+  match t.state with
+  | Crashed | Recovering ->
+      (* the request lands on a dead server: no reply will ever come *)
+      if a.a_deliver then a.a_fail ()
+  | Serving | Draining_redrive ->
+      let key = (a.a_b.b_session.id, a.a_b.b_seq) in
+      if Hashtbl.mem t.torn key then begin
+        Hashtbl.remove t.torn key;
+        t.s_redriven <- t.s_redriven + 1;
+        maybe_drained t
+      end;
+      if a.a_b.b_read && t.share then begin
+        Queue.push a t.read_q;
+        if not t.flush_scheduled then begin
+          t.flush_scheduled <- true;
+          let e = t.epoch in
+          Des.at t.sim (Des.now t.sim +. t.window_ms) (fun () ->
+              if t.epoch = e then flush t)
+        end
+      end
+      else direct t a
+
+(* --- crash and recovery --------------------------------------------------- *)
+
+(* Recovery, [restart_after_ms] after the crash: rebuild the database from
+   checkpoint + WAL, charge the calendar for the replay, then serve again —
+   via [Draining_redrive] while torn batches are still being re-driven. *)
+let recover t =
+  set_state t Recovering;
+  Db.crash_restart t.db;
+  t.s_recoveries <- t.s_recoveries + 1;
+  let replayed =
+    match Db.last_recovery t.db with
+    | Some s -> s.Db.replayed_records
+    | None -> 0
+  in
+  Des.delay t.sim
+    (Cost.recovery_ms (Db.cost_model t.db) ~replayed_records:replayed)
+    (fun () ->
+      set_state t
+        (if Hashtbl.length t.torn = 0 then Serving else Draining_redrive))
+
+(* The server process dies.  Volatile state — the reply cache, the
+   admitted-token set, the admission queue, every unacked reply — dies with
+   it; bumping the epoch tears whatever the old incarnation still has
+   scheduled (queued executor acquisitions, in-flight flush replies).  The
+   database itself is rebuilt from checkpoint + WAL when recovery begins. *)
+let crash t =
+  t.s_crashes <- t.s_crashes + 1;
+  t.epoch <- t.epoch + 1;
+  set_state t Crashed;
+  Hashtbl.reset t.applied;
+  Queue.clear t.applied_order;
+  Hashtbl.reset t.admitted;
+  Queue.iter (fun a -> torn_failover t a) t.read_q;
+  Queue.clear t.read_q;
+  t.flush_scheduled <- false;
+  Des.delay t.sim t.restart_after_ms (fun () -> recover t)
+
+(* The first [k] statements of the batch ran inside a transaction whose
+   commit record never reached the WAL: recovery lands on the pre-batch
+   state — the same shape as the synchronous driver's abandoned
+   execution. *)
+let abandoned_exec t stmts k =
+  let k = min k (List.length stmts) in
+  if k > 0 && not (List.exists is_txn_control stmts) then (
+    try
+      ignore (Db.exec t.db Ast.Begin_txn);
+      List.iteri (fun i s -> if i < k then ignore (Db.exec t.db s)) stmts
+    with Db.Sql_error _ -> ())
+
+(* The dying server's last act on a Response-leg crash: the batch ran to
+   completion — commit, durable token and all — and the ack died with the
+   process.  Runs synchronously, off the executor resource: the crash that
+   follows immediately tears everything queued there anyway. *)
+let silent_execute t b =
+  let a =
+    {
+      a_b = b;
+      a_extra = 0.0;
+      a_deliver = false;
+      a_reply = ignore;
+      a_fail = ignore;
+      a_entry = None;
+    }
+  in
+  if b.b_read then (
+    match Db.exec_reads t.db b.b_selects with
+    | outs ->
+        count_read_stats t outs;
+        log_exec t a
+    | exception Db.Sql_error _ -> ())
+  else run_barrier t a (fun _service _reply -> ())
 
 (* --- the client side of the wire ----------------------------------------- *)
 
@@ -378,7 +610,36 @@ let submit ses ?token stmts =
         }
       in
       let one_way = ses.rtt_ms /. 2.0 in
+      let timeout () =
+        match ses.fault with Some f -> Fault.timeout_ms f | None -> 10.0
+      in
+      let give_up n label =
+        t.s_errors <- t.s_errors + 1;
+        abandon_redrive t (ses.id, seq);
+        Des.Future.resolve fut
+          (Error
+             (Printf.sprintf "retries exhausted after %d attempts: %s" n label))
+      in
       let rec attempt n =
+        let retry burn label =
+          if n >= t.max_attempts then
+            Des.delay t.sim burn (fun () -> give_up n label)
+          else begin
+            t.s_retransmits <- t.s_retransmits + 1;
+            let backoff =
+              Float.min t.backoff_max_ms
+                (t.backoff_base_ms *. (2.0 ** float_of_int (n - 1)))
+            in
+            Des.delay t.sim (burn +. backoff) (fun () -> attempt (n + 1))
+          end
+        in
+        (* The client's view of a server that died (or was already down)
+           with this attempt in flight: no reply, a burned timeout, then
+           reconnect and retransmit with backoff. *)
+        let failed_over () =
+          ses.reconnects <- ses.reconnects + 1;
+          retry (timeout ()) (Fault.failure_label Fault.Server_crash)
+        in
         let decision =
           match ses.fault with
           | None -> Fault.Deliver 0.0
@@ -393,13 +654,26 @@ let submit ses ?token stmts =
                     a_extra = extra;
                     a_deliver = true;
                     a_reply = Des.Future.resolve fut;
+                    a_fail = failed_over;
+                    a_entry = None;
                   })
+        | Fault.Fail (Fault.Server_crash, leg) ->
+            (* The process dies when this request reaches it, taking every
+               other in-flight batch down too.  The leg decides how much of
+               this batch the old incarnation executed first: nothing
+               (request), an uncommitted prefix (mid-batch), or all of it
+               with the ack unsent (response — post-commit pre-ack). *)
+            Des.delay t.sim one_way (fun () ->
+                match t.state with
+                | Crashed | Recovering -> () (* already down: nothing to kill *)
+                | Serving | Draining_redrive ->
+                    (match leg with
+                    | Fault.Request -> ()
+                    | Fault.Mid_batch k -> abandoned_exec t b.b_stmts k
+                    | Fault.Response -> silent_execute t b);
+                    crash t);
+            failed_over ()
         | Fault.Fail (failure, leg) ->
-            (* The async server has no crash-restart integration yet
-               (ROADMAP): a crash decision degrades to a dropped trip. *)
-            let failure =
-              match failure with Fault.Server_crash -> Fault.Drop | f -> f
-            in
             (match leg with
             | Fault.Response | Fault.Mid_batch _ ->
                 (* the server executed the batch; only the reply died *)
@@ -410,34 +684,18 @@ let submit ses ?token stmts =
                         a_extra = 0.0;
                         a_deliver = false;
                         a_reply = ignore;
+                        a_fail = ignore;
+                        a_entry = None;
                       })
             | Fault.Request -> ());
             let burn =
               match failure with
-              | Fault.Drop -> (
-                  match ses.fault with
-                  | Some f -> Fault.timeout_ms f
-                  | None -> 10.0)
+              | Fault.Drop -> timeout ()
               | Fault.Reset -> one_way
               | Fault.Server_busy | Fault.Deadlock -> ses.rtt_ms
-              | Fault.Server_crash -> assert false
+              | Fault.Server_crash -> assert false (* handled above *)
             in
-            if n >= t.max_attempts then
-              Des.delay t.sim burn (fun () ->
-                  t.s_errors <- t.s_errors + 1;
-                  Des.Future.resolve fut
-                    (Error
-                       (Printf.sprintf "retries exhausted after %d attempts: %s"
-                          n
-                          (Fault.failure_label failure))))
-            else begin
-              t.s_retransmits <- t.s_retransmits + 1;
-              let backoff =
-                Float.min t.backoff_max_ms
-                  (t.backoff_base_ms *. (2.0 ** float_of_int (n - 1)))
-              in
-              Des.delay t.sim (burn +. backoff) (fun () -> attempt (n + 1))
-            end
+            retry burn (Fault.failure_label failure)
       in
       attempt 1);
   fut

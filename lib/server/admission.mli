@@ -41,13 +41,35 @@
     token is tagged with the session id, and a retransmission of an
     already-executed batch (its response was lost) is answered from the
     server's outcome cache instead of being re-applied — the same
-    exactly-once contract as the synchronous driver, now per session.
-    [Server_crash] decisions degrade to dropped trips here; crash-restart
-    of the async server is future work (see ROADMAP).
+    exactly-once contract as the synchronous driver, now per session.  The
+    cache is a bounded FIFO window ({!idempotency_window}); a token evicted
+    from it is answered with a replay-window-miss error unless the WAL can
+    vouch for it (see below), never silently re-applied.
 
-    Everything — arrivals, windows, execution, replies, retries — runs on
-    the event calendar, so a multi-session schedule is exactly
-    reproducible. *)
+    {b Crash-restart.}  [Server_crash] decisions kill the server process
+    for real.  Every in-flight batch — queued readers, a coalesced flush
+    awaiting its acks, the barrier owner — is {e torn}: its client sees
+    only a burned timeout, reconnects, and retransmits.  Volatile state
+    (the reply cache, the admitted-token set, the admission queue) dies
+    with the process; after [restart_after_ms] of downtime the database is
+    rebuilt from checkpoint + WAL
+    ({!Sloth_storage.Database.crash_restart}), the calendar is charged
+    {!Sloth_storage.Cost.recovery_ms} for the replay, and the server moves
+    through the state machine
+
+    {v serving -> crashed -> recovering -> draining-redrive -> serving v}
+
+    ([draining-redrive] is skipped when no torn batch is waiting).
+    Re-driven write batches go through the durable idempotency path: a
+    token the WAL proves committed is answered with a synthesized ack
+    (empty result sets, zero rows affected) instead of being re-executed,
+    so writes stay exactly-once across restarts.  Executions are
+    log-annotated with their crash {e epoch}, so the serialization oracle
+    spans restarts.
+
+    Everything — arrivals, windows, execution, replies, retries, crashes,
+    recoveries — runs on the event calendar, so a multi-session schedule is
+    exactly reproducible. *)
 
 type t
 (** The admission layer wrapping one database. *)
@@ -59,14 +81,26 @@ type reply = (Sloth_storage.Database.outcome list, string) result
 (** What a batch resolves to: per-statement outcomes in submission order,
     or the server's error message (the batch was rolled back). *)
 
+type state =
+  | Serving  (** normal operation *)
+  | Crashed  (** the process is down; arrivals are lost *)
+  | Recovering  (** rebuilding the database from checkpoint + WAL *)
+  | Draining_redrive
+      (** recovered, serving, and still waiting for sessions whose batches
+          were torn by the crash to re-drive (or abandon) them *)
+
 type entry = {
   e_session : int;  (** session id *)
   e_seq : int;  (** per-session submission number *)
+  e_epoch : int;
+      (** crash epoch of the incarnation that executed this batch: 0 until
+          the first crash, bumped once per crash *)
   e_stmts : Sloth_sql.Ast.stmt list;
   e_reads : bool;  (** a read-only batch *)
-  e_delivered : bool;
+  mutable e_delivered : bool;
       (** this execution's reply reached the client (false when the
-          response leg was lost and the client had to retransmit) *)
+          response leg was lost — or torn by a crash — and the client had
+          to retransmit) *)
 }
 (** One successfully executed batch, as recorded in the execution log. *)
 
@@ -83,6 +117,14 @@ type stats = {
           session's) *)
   retransmits : int;  (** delivery attempts that failed and were retried *)
   errors : int;  (** batches answered with [Error] *)
+  crashes : int;  (** server crashes taken *)
+  recoveries : int;  (** completed WAL+checkpoint recoveries *)
+  torn_inflight : int;
+      (** in-flight batches torn by a crash (failed over to their clients) *)
+  redriven : int;  (** torn batches successfully re-driven after recovery *)
+  durable_acks : int;
+      (** re-driven tokens answered from the WAL's durable token registry
+          (the write committed; only the ack was lost in the crash) *)
 }
 
 val create :
@@ -94,6 +136,8 @@ val create :
   ?max_attempts:int ->
   ?backoff_base_ms:float ->
   ?backoff_max_ms:float ->
+  ?restart_after_ms:float ->
+  ?idempotency_window:int ->
   unit ->
   t
 (** Defaults: [window_ms = 2.0] (how long an arriving read batch may wait
@@ -102,7 +146,9 @@ val create :
     one {!Sloth_storage.Database.exec_reads} call each — exactly the
     per-session behaviour of the synchronous driver, kept as the
     experiment's "no cross-client sharing" arm), [max_attempts = 25],
-    backoff base 1 ms doubling up to 16 ms. *)
+    backoff base 1 ms doubling up to 16 ms, [restart_after_ms = 4.0]
+    (downtime between a crash and the start of recovery),
+    [idempotency_window = 512] (cached replies kept for token replay). *)
 
 val sim : t -> Sloth_net.Des.t
 val database : t -> Sloth_storage.Database.t
@@ -113,6 +159,24 @@ val open_session : ?rtt_ms:float -> ?fault:Sloth_net.Fault.t -> t -> session
 
 val session_id : session -> int
 val server : session -> t
+
+val session_reconnects : session -> int
+(** Delivery attempts this session re-drove because the server crashed (or
+    was down) with the attempt in flight. *)
+
+val state : t -> state
+val epoch : t -> int
+(** Crash epoch: 0 until the first crash, then bumped once per crash. *)
+
+val transitions : t -> (float * state) list
+(** The server's state-machine history as [(sim-time, entered-state)]
+    pairs, oldest first; starts with [(0.0, Serving)]. *)
+
+val idempotency_window : t -> int
+
+val set_idempotency_window : t -> int -> unit
+(** Shrink or grow the reply-cache window (evicting oldest entries
+    immediately when shrinking).  Raises [Invalid_argument] on [n < 1]. *)
 
 val submit :
   session ->
@@ -132,4 +196,6 @@ val log : t -> entry list
     serialization order of the multi-session schedule.  Replaying the log
     serially against an identically seeded database must reproduce every
     delivered result set and the final database fingerprint; the
-    differential fuzz suite pins exactly that. *)
+    differential fuzz suite pins exactly that.  [e_epoch] is
+    non-decreasing along the log, so the oracle can also check that no
+    execution straddles a restart. *)

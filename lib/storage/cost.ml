@@ -44,3 +44,10 @@ let est_range_rows ~rows ~bounded_both =
 
 let seq_scan_ms m ~rows = m.scan_row_ms *. float_of_int rows
 let index_ms m ~est_rows = m.probe_ms +. (m.scan_row_ms *. est_rows)
+
+(* Restart latency of a crashed server, as charged to the event calendar:
+   one dispatch to reopen the stores plus one row visit per redo record
+   replayed from the WAL suffix.  Deterministic, unlike the wall-clock
+   [recovery_ms] in [Database.recovery_stats]. *)
+let recovery_ms m ~replayed_records =
+  m.fixed_ms +. (m.scan_row_ms *. float_of_int replayed_records)

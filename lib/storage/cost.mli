@@ -40,3 +40,10 @@ val est_range_rows : rows:int -> bounded_both:bool -> float
 val seq_scan_ms : model -> rows:int -> float
 val index_ms : model -> est_rows:float -> float
 (** Cost of an index access expected to surface [est_rows] rows. *)
+
+val recovery_ms : model -> replayed_records:int -> float
+(** Simulated service time of a crash recovery: a fixed reopen cost plus one
+    row-visit charge per redo record replayed from the WAL.  The async
+    server charges this to the event calendar while it is in the
+    [Recovering] state (the wall-clock [recovery_ms] in
+    {!Database.recovery_stats} is real time and non-deterministic). *)

@@ -66,6 +66,27 @@ let test_scripted_window () =
   Alcotest.(check int) "two drops" 2 (Fault.count f Fault.Drop);
   Alcotest.(check int) "injected total" 2 (Fault.injected f)
 
+(* Crash counters are bumped at decision time and nowhere else: however many
+   legs, sessions and re-drives a crash's resolution later touches, each
+   injected crash counts exactly once. *)
+let test_crash_counted_once_per_decision () =
+  let f = Fault.create (Fault.plan ~crash_p:1.0 ()) in
+  for _ = 1 to 5 do
+    match Fault.decide f with
+    | Fault.Fail (Fault.Server_crash, _) -> ()
+    | _ -> Alcotest.fail "crash_p = 1.0 must always crash"
+  done;
+  Alcotest.(check int) "five decisions, five crashes" 5
+    (Fault.count f Fault.Server_crash);
+  Alcotest.(check int) "injected agrees" 5 (Fault.injected f);
+  let g = Fault.create (Fault.plan ()) in
+  Fault.script g ~first:2 ~last:4 Fault.Server_crash (Fault.Mid_batch 1);
+  for _ = 1 to 5 do
+    ignore (Fault.decide g)
+  done;
+  Alcotest.(check int) "scripted window of three counts three" 3
+    (Fault.count g Fault.Server_crash)
+
 (* --- the link under faults ----------------------------------------------- *)
 
 let test_rate_zero_timing_identical () =
@@ -355,6 +376,8 @@ let () =
           Alcotest.test_case "quiet plan delivers" `Quick
             test_quiet_plan_always_delivers;
           Alcotest.test_case "scripted window" `Quick test_scripted_window;
+          Alcotest.test_case "crash counted once per decision" `Quick
+            test_crash_counted_once_per_decision;
         ] );
       ( "link",
         [

@@ -6,6 +6,7 @@
 
 module Db = Sloth_storage.Database
 module Rs = Sloth_storage.Result_set
+module Wal = Sloth_storage.Wal
 module Des = Sloth_net.Des
 module Fault = Sloth_net.Fault
 module Adm = Sloth_server.Admission
@@ -15,8 +16,7 @@ module Parser = Sloth_sql.Parser
 let parse = Parser.parse
 let parse_all = List.map parse
 
-let setup () =
-  let db = Db.create () in
+let seed_kv db =
   ignore
     (Db.exec_sql db
        "CREATE TABLE kv (id INT NOT NULL, grp INT NOT NULL, val TEXT NOT \
@@ -26,7 +26,20 @@ let setup () =
       (Db.exec_sql db
          (Printf.sprintf "INSERT INTO kv (id, grp, val) VALUES (%d, %d, 'v%d')"
             i (i mod 5) i))
-  done;
+  done
+
+let setup () =
+  let db = Db.create () in
+  seed_kv db;
+  db
+
+(* Durability first, then the seed, so every seed row flows through the WAL
+   and survives a crash-restart. *)
+let durable_setup ?(checkpoint_every = 2) () =
+  let db = Db.create () in
+  Db.enable_durability ~checkpoint_every ~wal:(Wal.mem ())
+    ~checkpoint:(Wal.mem ()) db;
+  seed_kv db;
   db
 
 let server ?window_ms ?max_coalesce ?share db =
@@ -281,6 +294,254 @@ let test_read_retransmission_logged_twice () =
       Alcotest.failf "expected the read logged twice, got %d entries"
         (List.length l)
 
+(* --- crash-restart -------------------------------------------------------- *)
+
+let state_label = function
+  | Adm.Serving -> "serving"
+  | Adm.Crashed -> "crashed"
+  | Adm.Recovering -> "recovering"
+  | Adm.Draining_redrive -> "draining-redrive"
+
+let transition_labels srv =
+  List.map (fun (_, s) -> state_label s) (Adm.transitions srv)
+
+let count_where db pred =
+  match Rs.rows (Db.exec_sql db (Printf.sprintf "SELECT COUNT(*) AS n FROM kv WHERE %s" pred)).rs with
+  | [ [| Sloth_storage.Value.Int n |] ] -> n
+  | _ -> Alcotest.fail "count query failed"
+
+let crash_fault leg =
+  let f = Fault.create (Fault.plan ()) in
+  Fault.script f ~first:1 ~last:1 Fault.Server_crash leg;
+  f
+
+let test_crash_request_leg_redrives () =
+  let db = durable_setup () in
+  let sim, srv = server db in
+  let fault = crash_fault Fault.Request in
+  let ses = Session.connect ~fault srv in
+  let h =
+    Session.submit_sql ses ~token:"w"
+      [ "INSERT INTO kv (id, grp, val) VALUES (400, 0, 'x')" ]
+  in
+  run sim;
+  (match Session.peek h with
+  | Some (Ok [ o ]) ->
+      Alcotest.(check int) "the re-driven insert really executed" 1
+        o.Db.rows_affected
+  | Some (Ok _) -> Alcotest.fail "expected one outcome"
+  | Some (Error e) -> Alcotest.fail e
+  | None -> Alcotest.fail "future never resolved");
+  Alcotest.(check int) "the row exists exactly once" 1 (count_where db "id = 400");
+  let s = Adm.stats srv in
+  Alcotest.(check int) "one crash" 1 s.Adm.crashes;
+  Alcotest.(check int) "one recovery" 1 s.Adm.recoveries;
+  Alcotest.(check int) "nothing was in flight to tear" 0 s.Adm.torn_inflight;
+  Alcotest.(check int) "no durable ack: the batch never ran pre-crash" 0
+    s.Adm.durable_acks;
+  Alcotest.(check int) "the injected crash counted exactly once" 1
+    (Fault.count fault Fault.Server_crash);
+  Alcotest.(check int) "the client reconnected once" 1
+    (Session.reconnects ses);
+  Alcotest.(check (list string)) "state machine: no redrive drain needed"
+    [ "serving"; "crashed"; "recovering"; "serving" ]
+    (transition_labels srv);
+  Alcotest.(check int) "epoch bumped once" 1 (Adm.epoch srv);
+  match Adm.log srv with
+  | [ e ] ->
+      Alcotest.(check int) "executed by the new incarnation" 1 e.Adm.e_epoch
+  | l -> Alcotest.failf "expected one log entry, got %d" (List.length l)
+
+let test_crash_response_leg_durable_ack () =
+  let db = durable_setup () in
+  let sim, srv = server db in
+  let fault = crash_fault Fault.Response in
+  let ses = Session.connect ~fault srv in
+  let h =
+    Session.submit_sql ses ~token:"w"
+      [ "INSERT INTO kv (id, grp, val) VALUES (410, 0, 'x')" ]
+  in
+  run sim;
+  (match Session.peek h with
+  | Some (Ok [ o ]) ->
+      (* post-commit pre-ack: the WAL vouches for the write, so the reply
+         is a synthesized ack, not a re-execution *)
+      Alcotest.(check int) "durable ack reports applied-only" 0
+        o.Db.rows_affected
+  | Some (Ok _) -> Alcotest.fail "expected one outcome"
+  | Some (Error e) -> Alcotest.fail e
+  | None -> Alcotest.fail "future never resolved");
+  Alcotest.(check int) "the row survived recovery exactly once" 1
+    (count_where db "id = 410");
+  let s = Adm.stats srv in
+  Alcotest.(check int) "answered from the durable token registry" 1
+    s.Adm.durable_acks;
+  Alcotest.(check int) "one crash" 1 s.Adm.crashes;
+  match Adm.log srv with
+  | [ e ] ->
+      Alcotest.(check int) "executed by the dying incarnation" 0 e.Adm.e_epoch;
+      Alcotest.(check bool) "its ack never reached the client" false
+        e.Adm.e_delivered
+  | l -> Alcotest.failf "expected one log entry, got %d" (List.length l)
+
+let test_crash_mid_batch_discards_prefix () =
+  let db = durable_setup () in
+  let sim, srv = server db in
+  let fault = crash_fault (Fault.Mid_batch 1) in
+  let ses = Session.connect ~fault srv in
+  let h =
+    Session.submit_sql ses ~token:"w"
+      [
+        "INSERT INTO kv (id, grp, val) VALUES (420, 0, 'x')";
+        "INSERT INTO kv (id, grp, val) VALUES (421, 0, 'y')";
+      ]
+  in
+  run sim;
+  (match Session.peek h with
+  | Some (Ok outs) ->
+      Alcotest.(check (list int)) "the re-drive executed the whole batch"
+        [ 1; 1 ]
+        (List.map (fun (o : Db.outcome) -> o.Db.rows_affected) outs)
+  | Some (Error e) -> Alcotest.fail e
+  | None -> Alcotest.fail "future never resolved");
+  (* the abandoned prefix (first insert, uncommitted) was discarded by
+     recovery: no torn half-batch, both rows exactly once *)
+  Alcotest.(check int) "both rows exist exactly once" 2
+    (count_where db "id >= 420 AND id <= 421");
+  Alcotest.(check bool) "no transaction left open" false (Db.in_txn db);
+  let s = Adm.stats srv in
+  Alcotest.(check int) "no durable ack: the commit never happened" 0
+    s.Adm.durable_acks;
+  match Adm.log srv with
+  | [ e ] ->
+      Alcotest.(check int) "only the post-crash execution is logged" 1
+        e.Adm.e_epoch
+  | l -> Alcotest.failf "expected one log entry, got %d" (List.length l)
+
+let test_crash_tears_coalesced_flush () =
+  let db = durable_setup () in
+  let sim, srv = server db in
+  let readers = List.init 4 (fun _ -> Session.connect srv) in
+  let handles =
+    List.map
+      (fun s -> Session.submit_sql s [ "SELECT COUNT(*) AS n FROM kv" ])
+      readers
+  in
+  (* the crash lands at t = 1.25 — after all four reads queued (t = 0.25),
+     before their coalescing window fires (t = 2.25) *)
+  let crasher = Session.connect ~fault:(crash_fault Fault.Request) srv in
+  let wh = ref None in
+  Des.at sim 1.0 (fun () ->
+      wh :=
+        Some
+          (Session.submit_sql crasher ~token:"w"
+             [ "INSERT INTO kv (id, grp, val) VALUES (430, 0, 'x')" ]));
+  run sim;
+  List.iter
+    (fun h ->
+      match Session.peek h with
+      | Some (Ok _) -> ()
+      | _ -> Alcotest.fail "torn reader was not re-driven to completion")
+    handles;
+  (match !wh with
+  | Some h -> (
+      match Session.peek h with
+      | Some (Ok _) -> ()
+      | _ -> Alcotest.fail "crashing session's own batch must re-drive too")
+  | None -> Alcotest.fail "crasher batch never submitted");
+  let s = Adm.stats srv in
+  Alcotest.(check int) "one crash tore all four queued readers" 4
+    s.Adm.torn_inflight;
+  Alcotest.(check int) "all four were re-driven" 4 s.Adm.redriven;
+  Alcotest.(check int) "but the fault layer counted one crash" 1
+    s.Adm.crashes;
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "each reader reconnected once" 1
+        (Session.reconnects r))
+    readers;
+  Alcotest.(check (list string))
+    "recovery drained the re-drives before serving normally"
+    [ "serving"; "crashed"; "recovering"; "draining-redrive"; "serving" ]
+    (transition_labels srv);
+  Alcotest.(check int) "re-driven readers coalesced into one flush" 1
+    s.Adm.flushes;
+  Alcotest.(check int) "all four shared it" 4 s.Adm.coalesced
+
+(* Satellite: a redrive storm across sessions must not let one session's
+   tokens evict another's into replay-window-miss errors — provided the
+   durable token registry is there to back the bounded window up. *)
+let test_eviction_storm_durable_no_misses () =
+  let db = durable_setup () in
+  let sim, srv = server db in
+  Adm.set_idempotency_window srv 1;
+  let sessions =
+    List.init 4 (fun _ ->
+        let f = Fault.create (Fault.plan ()) in
+        Fault.script f ~first:1 ~last:1 Fault.Drop Fault.Response;
+        Session.connect ~fault:f srv)
+  in
+  let handles =
+    List.mapi
+      (fun i s ->
+        Session.submit_sql s ~token:"w"
+          [ Printf.sprintf
+              "INSERT INTO kv (id, grp, val) VALUES (%d, 0, 's%d')" (500 + i)
+              i ])
+      sessions
+  in
+  run sim;
+  List.iter
+    (fun h ->
+      match Session.peek h with
+      | Some (Ok _) -> ()
+      | Some (Error e) -> Alcotest.failf "retransmission refused: %s" e
+      | None -> Alcotest.fail "future never resolved")
+    handles;
+  Alcotest.(check int) "every write applied exactly once" 4
+    (count_where db "id >= 500 AND id < 510");
+  let s = Adm.stats srv in
+  Alcotest.(check int) "evicted tokens answered from the WAL" 3
+    s.Adm.durable_acks;
+  Alcotest.(check int) "no refusals" 0 s.Adm.errors
+
+(* Without durability the bounded window is all there is: the same storm
+   surfaces the typed replay-window-miss error instead of re-applying. *)
+let test_eviction_storm_nondurable_misses () =
+  let db = setup () in
+  let sim, srv = server db in
+  Adm.set_idempotency_window srv 1;
+  let sessions =
+    List.init 4 (fun _ ->
+        let f = Fault.create (Fault.plan ()) in
+        Fault.script f ~first:1 ~last:1 Fault.Drop Fault.Response;
+        Session.connect ~fault:f srv)
+  in
+  let handles =
+    List.mapi
+      (fun i s ->
+        Session.submit_sql s ~token:"w"
+          [ Printf.sprintf
+              "INSERT INTO kv (id, grp, val) VALUES (%d, 0, 's%d')" (510 + i)
+              i ])
+      sessions
+  in
+  run sim;
+  let misses =
+    List.fold_left
+      (fun acc h ->
+        match Session.peek h with
+        | Some (Error e) when contains_substring e "replay-window miss" ->
+            acc + 1
+        | Some (Error e) -> Alcotest.failf "unexpected error: %s" e
+        | Some (Ok _) -> acc
+        | None -> Alcotest.fail "future never resolved")
+      0 handles
+  in
+  Alcotest.(check int) "three tokens evicted into typed misses" 3 misses;
+  Alcotest.(check int) "but no write was ever re-applied" 4
+    (count_where db "id >= 510 AND id < 520")
+
 (* --- differential fuzz: interleaved serving vs serial replay -------------- *)
 
 (* A random multi-session schedule runs through the admission layer;
@@ -440,6 +701,146 @@ let fuzz_serial_equivalence_faults =
       run_case ~case_seed:seed ~sessions ~batches_per_session:batches
         ~fault_rate:rate)
 
+(* --- crash-point differential fuzz ---------------------------------------- *)
+
+(* Same oracle as above, but the server runs on a durable database and
+   session 0 carries a scripted [Server_crash] at a chosen trip and leg —
+   before-send, mid-batch pre-commit, or post-commit pre-ack — sweeping
+   checkpoint intervals.  Every delivered [Ok] must still match the serial
+   replay of the (crash-epoch-annotated) execution log, with one deliberate
+   exception: a tokened batch whose reply is a synthesized durable ack
+   (empty result sets, zero rows affected) is accepted as long as the batch
+   is in the log — the ack asserts "applied", not the outcome values.  The
+   final fingerprint comparison then proves the write landed exactly
+   once. *)
+
+let ack_shaped outs =
+  outs <> []
+  && List.for_all
+       (fun (o : Db.outcome) ->
+         o.Db.rows_affected = 0 && Rs.rows o.Db.rs = [])
+       outs
+
+let run_crash_case ~case_seed ~sessions ~batches_per_session ~leg =
+  fresh_id := 0;
+  let rng = Random.State.make [| 0xc4a54; case_seed |] in
+  let schedule =
+    List.init sessions (fun si ->
+        (* session 0 is the crash victim: at least two batches, so the
+           scripted trip (1 or 2) is guaranteed to happen *)
+        let n =
+          if si = 0 then 2 + Random.State.int rng batches_per_session
+          else 1 + Random.State.int rng batches_per_session
+        in
+        List.init n (fun _ ->
+            let stmts, tokened = gen_batch rng in
+            (stmts, tokened, Random.State.float rng 4.0)))
+  in
+  let checkpoint_every = [| 1; 4; 0 |].(case_seed mod 3) in
+  let db = durable_setup ~checkpoint_every () in
+  let sim = Des.create () in
+  let srv = Adm.create ~sim ~db ~window_ms:1.0 ~max_attempts:40 () in
+  let victim_fault = Fault.create (Fault.plan ()) in
+  let crash_trip = 1 + (case_seed mod 2) in
+  Fault.script victim_fault ~first:crash_trip ~last:crash_trip
+    Fault.Server_crash leg;
+  let delivered = Hashtbl.create 64 in
+  let token = ref 0 in
+  List.iteri
+    (fun si batches ->
+      let fault = if si = 0 then Some victim_fault else None in
+      let ses = Adm.open_session ?fault srv in
+      let rec go seq = function
+        | [] -> ()
+        | (sqls, tokened, think) :: rest ->
+            let tok =
+              if tokened then (incr token; Some (Printf.sprintf "b%d" !token))
+              else None
+            in
+            let fut = Adm.submit ses ?token:tok (parse_all sqls) in
+            Des.Future.on_resolve fut (fun r ->
+                Hashtbl.replace delivered (si, seq) (tokened, r));
+            Des.delay sim think (fun () -> go (seq + 1) rest)
+      in
+      Des.at sim (Random.State.float rng 2.0) (fun () -> go 0 batches))
+    schedule;
+  run sim;
+  let s = Adm.stats srv in
+  if s.Adm.crashes <> 1 then
+    QCheck.Test.fail_reportf "expected exactly one crash, got %d"
+      s.Adm.crashes;
+  if Fault.count victim_fault Fault.Server_crash <> 1 then
+    QCheck.Test.fail_reportf "crash decision must count exactly once";
+  if Adm.state srv <> Adm.Serving then
+    QCheck.Test.fail_reportf "server did not return to serving (torn batch \
+                              left behind)";
+  (* the log's crash epochs never regress: no execution straddles a restart *)
+  ignore
+    (List.fold_left
+       (fun last (e : Adm.entry) ->
+         if e.Adm.e_epoch < last then
+           QCheck.Test.fail_reportf "execution log epochs regress";
+         e.Adm.e_epoch)
+       0 (Adm.log srv));
+  (* serial replay of the execution log on a plain twin database *)
+  let oracle = setup () in
+  let oracle_out = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Adm.entry) ->
+      match Db.exec_batch oracle e.Adm.e_stmts with
+      | outs -> Hashtbl.replace oracle_out (e.Adm.e_session, e.Adm.e_seq) outs
+      | exception Db.Sql_error msg ->
+          QCheck.Test.fail_reportf
+            "serial replay diverged: logged batch failed with %s" msg)
+    (Adm.log srv);
+  let total = List.fold_left (fun a b -> a + List.length b) 0 schedule in
+  if Hashtbl.length delivered <> total then
+    QCheck.Test.fail_reportf "only %d of %d batches resolved"
+      (Hashtbl.length delivered) total;
+  Hashtbl.iter
+    (fun key (tokened, reply) ->
+      match reply with
+      | Error _ -> () (* rolled back / rejected / window miss / gave up *)
+      | Ok outs -> (
+          match Hashtbl.find_opt oracle_out key with
+          | None ->
+              QCheck.Test.fail_reportf
+                "session %d seq %d delivered Ok but was never logged"
+                (fst key) (snd key)
+          | Some oracle_outs ->
+              if
+                not
+                  (same_outcomes outs oracle_outs
+                  || (tokened && ack_shaped outs))
+              then
+                QCheck.Test.fail_reportf
+                  "session %d seq %d: delivered results differ from serial \
+                   replay across the crash"
+                  (fst key) (snd key)))
+    delivered;
+  if Db.fingerprint db <> Db.fingerprint oracle then
+    QCheck.Test.fail_reportf
+      "recovered database differs from serial replay of the execution log";
+  true
+
+let crash_fuzz name leg_of_seed =
+  QCheck.Test.make ~count:220 ~name case_gen
+    (fun (seed, sessions, batches) ->
+      run_crash_case ~case_seed:seed ~sessions ~batches_per_session:batches
+        ~leg:(leg_of_seed seed))
+
+let fuzz_crash_request =
+  crash_fuzz "serial equivalence across a before-send crash" (fun _ ->
+      Fault.Request)
+
+let fuzz_crash_mid_batch =
+  crash_fuzz "serial equivalence across a mid-batch pre-commit crash"
+    (fun seed -> Fault.Mid_batch (seed mod 4))
+
+let fuzz_crash_response =
+  crash_fuzz "serial equivalence across a post-commit pre-ack crash" (fun _ ->
+      Fault.Response)
+
 let () =
   Alcotest.run "sessions"
     [
@@ -469,7 +870,25 @@ let () =
           Alcotest.test_case "read retransmission logged twice" `Quick
             test_read_retransmission_logged_twice;
         ] );
+      ( "crash-restart",
+        [
+          Alcotest.test_case "request-leg crash re-drives" `Quick
+            test_crash_request_leg_redrives;
+          Alcotest.test_case "response-leg crash durable ack" `Quick
+            test_crash_response_leg_durable_ack;
+          Alcotest.test_case "mid-batch crash discards prefix" `Quick
+            test_crash_mid_batch_discards_prefix;
+          Alcotest.test_case "crash tears coalesced flush" `Quick
+            test_crash_tears_coalesced_flush;
+          Alcotest.test_case "eviction storm, durable: no misses" `Quick
+            test_eviction_storm_durable_no_misses;
+          Alcotest.test_case "eviction storm, non-durable: typed misses"
+            `Quick test_eviction_storm_nondurable_misses;
+        ] );
       ( "differential",
         List.map QCheck_alcotest.to_alcotest
           [ fuzz_serial_equivalence; fuzz_serial_equivalence_faults ] );
+      ( "crash differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ fuzz_crash_request; fuzz_crash_mid_batch; fuzz_crash_response ] );
     ]
