@@ -5,11 +5,15 @@
    Usage: main.exe [experiment ...] [--faults RATE] [--crash RATE]
           [--checkpoint-every N]
    Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 chaos
-   recovery throughput appendix micro.  With no argument everything except
-   `recovery` and `throughput` runs (those also write BENCH_recovery.json /
+   recovery failover throughput appendix micro.  With no argument
+   everything except `recovery`, `failover` and `throughput` runs (those
+   also write BENCH_recovery.json / BENCH_failover.json /
    BENCH_throughput.json; run them explicitly).  `recovery` includes the
    served-crash arm: the async multi-session server under seeded random
-   crashes, with its crash/epoch/redrive counters in the JSON.  [--faults
+   crashes, with its crash/epoch/redrive counters in the JSON.  `failover`
+   runs the replicated server — WAL-shipping followers, replica-served
+   reads, promote-on-crash — against the LSN-interleaved serial-replay
+   oracle.  [--faults
    RATE] appends a one-line chaos summary at that fault rate (alone, it
    runs only that summary); [--crash RATE] likewise appends a one-line
    recovery summary with random server crashes at that rate, checkpointing
@@ -116,6 +120,7 @@ let experiments =
     ("policies", Baselines.flush_policies);
     ("chaos", Chaos.chaos);
     ("recovery", fun () -> Recovery.recovery ~json:"BENCH_recovery.json" ());
+    ("failover", fun () -> Failover.failover ~json:"BENCH_failover.json" ());
     ( "throughput",
       fun () -> Throughput.served ~json:"BENCH_throughput.json" () );
     ("planner", fun () -> Planner_bench.planner ~json:"BENCH_planner.json" ());
@@ -173,10 +178,10 @@ let () =
     | [], Some _, _ | [], _, Some _ ->
         [] (* a knob alone: just its tracked summary *)
     | [], None, None ->
-        (* `recovery` and `throughput` are opt-in: the default run's output
-           must not change when those subsystems are idle *)
+        (* `recovery`, `failover` and `throughput` are opt-in: the default
+           run's output must not change when those subsystems are idle *)
         List.filter
-          (fun n -> n <> "recovery" && n <> "throughput")
+          (fun n -> n <> "recovery" && n <> "failover" && n <> "throughput")
           (List.map fst experiments)
     | names, _, _ -> names
   in

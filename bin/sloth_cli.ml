@@ -351,6 +351,7 @@ let exp_cmd =
       ("fig13", Sloth_harness.Overhead.fig13);
       ("chaos", Sloth_harness.Chaos.chaos);
       ("recovery", fun () -> Sloth_harness.Recovery.recovery ());
+      ("failover", fun () -> Sloth_harness.Failover.failover ());
       ("throughput", fun () -> Sloth_harness.Throughput.served ());
       ("appendix", Sloth_harness.Page_experiments.appendix);
     ]
@@ -361,10 +362,13 @@ let exp_cmd =
       & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) experiments))) None
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "fig5..fig13, chaos, recovery, throughput or appendix.  The \
-             recovery sweep includes the served-crash arm: the async \
-             multi-session server under seeded random crashes, re-driving \
-             torn batches through the durable idempotency path.")
+            "fig5..fig13, chaos, recovery, failover, throughput or \
+             appendix.  The recovery sweep includes the served-crash arm: \
+             the async multi-session server under seeded random crashes, \
+             re-driving torn batches through the durable idempotency path.  \
+             The failover sweep replicates the primary over WAL-shipping \
+             followers, serves reads from them and promotes the most \
+             caught-up one on every crash.")
   in
   let crash_arg =
     Arg.(

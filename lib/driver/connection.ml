@@ -6,28 +6,7 @@ module Vclock = Sloth_net.Vclock
 module Stats = Sloth_net.Stats
 module Fault = Sloth_net.Fault
 
-module Retry_policy = struct
-  type t = {
-    max_attempts : int;
-    backoff_base_ms : float;
-    backoff_max_ms : float;
-    jitter : float;
-    breaker_threshold : int;
-    breaker_cooldown_ms : float;
-  }
-
-  let default =
-    {
-      max_attempts = 4;
-      backoff_base_ms = 1.0;
-      backoff_max_ms = 32.0;
-      jitter = 0.2;
-      breaker_threshold = 8;
-      breaker_cooldown_ms = 100.0;
-    }
-
-  let no_retry = { default with max_attempts = 1 }
-end
+module Retry_policy = Sloth_net.Retry_policy
 
 type breaker = Closed | Open_until of float | Half_open
 
@@ -161,8 +140,7 @@ let breaker_failure t =
    virtual clock so latency experiments pay for every retry. *)
 let backoff t attempt =
   let p = t.retry in
-  let base = p.backoff_base_ms *. (2.0 ** float_of_int (attempt - 1)) in
-  let capped = Float.min base p.backoff_max_ms in
+  let capped = Retry_policy.backoff_ms p attempt in
   let jit =
     if p.jitter <= 0.0 then 0.0
     else capped *. p.jitter *. Random.State.float t.jitter_rng 1.0

@@ -41,26 +41,10 @@ exception Retries_exhausted of { attempts : int; last : string }
 (** The round trip failed [attempts] times (the last failure is named) and
     the retry budget ran out — or the circuit breaker was open. *)
 
-module Retry_policy : sig
-  type t = {
-    max_attempts : int;  (** total attempts per logical round trip (>= 1) *)
-    backoff_base_ms : float;  (** first retry's backoff *)
-    backoff_max_ms : float;  (** cap on the exponential growth *)
-    jitter : float;
-        (** extra backoff fraction in [0..jitter], drawn from a seeded RNG *)
-    breaker_threshold : int;
-        (** consecutive failed attempts before the breaker opens *)
-    breaker_cooldown_ms : float;
-        (** how long the breaker stays open before a half-open probe *)
-  }
-
-  val default : t
-  (** 4 attempts, 1 ms base backoff doubling up to 32 ms, 20% jitter,
-      breaker at 8 consecutive failures with a 100 ms cooldown. *)
-
-  val no_retry : t
-  (** A single attempt: failures surface immediately. *)
-end
+module Retry_policy = Sloth_net.Retry_policy
+(** The shared retry/backoff/circuit-breaker policy (one type across the
+    driver, the admission layer and the replication shipper); the driver
+    starts on {!Sloth_net.Retry_policy.default}. *)
 
 val create : Sloth_storage.Database.t -> Sloth_net.Link.t -> t
 

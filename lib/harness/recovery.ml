@@ -306,7 +306,9 @@ let served_ack_shaped outs =
 let served_crash ?(crash = 0.06) ?(checkpoint_every = 2) () =
   let db = durable_db ~checkpoint_every () in
   let sim = Des.create () in
-  let srv = Adm.create ~sim ~db ~window_ms:1.0 ~max_attempts:40 () in
+  let srv = Adm.create ~sim ~db ~window_ms:1.0 ~retry:{ Sloth_net.Retry_policy.served with max_attempts = 40 }
+      ()
+  in
   let delivered = Hashtbl.create 64 in
   let sessions =
     List.init served_sessions (fun si ->

@@ -1,0 +1,41 @@
+(* One shared definition of retry/backoff and circuit-breaker constants.
+   The synchronous driver, the async admission layer and the WAL shipper
+   all retransmit over the same simulated links; keeping their policies in
+   one record stops the constants drifting apart per call site. *)
+
+type t = {
+  max_attempts : int;
+  backoff_base_ms : float;
+  backoff_max_ms : float;
+  jitter : float;
+  breaker_threshold : int;
+  breaker_cooldown_ms : float;
+}
+
+let default =
+  {
+    max_attempts = 4;
+    backoff_base_ms = 1.0;
+    backoff_max_ms = 32.0;
+    jitter = 0.2;
+    breaker_threshold = 8;
+    breaker_cooldown_ms = 100.0;
+  }
+
+let no_retry = { default with max_attempts = 1 }
+
+let served =
+  {
+    max_attempts = 25;
+    backoff_base_ms = 1.0;
+    backoff_max_ms = 16.0;
+    jitter = 0.0;
+    breaker_threshold = max_int;
+    breaker_cooldown_ms = 0.0;
+  }
+
+let shipping = { served with max_attempts = max_int }
+
+let backoff_ms p attempt =
+  Float.min p.backoff_max_ms
+    (p.backoff_base_ms *. (2.0 ** float_of_int (attempt - 1)))

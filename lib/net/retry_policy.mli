@@ -1,0 +1,43 @@
+(** Shared retry/backoff and circuit-breaker constants.
+
+    Every path that retransmits over a simulated link — the synchronous
+    driver ({!Sloth_driver.Connection}), the async admission layer
+    ({!Sloth_server.Admission}) and the replication WAL shipper
+    ({!Sloth_storage.Replication}) — draws its policy from this one record,
+    so the primary and replica paths cannot drift apart. *)
+
+type t = {
+  max_attempts : int;  (** total delivery attempts before giving up *)
+  backoff_base_ms : float;  (** first backoff; doubles per attempt *)
+  backoff_max_ms : float;  (** cap on a single backoff *)
+  jitter : float;
+      (** fraction of the capped backoff added as deterministic jitter
+          (only the synchronous driver applies it; 0 disables) *)
+  breaker_threshold : int;
+      (** consecutive failures that open the circuit breaker *)
+  breaker_cooldown_ms : float;  (** how long an open breaker stays open *)
+}
+
+val default : t
+(** The synchronous driver's policy: 4 attempts, 1 ms base doubling to a
+    32 ms cap with 20 % jitter, breaker at 8 consecutive failures with a
+    100 ms cooldown. *)
+
+val no_retry : t
+(** [default] with a single attempt. *)
+
+val served : t
+(** The admission layer's policy: 25 attempts, 1 ms base doubling to a
+    16 ms cap, no jitter, breaker disabled (the server itself arbitrates
+    admission). *)
+
+val shipping : t
+(** The WAL shipper's policy: [served] with unbounded attempts — a
+    replication link retries forever at the capped backoff, because a
+    follower that stops receiving simply falls behind and is later caught
+    up from a checkpoint. *)
+
+val backoff_ms : t -> int -> float
+(** [backoff_ms p attempt] is the capped exponential backoff before retry
+    number [attempt] (1-based): [min backoff_max_ms (base * 2^(attempt-1))],
+    jitter excluded. *)

@@ -1,17 +1,27 @@
 module Db = Sloth_storage.Database
+module Repl = Sloth_storage.Replication
 module Rs = Sloth_storage.Result_set
 module Cost = Sloth_storage.Cost
 module Des = Sloth_net.Des
 module Fault = Sloth_net.Fault
+module Retry_policy = Sloth_net.Retry_policy
 module Ast = Sloth_sql.Ast
 
 type reply = (Db.outcome list, string) result
 type state = Serving | Crashed | Recovering | Draining_redrive
 
+let state_to_string = function
+  | Serving -> "serving"
+  | Crashed -> "crashed"
+  | Recovering -> "recovering"
+  | Draining_redrive -> "draining-redrive"
+
 type entry = {
   e_session : int;
   e_seq : int;
   e_epoch : int;
+  e_lsn : int;
+  e_replica : int option;
   e_stmts : Ast.stmt list;
   e_reads : bool;
   mutable e_delivered : bool;
@@ -32,6 +42,11 @@ type stats = {
   torn_inflight : int;
   redriven : int;
   durable_acks : int;
+  failovers : int;
+  replica_read_batches : int;
+  replica_rows_scanned : int;
+  ryw_fallbacks : int;
+  ryw_violations : int;
 }
 
 type batch = {
@@ -50,6 +65,9 @@ and session = {
   fault : Fault.t option;
   mutable next_seq : int;
   mutable reconnects : int;
+  mutable last_write_lsn : int;
+      (* highest LSN this session has an acknowledged write at — the
+         read-your-writes floor for replica-served reads *)
 }
 
 (* One delivery attempt that reached the server.  [a_deliver] is false when
@@ -71,15 +89,17 @@ and arrival = {
 
 and t = {
   sim : Des.t;
-  db : Db.t;
+  mutable db : Db.t;  (* re-pointed to the promoted replica on failover *)
   window_ms : float;
   max_coalesce : int;
   share : bool;
-  max_attempts : int;
-  backoff_base_ms : float;
-  backoff_max_ms : float;
+  retry : Retry_policy.t;
   restart_after_ms : float;  (* downtime before recovery begins *)
   exec : Des.Resource.t;  (* the storage engine itself is single-threaded *)
+  repl : Repl.t option;  (* replication: quorum acks, read routing, failover *)
+  replica_exec : (int, Des.Resource.t) Hashtbl.t;
+      (* per-replica executors: each follower serves its flushes serially,
+         but concurrently with the primary and the other followers *)
   read_q : arrival Queue.t;
   mutable flush_scheduled : bool;
   (* Volatile idempotency state: a bounded FIFO window of cached replies
@@ -98,6 +118,10 @@ and t = {
   torn : (int * int, unit) Hashtbl.t;  (* (session, seq) awaiting re-drive *)
   mutable next_session : int;
   mutable rev_log : entry list;
+  mutable rev_failovers : (int * int) list;
+      (* (post-crash epoch, promoted replica's LSN): commits of earlier
+         epochs beyond that LSN were never acknowledged and are discarded
+         with the old timeline *)
   (* stats *)
   mutable s_batches : int;
   mutable s_read_batches : int;
@@ -113,26 +137,36 @@ and t = {
   mutable s_torn : int;
   mutable s_redriven : int;
   mutable s_durable_acks : int;
+  mutable s_failovers : int;
+  mutable s_replica_batches : int;
+  mutable s_replica_rows : int;
+  mutable s_ryw_fallbacks : int;
+  mutable s_ryw_violations : int;
 }
 
 let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
-    ?(max_attempts = 25) ?(backoff_base_ms = 1.0) ?(backoff_max_ms = 16.0)
-    ?(restart_after_ms = 4.0) ?(idempotency_window = 512) () =
+    ?(retry = Retry_policy.served) ?(restart_after_ms = 4.0)
+    ?(idempotency_window = 512) ?replication () =
   if max_coalesce < 1 then invalid_arg "Admission.create: max_coalesce";
-  if max_attempts < 1 then invalid_arg "Admission.create: max_attempts";
+  if retry.Retry_policy.max_attempts < 1 then
+    invalid_arg "Admission.create: retry.max_attempts";
   if idempotency_window < 1 then
     invalid_arg "Admission.create: idempotency_window";
+  (match replication with
+  | Some r when Repl.primary r != db ->
+      invalid_arg "Admission.create: replication is attached to another db"
+  | _ -> ());
   {
     sim;
     db;
     window_ms;
     max_coalesce;
     share;
-    max_attempts;
-    backoff_base_ms;
-    backoff_max_ms;
+    retry;
     restart_after_ms;
     exec = Des.Resource.create sim ~servers:1;
+    repl = replication;
+    replica_exec = Hashtbl.create 4;
     read_q = Queue.create ();
     flush_scheduled = false;
     applied = Hashtbl.create 32;
@@ -145,6 +179,7 @@ let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
     torn = Hashtbl.create 8;
     next_session = 0;
     rev_log = [];
+    rev_failovers = [];
     s_batches = 0;
     s_read_batches = 0;
     s_flushes = 0;
@@ -159,6 +194,11 @@ let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
     s_torn = 0;
     s_redriven = 0;
     s_durable_acks = 0;
+    s_failovers = 0;
+    s_replica_batches = 0;
+    s_replica_rows = 0;
+    s_ryw_fallbacks = 0;
+    s_ryw_violations = 0;
   }
 
 let sim t = t.sim
@@ -167,7 +207,15 @@ let database t = t.db
 let open_session ?(rtt_ms = 0.5) ?fault t =
   let id = t.next_session in
   t.next_session <- id + 1;
-  { srv = t; id; rtt_ms; fault; next_seq = 0; reconnects = 0 }
+  {
+    srv = t;
+    id;
+    rtt_ms;
+    fault;
+    next_seq = 0;
+    reconnects = 0;
+    last_write_lsn = 0;
+  }
 
 let session_id s = s.id
 let server s = s.srv
@@ -200,9 +248,30 @@ let stats t =
     torn_inflight = t.s_torn;
     redriven = t.s_redriven;
     durable_acks = t.s_durable_acks;
+    failovers = t.s_failovers;
+    replica_read_batches = t.s_replica_batches;
+    replica_rows_scanned = t.s_replica_rows;
+    ryw_fallbacks = t.s_ryw_fallbacks;
+    ryw_violations = t.s_ryw_violations;
   }
 
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>batches=%d read_batches=%d flushes=%d coalesced=%d max_flush=%d@,\
+     rows_scanned=%d zero_scan_reads=%d retransmits=%d errors=%d@,\
+     crashes=%d recoveries=%d torn_inflight=%d redriven=%d durable_acks=%d@,\
+     failovers=%d replica_read_batches=%d replica_rows_scanned=%d \
+     ryw_fallbacks=%d ryw_violations=%d@]"
+    s.batches s.read_batches s.flushes s.coalesced s.max_flush s.rows_scanned
+    s.zero_scan_reads s.retransmits s.errors s.crashes s.recoveries
+    s.torn_inflight s.redriven s.durable_acks s.failovers
+    s.replica_read_batches s.replica_rows_scanned s.ryw_fallbacks
+    s.ryw_violations
+
 let log t = List.rev t.rev_log
+let replication t = t.repl
+let failover_log t = List.rev t.rev_failovers
+let session_write_lsn s = s.last_write_lsn
 
 (* --- server-side execution ----------------------------------------------- *)
 
@@ -210,13 +279,20 @@ let set_state t s =
   t.state <- s;
   t.rev_transitions <- (Des.now t.sim, s) :: t.rev_transitions
 
-let log_exec t a =
+(* Record one execution.  [db] is the database that ran it — the entry's
+   LSN is that database's current LSN, i.e. the snapshot a read saw or the
+   post-commit position of a write, which is what lets the serial-replay
+   oracle interleave replica-served reads at the position they actually
+   observed. *)
+let log_exec ?replica t ~db a =
   let b = a.a_b in
   let e =
     {
       e_session = b.b_session.id;
       e_seq = b.b_seq;
       e_epoch = t.epoch;
+      e_lsn = Db.current_lsn db;
+      e_replica = replica;
       e_stmts = b.b_stmts;
       e_reads = b.b_read;
       e_delivered = a.a_deliver;
@@ -291,22 +367,43 @@ let remember_applied t k reply =
    including exactly-once replay of session-tagged idempotency tokens. *)
 let run_barrier t a finish =
   let b = a.a_b in
+  let ses = b.b_session in
   let model = Db.cost_model t.db in
+  (* A write acknowledgement never leaves the server before its LSN is
+     quorum-replicated: the reply (and the executor slot the caller holds,
+     which also keeps the not-yet-replicated commit invisible to
+     primary-served reads) waits for [ack_replicas] follower acks.  Without
+     replication this is a direct call. *)
+  let finish_acked service r =
+    match t.repl with
+    | None -> finish service r
+    | Some repl ->
+        let lsn = Db.current_lsn t.db in
+        Repl.on_quorum repl ~lsn (fun () -> finish service r)
+  in
+  (* The session's read-your-writes floor: any later read must observe at
+     least this LSN.  Bumped on every acknowledged-write path. *)
+  let bump_write_floor () =
+    let lsn = Db.current_lsn t.db in
+    if lsn > ses.last_write_lsn then ses.last_write_lsn <- lsn
+  in
   match b.b_token with
   | Some k when Hashtbl.mem t.applied k ->
       (* retransmission of an already-processed batch: replay the cache *)
-      finish model.Cost.fixed_ms (Hashtbl.find t.applied k)
+      bump_write_floor ();
+      finish_acked model.Cost.fixed_ms (Hashtbl.find t.applied k)
   | Some k when Db.token_applied t.db k ->
       (* the cache is gone (evicted, or wiped by a crash) but the WAL
          proves the batch committed: a durable ack carries only "applied" *)
       t.s_durable_acks <- t.s_durable_acks + 1;
+      bump_write_floor ();
       let ack =
         List.map
           (fun _ : Db.outcome ->
             { Db.rs = Rs.empty; rows_affected = 0; cost_ms = model.Cost.fixed_ms })
           b.b_stmts
       in
-      finish model.Cost.fixed_ms (Ok ack)
+      finish_acked model.Cost.fixed_ms (Ok ack)
   | Some k when Hashtbl.mem t.admitted k ->
       (* The token was seen before but its outcome was evicted from the
          bounded window and no durable record exists.  Re-applying would
@@ -320,6 +417,7 @@ let run_barrier t a finish =
       let rollback_if_open () =
         if Db.in_txn t.db then ignore (Db.exec t.db Ast.Rollback)
       in
+      let pre_lsn = Db.current_lsn t.db in
       match
         if has_write && not has_txn then
           Db.atomically ?token:b.b_token t.db exec_all
@@ -339,7 +437,8 @@ let run_barrier t a finish =
             (match b.b_token with
             | Some k when has_write -> remember_applied t k (Ok outcomes)
             | _ -> ());
-            log_exec t a;
+            if Db.current_lsn t.db > pre_lsn then bump_write_floor ();
+            log_exec t ~db:t.db a;
             let read_costs, write_cost =
               List.fold_left2
                 (fun (reads, writes) stmt (o : Db.outcome) ->
@@ -347,13 +446,16 @@ let run_barrier t a finish =
                   else (o.Db.cost_ms :: reads, writes))
                 ([], 0.0) b.b_stmts outcomes
             in
-            finish
+            finish_acked
               (Cost.batch_ms model (List.rev read_costs) +. write_cost)
               (Ok outcomes)
           end
       | exception Db.Sql_error msg ->
           rollback_if_open ();
-          finish model.Cost.fixed_ms (Error msg))
+          (* the rollback leaves the LSN where it was, but ack through the
+             quorum gate anyway so an error reply can never outrun a
+             commit the same incarnation already made *)
+          finish_acked model.Cost.fixed_ms (Error msg))
 
 (* Execute one arrival on the (single-server) executor resource and ship
    its reply.  Used for barriers always, and for read batches when
@@ -379,7 +481,7 @@ let direct t a =
           match Db.exec_reads t.db b.b_selects with
           | outs ->
               count_read_stats t outs;
-              log_exec t a;
+              log_exec t ~db:t.db a;
               let costs =
                 List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs
               in
@@ -394,26 +496,51 @@ let direct t a =
    single multi-query execution, so normalized duplicates and shareable
    scans collapse across sessions.  All the batches of a flush finish
    together (the group runs as one parallel read batch) — and if the server
-   dies before the acks go out, they are torn together too. *)
-let run_flush t group =
+   dies before the acks go out, they are torn together too.  [db] is the
+   database serving the group (the primary, or a sufficiently caught-up
+   replica) and [release] returns the executor the group was admitted
+   on. *)
+let run_flush_on ?replica t ~db ~release group =
   let e0 = t.epoch in
   t.s_flushes <- t.s_flushes + 1;
   let n = List.length group in
   if n > t.s_max_flush then t.s_max_flush <- n;
   if n > 1 then t.s_coalesced <- t.s_coalesced + n;
+  (match replica with
+  | None -> ()
+  | Some _ ->
+      t.s_replica_batches <- t.s_replica_batches + n;
+      (* self-check of the routing invariant: the replica must have applied
+         every LSN the sessions it serves have acknowledged writes at *)
+      let applied = Db.current_lsn db in
+      List.iter
+        (fun a ->
+          if a.a_b.b_session.last_write_lsn > applied then
+            t.s_ryw_violations <- t.s_ryw_violations + 1)
+        group);
+  let count_rows outs =
+    count_read_stats t outs;
+    match replica with
+    | None -> ()
+    | Some _ ->
+        List.iter
+          (fun ((_ : Db.outcome), scanned) ->
+            t.s_replica_rows <- t.s_replica_rows + scanned)
+          outs
+  in
   let model = Db.cost_model t.db in
   let all_selects = List.concat_map (fun a -> a.a_b.b_selects) group in
   let finish service replies =
     Des.delay t.sim service (fun () ->
-        Des.Resource.release t.exec;
+        release ();
         List.iter
           (fun (a, r) ->
             if t.epoch = e0 then respond t a r else reply_torn t a)
           replies)
   in
-  match Db.exec_reads t.db all_selects with
+  match Db.exec_reads db all_selects with
   | outs ->
-      count_read_stats t outs;
+      count_rows outs;
       let costs = List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs in
       (* split the flat outcome list back into per-batch replies *)
       let rec split outs = function
@@ -427,7 +554,7 @@ let run_flush t group =
                 | [] -> assert false
             in
             let mine, outs = take (List.length a.a_b.b_selects) [] outs in
-            log_exec t a;
+            log_exec ?replica t ~db a;
             (a, Ok (List.map fst mine)) :: split outs rest
       in
       finish (Cost.batch_ms model costs) (split outs group)
@@ -439,10 +566,10 @@ let run_flush t group =
       let replies =
         List.map
           (fun a ->
-            match Db.exec_reads t.db a.a_b.b_selects with
+            match Db.exec_reads db a.a_b.b_selects with
             | outs ->
-                count_read_stats t outs;
-                log_exec t a;
+                count_rows outs;
+                log_exec ?replica t ~db a;
                 let costs =
                   List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs
                 in
@@ -454,6 +581,62 @@ let run_flush t group =
           group
       in
       finish !service replies
+
+let run_flush t group =
+  run_flush_on t ~db:t.db
+    ~release:(fun () -> Des.Resource.release t.exec)
+    group
+
+(* Serve one routed group on a follower: admitted on that follower's own
+   executor, so replica-served flushes run concurrently with the primary's
+   barriers and with each other.  The epoch is pinned at routing time; a
+   crash in between tears the group exactly like a primary flush. *)
+let replica_exec_res t rid =
+  match Hashtbl.find_opt t.replica_exec rid with
+  | Some r -> r
+  | None ->
+      let r = Des.Resource.create t.sim ~servers:1 in
+      Hashtbl.replace t.replica_exec rid r;
+      r
+
+let run_replica_flush t rid db group =
+  let e0 = t.epoch in
+  let res = replica_exec_res t rid in
+  Des.Resource.acquire res (fun () ->
+      if t.epoch <> e0 then begin
+        Des.Resource.release res;
+        List.iter (fun a -> torn_failover t a) group
+      end
+      else
+        run_flush_on ~replica:rid t ~db
+          ~release:(fun () -> Des.Resource.release res)
+          group)
+
+(* Read routing under read-your-writes: each batch may be served by the
+   most caught-up replica whose applied LSN covers its session's last
+   acknowledged write; batches no replica can serve yet fall back to the
+   primary (which always can).  Routing groups per target so a routed
+   flush stays one coalesced execution. *)
+let route_group t repl group =
+  let primary = ref [] in
+  let buckets : (int * Db.t * arrival list ref) list ref = ref [] in
+  List.iter
+    (fun a ->
+      let required = a.a_b.b_session.last_write_lsn in
+      match Repl.route_read repl ~min_lsn:required with
+      | Some (rid, db) -> (
+          match
+            List.find_opt (fun (id, _, _) -> id = rid) !buckets
+          with
+          | Some (_, _, g) -> g := a :: !g
+          | None -> buckets := (rid, db, ref [ a ]) :: !buckets)
+      | None ->
+          if Repl.n_replicas repl > 0 then
+            t.s_ryw_fallbacks <- t.s_ryw_fallbacks + 1;
+          primary := a :: !primary)
+    group;
+  ( List.rev !primary,
+    List.rev_map (fun (rid, db, g) -> (rid, db, List.rev !g)) !buckets )
 
 (* The flush event: fires one window after the first read batch queued, but
    drains the queue only once the executor is actually granted — reads that
@@ -482,7 +665,17 @@ let rec flush t =
         end;
         match List.rev !group with
         | [] -> Des.Resource.release t.exec
-        | group -> run_flush t group
+        | group -> (
+            match t.repl with
+            | None -> run_flush t group
+            | Some repl -> (
+                let primary_g, replica_gs = route_group t repl group in
+                List.iter
+                  (fun (rid, db, g) -> run_replica_flush t rid db g)
+                  replica_gs;
+                match primary_g with
+                | [] -> Des.Resource.release t.exec
+                | g -> run_flush t g))
       end)
 
 let arrive t a =
@@ -510,18 +703,32 @@ let arrive t a =
 
 (* --- crash and recovery --------------------------------------------------- *)
 
-(* Recovery, [restart_after_ms] after the crash: rebuild the database from
-   checkpoint + WAL, charge the calendar for the replay, then serve again —
-   via [Draining_redrive] while torn batches are still being re-driven. *)
+(* Recovery, [restart_after_ms] after the crash.  With replication and a
+   reachable promotion quorum, fail over: promote the most caught-up
+   follower (it replays its own WAL tail), re-point every session at it
+   and let the torn batches re-drive through the durable idempotency path
+   against the new primary.  Otherwise — no replicas, or the quorum is
+   unreachable — rebuild the crashed primary in place from its checkpoint
+   + WAL.  Either way the calendar is charged for the replay, and the
+   server serves again via [Draining_redrive] while torn batches are still
+   being re-driven. *)
 let recover t =
   set_state t Recovering;
-  Db.crash_restart t.db;
-  t.s_recoveries <- t.s_recoveries + 1;
   let replayed =
-    match Db.last_recovery t.db with
-    | Some s -> s.Db.replayed_records
-    | None -> 0
+    match t.repl with
+    | Some repl when Repl.can_promote repl ->
+        let db, _rid, replayed = Repl.promote repl in
+        t.db <- db;
+        t.s_failovers <- t.s_failovers + 1;
+        t.rev_failovers <- (t.epoch, Db.current_lsn db) :: t.rev_failovers;
+        replayed
+    | _ ->
+        Db.crash_restart t.db;
+        (match Db.last_recovery t.db with
+        | Some s -> s.Db.replayed_records
+        | None -> 0)
   in
+  t.s_recoveries <- t.s_recoveries + 1;
   Des.delay t.sim
     (Cost.recovery_ms (Db.cost_model t.db) ~replayed_records:replayed)
     (fun () ->
@@ -576,7 +783,7 @@ let silent_execute t b =
     match Db.exec_reads t.db b.b_selects with
     | outs ->
         count_read_stats t outs;
-        log_exec t a
+        log_exec t ~db:t.db a
     | exception Db.Sql_error _ -> ())
   else run_barrier t a (fun _service _reply -> ())
 
@@ -622,14 +829,11 @@ let submit ses ?token stmts =
       in
       let rec attempt n =
         let retry burn label =
-          if n >= t.max_attempts then
+          if n >= t.retry.Retry_policy.max_attempts then
             Des.delay t.sim burn (fun () -> give_up n label)
           else begin
             t.s_retransmits <- t.s_retransmits + 1;
-            let backoff =
-              Float.min t.backoff_max_ms
-                (t.backoff_base_ms *. (2.0 ** float_of_int (n - 1)))
-            in
+            let backoff = Retry_policy.backoff_ms t.retry n in
             Des.delay t.sim (burn +. backoff) (fun () -> attempt (n + 1))
           end
         in

@@ -67,6 +67,26 @@
     log-annotated with their crash {e epoch}, so the serialization oracle
     spans restarts.
 
+    {b Replication.}  With a {!Sloth_storage.Replication} shipper attached
+    ([?replication]), three things change.  {e Writes} become synchronous
+    quorum commits: a barrier's reply (and the executor slot it holds,
+    which keeps the not-yet-replicated commit invisible to primary-served
+    reads) waits until a quorum of followers acknowledge its LSN.
+    {e Reads} gain a routing policy: each coalesced read batch may be
+    served by the most caught-up follower whose applied LSN covers the
+    session's last acknowledged write (session-level read-your-writes);
+    batches no follower can serve yet fall back to the primary, which
+    always can.  Routed groups run on per-replica executors, concurrently
+    with the primary.  {e Crashes} become failovers: instead of rebuilding
+    the primary in place, recovery promotes the most caught-up follower
+    (which replays its own WAL tail), re-points every session at it, and
+    re-drives torn batches through the durable idempotency path against
+    the new primary.  Quorum-acked writes survive by construction — the
+    promoted follower is at least as caught up as any acking quorum
+    member; commits beyond its LSN were never acknowledged and die with
+    the old timeline (recorded in {!failover_log} so the serial-replay
+    oracle can discard exactly those executions).
+
     Everything — arrivals, windows, execution, replies, retries, crashes,
     recoveries — runs on the event calendar, so a multi-session schedule is
     exactly reproducible. *)
@@ -95,6 +115,15 @@ type entry = {
   e_epoch : int;
       (** crash epoch of the incarnation that executed this batch: 0 until
           the first crash, bumped once per crash *)
+  e_lsn : int;
+      (** the executing database's LSN when this entry was logged: the
+          snapshot a read observed (possibly a lagging replica's), the
+          post-commit position of a write.  0 without durability.  Sorting
+          retained entries by [(e_lsn, writes-before-reads)] linearizes
+          replica-served reads into the primary's commit order — the
+          LSN-interleaved serial-replay oracle. *)
+  e_replica : int option;
+      (** the replica that served this read batch; [None] = the primary *)
   e_stmts : Sloth_sql.Ast.stmt list;
   e_reads : bool;  (** a read-only batch *)
   mutable e_delivered : bool;
@@ -125,6 +154,16 @@ type stats = {
   durable_acks : int;
       (** re-driven tokens answered from the WAL's durable token registry
           (the write committed; only the ack was lost in the crash) *)
+  failovers : int;  (** crashes recovered by promoting a replica *)
+  replica_read_batches : int;  (** read batches served by a replica *)
+  replica_rows_scanned : int;  (** heap rows those batches examined *)
+  ryw_fallbacks : int;
+      (** read batches forced to the primary because no replica had
+          applied the session's last acknowledged write LSN yet *)
+  ryw_violations : int;
+      (** routing self-check: replica-served batches whose replica turned
+          out to be behind the session's write floor at execution time.
+          Must be 0 — anything else is a bug in the routing invariant. *)
 }
 
 val create :
@@ -133,11 +172,10 @@ val create :
   ?window_ms:float ->
   ?max_coalesce:int ->
   ?share:bool ->
-  ?max_attempts:int ->
-  ?backoff_base_ms:float ->
-  ?backoff_max_ms:float ->
+  ?retry:Sloth_net.Retry_policy.t ->
   ?restart_after_ms:float ->
   ?idempotency_window:int ->
+  ?replication:Sloth_storage.Replication.t ->
   unit ->
   t
 (** Defaults: [window_ms = 2.0] (how long an arriving read batch may wait
@@ -145,10 +183,13 @@ val create :
     [share = true] (with [share = false] read batches execute on arrival,
     one {!Sloth_storage.Database.exec_reads} call each — exactly the
     per-session behaviour of the synchronous driver, kept as the
-    experiment's "no cross-client sharing" arm), [max_attempts = 25],
-    backoff base 1 ms doubling up to 16 ms, [restart_after_ms = 4.0]
-    (downtime between a crash and the start of recovery),
-    [idempotency_window = 512] (cached replies kept for token replay). *)
+    experiment's "no cross-client sharing" arm),
+    [retry = Sloth_net.Retry_policy.served] (25 attempts, backoff base
+    1 ms doubling up to 16 ms), [restart_after_ms = 4.0] (downtime between
+    a crash and the start of recovery), [idempotency_window = 512] (cached
+    replies kept for token replay).  [replication] attaches a WAL shipper
+    whose primary must be [db] (raises [Invalid_argument] otherwise); see
+    the module preamble for what it changes. *)
 
 val sim : t -> Sloth_net.Des.t
 val database : t -> Sloth_storage.Database.t
@@ -165,6 +206,10 @@ val session_reconnects : session -> int
     was down) with the attempt in flight. *)
 
 val state : t -> state
+
+val state_to_string : state -> string
+(** ["serving"], ["crashed"], ["recovering"], ["draining-redrive"]. *)
+
 val epoch : t -> int
 (** Crash epoch: 0 until the first crash, then bumped once per crash. *)
 
@@ -190,6 +235,23 @@ val submit :
     server, so different sessions' tokens can never collide. *)
 
 val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Human-readable multi-line [key=value] rendering, for experiment
+    output. *)
+
+val replication : t -> Sloth_storage.Replication.t option
+
+val session_write_lsn : session -> int
+(** The session's read-your-writes floor: the highest LSN it holds an
+    acknowledged write at. *)
+
+val failover_log : t -> (int * int) list
+(** One [(epoch, cutoff_lsn)] pair per failover, oldest first: after the
+    crash that opened [epoch], the promoted replica stood at [cutoff_lsn].
+    An execution logged in an earlier epoch with [e_lsn > cutoff_lsn] was
+    never acknowledged and its effects were discarded with the old
+    timeline — the serial-replay oracle drops exactly those entries. *)
 
 val log : t -> entry list
 (** Every successfully executed batch in execution order — the

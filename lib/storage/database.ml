@@ -24,6 +24,7 @@ type dur = {
   checkpoint_every : int;  (* commits between checkpoints; 0 = never *)
   mutable commits_since_ck : int;
   mutable next_txn : int;
+  mutable lsn : int;  (* committed WAL chunks ever appended (log sequence #) *)
   tokens : (string, unit) Hashtbl.t;
   mutable last_recovery : recovery_stats option;
 }
@@ -35,6 +36,8 @@ type t = {
   cost : Cost.model;
   mutable dur : dur option;
   mutable planner : bool;  (* cost-based planning (off = legacy heuristics) *)
+  mutable on_commit : (lsn:int -> Wal.record list -> unit) option;
+      (* replication tap: fired once per appended WAL chunk *)
 }
 
 let error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
@@ -47,6 +50,7 @@ let create ?(cost = Cost.default) () =
     cost;
     dur = None;
     planner = true;
+    on_commit = None;
   }
 
 let cost_model t = t.cost
@@ -56,10 +60,18 @@ let mode t = if t.planner then Executor.Planned else Executor.Direct
 
 (* --- write-ahead logging ------------------------------------------------- *)
 
+(* Fire the replication tap for one appended chunk.  Called after the LSN
+   bump so the tap observes the chunk's own sequence number. *)
+let fire_tap t d chunk =
+  match t.on_commit with None -> () | Some f -> f ~lsn:d.lsn chunk
+
 let wal_ddl t record =
   match t.dur with
   | None -> ()
-  | Some d -> Wal.append_records d.wal [ record ]
+  | Some d ->
+      Wal.append_records d.wal [ record ];
+      d.lsn <- d.lsn + 1;
+      fire_tap t d [ record ]
 
 (* Build the checkpoint payload: every table (schema, index columns, the
    whole heap including empty slots so rid allocation survives), the token
@@ -86,6 +98,7 @@ let checkpoint_payload t d =
   let toks = Hashtbl.fold (fun k () acc -> k :: acc) d.tokens [] in
   List.iter (Wal.Codec.put_string b) (List.sort String.compare toks);
   Wal.Codec.put_int b d.next_txn;
+  Wal.Codec.put_int b d.lsn;
   Buffer.contents b
 
 let write_checkpoint t d =
@@ -133,8 +146,10 @@ let wal_commit ?token t entries =
               Hashtbl.replace d.tokens k ();
               [ Wal.Token k ]
         in
-        Wal.append_records d.wal
-          ((Wal.Begin id :: sets) @ toks @ [ Wal.Commit id ]);
+        let chunk = (Wal.Begin id :: sets) @ toks @ [ Wal.Commit id ] in
+        Wal.append_records d.wal chunk;
+        d.lsn <- d.lsn + 1;
+        fire_tap t d chunk;
         d.commits_since_ck <- d.commits_since_ck + 1;
         maybe_checkpoint t d
       end
@@ -145,44 +160,53 @@ let install_table t name tbl =
   Hashtbl.replace t.tables name tbl;
   t.order <- t.order @ [ name ]
 
+(* Load a checkpoint payload (the bytes inside the checksummed frame) into
+   a wiped database.  Shared by recovery and by snapshot installation on a
+   replica. *)
+let load_checkpoint_payload t d payload =
+  try
+    let r = Wal.Codec.reader payload in
+    let n_tables = Wal.Codec.get_int r in
+    for _ = 1 to n_tables do
+      let schema = Wal.Codec.get_schema r in
+      let get_cols () =
+        let n = Wal.Codec.get_int r in
+        List.init n (fun _ -> Wal.Codec.get_string r)
+      in
+      let sec = get_cols () in
+      let ord = get_cols () in
+      let heap_len = Wal.Codec.get_int r in
+      let tbl = Table.create schema in
+      List.iter (Table.create_index tbl) sec;
+      List.iter (Table.create_ordered_index tbl) ord;
+      for rid = 0 to heap_len - 1 do
+        match Wal.Codec.get_row_opt r with
+        | Some row -> Table.apply_redo tbl rid (Some row)
+        | None -> Table.apply_redo tbl rid None
+      done;
+      install_table t (Schema.name schema) tbl
+    done;
+    let n_tokens = Wal.Codec.get_int r in
+    for _ = 1 to n_tokens do
+      Hashtbl.replace d.tokens (Wal.Codec.get_string r) ()
+    done;
+    d.next_txn <- Wal.Codec.get_int r;
+    d.lsn <- Wal.Codec.get_int r;
+    true
+  with Wal.Codec.Corrupt ->
+    (* A corrupt checkpoint is treated as absent: wipe the partial
+       load and replay the log from genesis. *)
+    Hashtbl.reset t.tables;
+    t.order <- [];
+    Hashtbl.reset d.tokens;
+    d.next_txn <- 0;
+    d.lsn <- 0;
+    false
+
 let load_checkpoint t d =
   match Wal.Codec.unframe (Wal.contents d.ck) 0 with
   | None -> false
-  | Some (payload, _) -> (
-      try
-        let r = Wal.Codec.reader payload in
-        let n_tables = Wal.Codec.get_int r in
-        for _ = 1 to n_tables do
-          let schema = Wal.Codec.get_schema r in
-          let get_cols () =
-            let n = Wal.Codec.get_int r in
-            List.init n (fun _ -> Wal.Codec.get_string r)
-          in
-          let sec = get_cols () in
-          let ord = get_cols () in
-          let heap_len = Wal.Codec.get_int r in
-          let tbl = Table.create schema in
-          List.iter (Table.create_index tbl) sec;
-          List.iter (Table.create_ordered_index tbl) ord;
-          for rid = 0 to heap_len - 1 do
-            match Wal.Codec.get_row_opt r with
-            | Some row -> Table.apply_redo tbl rid (Some row)
-            | None -> Table.apply_redo tbl rid None
-          done;
-          install_table t (Schema.name schema) tbl
-        done;
-        let n_tokens = Wal.Codec.get_int r in
-        for _ = 1 to n_tokens do
-          Hashtbl.replace d.tokens (Wal.Codec.get_string r) ()
-        done;
-        d.next_txn <- Wal.Codec.get_int r;
-        true
-      with Wal.Codec.Corrupt ->
-        (* A corrupt checkpoint is treated as absent: wipe the partial
-           load and replay the log from genesis. *)
-        Hashtbl.reset t.tables;
-        t.order <- [];
-        false)
+  | Some (payload, _) -> load_checkpoint_payload t d payload
 
 let apply_record t d = function
   | Wal.Set { table; rid; row } -> (
@@ -210,6 +234,7 @@ let recover t d =
   t.order <- [];
   t.txn <- None;
   Hashtbl.reset d.tokens;
+  d.lsn <- 0;
   let from_checkpoint = load_checkpoint t d in
   let log = Wal.contents d.wal in
   let records, valid = Wal.scan log in
@@ -227,13 +252,15 @@ let recover t d =
           replayed_records := !replayed_records + List.length acc;
           incr replayed_txns;
           if id >= d.next_txn then d.next_txn <- id + 1;
+          d.lsn <- d.lsn + 1;
           pending := None
       | Wal.Commit _, _ -> pending := None
       | r, Some (id, acc) -> pending := Some (id, r :: acc)
       | r, None ->
           (* standalone DDL record *)
           apply_record t d r;
-          incr replayed_records)
+          incr replayed_records;
+          d.lsn <- d.lsn + 1)
     records;
   (* An uncommitted tail transaction in !pending is dropped: its commit
      record never made it to the log, so it never happened. *)
@@ -257,6 +284,7 @@ let enable_durability ?(checkpoint_every = 8) ~wal ~checkpoint t =
       checkpoint_every;
       commits_since_ck = 0;
       next_txn = 0;
+      lsn = 0;
       tokens = Hashtbl.create 32;
       last_recovery = None;
     }
@@ -284,6 +312,59 @@ let wal_size t =
 
 let checkpoint_now t =
   match t.dur with None -> () | Some d -> write_checkpoint t d
+
+(* --- replication entry points -------------------------------------------- *)
+
+let current_lsn t = match t.dur with None -> 0 | Some d -> d.lsn
+let set_commit_tap t tap = t.on_commit <- tap
+
+let snapshot t =
+  match t.dur with
+  | None -> invalid_arg "Database.snapshot: durability is off"
+  | Some d -> Wal.Codec.frame (checkpoint_payload t d)
+
+let install_snapshot t framed =
+  match t.dur with
+  | None -> invalid_arg "Database.install_snapshot: durability is off"
+  | Some d -> (
+      match Wal.Codec.unframe framed 0 with
+      | None -> false
+      | Some (payload, _) ->
+          Hashtbl.reset t.tables;
+          t.order <- [];
+          t.txn <- None;
+          Hashtbl.reset d.tokens;
+          if load_checkpoint_payload t d payload then begin
+            (* The snapshot becomes this replica's own checkpoint, so a
+               crash-restart of a promoted replica recovers from it plus
+               whatever chunks were streamed afterwards. *)
+            Wal.write_all d.ck framed;
+            Wal.write_all d.wal "";
+            d.commits_since_ck <- 0;
+            true
+          end
+          else false)
+
+(* Apply one shipped WAL chunk on a follower: append it to the follower's
+   own log (so promotion can replay the tail through the normal recovery
+   path), redo its records, and advance the follower's LSN to the chunk's
+   sequence number.  The shipper guarantees in-order, gap-free delivery. *)
+let apply_replicated t ~lsn records =
+  match t.dur with
+  | None -> invalid_arg "Database.apply_replicated: durability is off"
+  | Some d ->
+      Wal.append_records d.wal records;
+      List.iter
+        (fun r ->
+          (match r with
+          | Wal.Commit id | Wal.Begin id ->
+              if id >= d.next_txn then d.next_txn <- id + 1
+          | _ -> ());
+          apply_record t d r)
+        records;
+      d.lsn <- lsn;
+      d.commits_since_ck <- d.commits_since_ck + 1;
+      maybe_checkpoint t d
 
 (* --- fingerprinting ------------------------------------------------------ *)
 

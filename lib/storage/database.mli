@@ -69,6 +69,38 @@ val wal_size : t -> int
 
 val checkpoint_now : t -> unit
 
+val current_lsn : t -> int
+(** Log sequence number: the count of committed WAL chunks (transaction
+    commits and standalone DDL records) ever appended, restored across
+    recovery from the checkpoint's recorded LSN plus the replayed suffix.
+    0 when durability is off. *)
+
+val set_commit_tap : t -> (lsn:int -> Wal.record list -> unit) option -> unit
+(** Install (or clear) the replication tap: called once per appended WAL
+    chunk with the chunk's LSN and its records, before any checkpoint
+    truncation.  Used by {!Replication} to stream committed work to
+    followers; at most one tap is active per database. *)
+
+val snapshot : t -> string
+(** The full durable state as one checksummed checkpoint frame (tables,
+    heap, token registry, transaction-id high-water mark and current LSN).
+    Used to bootstrap or catch up a replica that fell behind the shipper's
+    retained window.  Raises [Invalid_argument] without durability. *)
+
+val install_snapshot : t -> string -> bool
+(** Replace this database's entire state with a {!snapshot} frame.  The
+    frame's checksum is verified; [false] means the frame was torn or
+    corrupt and the database was left wiped (the caller should retransmit).
+    On success the snapshot becomes the replica's own checkpoint and its
+    WAL is cleared, so a later promotion recovers from it plus any chunks
+    streamed afterwards.  Raises [Invalid_argument] without durability. *)
+
+val apply_replicated : t -> lsn:int -> Wal.record list -> unit
+(** Apply one shipped WAL chunk on a follower: append it to the follower's
+    own log, redo its records (including durable idempotency tokens) and
+    advance the follower's LSN to [lsn].  The caller must deliver chunks
+    in order without gaps.  Raises [Invalid_argument] without durability. *)
+
 val fingerprint : t -> string
 (** Hex digest of the full logical contents (tables in creation order, heap
     shape, every live row).  Two databases with equal fingerprints hold the

@@ -1,0 +1,107 @@
+(** WAL-shipping replication with snapshot catch-up and primary failover.
+
+    The primary {!Database}'s commit tap hands every appended WAL chunk —
+    one committed transaction's [Begin … Commit] frame run or one
+    standalone DDL record, numbered by its LSN — to this module, which
+    streams it to each follower database over a fault-injectable simulated
+    link.  Shipping is stop-and-wait per follower: a follower behind a
+    slow or lossy link simply lags.  Recent encoded chunks are retained in
+    a bounded ring; a follower whose apply cursor falls out of the ring is
+    caught up with a full checksummed checkpoint {!Database.snapshot}.
+
+    Commit acknowledgements are quorum-based: {!on_quorum} fires once
+    enough followers have acknowledged a given LSN, and the admission
+    layer holds each write barrier's reply (and its executor slot, which
+    also keeps not-yet-replicated commits invisible to primary reads)
+    until then.  Together with promote-the-most-caught-up failover this
+    gives zero acknowledged-write loss: an acked LSN is on a quorum of
+    followers, and the promoted follower is at least as caught up as any
+    of them. *)
+
+type t
+
+type replica_info = {
+  id : int;
+  applied_lsn : int;  (** highest LSN the follower has applied *)
+  acked_lsn : int;  (** highest LSN the primary knows it applied *)
+  lag : int;  (** primary LSN minus applied LSN *)
+  chunks_applied : int;
+  snapshots_taken : int;  (** checkpoint catch-ups, incl. the base backup *)
+}
+
+type stats = {
+  chunks_shipped : int;
+  snapshots_shipped : int;
+  retransmits : int;  (** link failures retried by the shipper *)
+  promotions : int;
+}
+
+val create :
+  sim:Sloth_net.Des.t ->
+  primary:Database.t ->
+  ?ack_replicas:int ->
+  ?promote_quorum:int ->
+  ?retain:int ->
+  ?retry:Sloth_net.Retry_policy.t ->
+  unit ->
+  t
+(** Attach a shipper to a durable primary (raises [Invalid_argument]
+    otherwise).  [ack_replicas] is the number of follower acks a commit
+    needs before {!on_quorum} fires (default: a majority of the current
+    followers; clamped to the cluster size so a shrunk cluster cannot
+    deadlock).  [promote_quorum] is the number of followers that must
+    answer the failover controller's LSN poll (default: a majority).
+    [retain] bounds the ring of re-shippable chunks (default 64);
+    [retry] the link retransmit policy (default
+    {!Sloth_net.Retry_policy.shipping}). *)
+
+val add_replica :
+  ?rtt_ms:float -> ?fault:Sloth_net.Fault.t -> ?checkpoint_every:int -> t -> int
+(** Create a follower database (same cost model and planner mode as the
+    primary, in-memory durable stores), give it a synchronous base backup
+    of the primary, and start streaming to it over a link with the given
+    round-trip time and fault injector.  Returns the replica id. *)
+
+val primary : t -> Database.t
+(** The current primary (changes after {!promote}). *)
+
+val primary_lsn : t -> int
+
+val n_replicas : t -> int
+
+val replicas : t -> replica_info list
+(** Per-follower cursor and lag report, in attach order. *)
+
+val replica_db : t -> int -> Database.t
+(** Raises [Invalid_argument] for an unknown or promoted-away id. *)
+
+val stats : t -> stats
+
+val route_read : t -> min_lsn:int -> (int * Database.t) option
+(** The most caught-up follower whose applied LSN is at least [min_lsn]
+    (ties to the earliest-attached), or [None] if every follower is too
+    far behind — the caller then serves from the primary.  This is the
+    read-your-writes routing primitive: [min_lsn] is the reading session's
+    last acknowledged write LSN. *)
+
+val on_quorum : t -> lsn:int -> (unit -> unit) -> unit
+(** Run the callback once [ack_replicas] followers have acknowledged
+    [lsn]; immediately if they already have (in particular when there are
+    no followers).  Pending callbacks are also fired — unconditionally —
+    by {!promote}, whose caller re-checks its own crash epoch. *)
+
+val can_promote : t -> bool
+(** Whether a failover could succeed right now: at least one follower and
+    a promotion quorum of followers to poll. *)
+
+val promote : t -> Database.t * int * int
+(** Fail over: bump the fencing generation (in-flight ships and acks from
+    the old reign are dropped on arrival), pick the follower with the
+    highest applied LSN, replay its WAL tail through normal recovery, make
+    it the new streaming source and re-sync the remaining followers from
+    it (snapshot catch-up if needed).  Returns the new primary database,
+    the promoted replica's id and the number of WAL records its recovery
+    replayed (for recovery-cost charging).  Raises [Invalid_argument] when
+    {!can_promote} is false.  Chunks the old primary committed beyond the
+    promoted follower's LSN were, by quorum construction, never
+    acknowledged to any client; they are discarded with the old reign. *)

@@ -300,6 +300,73 @@ let test_resume_exactly_once () =
         "idempotent thereafter" (post_fingerprint ()) (Db.fingerprint db))
     [ Fault.Request; Fault.Mid_batch 1; Fault.Mid_batch 99; Fault.Response ]
 
+(* Property: recovery truncates a torn tail, and the log accepts appends
+   afterwards — a fresh scan yields exactly the surviving prefix followed
+   by the new chunks, consumes every byte (no garbage embedded mid-log),
+   and the LSN resumes monotonically, one per appended commit.  This is
+   the contract WAL shipping leans on: a promoted replica replays its own
+   tail and then appends its new reign's chunks to the same store. *)
+let fuzz_wal_append_after_recovery =
+  QCheck.Test.make ~count:200 ~name:"wal append after torn-tail recovery"
+    QCheck.(
+      triple (int_bound 12) (int_bound 500) (1 -- 10)
+      |> set_print (fun (b, c, a) ->
+             Printf.sprintf "before=%d cut_back=%d after=%d" b c a))
+    (fun (n_before, cut_back, n_after) ->
+      let wal = Wal.mem () in
+      let db = Db.create () in
+      Db.enable_durability ~checkpoint_every:0 ~wal ~checkpoint:(Wal.mem ())
+        db;
+      ignore
+        (Db.exec_sql db
+           "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))");
+      let ddl_len = String.length (Wal.contents wal) in
+      for i = 1 to n_before do
+        ignore
+          (Db.exec_sql db
+             (Printf.sprintf "INSERT INTO t (id, v) VALUES (%d, 'a%d')" i i))
+      done;
+      let full = Wal.contents wal in
+      let cut = max ddl_len (String.length full - cut_back) in
+      Wal.write_all wal (String.sub full 0 cut);
+      let prefix, _ = Wal.scan (String.sub full 0 cut) in
+      let lsn_before = Db.current_lsn db in
+      Db.crash_restart db;
+      let lsn_rec = Db.current_lsn db in
+      if lsn_rec > lsn_before then
+        QCheck.Test.fail_reportf "recovery raised the lsn (%d -> %d)"
+          lsn_before lsn_rec;
+      let recs0, v0 = Wal.scan (Wal.contents wal) in
+      if recs0 <> prefix then
+        QCheck.Test.fail_reportf "recovery changed the surviving prefix";
+      if v0 <> String.length (Wal.contents wal) then
+        QCheck.Test.fail_reportf "recovery left torn bytes in the store";
+      for i = 1 to n_after do
+        ignore
+          (Db.exec_sql db
+             (Printf.sprintf "INSERT INTO t (id, v) VALUES (%d, 'b%d')"
+                (1000 + i) i))
+      done;
+      if Db.current_lsn db <> lsn_rec + n_after then
+        QCheck.Test.fail_reportf
+          "lsn not monotonic by chunk: %d after %d + %d appends"
+          (Db.current_lsn db) lsn_rec n_after;
+      let recs, valid = Wal.scan (Wal.contents wal) in
+      if valid <> String.length (Wal.contents wal) then
+        QCheck.Test.fail_reportf "appended log does not scan to the end";
+      let rec take n = function
+        | x :: tl when n > 0 -> x :: take (n - 1) tl
+        | _ -> []
+      in
+      if take (List.length prefix) recs <> prefix then
+        QCheck.Test.fail_reportf "appends disturbed the recovered prefix";
+      let commits l =
+        List.length (List.filter (function Wal.Commit _ -> true | _ -> false) l)
+      in
+      if commits recs <> commits prefix + n_after then
+        QCheck.Test.fail_reportf "expected %d new committed chunks" n_after;
+      true)
+
 let () =
   Alcotest.run "recovery"
     [
@@ -311,6 +378,7 @@ let () =
           Alcotest.test_case "corrupt byte" `Quick test_wal_corrupt_byte;
           Alcotest.test_case "garbage resistant" `Quick
             test_wal_garbage_resistant;
+          QCheck_alcotest.to_alcotest fuzz_wal_append_after_recovery;
         ] );
       ( "recovery",
         [

@@ -1,0 +1,349 @@
+(* Tests for WAL-shipping replication: LSN accounting on the durable
+   database, commit taps, snapshot install, stop-and-wait shipping with
+   ring/snapshot catch-up, quorum acks, read routing and promotion — plus
+   a differential fuzz suite driving the replicated admission layer
+   (replica-served reads, seeded primary crashes, promote-on-crash)
+   against the LSN-interleaved serial-replay oracle. *)
+
+module Db = Sloth_storage.Database
+module Wal = Sloth_storage.Wal
+module Repl = Sloth_storage.Replication
+module Des = Sloth_net.Des
+module Fault = Sloth_net.Fault
+module Failover = Sloth_harness.Failover
+
+let durable ?(checkpoint_every = 4) () =
+  let db = Db.create () in
+  Db.enable_durability ~checkpoint_every ~wal:(Wal.mem ())
+    ~checkpoint:(Wal.mem ()) db;
+  db
+
+let seed db =
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE kv (id INT NOT NULL, v TEXT NOT NULL, PRIMARY KEY (id))");
+  for i = 1 to 5 do
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf "INSERT INTO kv (id, v) VALUES (%d, 'r%d')" i i))
+  done
+
+let put db i =
+  ignore
+    (Db.exec_sql db
+       (Printf.sprintf "INSERT INTO kv (id, v) VALUES (%d, 'w%d')" i i))
+
+(* --- LSN accounting ------------------------------------------------------- *)
+
+let test_lsn_counts_chunks () =
+  let db = durable () in
+  Alcotest.(check int) "empty db at lsn 0" 0 (Db.current_lsn db);
+  seed db;
+  (* one DDL chunk + five single-statement commits *)
+  Alcotest.(check int) "seed = 6 chunks" 6 (Db.current_lsn db);
+  Db.atomically db (fun () ->
+      put db 10;
+      put db 11);
+  Alcotest.(check int) "txn = one chunk" 7 (Db.current_lsn db);
+  Db.crash_restart db;
+  Alcotest.(check int) "lsn survives recovery" 7 (Db.current_lsn db);
+  Db.checkpoint_now db;
+  Db.crash_restart db;
+  Alcotest.(check int) "lsn survives checkpoint + recovery (empty WAL)" 7
+    (Db.current_lsn db);
+  put db 12;
+  Alcotest.(check int) "appends resume after recovery" 8 (Db.current_lsn db)
+
+let test_commit_tap () =
+  let db = durable () in
+  seed db;
+  let seen = ref [] in
+  Db.set_commit_tap db (Some (fun ~lsn records -> seen := (lsn, records) :: !seen));
+  put db 10;
+  Db.atomically db (fun () ->
+      put db 11;
+      put db 12);
+  let taps = List.rev !seen in
+  Alcotest.(check (list int)) "one tap per chunk, lsn-ordered" [ 7; 8 ]
+    (List.map fst taps);
+  (* the txn chunk carries both rows inside one Begin..Commit frame run *)
+  let sets =
+    List.filter (function Wal.Set _ -> true | _ -> false) (snd (List.nth taps 1))
+  in
+  Alcotest.(check int) "txn chunk has two Set records" 2 (List.length sets);
+  Db.set_commit_tap db None;
+  put db 13;
+  Alcotest.(check int) "cleared tap stays silent" 2 (List.length !seen)
+
+let test_snapshot_install () =
+  let src = durable () in
+  seed src;
+  put src 10;
+  let snap = Db.snapshot src in
+  let dst = durable () in
+  Alcotest.(check bool) "install succeeds" true (Db.install_snapshot dst snap);
+  Alcotest.(check string) "fingerprints equal" (Db.fingerprint src)
+    (Db.fingerprint dst);
+  Alcotest.(check int) "lsn carried over" (Db.current_lsn src)
+    (Db.current_lsn dst);
+  (* a torn snapshot is rejected and leaves nothing half-applied *)
+  let torn = String.sub snap 0 (String.length snap - 3) in
+  Alcotest.(check bool) "torn snapshot rejected" false
+    (Db.install_snapshot dst torn);
+  Alcotest.(check string) "state intact after rejection" (Db.fingerprint src)
+    (Db.fingerprint dst);
+  (* the installed checkpoint is the replica's own recovery base *)
+  Db.crash_restart dst;
+  Alcotest.(check string) "replica recovers from installed snapshot"
+    (Db.fingerprint src) (Db.fingerprint dst)
+
+(* --- shipping ------------------------------------------------------------- *)
+
+let converged repl =
+  let p = Db.fingerprint (Repl.primary repl) in
+  List.for_all
+    (fun (i : Repl.replica_info) ->
+      Db.fingerprint (Repl.replica_db repl i.Repl.id) = p
+      && i.Repl.applied_lsn = Repl.primary_lsn repl
+      && i.Repl.acked_lsn = Repl.primary_lsn repl)
+    (Repl.replicas repl)
+
+let test_shipping_converges () =
+  let db = durable () in
+  seed db;
+  let sim = Des.create () in
+  let repl = Repl.create ~sim ~primary:db () in
+  ignore (Repl.add_replica ~rtt_ms:0.5 repl);
+  ignore (Repl.add_replica ~rtt_ms:2.0 repl);
+  for i = 10 to 29 do
+    Des.at sim (0.7 *. float_of_int (i - 10)) (fun () -> put db i)
+  done;
+  Des.run sim ~until:Float.infinity;
+  Alcotest.(check bool) "both followers converged" true (converged repl);
+  let st = Repl.stats repl in
+  Alcotest.(check bool) "chunks shipped" true (st.Repl.chunks_shipped >= 40);
+  Alcotest.(check int) "no catch-up snapshots needed" 0
+    st.Repl.snapshots_shipped
+
+let test_ring_overflow_snapshot () =
+  let db = durable () in
+  seed db;
+  let sim = Des.create () in
+  let repl = Repl.create ~sim ~primary:db ~retain:2 () in
+  ignore (Repl.add_replica ~rtt_ms:50.0 repl);
+  (* 30 commits land while the follower's first chunk is still in flight:
+     its cursor falls out of the 2-chunk ring, forcing checkpoint catch-up *)
+  for i = 10 to 39 do
+    Des.at sim (0.1 *. float_of_int (i - 10)) (fun () -> put db i)
+  done;
+  Des.run sim ~until:Float.infinity;
+  Alcotest.(check bool) "follower converged" true (converged repl);
+  Alcotest.(check bool) "caught up via snapshot" true
+    ((Repl.stats repl).Repl.snapshots_shipped > 0)
+
+let test_lossy_link_retransmits () =
+  let db = durable () in
+  seed db;
+  let sim = Des.create () in
+  let repl = Repl.create ~sim ~primary:db () in
+  let fault = Fault.create (Fault.plan ~drop_p:0.3 ~seed:7 ()) in
+  ignore (Repl.add_replica ~rtt_ms:1.0 ~fault repl);
+  for i = 10 to 29 do
+    Des.at sim (0.5 *. float_of_int (i - 10)) (fun () -> put db i)
+  done;
+  Des.run sim ~until:Float.infinity;
+  Alcotest.(check bool) "lossy follower converged" true (converged repl);
+  Alcotest.(check bool) "losses were retried" true
+    ((Repl.stats repl).Repl.retransmits > 0)
+
+(* --- quorum acks and routing ---------------------------------------------- *)
+
+let test_quorum_ack () =
+  let db = durable () in
+  seed db;
+  let sim = Des.create () in
+  let repl = Repl.create ~sim ~primary:db () in
+  ignore (Repl.add_replica ~rtt_ms:1.0 repl);
+  ignore (Repl.add_replica ~rtt_ms:40.0 repl);
+  put db 10;
+  let fired_at = ref (-1.0) in
+  Repl.on_quorum repl ~lsn:(Db.current_lsn db) (fun () ->
+      fired_at := Des.now sim);
+  Alcotest.(check bool) "not fired synchronously" true (!fired_at < 0.0);
+  Des.run sim ~until:Float.infinity;
+  (* majority of 2 is 1: the fast follower's ack suffices — the callback
+     fires around one fast round trip, far before the slow follower's *)
+  Alcotest.(check bool) "fired on the fast follower's ack" true
+    (!fired_at >= 0.0 && !fired_at < 20.0);
+  (* no followers: quorum is vacuous and fires immediately *)
+  let db2 = durable () in
+  seed db2;
+  let repl2 = Repl.create ~sim:(Des.create ()) ~primary:db2 () in
+  let now = ref false in
+  Repl.on_quorum repl2 ~lsn:(Db.current_lsn db2) (fun () -> now := true);
+  Alcotest.(check bool) "vacuous quorum fires inline" true !now
+
+let test_route_read () =
+  let db = durable () in
+  seed db;
+  let sim = Des.create () in
+  let repl = Repl.create ~sim ~primary:db () in
+  let fast = Repl.add_replica ~rtt_ms:0.2 repl in
+  let slow = Repl.add_replica ~rtt_ms:30.0 repl in
+  for i = 10 to 19 do
+    Des.at sim (0.4 *. float_of_int (i - 10)) (fun () -> put db i)
+  done;
+  (* stop mid-flight: the fast follower is caught up, the slow one is not *)
+  Des.run sim ~until:8.0;
+  let plsn = Repl.primary_lsn repl in
+  let applied id =
+    (List.find (fun (i : Repl.replica_info) -> i.Repl.id = id)
+       (Repl.replicas repl))
+      .Repl.applied_lsn
+  in
+  Alcotest.(check bool) "slow follower lags" true (applied slow < plsn);
+  (match Repl.route_read repl ~min_lsn:plsn with
+  | Some (id, rdb) ->
+      Alcotest.(check int) "floor at head routes to the caught-up one" fast id;
+      Alcotest.(check bool) "routed db has applied the floor" true
+        (Db.current_lsn rdb >= plsn)
+  | None -> Alcotest.fail "expected the fast follower to qualify");
+  (match Repl.route_read repl ~min_lsn:0 with
+  | Some (id, _) ->
+      Alcotest.(check int) "low floor still picks most caught-up" fast id
+  | None -> Alcotest.fail "any follower qualifies at floor 0");
+  Alcotest.(check bool) "unreachable floor routes nowhere" true
+    (Repl.route_read repl ~min_lsn:(plsn + 1) = None)
+
+let test_promote_most_caught_up () =
+  let db = durable () in
+  seed db;
+  let sim = Des.create () in
+  let repl = Repl.create ~sim ~primary:db () in
+  let fast = Repl.add_replica ~rtt_ms:0.2 repl in
+  ignore (Repl.add_replica ~rtt_ms:30.0 repl);
+  for i = 10 to 19 do
+    Des.at sim (0.4 *. float_of_int (i - 10)) (fun () -> put db i)
+  done;
+  Des.run sim ~until:8.0;
+  let applied_before =
+    List.fold_left
+      (fun acc (i : Repl.replica_info) -> max acc i.Repl.applied_lsn)
+      0 (Repl.replicas repl)
+  in
+  Alcotest.(check bool) "promotion quorum present" true (Repl.can_promote repl);
+  let ndb, id, _replayed = Repl.promote repl in
+  Alcotest.(check int) "most caught-up follower promoted" fast id;
+  Alcotest.(check bool) "new primary is the shipper's primary" true
+    (ndb == Repl.primary repl);
+  Alcotest.(check int) "new primary stands at its applied lsn" applied_before
+    (Db.current_lsn ndb);
+  Alcotest.(check int) "promoted follower left the fleet" 1
+    (Repl.n_replicas repl);
+  (* the old timeline's unreplicated tail is gone; the survivor re-syncs
+     from the new primary and the pair converges *)
+  put ndb 50;
+  Des.run sim ~until:Float.infinity;
+  Alcotest.(check bool) "survivor converged on the new timeline" true
+    (converged repl)
+
+(* --- the replicated served fuzz ------------------------------------------- *)
+
+(* One deterministic end-to-end case, kept as a plain unit test so a
+   regression fails loudly outside the fuzz harness too. *)
+let test_served_failover_end_to_end () =
+  let c =
+    Failover.run ~label:"unit" ~sessions:4 ~ro_sessions:2 ~batches:10
+      ~crash:0.08 ~checkpoint_every:2 ~rtts:[ 0.4; 1.0; 3.0 ] ~seed:42 ()
+  in
+  Alcotest.(check bool) "at least one promotion" true (c.Failover.fc_failovers > 0);
+  Alcotest.(check bool) "replicas served reads" true
+    (c.Failover.fc_replica_batches > 0);
+  Alcotest.(check int) "no lost acked writes" 0 c.Failover.fc_lost_writes;
+  Alcotest.(check int) "no RYW violations" 0 c.Failover.fc_ryw_violations;
+  Alcotest.(check int) "no torn batches at quiescence" 0 c.Failover.fc_torn;
+  Alcotest.(check bool) "identical to the oracle" true c.Failover.fc_identical;
+  Alcotest.(check bool) "fleet converged" true c.Failover.fc_converged
+
+(* The interleaved-vs-serial-replay fuzz, extended with replica lag and
+   primary-kill crash points: every case runs closed-loop sessions against
+   a replicated server under seeded random crashes (the fault plan draws
+   request / mid-batch / response crash legs) and must come out clean
+   against the LSN-interleaved oracle.  350 cases x (lag profile x crash
+   rate x checkpoint interval) sweeps the space the issue asks for. *)
+let lag_profiles =
+  [
+    ([ 0.3; 0.6; 0.9 ], 0.0);  (* balanced fleet *)
+    ([ 0.2; 2.0; 5.0 ], 0.0);  (* skewed: one fast, two laggards *)
+    ([ 0.5; 1.0 ], 0.15);  (* two followers behind lossy links *)
+    ([ 6.0 ], 0.0);  (* single slow follower: every ack waits on it *)
+  ]
+
+let case_print (seed, ck, (rtts, drop), crash) =
+  Printf.sprintf "seed=%d ck=%d rtts=[%s] drop=%.2f crash=%.2f" seed ck
+    (String.concat ";" (List.map (Printf.sprintf "%.1f") rtts))
+    drop crash
+
+let fuzz_replicated_failover =
+  QCheck.Test.make ~count:350 ~name:"replicated serving vs LSN-interleaved oracle"
+    QCheck.(
+      set_print case_print
+        (quad (int_bound 99999)
+           (oneofl [ 1; 2; 4; 0 ])
+           (oneofl lag_profiles)
+           (oneofl [ 0.0; 0.04; 0.1 ])))
+    (fun (seed, ck, (rtts, drop), crash) ->
+      let c =
+        Failover.run ~label:"fuzz" ~sessions:3 ~ro_sessions:1 ~batches:6
+          ~crash ~checkpoint_every:ck ~rtts ~drop ~seed ()
+      in
+      if c.Failover.fc_lost_writes <> 0 then
+        QCheck.Test.fail_reportf "%d acked writes lost" c.Failover.fc_lost_writes;
+      if c.Failover.fc_ryw_violations <> 0 then
+        QCheck.Test.fail_reportf "%d read-your-writes violations"
+          c.Failover.fc_ryw_violations;
+      if c.Failover.fc_torn <> 0 then
+        QCheck.Test.fail_reportf "%d batches torn at quiescence"
+          c.Failover.fc_torn;
+      if not c.Failover.fc_identical then
+        QCheck.Test.fail_reportf
+          "delivered results diverge from the serial replay";
+      if not c.Failover.fc_converged then
+        QCheck.Test.fail_reportf "follower fleet did not converge";
+      true)
+
+let () =
+  Alcotest.run "replication"
+    [
+      ( "lsn",
+        [
+          Alcotest.test_case "lsn counts committed chunks" `Quick
+            test_lsn_counts_chunks;
+          Alcotest.test_case "commit tap fires per chunk" `Quick
+            test_commit_tap;
+          Alcotest.test_case "snapshot install" `Quick test_snapshot_install;
+        ] );
+      ( "shipping",
+        [
+          Alcotest.test_case "stop-and-wait converges" `Quick
+            test_shipping_converges;
+          Alcotest.test_case "ring overflow falls back to snapshot" `Quick
+            test_ring_overflow_snapshot;
+          Alcotest.test_case "lossy link retransmits" `Quick
+            test_lossy_link_retransmits;
+        ] );
+      ( "quorum",
+        [
+          Alcotest.test_case "quorum ack" `Quick test_quorum_ack;
+          Alcotest.test_case "read routing" `Quick test_route_read;
+          Alcotest.test_case "promote most caught-up" `Quick
+            test_promote_most_caught_up;
+        ] );
+      ( "served",
+        [
+          Alcotest.test_case "end-to-end failover run" `Quick
+            test_served_failover_end_to_end;
+        ] );
+      ( "fuzz",
+        List.map QCheck_alcotest.to_alcotest [ fuzz_replicated_failover ] );
+    ]

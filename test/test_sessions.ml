@@ -296,14 +296,8 @@ let test_read_retransmission_logged_twice () =
 
 (* --- crash-restart -------------------------------------------------------- *)
 
-let state_label = function
-  | Adm.Serving -> "serving"
-  | Adm.Crashed -> "crashed"
-  | Adm.Recovering -> "recovering"
-  | Adm.Draining_redrive -> "draining-redrive"
-
 let transition_labels srv =
-  List.map (fun (_, s) -> state_label s) (Adm.transitions srv)
+  List.map (fun (_, s) -> Adm.state_to_string s) (Adm.transitions srv)
 
 let count_where db pred =
   match Rs.rows (Db.exec_sql db (Printf.sprintf "SELECT COUNT(*) AS n FROM kv WHERE %s" pred)).rs with
@@ -612,7 +606,9 @@ let run_case ~case_seed ~sessions ~batches_per_session ~fault_rate =
   in
   let db = setup () in
   let sim = Des.create () in
-  let srv = Adm.create ~sim ~db ~window_ms:1.0 ~max_attempts:40 () in
+  let srv = Adm.create ~sim ~db ~window_ms:1.0 ~retry:{ Sloth_net.Retry_policy.served with max_attempts = 40 }
+      ()
+  in
   let delivered = Hashtbl.create 64 in
   let token = ref 0 in
   List.iteri
@@ -739,7 +735,9 @@ let run_crash_case ~case_seed ~sessions ~batches_per_session ~leg =
   let checkpoint_every = [| 1; 4; 0 |].(case_seed mod 3) in
   let db = durable_setup ~checkpoint_every () in
   let sim = Des.create () in
-  let srv = Adm.create ~sim ~db ~window_ms:1.0 ~max_attempts:40 () in
+  let srv = Adm.create ~sim ~db ~window_ms:1.0 ~retry:{ Sloth_net.Retry_policy.served with max_attempts = 40 }
+      ()
+  in
   let victim_fault = Fault.create (Fault.plan ()) in
   let crash_trip = 1 + (case_seed mod 2) in
   Fault.script victim_fault ~first:crash_trip ~last:crash_trip
