@@ -121,6 +121,7 @@ let experiments =
     ("chaos", Chaos.chaos);
     ("recovery", fun () -> Recovery.recovery ~json:"BENCH_recovery.json" ());
     ("failover", fun () -> Failover.failover ~json:"BENCH_failover.json" ());
+    ("sharding", fun () -> Sharding.sharding ~json:"BENCH_sharding.json" ());
     ( "throughput",
       fun () -> Throughput.served ~json:"BENCH_throughput.json" () );
     ("planner", fun () -> Planner_bench.planner ~json:"BENCH_planner.json" ());
@@ -178,10 +179,13 @@ let () =
     | [], Some _, _ | [], _, Some _ ->
         [] (* a knob alone: just its tracked summary *)
     | [], None, None ->
-        (* `recovery`, `failover` and `throughput` are opt-in: the default
-           run's output must not change when those subsystems are idle *)
+        (* `recovery`, `failover`, `sharding` and `throughput` are opt-in:
+           the default run's output must not change when those subsystems
+           are idle *)
         List.filter
-          (fun n -> n <> "recovery" && n <> "failover" && n <> "throughput")
+          (fun n ->
+            n <> "recovery" && n <> "failover" && n <> "sharding"
+            && n <> "throughput")
           (List.map fst experiments)
     | names, _, _ -> names
   in

@@ -352,6 +352,7 @@ let exp_cmd =
       ("chaos", Sloth_harness.Chaos.chaos);
       ("recovery", fun () -> Sloth_harness.Recovery.recovery ());
       ("failover", fun () -> Sloth_harness.Failover.failover ());
+      ("sharding", fun () -> Sloth_harness.Sharding.sharding ());
       ("throughput", fun () -> Sloth_harness.Throughput.served ());
       ("appendix", Sloth_harness.Page_experiments.appendix);
     ]
@@ -362,13 +363,16 @@ let exp_cmd =
       & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) experiments))) None
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "fig5..fig13, chaos, recovery, failover, throughput or \
-             appendix.  The recovery sweep includes the served-crash arm: \
-             the async multi-session server under seeded random crashes, \
-             re-driving torn batches through the durable idempotency path.  \
-             The failover sweep replicates the primary over WAL-shipping \
-             followers, serves reads from them and promotes the most \
-             caught-up one on every crash.")
+            "fig5..fig13, chaos, recovery, failover, sharding, throughput \
+             or appendix.  The recovery sweep includes the served-crash \
+             arm: the async multi-session server under seeded random \
+             crashes, re-driving torn batches through the durable \
+             idempotency path.  The failover sweep replicates the primary \
+             over WAL-shipping followers, serves reads from them and \
+             promotes the most caught-up one on every crash.  The sharding \
+             sweep two-phase-commits write batches across hash partitions \
+             and crashes every protocol step, auditing per-shard WALs \
+             against the coordinator's decision log.")
   in
   let crash_arg =
     Arg.(

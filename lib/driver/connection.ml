@@ -1,4 +1,5 @@
 module Db = Sloth_storage.Database
+module Shard = Sloth_storage.Shard
 module Rs = Sloth_storage.Result_set
 module Cost = Sloth_storage.Cost
 module Link = Sloth_net.Link
@@ -10,8 +11,14 @@ module Retry_policy = Sloth_net.Retry_policy
 
 type breaker = Closed | Open_until of float | Half_open
 
+(* The server-side engine behind this connection: one database, or a
+   sharded deployment routing through two-phase commit.  The protocol
+   machinery (retries, idempotency, crash simulation) is identical — only
+   the execution entry points dispatch. *)
+type backend = Direct of Db.t | Sharded of Shard.t
+
 type t = {
-  db : Db.t;
+  eng : backend;
   link : Sloth_net.Link.t;
   mutable slots : float array;
       (* async pool: when each pooled connection becomes free *)
@@ -36,9 +43,9 @@ exception Retries_exhausted of { attempts : int; last : string }
 let app_cost_per_stmt_ms = ref 1.0
 let app_cost_per_row_ms = ref 0.02
 
-let create db link =
+let create_backend eng link =
   {
-    db;
+    eng;
     link;
     slots = [||];
     retry = Retry_policy.default;
@@ -51,10 +58,44 @@ let create db link =
     jitter_rng = Random.State.make [| 0x5107 |];
   }
 
+let create db link = create_backend (Direct db) link
+let create_sharded shard link = create_backend (Sharded shard) link
+
+(* Engine dispatch. *)
+let eng_exec t stmt =
+  match t.eng with Direct db -> Db.exec db stmt | Sharded s -> Shard.exec s stmt
+
+let eng_exec_batch t stmts =
+  match t.eng with
+  | Direct db -> Db.exec_batch db stmts
+  | Sharded s -> Shard.exec_batch s stmts
+
+let eng_atomically ?token t f =
+  match t.eng with
+  | Direct db -> Db.atomically ?token db f
+  | Sharded s -> Shard.atomically ?token s f
+
+let eng_token_applied t k =
+  match t.eng with
+  | Direct db -> Db.token_applied db k
+  | Sharded s -> Shard.token_applied s k
+
+let eng_cost t =
+  match t.eng with Direct db -> Db.cost_model db | Sharded s -> Shard.cost_model s
+
+let eng_crash_restart t =
+  match t.eng with
+  | Direct db -> Db.crash_restart db
+  | Sharded s -> Shard.crash_restart s
+
 let link t = t.link
 let clock t = Sloth_net.Link.clock t.link
 let stats t = Sloth_net.Link.stats t.link
-let database t = t.db
+
+let database t =
+  match t.eng with Direct db -> db | Sharded s -> Shard.shard_db s 0
+
+let sharding t = match t.eng with Direct _ -> None | Sharded s -> Some s
 let retry_policy t = t.retry
 let set_retry_policy t p = t.retry <- p
 
@@ -90,7 +131,7 @@ let remember_applied t k outcomes =
    with it; the database recovers from checkpoint + WAL (or is wiped, if
    durability is off). *)
 let server_crash t =
-  Db.crash_restart t.db;
+  eng_crash_restart t;
   Hashtbl.reset t.applied;
   Queue.clear t.applied_order;
   Hashtbl.reset t.admitted
@@ -215,12 +256,12 @@ let execute t stmt =
   match Link.fault t.link with
   | None ->
       let outcome =
-        try Db.exec t.db stmt
+        try eng_exec t stmt
         with Db.Sql_error msg ->
           (* A failed statement still consumed a round trip. *)
           Sloth_net.Link.round_trip t.link ~queries:1
             ~bytes:(request_bytes [ stmt ] + 16);
-          charge_db t (Db.cost_model t.db).fixed_ms;
+          charge_db t (eng_cost t).fixed_ms;
           raise (Server_error msg)
       in
       Sloth_net.Link.round_trip t.link ~queries:1
@@ -230,12 +271,12 @@ let execute t stmt =
       outcome
   | Some fault -> (
       let run ~observed:_ =
-        let o = Db.exec t.db stmt in
+        let o = eng_exec t stmt in
         ([ o ], o.cost_ms, Rs.num_rows o.rs, Rs.size_bytes o.rs)
       in
       match
         resilient t fault ~queries:1 ~req_bytes:(request_bytes [ stmt ])
-          ~error_db_ms:(Db.cost_model t.db).fixed_ms ~run
+          ~error_db_ms:(eng_cost t).fixed_ms ~run
       with
       | [ o ] -> o
       | _ -> assert false)
@@ -262,8 +303,8 @@ let abandoned_exec t stmts k =
   let k = min k (List.length stmts) in
   if k > 0 && not (List.exists is_txn_control stmts) then begin
     try
-      ignore (Db.exec t.db Sloth_sql.Ast.Begin_txn);
-      List.iteri (fun i s -> if i < k then ignore (Db.exec t.db s)) stmts
+      ignore (eng_exec t Sloth_sql.Ast.Begin_txn);
+      List.iteri (fun i s -> if i < k then ignore (eng_exec t s)) stmts
     with Db.Sql_error _ -> ()
   end
 
@@ -286,8 +327,8 @@ let run_batch t stmts ~token () =
           outcomes
       in
       (* replay: the server just looks the batch up *)
-      (outcomes, (Db.cost_model t.db).fixed_ms, rows, resp)
-  | Some k when Db.token_applied t.db k ->
+      (outcomes, (eng_cost t).fixed_ms, rows, resp)
+  | Some k when eng_token_applied t k ->
       (* The outcome cache died with the server, but the WAL proves the
          batch committed: acknowledge without re-executing.  The original
          result sets are gone — a durable ack carries only "applied". *)
@@ -297,11 +338,11 @@ let run_batch t stmts ~token () =
             {
               Db.rs = Rs.empty;
               rows_affected = 0;
-              cost_ms = (Db.cost_model t.db).fixed_ms;
+              cost_ms = (eng_cost t).fixed_ms;
             })
           stmts
       in
-      (ack, (Db.cost_model t.db).fixed_ms, 0, 16)
+      (ack, (eng_cost t).fixed_ms, 0, 16)
   | Some k when Hashtbl.mem t.admitted k ->
       (* The token was seen before but its outcome was evicted from the
          bounded window and no durable record exists.  Re-applying would
@@ -313,10 +354,10 @@ let run_batch t stmts ~token () =
       let has_write = List.exists Sloth_sql.Ast.is_write stmts in
       (* Whole-batch execution on the server: consecutive reads are planned
          together, so duplicates collapse and compatible scans are shared. *)
-      let exec_all () = Db.exec_batch t.db stmts in
+      let exec_all () = eng_exec_batch t stmts in
       let outcomes =
         if has_write && not (List.exists is_txn_control stmts) then
-          Db.atomically ?token t.db exec_all
+          eng_atomically ?token t exec_all
         else exec_all ()
       in
       (match token with
@@ -331,7 +372,7 @@ let run_batch t stmts ~token () =
           ([], 0.0) stmts outcomes
       in
       let db_ms =
-        Cost.batch_ms (Db.cost_model t.db) (List.rev read_costs) +. write_cost
+        Cost.batch_ms (eng_cost t) (List.rev read_costs) +. write_cost
       in
       let rows =
         List.fold_left (fun acc (o : Db.outcome) -> acc + Rs.num_rows o.rs) 0
@@ -398,7 +439,7 @@ let slots_for t =
 
 let execute_async t stmt =
   let outcome =
-    try Db.exec t.db stmt
+    try eng_exec t stmt
     with Db.Sql_error msg -> raise (Server_error msg)
   in
   (* The request goes out on the first free pooled connection; the response

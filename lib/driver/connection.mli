@@ -48,6 +48,13 @@ module Retry_policy = Sloth_net.Retry_policy
 
 val create : Sloth_storage.Database.t -> Sloth_net.Link.t -> t
 
+val create_sharded : Sloth_storage.Shard.t -> Sloth_net.Link.t -> t
+(** A connection whose server side is a sharded deployment: batches route
+    through {!Sloth_storage.Shard} (hash partitioning + two-phase commit)
+    instead of a single engine.  The protocol machinery — retries,
+    idempotency tokens, crash simulation — is identical; {!server_crash}
+    crashes and recovers the whole deployment, coordinator first. *)
+
 val app_cost_per_stmt_ms : float ref
 (** Client-side CPU per statement: driver marshalling, ORM hydration,
     framework bookkeeping (default 0.55 ms — calibrated so the page-load
@@ -60,6 +67,9 @@ val link : t -> Sloth_net.Link.t
 val clock : t -> Sloth_net.Vclock.t
 val stats : t -> Sloth_net.Stats.t
 val database : t -> Sloth_storage.Database.t
+(** The backing engine — shard 0's engine for a sharded connection. *)
+
+val sharding : t -> Sloth_storage.Shard.t option
 
 val retry_policy : t -> Retry_policy.t
 val set_retry_policy : t -> Retry_policy.t -> unit

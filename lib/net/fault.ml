@@ -1,6 +1,7 @@
 type failure = Drop | Reset | Server_busy | Deadlock | Server_crash
 type leg = Request | Mid_batch of int | Response
 type decision = Deliver of float | Fail of failure * leg
+type target = Any_target | Coordinator | Shard of int
 
 type plan = {
   drop_p : float;
@@ -33,7 +34,23 @@ let uniform ?seed rate =
   plan ?seed ~drop_p:(0.4 *. rate) ~reset_p:(0.2 *. rate)
     ~busy_p:(0.2 *. rate) ~deadlock_p:(0.2 *. rate) ~spike_p:rate ()
 
-type window = { first : int; last : int; w_failure : failure; w_leg : leg }
+type window = {
+  first : int;
+  last : int;
+  w_failure : failure;
+  w_leg : leg;
+  w_target : target;
+}
+
+(* A window scoped to [Any_target] fires on every decision point in its trip
+   range; one scoped to a shard or the coordinator fires only when the
+   caller identifies that component.  A decision point that names no target
+   ([Any_target]) is never hit by a scoped window: crashing shard 2's
+   prepare leg must not take down trips that never reach shard 2. *)
+let target_matches w ~target =
+  match w.w_target with
+  | Any_target -> true
+  | t -> t = target
 
 type t = {
   plan : plan;
@@ -65,8 +82,10 @@ let create plan =
 let the_plan t = t.plan
 let timeout_ms t = t.plan.timeout_ms
 
-let script t ~first ~last failure leg =
-  t.windows <- t.windows @ [ { first; last; w_failure = failure; w_leg = leg } ]
+let script ?(target = Any_target) t ~first ~last failure leg =
+  t.windows <-
+    t.windows
+    @ [ { first; last; w_failure = failure; w_leg = leg; w_target = target } ]
 
 (* Counters are bumped here, from [decide], and nowhere else.  A failure
    decision is later *resolved* by the driver or server — a crash in
@@ -85,10 +104,13 @@ let quiet p =
   p.drop_p = 0.0 && p.reset_p = 0.0 && p.busy_p = 0.0 && p.deadlock_p = 0.0
   && p.crash_p = 0.0 && p.spike_p = 0.0
 
-let decide t =
+let decide ?(target = Any_target) t =
   t.trips <- t.trips + 1;
   let scripted =
-    List.find_opt (fun w -> w.first <= t.trips && t.trips <= w.last) t.windows
+    List.find_opt
+      (fun w ->
+        w.first <= t.trips && t.trips <= w.last && target_matches w ~target)
+      t.windows
   in
   let fail f leg =
     record t f;

@@ -37,6 +37,16 @@ type decision =
   | Deliver of float        (** success, with this much extra latency (ms) *)
   | Fail of failure * leg
 
+type target =
+  | Any_target  (** the whole server process / no particular component *)
+  | Coordinator  (** the two-phase-commit coordinator (decision log owner) *)
+  | Shard of int  (** one storage shard, as a 2PC participant *)
+      (** Which component a decision point belongs to.  Scoped windows let
+          one seeded plan crash shard 2's prepare leg while shard 1 stays
+          healthy.  Targets only affect {e scripted} windows — the RNG path
+          ignores them, so passing [?target] never perturbs the random
+          sequence of an existing seeded plan. *)
+
 type plan = {
   drop_p : float;
   reset_p : float;
@@ -79,14 +89,19 @@ val create : plan -> t
 val the_plan : t -> plan
 val timeout_ms : t -> float
 
-val script : t -> first:int -> last:int -> failure -> leg -> unit
+val script : ?target:target -> t -> first:int -> last:int -> failure -> leg -> unit
 (** Force every round trip whose index lies in [first..last] (1-based,
     inclusive) to fail as given, bypassing the RNG.  Windows may be stacked;
-    the earliest-installed matching window wins. *)
+    the earliest-installed matching window wins.  [target] (default
+    [Any_target]) scopes the window to one component: a window scoped to
+    [Shard 2] fires only on decision points that pass [~target:(Shard 2)]. *)
 
-val decide : t -> decision
+val decide : ?target:target -> t -> decision
 (** Advance to the next round trip and decide its fate.  Deterministic in
-    the seed and the call sequence. *)
+    the seed and the call sequence.  [target] (default [Any_target]) names
+    the component this decision point belongs to; it is consulted only by
+    scripted windows, never by the RNG path, so a plan with no scoped
+    windows behaves identically whether or not targets are passed. *)
 
 val trips : t -> int
 (** Round trips decided so far. *)

@@ -1,4 +1,5 @@
 module Db = Sloth_storage.Database
+module Shard = Sloth_storage.Shard
 module Repl = Sloth_storage.Replication
 module Rs = Sloth_storage.Result_set
 module Cost = Sloth_storage.Cost
@@ -96,6 +97,9 @@ and t = {
   retry : Retry_policy.t;
   restart_after_ms : float;  (* downtime before recovery begins *)
   exec : Des.Resource.t;  (* the storage engine itself is single-threaded *)
+  shard : Shard.t option;
+      (* sharded storage: [db] is shard 0's engine, every execution fans
+         out through the router instead *)
   repl : Repl.t option;  (* replication: quorum acks, read routing, failover *)
   replica_exec : (int, Des.Resource.t) Hashtbl.t;
       (* per-replica executors: each follower serves its flushes serially,
@@ -146,7 +150,7 @@ and t = {
 
 let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
     ?(retry = Retry_policy.served) ?(restart_after_ms = 4.0)
-    ?(idempotency_window = 512) ?replication () =
+    ?(idempotency_window = 512) ?replication ?sharding () =
   if max_coalesce < 1 then invalid_arg "Admission.create: max_coalesce";
   if retry.Retry_policy.max_attempts < 1 then
     invalid_arg "Admission.create: retry.max_attempts";
@@ -155,6 +159,13 @@ let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
   (match replication with
   | Some r when Repl.primary r != db ->
       invalid_arg "Admission.create: replication is attached to another db"
+  | _ -> ());
+  (match sharding with
+  | Some _ when replication <> None ->
+      invalid_arg
+        "Admission.create: sharding and replication cannot be combined"
+  | Some s when Shard.shard_db s 0 != db ->
+      invalid_arg "Admission.create: sharding is attached to another db"
   | _ -> ());
   {
     sim;
@@ -165,6 +176,7 @@ let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
     retry;
     restart_after_ms;
     exec = Des.Resource.create sim ~servers:1;
+    shard = sharding;
     repl = replication;
     replica_exec = Hashtbl.create 4;
     read_q = Queue.create ();
@@ -203,6 +215,37 @@ let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
 
 let sim t = t.sim
 let database t = t.db
+let sharding t = t.shard
+
+(* Engine dispatch: a sharded server routes every execution through the
+   shard router.  [t.db] (shard 0's engine) keeps serving the cost model —
+   every shard shares it — and stays the replica-relative anchor, which
+   sharding excludes anyway. *)
+let eng_exec t s =
+  match t.shard with Some sh -> Shard.exec sh s | None -> Db.exec t.db s
+
+let eng_exec_batch t stmts =
+  match t.shard with
+  | Some sh -> Shard.exec_batch sh stmts
+  | None -> Db.exec_batch t.db stmts
+
+let eng_atomically ?token t f =
+  match t.shard with
+  | Some sh -> Shard.atomically ?token sh f
+  | None -> Db.atomically ?token t.db f
+
+let eng_in_txn t =
+  match t.shard with Some sh -> Shard.in_txn sh | None -> Db.in_txn t.db
+
+let eng_token_applied t k =
+  match t.shard with
+  | Some sh -> Shard.token_applied sh k
+  | None -> Db.token_applied t.db k
+
+let eng_lsn t =
+  match t.shard with
+  | Some sh -> Shard.current_lsn sh
+  | None -> Db.current_lsn t.db
 
 let open_session ?(rtt_ms = 0.5) ?fault t =
   let id = t.next_session in
@@ -286,12 +329,17 @@ let set_state t s =
    observed. *)
 let log_exec ?replica t ~db a =
   let b = a.a_b in
+  let lsn =
+    match t.shard with
+    | Some sh -> Shard.current_lsn sh
+    | None -> Db.current_lsn db
+  in
   let e =
     {
       e_session = b.b_session.id;
       e_seq = b.b_seq;
       e_epoch = t.epoch;
-      e_lsn = Db.current_lsn db;
+      e_lsn = lsn;
       e_replica = replica;
       e_stmts = b.b_stmts;
       e_reads = b.b_read;
@@ -384,7 +432,7 @@ let run_barrier t a finish =
   (* The session's read-your-writes floor: any later read must observe at
      least this LSN.  Bumped on every acknowledged-write path. *)
   let bump_write_floor () =
-    let lsn = Db.current_lsn t.db in
+    let lsn = eng_lsn t in
     if lsn > ses.last_write_lsn then ses.last_write_lsn <- lsn
   in
   match b.b_token with
@@ -392,7 +440,7 @@ let run_barrier t a finish =
       (* retransmission of an already-processed batch: replay the cache *)
       bump_write_floor ();
       finish_acked model.Cost.fixed_ms (Hashtbl.find t.applied k)
-  | Some k when Db.token_applied t.db k ->
+  | Some k when eng_token_applied t k ->
       (* the cache is gone (evicted, or wiped by a crash) but the WAL
          proves the batch committed: a durable ack carries only "applied" *)
       t.s_durable_acks <- t.s_durable_acks + 1;
@@ -413,18 +461,18 @@ let run_barrier t a finish =
   | _ -> (
       let has_write = List.exists Ast.is_write b.b_stmts in
       let has_txn = List.exists is_txn_control b.b_stmts in
-      let exec_all () = Db.exec_batch t.db b.b_stmts in
+      let exec_all () = eng_exec_batch t b.b_stmts in
       let rollback_if_open () =
-        if Db.in_txn t.db then ignore (Db.exec t.db Ast.Rollback)
+        if eng_in_txn t then ignore (eng_exec t Ast.Rollback)
       in
-      let pre_lsn = Db.current_lsn t.db in
+      let pre_lsn = eng_lsn t in
       match
         if has_write && not has_txn then
-          Db.atomically ?token:b.b_token t.db exec_all
+          eng_atomically ?token:b.b_token t exec_all
         else exec_all ()
       with
       | outcomes ->
-          if Db.in_txn t.db then begin
+          if eng_in_txn t then begin
             (* A transaction spanning batches would hold every other
                session hostage: batch-scoped or nothing. *)
             rollback_if_open ();
@@ -437,7 +485,7 @@ let run_barrier t a finish =
             (match b.b_token with
             | Some k when has_write -> remember_applied t k (Ok outcomes)
             | _ -> ());
-            if Db.current_lsn t.db > pre_lsn then bump_write_floor ();
+            if eng_lsn t > pre_lsn then bump_write_floor ();
             log_exec t ~db:t.db a;
             let read_costs, write_cost =
               List.fold_left2
@@ -478,7 +526,12 @@ let direct t a =
         in
         let b = a.a_b in
         if b.b_read then
-          match Db.exec_reads t.db b.b_selects with
+          let do_reads () =
+            match t.shard with
+            | Some sh -> Shard.exec_reads sh b.b_selects
+            | None -> Db.exec_reads t.db b.b_selects
+          in
+          match do_reads () with
           | outs ->
               count_read_stats t outs;
               log_exec t ~db:t.db a;
@@ -529,6 +582,13 @@ let run_flush_on ?replica t ~db ~release group =
           outs
   in
   let model = Db.cost_model t.db in
+  (* under sharding [db] is always the primary router's anchor (replication
+     is excluded), so the group's reads fan out through the router *)
+  let do_reads sels =
+    match t.shard with
+    | Some sh -> Shard.exec_reads sh sels
+    | None -> Db.exec_reads db sels
+  in
   let all_selects = List.concat_map (fun a -> a.a_b.b_selects) group in
   let finish service replies =
     Des.delay t.sim service (fun () ->
@@ -538,7 +598,7 @@ let run_flush_on ?replica t ~db ~release group =
             if t.epoch = e0 then respond t a r else reply_torn t a)
           replies)
   in
-  match Db.exec_reads db all_selects with
+  match do_reads all_selects with
   | outs ->
       count_rows outs;
       let costs = List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs in
@@ -566,7 +626,7 @@ let run_flush_on ?replica t ~db ~release group =
       let replies =
         List.map
           (fun a ->
-            match Db.exec_reads db a.a_b.b_selects with
+            match do_reads a.a_b.b_selects with
             | outs ->
                 count_rows outs;
                 log_exec ?replica t ~db a;
@@ -722,11 +782,22 @@ let recover t =
         t.s_failovers <- t.s_failovers + 1;
         t.rev_failovers <- (t.epoch, Db.current_lsn db) :: t.rev_failovers;
         replayed
-    | _ ->
-        Db.crash_restart t.db;
-        (match Db.last_recovery t.db with
-        | Some s -> s.Db.replayed_records
-        | None -> 0)
+    | _ -> (
+        match t.shard with
+        | Some sh ->
+            (* whole-process crash: the coordinator's decision log recovers
+               first, then every shard resolves its in-doubt chunks against
+               it; the calendar is charged for the summed replay *)
+            Shard.crash_restart sh;
+            let _txns, records, _committed, _aborted =
+              Shard.recovery_totals sh
+            in
+            records
+        | None ->
+            Db.crash_restart t.db;
+            (match Db.last_recovery t.db with
+            | Some s -> s.Db.replayed_records
+            | None -> 0))
   in
   t.s_recoveries <- t.s_recoveries + 1;
   Des.delay t.sim
@@ -760,8 +831,8 @@ let abandoned_exec t stmts k =
   let k = min k (List.length stmts) in
   if k > 0 && not (List.exists is_txn_control stmts) then (
     try
-      ignore (Db.exec t.db Ast.Begin_txn);
-      List.iteri (fun i s -> if i < k then ignore (Db.exec t.db s)) stmts
+      ignore (eng_exec t Ast.Begin_txn);
+      List.iteri (fun i s -> if i < k then ignore (eng_exec t s)) stmts
     with Db.Sql_error _ -> ())
 
 (* The dying server's last act on a Response-leg crash: the batch ran to
@@ -780,7 +851,11 @@ let silent_execute t b =
     }
   in
   if b.b_read then (
-    match Db.exec_reads t.db b.b_selects with
+    match
+      match t.shard with
+      | Some sh -> Shard.exec_reads sh b.b_selects
+      | None -> Db.exec_reads t.db b.b_selects
+    with
     | outs ->
         count_read_stats t outs;
         log_exec t ~db:t.db a

@@ -176,6 +176,7 @@ val create :
   ?restart_after_ms:float ->
   ?idempotency_window:int ->
   ?replication:Sloth_storage.Replication.t ->
+  ?sharding:Sloth_storage.Shard.t ->
   unit ->
   t
 (** Defaults: [window_ms = 2.0] (how long an arriving read batch may wait
@@ -189,10 +190,20 @@ val create :
     a crash and the start of recovery), [idempotency_window = 512] (cached
     replies kept for token replay).  [replication] attaches a WAL shipper
     whose primary must be [db] (raises [Invalid_argument] otherwise); see
-    the module preamble for what it changes. *)
+    the module preamble for what it changes.  [sharding] routes every
+    execution through a {!Sloth_storage.Shard} router whose shard 0 must be
+    [db] (raises [Invalid_argument] otherwise, and when combined with
+    [replication] — a sharded deployment replicates per shard, which this
+    layer does not model): barriers two-phase-commit across the shards they
+    touch, coalesced read flushes gather through the router, crash recovery
+    runs the whole-process protocol (decision log first, then every shard's
+    in-doubt resolution), and durable-token re-drives consult all shards. *)
 
 val sim : t -> Sloth_net.Des.t
 val database : t -> Sloth_storage.Database.t
+
+val sharding : t -> Sloth_storage.Shard.t option
+(** The shard router this server fans out through, if any. *)
 
 val open_session : ?rtt_ms:float -> ?fault:Sloth_net.Fault.t -> t -> session
 (** Register a client.  [rtt_ms] (default 0.5) is this session's round-trip

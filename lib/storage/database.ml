@@ -12,6 +12,8 @@ type recovery_stats = {
   replayed_records : int;
   discarded_bytes : int;
   wal_bytes : int;
+  in_doubt_committed : int;
+  in_doubt_aborted : int;
   recovery_ms : float;
 }
 
@@ -26,6 +28,15 @@ type dur = {
   mutable next_txn : int;
   mutable lsn : int;  (* committed WAL chunks ever appended (log sequence #) *)
   tokens : (string, unit) Hashtbl.t;
+  prepared : (int, string option) Hashtbl.t;
+      (* gtid -> idempotency token of transactions forced by dtxn_prepare
+         and still awaiting their phase-2 decision *)
+  mutable seen_txns : int;
+      (* replay watermarks: how much of the current log the previous
+         recovery already replayed, so [last_recovery] reports per-call
+         deltas instead of cumulative totals (reset when a checkpoint
+         truncates the log) *)
+  mutable seen_records : int;
   mutable last_recovery : recovery_stats option;
 }
 
@@ -38,6 +49,10 @@ type t = {
   mutable planner : bool;  (* cost-based planning (off = legacy heuristics) *)
   mutable on_commit : (lsn:int -> Wal.record list -> unit) option;
       (* replication tap: fired once per appended WAL chunk *)
+  mutable in_doubt : (int -> bool) option;
+      (* 2PC in-doubt resolver: given the gtid of a prepared-but-undecided
+         chunk found at recovery, [true] means the coordinator's decision
+         log recorded COMMIT; anything else is an abort (presumed abort) *)
 }
 
 let error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
@@ -51,6 +66,7 @@ let create ?(cost = Cost.default) () =
     dur = None;
     planner = true;
     on_commit = None;
+    in_doubt = None;
   }
 
 let cost_model t = t.cost
@@ -104,37 +120,47 @@ let checkpoint_payload t d =
 let write_checkpoint t d =
   Wal.write_all d.ck (Wal.Codec.frame (checkpoint_payload t d));
   Wal.write_all d.wal "";
-  d.commits_since_ck <- 0
+  d.commits_since_ck <- 0;
+  (* The log was just truncated, so the next recovery replays from zero:
+     the per-call delta watermarks restart with it. *)
+  d.seen_txns <- 0;
+  d.seen_records <- 0
 
+(* Checkpointing is gated on having no prepared-but-undecided transaction:
+   a checkpoint snapshots only committed state and then truncates the log,
+   which would silently discard a forced [Begin .. Prepare] chunk — turning
+   a coordinator COMMIT decision into a lost write on this shard. *)
 let maybe_checkpoint t d =
-  if d.checkpoint_every > 0 && d.commits_since_ck >= d.checkpoint_every then
-    write_checkpoint t d
+  if
+    d.checkpoint_every > 0
+    && d.commits_since_ck >= d.checkpoint_every
+    && Hashtbl.length d.prepared = 0
+  then write_checkpoint t d
 
-(* Append one committed transaction's redo records.  The entries are the
-   undo log in chronological order; every touched slot's *current* (= final,
-   we are at commit) content is its redo image, which makes replay
-   idempotent and collapses insert/update/delete into one record shape. *)
+(* Map a transaction's undo-log entries to redo records.  Every touched
+   slot's *current* (= final, we are at commit/prepare) content is its redo
+   image, which makes replay idempotent and collapses insert/update/delete
+   into one record shape. *)
+let sets_of_entries entries =
+  List.map
+    (fun e ->
+      let tbl, rid =
+        match e with
+        | Txn.Inserted (tbl, rid) -> (tbl, rid)
+        | Txn.Deleted (tbl, rid, _) -> (tbl, rid)
+        | Txn.Updated (tbl, rid, _) -> (tbl, rid)
+      in
+      Wal.Set
+        { table = Schema.name (Table.schema tbl); rid; row = Table.get tbl rid })
+    entries
+
+(* Append one committed transaction's redo records (the entries are the
+   undo log in chronological order). *)
 let wal_commit ?token t entries =
   match t.dur with
   | None -> ()
   | Some d ->
-      let sets =
-        List.map
-          (fun e ->
-            let tbl, rid =
-              match e with
-              | Txn.Inserted (tbl, rid) -> (tbl, rid)
-              | Txn.Deleted (tbl, rid, _) -> (tbl, rid)
-              | Txn.Updated (tbl, rid, _) -> (tbl, rid)
-            in
-            Wal.Set
-              {
-                table = Schema.name (Table.schema tbl);
-                rid;
-                row = Table.get tbl rid;
-              })
-          entries
-      in
+      let sets = sets_of_entries entries in
       if sets = [] && token = None then ()
       else begin
         let id = d.next_txn in
@@ -226,7 +252,7 @@ let apply_record t d = function
           with Not_found -> ())
       | None -> ())
   | Wal.Token k -> Hashtbl.replace d.tokens k ()
-  | Wal.Begin _ | Wal.Commit _ -> ()
+  | Wal.Begin _ | Wal.Commit _ | Wal.Prepare _ | Wal.Decision _ -> ()
 
 let recover t d =
   let t0 = Sys.time () in
@@ -234,6 +260,7 @@ let recover t d =
   t.order <- [];
   t.txn <- None;
   Hashtbl.reset d.tokens;
+  Hashtbl.reset d.prepared;
   d.lsn <- 0;
   let from_checkpoint = load_checkpoint t d in
   let log = Wal.contents d.wal in
@@ -243,18 +270,36 @@ let recover t d =
   if discarded_bytes > 0 then Wal.write_all d.wal (String.sub log 0 valid);
   let replayed_txns = ref 0 and replayed_records = ref 0 in
   let pending = ref None in
+  (* Chunks closed by [Prepare] instead of [Commit]: forced but undecided
+     at the time they were logged.  Each waits for a later standalone
+     [Commit] completion marker in this same log, and whatever is still
+     unmatched when the scan ends goes to the in-doubt resolver.  Kept in
+     log order so resolution replays commits in the original sequence. *)
+  let in_doubt = ref [] in
+  let apply_chunk id recs =
+    List.iter (apply_record t d) recs;
+    replayed_records := !replayed_records + List.length recs;
+    incr replayed_txns;
+    if id >= d.next_txn then d.next_txn <- id + 1;
+    d.lsn <- d.lsn + 1
+  in
   List.iter
     (fun r ->
       match (r, !pending) with
       | Wal.Begin id, _ -> pending := Some (id, [])
       | Wal.Commit id, Some (id', acc) when id = id' ->
-          List.iter (apply_record t d) (List.rev acc);
-          replayed_records := !replayed_records + List.length acc;
-          incr replayed_txns;
-          if id >= d.next_txn then d.next_txn <- id + 1;
-          d.lsn <- d.lsn + 1;
+          apply_chunk id (List.rev acc);
           pending := None
-      | Wal.Commit _, _ -> pending := None
+      | Wal.Prepare id, Some (id', acc) when id = id' ->
+          in_doubt := !in_doubt @ [ (id, List.rev acc) ];
+          if id >= d.next_txn then d.next_txn <- id + 1;
+          pending := None
+      | Wal.Commit id, None when List.mem_assoc id !in_doubt ->
+          (* phase-2 completion marker: the coordinator decided COMMIT and
+             this shard acked before the crash — apply the stashed chunk *)
+          apply_chunk id (List.assoc id !in_doubt);
+          in_doubt := List.remove_assoc id !in_doubt
+      | (Wal.Commit _ | Wal.Prepare _), _ -> pending := None
       | r, Some (id, acc) -> pending := Some (id, r :: acc)
       | r, None ->
           (* standalone DDL record *)
@@ -263,16 +308,44 @@ let recover t d =
           d.lsn <- d.lsn + 1)
     records;
   (* An uncommitted tail transaction in !pending is dropped: its commit
-     record never made it to the log, so it never happened. *)
+     record never made it to the log, so it never happened.  Prepared
+     chunks with no completion marker are resolved through the coordinator:
+     a recorded COMMIT decision means the chunk must apply (and we append
+     the completion marker so the next recovery needs no resolver); no
+     decision means abort — presumed abort — and the dead chunk is simply
+     never applied. *)
+  let in_doubt_committed = ref 0 and in_doubt_aborted = ref 0 in
+  List.iter
+    (fun (id, recs) ->
+      let commit =
+        match t.in_doubt with Some resolve -> resolve id | None -> false
+      in
+      if commit then begin
+        apply_chunk id recs;
+        Wal.append_records d.wal [ Wal.Commit id ];
+        incr in_doubt_committed
+      end
+      else incr in_doubt_aborted)
+    !in_doubt;
   d.commits_since_ck <- 0;
+  (* Report per-call deltas against the previous recovery of this same log:
+     a second crash before any new commit replays nothing *new*, even
+     though the scan re-reads the whole log. *)
+  let raw_txns = !replayed_txns and raw_records = !replayed_records in
+  let delta_txns = max 0 (raw_txns - d.seen_txns)
+  and delta_records = max 0 (raw_records - d.seen_records) in
+  d.seen_txns <- raw_txns;
+  d.seen_records <- raw_records;
   d.last_recovery <-
     Some
       {
         from_checkpoint;
-        replayed_txns = !replayed_txns;
-        replayed_records = !replayed_records;
+        replayed_txns = delta_txns;
+        replayed_records = delta_records;
         discarded_bytes;
         wal_bytes = valid;
+        in_doubt_committed = !in_doubt_committed;
+        in_doubt_aborted = !in_doubt_aborted;
         recovery_ms = (Sys.time () -. t0) *. 1000.0;
       }
 
@@ -286,6 +359,9 @@ let enable_durability ?(checkpoint_every = 8) ~wal ~checkpoint t =
       next_txn = 0;
       lsn = 0;
       tokens = Hashtbl.create 32;
+      prepared = Hashtbl.create 8;
+      seen_txns = 0;
+      seen_records = 0;
       last_recovery = None;
     }
   in
@@ -310,8 +386,13 @@ let token_applied t k =
 let wal_size t =
   match t.dur with None -> 0 | Some d -> String.length (Wal.contents d.wal)
 
+let wal_records t =
+  match t.dur with None -> [] | Some d -> fst (Wal.scan (Wal.contents d.wal))
+
 let checkpoint_now t =
-  match t.dur with None -> () | Some d -> write_checkpoint t d
+  match t.dur with
+  | None -> ()
+  | Some d -> if Hashtbl.length d.prepared = 0 then write_checkpoint t d
 
 (* --- replication entry points -------------------------------------------- *)
 
@@ -334,6 +415,7 @@ let install_snapshot t framed =
           t.order <- [];
           t.txn <- None;
           Hashtbl.reset d.tokens;
+          Hashtbl.reset d.prepared;
           if load_checkpoint_payload t d payload then begin
             (* The snapshot becomes this replica's own checkpoint, so a
                crash-restart of a promoted replica recovers from it plus
@@ -341,6 +423,8 @@ let install_snapshot t framed =
             Wal.write_all d.ck framed;
             Wal.write_all d.wal "";
             d.commits_since_ck <- 0;
+            d.seen_txns <- 0;
+            d.seen_records <- 0;
             true
           end
           else false)
@@ -448,6 +532,108 @@ let atomically ?token t f =
           Txn.rollback txn;
           finish ();
           raise e)
+
+(* --- two-phase commit: the participant side ------------------------------ *)
+
+let set_in_doubt_resolver t resolve = t.in_doubt <- resolve
+
+let dtxn_begin t =
+  if t.dur = None then invalid_arg "Database.dtxn_begin: durability is off";
+  if t.txn <> None then error "dtxn_begin: a transaction is already open";
+  t.txn <- Some (Txn.create ())
+
+let dtxn_prepare ?token t ~gtid =
+  match (t.dur, t.txn) with
+  | None, _ -> invalid_arg "Database.dtxn_prepare: durability is off"
+  | _, None -> invalid_arg "Database.dtxn_prepare: no open transaction"
+  | Some d, Some txn ->
+      let sets = sets_of_entries (Txn.entries txn) in
+      if sets = [] && token = None then begin
+        (* Nothing to force: vote read-only and drop out of the protocol —
+           the coordinator neither logs this shard nor sends it phase 2. *)
+        Txn.commit txn;
+        t.txn <- None;
+        false
+      end
+      else begin
+        (* Force the redo images and the PREPARE marker to the log, but
+           keep the transaction's heap effects pending: a crash after this
+           point leaves the chunk in doubt, resolved by the coordinator's
+           decision log at recovery. *)
+        if gtid >= d.next_txn then d.next_txn <- gtid + 1;
+        let toks = match token with None -> [] | Some k -> [ Wal.Token k ] in
+        Wal.append_records d.wal
+          ((Wal.Begin gtid :: sets) @ toks @ [ Wal.Prepare gtid ]);
+        Hashtbl.replace d.prepared gtid token;
+        true
+      end
+
+let dtxn_commit t ~gtid =
+  match (t.dur, t.txn) with
+  | None, _ -> invalid_arg "Database.dtxn_commit: durability is off"
+  | _, None -> invalid_arg "Database.dtxn_commit: no prepared transaction"
+  | Some d, Some txn ->
+      (match Hashtbl.find_opt d.prepared gtid with
+      | None -> invalid_arg "Database.dtxn_commit: transaction is not prepared"
+      | Some token ->
+          (* The completion marker makes the decision self-describing on
+             this shard: the next recovery applies the chunk without
+             consulting the resolver. *)
+          Wal.append_records d.wal [ Wal.Commit gtid ];
+          Txn.commit txn;
+          t.txn <- None;
+          (match token with
+          | Some k -> Hashtbl.replace d.tokens k ()
+          | None -> ());
+          Hashtbl.remove d.prepared gtid;
+          d.lsn <- d.lsn + 1;
+          d.commits_since_ck <- d.commits_since_ck + 1;
+          maybe_checkpoint t d)
+
+let dtxn_abort t ~gtid =
+  (* Presumed abort: no WAL record — the absence of a coordinator decision
+     is the abort record, and the dead [Begin .. Prepare] chunk (if phase 1
+     got that far) is simply never applied by recovery. *)
+  (match t.txn with Some txn -> Txn.rollback txn | None -> ());
+  t.txn <- None;
+  match t.dur with None -> () | Some d -> Hashtbl.remove d.prepared gtid
+
+let dtxn_commit_1pc ?token t ~gtid =
+  match (t.dur, t.txn) with
+  | None, _ -> invalid_arg "Database.dtxn_commit_1pc: durability is off"
+  | _, None -> invalid_arg "Database.dtxn_commit_1pc: no open transaction"
+  | Some d, Some txn ->
+      let sets = sets_of_entries (Txn.entries txn) in
+      Txn.commit txn;
+      t.txn <- None;
+      if sets = [] && token = None then ()
+      else begin
+        (* Single-participant fast path: a plain committed chunk under the
+           coordinator-allocated id, skipping PREPARE and the decision
+           record entirely. *)
+        if gtid >= d.next_txn then d.next_txn <- gtid + 1;
+        let toks =
+          match token with
+          | None -> []
+          | Some k ->
+              Hashtbl.replace d.tokens k ();
+              [ Wal.Token k ]
+        in
+        let chunk = (Wal.Begin gtid :: sets) @ toks @ [ Wal.Commit gtid ] in
+        Wal.append_records d.wal chunk;
+        d.lsn <- d.lsn + 1;
+        fire_tap t d chunk;
+        d.commits_since_ck <- d.commits_since_ck + 1;
+        maybe_checkpoint t d
+      end
+
+let prepared_txns t =
+  match t.dur with
+  | None -> []
+  | Some d ->
+      List.sort compare (Hashtbl.fold (fun g _ acc -> g :: acc) d.prepared [])
+
+let next_txn_id t = match t.dur with None -> 0 | Some d -> d.next_txn
 
 let catalog t : Executor.catalog =
   {

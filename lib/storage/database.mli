@@ -20,8 +20,19 @@ type recovery_stats = {
   replayed_records : int;  (** redo/DDL records applied *)
   discarded_bytes : int;  (** torn tail truncated from the log *)
   wal_bytes : int;  (** valid log bytes scanned *)
+  in_doubt_committed : int;
+      (** prepared-but-undecided chunks the in-doubt resolver committed *)
+  in_doubt_aborted : int;
+      (** prepared-but-undecided chunks resolved as aborted (presumed
+          abort: no coordinator decision was found) *)
   recovery_ms : float;  (** wall-clock recovery time (non-deterministic) *)
 }
+(** [replayed_txns] / [replayed_records] are {e per-call deltas}: they count
+    only work this recovery replayed beyond what the previous recovery of
+    the same (untruncated) log already reported.  A second crash before any
+    new commit therefore reports zero, even though the scan re-reads the
+    whole log.  The watermarks reset whenever a checkpoint truncates the
+    log.  [wal_bytes] and [discarded_bytes] stay raw per-call facts. *)
 
 val create : ?cost:Cost.model -> unit -> t
 
@@ -66,6 +77,12 @@ val token_applied : t -> string -> bool
 
 val wal_size : t -> int
 (** Current WAL length in bytes (0 when durability is off). *)
+
+val wal_records : t -> Wal.record list
+(** Decoded records of the current log's valid prefix (empty when
+    durability is off).  Exposed for the sharding auditor, which
+    cross-checks every shard's log against the coordinator's decision
+    log. *)
 
 val checkpoint_now : t -> unit
 
@@ -128,6 +145,59 @@ val atomically : ?token:string -> t -> (unit -> 'a) -> 'a
     a multi-statement flush all-or-nothing.  [token] is an idempotency token
     logged inside the commit record, making "did this batch apply?"
     answerable after a crash via {!token_applied}. *)
+
+(** {2 Two-phase commit: participant side}
+
+    A sharded deployment routes every write through these entry points with
+    a {e coordinator-allocated} global transaction id, so one shard's log
+    never reuses an id the coordinator's decision log knows under a
+    different fate.  All of them raise [Invalid_argument] when durability
+    is off — a 2PC participant without a log to force PREPARE into cannot
+    hold up its end of the protocol. *)
+
+val set_in_doubt_resolver : t -> (int -> bool) option -> unit
+(** Install (or clear) the in-doubt resolver consulted by recovery for each
+    prepared-but-undecided chunk: [true] means the coordinator's decision
+    log recorded COMMIT for that gtid, anything else aborts the chunk
+    (presumed abort).  With no resolver installed every in-doubt chunk
+    aborts. *)
+
+val dtxn_begin : t -> unit
+(** Open the participant's local transaction for one distributed write.
+    Raises {!Sql_error} if a transaction is already open. *)
+
+val dtxn_prepare : ?token:string -> t -> gtid:int -> bool
+(** Phase 1: force the open transaction's redo records, the optional
+    idempotency [token] and a [Prepare gtid] marker to the WAL, keeping the
+    transaction open and its fate undecided.  Returns [false] (read-only
+    vote) when there is nothing to force — the transaction commits locally
+    on the spot and drops out of the protocol.  The token registers only
+    when the chunk later commits. *)
+
+val dtxn_commit : t -> gtid:int -> unit
+(** Phase 2, commit: append the standalone completion marker, commit the
+    local transaction and register its token.  Raises [Invalid_argument]
+    if [gtid] was not prepared. *)
+
+val dtxn_abort : t -> gtid:int -> unit
+(** Abort at any point before {!dtxn_commit}: roll back the local
+    transaction (if still open) and forget the prepared entry.  Appends
+    {e no} WAL record — under presumed abort the absence of a decision is
+    the abort record. *)
+
+val dtxn_commit_1pc : ?token:string -> t -> gtid:int -> unit
+(** Single-participant fast path: commit the open transaction as one plain
+    [Begin gtid .. Commit gtid] chunk under the coordinator-allocated id,
+    skipping PREPARE and the decision record entirely. *)
+
+val prepared_txns : t -> int list
+(** Gtids forced by {!dtxn_prepare} and still awaiting their decision,
+    ascending.  While non-empty, checkpointing is suppressed: truncating
+    the log would discard a forced chunk the coordinator may yet commit. *)
+
+val next_txn_id : t -> int
+(** The transaction-id high-water mark (next id this database would
+    allocate).  0 when durability is off. *)
 
 val exec : t -> Sloth_sql.Ast.stmt -> outcome
 (** Execute any statement, including BEGIN / COMMIT / ROLLBACK.  Outside an

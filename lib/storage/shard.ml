@@ -1,0 +1,690 @@
+(* Hash-partitioned storage: N independent durable Database engines behind
+   one Database-shaped facade.
+
+   Rows live on the shard owning their primary key ([Wal.checksum pk mod N];
+   PK-less tables are pinned to shard 0), DDL broadcasts to every shard, and
+   every write runs as a *distributed transaction* under a coordinator-
+   allocated global id — never as a shard-local autocommit — so a shard's
+   WAL can only ever contain ids the coordinator's decision log knows.
+   Cross-shard batches commit with presumed-abort two-phase commit on the
+   shards' own WALs: PREPARE forces each participant's redo, the decision
+   log append is the commit point, and recovery resolves prepared-but-
+   undecided chunks through {!Two_pc}.
+
+   A single-shard deployment bypasses all of this: every entry point
+   degenerates to a direct call on the one engine, so [shards = 1] is
+   byte-identical to the unsharded database. *)
+
+module Ast = Sloth_sql.Ast
+module Fault = Sloth_net.Fault
+
+type stats = {
+  two_pc_commits : int;
+  one_pc_commits : int;
+  dtxn_aborts : int;
+  gathered_reads : int;
+  fanout_writes : int;
+  decisions : int;
+}
+
+type counters = {
+  mutable c_2pc : int;
+  mutable c_1pc : int;
+  mutable c_aborts : int;
+  mutable c_gathers : int;
+  mutable c_fanout : int;
+}
+
+(* One open distributed transaction: the shards whose local transaction it
+   opened, in touch order (phase 1 runs in this order, which makes the
+   fault-injection trip sequence of a commit deterministic). *)
+type dtxn = { mutable touched : int list }
+
+type t = {
+  dbs : Database.t array;
+  coord : Two_pc.t;
+  mutable fault : Fault.t option;
+  mutable cur : dtxn option;
+  ctr : counters;
+}
+
+let error fmt = Format.kasprintf (fun s -> raise (Database.Sql_error s)) fmt
+
+let create ?cost ?checkpoint_every ~shards () =
+  if shards < 1 then invalid_arg "Shard.create: need at least one shard";
+  let coord = Two_pc.create ~log:(Wal.mem ()) in
+  let dbs =
+    Array.init shards (fun _ ->
+        let db = Database.create ?cost () in
+        Database.enable_durability ?checkpoint_every ~wal:(Wal.mem ())
+          ~checkpoint:(Wal.mem ()) db;
+        db)
+  in
+  (* Every shard resolves in-doubt chunks through the shared decision log:
+     the resolver closure stays valid across any number of recoveries. *)
+  Array.iter
+    (fun db ->
+      Database.set_in_doubt_resolver db
+        (Some (fun gtid -> Two_pc.decided_commit coord gtid)))
+    dbs;
+  {
+    dbs;
+    coord;
+    fault = None;
+    cur = None;
+    ctr = { c_2pc = 0; c_1pc = 0; c_aborts = 0; c_gathers = 0; c_fanout = 0 };
+  }
+
+let n_shards t = Array.length t.dbs
+let shard_db t i = t.dbs.(i)
+let coordinator t = t.coord
+let set_fault t f = t.fault <- f
+let set_planner t on = Array.iter (fun db -> Database.set_planner db on) t.dbs
+
+let stats t =
+  {
+    two_pc_commits = t.ctr.c_2pc;
+    one_pc_commits = t.ctr.c_1pc;
+    dtxn_aborts = t.ctr.c_aborts;
+    gathered_reads = t.ctr.c_gathers;
+    fanout_writes = t.ctr.c_fanout;
+    decisions = Two_pc.n_decisions t.coord;
+  }
+
+(* --- routing ------------------------------------------------------------- *)
+
+let home t key = Wal.checksum key mod Array.length t.dbs
+
+let schema_of t name =
+  match Database.table t.dbs.(0) name with
+  | Some tbl -> Some (Table.schema tbl)
+  | None -> None
+
+let pk_of t name = Option.bind (schema_of t name) Schema.primary_key
+
+(* Routing needs constant key values; the INSERT/UPDATE/DELETE literals the
+   workloads produce are covered, anything fancier refuses loudly rather
+   than routing wrong. *)
+let rec const_value = function
+  | Ast.Lit l -> Some (Value.of_literal l)
+  | Ast.Unop (Ast.Neg, e) -> (
+      match const_value e with
+      | Some (Value.Int n) -> Some (Value.Int (-n))
+      | Some (Value.Float f) -> Some (Value.Float (-.f))
+      | _ -> None)
+  | _ -> None
+
+(* Owning shard of one INSERT row.  Missing table / missing PK value route
+   to shard 0 so the executor raises the same error as unsharded. *)
+let insert_shard t ~table ~columns row =
+  match schema_of t table with
+  | None -> 0
+  | Some schema -> (
+      match Schema.primary_key schema with
+      | None -> 0 (* PK-less tables are pinned *)
+      | Some pk -> (
+          let cols =
+            if columns = [] then
+              List.map (fun (c : Schema.column) -> c.name) (Schema.columns schema)
+            else columns
+          in
+          let rec find cs vs =
+            match (cs, vs) with
+            | c :: _, v :: _ when c = pk -> Some v
+            | _ :: cs, _ :: vs -> find cs vs
+            | _ -> None
+          in
+          match find cols row with
+          | None -> 0
+          | Some e -> (
+              match const_value e with
+              | Some v -> home t (Value.to_string v)
+              | None ->
+                  error
+                    "sharded insert into %s: the primary-key value must be a \
+                     constant"
+                    table)))
+
+(* Extract [pk = constant] from a conjunction: any row matching the WHERE
+   then has that key, so it can only live on the owning shard.  Anything
+   else (OR at the top, range predicates, no PK equality) broadcasts — the
+   shards partition the rows, so running the statement everywhere is always
+   correct, just wider. *)
+let rec pk_eq_value ~table ~pk = function
+  | Ast.Binop (Ast.And, a, b) -> (
+      match pk_eq_value ~table ~pk a with
+      | Some v -> Some v
+      | None -> pk_eq_value ~table ~pk b)
+  | Ast.Binop (Ast.Eq, Ast.Col (q, c), e)
+  | Ast.Binop (Ast.Eq, e, Ast.Col (q, c)) -> (
+      match e with
+      | _ when c = pk && (q = None || q = Some table) -> const_value e
+      | _ -> None)
+  | _ -> None
+
+let route_by_pk t table where =
+  match pk_of t table with
+  | None -> Some 0 (* pinned (or unknown: shard 0 raises the real error) *)
+  | Some pk -> (
+      match where with
+      | None -> None
+      | Some w -> (
+          match pk_eq_value ~table ~pk w with
+          | Some v -> Some (home t (Value.to_string v))
+          | None -> None))
+
+(* --- distributed transactions -------------------------------------------- *)
+
+let ensure_touched t d s =
+  if not (List.mem s d.touched) then begin
+    Database.dtxn_begin t.dbs.(s);
+    d.touched <- d.touched @ [ s ]
+  end
+
+let decide ?target t =
+  match t.fault with
+  | None -> Fault.Deliver 0.0
+  | Some f -> Fault.decide ?target f
+
+(* Simulated whole-process crash: the coordinator recovers its decision log
+   first, then every shard recovers (resolving in-doubt chunks through the
+   fresh decision table), then the gtid allocator clears every replayed
+   id.  Shard high-water marks cover aborted prepares too — a dead
+   [Begin .. Prepare] chunk still bumps its shard's next id — so no gtid
+   with surviving log presence is ever reallocated. *)
+let crash_restart t =
+  t.cur <- None;
+  Two_pc.recover t.coord;
+  Array.iter Database.crash_restart t.dbs;
+  Array.iter (fun db -> Two_pc.ensure_next t.coord (Database.next_txn_id db)) t.dbs
+
+let crash_shard t i = Database.crash_restart t.dbs.(i)
+
+let rollback_dtxn t d =
+  t.cur <- None;
+  List.iter (fun s -> Database.dtxn_abort t.dbs.(s) ~gtid:(-1)) d.touched;
+  t.ctr.c_aborts <- t.ctr.c_aborts + 1
+
+(* Commit the open distributed transaction.  Fault decision points (all
+   no-ops without an installed fault plan):
+     - one per touched shard, target [Shard s], in touch order (phase 1);
+     - one with target [Coordinator] (the decision), unless every
+       participant voted read-only;
+     - one per participant, target [Shard s] (phase 2 / ack).
+   A commit over P writing shards therefore consumes exactly 2P+1 decision
+   points, which lets the crash-point fuzz script a window at any exact
+   protocol step.  Only [Server_crash] failures are meaningful here; the
+   leg distinguishes dying before ([Request]) or after (anything else) the
+   step's durable append. *)
+let commit_dtxn ?token t d =
+  t.cur <- None;
+  let gtid = Two_pc.alloc_gtid t.coord in
+  let touched =
+    match (d.touched, token) with
+    | [], Some _ ->
+        (* A batch with no writes still carries an idempotency token that
+           must survive a crash: force it through shard 0. *)
+        Database.dtxn_begin t.dbs.(0);
+        [ 0 ]
+    | ts, _ -> ts
+  in
+  match touched with
+  | [] -> ()
+  | [ s ] -> (
+      (* Single participant: 1PC fast path — one plain committed chunk
+         under the coordinator-allocated id, no PREPARE, no decision. *)
+      match decide ~target:(Fault.Shard s) t with
+      | Fault.Fail (Fault.Server_crash, Fault.Request) ->
+          Database.crash_restart t.dbs.(s);
+          t.ctr.c_aborts <- t.ctr.c_aborts + 1;
+          error "shard %d crashed before commit" s
+      | Fault.Fail (Fault.Server_crash, _) ->
+          (* The chunk reached the log before the crash: it is committed,
+             and recovery replays it. *)
+          Database.dtxn_commit_1pc ?token t.dbs.(s) ~gtid;
+          Database.crash_restart t.dbs.(s);
+          t.ctr.c_1pc <- t.ctr.c_1pc + 1
+      | _ ->
+          Database.dtxn_commit_1pc ?token t.dbs.(s) ~gtid;
+          t.ctr.c_1pc <- t.ctr.c_1pc + 1)
+  | first :: _ ->
+      (* Phase 1: force PREPARE on every touched shard.  The idempotency
+         token rides on the first touched shard only — one durable copy is
+         enough, and [token_applied] checks every shard. *)
+      let prepared = ref [] in
+      let abort_msg = ref None in
+      List.iter
+        (fun s ->
+          if !abort_msg = None then
+            let tok = if s = first then token else None in
+            match decide ~target:(Fault.Shard s) t with
+            | Fault.Fail (Fault.Server_crash, Fault.Request) ->
+                (* Died before forcing PREPARE: the volatile transaction is
+                   gone — global abort. *)
+                Database.crash_restart t.dbs.(s);
+                abort_msg := Some (Printf.sprintf "shard %d crashed before prepare" s)
+            | Fault.Fail (Fault.Server_crash, _) ->
+                (* Died after forcing PREPARE but before the vote reached
+                   the coordinator: still a global abort; the forced chunk
+                   stays in doubt until recovery presumed-aborts it. *)
+                ignore (Database.dtxn_prepare ?token:tok t.dbs.(s) ~gtid : bool);
+                Database.crash_restart t.dbs.(s);
+                abort_msg := Some (Printf.sprintf "shard %d crashed during prepare" s)
+            | _ ->
+                if Database.dtxn_prepare ?token:tok t.dbs.(s) ~gtid then
+                  prepared := !prepared @ [ s ])
+        touched;
+      (match !abort_msg with
+      | Some msg ->
+          List.iter (fun s -> Database.dtxn_abort t.dbs.(s) ~gtid) touched;
+          t.ctr.c_aborts <- t.ctr.c_aborts + 1;
+          error "%s" msg
+      | None -> ());
+      let participants = !prepared in
+      if participants = [] then ()
+        (* every shard voted read-only and already committed locally *)
+      else begin
+        match decide ~target:Fault.Coordinator t with
+        | Fault.Fail (Fault.Server_crash, Fault.Request) ->
+            (* Whole process died before the commit point: presumed abort.
+               Recovery finds the prepared chunks, the decision log knows
+               nothing, every shard discards them. *)
+            crash_restart t;
+            t.ctr.c_aborts <- t.ctr.c_aborts + 1;
+            error "coordinator crashed before the commit decision"
+        | Fault.Fail (Fault.Server_crash, _) ->
+            (* The decision reached the log, then the process died: the
+               transaction is committed, and recovery finishes phase 2 from
+               the decision log on every participant. *)
+            Two_pc.log_commit t.coord ~gtid ~participants;
+            crash_restart t;
+            t.ctr.c_2pc <- t.ctr.c_2pc + 1
+        | _ ->
+            Two_pc.log_commit t.coord ~gtid ~participants;
+            (* Phase 2: completion markers.  A participant dying here is
+               harmless — its recovery resolves the in-doubt chunk as
+               committed through the decision log. *)
+            List.iter
+              (fun s ->
+                match decide ~target:(Fault.Shard s) t with
+                | Fault.Fail (Fault.Server_crash, _) ->
+                    Database.crash_restart t.dbs.(s)
+                | _ -> Database.dtxn_commit t.dbs.(s) ~gtid)
+              participants;
+            t.ctr.c_2pc <- t.ctr.c_2pc + 1
+      end
+
+(* --- reads --------------------------------------------------------------- *)
+
+let add_unique acc x = if List.mem x acc then acc else acc @ [ x ]
+
+let rec expr_tables acc = function
+  | Ast.Lit _ | Ast.Col _ -> acc
+  | Ast.Binop (_, a, b) -> expr_tables (expr_tables acc a) b
+  | Ast.Unop (_, e) -> expr_tables acc e
+  | Ast.In_list (e, es) -> List.fold_left expr_tables (expr_tables acc e) es
+  | Ast.In_select (e, s) -> select_tables (expr_tables acc e) s
+  | Ast.Is_null { e; _ } -> expr_tables acc e
+  | Ast.Like (e, _) -> expr_tables acc e
+  | Ast.Between { e; lo; hi } ->
+      expr_tables (expr_tables (expr_tables acc e) lo) hi
+  | Ast.Agg (_, eo) -> (
+      match eo with None -> acc | Some e -> expr_tables acc e)
+
+and select_tables acc (s : Ast.select) =
+  let acc =
+    match s.sel_from with None -> acc | Some (tbl, _) -> add_unique acc tbl
+  in
+  let acc =
+    List.fold_left (fun acc j -> add_unique acc j.Ast.j_table) acc s.sel_joins
+  in
+  let acc =
+    List.fold_left
+      (fun acc it ->
+        match it with Ast.Star -> acc | Ast.Sel_expr (e, _) -> expr_tables acc e)
+      acc s.sel_items
+  in
+  let acc =
+    match s.sel_where with None -> acc | Some e -> expr_tables acc e
+  in
+  let acc = List.fold_left expr_tables acc s.sel_group_by in
+  let acc =
+    match s.sel_having with None -> acc | Some e -> expr_tables acc e
+  in
+  List.fold_left (fun acc o -> expr_tables acc o.Ast.o_expr) acc s.sel_order_by
+
+let plain_select name =
+  {
+    Ast.sel_distinct = false;
+    sel_items = [ Ast.Star ];
+    sel_from = Some (name, None);
+    sel_joins = [];
+    sel_where = None;
+    sel_group_by = [];
+    sel_having = None;
+    sel_order_by = [];
+    sel_limit = None;
+    sel_offset = None;
+  }
+
+(* Cross-shard read path: gather every referenced table whole (one
+   [SELECT *] per table per shard, through the shard's normal read path so
+   scan work is costed), load the union into a scratch engine, and run the
+   original statements there — joins, aggregates and subqueries then just
+   work.  The gather cost and scan count are folded into the first
+   statement's outcome.  No WHERE pushdown: the gathered tables are shared
+   by every statement of the flush, and per-statement filters would
+   duplicate or drop rows for the others.  Row order within a table is
+   shard-concatenation order, so a cross-shard-count comparison of result
+   sets must be order-insensitive unless the query orders explicitly. *)
+let exec_reads t selects =
+  if Array.length t.dbs = 1 then Database.exec_reads t.dbs.(0) selects
+  else
+    let tables = List.fold_left select_tables [] selects in
+    let known = List.filter (fun n -> schema_of t n <> None) tables in
+    let pinned_only =
+      List.for_all (fun n -> pk_of t n = None) known && known = tables
+    in
+    if pinned_only then Database.exec_reads t.dbs.(0) selects
+    else begin
+      t.ctr.c_gathers <- t.ctr.c_gathers + 1;
+      let scratch = Database.create ~cost:(Database.cost_model t.dbs.(0)) () in
+      Database.set_planner scratch (Database.planner_enabled t.dbs.(0));
+      List.iter
+        (fun name ->
+          match Database.table t.dbs.(0) name with
+          | None -> ()
+          | Some tbl ->
+              Database.create_table scratch (Table.schema tbl);
+              List.iter
+                (fun c -> Database.create_index scratch ~table:name ~column:c)
+                (Table.secondary_columns tbl);
+              List.iter
+                (fun c ->
+                  Database.create_ordered_index scratch ~table:name ~column:c)
+                (Table.ordered_columns tbl))
+        known;
+      let gather_cost = ref 0.0 and gather_scanned = ref 0 in
+      Array.iter
+        (fun db ->
+          if known <> [] then
+            List.iter2
+              (fun name ((o : Database.outcome), scanned) ->
+                gather_cost := !gather_cost +. o.cost_ms;
+                gather_scanned := !gather_scanned + scanned;
+                match Database.table scratch name with
+                | None -> ()
+                | Some stbl ->
+                    List.iter
+                      (fun row -> ignore (Table.insert stbl row : Table.rid))
+                      (Result_set.rows o.rs))
+              known
+              (Database.exec_reads db (List.map plain_select known)))
+        t.dbs;
+      List.mapi
+        (fun i ((o : Database.outcome), scanned) ->
+          if i = 0 then
+            ( { o with cost_ms = o.cost_ms +. !gather_cost },
+              scanned + !gather_scanned )
+          else (o, scanned))
+        (Database.exec_reads scratch selects)
+    end
+
+(* --- statement execution ------------------------------------------------- *)
+
+let fixed_outcome t =
+  {
+    Database.rs = Result_set.empty;
+    rows_affected = 0;
+    cost_ms = (Database.cost_model t.dbs.(0)).Cost.fixed_ms;
+  }
+
+let merge_outcomes (outs : Database.outcome list) =
+  List.fold_left
+    (fun (acc : Database.outcome) (o : Database.outcome) ->
+      {
+        acc with
+        rows_affected = acc.rows_affected + o.rows_affected;
+        cost_ms = acc.cost_ms +. o.cost_ms;
+      })
+    { Database.rs = Result_set.empty; rows_affected = 0; cost_ms = 0.0 }
+    outs
+
+let run_write_on t d s stmt =
+  ensure_touched t d s;
+  Database.exec t.dbs.(s) stmt
+
+let broadcast_write t d stmt =
+  t.ctr.c_fanout <- t.ctr.c_fanout + 1;
+  merge_outcomes
+    (List.init (Array.length t.dbs) (fun s -> run_write_on t d s stmt))
+
+(* Route one write inside the open distributed transaction [d]. *)
+let run_write t d stmt =
+  match stmt with
+  | Ast.Insert { table; columns; rows } -> (
+      let groups = Hashtbl.create 4 and order = ref [] in
+      List.iter
+        (fun row ->
+          let s = insert_shard t ~table ~columns row in
+          if not (Hashtbl.mem groups s) then order := !order @ [ s ];
+          Hashtbl.replace groups s
+            (row :: (Option.value ~default:[] (Hashtbl.find_opt groups s))))
+        rows;
+      match !order with
+      | [] -> run_write_on t d 0 stmt (* empty INSERT: surface shard 0's error *)
+      | [ s ] -> run_write_on t d s stmt
+      | order ->
+          merge_outcomes
+            (List.map
+               (fun s ->
+                 let rows = List.rev (Hashtbl.find groups s) in
+                 run_write_on t d s (Ast.Insert { table; columns; rows }))
+               order))
+  | Ast.Update { table; set; where } -> (
+      (match pk_of t table with
+      | Some pk when List.mem_assoc pk set ->
+          error "sharded update may not modify the primary key %s.%s" table pk
+      | _ -> ());
+      match route_by_pk t table where with
+      | Some s -> run_write_on t d s stmt
+      | None -> broadcast_write t d stmt)
+  | Ast.Delete { table; where } -> (
+      match route_by_pk t table where with
+      | Some s -> run_write_on t d s stmt
+      | None -> broadcast_write t d stmt)
+  | _ -> assert false
+
+let exec t stmt =
+  if Array.length t.dbs = 1 then Database.exec t.dbs.(0) stmt
+  else
+    match stmt with
+    | Ast.Begin_txn ->
+        if t.cur <> None then error "nested transactions are not supported";
+        t.cur <- Some { touched = [] };
+        fixed_outcome t
+    | Ast.Commit ->
+        (match t.cur with Some d -> commit_dtxn t d | None -> ());
+        fixed_outcome t
+    | Ast.Rollback ->
+        (match t.cur with Some d -> rollback_dtxn t d | None -> ());
+        fixed_outcome t
+    | Ast.Select sel -> (
+        match exec_reads t [ sel ] with
+        | [ (o, _) ] -> o
+        | _ -> assert false)
+    | Ast.Create_table _ ->
+        (* DDL broadcasts so every shard's catalog (and WAL) knows the
+           table; the records are standalone and id-free. *)
+        merge_outcomes
+          (Array.to_list (Array.map (fun db -> Database.exec db stmt) t.dbs))
+    | Ast.Insert _ | Ast.Update _ | Ast.Delete _ -> (
+        match t.cur with
+        | Some d -> run_write t d stmt
+        | None -> (
+            (* autocommit: an implicit single-statement distributed txn *)
+            let d = { touched = [] } in
+            t.cur <- Some d;
+            match run_write t d stmt with
+            | o ->
+                commit_dtxn t d;
+                o
+            | exception e ->
+                rollback_dtxn t d;
+                raise e))
+
+let exec_batch t stmts =
+  if Array.length t.dbs = 1 then Database.exec_batch t.dbs.(0) stmts
+  else
+    let flush_reads pending acc =
+      match pending with
+      | [] -> acc
+      | _ ->
+          let outs = exec_reads t (List.rev pending) in
+          List.rev_append (List.map fst outs) acc
+    in
+    let rec go pending acc = function
+      | [] -> List.rev (flush_reads pending acc)
+      | Ast.Select s :: rest -> go (s :: pending) acc rest
+      | stmt :: rest ->
+          let acc = flush_reads pending acc in
+          go [] (exec t stmt :: acc) rest
+    in
+    go [] [] stmts
+
+let atomically ?token t f =
+  if Array.length t.dbs = 1 then Database.atomically ?token t.dbs.(0) f
+  else
+    match t.cur with
+    | Some _ -> f () (* the client's transaction already provides atomicity *)
+    | None -> (
+        let d = { touched = [] } in
+        t.cur <- Some d;
+        match f () with
+        | v ->
+            commit_dtxn ?token t d;
+            v
+        | exception e ->
+            rollback_dtxn t d;
+            raise e)
+
+let in_txn t =
+  if Array.length t.dbs = 1 then Database.in_txn t.dbs.(0) else t.cur <> None
+
+let token_applied t k = Array.exists (fun db -> Database.token_applied db k) t.dbs
+let current_lsn t = Array.fold_left (fun a db -> a + Database.current_lsn db) 0 t.dbs
+let cost_model t = Database.cost_model t.dbs.(0)
+
+let recovery_totals t =
+  Array.fold_left
+    (fun (txns, records, idc, ida) db ->
+      match Database.last_recovery db with
+      | None -> (txns, records, idc, ida)
+      | Some (r : Database.recovery_stats) ->
+          ( txns + r.replayed_txns,
+            records + r.replayed_records,
+            idc + r.in_doubt_committed,
+            ida + r.in_doubt_aborted ))
+    (0, 0, 0, 0) t.dbs
+
+(* --- DDL convenience ----------------------------------------------------- *)
+
+let create_table t schema = Array.iter (fun db -> Database.create_table db schema) t.dbs
+
+let create_index t ~table ~column =
+  Array.iter (fun db -> Database.create_index db ~table ~column) t.dbs
+
+let create_ordered_index t ~table ~column =
+  Array.iter (fun db -> Database.create_ordered_index db ~table ~column) t.dbs
+
+let exec_sql t sql =
+  match Sloth_sql.Parser.parse sql with
+  | stmt -> exec t stmt
+  | exception Sloth_sql.Parser.Error msg -> error "parse error: %s" msg
+
+let query t sql = (exec_sql t sql).Database.rs
+
+(* --- fingerprints -------------------------------------------------------- *)
+
+let shard_fingerprints t = Array.to_list (Array.map Database.fingerprint t.dbs)
+
+(* Order-insensitive digest of the merged logical contents: table names in
+   catalog order (DDL broadcast keeps every catalog identical), rows of all
+   shards rendered and sorted.  Equal across different shard counts — and
+   equal to {!logical_fingerprint_db} of an unsharded engine holding the
+   same data — whereas {!Database.fingerprint} is heap-layout-exact and
+   only comparable at the same shard count. *)
+let logical_of_dbs dbs =
+  let b = Buffer.create 1024 in
+  let names = match dbs with [] -> [] | db :: _ -> Database.table_names db in
+  List.iter
+    (fun name ->
+      Buffer.add_string b name;
+      Buffer.add_char b '\n';
+      let rows = ref [] in
+      List.iter
+        (fun db ->
+          match Database.table db name with
+          | None -> ()
+          | Some tbl ->
+              Table.iter
+                (fun _ row ->
+                  rows :=
+                    String.concat "|"
+                      (Array.to_list (Array.map Value.to_string row))
+                    :: !rows)
+                tbl)
+        dbs;
+      List.iter
+        (fun r ->
+          Buffer.add_string b r;
+          Buffer.add_char b '\n')
+        (List.sort String.compare !rows))
+    names;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let logical_fingerprint t = logical_of_dbs (Array.to_list t.dbs)
+let logical_fingerprint_db db = logical_of_dbs [ db ]
+
+(* --- audit --------------------------------------------------------------- *)
+
+(* Cross-check every shard's WAL against the decision log.  Sound at
+   quiescence (no transaction mid-protocol, recoveries completed):
+     - a phase-2 completion marker for a gtid the decision log never
+       committed means a participant committed without a decision;
+     - a still-in-doubt chunk whose gtid the decision log *did* commit on
+       this shard means a decided transaction was left unapplied (recovery
+       should have resolved it). *)
+let audit t =
+  let violations = ref [] in
+  let add fmt =
+    Format.kasprintf (fun s -> violations := !violations @ [ s ]) fmt
+  in
+  Array.iteri
+    (fun si db ->
+      let pending = ref None in
+      let in_doubt = ref [] in
+      List.iter
+        (fun r ->
+          match (r, !pending) with
+          | Wal.Begin id, _ -> pending := Some id
+          | Wal.Commit id, Some id' when id = id' -> pending := None
+          | Wal.Prepare id, Some id' when id = id' ->
+              in_doubt := !in_doubt @ [ id ];
+              pending := None
+          | Wal.Commit id, None when List.mem id !in_doubt ->
+              if not (Two_pc.decided_commit t.coord id) then
+                add "shard %d: completion marker for undecided gtid %d" si id;
+              in_doubt := List.filter (fun g -> g <> id) !in_doubt
+          | _ -> ())
+        (Database.wal_records db);
+      List.iter
+        (fun id ->
+          if Two_pc.decided_commit t.coord id then
+            match Two_pc.participants t.coord id with
+            | Some ps when List.mem si ps ->
+                add "shard %d: decided COMMIT gtid %d still in doubt" si id
+            | _ -> ())
+        !in_doubt)
+    t.dbs;
+  !violations

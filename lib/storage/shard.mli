@@ -1,0 +1,142 @@
+(** Hash-partitioned storage with crash-safe two-phase commit.
+
+    A {!t} fronts N independent durable {!Database} engines with the same
+    statement-level API the drivers already speak.  Rows live on the shard
+    owning their primary key ([Wal.checksum (Value.to_string pk) mod N];
+    PK-less tables are pinned to shard 0), DDL broadcasts everywhere, and
+    every write runs as a distributed transaction under a
+    coordinator-allocated global id.  Cross-shard batches commit with
+    presumed-abort two-phase commit: phase 1 forces each participant's redo
+    chunk ([Begin .. Prepare]) to that shard's own WAL, the append of a
+    [Decision] record to the {!Two_pc} log is the commit point, phase 2
+    appends per-participant completion markers.  A crash at {e any}
+    protocol step leaves no shard half-applied: recovery resolves
+    prepared-but-undecided chunks through the decision log, and no decision
+    means abort.
+
+    With [shards = 1] every entry point degenerates to a direct call on the
+    single engine — no gtids, no decision log, no gather reads — so a
+    single-shard deployment behaves byte-identically to an unsharded
+    {!Database}.
+
+    Known restrictions: an UPDATE may not modify a sharded table's primary
+    key (the row would have to migrate between shards), and cross-shard
+    reads gather whole referenced tables (no WHERE pushdown) into a scratch
+    engine, so their row order is shard-concatenation order — equal to the
+    unsharded engine's only as a multiset unless the query sorts. *)
+
+type t
+
+type stats = {
+  two_pc_commits : int;  (** distributed commits that ran full 2PC *)
+  one_pc_commits : int;  (** single-participant fast-path commits *)
+  dtxn_aborts : int;  (** distributed transactions rolled back *)
+  gathered_reads : int;  (** read flushes that took the gather path *)
+  fanout_writes : int;  (** writes broadcast to every shard (no PK route) *)
+  decisions : int;  (** COMMIT records in the coordinator's decision log *)
+}
+
+val create : ?cost:Cost.model -> ?checkpoint_every:int -> shards:int -> unit -> t
+(** [shards] durable engines over in-memory WAL + checkpoint stores (the
+    stores survive simulated crashes, exactly like the recovery
+    experiments' substrate), plus a coordinator decision log.  Every
+    shard's in-doubt resolver is wired to the decision log.  Raises
+    [Invalid_argument] when [shards < 1]. *)
+
+val n_shards : t -> int
+
+val shard_db : t -> int -> Database.t
+(** Direct access to one shard's engine (tests and the harness only). *)
+
+val coordinator : t -> Two_pc.t
+
+val set_fault : t -> Sloth_net.Fault.t option -> unit
+(** Install the protocol-level fault state consulted at every 2PC decision
+    point.  A commit over P writing shards consumes exactly 2P+1
+    {!Sloth_net.Fault.decide} calls — P phase-1 points (target [Shard s],
+    in touch order), one decision point (target [Coordinator]), P phase-2
+    points (target [Shard s]) — and a single-participant commit consumes
+    exactly one (target [Shard s]), so a scripted window can hit any exact
+    protocol step.  Only [Server_crash] decisions act here (leg [Request] =
+    before that step's durable append, anything else = after); other
+    failures deliver. *)
+
+val set_planner : t -> bool -> unit
+val stats : t -> stats
+
+val exec : t -> Sloth_sql.Ast.stmt -> Database.outcome
+(** Route and execute one statement.  Writes outside a transaction
+    autocommit as single-statement distributed transactions; BEGIN / COMMIT
+    / ROLLBACK drive an explicit distributed transaction.  Raises
+    {!Database.Sql_error} like the unsharded engine — including
+    "shard/coordinator crashed" errors when an installed fault plan kills a
+    protocol step before its commit point. *)
+
+val exec_batch : t -> Sloth_sql.Ast.stmt list -> Database.outcome list
+(** Mirror of {!Database.exec_batch}: maximal runs of consecutive SELECTs
+    execute together (through the gather path when they touch sharded
+    tables), writes act as barriers. *)
+
+val exec_reads :
+  t -> Sloth_sql.Ast.select list -> (Database.outcome * int) list
+(** Mirror of {!Database.exec_reads}.  Reads touching only pinned tables
+    run on shard 0 directly; anything else gathers every referenced table
+    (deduplicated across the whole group) from all shards into a scratch
+    engine and runs the statements there, folding the gather's cost and
+    scan count into the first statement's outcome. *)
+
+val atomically : ?token:string -> t -> (unit -> 'a) -> 'a
+(** Mirror of {!Database.atomically}: run [f] inside a distributed
+    transaction and two-phase-commit it (1PC when a single shard was
+    written).  [token] is recorded durably and atomically with the
+    transaction — on the first touched shard, or forced through shard 0
+    when the transaction wrote nowhere — so {!token_applied} answers "did
+    this batch apply?" after any crash. *)
+
+val in_txn : t -> bool
+
+val token_applied : t -> string -> bool
+(** True if the token was durably recorded on {e any} shard. *)
+
+val current_lsn : t -> int
+(** Sum of the shards' LSNs (a monotone progress measure, not a global
+    order). *)
+
+val cost_model : t -> Cost.model
+
+val crash_restart : t -> unit
+(** Simulated whole-process crash: the coordinator recovers its decision
+    log (truncating a torn decision tail), then every shard recovers —
+    resolving in-doubt chunks through the fresh decision table — then the
+    gtid allocator is raised past every replayed id. *)
+
+val crash_shard : t -> int -> unit
+(** Crash and recover one shard only; the coordinator and the other shards
+    stay up. *)
+
+val recovery_totals : t -> int * int * int * int
+(** Summed over shards, from each engine's last recovery:
+    [(replayed_txns, replayed_records, in_doubt_committed,
+    in_doubt_aborted)]. *)
+
+val create_table : t -> Schema.t -> unit
+val create_index : t -> table:string -> column:string -> unit
+val create_ordered_index : t -> table:string -> column:string -> unit
+val exec_sql : t -> string -> Database.outcome
+val query : t -> string -> Result_set.t
+
+val shard_fingerprints : t -> string list
+(** Per-shard {!Database.fingerprint}s — heap-exact, comparable between two
+    deployments with the same shard count (the serial-replay oracle). *)
+
+val logical_fingerprint : t -> string
+(** Order-insensitive digest of the merged logical contents: equal across
+    shard counts, and equal to {!logical_fingerprint_db} of an unsharded
+    engine holding the same data. *)
+
+val logical_fingerprint_db : Database.t -> string
+
+val audit : t -> string list
+(** Cross-check every shard's WAL against the decision log; each violation
+    (a completion marker for an undecided gtid, or a decided-COMMIT chunk
+    left in doubt) is one message.  Sound at quiescence.  Empty = clean. *)

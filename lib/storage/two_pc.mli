@@ -1,0 +1,46 @@
+(** Coordinator side of two-phase commit: the durable decision log.
+
+    A {!t} wraps a {!Wal.store} holding only [Wal.Decision] records, one
+    per global transaction that {e committed}, listing its participant
+    shards.  Appending the decision record is the commit point of the whole
+    distributed transaction.  Aborts are never logged (presumed abort): a
+    participant recovering a prepared-but-undecided chunk asks
+    {!decided_commit}, and [false] — no decision survived — means abort.
+
+    Unlike a shard's data WAL, the decision log is never checkpoint-
+    truncated: it must outlive every prepared chunk that might still
+    consult it. *)
+
+type t
+
+val create : log:Wal.store -> t
+(** Attach (and recover from) a decision log.  A non-empty store is
+    scanned: a torn tail is truncated — the crash hit before that
+    transaction's commit point, so presumed abort covers it — and the
+    decision table and gtid high-water mark are rebuilt. *)
+
+val recover : t -> unit
+(** Re-run the attach-time scan, discarding volatile state.  Called on a
+    simulated whole-process crash {e before} the shards recover, so their
+    in-doubt resolvers consult the rebuilt decision table. *)
+
+val alloc_gtid : t -> int
+(** Allocate the next global transaction id.  Gtids are the {e only}
+    transaction ids a sharded deployment writes to participant WALs, so a
+    shard-local id can never collide with a decided gtid. *)
+
+val ensure_next : t -> int -> unit
+(** [ensure_next t n] raises the allocator's high-water mark to at least
+    [n]; used after recovery to clear every participant's replayed ids. *)
+
+val next_gtid : t -> int
+
+val log_commit : t -> gtid:int -> participants:int list -> unit
+(** The commit point: force the COMMIT decision for [gtid] to the log. *)
+
+val decided_commit : t -> int -> bool
+(** The in-doubt resolution query: did [gtid] commit? *)
+
+val participants : t -> int -> int list option
+val n_decisions : t -> int
+val log_size : t -> int

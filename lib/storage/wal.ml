@@ -206,6 +206,8 @@ type record =
   | Create_table of Schema.t
   | Create_index of { table : string; column : string; ordered : bool }
   | Token of string
+  | Prepare of int
+  | Decision of { gtid : int; participants : int list }
 
 let encode_record r =
   let b = Buffer.create 64 in
@@ -231,7 +233,15 @@ let encode_record r =
       Buffer.add_char b (if ordered then '\001' else '\000')
   | Token k ->
       Buffer.add_char b '\006';
-      Codec.put_string b k);
+      Codec.put_string b k
+  | Prepare id ->
+      Buffer.add_char b '\007';
+      Codec.put_int b id
+  | Decision { gtid; participants } ->
+      Buffer.add_char b '\008';
+      Codec.put_int b gtid;
+      Codec.put_int b (List.length participants);
+      List.iter (Codec.put_int b) participants);
   Codec.frame (Buffer.contents b)
 
 let encode records = String.concat "" (List.map encode_record records)
@@ -255,6 +265,13 @@ let decode_record payload =
         let ordered = Codec.get_byte r = '\001' in
         Create_index { table; column; ordered }
     | '\006' -> Token (Codec.get_string r)
+    | '\007' -> Prepare (Codec.get_int r)
+    | '\008' ->
+        let gtid = Codec.get_int r in
+        let n = Codec.get_int r in
+        if n < 0 || n > 4096 then raise Codec.Corrupt;
+        let participants = List.init n (fun _ -> Codec.get_int r) in
+        Decision { gtid; participants }
     | _ -> raise Codec.Corrupt
   in
   if not (Codec.at_end r) then raise Codec.Corrupt;

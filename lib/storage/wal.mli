@@ -44,6 +44,17 @@ type record =
   | Token of string
       (** idempotency token applied by the surrounding transaction; replay
           rebuilds the durable token registry from these. *)
+  | Prepare of int
+      (** two-phase commit, phase 1: closes a [Begin id .. Prepare id] chunk
+          whose redo records are forced to the log but {e not yet} committed.
+          Recovery holds such a chunk {e in doubt} until it sees a later
+          standalone [Commit id] (the phase-2 completion marker) or resolves
+          it through the coordinator's decision log — no decision means
+          abort (presumed abort). *)
+  | Decision of { gtid : int; participants : int list }
+      (** coordinator decision-log record: global transaction [gtid]
+          COMMITTED on [participants] (shard indices).  Aborts are never
+          logged — the absence of a decision {e is} the abort record. *)
 
 val encode : record list -> string
 (** One frame per record, concatenated.  A transaction's

@@ -87,6 +87,71 @@ let test_crash_counted_once_per_decision () =
   Alcotest.(check int) "scripted window of three counts three" 3
     (Fault.count g Fault.Server_crash)
 
+(* A window scoped to one component fires only on decision points that name
+   that component; everything else — other shards, the coordinator, untargeted
+   decisions — sails through, and the skipped trips still advance the shared
+   trip counter. *)
+let test_target_scoped_window () =
+  let f = Fault.create (Fault.plan ()) in
+  Fault.script ~target:(Fault.Shard 1) f ~first:1 ~last:99 Fault.Server_crash
+    Fault.Request;
+  let miss t =
+    match Fault.decide ?target:t f with
+    | Fault.Deliver _ -> ()
+    | Fault.Fail _ -> Alcotest.fail "window fired on a non-matching target"
+  in
+  miss (Some (Fault.Shard 0));
+  miss (Some Fault.Coordinator);
+  miss None;
+  miss (Some Fault.Any_target);
+  (match Fault.decide ~target:(Fault.Shard 1) f with
+  | Fault.Fail (Fault.Server_crash, Fault.Request) -> ()
+  | _ -> Alcotest.fail "window did not fire on its own target");
+  Alcotest.(check int) "one crash" 1 (Fault.count f Fault.Server_crash);
+  Alcotest.(check int) "five trips" 5 (Fault.trips f);
+  (* an unscoped window keeps firing regardless of target *)
+  let g = Fault.create (Fault.plan ()) in
+  Fault.script g ~first:1 ~last:3 Fault.Drop Fault.Response;
+  List.iter
+    (fun t ->
+      match Fault.decide ?target:t g with
+      | Fault.Fail (Fault.Drop, Fault.Response) -> ()
+      | _ -> Alcotest.fail "Any_target window must fire for every target")
+    [ Some (Fault.Shard 2); Some Fault.Coordinator; None ]
+
+(* Targets are consulted only by scripted windows: on the RNG path the draw
+   sequence of a seeded plan is bit-identical whether or not decision points
+   pass targets — enabling scoping can never perturb an existing seeded
+   experiment. *)
+let test_target_rng_neutrality () =
+  let targets =
+    [|
+      None;
+      Some (Fault.Shard 0);
+      Some Fault.Coordinator;
+      Some (Fault.Shard 3);
+      Some Fault.Any_target;
+    |]
+  in
+  let sequence with_targets =
+    let f = Fault.create (Fault.uniform ~seed:11 0.35) in
+    List.init 200 (fun i ->
+        if with_targets then
+          Fault.decide ?target:targets.(i mod Array.length targets) f
+        else Fault.decide f)
+  in
+  Alcotest.(check bool)
+    "targeted and untargeted draws identical" true
+    (sequence true = sequence false);
+  (* and at rate 0 nothing is drawn at all, targets or not *)
+  let quiet = Fault.create (Fault.plan ()) in
+  for i = 0 to 99 do
+    match Fault.decide ?target:targets.(i mod Array.length targets) quiet with
+    | Fault.Deliver _ -> ()
+    | Fault.Fail _ -> Alcotest.fail "quiet plan injected a failure"
+  done;
+  Alcotest.(check int) "nothing injected" 0 (Fault.injected quiet)
+
 (* --- the link under faults ----------------------------------------------- *)
 
 let test_rate_zero_timing_identical () =
@@ -378,6 +443,10 @@ let () =
           Alcotest.test_case "scripted window" `Quick test_scripted_window;
           Alcotest.test_case "crash counted once per decision" `Quick
             test_crash_counted_once_per_decision;
+          Alcotest.test_case "target-scoped window" `Quick
+            test_target_scoped_window;
+          Alcotest.test_case "targets never perturb the RNG" `Quick
+            test_target_rng_neutrality;
         ] );
       ( "link",
         [

@@ -367,6 +367,119 @@ let fuzz_wal_append_after_recovery =
         QCheck.Test.fail_reportf "expected %d new committed chunks" n_after;
       true)
 
+(* Property: two logical streams on separate stores — a data WAL carrying
+   [Begin .. Prepare/Commit] chunks and a decision log carrying [Decision]
+   records — never cross-corrupt, however their appends interleave.  Each
+   store scans to exactly what was appended to it, and a torn tail on one
+   (truncated to an arbitrary byte cut) still scans to a frame-aligned
+   prefix of its own stream while the other store stays byte-intact.  This
+   is the isolation the sharded deployment leans on: every shard's WAL and
+   the coordinator's decision log are independent failure domains. *)
+let fuzz_two_stream_isolation =
+  QCheck.Test.make ~count:200 ~name:"two-stream wal isolation"
+    QCheck.(
+      triple (1 -- 12) (int_bound 300) bool
+      |> set_print (fun (n, c, d) ->
+             Printf.sprintf "chunks=%d cut_back=%d tear_data=%b" n c d))
+    (fun (n_chunks, cut_back, tear_data) ->
+      let data = Wal.mem () and decisions = Wal.mem () in
+      let expect_data = ref [] and expect_dec = ref [] in
+      for i = 1 to n_chunks do
+        let chunk =
+          [
+            Wal.Begin i;
+            Wal.Set
+              {
+                table = "t";
+                rid = i;
+                row = Some [| Sloth_storage.Value.Int i |];
+              };
+          ]
+          @ (if i mod 4 = 0 then [ Wal.Token (Printf.sprintf "tok-%d" i) ]
+             else [])
+          @ [ (if i mod 3 = 0 then Wal.Prepare i else Wal.Commit i) ]
+        in
+        Wal.append_records data chunk;
+        expect_data := !expect_data @ chunk;
+        if i mod 2 = 0 then begin
+          let d = [ Wal.Decision { gtid = i; participants = [ 0; i mod 4 ] } ] in
+          Wal.append_records decisions d;
+          expect_dec := !expect_dec @ d
+        end
+      done;
+      let check_intact store expected label =
+        let recs, valid = Wal.scan (Wal.contents store) in
+        if recs <> expected then
+          QCheck.Test.fail_reportf "%s stream altered by the other" label;
+        if valid <> String.length (Wal.contents store) then
+          QCheck.Test.fail_reportf "%s stream does not scan to the end" label
+      in
+      check_intact data !expect_data "data";
+      check_intact decisions !expect_dec "decision";
+      (* tear one stream; the other must stay byte-intact *)
+      let victim, survivor, v_expect, s_expect =
+        if tear_data then (data, decisions, !expect_data, !expect_dec)
+        else (decisions, data, !expect_dec, !expect_data)
+      in
+      let full = Wal.contents victim in
+      let cut = max 0 (String.length full - cut_back) in
+      Wal.write_all victim (String.sub full 0 cut);
+      let torn_recs, torn_valid = Wal.scan (Wal.contents victim) in
+      let rec is_prefix p l =
+        match (p, l) with
+        | [], _ -> true
+        | x :: p', y :: l' -> x = y && is_prefix p' l'
+        | _ -> false
+      in
+      if not (is_prefix torn_recs v_expect) then
+        QCheck.Test.fail_reportf "torn scan is not a prefix of its stream";
+      if torn_valid > cut then
+        QCheck.Test.fail_reportf "torn scan claims more bytes than survived";
+      check_intact survivor s_expect "surviving";
+      true)
+
+(* The recovery counters are per-call deltas: each crash reports only the
+   work replayed beyond the previous recovery's watermark, and a checkpoint
+   (which truncates the log) resets it. *)
+let test_recovery_delta_stats () =
+  let db = Db.create () in
+  Db.enable_durability ~checkpoint_every:0 ~wal:(Wal.mem ())
+    ~checkpoint:(Wal.mem ()) db;
+  ignore
+    (Db.exec_sql db
+       "CREATE TABLE t (id INT NOT NULL, v TEXT, PRIMARY KEY (id))");
+  let insert i =
+    ignore
+      (Db.exec_sql db
+         (Printf.sprintf "INSERT INTO t (id, v) VALUES (%d, 'v%d')" i i))
+  in
+  let crash_delta () =
+    Db.crash_restart db;
+    match Db.last_recovery db with
+    | Some s -> (s.Db.replayed_txns, s.Db.replayed_records)
+    | None -> Alcotest.fail "no recovery stats"
+  in
+  insert 1;
+  insert 2;
+  insert 3;
+  let txns, records = crash_delta () in
+  Alcotest.(check int) "first crash replays the three commits" 3 txns;
+  Alcotest.(check bool) "and their records" true (records > 0);
+  Alcotest.(check (pair int int))
+    "second crash with no new work replays nothing" (0, 0) (crash_delta ());
+  insert 4;
+  insert 5;
+  Alcotest.(check int)
+    "only the two new commits count" 2
+    (fst (crash_delta ()));
+  Db.checkpoint_now db;
+  Alcotest.(check (pair int int))
+    "a checkpoint resets the watermark" (0, 0) (crash_delta ());
+  insert 6;
+  let t6, r6 = crash_delta () in
+  Alcotest.(check int) "and deltas resume after it" 1 t6;
+  Alcotest.(check bool) "with its records" true (r6 > 0)
+
 let () =
   Alcotest.run "recovery"
     [
@@ -379,10 +492,13 @@ let () =
           Alcotest.test_case "garbage resistant" `Quick
             test_wal_garbage_resistant;
           QCheck_alcotest.to_alcotest fuzz_wal_append_after_recovery;
+          QCheck_alcotest.to_alcotest fuzz_two_stream_isolation;
         ] );
       ( "recovery",
         [
           Alcotest.test_case "replays log" `Quick test_recovery_replays_log;
+          Alcotest.test_case "per-call delta stats" `Quick
+            test_recovery_delta_stats;
           Alcotest.test_case "from checkpoint" `Quick
             test_recovery_from_checkpoint;
           Alcotest.test_case "discards uncommitted" `Quick
