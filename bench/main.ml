@@ -125,6 +125,7 @@ let experiments =
     ( "throughput",
       fun () -> Throughput.served ~json:"BENCH_throughput.json" () );
     ("planner", fun () -> Planner_bench.planner ~json:"BENCH_planner.json" ());
+    ("mqo", fun () -> Mqo_bench.mqo ~json:"BENCH_mqo.json" ());
     ("appendix", Page_experiments.appendix);
     ("micro", micro);
   ]
@@ -179,13 +180,13 @@ let () =
     | [], Some _, _ | [], _, Some _ ->
         [] (* a knob alone: just its tracked summary *)
     | [], None, None ->
-        (* `recovery`, `failover`, `sharding` and `throughput` are opt-in:
-           the default run's output must not change when those subsystems
-           are idle *)
+        (* `recovery`, `failover`, `sharding`, `throughput` and `mqo` are
+           opt-in: the default run's output must not change when those
+           subsystems are idle *)
         List.filter
           (fun n ->
             n <> "recovery" && n <> "failover" && n <> "sharding"
-            && n <> "throughput")
+            && n <> "throughput" && n <> "mqo")
           (List.map fst experiments)
     | names, _, _ -> names
   in

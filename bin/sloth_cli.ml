@@ -178,44 +178,119 @@ let explain_cmd =
             "Show the plan the legacy first-match heuristics would pick \
              (the differential-oracle path) instead of the cost-based one.")
   in
-  let run (module A : Sloth_workload.App_sig.S) sql no_planner =
-    let db = Sloth_storage.Database.create () in
-    A.populate db;
-    match Sloth_sql.Parser.parse sql with
+  let split_stmts sql =
+    String.split_on_char ';' sql
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse_select src =
+    match Sloth_sql.Parser.parse src with
     | exception Sloth_sql.Parser.Error msg ->
         Printf.eprintf "parse error: %s\n" msg;
         exit 1
-    | Sloth_sql.Ast.Select s -> (
-        print_endline "Logical plan:";
-        print_endline
-          (Sloth_storage.Plan.logical_to_string (Sloth_storage.Planner.lower s));
-        let mode =
-          if no_planner then Sloth_storage.Executor.Direct
-          else Sloth_storage.Executor.Planned
-        in
-        match
-          Sloth_storage.Executor.plan_of_select
-            (Sloth_storage.Database.catalog db)
-            ~mode
-            ~model:(Sloth_storage.Database.cost_model db)
-            s
-        with
-        | phys ->
-            Printf.printf "\nPhysical plan (%s):\n"
-              (if no_planner then "legacy heuristics" else "cost-based");
-            print_endline (Sloth_storage.Plan.physical_to_string phys)
-        | exception Sloth_storage.Executor.Sql_error msg ->
-            Printf.eprintf "error: %s\n" msg;
-            exit 1)
+    | Sloth_sql.Ast.Select s -> s
     | _ ->
         Printf.eprintf "error: explain supports SELECT statements only\n";
         exit 1
+  in
+  (* Markers for the multi-statement form: how would the flush-level MQO
+     pass and the result cache treat each statement, were they submitted
+     as one coalesced read group?  A normalized duplicate of an earlier
+     statement executes zero times (and a repeat flush serves it from the
+     result cache); a same-shape plan rides an earlier statement's shared
+     pass. *)
+  let markers selects physs =
+    let keys =
+      List.map (fun s -> Sloth_sql.Normalize.key (Sloth_sql.Ast.Select s)) selects
+    in
+    let groups = Sloth_storage.Mqo.merge physs in
+    let group_of i =
+      List.find_opt
+        (fun (g : Sloth_storage.Mqo.group) -> List.mem i g.g_members)
+        groups
+    in
+    List.mapi
+      (fun i key ->
+        let dup =
+          List.find_index (fun k -> String.equal k key) keys
+          |> Option.get (* finds at worst i itself *)
+        in
+        if dup < i then
+          [ Printf.sprintf "[cache hit] normalized duplicate of statement \
+                            #%d; executes once, repeat flushes are served \
+                            from the result cache" (dup + 1) ]
+        else
+          match group_of i with
+          | Some { g_shape; g_members = first :: _ } when first <> i -> (
+              match g_shape with
+              | Sloth_storage.Mqo.Sh_eq _ | Sloth_storage.Mqo.Sh_range _ ->
+                  [ Printf.sprintf
+                      "[shared probe-set] merged into statement #%d's index \
+                       pass" (first + 1) ]
+              | Sloth_storage.Mqo.Sh_seq _ ->
+                  [ Printf.sprintf
+                      "[shared scan] rides statement #%d's sequential pass"
+                      (first + 1) ]
+              | Sloth_storage.Mqo.Sh_join _ ->
+                  [ Printf.sprintf
+                      "[shared join] subplan executes once with statement #%d"
+                      (first + 1) ]
+              | Sloth_storage.Mqo.Sh_solo -> [])
+          | _ -> [])
+      keys
+  in
+  let run (module A : Sloth_workload.App_sig.S) sql no_planner =
+    let db = Sloth_storage.Database.create () in
+    A.populate db;
+    let selects = List.map parse_select (split_stmts sql) in
+    if selects = [] then begin
+      Printf.eprintf "error: no statement to explain\n";
+      exit 1
+    end;
+    let mode =
+      if no_planner then Sloth_storage.Executor.Direct
+      else Sloth_storage.Executor.Planned
+    in
+    let plan s =
+      match
+        Sloth_storage.Executor.plan_of_select
+          (Sloth_storage.Database.catalog db)
+          ~mode
+          ~model:(Sloth_storage.Database.cost_model db)
+          s
+      with
+      | phys -> phys
+      | exception Sloth_storage.Executor.Sql_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 1
+    in
+    let physs = List.map plan selects in
+    let marks =
+      if List.length selects > 1 then markers selects physs
+      else List.map (fun _ -> []) selects
+    in
+    List.iteri
+      (fun i (s, (phys, marks)) ->
+        if i > 0 then print_newline ();
+        if List.length selects > 1 then Printf.printf "-- statement #%d\n" (i + 1);
+        print_endline "Logical plan:";
+        print_endline
+          (Sloth_storage.Plan.logical_to_string (Sloth_storage.Planner.lower s));
+        Printf.printf "\nPhysical plan (%s):\n"
+          (if no_planner then "legacy heuristics" else "cost-based");
+        print_endline (Sloth_storage.Plan.physical_to_string phys);
+        List.iter print_endline marks)
+      (List.combine selects (List.combine physs marks))
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Show the logical and physical plan (with cost estimates) a SELECT \
-          gets against a freshly populated application database.")
+          gets against a freshly populated application database.  Several \
+          semicolon-separated SELECTs are explained as one coalesced flush: \
+          statements the multi-query optimizer would fuse are annotated \
+          with [shared probe-set] / [shared scan] / [shared join] markers, \
+          and normalized duplicates with [cache hit].")
     Term.(const run $ app_arg $ query_arg $ no_planner_arg)
 
 (* --- soak ---------------------------------------------------------------- *)
@@ -354,6 +429,7 @@ let exp_cmd =
       ("failover", fun () -> Sloth_harness.Failover.failover ());
       ("sharding", fun () -> Sloth_harness.Sharding.sharding ());
       ("throughput", fun () -> Sloth_harness.Throughput.served ());
+      ("mqo", fun () -> Sloth_harness.Mqo_bench.mqo ());
       ("appendix", Sloth_harness.Page_experiments.appendix);
     ]
   in
@@ -363,8 +439,8 @@ let exp_cmd =
       & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) experiments))) None
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "fig5..fig13, chaos, recovery, failover, sharding, throughput \
-             or appendix.  The recovery sweep includes the served-crash \
+            "fig5..fig13, chaos, recovery, failover, sharding, throughput, \
+             mqo or appendix.  The recovery sweep includes the served-crash \
              arm: the async multi-session server under seeded random \
              crashes, re-driving torn batches through the durable \
              idempotency path.  The failover sweep replicates the primary \

@@ -48,6 +48,12 @@ type stats = {
   replica_rows_scanned : int;
   ryw_fallbacks : int;
   ryw_violations : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_invalidations : int;
+  probe_sets_merged : int;
+  joins_shared : int;
+  window_ms : float;
 }
 
 type batch = {
@@ -91,7 +97,10 @@ and arrival = {
 and t = {
   sim : Des.t;
   mutable db : Db.t;  (* re-pointed to the promoted replica on failover *)
-  window_ms : float;
+  mutable cur_window : float;  (* current coalescing window *)
+  window_bounds : (float * float) option;
+      (* (floor, ceiling): adapt [cur_window] to the recent sharing rate;
+         [None] keeps the window fixed *)
   max_coalesce : int;
   share : bool;
   retry : Retry_policy.t;
@@ -148,10 +157,14 @@ and t = {
   mutable s_ryw_violations : int;
 }
 
-let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
-    ?(retry = Retry_policy.served) ?(restart_after_ms = 4.0)
+let create ~sim ~db ?(window_ms = 2.0) ?window_bounds ?(max_coalesce = 64)
+    ?(share = true) ?(retry = Retry_policy.served) ?(restart_after_ms = 4.0)
     ?(idempotency_window = 512) ?replication ?sharding () =
   if max_coalesce < 1 then invalid_arg "Admission.create: max_coalesce";
+  (match window_bounds with
+  | Some (lo, hi) when lo < 0.0 || hi < lo ->
+      invalid_arg "Admission.create: window_bounds"
+  | _ -> ());
   if retry.Retry_policy.max_attempts < 1 then
     invalid_arg "Admission.create: retry.max_attempts";
   if idempotency_window < 1 then
@@ -170,7 +183,11 @@ let create ~sim ~db ?(window_ms = 2.0) ?(max_coalesce = 64) ?(share = true)
   {
     sim;
     db;
-    window_ms;
+    cur_window =
+      (match window_bounds with
+      | None -> window_ms
+      | Some (lo, hi) -> Float.min hi (Float.max lo window_ms));
+    window_bounds;
     max_coalesce;
     share;
     retry;
@@ -275,7 +292,18 @@ let set_idempotency_window t n =
     Hashtbl.remove t.applied (Queue.pop t.applied_order)
   done
 
+(* The engine's cumulative cache/sharing view: the shard router's sum, or
+   the current primary's counters (after a failover this is the promoted
+   replica — the dead reign's counters died with it). *)
+let engine_read_stats t =
+  match t.shard with
+  | Some sh -> Shard.read_stats sh
+  | None -> Db.read_stats t.db
+
+let current_window_ms t = t.cur_window
+
 let stats t =
+  let rs = engine_read_stats t in
   {
     batches = t.s_batches;
     read_batches = t.s_read_batches;
@@ -296,6 +324,12 @@ let stats t =
     replica_rows_scanned = t.s_replica_rows;
     ryw_fallbacks = t.s_ryw_fallbacks;
     ryw_violations = t.s_ryw_violations;
+    cache_hits = rs.Db.cache_hits;
+    cache_misses = rs.Db.cache_misses;
+    cache_invalidations = rs.Db.cache_invalidations;
+    probe_sets_merged = rs.Db.probe_sets_merged;
+    joins_shared = rs.Db.joins_shared;
+    window_ms = t.cur_window;
   }
 
 let pp_stats ppf s =
@@ -304,12 +338,15 @@ let pp_stats ppf s =
      rows_scanned=%d zero_scan_reads=%d retransmits=%d errors=%d@,\
      crashes=%d recoveries=%d torn_inflight=%d redriven=%d durable_acks=%d@,\
      failovers=%d replica_read_batches=%d replica_rows_scanned=%d \
-     ryw_fallbacks=%d ryw_violations=%d@]"
+     ryw_fallbacks=%d ryw_violations=%d@,\
+     cache_hits=%d cache_misses=%d cache_invalidations=%d \
+     probe_sets_merged=%d joins_shared=%d window_ms=%.3f@]"
     s.batches s.read_batches s.flushes s.coalesced s.max_flush s.rows_scanned
     s.zero_scan_reads s.retransmits s.errors s.crashes s.recoveries
     s.torn_inflight s.redriven s.durable_acks s.failovers
     s.replica_read_batches s.replica_rows_scanned s.ryw_fallbacks
-    s.ryw_violations
+    s.ryw_violations s.cache_hits s.cache_misses s.cache_invalidations
+    s.probe_sets_merged s.joins_shared s.window_ms
 
 let log t = List.rev t.rev_log
 let replication t = t.repl
@@ -553,6 +590,23 @@ let direct t a =
    database serving the group (the primary, or a sufficiently caught-up
    replica) and [release] returns the executor the group was admitted
    on. *)
+(* Grow the coalescing window while flushes actually coalesce and a good
+   share of their reads come for free (deduped, shared or cache-hit — all
+   report zero rows scanned); shrink it back toward the floor when batches
+   arrive alone or the sharing dries up, so a quiet stream is not taxed
+   with latency for nothing.  No-op unless [create] was given bounds. *)
+let adapt_window t ~batches ~reads ~zero =
+  match t.window_bounds with
+  | None -> ()
+  | Some (lo, hi) ->
+      if reads > 0 then begin
+        let rate = float_of_int zero /. float_of_int reads in
+        if batches >= 2 && rate >= 0.5 then
+          t.cur_window <- Float.min hi (t.cur_window *. 1.25)
+        else if batches <= 1 || rate < 0.25 then
+          t.cur_window <- Float.max lo (t.cur_window /. 1.25)
+      end
+
 let run_flush_on ?replica t ~db ~release group =
   let e0 = t.epoch in
   t.s_flushes <- t.s_flushes + 1;
@@ -601,6 +655,13 @@ let run_flush_on ?replica t ~db ~release group =
   match do_reads all_selects with
   | outs ->
       count_rows outs;
+      let zero =
+        List.fold_left
+          (fun acc ((_ : Db.outcome), scanned) ->
+            if scanned = 0 then acc + 1 else acc)
+          0 outs
+      in
+      adapt_window t ~batches:n ~reads:(List.length outs) ~zero;
       let costs = List.map (fun ((o : Db.outcome), _) -> o.Db.cost_ms) outs in
       (* split the flat outcome list back into per-batch replies *)
       let rec split outs = function
@@ -755,7 +816,7 @@ let arrive t a =
         if not t.flush_scheduled then begin
           t.flush_scheduled <- true;
           let e = t.epoch in
-          Des.at t.sim (Des.now t.sim +. t.window_ms) (fun () ->
+          Des.at t.sim (Des.now t.sim +. t.cur_window) (fun () ->
               if t.epoch = e then flush t)
         end
       end

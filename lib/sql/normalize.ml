@@ -11,6 +11,14 @@ let rec flatten op = function
   | Binop (o, a, b) when o = op -> flatten op a @ flatten op b
   | e -> [ e ]
 
+(* Drop adjacent duplicates of a [cmp_expr]-sorted list: equal printed
+   forms mean equal ASTs, and AND/OR/IN are all idempotent in their
+   members. *)
+let rec dedup_sorted = function
+  | a :: b :: rest when cmp_expr a b = 0 -> dedup_sorted (b :: rest)
+  | a :: rest -> a :: dedup_sorted rest
+  | [] -> []
+
 (* Rebuild a left-deep chain; [flatten] of the result re-yields the same
    sorted list, making normalization idempotent. *)
 let rebuild op = function
@@ -20,8 +28,13 @@ let rebuild op = function
 let rec expr = function
   | (Lit _ | Col _) as e -> e
   | Binop (((And | Or) as op), _, _) as e ->
-      let parts = List.map expr (flatten op e) in
-      rebuild op (List.sort cmp_expr parts)
+      (* Normalize members first — a BETWEEN member rewrites into a range
+         conjunct pair — then re-flatten (the rewrite introduces nested
+         chains of the same operator), sort, and drop duplicates. *)
+      let parts =
+        List.concat_map (fun p -> flatten op (expr p)) (flatten op e)
+      in
+      rebuild op (dedup_sorted (List.sort cmp_expr parts))
   | Binop (((Eq | Neq | Add | Mul) as op), a, b) ->
       (* Commutative: order the operands canonically. *)
       let a = expr a and b = expr b in
@@ -31,11 +44,17 @@ let rec expr = function
   | Binop (op, a, b) -> Binop (op, expr a, expr b)
   | Unop (op, e) -> Unop (op, expr e)
   | In_list (e, items) ->
-      In_list (expr e, List.sort cmp_expr (List.map expr items))
+      In_list
+        (expr e, dedup_sorted (List.sort cmp_expr (List.map expr items)))
   | In_select (e, sub) -> In_select (expr e, select sub)
   | Is_null { e; negated } -> Is_null { e = expr e; negated }
   | Like (e, p) -> Like (expr e, p)
-  | Between { e; lo; hi } -> Between { e = expr e; lo = expr lo; hi = expr hi }
+  | Between { e; lo; hi } ->
+      (* x BETWEEN lo AND hi ≡ lo <= x AND x <= hi, including NULL
+         behavior (any NULL operand yields false on both paths), so
+         BETWEEN and the adjacent >=/<= conjunct pair share one normal
+         form. *)
+      expr (Binop (And, Binop (Le, lo, e), Binop (Le, e, hi)))
   | Agg (a, arg) -> Agg (a, Option.map expr arg)
 
 (* Select items are left untouched: an unaliased item's printed expression

@@ -5,7 +5,12 @@
     the direction of
     comparisons (a > b vs. b < a), or IN-list item order normalize to the
     same AST — and therefore the same canonical text — so the query store
-    can deduplicate them as one batched query.
+    can deduplicate them as one batched query.  Duplicate IN-list members
+    and duplicate AND/OR chain members are dropped (all three are
+    idempotent in their members), and [x BETWEEN lo AND hi] rewrites into
+    the range-conjunct pair [lo <= x AND x <= hi] — identical semantics
+    including NULL operands — so BETWEEN and adjacent >=/<= bounds share
+    one normal form.
 
     Select items are never rewritten (an unaliased item's printed form is
     its result-column name) and clause lists keep their order, so the

@@ -47,6 +47,10 @@ type t = {
   cost : Cost.model;
   mutable dur : dur option;
   mutable planner : bool;  (* cost-based planning (off = legacy heuristics) *)
+  mutable mqo : bool;  (* flush-level plan merging (probe sets, joins) *)
+  mutable cache : Result_cache.t option;
+      (* cross-flush result cache, keyed Normalize.key × table versions *)
+  share : Executor.share_stats;  (* cumulative batch-sharing counters *)
   mutable on_commit : (lsn:int -> Wal.record list -> unit) option;
       (* replication tap: fired once per appended WAL chunk *)
   mutable in_doubt : (int -> bool) option;
@@ -65,6 +69,9 @@ let create ?(cost = Cost.default) () =
     cost;
     dur = None;
     planner = true;
+    mqo = false;
+    cache = None;
+    share = Executor.fresh_share_stats ();
     on_commit = None;
     in_doubt = None;
   }
@@ -73,6 +80,52 @@ let cost_model t = t.cost
 let set_planner t on = t.planner <- on
 let planner_enabled t = t.planner
 let mode t = if t.planner then Executor.Planned else Executor.Direct
+let set_mqo t on = t.mqo <- on
+let mqo_enabled t = t.mqo
+
+let set_result_cache t capacity =
+  t.cache <-
+    (match capacity with
+    | None -> None
+    | Some c -> Some (Result_cache.create ~capacity:c))
+
+let result_cache_capacity t =
+  Option.map (fun c -> Result_cache.capacity c) t.cache
+
+(* The cache must never survive a state transition its version vectors
+   know nothing about: recovery and snapshot installation rebuild tables
+   from scratch (fresh version counters), so stale entries could alias a
+   dead reign's rows onto new versions. *)
+let invalidate_result_cache t = Option.iter Result_cache.clear t.cache
+
+type read_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_invalidations : int;
+  cache_entries : int;
+  dedup_folded : int;
+  seq_scans_shared : int;
+  probe_sets_merged : int;
+  joins_shared : int;
+}
+
+let read_stats t =
+  let cs =
+    match t.cache with
+    | None -> Result_cache.{ hits = 0; misses = 0; invalidations = 0 }
+    | Some c -> Result_cache.stats c
+  in
+  {
+    cache_hits = cs.Result_cache.hits;
+    cache_misses = cs.Result_cache.misses;
+    cache_invalidations = cs.Result_cache.invalidations;
+    cache_entries =
+      (match t.cache with None -> 0 | Some c -> Result_cache.length c);
+    dedup_folded = t.share.Executor.dedup_folded;
+    seq_scans_shared = t.share.Executor.seq_scans_shared;
+    probe_sets_merged = t.share.Executor.probe_sets_merged;
+    joins_shared = t.share.Executor.joins_shared;
+  }
 
 (* --- write-ahead logging ------------------------------------------------- *)
 
@@ -256,6 +309,7 @@ let apply_record t d = function
 
 let recover t d =
   let t0 = Sys.time () in
+  invalidate_result_cache t;
   Hashtbl.reset t.tables;
   t.order <- [];
   t.txn <- None;
@@ -375,6 +429,7 @@ let crash_restart t =
   match t.dur with
   | None ->
       (* No durability: the crash wipes the server's whole state. *)
+      invalidate_result_cache t;
       Hashtbl.reset t.tables;
       t.order <- []
   | Some d -> recover t d
@@ -411,6 +466,7 @@ let install_snapshot t framed =
       match Wal.Codec.unframe framed 0 with
       | None -> false
       | Some (payload, _) ->
+          invalidate_result_cache t;
           Hashtbl.reset t.tables;
           t.order <- [];
           t.txn <- None;
@@ -701,6 +757,58 @@ let exec t stmt =
           { rs; rows_affected; cost_ms }
       | exception Executor.Sql_error msg -> error "%s" msg)
 
+(* Core of every batched read path: probe the result cache, execute the
+   misses as one (possibly MQO-merged) group, fill the cache from the
+   misses, and stitch outcomes back in input order.  The cache is bypassed
+   inside an open transaction — uncommitted heap state must never be
+   published to later flushes — and a hit reports [rows_scanned = 0],
+   mirroring the sharing accounting (somebody already paid for these
+   rows). *)
+let exec_reads_core t selects : Executor.outcome list =
+  let cache = if t.txn = None then t.cache else None in
+  let probed =
+    List.map
+      (fun s ->
+        match cache with
+        | None -> (s, None, None)
+        | Some c ->
+            let key = Sloth_sql.Normalize.key (Sloth_sql.Ast.Select s) in
+            let versions =
+              List.map
+                (fun name ->
+                  match Hashtbl.find_opt t.tables name with
+                  | Some tbl -> (name, Table.version tbl)
+                  | None -> (name, -1))
+                (Mqo.referenced_tables s)
+            in
+            (s, Some (key, versions), Result_cache.find c ~key ~current_versions:versions))
+      selects
+  in
+  let misses =
+    List.filter_map
+      (fun (s, _, hit) -> if hit = None then Some s else None)
+      probed
+  in
+  let outs =
+    Executor.execute_reads (catalog t) ~mode:(mode t) ~model:t.cost ~mqo:t.mqo
+      ~stats:t.share misses
+  in
+  let rec stitch probed outs =
+    match (probed, outs) with
+    | [], [] -> []
+    | (_, _, Some rs) :: rest, outs ->
+        { Executor.rs; rows_scanned = 0; rows_affected = 0 }
+        :: stitch rest outs
+    | (_, info, None) :: rest, (o : Executor.outcome) :: outs ->
+        (match (info, cache) with
+        | Some (key, versions), Some c ->
+            Result_cache.store c ~key ~versions o.Executor.rs
+        | _ -> ());
+        o :: stitch rest outs
+    | _ -> assert false
+  in
+  stitch probed outs
+
 (* Execute a whole batch.  With the planner on, maximal runs of consecutive
    SELECTs go through {!Executor.execute_reads} together so identical
    statements execute once and compatible sequential scans share one heap
@@ -723,10 +831,7 @@ let exec_batch t stmts =
       | [] -> acc
       | _ -> (
           let selects = List.rev pending in
-          match
-            Executor.execute_reads (catalog t) ~mode:(mode t) ~model:t.cost
-              selects
-          with
+          match exec_reads_core t selects with
           | outs -> List.rev_append (List.map outcome_of_read outs) acc
           | exception Executor.Sql_error msg -> error "%s" msg)
     in
@@ -747,9 +852,7 @@ let exec_batch t stmts =
    toggle is respected; [Direct] mode plans each statement independently,
    which is the differential oracle for cross-client sharing. *)
 let exec_reads t selects =
-  match
-    Executor.execute_reads (catalog t) ~mode:(mode t) ~model:t.cost selects
-  with
+  match exec_reads_core t selects with
   | outs ->
       List.map
         (fun (o : Executor.outcome) ->

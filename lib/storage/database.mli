@@ -46,6 +46,43 @@ val set_planner : t -> bool -> unit
 
 val planner_enabled : t -> bool
 
+val set_mqo : t -> bool -> unit
+(** Toggle the flush-level plan-merge pass (off by default): point/range
+    index lookups of one read group fuse into shared probe-set passes and
+    structurally-equal join subplans execute once (see {!Mqo}).  Results
+    are identical either way; only the rows-scanned accounting and the
+    sharing counters change. *)
+
+val mqo_enabled : t -> bool
+
+val set_result_cache : t -> int option -> unit
+(** [Some capacity] attaches a cross-flush result cache (LRU-bounded to
+    [capacity] entries) keyed on each statement's normalized text and the
+    version vector of every table it references; [None] detaches it
+    (default).  A cached read reports [rows_scanned = 0].  Any write to a
+    referenced table bumps its version and retires the entry; the cache is
+    dropped whole across {!crash_restart}, recovery and
+    {!install_snapshot}.  The cache is bypassed inside an open
+    transaction, so uncommitted state is never published. *)
+
+val result_cache_capacity : t -> int option
+
+type read_stats = {
+  cache_hits : int;  (** batched reads served from the result cache *)
+  cache_misses : int;  (** cache probes that had to execute *)
+  cache_invalidations : int;  (** entries retired by a version bump *)
+  cache_entries : int;  (** entries currently held *)
+  dedup_folded : int;  (** statements folded by normalized dedup *)
+  seq_scans_shared : int;  (** reads that rode another's sequential pass *)
+  probe_sets_merged : int;  (** index probes merged into a shared pass *)
+  joins_shared : int;  (** join subplans served from a shared execution *)
+}
+
+val read_stats : t -> read_stats
+(** Cumulative multi-query sharing and cache counters for this database
+    (cache counters survive {!crash_restart} even though the entries do
+    not). *)
+
 val catalog : t -> Executor.catalog
 (** The executor's view of this database's tables (used by [explain] to
     plan without executing). *)

@@ -533,14 +533,34 @@ type planned_read = {
   mutable pr_outcome : outcome option;
 }
 
+type share_stats = {
+  mutable dedup_folded : int;
+  mutable seq_scans_shared : int;
+  mutable probe_sets_merged : int;
+  mutable joins_shared : int;
+}
+
+let fresh_share_stats () =
+  {
+    dedup_folded = 0;
+    seq_scans_shared = 0;
+    probe_sets_merged = 0;
+    joins_shared = 0;
+  }
+
 (* Execute a batch of reads together (SharedDB-style): identical statements
    (modulo normalization) are planned and executed once, and all plans that
    resolved to a full sequential scan of the same table share a single pass
    over its heap — the first sharer is charged the scan, the others ride
-   along for free.  Result sets are identical to independent execution:
+   along for free.  With [mqo] the plan-merge pass extends sharing to index
+   access paths: point/range lookups on the same index fuse into one sorted
+   probe-set pass, and structurally-equal join subplans (canonical
+   fingerprint, estimates excluded) run once and fan their environments
+   out.  Result sets are identical to independent execution in both modes:
    every shared path enumerates rows in rid order and the full WHERE is
    re-applied per query. *)
-let execute_reads cat ?(mode = Planned) ?(model = Cost.default) selects =
+let execute_reads cat ?(mode = Planned) ?(model = Cost.default) ?(mqo = false)
+    ?stats selects =
   let by_key : (string, planned_read) Hashtbl.t = Hashtbl.create 16 in
   let entries =
     List.map
@@ -564,23 +584,12 @@ let execute_reads cat ?(mode = Planned) ?(model = Cost.default) selects =
       selects
   in
   let reps = List.filter_map (fun (pr, first) -> if first then Some pr else None) entries in
-  (* Group shared-scannable plans (bare sequential scans, no joins) by
-     table, preserving first-come order within each group. *)
-  let scan_table pr =
-    match pr.pr_phys.Plan.p_source with
-    | Plan.P_scan { table; access = Plan.Seq_scan; _ } -> Some table
-    | _ -> None
+  let bump f = Option.iter f stats in
+  let solo pr =
+    let scanned = ref 0 in
+    let envs = run_source cat scanned pr.pr_phys.Plan.p_source in
+    pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned envs)
   in
-  let groups : (string, planned_read list ref) Hashtbl.t = Hashtbl.create 4 in
-  List.iter
-    (fun pr ->
-      match scan_table pr with
-      | Some table -> (
-          match Hashtbl.find_opt groups table with
-          | Some cell -> cell := pr :: !cell
-          | None -> Hashtbl.add groups table (ref [ pr ]))
-      | None -> ())
-    reps;
   let shared_scan table members =
     let tbl = get_table cat table in
     let schema = Table.schema tbl in
@@ -604,33 +613,181 @@ let execute_reads cat ?(mode = Planned) ?(model = Cost.default) selects =
       tbl;
     List.iteri
       (fun i (pr, _, acc) ->
+        if i > 0 then bump (fun st -> st.seq_scans_shared <- st.seq_scans_shared + 1);
         let scanned = ref (if i = 0 then Table.row_count tbl else 0) in
         pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned (List.rev !acc)))
       members
   in
-  List.iter
-    (fun pr ->
-      if pr.pr_outcome = None then
+  (* Point lookups on one index fuse into a single probe-set pass: the
+     distinct keys are probed once each in sorted order, every prober of a
+     key shares its rows, and only the first member is charged the pass. *)
+  let shared_eq table column members =
+    let tbl = get_table cat table in
+    let schema = Table.schema tbl in
+    let info pr =
+      match pr.pr_phys.Plan.p_source with
+      | Plan.P_scan { binding; access = Plan.Index_eq { key; _ }; _ } ->
+          (binding, key)
+      | _ -> assert false
+    in
+    let keys =
+      List.sort_uniq Value.compare (List.map (fun pr -> snd (info pr)) members)
+    in
+    let probes =
+      List.map
+        (fun k -> (k, Table.lookup_indexed tbl column k))
+        keys
+    in
+    if List.exists (fun (_, rids) -> rids = None) probes then
+      (* The index evaporated between planning and execution — impossible
+         within one flush, but fall back to per-query execution anyway. *)
+      List.iter solo members
+    else begin
+      let total = ref 0 in
+      let probes =
+        List.map
+          (fun (k, rids) ->
+            let rids = Option.get rids in
+            total := !total + List.length rids;
+            (k, List.filter_map (fun rid -> Table.get tbl rid) rids))
+          probes
+      in
+      let rows_for k =
+        snd (List.find (fun (k', _) -> Value.compare k k' = 0) probes)
+      in
+      List.iteri
+        (fun i pr ->
+          if i > 0 then
+            bump (fun st -> st.probe_sets_merged <- st.probe_sets_merged + 1);
+          let binding, k = info pr in
+          let envs =
+            List.map (fun row -> [ (binding, schema, row) ]) (rows_for k)
+          in
+          let scanned = ref (if i = 0 then !total else 0) in
+          pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned envs))
+        members
+    end
+  in
+  (* Range scans on one ordered index fuse the same way; the pass is
+     charged once as the number of distinct rids any member touches. *)
+  let shared_range table column members =
+    let tbl = get_table cat table in
+    let schema = Table.schema tbl in
+    let lookups =
+      List.map
+        (fun pr ->
+          match pr.pr_phys.Plan.p_source with
+          | Plan.P_scan { binding; access = Plan.Index_range { lo; hi; _ }; _ }
+            ->
+              (pr, binding, Table.lookup_range tbl column ?lo ?hi ())
+          | _ -> assert false)
+        members
+    in
+    if List.exists (fun (_, _, rids) -> rids = None) lookups then
+      List.iter solo members
+    else begin
+      let union = Hashtbl.create 64 in
+      let lookups =
+        List.map
+          (fun (pr, binding, rids) ->
+            (* Back to rid order so the fused path agrees with run_access. *)
+            let rids = List.sort Int.compare (Option.get rids) in
+            List.iter (fun rid -> Hashtbl.replace union rid ()) rids;
+            (pr, binding, rids))
+          lookups
+      in
+      let total = Hashtbl.length union in
+      List.iteri
+        (fun i (pr, binding, rids) ->
+          if i > 0 then
+            bump (fun st -> st.probe_sets_merged <- st.probe_sets_merged + 1);
+          let envs =
+            List.filter_map
+              (fun rid ->
+                Option.map
+                  (fun row -> [ (binding, schema, row) ])
+                  (Table.get tbl rid))
+              rids
+          in
+          let scanned = ref (if i = 0 then total else 0) in
+          pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned envs))
+        lookups
+    end
+  in
+  (* Structurally-equal join subplans execute once; every member's residual
+     pipeline runs over the shared environments (finish never mutates
+     them). *)
+  let shared_join members =
+    match members with
+    | [] -> ()
+    | first :: _ ->
+        let scanned = ref 0 in
+        let envs = run_source cat scanned first.pr_phys.Plan.p_source in
+        List.iteri
+          (fun i pr ->
+            if i > 0 then
+              bump (fun st -> st.joins_shared <- st.joins_shared + 1);
+            let sc = ref (if i = 0 then !scanned else 0) in
+            pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned:sc envs))
+          members
+  in
+  if mqo then begin
+    let reps_arr = Array.of_list reps in
+    let groups = Mqo.merge (List.map (fun pr -> pr.pr_phys) reps) in
+    List.iter
+      (fun (g : Mqo.group) ->
+        let members = List.map (fun i -> reps_arr.(i)) g.Mqo.g_members in
+        match (members, g.Mqo.g_shape) with
+        | [ pr ], _ -> solo pr
+        | _, Mqo.Sh_seq { table } -> shared_scan table members
+        | _, Mqo.Sh_eq { table; column } -> shared_eq table column members
+        | _, Mqo.Sh_range { table; column } -> shared_range table column members
+        | _, Mqo.Sh_join _ -> shared_join members
+        | _, Mqo.Sh_solo -> List.iter solo members)
+      groups
+  end
+  else begin
+    (* Legacy sharing: only bare sequential scans merge, grouped by table
+       in first-come order. *)
+    let scan_table pr =
+      match pr.pr_phys.Plan.p_source with
+      | Plan.P_scan { table; access = Plan.Seq_scan; _ } -> Some table
+      | _ -> None
+    in
+    let groups : (string, planned_read list ref) Hashtbl.t =
+      Hashtbl.create 4
+    in
+    List.iter
+      (fun pr ->
         match scan_table pr with
         | Some table -> (
             match Hashtbl.find_opt groups table with
-            | Some cell when List.length !cell > 1 ->
-                shared_scan table (List.rev !cell)
-            | _ ->
-                let scanned = ref 0 in
-                let envs = run_source cat scanned pr.pr_phys.Plan.p_source in
-                pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned envs))
-        | None ->
-            let scanned = ref 0 in
-            let envs = run_source cat scanned pr.pr_phys.Plan.p_source in
-            pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned envs))
-    reps;
+            | Some cell -> cell := pr :: !cell
+            | None -> Hashtbl.add groups table (ref [ pr ]))
+        | None -> ())
+      reps;
+    List.iter
+      (fun pr ->
+        if pr.pr_outcome = None then
+          match scan_table pr with
+          | Some table -> (
+              match Hashtbl.find_opt groups table with
+              | Some cell when List.length !cell > 1 ->
+                  shared_scan table (List.rev !cell)
+              | _ -> solo pr)
+          | None -> solo pr)
+      reps
+  end;
   List.map
     (fun (pr, first) ->
       let o = Option.get pr.pr_outcome in
       (* A deduplicated copy shares the representative's result without
          re-doing its work. *)
-      if first then o else { o with rows_scanned = 0 })
+      if first then o
+      else begin
+        bump (fun st -> st.dedup_folded <- st.dedup_folded + 1);
+        { o with rows_scanned = 0 }
+      end)
     entries
 
 (* --- writes ------------------------------------------------------------ *)
@@ -751,6 +908,6 @@ let execute cat ?log ?(mode = Planned) ?(model = Cost.default) stmt =
         error "transaction control reached the executor"
   with Eval.Error msg -> error "%s" msg
 
-let execute_reads cat ?mode ?model selects =
-  try execute_reads cat ?mode ?model selects
+let execute_reads cat ?mode ?model ?mqo ?stats selects =
+  try execute_reads cat ?mode ?model ?mqo ?stats selects
   with Eval.Error msg -> error "%s" msg

@@ -38,10 +38,25 @@ val execute :
     {!Sql_error} here.  [log] receives undo entries for heap mutations.
     [mode] defaults to [Planned]; [model] feeds the cost estimates. *)
 
+type share_stats = {
+  mutable dedup_folded : int;
+      (** duplicate statements folded by normalization *)
+  mutable seq_scans_shared : int;
+      (** members that rode another query's sequential heap pass *)
+  mutable probe_sets_merged : int;
+      (** point/range probes merged into another member's probe-set pass *)
+  mutable joins_shared : int;
+      (** join subplans that reused another member's environments *)
+}
+
+val fresh_share_stats : unit -> share_stats
+
 val execute_reads :
   catalog ->
   ?mode:mode ->
   ?model:Cost.model ->
+  ?mqo:bool ->
+  ?stats:share_stats ->
   Sloth_sql.Ast.select list ->
   outcome list
 (** Execute a batch of reads together (multi-query optimization).
@@ -49,9 +64,14 @@ val execute_reads :
     executed once — duplicates share the representative's result set with
     [rows_scanned = 0].  Plans that resolved to a full sequential scan of
     the same table share a single pass over its heap: the first sharer is
-    charged the scan, the rest report [rows_scanned = 0] for it.  Result
-    sets are identical to executing each statement independently.  Outcomes
-    are returned in input order; any statement's error fails the batch. *)
+    charged the scan, the rest report [rows_scanned = 0] for it.  With
+    [mqo] (default off), the {!Mqo} plan-merge pass extends sharing to
+    index access paths: point/range lookups on the same index fuse into
+    one sorted probe-set pass and structurally-equal join subplans execute
+    once, with the same first-sharer-charged accounting.  [stats], when
+    given, accumulates sharing counters.  Result sets are identical to
+    executing each statement independently in every mode.  Outcomes are
+    returned in input order; any statement's error fails the batch. *)
 
 val plan_of_select :
   catalog ->

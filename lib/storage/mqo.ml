@@ -1,0 +1,150 @@
+(* Flush-level multi-query optimization over the plan IR (SharedDB-style):
+   classify the planned statements of one read group by access-path shape so
+   the executor can fuse point/range lookups on the same index into one
+   sorted probe-set pass and run structurally-equal join subplans once.
+   This module is pure — it only inspects plans; the executor interprets
+   the groups. *)
+
+open Sloth_sql.Ast
+
+(* --- canonical subplan fingerprints ------------------------------------- *)
+
+(* Values are fingerprinted through the SQL printer (quoted, escaped,
+   round-trips through the parser), so e.g. Text "3)" cannot collide with
+   Int 3 followed by a delimiter. *)
+let value_fp v =
+  let lit =
+    match v with
+    | Value.Null -> L_null
+    | Value.Int n -> L_int n
+    | Value.Float f -> L_float f
+    | Value.Text s -> L_string s
+    | Value.Bool b -> L_bool b
+  in
+  Sloth_sql.Printer.expr_to_string (Lit lit)
+
+let expr_fp = Sloth_sql.Printer.expr_to_string
+
+let access_fp = function
+  | Plan.Seq_scan -> "seq"
+  | Plan.Index_eq { column; key } ->
+      Printf.sprintf "eq(%s,%s)" column (value_fp key)
+  | Plan.Index_range { column; lo; hi } ->
+      let bound = function
+        | None -> "_"
+        | Some (v, incl) ->
+            Printf.sprintf "%s%s" (if incl then "i" else "x") (value_fp v)
+      in
+      Printf.sprintf "range(%s,%s,%s)" column (bound lo) (bound hi)
+
+let strategy_fp = function
+  | Plan.Nested_loop -> "nl"
+  | Plan.Index_probe { column; outer } ->
+      Printf.sprintf "probe(%s,%s)" column (expr_fp outer)
+
+(* Canonical fingerprint of a physical source subtree.  Cost estimates are
+   deliberately excluded: two plans that do the same work share it even if
+   their estimates were computed against slightly different statistics.
+   Binding names are included — downstream projection and predicate
+   evaluation resolve columns through them, so only plans with identical
+   bindings may share environments. *)
+let rec fingerprint = function
+  | Plan.P_nothing -> "nothing"
+  | Plan.P_scan { table; binding; access; _ } ->
+      Printf.sprintf "scan(%s,%s,%s)" table binding (access_fp access)
+  | Plan.P_join { left; table; binding; on; strategy; _ } ->
+      Printf.sprintf "join(%s,%s,%s,%s,%s)" (fingerprint left) table binding
+        (expr_fp on) (strategy_fp strategy)
+
+(* --- access-path shapes -------------------------------------------------- *)
+
+type shape =
+  | Sh_solo  (** not shareable (FROM-less statements) *)
+  | Sh_seq of { table : string }  (** bare sequential scan *)
+  | Sh_eq of { table : string; column : string }  (** point index lookup *)
+  | Sh_range of { table : string; column : string }  (** range index scan *)
+  | Sh_join of { fp : string }  (** join subplan, keyed by fingerprint *)
+
+let shape (p : Plan.physical) =
+  match p.Plan.p_source with
+  | Plan.P_nothing -> Sh_solo
+  | Plan.P_scan { table; access = Plan.Seq_scan; _ } -> Sh_seq { table }
+  | Plan.P_scan { table; access = Plan.Index_eq { column; _ }; _ } ->
+      Sh_eq { table; column }
+  | Plan.P_scan { table; access = Plan.Index_range { column; _ }; _ } ->
+      Sh_range { table; column }
+  | Plan.P_join _ as src -> Sh_join { fp = fingerprint src }
+
+(* A stable textual key for grouping shapes. *)
+let shape_key = function
+  | Sh_solo -> None
+  | Sh_seq { table } -> Some ("seq|" ^ table)
+  | Sh_eq { table; column } -> Some ("eq|" ^ table ^ "|" ^ column)
+  | Sh_range { table; column } -> Some ("range|" ^ table ^ "|" ^ column)
+  | Sh_join { fp } -> Some ("join|" ^ fp)
+
+type group = { g_shape : shape; g_members : int list }
+(** Member positions into the input plan list, in first-come order. *)
+
+(* Partition a flush's planned statements into share groups: same-index
+   point/range lookups fuse per (table, column), join subplans per
+   fingerprint, bare seq scans per table.  Shapes that found no partner,
+   and unshareable plans, come back as singleton groups.  Group order is
+   the first-occurrence order of their first member, so interpretation
+   order stays deterministic. *)
+let merge plans =
+  let order : (string option * shape * int list ref) list ref = ref [] in
+  let by_key : (string, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri
+    (fun i p ->
+      let sh = shape p in
+      match shape_key sh with
+      | None -> order := (None, sh, ref [ i ]) :: !order
+      | Some key -> (
+          match Hashtbl.find_opt by_key key with
+          | Some cell -> cell := i :: !cell
+          | None ->
+              let cell = ref [ i ] in
+              Hashtbl.add by_key key cell;
+              order := (Some key, sh, cell) :: !order))
+    plans;
+  List.rev_map
+    (fun (_, sh, cell) -> { g_shape = sh; g_members = List.rev !cell })
+    !order
+
+(* --- referenced tables (for cache keying) -------------------------------- *)
+
+let rec tables_of_expr acc = function
+  | Lit _ | Col _ -> acc
+  | Binop (_, a, b) -> tables_of_expr (tables_of_expr acc a) b
+  | Unop (_, e) -> tables_of_expr acc e
+  | In_list (e, items) -> List.fold_left tables_of_expr (tables_of_expr acc e) items
+  | In_select (e, sub) -> tables_of_select (tables_of_expr acc e) sub
+  | Is_null { e; _ } -> tables_of_expr acc e
+  | Like (e, _) -> tables_of_expr acc e
+  | Between { e; lo; hi } ->
+      tables_of_expr (tables_of_expr (tables_of_expr acc e) lo) hi
+  | Agg (_, arg) -> Option.fold ~none:acc ~some:(tables_of_expr acc) arg
+
+and tables_of_select acc (s : select) =
+  let acc =
+    match s.sel_from with None -> acc | Some (t, _) -> t :: acc
+  in
+  let acc = List.fold_left (fun acc j -> j.j_table :: acc) acc s.sel_joins in
+  let acc =
+    List.fold_left
+      (fun acc -> function Star -> acc | Sel_expr (e, _) -> tables_of_expr acc e)
+      acc s.sel_items
+  in
+  let acc = Option.fold ~none:acc ~some:(tables_of_expr acc) s.sel_where in
+  let acc = List.fold_left tables_of_expr acc s.sel_group_by in
+  let acc = Option.fold ~none:acc ~some:(tables_of_expr acc) s.sel_having in
+  let acc =
+    List.fold_left (fun acc o -> tables_of_expr acc o.o_expr) acc s.sel_order_by
+  in
+  List.fold_left (fun acc j -> tables_of_expr acc j.j_on) acc s.sel_joins
+
+(* Every table a SELECT touches, including through IN-subqueries and join ON
+   clauses — the version vector of these tables keys the result cache. *)
+let referenced_tables (s : select) =
+  List.sort_uniq String.compare (tables_of_select [] s)

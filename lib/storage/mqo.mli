@@ -1,0 +1,36 @@
+(** Flush-level multi-query optimization over the plan IR.
+
+    SharedDB-style plan merging for one [execute_reads] group: classify each
+    planned statement's access path, fuse point/range lookups on the same
+    index into probe-set groups, and key join subplans on a canonical
+    fingerprint so structurally-equal joins execute once.  Pure analysis —
+    the executor interprets the groups. *)
+
+type shape =
+  | Sh_solo  (** not shareable (FROM-less statements) *)
+  | Sh_seq of { table : string }  (** bare sequential scan *)
+  | Sh_eq of { table : string; column : string }  (** point index lookup *)
+  | Sh_range of { table : string; column : string }  (** range index scan *)
+  | Sh_join of { fp : string }  (** join subplan, keyed by fingerprint *)
+
+val shape : Plan.physical -> shape
+
+val fingerprint : Plan.p_source -> string
+(** Canonical fingerprint of a physical source subtree: tables, bindings,
+    access paths (with probe keys/bounds printed through the SQL printer,
+    so values cannot collide), join predicates and strategies — everything
+    {e except} cost estimates.  Equal fingerprints mean the subtrees
+    produce identical environments. *)
+
+type group = { g_shape : shape; g_members : int list }
+(** Member positions into the input plan list, in first-come order. *)
+
+val merge : Plan.physical list -> group list
+(** Partition a flush's plans into share groups (same-shape members
+    together, unshareable plans as singletons), in first-occurrence
+    order. *)
+
+val referenced_tables : Sloth_sql.Ast.select -> string list
+(** Every table a SELECT touches — FROM, joins, and IN-subqueries included
+    — sorted and deduplicated.  The version vector of these tables keys
+    the result cache. *)

@@ -1,0 +1,91 @@
+(* Cross-flush materialized result cache (the FunSQL catalog-cache idiom):
+   entries are keyed on the statement's normalized text and guarded by the
+   version vector of every table the statement references.  A probe hits
+   only when each referenced table still has the exact version recorded at
+   fill time — any write bumps its table's version, so a stale entry can
+   never be served; it is dropped on the next probe (an invalidation).
+   Capacity is bounded by deterministic LRU eviction. *)
+
+type entry = {
+  e_versions : (string * int) list;  (* referenced table -> version at fill *)
+  e_rs : Result_set.t;
+  mutable e_tick : int;  (* LRU clock: larger = more recently used *)
+}
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Result_cache.create: capacity must be > 0";
+  {
+    capacity;
+    tbl = Hashtbl.create (min capacity 64);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+
+(* Drop every entry but keep the counters: the cache's history survives a
+   crash-restart or failover even though its contents must not. *)
+let clear t = Hashtbl.reset t.tbl
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let versions_match current stored =
+  List.length current = List.length stored
+  && List.for_all2
+       (fun (ta, va) (tb, vb) -> String.equal ta tb && va = vb)
+       current stored
+
+(* [current_versions] must cover the same referenced-table set the entry
+   was stored under (both sides come from [Mqo.referenced_tables], sorted).
+   A version mismatch counts as an invalidation *and* a miss: the entry is
+   dead and the query must execute. *)
+let find t ~key ~current_versions =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some e when versions_match current_versions e.e_versions ->
+      t.hits <- t.hits + 1;
+      e.e_tick <- tick t;
+      Some e.e_rs
+  | Some _ ->
+      Hashtbl.remove t.tbl key;
+      t.invalidations <- t.invalidations + 1;
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best.e_tick <= e.e_tick -> acc
+        | _ -> Some (key, e))
+      t.tbl None
+  in
+  Option.iter (fun (key, _) -> Hashtbl.remove t.tbl key) victim
+
+let store t ~key ~versions rs =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some _ -> Hashtbl.remove t.tbl key
+  | None -> if Hashtbl.length t.tbl >= t.capacity then evict_lru t);
+  Hashtbl.replace t.tbl key { e_versions = versions; e_rs = rs; e_tick = tick t }
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+let stats (c : t) : stats =
+  { hits = c.hits; misses = c.misses; invalidations = c.invalidations }

@@ -1,0 +1,38 @@
+(** Cross-flush materialized result cache.
+
+    Entries are keyed on a statement's normalized text
+    ({!Sloth_sql.Normalize.key}) and guarded by the version vector of every
+    referenced table ({!Mqo.referenced_tables} × {!Table.version}): a probe
+    hits only when each referenced table still carries the exact version
+    recorded when the entry was filled, so a write to any referenced table
+    silently retires the entry (dropped on the next probe, counted as an
+    invalidation).  Bounded capacity with deterministic least-recently-used
+    eviction. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity <= 0]. *)
+
+val find :
+  t -> key:string -> current_versions:(string * int) list -> Result_set.t option
+(** Probe for a cached result.  [current_versions] is the statement's
+    referenced tables (sorted, as {!Mqo.referenced_tables} returns them)
+    paired with their live versions.  A stale entry is removed and counted
+    as both an invalidation and a miss. *)
+
+val store :
+  t -> key:string -> versions:(string * int) list -> Result_set.t -> unit
+(** Insert (or refresh) an entry, evicting the least-recently-used entry
+    when at capacity. *)
+
+val clear : t -> unit
+(** Drop every entry but keep counters — crash-restart, snapshot install
+    and failover must never let a dead reign's rows survive. *)
+
+val length : t -> int
+val capacity : t -> int
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+val stats : t -> stats

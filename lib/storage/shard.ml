@@ -80,6 +80,41 @@ let shard_db t i = t.dbs.(i)
 let coordinator t = t.coord
 let set_fault t f = t.fault <- f
 let set_planner t on = Array.iter (fun db -> Database.set_planner db on) t.dbs
+let set_mqo t on = Array.iter (fun db -> Database.set_mqo db on) t.dbs
+
+let set_result_cache t cap =
+  Array.iter (fun db -> Database.set_result_cache db cap) t.dbs
+
+(* Summed across shards: single-shard and pinned reads run on shard 0;
+   gathers probe every shard's cache through the per-table [SELECT *]
+   fetches. *)
+let read_stats t =
+  Array.fold_left
+    (fun (acc : Database.read_stats) db ->
+      let s = Database.read_stats db in
+      {
+        Database.cache_hits = acc.cache_hits + s.Database.cache_hits;
+        cache_misses = acc.cache_misses + s.Database.cache_misses;
+        cache_invalidations =
+          acc.cache_invalidations + s.Database.cache_invalidations;
+        cache_entries = acc.cache_entries + s.Database.cache_entries;
+        dedup_folded = acc.dedup_folded + s.Database.dedup_folded;
+        seq_scans_shared = acc.seq_scans_shared + s.Database.seq_scans_shared;
+        probe_sets_merged =
+          acc.probe_sets_merged + s.Database.probe_sets_merged;
+        joins_shared = acc.joins_shared + s.Database.joins_shared;
+      })
+    {
+      Database.cache_hits = 0;
+      cache_misses = 0;
+      cache_invalidations = 0;
+      cache_entries = 0;
+      dedup_folded = 0;
+      seq_scans_shared = 0;
+      probe_sets_merged = 0;
+      joins_shared = 0;
+    }
+    t.dbs
 
 let stats t =
   {
@@ -390,6 +425,11 @@ let exec_reads t selects =
       t.ctr.c_gathers <- t.ctr.c_gathers + 1;
       let scratch = Database.create ~cost:(Database.cost_model t.dbs.(0)) () in
       Database.set_planner scratch (Database.planner_enabled t.dbs.(0));
+      (* The scratch engine is per-gather, so there is nothing for a result
+         cache to carry across flushes (a dead gather's rows can never be
+         served) — but the plan-merge pass still applies within the
+         flush. *)
+      Database.set_mqo scratch (Database.mqo_enabled t.dbs.(0));
       List.iter
         (fun name ->
           match Database.table t.dbs.(0) name with

@@ -62,6 +62,19 @@ val set_fault : t -> Sloth_net.Fault.t option -> unit
     failures deliver. *)
 
 val set_planner : t -> bool -> unit
+
+val set_mqo : t -> bool -> unit
+(** Broadcast {!Database.set_mqo} to every shard; gathers also enable the
+    plan-merge pass on their scratch engine. *)
+
+val set_result_cache : t -> int option -> unit
+(** Broadcast {!Database.set_result_cache} to every shard.  Gather scratch
+    engines never cache — they are per-flush, so no dead gather's rows can
+    be served. *)
+
+val read_stats : t -> Database.read_stats
+(** {!Database.read_stats} summed across shards. *)
+
 val stats : t -> stats
 
 val exec : t -> Sloth_sql.Ast.stmt -> Database.outcome

@@ -234,6 +234,22 @@ let test_normalize_equivalences () =
   same "SELECT * FROM t WHERE  a = 1  AND  (b = 2 OR c = 3)"
     "SELECT * FROM t WHERE (c = 3 OR b = 2) AND a = 1";
   same "SELECT n FROM t WHERE a + b = 4" "SELECT n FROM t WHERE b + a = 4";
+  (* Duplicate IN-list members are redundant. *)
+  same "SELECT * FROM t WHERE x IN (1, 1, 2, 2, 3)"
+    "SELECT * FROM t WHERE x IN (3, 2, 1)";
+  (* Duplicate AND/OR members are idempotent. *)
+  same "SELECT * FROM t WHERE a = 1 AND a = 1" "SELECT * FROM t WHERE a = 1";
+  same "SELECT * FROM t WHERE a = 1 OR 1 = a" "SELECT * FROM t WHERE a = 1";
+  (* BETWEEN and the adjacent >=/<= range-conjunct pair are one form. *)
+  same "SELECT * FROM t WHERE x BETWEEN 5 AND 9"
+    "SELECT * FROM t WHERE x >= 5 AND x <= 9";
+  same "SELECT * FROM t WHERE x <= 9 AND 5 <= x"
+    "SELECT * FROM t WHERE x BETWEEN 5 AND 9";
+  same "SELECT * FROM t WHERE a = 1 AND x BETWEEN 5 AND 9 AND x >= 5"
+    "SELECT * FROM t WHERE x >= 5 AND a = 1 AND x <= 9";
+  diff "SELECT * FROM t WHERE x BETWEEN 5 AND 9"
+    "SELECT * FROM t WHERE x BETWEEN 5 AND 8";
+  diff "SELECT * FROM t WHERE x IN (1, 2)" "SELECT * FROM t WHERE x IN (1, 3)";
   diff "SELECT * FROM t WHERE a = 1" "SELECT * FROM t WHERE a = 2";
   diff "SELECT * FROM t WHERE a > b" "SELECT * FROM t WHERE a < b";
   diff "SELECT a FROM t" "SELECT b FROM t";
