@@ -126,6 +126,7 @@ let experiments =
       fun () -> Throughput.served ~json:"BENCH_throughput.json" () );
     ("planner", fun () -> Planner_bench.planner ~json:"BENCH_planner.json" ());
     ("mqo", fun () -> Mqo_bench.mqo ~json:"BENCH_mqo.json" ());
+    ("graph", fun () -> Graph_bench.graph ~json:"BENCH_graph.json" ());
     ("appendix", Page_experiments.appendix);
     ("micro", micro);
   ]
@@ -180,13 +181,13 @@ let () =
     | [], Some _, _ | [], _, Some _ ->
         [] (* a knob alone: just its tracked summary *)
     | [], None, None ->
-        (* `recovery`, `failover`, `sharding`, `throughput` and `mqo` are
-           opt-in: the default run's output must not change when those
-           subsystems are idle *)
+        (* `recovery`, `failover`, `sharding`, `throughput`, `mqo` and
+           `graph` are opt-in: the default run's output must not change
+           when those subsystems are idle *)
         List.filter
           (fun n ->
             n <> "recovery" && n <> "failover" && n <> "sharding"
-            && n <> "throughput" && n <> "mqo")
+            && n <> "throughput" && n <> "mqo" && n <> "graph")
           (List.map fst experiments)
     | names, _, _ -> names
   in

@@ -16,7 +16,10 @@ let app_conv =
   let parse = function
     | "tracker" -> Ok Sloth_workload.App_sig.tracker
     | "medrec" -> Ok Sloth_workload.App_sig.medrec
-    | s -> Error (`Msg (Printf.sprintf "unknown app %S (tracker | medrec)" s))
+    | "graph" -> Ok Sloth_workload.App_sig.graph
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown app %S (tracker | medrec | graph)" s))
   in
   let print ppf (module A : Sloth_workload.App_sig.S) =
     Format.pp_print_string ppf A.name
@@ -27,7 +30,7 @@ let app_arg =
   Arg.(
     value
     & opt app_conv Sloth_workload.App_sig.medrec
-    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application: tracker or medrec.")
+    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application: tracker, medrec or graph.")
 
 let rtt_arg =
   Arg.(
@@ -430,6 +433,7 @@ let exp_cmd =
       ("sharding", fun () -> Sloth_harness.Sharding.sharding ());
       ("throughput", fun () -> Sloth_harness.Throughput.served ());
       ("mqo", fun () -> Sloth_harness.Mqo_bench.mqo ());
+      ("graph", fun () -> Sloth_harness.Graph_bench.graph ());
       ("appendix", Sloth_harness.Page_experiments.appendix);
     ]
   in
@@ -440,7 +444,7 @@ let exp_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:
             "fig5..fig13, chaos, recovery, failover, sharding, throughput, \
-             mqo or appendix.  The recovery sweep includes the served-crash \
+             mqo, graph or appendix.  The recovery sweep includes the served-crash \
              arm: the async multi-session server under seeded random \
              crashes, re-driving torn batches through the durable \
              idempotency path.  The failover sweep replicates the primary \

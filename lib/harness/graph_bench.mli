@@ -1,0 +1,10 @@
+(** The graph-reachability experiment: for each traversal page of the
+    triple-store workload, compare a recursive-CTE arm (one
+    [WITH RECURSIVE] statement per root — the whole traversal in a single
+    round trip) against the client-side frontier loop (one point query per
+    expanded node).  Both arms must produce identical sorted id sets; the
+    round-trip gap is the figure of merit. *)
+
+val graph : ?json:string -> unit -> unit
+(** Run the experiment and print the table; [json] additionally writes the
+    machine-readable summary (deterministic — counts only, no wall-clock). *)

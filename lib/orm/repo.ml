@@ -32,6 +32,7 @@ struct
     in
     Select
       {
+        sel_with = None;
         sel_distinct = false;
         sel_items = [ Star ];
         sel_from = Some (desc.table, None);
@@ -53,6 +54,7 @@ struct
     let stmt =
       Select
         {
+          sel_with = None;
           sel_distinct = false;
           sel_items = [ Star ];
           sel_from = Some (a.child_table, None);
@@ -137,6 +139,7 @@ struct
     let stmt =
       Select
         {
+          sel_with = None;
           sel_distinct = false;
           sel_items = [ Sel_expr (Agg (Count, None), Some "n") ];
           sel_from = Some (desc.table, None);

@@ -2,8 +2,9 @@
 
     The dialect covers what the workloads need: single-table and joined
     SELECTs with WHERE / GROUP BY / ORDER BY / LIMIT, the aggregates used by
-    the paper's applications, INSERT / UPDATE / DELETE, transaction control
-    and CREATE TABLE. *)
+    the paper's applications, [WITH [RECURSIVE]] common table expressions
+    (one CTE, base leg plus optional [UNION [ALL]] step leg), INSERT /
+    UPDATE / DELETE, transaction control and CREATE TABLE. *)
 
 type binop =
   | Eq
@@ -54,6 +55,8 @@ and order = { o_expr : expr; o_asc : bool }
 and join = { j_table : string; j_alias : string option; j_on : expr }
 
 and select = {
+  sel_with : cte option;
+      (** common table expression prefixed to the query, if any *)
   sel_distinct : bool;
   sel_items : sel_item list;
   sel_from : (string * string option) option;
@@ -64,6 +67,18 @@ and select = {
   sel_order_by : order list;
   sel_limit : int option;
   sel_offset : int option;
+}
+
+and cte = {
+  cte_name : string;
+  cte_cols : string list;
+      (** explicit output column names; empty means "derive from the base
+          leg's result columns" *)
+  cte_base : select;
+  cte_step : select option;
+      (** the leg after [UNION [ALL]]; [None] for a plain single-leg CTE *)
+  cte_union_all : bool;  (** [UNION ALL] (keep duplicates) vs [UNION] *)
+  cte_recursive : bool;  (** the [RECURSIVE] keyword was present *)
 }
 
 type col_type = T_int | T_float | T_text | T_bool
@@ -98,6 +113,7 @@ let select_of ?(distinct = false) ?(items = [ Star ]) ?alias ?where
     table =
   Select
     {
+      sel_with = None;
       sel_distinct = distinct;
       sel_items = items;
       sel_from = Some (table, alias);

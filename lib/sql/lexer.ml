@@ -23,6 +23,7 @@ let keywords =
     "LIKE"; "TRUE"; "FALSE"; "COUNT"; "SUM"; "MIN"; "MAX"; "AVG";
     "CREATE"; "TABLE"; "PRIMARY"; "KEY"; "INT"; "FLOAT"; "TEXT"; "BOOL";
     "BEGIN"; "COMMIT"; "ROLLBACK"; "DISTINCT"; "HAVING"; "OFFSET"; "BETWEEN";
+    "WITH"; "RECURSIVE"; "UNION"; "ALL";
   ]
 
 let keyword_set =

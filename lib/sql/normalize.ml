@@ -64,6 +64,15 @@ let rec expr = function
 and select (s : select) =
   {
     s with
+    sel_with =
+      Option.map
+        (fun c ->
+          {
+            c with
+            cte_base = select c.cte_base;
+            cte_step = Option.map select c.cte_step;
+          })
+        s.sel_with;
     sel_joins = List.map (fun j -> { j with j_on = expr j.j_on }) s.sel_joins;
     sel_where = Option.map expr s.sel_where;
     sel_group_by = List.map expr s.sel_group_by;

@@ -272,6 +272,7 @@ let parse_select_clause st =
     else None
   in
   {
+    sel_with = None;
     sel_distinct = distinct;
     sel_items = List.rev !items;
     sel_from = from;
@@ -286,6 +287,42 @@ let parse_select_clause st =
 
 let () = select_ref := parse_select_clause
 let parse_select st = Select (parse_select_clause st)
+
+(* WITH [RECURSIVE] name [(col, ...)] AS ( base [UNION [ALL] step] ) SELECT ...
+   — a single CTE prefixed to the main query.  The step leg after UNION is
+   what makes the CTE recursive; RECURSIVE is recorded so the round trip is
+   exact. *)
+let parse_with st =
+  expect_kw st "WITH";
+  let cte_recursive = accept_kw st "RECURSIVE" in
+  let cte_name = ident st in
+  let cte_cols =
+    if accept st Lexer.LPAREN then begin
+      let cols = ref [ ident st ] in
+      while accept st Lexer.COMMA do
+        cols := ident st :: !cols
+      done;
+      expect st Lexer.RPAREN "')'";
+      List.rev !cols
+    end
+    else []
+  in
+  expect_kw st "AS";
+  expect st Lexer.LPAREN "'('";
+  let cte_base = parse_select_clause st in
+  let cte_step, cte_union_all =
+    if accept_kw st "UNION" then begin
+      let all = accept_kw st "ALL" in
+      (Some (parse_select_clause st), all)
+    end
+    else (None, false)
+  in
+  expect st Lexer.RPAREN "')'";
+  let cte =
+    { cte_name; cte_cols; cte_base; cte_step; cte_union_all; cte_recursive }
+  in
+  let body = parse_select_clause st in
+  Select { body with sel_with = Some cte }
 
 let parse_insert st =
   expect_kw st "INSERT";
@@ -384,6 +421,7 @@ let parse_create st =
 let parse_stmt st =
   match peek st with
   | Lexer.KEYWORD "SELECT" -> parse_select st
+  | Lexer.KEYWORD "WITH" -> parse_with st
   | Lexer.KEYWORD "INSERT" -> parse_insert st
   | Lexer.KEYWORD "UPDATE" -> parse_update st
   | Lexer.KEYWORD "DELETE" -> parse_delete st

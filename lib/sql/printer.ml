@@ -105,6 +105,25 @@ and sel_item_to_string = function
 
 and select_to_string s =
   let buf = Buffer.create 64 in
+  (match s.sel_with with
+  | None -> ()
+  | Some c ->
+      Buffer.add_string buf "WITH ";
+      if c.cte_recursive then Buffer.add_string buf "RECURSIVE ";
+      Buffer.add_string buf (ident_to_string c.cte_name);
+      (match c.cte_cols with
+      | [] -> ()
+      | cols ->
+          Buffer.add_string buf
+            (" (" ^ String.concat ", " (List.map ident_to_string cols) ^ ")"));
+      Buffer.add_string buf (" AS (" ^ select_to_string c.cte_base);
+      (match c.cte_step with
+      | None -> ()
+      | Some step ->
+          Buffer.add_string buf
+            ((if c.cte_union_all then " UNION ALL " else " UNION ")
+            ^ select_to_string step));
+      Buffer.add_string buf ") ");
   Buffer.add_string buf "SELECT ";
   if s.sel_distinct then Buffer.add_string buf "DISTINCT ";
   Buffer.add_string buf

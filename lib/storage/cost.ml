@@ -45,6 +45,24 @@ let est_range_rows ~rows ~bounded_both =
 let seq_scan_ms m ~rows = m.scan_row_ms *. float_of_int rows
 let index_ms m ~est_rows = m.probe_ms +. (m.scan_row_ms *. est_rows)
 
+(* A fused probe-set pass (the MQO plan-merge): the first probe pays full
+   price, each additional sharer half a probe (the pass re-uses the index
+   descent bookkeeping), and every surfaced row is visited once.  With
+   [probes = 1] this is exactly [index_ms], so a solo planner decision is
+   unchanged by pricing through this term. *)
+let fused_probe_ms m ~probes ~est_rows =
+  (m.probe_ms *. (1.0 +. (0.5 *. Float.max 0.0 (probes -. 1.0))))
+  +. (m.scan_row_ms *. est_rows)
+
+(* Recursive-CTE fixpoint: the base leg runs once; the step leg re-runs once
+   per semi-naive iteration over the shrinking delta, plus one probe-priced
+   delta swap per iteration.  Without cardinality feedback we charge
+   [est_iterations] full step executions — pessimistic for fast-converging
+   closures, but monotone in the step cost, which is what the planner needs
+   to pick the cheaper step plan. *)
+let fixpoint_ms m ~base_ms ~step_ms ~est_iterations =
+  base_ms +. (est_iterations *. (step_ms +. m.probe_ms))
+
 (* Restart latency of a crashed server, as charged to the event calendar:
    one dispatch to reopen the stores plus one row visit per redo record
    replayed from the WAL suffix.  Deterministic, unlike the wall-clock

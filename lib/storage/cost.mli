@@ -41,6 +41,23 @@ val seq_scan_ms : model -> rows:int -> float
 val index_ms : model -> est_rows:float -> float
 (** Cost of an index access expected to surface [est_rows] rows. *)
 
+val fused_probe_ms : model -> probes:float -> est_rows:float -> float
+(** Cost of running [probes] point lookups on one index as a single fused
+    probe-set pass (the MQO plan-merge, DESIGN §17): the first probe at full
+    price, each additional sharer at half a probe, plus one visit per
+    surfaced row.  [fused_probe_ms ~probes:1.0] equals [index_ms], so solo
+    plans are priced identically; with [probes > 1] the per-statement share
+    is [fused_probe_ms ... /. probes], which is what {!Planner.plan}'s
+    [?probe_sharers] divides by. *)
+
+val fixpoint_ms :
+  model -> base_ms:float -> step_ms:float -> est_iterations:float -> float
+(** Cost of a recursive-CTE fixpoint (Plan [Fixpoint]): the base leg once
+    plus [est_iterations] executions of the step leg, each with a
+    probe-priced delta swap.  Monotone in [step_ms], so comparing two
+    candidate step plans through this term agrees with comparing the step
+    plans directly. *)
+
 val recovery_ms : model -> replayed_records:int -> float
 (** Simulated service time of a crash recovery: a fixed reopen cost plus one
     row-visit charge per redo record replayed from the WAL.  The async

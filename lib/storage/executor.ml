@@ -15,6 +15,8 @@ type mode = Direct | Planned
 
 exception Sql_error of string
 
+exception Recursion_limit of { cte : string; limit : int }
+
 let error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
 
 let get_table cat name =
@@ -23,6 +25,40 @@ let get_table cat name =
   | None -> error "no such table: %s" name
 
 let binding_name table alias = Option.value alias ~default:table
+
+(* --- CTE working tables -------------------------------------------------- *)
+
+(* A catalog in which [name] resolves to whatever table [current] holds —
+   the fixpoint swaps the delta in during step evaluation and the
+   accumulated result back for the main pipeline.  The working table
+   shadows any real table of the same name; everything else passes
+   through. *)
+let overlay cat name current =
+  {
+    find_table =
+      (fun n -> if String.equal n name then Some !current else cat.find_table n);
+    add_table = cat.add_table;
+  }
+
+(* A throwaway in-memory table for CTE rows.  Columns are all nullable
+   T_int: scratch rows bypass type validation (they are inserted through
+   the redo path below), so the declared types only have to exist. *)
+let scratch_table name cols =
+  match
+    Table.create
+      (Schema.create ~name
+         (List.map
+            (fun c -> { Schema.name = c; ty = T_int; nullable = true })
+            cols))
+  with
+  | t -> t
+  | exception Invalid_argument msg -> error "CTE %s: %s" name msg
+
+(* Append a row through the redo path: keeps indexes and the live count
+   consistent while skipping [Schema.validate_row] — CTE rows carry whatever
+   values their leg produced. *)
+let scratch_insert tbl row =
+  Table.apply_redo tbl (Table.heap_length tbl) (Some row)
 
 (* --- physical-plan interpretation --------------------------------------- *)
 
@@ -109,6 +145,25 @@ let rec source_schemas cat = function
       [ (binding, Table.schema (get_table cat table)) ]
   | Plan.P_join { left; table; binding; _ } ->
       source_schemas cat left @ [ (binding, Table.schema (get_table cat table)) ]
+
+(* Does this plan read from [name]?  Decides whether a CTE's step leg is
+   genuinely recursive (iterated over deltas) or runs exactly once.  A
+   nested fixpoint of the same name shadows [name], so its legs don't
+   count. *)
+let rec plan_mentions name (p : Plan.physical) =
+  let rec src = function
+    | Plan.P_nothing -> false
+    | Plan.P_scan { table; _ } -> String.equal table name
+    | Plan.P_join { left; table; _ } -> String.equal table name || src left
+  in
+  src p.Plan.p_source
+  ||
+  match p.Plan.p_fixpoint with
+  | None -> false
+  | Some f ->
+      (not (String.equal f.Plan.pf_name name))
+      && (plan_mentions name f.Plan.pf_base
+         || Option.fold ~none:false ~some:(plan_mentions name) f.Plan.pf_step)
 
 (* --- projection -------------------------------------------------------- *)
 
@@ -274,7 +329,15 @@ let select_bindings cat (s : select) =
                Table.schema (get_table cat j.j_table) ))
            s.sel_joins
 
-let validate_select cat (s : select) =
+let rec validate_select cat (s : select) =
+  (* CTE legs validate against the same catalog: the caller has already
+     overlaid the working table, so step-leg references to the CTE name
+     resolve to its (typed-by-name) scratch schema. *)
+  Option.iter
+    (fun c ->
+      validate_select cat c.cte_base;
+      Option.iter (validate_select cat) c.cte_step)
+    s.sel_with;
   let bindings = select_bindings cat s in
   List.iter
     (function Star -> () | Sel_expr (e, _) -> validate_cols bindings e)
@@ -467,29 +530,32 @@ let finish cat (p : Plan.physical) ~scanned envs =
    the (uncorrelated) subquery — a single-column result — up front; its
    scanned rows are the subquery's own business.  Then validate, plan and
    interpret. *)
-let rec materialize cat ~mode ~model expr =
+let rec materialize cat ~mode ~model ~limit expr =
   match expr with
   | Lit _ | Col _ -> expr
   | Binop (op, a, b) ->
-      Binop (op, materialize cat ~mode ~model a, materialize cat ~mode ~model b)
-  | Unop (op, e) -> Unop (op, materialize cat ~mode ~model e)
+      Binop
+        ( op,
+          materialize cat ~mode ~model ~limit a,
+          materialize cat ~mode ~model ~limit b )
+  | Unop (op, e) -> Unop (op, materialize cat ~mode ~model ~limit e)
   | In_list (e, items) ->
       In_list
-        ( materialize cat ~mode ~model e,
-          List.map (materialize cat ~mode ~model) items )
+        ( materialize cat ~mode ~model ~limit e,
+          List.map (materialize cat ~mode ~model ~limit) items )
   | Is_null { e; negated } ->
-      Is_null { e = materialize cat ~mode ~model e; negated }
-  | Like (e, p) -> Like (materialize cat ~mode ~model e, p)
+      Is_null { e = materialize cat ~mode ~model ~limit e; negated }
+  | Like (e, p) -> Like (materialize cat ~mode ~model ~limit e, p)
   | Between { e; lo; hi } ->
       Between
         {
-          e = materialize cat ~mode ~model e;
-          lo = materialize cat ~mode ~model lo;
-          hi = materialize cat ~mode ~model hi;
+          e = materialize cat ~mode ~model ~limit e;
+          lo = materialize cat ~mode ~model ~limit lo;
+          hi = materialize cat ~mode ~model ~limit hi;
         }
-  | Agg (a, arg) -> Agg (a, Option.map (materialize cat ~mode ~model) arg)
+  | Agg (a, arg) -> Agg (a, Option.map (materialize cat ~mode ~model ~limit) arg)
   | In_select (e, sub) ->
-      let outcome = exec_select cat ~mode ~model sub in
+      let outcome = exec_select cat ~mode ~model ~limit sub in
       let values =
         List.map
           (fun row ->
@@ -498,38 +564,146 @@ let rec materialize cat ~mode ~model expr =
             else Lit (value_to_lit row.(0)))
           (Result_set.rows outcome.rs)
       in
-      In_list (materialize cat ~mode ~model e, values)
+      In_list (materialize cat ~mode ~model ~limit e, values)
 
-and materialize_select cat ~mode ~model (s : select) =
+and materialize_select cat ~mode ~model ~limit (s : select) =
   {
     s with
-    sel_where = Option.map (materialize cat ~mode ~model) s.sel_where;
-    sel_having = Option.map (materialize cat ~mode ~model) s.sel_having;
+    sel_with =
+      (* CTE legs materialize their IN-subqueries too.  A self-reference
+         inside an IN-subquery sees the (empty) initial working table — only
+         FROM/JOIN references to the CTE name participate in the
+         recursion. *)
+      Option.map
+        (fun c ->
+          {
+            c with
+            cte_base = materialize_select cat ~mode ~model ~limit c.cte_base;
+            cte_step =
+              Option.map (materialize_select cat ~mode ~model ~limit) c.cte_step;
+          })
+        s.sel_with;
+    sel_where = Option.map (materialize cat ~mode ~model ~limit) s.sel_where;
+    sel_having = Option.map (materialize cat ~mode ~model ~limit) s.sel_having;
   }
 
-and plan_select cat ~mode ~model (s : select) =
+and plan_select cat ~mode ~model ~limit (s : select) =
   let find name = get_table cat name in
   match mode with
-  | Planned -> Planner.plan ~find ~model s
-  | Direct -> Planner.direct ~find ~model s
+  | Planned -> Planner.plan ~recursion_limit:limit ~find ~model s
+  | Direct -> Planner.direct ~recursion_limit:limit ~find ~model s
 
-and exec_select cat ~mode ~model (s : select) =
-  let s = materialize_select cat ~mode ~model s in
+(* Resolve a WITH prefix into a catalog overlay — a scratch working table
+   named after the CTE shadows any real table of that name — then
+   materialize IN-subqueries and validate against the overlaid catalog, so
+   step-leg references to the CTE name resolve like any other table.
+   Returns the catalog every later phase (planning, execution) must use. *)
+and prep_select cat ~mode ~model ~limit (s : select) =
+  let cat =
+    match s.sel_with with
+    | None -> cat
+    | Some c ->
+        let find name = get_table cat name in
+        let cols = Planner.cte_columns ~find c in
+        let current = ref (scratch_table c.cte_name cols) in
+        overlay cat c.cte_name current
+  in
+  let s = materialize_select cat ~mode ~model ~limit s in
   validate_select cat s;
-  let p = plan_select cat ~mode ~model s in
+  (cat, s)
+
+and exec_select cat ~mode ~model ~limit (s : select) =
+  let cat, s = prep_select cat ~mode ~model ~limit s in
+  run_physical cat (plan_select cat ~mode ~model ~limit s)
+
+(* Interpret a whole physical plan: evaluate the fixpoint (if any) into its
+   working table, then run the main pipeline with that table in scope. *)
+and run_physical cat (p : Plan.physical) =
   let scanned = ref 0 in
+  let cat =
+    match p.Plan.p_fixpoint with
+    | None -> cat
+    | Some f ->
+        let acc = scratch_table f.Plan.pf_name f.Plan.pf_cols in
+        let current = ref acc in
+        let cat = overlay cat f.Plan.pf_name current in
+        run_fixpoint cat ~scanned ~acc ~current f;
+        (* The main pipeline reads the full accumulated result. *)
+        current := acc;
+        cat
+  in
   let envs = run_source cat scanned p.Plan.p_source in
   finish cat p ~scanned envs
 
-let plan_of_select cat ?(mode = Planned) ?(model = Cost.default) s =
-  let s = materialize_select cat ~mode ~model s in
-  validate_select cat s;
-  plan_select cat ~mode ~model s
+(* Semi-naive evaluation: run the base leg into the accumulator, then
+   re-run the step leg with only the previous iteration's new rows (the
+   delta) bound to the CTE name, until an iteration contributes nothing.
+   Rows keep first-insertion order, so results are deterministic. *)
+and run_fixpoint cat ~scanned ~acc ~current (f : Plan.p_fixpoint) =
+  let ncols = List.length f.Plan.pf_cols in
+  let leg p =
+    let o = run_physical cat p in
+    scanned := !scanned + o.rows_scanned;
+    let produced = List.length (Result_set.columns o.rs) in
+    if produced <> ncols then
+      error "CTE %s has %d columns but a leg produced %d" f.Plan.pf_name
+        ncols produced;
+    Result_set.rows o.rs
+  in
+  let seen = Hashtbl.create 64 in
+  (* Feed rows into the accumulator and return the genuinely new ones (the
+     next delta).  UNION dedupes everything, including duplicates within
+     the base leg itself; UNION ALL keeps every row and iterates on the
+     full step output — termination is the iteration cap's business. *)
+  let add_rows rows =
+    if f.Plan.pf_union_all then begin
+      List.iter (scratch_insert acc) rows;
+      rows
+    end
+    else
+      List.filter
+        (fun row ->
+          let key = Array.to_list (Array.map Value.to_string row) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            scratch_insert acc row;
+            true
+          end)
+        rows
+  in
+  let delta = ref (add_rows (leg f.Plan.pf_base)) in
+  match f.Plan.pf_step with
+  | None -> ()
+  | Some step when not (plan_mentions f.Plan.pf_name step) ->
+      (* A second leg that never reads the CTE is not recursive: it runs
+         exactly once (iterating it would never converge under UNION ALL). *)
+      ignore (add_rows (leg step))
+  | Some step ->
+      let iter = ref 0 in
+      while !delta <> [] do
+        if !iter >= f.Plan.pf_limit then
+          raise
+            (Recursion_limit { cte = f.Plan.pf_name; limit = f.Plan.pf_limit });
+        incr iter;
+        let dtbl = scratch_table f.Plan.pf_name f.Plan.pf_cols in
+        List.iter (scratch_insert dtbl) !delta;
+        current := dtbl;
+        delta := add_rows (leg step)
+      done
+
+let plan_of_select cat ?(mode = Planned) ?(model = Cost.default)
+    ?(recursion_limit = Planner.default_recursion_limit) s =
+  let cat, s = prep_select cat ~mode ~model ~limit:recursion_limit s in
+  plan_select cat ~mode ~model ~limit:recursion_limit s
 
 (* --- multi-query batch execution ---------------------------------------- *)
 
 type planned_read = {
   pr_phys : Plan.physical;
+  pr_cat : catalog;
+      (* the catalog the plan was prepared against: for WITH statements it
+         carries the CTE's working-table overlay *)
   mutable pr_outcome : outcome option;
 }
 
@@ -560,7 +734,7 @@ let fresh_share_stats () =
    every shared path enumerates rows in rid order and the full WHERE is
    re-applied per query. *)
 let execute_reads cat ?(mode = Planned) ?(model = Cost.default) ?(mqo = false)
-    ?stats selects =
+    ?(recursion_limit = Planner.default_recursion_limit) ?stats selects =
   let by_key : (string, planned_read) Hashtbl.t = Hashtbl.create 16 in
   let entries =
     List.map
@@ -571,11 +745,13 @@ let execute_reads cat ?(mode = Planned) ?(model = Cost.default) ?(mqo = false)
         match Hashtbl.find_opt by_key key with
         | Some pr -> (pr, false)
         | None ->
-            let s = materialize_select cat ~mode ~model s in
-            validate_select cat s;
+            let cat, s =
+              prep_select cat ~mode ~model ~limit:recursion_limit s
+            in
             let pr =
               {
-                pr_phys = plan_select cat ~mode ~model s;
+                pr_phys = plan_select cat ~mode ~model ~limit:recursion_limit s;
+                pr_cat = cat;
                 pr_outcome = None;
               }
             in
@@ -585,11 +761,7 @@ let execute_reads cat ?(mode = Planned) ?(model = Cost.default) ?(mqo = false)
   in
   let reps = List.filter_map (fun (pr, first) -> if first then Some pr else None) entries in
   let bump f = Option.iter f stats in
-  let solo pr =
-    let scanned = ref 0 in
-    let envs = run_source cat scanned pr.pr_phys.Plan.p_source in
-    pr.pr_outcome <- Some (finish cat pr.pr_phys ~scanned envs)
-  in
+  let solo pr = pr.pr_outcome <- Some (run_physical pr.pr_cat pr.pr_phys) in
   let shared_scan table members =
     let tbl = get_table cat table in
     let schema = Table.schema tbl in
@@ -750,9 +922,13 @@ let execute_reads cat ?(mode = Planned) ?(model = Cost.default) ?(mqo = false)
     (* Legacy sharing: only bare sequential scans merge, grouped by table
        in first-come order. *)
     let scan_table pr =
-      match pr.pr_phys.Plan.p_source with
-      | Plan.P_scan { table; access = Plan.Seq_scan; _ } -> Some table
-      | _ -> None
+      (* A fixpoint plan whose main body scans the CTE would otherwise
+         masquerade as a scan of a real table of that name. *)
+      if pr.pr_phys.Plan.p_fixpoint <> None then None
+      else
+        match pr.pr_phys.Plan.p_source with
+        | Plan.P_scan { table; access = Plan.Seq_scan; _ } -> Some table
+        | _ -> None
     in
     let groups : (string, planned_read list ref) Hashtbl.t =
       Hashtbl.create 4
@@ -848,8 +1024,8 @@ let matching_rows table where scanned =
         (fun (_, row) -> Value.is_truthy (Eval.eval [ (binding, schema, row) ] w))
         candidates
 
-let exec_update cat ?log ~mode ~model ~table ~set ~where () =
-  let where = Option.map (materialize cat ~mode ~model) where in
+let exec_update cat ?log ~mode ~model ~limit ~table ~set ~where () =
+  let where = Option.map (materialize cat ~mode ~model ~limit) where in
   let t = get_table cat table in
   let schema = Table.schema t in
   let binding = Schema.name schema in
@@ -874,8 +1050,8 @@ let exec_update cat ?log ~mode ~model ~table ~set ~where () =
     rows_affected = List.length targets;
   }
 
-let exec_delete cat ?log ~mode ~model ~table ~where () =
-  let where = Option.map (materialize cat ~mode ~model) where in
+let exec_delete cat ?log ~mode ~model ~limit ~table ~where () =
+  let where = Option.map (materialize cat ~mode ~model ~limit) where in
   let t = get_table cat table in
   let scanned = ref 0 in
   let targets = matching_rows t where scanned in
@@ -891,16 +1067,18 @@ let exec_delete cat ?log ~mode ~model ~table ~where () =
     rows_affected = List.length targets;
   }
 
-let execute cat ?log ?(mode = Planned) ?(model = Cost.default) stmt =
+let execute cat ?log ?(mode = Planned) ?(model = Cost.default)
+    ?(recursion_limit = Planner.default_recursion_limit) stmt =
+  let limit = recursion_limit in
   try
     match stmt with
-    | Select s -> exec_select cat ~mode ~model s
+    | Select s -> exec_select cat ~mode ~model ~limit s
     | Insert { table; columns; rows } ->
         exec_insert cat ?log ~table ~columns ~rows ()
     | Update { table; set; where } ->
-        exec_update cat ?log ~mode ~model ~table ~set ~where ()
+        exec_update cat ?log ~mode ~model ~limit ~table ~set ~where ()
     | Delete { table; where } ->
-        exec_delete cat ?log ~mode ~model ~table ~where ()
+        exec_delete cat ?log ~mode ~model ~limit ~table ~where ()
     | Create_table { table; columns; primary_key } ->
         cat.add_table (Schema.of_ast ~table columns ~primary_key);
         { rs = Result_set.empty; rows_scanned = 0; rows_affected = 0 }
@@ -908,6 +1086,6 @@ let execute cat ?log ?(mode = Planned) ?(model = Cost.default) stmt =
         error "transaction control reached the executor"
   with Eval.Error msg -> error "%s" msg
 
-let execute_reads cat ?mode ?model ?mqo ?stats selects =
-  try execute_reads cat ?mode ?model ?mqo ?stats selects
+let execute_reads cat ?mode ?model ?mqo ?recursion_limit ?stats selects =
+  try execute_reads cat ?mode ?model ?mqo ?recursion_limit ?stats selects
   with Eval.Error msg -> error "%s" msg

@@ -26,17 +26,38 @@ type mode =
 
 exception Sql_error of string
 
+exception Recursion_limit of { cte : string; limit : int }
+(** A recursive CTE's semi-naive loop hit its iteration cap without
+    converging (e.g. [UNION ALL] over a cyclic edge set).  Deliberately not
+    a {!Sql_error}: callers distinguish runaway recursion from malformed
+    statements. *)
+
 val execute :
   catalog ->
   ?log:(Txn.entry -> unit) ->
   ?mode:mode ->
   ?model:Cost.model ->
+  ?recursion_limit:int ->
   Sloth_sql.Ast.stmt ->
   outcome
 (** Execute SELECT / INSERT / UPDATE / DELETE / CREATE TABLE.  Transaction
     control statements are the database layer's business and raise
     {!Sql_error} here.  [log] receives undo entries for heap mutations.
-    [mode] defaults to [Planned]; [model] feeds the cost estimates. *)
+    [mode] defaults to [Planned]; [model] feeds the cost estimates.
+
+    A SELECT with a [WITH \[RECURSIVE\]] prefix evaluates the CTE by
+    semi-naive fixpoint iteration into a private working table that shadows
+    any real table of the same name: the base leg seeds it, then the step
+    leg re-runs with only the previous iteration's new rows (the delta)
+    bound to the CTE name until nothing new appears.  [UNION] dedupes the
+    whole result (including base-leg duplicates); [UNION ALL] keeps every
+    row.  Row order is first-insertion order, so results are deterministic.
+    After [recursion_limit] iterations (default
+    {!Planner.default_recursion_limit}) {!Recursion_limit} is raised.
+    The shadow covers the whole statement, so CTE self-references outside
+    the step leg's FROM/JOIN — in the base leg or inside IN-subqueries —
+    see only the empty initial working table; recursion flows exclusively
+    through the step leg. *)
 
 type share_stats = {
   mutable dedup_folded : int;
@@ -56,6 +77,7 @@ val execute_reads :
   ?mode:mode ->
   ?model:Cost.model ->
   ?mqo:bool ->
+  ?recursion_limit:int ->
   ?stats:share_stats ->
   Sloth_sql.Ast.select list ->
   outcome list
@@ -77,7 +99,10 @@ val plan_of_select :
   catalog ->
   ?mode:mode ->
   ?model:Cost.model ->
+  ?recursion_limit:int ->
   Sloth_sql.Ast.select ->
   Plan.physical
 (** Materialize IN-subqueries, validate, and plan a SELECT without
-    executing it (the [explain] entry point). *)
+    executing it (the [explain] entry point).  WITH statements plan against
+    the CTE's (empty) working-table overlay, so the fixpoint's legs appear
+    in the returned plan. *)

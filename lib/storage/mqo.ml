@@ -66,14 +66,20 @@ type shape =
   | Sh_join of { fp : string }  (** join subplan, keyed by fingerprint *)
 
 let shape (p : Plan.physical) =
-  match p.Plan.p_source with
-  | Plan.P_nothing -> Sh_solo
-  | Plan.P_scan { table; access = Plan.Seq_scan; _ } -> Sh_seq { table }
-  | Plan.P_scan { table; access = Plan.Index_eq { column; _ }; _ } ->
-      Sh_eq { table; column }
-  | Plan.P_scan { table; access = Plan.Index_range { column; _ }; _ } ->
-      Sh_range { table; column }
-  | Plan.P_join _ as src -> Sh_join { fp = fingerprint src }
+  (* Fixpoint plans never share: their scans reference the CTE's private
+     working table, which shadows any real table (or another CTE) of the
+     same name, so fusing them with other statements' scans would read the
+     wrong relation. *)
+  if p.Plan.p_fixpoint <> None then Sh_solo
+  else
+    match p.Plan.p_source with
+    | Plan.P_nothing -> Sh_solo
+    | Plan.P_scan { table; access = Plan.Seq_scan; _ } -> Sh_seq { table }
+    | Plan.P_scan { table; access = Plan.Index_eq { column; _ }; _ } ->
+        Sh_eq { table; column }
+    | Plan.P_scan { table; access = Plan.Index_range { column; _ }; _ } ->
+        Sh_range { table; column }
+    | Plan.P_join _ as src -> Sh_join { fp = fingerprint src }
 
 (* A stable textual key for grouping shapes. *)
 let shape_key = function
@@ -126,7 +132,9 @@ let rec tables_of_expr acc = function
       tables_of_expr (tables_of_expr (tables_of_expr acc e) lo) hi
   | Agg (_, arg) -> Option.fold ~none:acc ~some:(tables_of_expr acc) arg
 
-and tables_of_select acc (s : select) =
+(* The table references of a statement's own clauses, ignoring any WITH
+   prefix (handled by [tables_of_select], which knows about shadowing). *)
+and tables_of_clauses acc (s : select) =
   let acc =
     match s.sel_from with None -> acc | Some (t, _) -> t :: acc
   in
@@ -143,6 +151,27 @@ and tables_of_select acc (s : select) =
     List.fold_left (fun acc o -> tables_of_expr acc o.o_expr) acc s.sel_order_by
   in
   List.fold_left (fun acc j -> tables_of_expr acc j.j_on) acc s.sel_joins
+
+(* CTE-aware: a WITH-prefixed statement reads every table its legs read
+   (those versions must key the result cache — a row inserted into an edge
+   table changes the closure), while references to the CTE's own name, in
+   the body or in the recursive step, are the private working table and are
+   filtered out. *)
+and tables_of_select acc (s : select) =
+  match s.sel_with with
+  | None -> tables_of_clauses acc s
+  | Some c ->
+      let legs =
+        tables_of_select
+          (match c.cte_step with
+          | None -> []
+          | Some step -> tables_of_select [] step)
+          c.cte_base
+      in
+      List.filter
+        (fun t -> not (String.equal t c.cte_name))
+        (tables_of_clauses legs s)
+      @ acc
 
 (* Every table a SELECT touches, including through IN-subqueries and join ON
    clauses — the version vector of these tables keys the result cache. *)

@@ -21,6 +21,7 @@ type l_source =
   | L_join of { left : l_source; table : string; binding : string; on : expr }
 
 type logical = {
+  l_fixpoint : l_fixpoint option;
   l_source : l_source;
   l_where : expr option;
   l_group_by : expr list;
@@ -30,6 +31,15 @@ type logical = {
   l_limit : int option;
   l_offset : int option;
   l_items : sel_item list;
+}
+
+and l_fixpoint = {
+  lf_name : string;
+  lf_cols : string list;
+  lf_base : logical;
+  lf_step : logical option;
+  lf_union_all : bool;
+  lf_limit : int;
 }
 
 type p_source =
@@ -45,6 +55,7 @@ type p_source =
     }
 
 type physical = {
+  p_fixpoint : p_fixpoint option;
   p_source : p_source;
   p_where : expr option;
   p_group_by : expr list;
@@ -55,6 +66,16 @@ type physical = {
   p_offset : int option;
   p_items : sel_item list;
   p_est : est;
+}
+
+and p_fixpoint = {
+  pf_name : string;
+  pf_cols : string list;
+  pf_base : physical;
+  pf_step : physical option;
+  pf_union_all : bool;
+  pf_limit : int;
+  pf_est : est;
 }
 
 let source_est = function
@@ -151,17 +172,60 @@ let rec lines_of_p_source = function
       in
       head :: List.map (fun l -> "  " ^ l) (lines_of_p_source left)
 
-let logical_lines (l : logical) =
-  lines_of_pipeline ~items:l.l_items ~distinct:l.l_distinct ~limit:l.l_limit
-    ~offset:l.l_offset ~order_by:l.l_order_by ~having:l.l_having
-    ~group_by:l.l_group_by ~where:l.l_where
-    (lines_of_l_source l.l_source)
+let cols_str = function
+  | [] -> ""
+  | cols -> " (" ^ String.concat ", " cols ^ ")"
 
-let physical_lines (p : physical) =
-  lines_of_pipeline ~items:p.p_items ~distinct:p.p_distinct ~limit:p.p_limit
-    ~offset:p.p_offset ~order_by:p.p_order_by ~having:p.p_having
-    ~group_by:p.p_group_by ~where:p.p_where
-    (lines_of_p_source p.p_source)
+(* A fixpoint prints as its own operator block above the main pipeline: the
+   working-table name, mode and iteration cap, then the base and step legs
+   as indented sub-plans. *)
+let fixpoint_lines ~head ~base_lines ~step_lines main_lines =
+  let indent = List.map (fun l -> "    " ^ l) in
+  (head :: ("  Base" :: indent base_lines))
+  @ (match step_lines with
+    | None -> []
+    | Some lines -> "  Step (over delta)" :: indent lines)
+  @ main_lines
+
+let rec logical_lines (l : logical) =
+  let main =
+    lines_of_pipeline ~items:l.l_items ~distinct:l.l_distinct ~limit:l.l_limit
+      ~offset:l.l_offset ~order_by:l.l_order_by ~having:l.l_having
+      ~group_by:l.l_group_by ~where:l.l_where
+      (lines_of_l_source l.l_source)
+  in
+  match l.l_fixpoint with
+  | None -> main
+  | Some f ->
+      fixpoint_lines
+        ~head:
+          (Printf.sprintf "Fixpoint %s%s %s max_iter=%d" f.lf_name
+             (cols_str f.lf_cols)
+             (if f.lf_union_all then "UNION ALL" else "UNION")
+             f.lf_limit)
+        ~base_lines:(logical_lines f.lf_base)
+        ~step_lines:(Option.map logical_lines f.lf_step)
+        main
+
+let rec physical_lines (p : physical) =
+  let main =
+    lines_of_pipeline ~items:p.p_items ~distinct:p.p_distinct ~limit:p.p_limit
+      ~offset:p.p_offset ~order_by:p.p_order_by ~having:p.p_having
+      ~group_by:p.p_group_by ~where:p.p_where
+      (lines_of_p_source p.p_source)
+  in
+  match p.p_fixpoint with
+  | None -> main
+  | Some f ->
+      fixpoint_lines
+        ~head:
+          (Printf.sprintf "Fixpoint %s%s %s max_iter=%d %s" f.pf_name
+             (cols_str f.pf_cols)
+             (if f.pf_union_all then "UNION ALL" else "UNION")
+             f.pf_limit (est_str f.pf_est))
+        ~base_lines:(physical_lines f.pf_base)
+        ~step_lines:(Option.map physical_lines f.pf_step)
+        main
 
 let pp_lines ppf lines =
   Format.pp_print_list

@@ -38,6 +38,9 @@ type l_source =
     }
 
 type logical = {
+  l_fixpoint : l_fixpoint option;
+      (** a CTE evaluated before the main pipeline; its working table
+          shadows any real table of the same name in [l_source] *)
   l_source : l_source;
   l_where : Sloth_sql.Ast.expr option;
   l_group_by : Sloth_sql.Ast.expr list;
@@ -47,6 +50,19 @@ type logical = {
   l_limit : int option;
   l_offset : int option;
   l_items : Sloth_sql.Ast.sel_item list;
+}
+
+(** The fixpoint operator behind [WITH [RECURSIVE]]: evaluate the base leg
+    into a working table, then run the step leg against the previous
+    iteration's delta until no new rows appear (semi-naive evaluation) or
+    the iteration cap trips. *)
+and l_fixpoint = {
+  lf_name : string;  (** CTE (working table) name *)
+  lf_cols : string list;  (** declared columns; [] derives from the base *)
+  lf_base : logical;
+  lf_step : logical option;  (** [None]: a plain single-leg CTE *)
+  lf_union_all : bool;  (** keep duplicates vs dedupe against the result *)
+  lf_limit : int;  (** hard iteration cap *)
 }
 
 type p_source =
@@ -62,6 +78,7 @@ type p_source =
     }
 
 type physical = {
+  p_fixpoint : p_fixpoint option;
   p_source : p_source;
   p_where : Sloth_sql.Ast.expr option;
       (** the full WHERE, re-applied above the access path (the index is
@@ -74,6 +91,18 @@ type physical = {
   p_offset : int option;
   p_items : Sloth_sql.Ast.sel_item list;
   p_est : est;  (** the source estimate: rows produced and access cost *)
+}
+
+and p_fixpoint = {
+  pf_name : string;
+  pf_cols : string list;
+  pf_base : physical;
+  pf_step : physical option;
+      (** planned against the delta binding for [pf_name], so the step leg
+          can pick index access on the delta-joined column *)
+  pf_union_all : bool;
+  pf_limit : int;
+  pf_est : est;  (** {!Cost.fixpoint_ms} over the base and step estimates *)
 }
 
 val source_est : p_source -> est

@@ -34,9 +34,59 @@ let range_bound op v =
 
 let flip_cmp = function Gt -> Lt | Ge -> Le | Lt -> Gt | Le -> Ge | op -> op
 
+(* --- recursion defaults -------------------------------------------------- *)
+
+(* Hard cap on semi-naive iterations: generous for any workload closure
+   (chains longer than this are data bugs), small enough that a
+   non-converging UNION ALL over a cycle fails fast. *)
+let default_recursion_limit = 100
+
+(* Expected semi-naive iterations, used only for cost estimates: a typical
+   closure (reporting chain, dependency graph) converges within a few hops.
+   The estimate is monotone in the step cost either way, which is all the
+   comparison between candidate step plans needs. *)
+let est_fixpoint_iterations = 8.0
+
+(* The CTE's output column names: the declared list when present, else
+   derived from the base leg's select items exactly the way the executor
+   names result columns (alias, else the bare column name, else the printed
+   expression; [*] expands to every column of every binding, qualified when
+   more than one binding is in scope). *)
+let cte_columns ~find (c : cte) =
+  match c.cte_cols with
+  | _ :: _ as cols -> cols
+  | [] ->
+      let s = c.cte_base in
+      let bindings =
+        match s.sel_from with
+        | None -> []
+        | Some (t, alias) ->
+            (binding_name t alias, Table.schema (find t))
+            :: List.map
+                 (fun j ->
+                   ( binding_name j.j_table j.j_alias,
+                     Table.schema (find j.j_table) ))
+                 s.sel_joins
+      in
+      let qualify = List.length bindings > 1 in
+      List.concat_map
+        (function
+          | Star ->
+              List.concat_map
+                (fun (b, sch) ->
+                  List.map
+                    (fun (col : Schema.column) ->
+                      if qualify then b ^ "." ^ col.name else col.name)
+                    (Schema.columns sch))
+                bindings
+          | Sel_expr (_, Some alias) -> [ alias ]
+          | Sel_expr (Col (_, col), None) -> [ col ]
+          | Sel_expr (e, None) -> [ Sloth_sql.Printer.expr_to_string e ])
+        c.cte_base.sel_items
+
 (* --- lowering ----------------------------------------------------------- *)
 
-let lower (s : select) : Plan.logical =
+let rec lower (s : select) : Plan.logical =
   let source =
     match s.sel_from with
     | None -> Plan.L_nothing
@@ -54,7 +104,19 @@ let lower (s : select) : Plan.logical =
           s.sel_joins
   in
   {
-    Plan.l_source = source;
+    Plan.l_fixpoint =
+      Option.map
+        (fun c ->
+          {
+            Plan.lf_name = c.cte_name;
+            lf_cols = c.cte_cols;
+            lf_base = lower c.cte_base;
+            lf_step = Option.map lower c.cte_step;
+            lf_union_all = c.cte_union_all;
+            lf_limit = default_recursion_limit;
+          })
+        s.sel_with;
+    l_source = source;
     l_where = s.sel_where;
     l_group_by = s.sel_group_by;
     l_having = s.sel_having;
@@ -125,13 +187,22 @@ let is_pk table c =
   | Some pk -> String.equal pk c
   | None -> false
 
-let eq_est ~model table c =
+(* [sharers] is the number of same-flush statements expected to share one
+   fused probe pass on this index (Mqo's Sh_eq groups): the pass is priced by
+   {!Cost.fused_probe_ms} and this statement is charged its per-statement
+   share.  [sharers = 1] reduces exactly to {!Cost.index_ms}, so solo plans
+   are unchanged. *)
+let eq_est ?(sharers = 1) ~model table c =
   let rows = Table.row_count table in
   let est_rows =
     if is_pk table c then Float.min 1.0 (float_of_int rows)
     else Cost.est_eq_rows ~rows ~ndv:(Table.ndv table c)
   in
-  { Plan.est_rows; est_ms = Cost.index_ms model ~est_rows }
+  let probes = float_of_int (max 1 sharers) in
+  {
+    Plan.est_rows;
+    est_ms = Cost.fused_probe_ms model ~probes ~est_rows /. probes;
+  }
 
 let range_est ~model table ~bounded_both =
   let rows = Table.row_count table in
@@ -207,11 +278,11 @@ let cheapest = function
           if e.est_ms < be.est_ms then cand else best)
         first rest
 
-let plan_access ~model table ~binding preds =
+let plan_access ?(sharers = 1) ~model table ~binding preds =
   let eqs =
     List.map
       (fun (c, key) ->
-        (Plan.Index_eq { column = c; key }, eq_est ~model table c))
+        (Plan.Index_eq { column = c; key }, eq_est ~sharers ~model table c))
       (planned_eq_candidates ~binding table preds)
   in
   let ranges =
@@ -332,9 +403,10 @@ let plan_join ~find ~model left (j : join) =
 
 (* --- whole-statement planning ------------------------------------------- *)
 
-let physical_of_source (s : select) p_source =
+let physical_of_source ?fixpoint (s : select) p_source =
   {
-    Plan.p_source;
+    Plan.p_fixpoint = fixpoint;
+    p_source;
     p_where = s.sel_where;
     p_group_by = s.sel_group_by;
     p_having = s.sel_having;
@@ -346,7 +418,50 @@ let physical_of_source (s : select) p_source =
     p_est = Plan.source_est p_source;
   }
 
-let plan ~find ~model (s : select) =
+(* Plan a CTE's two legs with [plan_leg] (cost-based or direct, matching the
+   enclosing mode) and price the fixpoint.  [find] must already resolve
+   [cte_name] — the executor plans against a catalog overlaid with the CTE's
+   working table, so the step leg's references to it cost like the (empty at
+   plan time) scratch table and its index candidates resolve normally. *)
+let plan_fixpoint ~plan_leg ~find ~model ~recursion_limit (c : cte) =
+  let pf_base = plan_leg c.cte_base in
+  let pf_step = Option.map plan_leg c.cte_step in
+  let base_est = pf_base.Plan.p_est in
+  let step_est =
+    match pf_step with
+    | None -> { Plan.est_rows = 0.0; est_ms = 0.0 }
+    | Some p -> p.Plan.p_est
+  in
+  let est_iterations =
+    match pf_step with None -> 0.0 | Some _ -> est_fixpoint_iterations
+  in
+  {
+    Plan.pf_name = c.cte_name;
+    pf_cols = cte_columns ~find c;
+    pf_base;
+    pf_step;
+    pf_union_all = c.cte_union_all;
+    pf_limit = recursion_limit;
+    pf_est =
+      {
+        Plan.est_rows =
+          base_est.Plan.est_rows
+          +. (est_iterations *. step_est.Plan.est_rows);
+        est_ms =
+          Cost.fixpoint_ms model ~base_ms:base_est.Plan.est_ms
+            ~step_ms:step_est.Plan.est_ms ~est_iterations;
+      };
+  }
+
+let rec plan ?(probe_sharers = 1)
+    ?(recursion_limit = default_recursion_limit) ~find ~model (s : select) =
+  let fixpoint =
+    Option.map
+      (plan_fixpoint
+         ~plan_leg:(plan ~probe_sharers ~recursion_limit ~find ~model)
+         ~find ~model ~recursion_limit)
+      s.sel_with
+  in
   let source =
     match s.sel_from with
     | None -> Plan.P_nothing
@@ -356,13 +471,23 @@ let plan ~find ~model (s : select) =
         let preds =
           match s.sel_where with None -> [] | Some w -> conjuncts w
         in
-        let access, est = plan_access ~model table ~binding preds in
+        let access, est =
+          plan_access ~sharers:probe_sharers ~model table ~binding preds
+        in
         let base = Plan.P_scan { table = t; binding; access; est } in
         List.fold_left (plan_join ~find ~model) base s.sel_joins
   in
-  physical_of_source s source
+  physical_of_source ?fixpoint s source
 
-let direct ~find ~model (s : select) =
+let rec direct ?(recursion_limit = default_recursion_limit) ~find ~model
+    (s : select) =
+  let fixpoint =
+    Option.map
+      (plan_fixpoint
+         ~plan_leg:(direct ~recursion_limit ~find ~model)
+         ~find ~model ~recursion_limit)
+      s.sel_with
+  in
   let source =
     match s.sel_from with
     | None -> Plan.P_nothing
@@ -417,4 +542,4 @@ let direct ~find ~model (s : select) =
               { left; table = j.j_table; binding; on = j.j_on; strategy; est })
           base s.sel_joins
   in
-  physical_of_source s source
+  physical_of_source ?fixpoint s source

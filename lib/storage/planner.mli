@@ -10,7 +10,20 @@
 
 val lower : Sloth_sql.Ast.select -> Plan.logical
 
+val default_recursion_limit : int
+(** Hard cap on semi-naive fixpoint iterations (100) used when the caller
+    does not override [?recursion_limit]. *)
+
+val cte_columns : find:(string -> Table.t) -> Sloth_sql.Ast.cte -> string list
+(** The CTE's output column names: the declared list when present, else
+    derived from the base leg's select items using the executor's result
+    naming (alias, else bare column name, else printed expression; [*]
+    expands every binding's columns, qualified when more than one binding is
+    in scope). *)
+
 val plan :
+  ?probe_sharers:int ->
+  ?recursion_limit:int ->
   find:(string -> Table.t) ->
   model:Cost.model ->
   Sloth_sql.Ast.select ->
@@ -18,9 +31,17 @@ val plan :
 (** Cost-based planning.  [find] resolves table names (raising the caller's
     error for unknown ones); the statement must already be validated and
     have its IN-subqueries materialized.  Planning is total: candidate keys
-    that fail to constant-fold are skipped, never raised. *)
+    that fail to constant-fold are skipped, never raised.  [probe_sharers]
+    (default 1) prices equality-index candidates as this statement's share
+    of a fused probe-set pass over that many same-flush sharers
+    ({!Cost.fused_probe_ms}); 1 reduces exactly to {!Cost.index_ms}.
+    A [WITH] prefix plans into {!Plan.physical.p_fixpoint}, each leg planned
+    independently ([find] must resolve the CTE name, normally to the
+    executor's working-table overlay) and capped at [recursion_limit]
+    (default {!default_recursion_limit}) iterations. *)
 
 val direct :
+  ?recursion_limit:int ->
   find:(string -> Table.t) ->
   model:Cost.model ->
   Sloth_sql.Ast.select ->

@@ -45,6 +45,9 @@ type t = {
   coord : Two_pc.t;
   mutable fault : Fault.t option;
   mutable cur : dtxn option;
+  mutable gather_pushdown : bool;
+      (* push derivable WHERE restrictions into the per-shard gather
+         fetches instead of always shipping whole tables *)
   ctr : counters;
 }
 
@@ -72,6 +75,7 @@ let create ?cost ?checkpoint_every ~shards () =
     coord;
     fault = None;
     cur = None;
+    gather_pushdown = true;
     ctr = { c_2pc = 0; c_1pc = 0; c_aborts = 0; c_gathers = 0; c_fanout = 0 };
   }
 
@@ -81,6 +85,8 @@ let coordinator t = t.coord
 let set_fault t f = t.fault <- f
 let set_planner t on = Array.iter (fun db -> Database.set_planner db on) t.dbs
 let set_mqo t on = Array.iter (fun db -> Database.set_mqo db on) t.dbs
+let set_gather_pushdown t on = t.gather_pushdown <- on
+let gather_pushdown_enabled t = t.gather_pushdown
 
 let set_result_cache t cap =
   Array.iter (fun db -> Database.set_result_cache db cap) t.dbs
@@ -368,6 +374,17 @@ let rec expr_tables acc = function
 
 and select_tables acc (s : Ast.select) =
   let acc =
+    (* CTE legs read real tables that must be gathered too.  The CTE's own
+       name lands in the list as well when a leg or the body scans it; the
+       caller filters it out as unknown (no shard has its schema), which is
+       also what routes WITH statements onto the gather path. *)
+    match s.sel_with with
+    | None -> acc
+    | Some c ->
+        let acc = select_tables acc c.Ast.cte_base in
+        Option.fold ~none:acc ~some:(select_tables acc) c.Ast.cte_step
+  in
+  let acc =
     match s.sel_from with None -> acc | Some (tbl, _) -> add_unique acc tbl
   in
   let acc =
@@ -390,7 +407,8 @@ and select_tables acc (s : Ast.select) =
 
 let plain_select name =
   {
-    Ast.sel_distinct = false;
+    Ast.sel_with = None;
+    sel_distinct = false;
     sel_items = [ Ast.Star ];
     sel_from = Some (name, None);
     sel_joins = [];
@@ -402,16 +420,172 @@ let plain_select name =
     sel_offset = None;
   }
 
-(* Cross-shard read path: gather every referenced table whole (one
-   [SELECT *] per table per shard, through the shard's normal read path so
-   scan work is costed), load the union into a scratch engine, and run the
-   original statements there — joins, aggregates and subqueries then just
-   work.  The gather cost and scan count are folded into the first
-   statement's outcome.  No WHERE pushdown: the gathered tables are shared
-   by every statement of the flush, and per-statement filters would
-   duplicate or drop rows for the others.  Row order within a table is
-   shard-concatenation order, so a cross-shard-count comparison of result
-   sets must be order-insensitive unless the query orders explicitly. *)
+(* --- gathered-read WHERE pushdown ---------------------------------------- *)
+
+(* A conjunct can be pushed into a shard's per-table gather fetch when it
+   compares one column of that table against literals only: such a
+   predicate evaluates identically against the bare shard row and against
+   the full environment in the scratch engine (no arithmetic, so no
+   evaluation errors; NULL comparisons are false in both places).  Rows it
+   rejects can never satisfy the statement through that binding. *)
+let pushable_conjunct ~binding ~unambiguous e =
+  let col q c =
+    match q with
+    | Some q -> if String.equal q binding then Some c else None
+    | None -> if unambiguous then Some c else None
+  in
+  let lit = function Ast.Lit _ -> true | _ -> false in
+  match e with
+  | Ast.Binop (((Ast.Eq | Neq | Lt | Le | Gt | Ge) as op), Ast.Col (q, c), rhs)
+    when lit rhs ->
+      Option.map (fun c -> Ast.Binop (op, Ast.Col (None, c), rhs)) (col q c)
+  | Ast.Binop (((Ast.Eq | Neq | Lt | Le | Gt | Ge) as op), lhs, Ast.Col (q, c))
+    when lit lhs ->
+      Option.map (fun c -> Ast.Binop (op, lhs, Ast.Col (None, c))) (col q c)
+  | Ast.Between { e = Ast.Col (q, c); lo; hi } when lit lo && lit hi ->
+      Option.map
+        (fun c -> Ast.Between { e = Ast.Col (None, c); lo; hi })
+        (col q c)
+  | Ast.In_list (Ast.Col (q, c), items) when List.for_all lit items ->
+      Option.map (fun c -> Ast.In_list (Ast.Col (None, c), items)) (col q c)
+  | Ast.Is_null { e = Ast.Col (q, c); negated } ->
+      Option.map (fun c -> Ast.Is_null { e = Ast.Col (None, c); negated })
+        (col q c)
+  | _ -> None
+
+let and_chain = function
+  | [] -> None
+  | e :: es -> Some (List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) e es)
+
+let or_chain = function
+  | [] -> None
+  | e :: es -> Some (List.fold_left (fun a b -> Ast.Binop (Ast.Or, a, b)) e es)
+
+(* Every SELECT that will execute inside the scratch engine, paired with
+   the table name its CTE (if any) shadows there: the statements
+   themselves, their CTE legs, and IN-subqueries anywhere within. *)
+let rec push_units acc ~shadow (s : Ast.select) =
+  let shadow =
+    match s.sel_with with Some c -> Some c.Ast.cte_name | None -> shadow
+  in
+  let acc = (s, shadow) :: acc in
+  let acc =
+    match s.sel_with with
+    | None -> acc
+    | Some c ->
+        let acc = push_units acc ~shadow c.Ast.cte_base in
+        Option.fold ~none:acc ~some:(fun st -> push_units acc ~shadow st)
+          c.Ast.cte_step
+  in
+  let rec expr acc = function
+    | Ast.Lit _ | Ast.Col _ -> acc
+    | Ast.Binop (_, a, b) -> expr (expr acc a) b
+    | Ast.Unop (_, e) -> expr acc e
+    | Ast.In_list (e, es) -> List.fold_left expr (expr acc e) es
+    | Ast.In_select (e, sub) -> push_units (expr acc e) ~shadow sub
+    | Ast.Is_null { e; _ } -> expr acc e
+    | Ast.Like (e, _) -> expr acc e
+    | Ast.Between { e; lo; hi } -> expr (expr (expr acc e) lo) hi
+    | Ast.Agg (_, eo) -> Option.fold ~none:acc ~some:(expr acc) eo
+  in
+  let acc =
+    List.fold_left
+      (fun acc -> function Ast.Star -> acc | Ast.Sel_expr (e, _) -> expr acc e)
+      acc s.sel_items
+  in
+  let acc = Option.fold ~none:acc ~some:(expr acc) s.sel_where in
+  let acc = List.fold_left expr acc s.sel_group_by in
+  let acc = Option.fold ~none:acc ~some:(expr acc) s.sel_having in
+  let acc =
+    List.fold_left (fun acc o -> expr acc o.Ast.o_expr) acc s.sel_order_by
+  in
+  List.fold_left (fun acc j -> expr acc j.Ast.j_on) acc s.sel_joins
+
+(* Per gathered table, the weakest restriction the flush as a whole allows:
+   the OR over every unit's own restriction.  A unit restricts a table only
+   if every one of its bindings of that table has at least one pushable
+   WHERE conjunct; otherwise the unit needs the whole table and the table
+   ships unfiltered.  Returns a lookup from table name to the pushed WHERE
+   (None = ship whole). *)
+let gather_preds selects =
+  let restriction : (string, Ast.expr list option ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let cell name =
+    match Hashtbl.find_opt restriction name with
+    | Some r -> r
+    | None ->
+        let r = ref (Some []) in
+        Hashtbl.add restriction name r;
+        r
+  in
+  let units = List.fold_left (fun acc s -> push_units acc ~shadow:None s) [] selects in
+  List.iter
+    (fun ((s : Ast.select), shadow) ->
+      let bindings =
+        (match s.sel_from with
+        | None -> []
+        | Some (tbl, alias) -> [ (tbl, Option.value alias ~default:tbl) ])
+        @ List.map
+            (fun (j : Ast.join) ->
+              (j.j_table, Option.value j.j_alias ~default:j.j_table))
+            s.sel_joins
+      in
+      let unambiguous = List.length bindings = 1 in
+      let conj =
+        match s.sel_where with None -> [] | Some w -> Planner.conjuncts w
+      in
+      let tables =
+        List.sort_uniq String.compare (List.map fst bindings)
+      in
+      List.iter
+        (fun name ->
+          if Some name <> shadow then begin
+            let r = cell name in
+            let per_binding =
+              List.filter_map
+                (fun (tbl, b) ->
+                  if String.equal tbl name then
+                    Some
+                      (and_chain
+                         (List.filter_map
+                            (pushable_conjunct ~binding:b ~unambiguous)
+                            conj))
+                  else None)
+                bindings
+            in
+            match !r with
+            | None -> ()
+            | Some disjuncts ->
+                if List.exists (fun p -> p = None) per_binding then
+                  (* some binding is unrestricted: the whole table ships *)
+                  r := None
+                else
+                  r :=
+                    Some
+                      (disjuncts @ List.filter_map (fun p -> p) per_binding)
+          end)
+        tables)
+    units;
+  fun name ->
+    match Hashtbl.find_opt restriction name with
+    | Some { contents = Some ds } -> or_chain ds
+    | _ -> None
+
+(* Cross-shard read path: gather every referenced table (one fetch per
+   table per shard, through the shard's normal read path so scan work is
+   costed), load the union into a scratch engine, and run the original
+   statements there — joins, aggregates, subqueries and recursive CTEs then
+   just work.  The gather cost and scan count are folded into the first
+   statement's outcome.  With [gather_pushdown] (the default), each fetch
+   carries the weakest WHERE restriction every statement of the flush
+   allows for that table — the OR across statements of their pushable
+   literal-only conjuncts — so shards ship fewer rows; a statement with no
+   pushable restriction for a table forces that table to ship whole, which
+   keeps results byte-identical to the unpushed path.  Row order within a
+   table is shard-concatenation order, so a cross-shard-count comparison of
+   result sets must be order-insensitive unless the query orders
+   explicitly. *)
 let exec_reads t selects =
   if Array.length t.dbs = 1 then Database.exec_reads t.dbs.(0) selects
   else
@@ -444,6 +618,14 @@ let exec_reads t selects =
                   Database.create_ordered_index scratch ~table:name ~column:c)
                 (Table.ordered_columns tbl))
         known;
+      let pushed =
+        if t.gather_pushdown then gather_preds selects else fun _ -> None
+      in
+      let fetches =
+        List.map
+          (fun name -> { (plain_select name) with Ast.sel_where = pushed name })
+          known
+      in
       let gather_cost = ref 0.0 and gather_scanned = ref 0 in
       Array.iter
         (fun db ->
@@ -459,7 +641,7 @@ let exec_reads t selects =
                       (fun row -> ignore (Table.insert stbl row : Table.rid))
                       (Result_set.rows o.rs))
               known
-              (Database.exec_reads db (List.map plain_select known)))
+              (Database.exec_reads db fetches))
         t.dbs;
       List.mapi
         (fun i ((o : Database.outcome), scanned) ->

@@ -21,9 +21,10 @@
 
     Known restrictions: an UPDATE may not modify a sharded table's primary
     key (the row would have to migrate between shards), and cross-shard
-    reads gather whole referenced tables (no WHERE pushdown) into a scratch
-    engine, so their row order is shard-concatenation order — equal to the
-    unsharded engine's only as a multiset unless the query sorts. *)
+    reads gather the referenced tables (filtered by the pushable WHERE
+    restriction when {!set_gather_pushdown} is on, whole otherwise) into a
+    scratch engine, so their row order is shard-concatenation order — equal
+    to the unsharded engine's only as a multiset unless the query sorts. *)
 
 type t
 
@@ -71,6 +72,17 @@ val set_result_cache : t -> int option -> unit
 (** Broadcast {!Database.set_result_cache} to every shard.  Gather scratch
     engines never cache — they are per-flush, so no dead gather's rows can
     be served. *)
+
+val set_gather_pushdown : t -> bool -> unit
+(** Enable (default) or disable WHERE pushdown on gathered cross-shard
+    reads.  When on, each per-shard per-table gather fetch carries the
+    weakest restriction every statement of the flush allows for that table:
+    the OR across statements of their literal-only conjuncts on that
+    table's columns.  A statement with no pushable restriction forces the
+    whole table to ship, so results are byte-identical either way — only
+    the shipped row count and gather cost change. *)
+
+val gather_pushdown_enabled : t -> bool
 
 val read_stats : t -> Database.read_stats
 (** {!Database.read_stats} summed across shards. *)

@@ -14,3 +14,4 @@ end
 
 let medrec : (module S) = (module Medrec)
 let tracker : (module S) = (module Tracker)
+let graph : (module S) = (module Graph)

@@ -1,0 +1,30 @@
+(** Graph: the semantic triple-store evaluation application — a [node]
+    table and a subject–predicate–object [triple] table (both FK columns
+    hash-indexed by datagen) with reachability pages: dependency closure,
+    impact analysis (reverse closure) and the reporting chain.  Each page
+    issues one [WITH RECURSIVE] statement, evaluated by the executor's
+    semi-naive fixpoint, then resolves every reached node's row — the
+    dependent 1+N the Sloth runtime batches. *)
+
+val name : string
+val specs : Table_spec.t list
+val populate : ?scale:int -> Sloth_storage.Database.t -> unit
+
+val predicates : string list
+(** The edge labels datagen draws uniformly: [depends_on], [reports_to],
+    [part_of], [related_to]. *)
+
+val closure_sql : pred:string -> root:int -> string
+(** Forward reachability as one [WITH RECURSIVE] statement: every node
+    reachable from [root] over [pred] edges in one or more steps, ordered
+    by id.  The step leg joins the delta to [triple.subject_id], an indexed
+    column, so the planner probes per iteration. *)
+
+val reverse_closure_sql : pred:string -> root:int -> string
+(** Reverse reachability: every node that transitively points at [root]. *)
+
+module Pages (X : Sloth_core.Exec.S) : sig
+  val pages : (string * (unit -> Sloth_web.Model.t)) list
+  val page_names : string list
+  val controller : string -> unit -> Sloth_web.Model.t
+end

@@ -1,5 +1,5 @@
 (** Data-driven table descriptions shared by the data generator, the
-    generic ORM entities, and the page builders of both evaluation
+    generic ORM entities, and the page builders of the evaluation
     applications. *)
 
 type colgen =

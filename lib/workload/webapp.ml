@@ -1,4 +1,5 @@
-(** Shared page machinery for the two evaluation applications.
+(** Shared page machinery for the evaluation applications (tracker, medrec
+    and the graph triple store).
 
     [Kit] is instantiated per execution strategy and provides the
     controller building blocks: the framework prelude (session user lookup,

@@ -1,0 +1,116 @@
+(** Shared page machinery for the evaluation applications (tracker, medrec
+    and the graph triple store).
+
+    {!Kit} is instantiated per execution strategy and provides the
+    controller building blocks: the framework prelude (session user lookup,
+    access check, per-privilege menu construction — the per-request query
+    storm real ORM applications exhibit), generic admin list/form/view
+    controllers driven by {!Table_spec}, and rendering helpers.
+
+    Repositories are created once per request via {!Kit.new_request}, so
+    the Hibernate-style first-level cache has request scope in both
+    execution modes. *)
+
+module Kit (X : Sloth_core.Exec.S) : sig
+  (** One table's repository under execution strategy [X] — the
+      {!Sloth_orm.Repo.Make} surface with results wrapped in [X.v]. *)
+  module type ROW_REPO = sig
+    val find : int -> Sloth_orm.Row.t option X.v
+    val find_exn : int -> Sloth_orm.Row.t X.v
+
+    val all :
+      ?order_by:string -> ?limit:int -> unit -> Sloth_orm.Row.t list X.v
+
+    val where :
+      ?order_by:string ->
+      ?limit:int ->
+      Sloth_sql.Ast.expr ->
+      Sloth_orm.Row.t list X.v
+
+    val find_by : string -> Sloth_storage.Value.t -> Sloth_orm.Row.t list X.v
+    val count : ?where:Sloth_sql.Ast.expr -> unit -> int X.v
+    val assoc_rows : string -> int -> Sloth_orm.Row.t list X.v
+    val insert : Sloth_orm.Row.t -> unit
+    val update_fields : int -> (string * Sloth_storage.Value.t) list -> int
+    val delete : int -> int
+  end
+
+  type request = {
+    model : Sloth_web.Model.t;
+    repo : Table_spec.t -> (module ROW_REPO);
+    specs : Table_spec.t list;
+  }
+
+  val new_request : Table_spec.t list -> request
+  (** A fresh model plus a per-request repository cache: asking for the
+      same table twice returns the same repository instance. *)
+
+  val spec : request -> string -> Table_spec.t
+  (** Look a table's spec up in the request's spec list; raises if the
+      table is unknown. *)
+
+  (** {2 Rendering helpers} *)
+
+  val cell_of_value : Sloth_storage.Value.t -> Sloth_web.Html.t
+  val row_html : Sloth_orm.Row.t -> Sloth_web.Html.t
+  val rows_table : Sloth_orm.Row.t list -> Sloth_web.Html.t
+
+  val definition_html : Sloth_orm.Row.t -> Sloth_web.Html.t
+  (** A column/value definition list for one row. *)
+
+  val opt_html : ('a -> Sloth_web.Html.t) -> 'a option -> Sloth_web.Html.t
+  (** Render with the given function, or a "(missing)" placeholder. *)
+
+  val display_name : Sloth_orm.Row.t -> string
+  (** The row's human label: the first populated column among name /
+      username / identifier / code / prop / number / filename, falling
+      back to "#id". *)
+
+  (** {2 The framework prelude} *)
+
+  val prelude :
+    request ->
+    user_table:string ->
+    privilege_table:string ->
+    menu_checks:int ->
+    ?forced_checks:int ->
+    user_id:int ->
+    unit ->
+    bool
+  (** Session lookup, access check and menu construction.  The user and the
+      role's privileges are {e needed} to decide whether to proceed, so
+      they force; the [menu_checks] per-privilege menu probes are only
+      rendered, so under Sloth they batch with the rest of the page.
+      [forced_checks] adds section gates — privilege checks consumed
+      immediately to drive control flow, which not even Sloth can batch.
+      Returns false when the page should render as unauthorized. *)
+
+  (** {2 Generic admin controllers} *)
+
+  val list_page :
+    request ->
+    Table_spec.t ->
+    ?limit:int ->
+    ?render_limit:int ->
+    ?where:Sloth_sql.Ast.expr ->
+    unit ->
+    unit
+  (** A list page: header count, then a table of rows where every foreign
+      key in the spec's [list_deps] is expanded to the parent's display
+      name — the 1+N pattern.  [render_limit] models views that only show
+      the first rows of what the controller fetched. *)
+
+  val form_page : request -> Table_spec.t -> id:int -> unit -> unit
+  (** A form (edit) page: the entity, its foreign-key parents, and the full
+      contents of each lookup table feeding a dropdown. *)
+
+  val view_page :
+    request ->
+    Table_spec.t ->
+    id:int ->
+    children:(string * string) list ->
+    unit ->
+    unit
+  (** A read-only view page: the entity plus counts of related children,
+      given as [(child_table, fk_column)] pairs. *)
+end

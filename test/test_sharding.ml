@@ -116,6 +116,58 @@ let test_reads_match_unsharded () =
        BY a.v";
     ]
 
+let test_gather_pushdown_toggle () =
+  (* WHERE pushdown on gathered reads is a pure shipping optimization:
+     results must be byte-identical with the toggle on and off (and to the
+     unsharded engine), while the pushed filter cuts the rows scanned on
+     the shards. *)
+  let queries =
+    [
+      "SELECT * FROM kv ORDER BY id";
+      "SELECT v FROM kv WHERE id = 7";
+      "SELECT COUNT(*) AS c FROM kv WHERE n > 50 AND id < 15";
+      "SELECT a.v FROM kv a JOIN kv b ON a.id = b.id WHERE b.n = 100 ORDER \
+       BY a.v";
+      "SELECT v FROM kv WHERE id IN (2, 4, 6) ORDER BY v";
+      "WITH big (id) AS (SELECT id FROM kv WHERE n > 120) SELECT COUNT(*) \
+       FROM big";
+    ]
+  in
+  let run on =
+    let sh = deployment 3 in
+    Shard.set_gather_pushdown sh on;
+    Alcotest.(check bool)
+      "toggle readback" on
+      (Shard.gather_pushdown_enabled sh);
+    List.map (fun q -> Rs.rows (Shard.query sh q)) queries
+  in
+  let on = run true and off = run false in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "pushdown is invisible" true (a = b))
+    on off;
+  let db = unsharded_twin () in
+  List.iter2
+    (fun q rows ->
+      Alcotest.(check bool)
+        (q ^ " matches unsharded") true
+        (rows = Rs.rows (Db.query db q)))
+    queries on;
+  (* a PK-restricted statement gathers via index probes instead of full
+     per-shard scans once its conjunct is pushed *)
+  let scanned on =
+    let sh = deployment 3 in
+    Shard.set_gather_pushdown sh on;
+    let sel =
+      match parse "SELECT v FROM kv WHERE id = 7" with
+      | Sloth_sql.Ast.Select s -> s
+      | _ -> assert false
+    in
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Shard.exec_reads sh [ sel ])
+  in
+  Alcotest.(check bool)
+    "pushdown ships fewer rows" true
+    (scanned true < scanned false)
+
 let test_logical_fingerprint_across_counts () =
   let fp n =
     let sh = deployment n in
@@ -379,6 +431,8 @@ let () =
           Alcotest.test_case "partitioning" `Quick test_partitioning;
           Alcotest.test_case "reads match unsharded" `Quick
             test_reads_match_unsharded;
+          Alcotest.test_case "gather pushdown toggle" `Quick
+            test_gather_pushdown_toggle;
           Alcotest.test_case "logical fingerprint across counts" `Quick
             test_logical_fingerprint_across_counts;
           Alcotest.test_case "pk update rejected" `Quick

@@ -136,6 +136,50 @@ let test_like () =
   | Ast.Like (Ast.Col (None, "name"), "a%") -> ()
   | _ -> Alcotest.fail "unexpected parse"
 
+let test_with_recursive () =
+  match
+    parse
+      "WITH RECURSIVE reach (id) AS (SELECT object_id FROM edge WHERE \
+       subject_id = 1 UNION SELECT e.object_id FROM reach JOIN edge AS e ON \
+       e.subject_id = reach.id) SELECT id FROM reach ORDER BY id ASC"
+  with
+  | Ast.Select
+      {
+        sel_with =
+          Some
+            {
+              cte_name = "reach";
+              cte_cols = [ "id" ];
+              cte_step = Some _;
+              cte_union_all = false;
+              cte_recursive = true;
+              _;
+            };
+        sel_from = Some ("reach", None);
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_with_single_leg () =
+  match parse "WITH src AS (SELECT DISTINCT a FROM t) SELECT COUNT(*) FROM src" with
+  | Ast.Select
+      {
+        sel_with =
+          Some
+            {
+              cte_name = "src";
+              cte_cols = [];
+              cte_step = None;
+              cte_union_all = false;
+              cte_recursive = false;
+              _;
+            };
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse"
+
 let test_parse_errors () =
   let bad = [ "SELECT"; "SELECT FROM"; "INSERT INTO"; "UPDATE SET"; "FOO" ] in
   List.iter
@@ -172,6 +216,15 @@ let test_fixed_roundtrips () =
       "BEGIN";
       "COMMIT";
       "ROLLBACK";
+      "WITH src AS (SELECT DISTINCT a FROM t) SELECT COUNT(*) FROM src";
+      "WITH r (x, y) AS (SELECT a, b FROM t WHERE a > 0) SELECT * FROM r \
+       ORDER BY x LIMIT 5";
+      "WITH RECURSIVE reach (id) AS (SELECT object_id FROM edge WHERE \
+       subject_id = 1 UNION SELECT e.object_id FROM reach JOIN edge AS e ON \
+       e.subject_id = reach.id) SELECT id FROM reach ORDER BY id ASC";
+      "WITH RECURSIVE p (id) AS (SELECT object_id FROM edge UNION ALL \
+       SELECT e.object_id FROM p JOIN edge AS e ON e.subject_id = p.id) \
+       SELECT COUNT(*) FROM p";
     ]
 
 (* Identifiers that would lex as keywords (or are not identifier-shaped)
@@ -190,6 +243,7 @@ let test_quoted_ident_roundtrips () =
   let stmt =
     Ast.Select
       {
+        sel_with = None;
         sel_distinct = false;
         sel_items =
           [
@@ -256,7 +310,22 @@ let test_normalize_equivalences () =
   (* Select-item order is semantic (column order of the result set). *)
   diff "SELECT a, b FROM t" "SELECT b, a FROM t";
   (* ORDER BY key order is semantic too. *)
-  diff "SELECT * FROM t ORDER BY a, b" "SELECT * FROM t ORDER BY b, a"
+  diff "SELECT * FROM t ORDER BY a, b" "SELECT * FROM t ORDER BY b, a";
+  (* CTE legs normalize like any other select body. *)
+  same
+    "WITH RECURSIVE r (id) AS (SELECT b FROM e WHERE a = 1 AND p = 'x' UNION \
+     SELECT e.b FROM r JOIN e ON e.a = r.id WHERE e.p = 'x') SELECT id FROM r"
+    "WITH RECURSIVE r (id) AS (SELECT b FROM e WHERE p = 'x' AND 1 = a UNION \
+     SELECT e.b FROM r JOIN e ON r.id = e.a WHERE 'x' = e.p) SELECT id FROM r";
+  (* UNION vs UNION ALL is semantic, and so is the leg itself. *)
+  diff
+    "WITH r (id) AS (SELECT b FROM e UNION SELECT e.b FROM r JOIN e ON e.a = \
+     r.id) SELECT id FROM r"
+    "WITH r (id) AS (SELECT b FROM e UNION ALL SELECT e.b FROM r JOIN e ON \
+     e.a = r.id) SELECT id FROM r";
+  diff
+    "WITH r (id) AS (SELECT b FROM e WHERE a = 1) SELECT id FROM r"
+    "WITH r (id) AS (SELECT b FROM e WHERE a = 2) SELECT id FROM r"
 
 (* --- property tests ---------------------------------------------------- *)
 
@@ -334,7 +403,9 @@ let gen_order =
   QCheck.Gen.(
     map2 (fun e asc -> Ast.{ o_expr = e; o_asc = asc }) gen_expr bool)
 
-let gen_select =
+(* A select body with no WITH prefix — also the shape of a CTE leg (the
+   grammar allows a single top-level CTE only, so legs never nest one). *)
+let gen_select_body =
   QCheck.Gen.(
     let* distinct = bool in
     let* items =
@@ -363,19 +434,49 @@ let gen_select =
     let* limit = opt (int_range 0 100) in
     let* offset = opt (int_range 0 100) in
     return
-      (Ast.Select
-         {
-           sel_distinct = distinct;
-           sel_items = items;
-           sel_from = Some (table, alias);
-           sel_joins = joins;
-           sel_where = where;
-           sel_group_by = group_by;
-           sel_having = having;
-           sel_order_by = order_by;
-           sel_limit = limit;
-           sel_offset = offset;
-         }))
+      Ast.
+        {
+          sel_with = None;
+          sel_distinct = distinct;
+          sel_items = items;
+          sel_from = Some (table, alias);
+          sel_joins = joins;
+          sel_where = where;
+          sel_group_by = group_by;
+          sel_having = having;
+          sel_order_by = order_by;
+          sel_limit = limit;
+          sel_offset = offset;
+        })
+
+let gen_cte =
+  QCheck.Gen.(
+    let* name = gen_ident in
+    let* cols = list_size (int_range 0 3) gen_ident in
+    let* base = gen_select_body in
+    let* step = opt gen_select_body in
+    (* Without a step leg there is no UNION keyword to reparse, so the flag
+       must be false for the round trip to be exact. *)
+    let* union_all = match step with None -> return false | Some _ -> bool in
+    let* recursive = bool in
+    return
+      Ast.
+        {
+          cte_name = name;
+          cte_cols = cols;
+          cte_base = base;
+          cte_step = step;
+          cte_union_all = union_all;
+          cte_recursive = recursive;
+        })
+
+let gen_select =
+  QCheck.Gen.(
+    let* body = gen_select_body in
+    let* cte =
+      frequency [ (3, return None); (1, map Option.some gen_cte) ]
+    in
+    return (Ast.Select { body with sel_with = cte }))
 
 let gen_stmt =
   QCheck.Gen.(
@@ -465,6 +566,8 @@ let () =
           Alcotest.test_case "order/limit" `Quick test_order_limit;
           Alcotest.test_case "in list" `Quick test_in_list;
           Alcotest.test_case "like" `Quick test_like;
+          Alcotest.test_case "with recursive" `Quick test_with_recursive;
+          Alcotest.test_case "with single leg" `Quick test_with_single_leg;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "lex errors" `Quick test_lex_errors;
         ] );

@@ -814,6 +814,7 @@ let prop_executor_vs_reference =
       let stmt =
         Ast.Select
           {
+            sel_with = None;
             sel_distinct = false;
             sel_items =
               [
@@ -1034,6 +1035,7 @@ let gen_fuzz_select =
     in
     let base ~items ~group_by ~having ~order_by ~distinct =
       Ast.{
+        sel_with = None;
         sel_distinct = distinct;
         sel_items = items;
         sel_from = Some ("users", None);
