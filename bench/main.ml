@@ -122,6 +122,9 @@ let experiments =
     ("recovery", fun () -> Recovery.recovery ~json:"BENCH_recovery.json" ());
     ("failover", fun () -> Failover.failover ~json:"BENCH_failover.json" ());
     ("sharding", fun () -> Sharding.sharding ~json:"BENCH_sharding.json" ());
+    ( "repl-shard",
+      fun () ->
+        Repl_sharding.repl_sharding ~json:"BENCH_repl_sharding.json" () );
     ( "throughput",
       fun () -> Throughput.served ~json:"BENCH_throughput.json" () );
     ("planner", fun () -> Planner_bench.planner ~json:"BENCH_planner.json" ());
@@ -181,13 +184,14 @@ let () =
     | [], Some _, _ | [], _, Some _ ->
         [] (* a knob alone: just its tracked summary *)
     | [], None, None ->
-        (* `recovery`, `failover`, `sharding`, `throughput`, `mqo` and
-           `graph` are opt-in: the default run's output must not change
-           when those subsystems are idle *)
+        (* `recovery`, `failover`, `sharding`, `repl-shard`, `throughput`,
+           `mqo` and `graph` are opt-in: the default run's output must not
+           change when those subsystems are idle *)
         List.filter
           (fun n ->
             n <> "recovery" && n <> "failover" && n <> "sharding"
-            && n <> "throughput" && n <> "mqo" && n <> "graph")
+            && n <> "repl-shard" && n <> "throughput" && n <> "mqo"
+            && n <> "graph")
           (List.map fst experiments)
     | names, _, _ -> names
   in

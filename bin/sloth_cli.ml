@@ -431,6 +431,7 @@ let exp_cmd =
       ("recovery", fun () -> Sloth_harness.Recovery.recovery ());
       ("failover", fun () -> Sloth_harness.Failover.failover ());
       ("sharding", fun () -> Sloth_harness.Sharding.sharding ());
+      ("repl-shard", fun () -> Sloth_harness.Repl_sharding.repl_sharding ());
       ("throughput", fun () -> Sloth_harness.Throughput.served ());
       ("mqo", fun () -> Sloth_harness.Mqo_bench.mqo ());
       ("graph", fun () -> Sloth_harness.Graph_bench.graph ());
@@ -443,7 +444,8 @@ let exp_cmd =
       & pos 0 (some (enum (List.map (fun (n, _) -> (n, n)) experiments))) None
       & info [] ~docv:"EXPERIMENT"
           ~doc:
-            "fig5..fig13, chaos, recovery, failover, sharding, throughput, \
+            "fig5..fig13, chaos, recovery, failover, sharding, repl-shard, \
+             throughput, \
              mqo, graph or appendix.  The recovery sweep includes the served-crash \
              arm: the async multi-session server under seeded random \
              crashes, re-driving torn batches through the durable \
@@ -452,7 +454,11 @@ let exp_cmd =
              promotes the most caught-up one on every crash.  The sharding \
              sweep two-phase-commits write batches across hash partitions \
              and crashes every protocol step, auditing per-shard WALs \
-             against the coordinator's decision log.")
+             against the coordinator's decision log.  The repl-shard sweep \
+             re-runs that matrix with every shard a replication group, \
+             killing coordinator, shard primaries or followers at each \
+             step and demanding that prepared transactions survive \
+             promotion.")
   in
   let crash_arg =
     Arg.(

@@ -1,0 +1,98 @@
+(** Replicated-sharding chaos matrix: per-shard replication groups that
+    survive primary failover mid-2PC.
+
+    Every deployment here makes each shard a WAL-shipping replication
+    group ([Shard.create ~replicas_per_shard:2]).  The {!Sharding}
+    workload and its scripted crash points are re-run on top: a scripted
+    [Server_crash] at any 2PC protocol step now kills one {e node} — the
+    coordinator (whole-process restart, promoting every shard), or a shard
+    primary before/after its PREPARE force, before/after the decision, or
+    at a phase-2 ack (promoting that shard's most caught-up follower) —
+    and a separate axis kills a {e follower} instead, which must be
+    completely invisible to the client.
+
+    On top of the plain matrix's detectors (exact pre-or-post atomicity,
+    no lost acked writes, WAL-vs-decision-log audit, exactly-once token
+    re-drive, replay-identical fingerprints against an {e unreplicated}
+    crash-free reference — replication transparency), this matrix checks
+    {e prepared-transaction survival}: a crash after the coordinator's
+    decision reached its log must leave the transaction durably applied
+    once the promoted follower's recovery resolves its quorum-shipped
+    prepared chunk through the decision log.
+
+    The {e served} arm puts the admission server over a replicated sharded
+    deployment under seeded random whole-process crashes: recovery
+    promotes every shard's most caught-up follower, torn batches re-drive
+    through durable idempotency against the new primaries, per-session
+    per-shard read-your-writes floor vectors are re-checked on every read,
+    and shard read fetches may be served by caught-up followers.  Results
+    are checked against serial replays exactly as in {!Sharding}. *)
+
+type case_result = {
+  cr_role : string;
+  cr_acked : bool;
+  cr_applied : bool;
+  cr_atomic : bool;
+  cr_lost : bool;  (** acked but not durable — must never be true *)
+  cr_audit : int;
+  cr_misfire : bool;
+  cr_resume : bool;
+  cr_final : bool;
+  cr_replay : bool;
+  cr_promotions : int;
+  cr_prepared_survived : bool;
+      (** false only when a post-decision crash left the decided
+          transaction unapplied — must never be false *)
+}
+
+type config_result = {
+  rc_shards : int;
+  rc_checkpoint_every : int;
+  rc_replicas : int;
+  rc_cases : int;
+  rc_acked : int;
+  rc_applied : int;
+  rc_aborted : int;
+  rc_promotions : int;  (** shard-primary promotions across the cell *)
+  rc_atomicity_violations : int;  (** must be 0 *)
+  rc_lost_writes : int;  (** must be 0 *)
+  rc_audit_violations : int;  (** must be 0 *)
+  rc_prepared_survival_violations : int;  (** must be 0 *)
+  rc_misfires : int;  (** must be 0 *)
+  rc_resume_ok : int;
+  rc_final_ok : int;
+  rc_replay_ok : int;
+  rc_by_role : (string * int * int * int * int) list;
+}
+
+val run_config : shards:int -> checkpoint_every:int -> config_result
+(** One (shard count, checkpoint interval) cell of the replicated matrix:
+    every batch x every scripted crash point x the follower-death axis. *)
+
+type served = {
+  rv_sessions : int;
+  rv_batches : int;
+  rv_errors : int;
+  rv_crashes : int;
+  rv_recoveries : int;
+  rv_torn_inflight : int;
+  rv_redriven : int;
+  rv_durable_acks : int;
+  rv_torn : int;  (** must be 0 *)
+  rv_failovers : int;  (** shard-primary promotions — the smoke wants >= 1 *)
+  rv_replica_read_batches : int;
+  rv_ryw_violations : int;  (** must be 0 *)
+  rv_lost_acked_writes : int;  (** must be 0 *)
+  rv_audit_violations : int;  (** must be 0 *)
+  rv_identical : bool;
+}
+
+val served_repl_sharded :
+  ?crash:float -> ?shards:int -> ?checkpoint_every:int -> unit -> served
+(** The admission server over a replicated sharded deployment (defaults:
+    crash rate 0.06, 3 shards x 2 replicas, checkpoint every 2). *)
+
+val repl_sharding : ?json:string -> unit -> unit
+(** Run the full replicated matrix and the served arm; when [json] is
+    given, write the deterministic counters (no wall-clock values) to it
+    (e.g. [BENCH_repl_sharding.json]). *)

@@ -120,6 +120,8 @@ let shadow_lfps =
        batches;
      fps)
 
+let shadow_lfp i = (Lazy.force shadow_lfps).(i)
+
 (* --- probe: the fault-trip layout of a fault-free run --------------------- *)
 
 type layout = {
@@ -493,7 +495,10 @@ let served_sharded ?(crash = 0.06) ?(shards = 3) ?(checkpoint_every = 2) () =
   let identical =
     ref
       (Shard.shard_fingerprints sh = Shard.shard_fingerprints osh
-      && Shard.logical_fingerprint sh = Shard.logical_fingerprint_db odb)
+      && Shard.logical_fingerprint sh = Shard.logical_fingerprint_db odb
+      (* end-of-run audit: after the last recovery every shard's WAL must
+         agree with the decision log, exactly as in each matrix cell *)
+      && Shard.audit sh = [])
   in
   Hashtbl.iter
     (fun key (tokened, reply) ->

@@ -20,11 +20,52 @@
     under seeded random whole-process crashes, checking delivered results
     against a serial replay on a fresh same-shard-count deployment (exact,
     including row order) and the logical state against an unsharded replay
-    (order-insensitive).
+    (order-insensitive), and auditing every shard's WAL against the
+    decision log at quiescence (folded into [sh_identical]).
 
     The {e single-shard} check pins [shards = 1] byte-identical to the
     unsharded engine: same heap fingerprint, same WAL byte stream, an empty
     decision log. *)
+
+(** {2 Workload internals}
+
+    Shared with {!Repl_sharding}, which runs the same batches through the
+    same scripted crash points against replicated shard groups. *)
+
+val n_batches : int
+(** Write batches in the crash workload. *)
+
+val token_of : int -> string
+(** Batch [i]'s idempotency token. *)
+
+val seed_shard : Sloth_storage.Shard.t -> unit
+(** Create and populate the workload's table on a fresh deployment. *)
+
+val seed_db : Sloth_storage.Database.t -> unit
+(** The same seed on an unsharded engine (the shadow / oracle replays). *)
+
+val drive : Sloth_storage.Shard.t -> int -> unit
+(** Drive batch [i] to exactly-once completion: the caller-side
+    idempotency loop (check the durable token, re-submit until applied). *)
+
+val shadow_lfp : int -> string
+(** Logical fingerprint of the intended state after the first [i] batches
+    ([shadow_lfp 0] = after the seed), from an unsharded shadow run. *)
+
+type role = {
+  r_label : string;
+  r_first : int;  (** first fault-trip index of the scripted window *)
+  r_last : int;
+  r_target : Sloth_net.Fault.target;
+  r_leg : Sloth_net.Fault.leg;
+}
+(** One scripted crash point of the matrix. *)
+
+val roles_of : t0:int -> trips:int -> role list
+(** The crash points of a batch whose commit starts at global trip [t0]
+    and consumes [trips] decision points: 2 for the 1PC fast path, 7 for a
+    multi-participant commit (PREPARE first/last before/after the force,
+    decision before/after the log append, first/last phase-2 ack). *)
 
 type layout = {
   l_start : int array;
@@ -79,6 +120,20 @@ type served = {
   sh_decisions : int;
   sh_identical : bool;
 }
+
+val served_schedule :
+  int -> (Sloth_sql.Ast.stmt list * string option * float) list
+(** Session [si]'s seeded batch schedule: [(stmts, token, think_ms)] per
+    batch.  Shared with the replicated-sharding served arm so both run the
+    identical multi-session workload. *)
+
+val served_same_outcome :
+  Sloth_storage.Database.outcome -> Sloth_storage.Database.outcome -> bool
+(** Column-, row- and rows-affected-exact outcome equality. *)
+
+val served_ack_shaped : Sloth_storage.Database.outcome list -> bool
+(** A synthesized durable-token ack: non-empty, all-empty result sets with
+    zero rows affected. *)
 
 val served_sharded :
   ?crash:float -> ?shards:int -> ?checkpoint_every:int -> unit -> served

@@ -75,6 +75,15 @@ let at t time k =
 
 let delay t d k = at t (t.clock +. d) k
 
+let step t =
+  if Heap.is_empty t.heap then false
+  else begin
+    let e = Heap.pop t.heap in
+    t.clock <- e.time;
+    e.run ();
+    true
+  end
+
 let run t ~until =
   let continue = ref true in
   while !continue && not (Heap.is_empty t.heap) do

@@ -30,6 +30,12 @@ val run : t -> until:float -> unit
 (** Execute events in timestamp order until the calendar is empty or the
     clock passes [until]. *)
 
+val step : t -> bool
+(** Execute the single earliest event, advancing the clock to its time.
+    Returns [false] (and does nothing) when the calendar is empty.  Lets a
+    synchronous caller drain a private calendar to a condition — e.g. a
+    shard waiting for replication quorum — without picking an [until]. *)
+
 module Future : sig
   (** Single-assignment cells resolved by simulation events — the value a
       non-blocking [submit] hands back so the caller can [await] later.

@@ -75,6 +75,11 @@ and session = {
   mutable last_write_lsn : int;
       (* highest LSN this session has an acknowledged write at — the
          read-your-writes floor for replica-served reads *)
+  mutable last_write_vec : int array;
+      (* per-shard floor vector under replicated sharding: each shard
+         primary's LSN at this session's last acknowledged write.  A later
+         read finding any primary below its floor means an acknowledged
+         write vanished in a promotion — the armed RYW detector. *)
 }
 
 (* One delivery attempt that reached the server.  [a_deliver] is false when
@@ -135,6 +140,9 @@ and t = {
       (* (post-crash epoch, promoted replica's LSN): commits of earlier
          epochs beyond that LSN were never acknowledged and are discarded
          with the old timeline *)
+  mutable shard_fo_seen : int;
+      (* how many of the shard router's promotions this layer has already
+         surfaced in [rev_failovers] / [s_failovers] *)
   (* stats *)
   mutable s_batches : int;
   mutable s_read_batches : int;
@@ -175,8 +183,12 @@ let create ~sim ~db ?(window_ms = 2.0) ?window_bounds ?(max_coalesce = 64)
   | _ -> ());
   (match sharding with
   | Some _ when replication <> None ->
+      (* a sharded deployment replicates per shard, inside the router:
+         pass Shard.create ~replicas_per_shard, not a standalone shipper *)
       invalid_arg
-        "Admission.create: sharding and replication cannot be combined"
+        "Admission.create: a sharded deployment replicates per shard \
+         (Shard.create ~replicas_per_shard); a standalone ?replication \
+         shipper cannot be combined with ?sharding"
   | Some s when Shard.shard_db s 0 != db ->
       invalid_arg "Admission.create: sharding is attached to another db"
   | _ -> ());
@@ -209,6 +221,7 @@ let create ~sim ~db ?(window_ms = 2.0) ?window_bounds ?(max_coalesce = 64)
     next_session = 0;
     rev_log = [];
     rev_failovers = [];
+    shard_fo_seen = 0;
     s_batches = 0;
     s_read_batches = 0;
     s_flushes = 0;
@@ -275,6 +288,7 @@ let open_session ?(rtt_ms = 0.5) ?fault t =
     next_seq = 0;
     reconnects = 0;
     last_write_lsn = 0;
+    last_write_vec = [||];
   }
 
 let session_id s = s.id
@@ -352,6 +366,7 @@ let log t = List.rev t.rev_log
 let replication t = t.repl
 let failover_log t = List.rev t.rev_failovers
 let session_write_lsn s = s.last_write_lsn
+let session_write_vector s = Array.to_list s.last_write_vec
 
 (* --- server-side execution ----------------------------------------------- *)
 
@@ -434,6 +449,71 @@ let count_read_stats t outs =
       if scanned = 0 then t.s_zero_scan <- t.s_zero_scan + 1)
     outs
 
+(* --- replicated sharding ------------------------------------------------- *)
+
+(* Record the session's per-shard read-your-writes floor at write ack:
+   each shard primary's LSN, taken pointwise-max so a component can never
+   regress on the session's side. *)
+let record_shard_floor t ses =
+  match t.shard with
+  | Some sh when Shard.replicated sh ->
+      let cur = Array.of_list (Shard.lsn_vector sh) in
+      if Array.length ses.last_write_vec = 0 then ses.last_write_vec <- cur
+      else
+        Array.iteri
+          (fun s lsn ->
+            if s < Array.length ses.last_write_vec && lsn > ses.last_write_vec.(s)
+            then ses.last_write_vec.(s) <- lsn)
+          cur
+  | _ -> ()
+
+(* The armed detector: any shard primary standing below a floor this
+   session holds an acknowledged write at means the write vanished in a
+   promotion — exactly what quorum acks exist to prevent.  Must count 0. *)
+let check_shard_ryw t sh ses =
+  let cur = Array.of_list (Shard.lsn_vector sh) in
+  Array.iteri
+    (fun s floor ->
+      if s < Array.length cur && cur.(s) < floor then
+        t.s_ryw_violations <- t.s_ryw_violations + 1)
+    ses.last_write_vec
+
+(* Sharded read execution.  Under per-shard replication the router itself
+   routes each shard's fetch to a caught-up follower when one exists (a
+   consistent cut at the primary's current LSN, which dominates every
+   session floor); this wrapper surfaces that routing in the admission
+   counters and runs the RYW detector over every session in the group. *)
+let shard_reads t sh sessions sels =
+  let before = (Shard.stats sh).Shard.replica_read_fetches in
+  let outs = Shard.exec_reads sh sels in
+  if (Shard.stats sh).Shard.replica_read_fetches > before then
+    t.s_replica_batches <- t.s_replica_batches + List.length sessions;
+  List.iter (fun ses -> check_shard_ryw t sh ses) sessions;
+  outs
+
+(* Promotions performed inside the router (a shard primary died at a 2PC
+   step, or a whole-process recovery failed over every shard): surface
+   each one in the admission failover log, and re-point the shard-0
+   anchor — the engine object in slot 0 changes when that shard's primary
+   is promoted. *)
+let sync_shard_failovers t =
+  match t.shard with
+  | Some sh when Shard.replicated sh ->
+      let fos = Shard.failovers sh in
+      let n = List.length fos in
+      if n > t.shard_fo_seen then begin
+        List.iteri
+          (fun i ((_shard, _rid, lsn) : int * int * int) ->
+            if i >= t.shard_fo_seen then begin
+              t.s_failovers <- t.s_failovers + 1;
+              t.rev_failovers <- (t.epoch, lsn) :: t.rev_failovers
+            end)
+          fos;
+        t.shard_fo_seen <- n;
+        t.db <- Shard.shard_db sh 0
+      end
+  | _ -> ()
+
 (* Bounded FIFO window over cached replies; [admitted] keeps only the token
    strings, so an evicted token retransmitted later is refused instead of
    silently applied a second time (unless the WAL can vouch for it). *)
@@ -470,7 +550,8 @@ let run_barrier t a finish =
      least this LSN.  Bumped on every acknowledged-write path. *)
   let bump_write_floor () =
     let lsn = eng_lsn t in
-    if lsn > ses.last_write_lsn then ses.last_write_lsn <- lsn
+    if lsn > ses.last_write_lsn then ses.last_write_lsn <- lsn;
+    record_shard_floor t ses
   in
   match b.b_token with
   | Some k when Hashtbl.mem t.applied k ->
@@ -522,6 +603,7 @@ let run_barrier t a finish =
             (match b.b_token with
             | Some k when has_write -> remember_applied t k (Ok outcomes)
             | _ -> ());
+            sync_shard_failovers t;
             if eng_lsn t > pre_lsn then bump_write_floor ();
             log_exec t ~db:t.db a;
             let read_costs, write_cost =
@@ -537,6 +619,9 @@ let run_barrier t a finish =
           end
       | exception Db.Sql_error msg ->
           rollback_if_open ();
+          (* a "shard crashed" error may have promoted that shard's
+             follower on the way out: surface the failover before acking *)
+          sync_shard_failovers t;
           (* the rollback leaves the LSN where it was, but ack through the
              quorum gate anyway so an error reply can never outrun a
              commit the same incarnation already made *)
@@ -565,6 +650,8 @@ let direct t a =
         if b.b_read then
           let do_reads () =
             match t.shard with
+            | Some sh when Shard.replicated sh ->
+                shard_reads t sh [ b.b_session ] b.b_selects
             | Some sh -> Shard.exec_reads sh b.b_selects
             | None -> Db.exec_reads t.db b.b_selects
           in
@@ -636,10 +723,13 @@ let run_flush_on ?replica t ~db ~release group =
           outs
   in
   let model = Db.cost_model t.db in
-  (* under sharding [db] is always the primary router's anchor (replication
-     is excluded), so the group's reads fan out through the router *)
-  let do_reads sels =
+  (* under sharding [db] is the primary router's anchor, so the group's
+     reads fan out through the router — which, under per-shard
+     replication, serves each shard's fetch from a caught-up follower
+     when it can *)
+  let do_reads ~sessions sels =
     match t.shard with
+    | Some sh when Shard.replicated sh -> shard_reads t sh sessions sels
     | Some sh -> Shard.exec_reads sh sels
     | None -> Db.exec_reads db sels
   in
@@ -652,7 +742,8 @@ let run_flush_on ?replica t ~db ~release group =
             if t.epoch = e0 then respond t a r else reply_torn t a)
           replies)
   in
-  match do_reads all_selects with
+  let group_sessions = List.map (fun a -> a.a_b.b_session) group in
+  match do_reads ~sessions:group_sessions all_selects with
   | outs ->
       count_rows outs;
       let zero =
@@ -672,7 +763,12 @@ let run_flush_on ?replica t ~db ~release group =
               else
                 match outs with
                 | o :: tl -> take (k - 1) (o :: acc) tl
-                | [] -> assert false
+                | [] ->
+                    Db.invariant_violation
+                      "Admission.run_flush_on: coalesced flush returned too \
+                       few outcomes for session %d seq %d (epoch %d, %d \
+                       batches in flush)"
+                      a.a_b.b_session.id a.a_b.b_seq t.epoch n
             in
             let mine, outs = take (List.length a.a_b.b_selects) [] outs in
             log_exec ?replica t ~db a;
@@ -687,7 +783,7 @@ let run_flush_on ?replica t ~db ~release group =
       let replies =
         List.map
           (fun a ->
-            match do_reads a.a_b.b_selects with
+            match do_reads ~sessions:[ a.a_b.b_session ] a.a_b.b_selects with
             | outs ->
                 count_rows outs;
                 log_exec ?replica t ~db a;
@@ -848,8 +944,12 @@ let recover t =
         | Some sh ->
             (* whole-process crash: the coordinator's decision log recovers
                first, then every shard resolves its in-doubt chunks against
-               it; the calendar is charged for the summed replay *)
+               it; the calendar is charged for the summed replay.  Under
+               per-shard replication each shard recovers by promoting its
+               most caught-up follower instead — surface those promotions
+               (and the re-pointed shard-0 anchor) before serving. *)
             Shard.crash_restart sh;
+            sync_shard_failovers t;
             let _txns, records, _committed, _aborted =
               Shard.recovery_totals sh
             in

@@ -216,11 +216,25 @@ val create :
     the module preamble for what it changes.  [sharding] routes every
     execution through a {!Sloth_storage.Shard} router whose shard 0 must be
     [db] (raises [Invalid_argument] otherwise, and when combined with
-    [replication] — a sharded deployment replicates per shard, which this
-    layer does not model): barriers two-phase-commit across the shards they
-    touch, coalesced read flushes gather through the router, crash recovery
-    runs the whole-process protocol (decision log first, then every shard's
-    in-doubt resolution), and durable-token re-drives consult all shards. *)
+    [replication] — a sharded deployment replicates {e per shard}, inside
+    the router, via [Shard.create ~replicas_per_shard]): barriers
+    two-phase-commit across the shards they touch, coalesced read flushes
+    gather through the router, crash recovery runs the whole-process
+    protocol (decision log first, then every shard's in-doubt resolution —
+    by promotion when the shards are replicated), and durable-token
+    re-drives consult all shards.
+
+    With a {e replicated} shard router the admission layer additionally:
+    holds no extra quorum wait (every shard commit is quorum-acked
+    synchronously inside the router before control returns); records each
+    session's per-shard LSN floor vector at write ack and re-checks it on
+    every read ([ryw_violations] counts floors a later read found
+    regressed — an acknowledged write lost in a promotion; must be 0);
+    counts read flushes whose shard fetches were served by caught-up
+    followers in [replica_read_batches]; and surfaces every promotion the
+    router performs — mid-protocol or during whole-process recovery — in
+    {!failover_log} and [failovers], re-pointing its shard-0 anchor at the
+    promoted engine. *)
 
 val sim : t -> Sloth_net.Des.t
 val database : t -> Sloth_storage.Database.t
@@ -284,12 +298,25 @@ val session_write_lsn : session -> int
 (** The session's read-your-writes floor: the highest LSN it holds an
     acknowledged write at. *)
 
+val session_write_vector : session -> int list
+(** Under replicated sharding, the session's per-shard floor vector: each
+    shard primary's LSN at the session's last acknowledged write (empty
+    before the first, or without a replicated shard router).  Every later
+    read re-checks the current primaries against it — a regressed
+    component counts an [ryw_violations]. *)
+
 val failover_log : t -> (int * int) list
 (** One [(epoch, cutoff_lsn)] pair per failover, oldest first: after the
     crash that opened [epoch], the promoted replica stood at [cutoff_lsn].
     An execution logged in an earlier epoch with [e_lsn > cutoff_lsn] was
     never acknowledged and its effects were discarded with the old
-    timeline — the serial-replay oracle drops exactly those entries. *)
+    timeline — the serial-replay oracle drops exactly those entries.
+
+    Under replicated sharding there is one entry per {e shard} promotion
+    (mid-protocol or in whole-process recovery), carrying the promoted
+    shard primary's local LSN.  No executions are discarded in that mode:
+    every acknowledged shard commit is quorum-durable before its ack, so
+    the log is an audit trail, not a cutoff. *)
 
 val log : t -> entry list
 (** Every successfully executed batch in execution order — the

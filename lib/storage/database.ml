@@ -6,6 +6,14 @@ type outcome = {
 
 exception Sql_error of string
 
+exception Invariant_violation of string
+(* An internal protocol invariant broke (not a user error): raised with
+   enough context — gtid / epoch / shard — to diagnose a chaos-matrix
+   failure instead of aborting on a bare [assert false]. *)
+
+let invariant_violation fmt =
+  Format.kasprintf (fun s -> raise (Invariant_violation s)) fmt
+
 type recovery_stats = {
   from_checkpoint : bool;
   replayed_txns : int;
@@ -31,6 +39,15 @@ type dur = {
   prepared : (int, string option) Hashtbl.t;
       (* gtid -> idempotency token of transactions forced by dtxn_prepare
          and still awaiting their phase-2 decision *)
+  mutable ship_prepares : bool;
+      (* replicated-shard mode: prepare chunks and phase-2 completion
+         markers each take an LSN and fire the replication tap, so a
+         follower's log stays a prefix-equal copy of the primary's and a
+         promoted follower can resolve in-doubt chunks itself *)
+  pending_repl : (int, Wal.record list) Hashtbl.t;
+      (* follower side of ship_prepares: gtid -> stashed records of a
+         shipped [Begin .. Prepare] chunk, applied to the heap only when
+         the phase-2 completion marker arrives *)
   mutable seen_txns : int;
       (* replay watermarks: how much of the current log the previous
          recovery already replayed, so [last_recovery] reports per-call
@@ -315,6 +332,7 @@ let recover t d =
   t.txn <- None;
   Hashtbl.reset d.tokens;
   Hashtbl.reset d.prepared;
+  Hashtbl.reset d.pending_repl;
   d.lsn <- 0;
   let from_checkpoint = load_checkpoint t d in
   let log = Wal.contents d.wal in
@@ -347,6 +365,11 @@ let recover t d =
       | Wal.Prepare id, Some (id', acc) when id = id' ->
           in_doubt := !in_doubt @ [ (id, List.rev acc) ];
           if id >= d.next_txn then d.next_txn <- id + 1;
+          (* In replicated-shard mode the live prepare force took an LSN
+             of its own (so it could ship); the replay must account it the
+             same way or a promoted follower's LSN would drift from the
+             primary's. *)
+          if d.ship_prepares then d.lsn <- d.lsn + 1;
           pending := None
       | Wal.Commit id, None when List.mem_assoc id !in_doubt ->
           (* phase-2 completion marker: the coordinator decided COMMIT and
@@ -414,6 +437,8 @@ let enable_durability ?(checkpoint_every = 8) ~wal ~checkpoint t =
       lsn = 0;
       tokens = Hashtbl.create 32;
       prepared = Hashtbl.create 8;
+      ship_prepares = false;
+      pending_repl = Hashtbl.create 8;
       seen_txns = 0;
       seen_records = 0;
       last_recovery = None;
@@ -454,6 +479,31 @@ let checkpoint_now t =
 let current_lsn t = match t.dur with None -> 0 | Some d -> d.lsn
 let set_commit_tap t tap = t.on_commit <- tap
 
+let set_ship_prepares t on =
+  match t.dur with
+  | None -> invalid_arg "Database.set_ship_prepares: durability is off"
+  | Some d -> d.ship_prepares <- on
+
+let ship_prepares t =
+  match t.dur with None -> false | Some d -> d.ship_prepares
+
+(* Presumed abort ships nothing, so a follower that stashed an aborted
+   prepare chunk must be told out of band to drop it (the dead chunk stays
+   in its log and is presumed-aborted at any later promotion). *)
+let repl_forget t ~gtid =
+  match t.dur with
+  | None -> ()
+  | Some d ->
+      Hashtbl.remove d.prepared gtid;
+      Hashtbl.remove d.pending_repl gtid
+
+(* A snapshot frames only committed state, but [Txn] applies heap effects
+   eagerly (undo-logged): snapshotting mid-transaction or mid-prepare would
+   bake uncommitted effects into the receiver.  The shipper defers. *)
+let snapshot_safe t =
+  t.txn = None
+  && match t.dur with None -> true | Some d -> Hashtbl.length d.prepared = 0
+
 let snapshot t =
   match t.dur with
   | None -> invalid_arg "Database.snapshot: durability is off"
@@ -472,6 +522,7 @@ let install_snapshot t framed =
           t.txn <- None;
           Hashtbl.reset d.tokens;
           Hashtbl.reset d.prepared;
+          Hashtbl.reset d.pending_repl;
           if load_checkpoint_payload t d payload then begin
             (* The snapshot becomes this replica's own checkpoint, so a
                crash-restart of a promoted replica recovers from it plus
@@ -492,19 +543,43 @@ let install_snapshot t framed =
 let apply_replicated t ~lsn records =
   match t.dur with
   | None -> invalid_arg "Database.apply_replicated: durability is off"
-  | Some d ->
-      Wal.append_records d.wal records;
-      List.iter
-        (fun r ->
-          (match r with
-          | Wal.Commit id | Wal.Begin id ->
-              if id >= d.next_txn then d.next_txn <- id + 1
-          | _ -> ());
-          apply_record t d r)
-        records;
-      d.lsn <- lsn;
-      d.commits_since_ck <- d.commits_since_ck + 1;
-      maybe_checkpoint t d
+  | Some d -> (
+      match List.rev records with
+      | Wal.Prepare gtid :: _ ->
+          (* Forced-but-undecided chunk from a replicated shard primary:
+             append it (so a promotion replays it as in-doubt through the
+             normal recovery path) but keep the heap untouched until the
+             phase-2 decision.  Registering the gtid in [prepared] blocks
+             checkpoints exactly as it does on the primary. *)
+          Wal.append_records d.wal records;
+          if gtid >= d.next_txn then d.next_txn <- gtid + 1;
+          Hashtbl.replace d.pending_repl gtid records;
+          Hashtbl.replace d.prepared gtid None;
+          d.lsn <- lsn
+      | [ Wal.Commit gtid ] when Hashtbl.mem d.pending_repl gtid ->
+          (* Phase-2 completion marker for a stashed chunk: the decision
+             was COMMIT, so apply the redo images (and token) now. *)
+          let recs = Hashtbl.find d.pending_repl gtid in
+          Wal.append_records d.wal records;
+          List.iter (apply_record t d) recs;
+          Hashtbl.remove d.pending_repl gtid;
+          Hashtbl.remove d.prepared gtid;
+          d.lsn <- lsn;
+          d.commits_since_ck <- d.commits_since_ck + 1;
+          maybe_checkpoint t d
+      | _ ->
+          Wal.append_records d.wal records;
+          List.iter
+            (fun r ->
+              (match r with
+              | Wal.Commit id | Wal.Begin id ->
+                  if id >= d.next_txn then d.next_txn <- id + 1
+              | _ -> ());
+              apply_record t d r)
+            records;
+          d.lsn <- lsn;
+          d.commits_since_ck <- d.commits_since_ck + 1;
+          maybe_checkpoint t d)
 
 (* --- fingerprinting ------------------------------------------------------ *)
 
@@ -618,9 +693,17 @@ let dtxn_prepare ?token t ~gtid =
            decision log at recovery. *)
         if gtid >= d.next_txn then d.next_txn <- gtid + 1;
         let toks = match token with None -> [] | Some k -> [ Wal.Token k ] in
-        Wal.append_records d.wal
-          ((Wal.Begin gtid :: sets) @ toks @ [ Wal.Prepare gtid ]);
+        let chunk = (Wal.Begin gtid :: sets) @ toks @ [ Wal.Prepare gtid ] in
+        Wal.append_records d.wal chunk;
         Hashtbl.replace d.prepared gtid token;
+        (* Replicated shard: the forced chunk takes an LSN and ships to
+           the followers, so a prepared-but-undecided transaction survives
+           a primary failover (the promoted follower replays it as
+           in-doubt and resolves through the decision log). *)
+        if d.ship_prepares then begin
+          d.lsn <- d.lsn + 1;
+          fire_tap t d chunk
+        end;
         true
       end
 
@@ -643,6 +726,7 @@ let dtxn_commit t ~gtid =
           | None -> ());
           Hashtbl.remove d.prepared gtid;
           d.lsn <- d.lsn + 1;
+          if d.ship_prepares then fire_tap t d [ Wal.Commit gtid ];
           d.commits_since_ck <- d.commits_since_ck + 1;
           maybe_checkpoint t d)
 

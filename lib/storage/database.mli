@@ -14,6 +14,15 @@ type outcome = {
 
 exception Sql_error of string
 
+exception Invariant_violation of string
+(** An internal protocol invariant broke — not a user error.  The payload
+    carries diagnostic context (gtid / epoch / shard) so a chaos-matrix
+    failure explains itself instead of dying on a bare [assert false]. *)
+
+val invariant_violation : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [invariant_violation fmt ...] raises {!Invariant_violation} with the
+    formatted message. *)
+
 type recovery_stats = {
   from_checkpoint : bool;  (** a usable checkpoint frame was loaded *)
   replayed_txns : int;  (** committed transactions re-applied from the log *)
@@ -135,6 +144,33 @@ val set_commit_tap : t -> (lsn:int -> Wal.record list -> unit) option -> unit
     truncation.  Used by {!Replication} to stream committed work to
     followers; at most one tap is active per database. *)
 
+val set_ship_prepares : t -> bool -> unit
+(** Replicated-shard mode (off by default).  When on, {!dtxn_prepare}'s
+    forced [Begin .. Prepare] chunk takes an LSN of its own and fires the
+    replication tap, and {!dtxn_commit}'s standalone completion marker
+    fires the tap too — so followers hold a prefix-equal copy of the
+    primary's log and a promoted follower replays prepared-but-undecided
+    chunks as in-doubt, resolving them through the coordinator's decision
+    log.  Recovery accounts prepare chunks an LSN the same way, keeping
+    the sequence numbers identical live and replayed.  Must be set equally
+    on a primary and its followers.  Raises [Invalid_argument] without
+    durability. *)
+
+val ship_prepares : t -> bool
+
+val repl_forget : t -> gtid:int -> unit
+(** Follower-side cleanup for a globally-aborted prepared transaction:
+    presumed abort ships no record, so the shard layer tells each follower
+    out of band to drop the stashed chunk and unblock checkpointing.  The
+    dead chunk stays in the follower's log and is presumed-aborted by any
+    later promotion.  No-op when [gtid] is unknown. *)
+
+val snapshot_safe : t -> bool
+(** True when a {!snapshot} taken now would contain only committed state:
+    no open transaction and no prepared-but-undecided chunk ([Txn] applies
+    heap effects eagerly, so either would bake uncommitted effects into
+    the frame).  The shipper defers snapshot catch-up until this holds. *)
+
 val snapshot : t -> string
 (** The full durable state as one checksummed checkpoint frame (tables,
     heap, token registry, transaction-id high-water mark and current LSN).
@@ -153,7 +189,11 @@ val apply_replicated : t -> lsn:int -> Wal.record list -> unit
 (** Apply one shipped WAL chunk on a follower: append it to the follower's
     own log, redo its records (including durable idempotency tokens) and
     advance the follower's LSN to [lsn].  The caller must deliver chunks
-    in order without gaps.  Raises [Invalid_argument] without durability. *)
+    in order without gaps.  Two replicated-shard chunk shapes are handled
+    specially: a chunk ending in [Prepare g] is appended and stashed but
+    not applied (the heap stays clean until the decision), and a standalone
+    [Commit g] marker matching a stash applies the stashed chunk.  Raises
+    [Invalid_argument] without durability. *)
 
 val fingerprint : t -> string
 (** Hex digest of the full logical contents (tables in creation order, heap

@@ -94,6 +94,8 @@ let check_waiters t =
 let on_quorum t ~lsn k =
   if quorum_reached t lsn then k () else t.waiters <- (lsn, k) :: t.waiters
 
+let acked t ~lsn = quorum_reached t lsn
+
 (* --- shipping ------------------------------------------------------------- *)
 
 let decide m =
@@ -143,6 +145,11 @@ and retry_ship t m g0 attempt k =
     (fun () -> if t.generation = g0 then k ())
 
 and ship_snapshot t m g0 attempt =
+  if not (Database.snapshot_safe t.primary) then
+    (* An open transaction or a prepared-but-undecided chunk would bake
+       uncommitted heap effects into the frame; try again shortly. *)
+    retry_ship t m g0 attempt (fun () -> ship_snapshot t m g0 (attempt + 1))
+  else
   let snap = Database.snapshot t.primary in
   let at_lsn = Database.current_lsn t.primary in
   match decide m with
@@ -222,6 +229,7 @@ let add_replica ?(rtt_ms = 1.0) ?fault ?(checkpoint_every = 8) t =
   Database.set_planner db (Database.planner_enabled t.primary);
   Database.enable_durability ~checkpoint_every ~wal:(Wal.mem ())
     ~checkpoint:(Wal.mem ()) db;
+  Database.set_ship_prepares db (Database.ship_prepares t.primary);
   (* base backup at attach time (sessions have not started yet) *)
   if not (Database.install_snapshot db (Database.snapshot t.primary)) then
     invalid_arg "Replication.add_replica: base backup failed";
@@ -242,6 +250,15 @@ let add_replica ?(rtt_ms = 1.0) ?fault ?(checkpoint_every = 8) t =
   t.next_id <- t.next_id + 1;
   t.members <- t.members @ [ m ];
   m.m_id
+
+let remove_replica t id =
+  match List.find_opt (fun m -> m.m_id = id) t.members with
+  | None -> invalid_arg "Replication.remove_replica: unknown replica"
+  | Some _ ->
+      t.members <- List.filter (fun m -> m.m_id <> id) t.members;
+      (* The quorum denominator just shrank (majority of the *current*
+         members): waiters that now have enough acks must fire. *)
+      check_waiters t
 
 (* --- inspection ----------------------------------------------------------- *)
 

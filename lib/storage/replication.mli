@@ -75,6 +75,13 @@ val replicas : t -> replica_info list
 val replica_db : t -> int -> Database.t
 (** Raises [Invalid_argument] for an unknown or promoted-away id. *)
 
+val remove_replica : t -> int -> unit
+(** Permanently drop one follower (a simulated follower death): it stops
+    receiving chunks and no longer counts toward either quorum.  Ack
+    waiters are re-checked — the quorum denominator just shrank, so a
+    commit that was one ack short of a majority may fire.  Raises
+    [Invalid_argument] for an unknown id. *)
+
 val stats : t -> stats
 
 val route_read : t -> min_lsn:int -> (int * Database.t) option
@@ -89,6 +96,11 @@ val on_quorum : t -> lsn:int -> (unit -> unit) -> unit
     [lsn]; immediately if they already have (in particular when there are
     no followers).  Pending callbacks are also fired — unconditionally —
     by {!promote}, whose caller re-checks its own crash epoch. *)
+
+val acked : t -> lsn:int -> bool
+(** Non-blocking quorum poll: have [ack_replicas] followers acknowledged
+    [lsn] already?  A replicated shard drains its private calendar against
+    this instead of registering an {!on_quorum} continuation. *)
 
 val can_promote : t -> bool
 (** Whether a failover could succeed right now: at least one follower and

@@ -17,6 +17,7 @@
 
 module Ast = Sloth_sql.Ast
 module Fault = Sloth_net.Fault
+module Des = Sloth_net.Des
 
 type stats = {
   two_pc_commits : int;
@@ -25,6 +26,8 @@ type stats = {
   gathered_reads : int;
   fanout_writes : int;
   decisions : int;
+  replica_read_fetches : int;
+  shard_failovers : int;
 }
 
 type counters = {
@@ -33,6 +36,7 @@ type counters = {
   mutable c_aborts : int;
   mutable c_gathers : int;
   mutable c_fanout : int;
+  mutable c_replica_reads : int;
 }
 
 (* One open distributed transaction: the shards whose local transaction it
@@ -40,21 +44,37 @@ type counters = {
    fault-injection trip sequence of a commit deterministic). *)
 type dtxn = { mutable touched : int list }
 
+(* Per-shard replication state.  Every shard's engine is the primary of a
+   {!Replication} group whose shipping runs on one private DES calendar —
+   separate from any admission-layer simulation, so the synchronous 2PC
+   code below can drain it to quiescence whenever it needs a quorum
+   answer, without re-entering a running [Des.run]. *)
+type repl_state = {
+  r_sim : Des.t;
+  r_groups : Replication.t array;  (* index = shard *)
+  mutable r_failovers : (int * int * int) list;
+      (* (shard, promoted replica id, LSN at promotion), oldest first *)
+}
+
 type t = {
-  dbs : Database.t array;
+  dbs : Database.t array;  (* current primaries; slots swap on failover *)
   coord : Two_pc.t;
   mutable fault : Fault.t option;
   mutable cur : dtxn option;
   mutable gather_pushdown : bool;
       (* push derivable WHERE restrictions into the per-shard gather
          fetches instead of always shipping whole tables *)
+  repl : repl_state option;
   ctr : counters;
 }
 
 let error fmt = Format.kasprintf (fun s -> raise (Database.Sql_error s)) fmt
 
-let create ?cost ?checkpoint_every ~shards () =
+let create ?cost ?checkpoint_every ?(replicas_per_shard = 0) ?ack_replicas
+    ?promote_quorum ~shards () =
   if shards < 1 then invalid_arg "Shard.create: need at least one shard";
+  if replicas_per_shard < 0 then
+    invalid_arg "Shard.create: replicas_per_shard must be non-negative";
   let coord = Two_pc.create ~log:(Wal.mem ()) in
   let dbs =
     Array.init shards (fun _ ->
@@ -65,18 +85,52 @@ let create ?cost ?checkpoint_every ~shards () =
   in
   (* Every shard resolves in-doubt chunks through the shared decision log:
      the resolver closure stays valid across any number of recoveries. *)
-  Array.iter
-    (fun db ->
-      Database.set_in_doubt_resolver db
-        (Some (fun gtid -> Two_pc.decided_commit coord gtid)))
-    dbs;
+  let resolver = Some (fun gtid -> Two_pc.decided_commit coord gtid) in
+  Array.iter (fun db -> Database.set_in_doubt_resolver db resolver) dbs;
+  let repl =
+    if replicas_per_shard = 0 then None
+    else begin
+      let sim = Des.create () in
+      let groups =
+        Array.map
+          (fun db ->
+            (* Prepare chunks must ship too, or a prepared-but-undecided
+               transaction could not survive a primary failover. *)
+            Database.set_ship_prepares db true;
+            let g =
+              Replication.create ~sim ~primary:db ?ack_replicas
+                ?promote_quorum ()
+            in
+            for _ = 1 to replicas_per_shard do
+              let id = Replication.add_replica g in
+              (* The follower may be promoted mid-protocol: its recovery
+                 then resolves in-doubt chunks against the decision log,
+                 so the resolver must be wired before any promotion. *)
+              Database.set_in_doubt_resolver (Replication.replica_db g id)
+                resolver
+            done;
+            g)
+          dbs
+      in
+      Some { r_sim = sim; r_groups = groups; r_failovers = [] }
+    end
+  in
   {
     dbs;
     coord;
     fault = None;
     cur = None;
     gather_pushdown = true;
-    ctr = { c_2pc = 0; c_1pc = 0; c_aborts = 0; c_gathers = 0; c_fanout = 0 };
+    repl;
+    ctr =
+      {
+        c_2pc = 0;
+        c_1pc = 0;
+        c_aborts = 0;
+        c_gathers = 0;
+        c_fanout = 0;
+        c_replica_reads = 0;
+      };
   }
 
 let n_shards t = Array.length t.dbs
@@ -130,7 +184,18 @@ let stats t =
     gathered_reads = t.ctr.c_gathers;
     fanout_writes = t.ctr.c_fanout;
     decisions = Two_pc.n_decisions t.coord;
+    replica_read_fetches = t.ctr.c_replica_reads;
+    shard_failovers =
+      (match t.repl with None -> 0 | Some r -> List.length r.r_failovers);
   }
+
+let replicated t = t.repl <> None
+
+let replication t s =
+  match t.repl with None -> None | Some r -> Some r.r_groups.(s)
+
+let failovers t = match t.repl with None -> [] | Some r -> r.r_failovers
+let lsn_vector t = Array.to_list (Array.map Database.current_lsn t.dbs)
 
 (* --- routing ------------------------------------------------------------- *)
 
@@ -227,16 +292,105 @@ let decide ?target t =
   | None -> Fault.Deliver 0.0
   | Some f -> Fault.decide ?target f
 
+(* --- per-shard replication ------------------------------------------------ *)
+
+let drain_cap = 100_000
+
+(* Run the private shipping calendar to quiescence.  Shipping between a
+   shard primary and its followers is synchronous-at-commit: the protocol
+   only proceeds once the calendar has no work left, so a quorum question
+   is decidable by a plain poll afterwards.  The step cap is a deadlock
+   net — a calendar that reschedules forever (it should not) diagnoses
+   itself instead of hanging. *)
+let drain t =
+  match t.repl with
+  | None -> ()
+  | Some r ->
+      let steps = ref 0 in
+      while !steps <= drain_cap && Des.step r.r_sim do incr steps done;
+      if !steps > drain_cap then
+        Database.invariant_violation
+          "Shard.drain: replication calendar still busy after %d events"
+          drain_cap
+
+let quiesce t = drain t
+
+(* Hold the protocol until shard [s]'s group has quorum-acked everything
+   its primary has appended (in particular, gtid's prepare force or
+   completion marker).  Quorum here is a hard precondition for
+   acknowledging anything upstream: an LSN that reached a quorum of
+   followers survives any single promotion. *)
+let quorum_wait t ~gtid s =
+  match t.repl with
+  | None -> ()
+  | Some r ->
+      drain t;
+      let lsn = Database.current_lsn t.dbs.(s) in
+      if not (Replication.acked r.r_groups.(s) ~lsn) then
+        Database.invariant_violation
+          "shard %d: no replication quorum for lsn %d (gtid %d)" s lsn gtid
+
+(* Presumed abort ships nothing, so a follower holding the stashed prepare
+   chunk of a globally-aborted gtid must be told out of band to drop it
+   (the dead chunk stays in its log; any later promotion presumed-aborts
+   it through the decision log). *)
+let forget_on_followers t ~gtid s =
+  match t.repl with
+  | None -> ()
+  | Some r ->
+      let g = r.r_groups.(s) in
+      List.iter
+        (fun (ri : Replication.replica_info) ->
+          Database.repl_forget (Replication.replica_db g ri.Replication.id)
+            ~gtid)
+        (Replication.replicas g)
+
+(* A shard primary died.  With a promotable group: generation-fence the
+   old reign and promote the most caught-up follower — a quorum-shipped
+   prepared chunk survives into the promoted follower's log and its
+   recovery resolves it through the decision log (commit if decided,
+   presumed abort otherwise).  Without a promotable group, or without
+   replication at all, the primary recovers in place from its own durable
+   stores. *)
+let failover_shard t s =
+  match t.repl with
+  | None -> Database.crash_restart t.dbs.(s)
+  | Some r ->
+      let g = r.r_groups.(s) in
+      if Replication.can_promote g then begin
+        let db, id, _replayed = Replication.promote g in
+        t.dbs.(s) <- db;
+        r.r_failovers <- r.r_failovers @ [ (s, id, Database.current_lsn db) ];
+        (* survivors re-sync from the new primary before the protocol
+           moves on *)
+        drain t
+      end
+      else Database.crash_restart t.dbs.(s)
+
+let kill_follower t s =
+  match t.repl with
+  | None -> invalid_arg "Shard.kill_follower: shard is not replicated"
+  | Some r -> (
+      let g = r.r_groups.(s) in
+      match Replication.replicas g with
+      | [] -> invalid_arg "Shard.kill_follower: no follower left"
+      | ri :: _ -> Replication.remove_replica g ri.Replication.id)
+
 (* Simulated whole-process crash: the coordinator recovers its decision log
    first, then every shard recovers (resolving in-doubt chunks through the
    fresh decision table), then the gtid allocator clears every replayed
    id.  Shard high-water marks cover aborted prepares too — a dead
    [Begin .. Prepare] chunk still bumps its shard's next id — so no gtid
-   with surviving log presence is ever reallocated. *)
+   with surviving log presence is ever reallocated.  Replicated shards
+   fail over instead of recovering in place: every shard promotes its most
+   caught-up follower (falling back to in-place recovery when no quorum of
+   followers remains). *)
 let crash_restart t =
   t.cur <- None;
   Two_pc.recover t.coord;
-  Array.iter Database.crash_restart t.dbs;
+  (match t.repl with
+  | None -> Array.iter Database.crash_restart t.dbs
+  | Some _ -> Array.iteri (fun s _ -> failover_shard t s) t.dbs);
   Array.iter (fun db -> Two_pc.ensure_next t.coord (Database.next_txn_id db)) t.dbs
 
 let crash_shard t i = Database.crash_restart t.dbs.(i)
@@ -276,17 +430,28 @@ let commit_dtxn ?token t d =
          under the coordinator-allocated id, no PREPARE, no decision. *)
       match decide ~target:(Fault.Shard s) t with
       | Fault.Fail (Fault.Server_crash, Fault.Request) ->
-          Database.crash_restart t.dbs.(s);
+          failover_shard t s;
           t.ctr.c_aborts <- t.ctr.c_aborts + 1;
           error "shard %d crashed before commit" s
-      | Fault.Fail (Fault.Server_crash, _) ->
-          (* The chunk reached the log before the crash: it is committed,
-             and recovery replays it. *)
+      | Fault.Fail (Fault.Server_crash, _) -> (
           Database.dtxn_commit_1pc ?token t.dbs.(s) ~gtid;
-          Database.crash_restart t.dbs.(s);
-          t.ctr.c_1pc <- t.ctr.c_1pc + 1
+          match t.repl with
+          | None ->
+              (* The chunk reached the log before the crash: it is
+                 committed, and in-place recovery replays it. *)
+              Database.crash_restart t.dbs.(s);
+              t.ctr.c_1pc <- t.ctr.c_1pc + 1
+          | Some _ ->
+              (* The chunk reached the primary's log but was never
+                 quorum-acked: promotion fences it with the old reign, so
+                 it must NOT be acknowledged — the client re-drives
+                 through the durable idempotency token. *)
+              failover_shard t s;
+              t.ctr.c_aborts <- t.ctr.c_aborts + 1;
+              error "shard %d crashed before replication quorum" s)
       | _ ->
           Database.dtxn_commit_1pc ?token t.dbs.(s) ~gtid;
+          quorum_wait t ~gtid s;
           t.ctr.c_1pc <- t.ctr.c_1pc + 1)
   | first :: _ ->
       (* Phase 1: force PREPARE on every touched shard.  The idempotency
@@ -302,22 +467,36 @@ let commit_dtxn ?token t d =
             | Fault.Fail (Fault.Server_crash, Fault.Request) ->
                 (* Died before forcing PREPARE: the volatile transaction is
                    gone — global abort. *)
-                Database.crash_restart t.dbs.(s);
+                failover_shard t s;
                 abort_msg := Some (Printf.sprintf "shard %d crashed before prepare" s)
             | Fault.Fail (Fault.Server_crash, _) ->
                 (* Died after forcing PREPARE but before the vote reached
                    the coordinator: still a global abort; the forced chunk
-                   stays in doubt until recovery presumed-aborts it. *)
+                   stays in doubt until recovery presumed-aborts it.  With
+                   replication the chunk ships first, so the promoted
+                   follower replays it as in-doubt and presumed-aborts it
+                   itself — the prepared transaction survived the failover
+                   and still resolved per the (absent) decision. *)
                 ignore (Database.dtxn_prepare ?token:tok t.dbs.(s) ~gtid : bool);
-                Database.crash_restart t.dbs.(s);
+                drain t;
+                failover_shard t s;
                 abort_msg := Some (Printf.sprintf "shard %d crashed during prepare" s)
             | _ ->
-                if Database.dtxn_prepare ?token:tok t.dbs.(s) ~gtid then
-                  prepared := !prepared @ [ s ])
+                if Database.dtxn_prepare ?token:tok t.dbs.(s) ~gtid then begin
+                  (* The PREPARE force is quorum-acked before the protocol
+                     proceeds: once this shard votes yes, its forced chunk
+                     survives any single failover. *)
+                  quorum_wait t ~gtid s;
+                  prepared := !prepared @ [ s ]
+                end)
         touched;
       (match !abort_msg with
       | Some msg ->
           List.iter (fun s -> Database.dtxn_abort t.dbs.(s) ~gtid) touched;
+          if t.repl <> None then begin
+            drain t;
+            List.iter (fun s -> forget_on_followers t ~gtid s) touched
+          end;
           t.ctr.c_aborts <- t.ctr.c_aborts + 1;
           error "%s" msg
       | None -> ());
@@ -343,14 +522,17 @@ let commit_dtxn ?token t d =
         | _ ->
             Two_pc.log_commit t.coord ~gtid ~participants;
             (* Phase 2: completion markers.  A participant dying here is
-               harmless — its recovery resolves the in-doubt chunk as
-               committed through the decision log. *)
+               harmless — its recovery (or, replicated, the promoted
+               follower's recovery: the prepared chunk was quorum-shipped
+               in phase 1) resolves the in-doubt chunk as committed
+               through the decision log. *)
             List.iter
               (fun s ->
                 match decide ~target:(Fault.Shard s) t with
-                | Fault.Fail (Fault.Server_crash, _) ->
-                    Database.crash_restart t.dbs.(s)
-                | _ -> Database.dtxn_commit t.dbs.(s) ~gtid)
+                | Fault.Fail (Fault.Server_crash, _) -> failover_shard t s
+                | _ ->
+                    Database.dtxn_commit t.dbs.(s) ~gtid;
+                    quorum_wait t ~gtid s)
               participants;
             t.ctr.c_2pc <- t.ctr.c_2pc + 1
       end
@@ -586,15 +768,35 @@ let gather_preds selects =
    table is shard-concatenation order, so a cross-shard-count comparison of
    result sets must be order-insensitive unless the query orders
    explicitly. *)
+let serving_db t s =
+  match t.repl with
+  | None -> t.dbs.(s)
+  | Some _ when t.cur <> None || Database.in_txn t.dbs.(s) ->
+      (* An open transaction's effects live eagerly in the primary's heap
+         (undo-logged); only the primary may serve them. *)
+      t.dbs.(s)
+  | Some r -> (
+      (* Consistent-cut routing: a follower serves only when its applied
+         LSN has reached the primary's *current* LSN, so the gathered
+         snapshot across shards equals the primaries' state and the
+         execution-order serial-replay oracle stays valid.  Anything
+         behind falls back to the primary. *)
+      let lsn = Database.current_lsn t.dbs.(s) in
+      match Replication.route_read r.r_groups.(s) ~min_lsn:lsn with
+      | Some (_, rdb) ->
+          t.ctr.c_replica_reads <- t.ctr.c_replica_reads + 1;
+          rdb
+      | None -> t.dbs.(s))
+
 let exec_reads t selects =
-  if Array.length t.dbs = 1 then Database.exec_reads t.dbs.(0) selects
+  if Array.length t.dbs = 1 then Database.exec_reads (serving_db t 0) selects
   else
     let tables = List.fold_left select_tables [] selects in
     let known = List.filter (fun n -> schema_of t n <> None) tables in
     let pinned_only =
       List.for_all (fun n -> pk_of t n = None) known && known = tables
     in
-    if pinned_only then Database.exec_reads t.dbs.(0) selects
+    if pinned_only then Database.exec_reads (serving_db t 0) selects
     else begin
       t.ctr.c_gathers <- t.ctr.c_gathers + 1;
       let scratch = Database.create ~cost:(Database.cost_model t.dbs.(0)) () in
@@ -627,8 +829,9 @@ let exec_reads t selects =
           known
       in
       let gather_cost = ref 0.0 and gather_scanned = ref 0 in
-      Array.iter
-        (fun db ->
+      Array.iteri
+        (fun s _ ->
+          let db = serving_db t s in
           if known <> [] then
             List.iter2
               (fun name ((o : Database.outcome), scanned) ->
@@ -715,10 +918,15 @@ let run_write t d stmt =
       match route_by_pk t table where with
       | Some s -> run_write_on t d s stmt
       | None -> broadcast_write t d stmt)
-  | _ -> assert false
+  | _ ->
+      Database.invariant_violation
+        "Shard.run_write: non-DML statement routed into a distributed \
+         transaction (touched shards: [%s], next gtid %d)"
+        (String.concat ";" (List.map string_of_int d.touched))
+        (Two_pc.next_gtid t.coord)
 
 let exec t stmt =
-  if Array.length t.dbs = 1 then Database.exec t.dbs.(0) stmt
+  if Array.length t.dbs = 1 && t.repl = None then Database.exec t.dbs.(0) stmt
   else
     match stmt with
     | Ast.Begin_txn ->
@@ -734,7 +942,12 @@ let exec t stmt =
     | Ast.Select sel -> (
         match exec_reads t [ sel ] with
         | [ (o, _) ] -> o
-        | _ -> assert false)
+        | outs ->
+            Database.invariant_violation
+              "Shard.exec: gather returned %d outcomes for a single SELECT \
+               (%d shards, next gtid %d)"
+              (List.length outs) (Array.length t.dbs)
+              (Two_pc.next_gtid t.coord))
     | Ast.Create_table _ ->
         (* DDL broadcasts so every shard's catalog (and WAL) knows the
            table; the records are standalone and id-free. *)
@@ -756,7 +969,8 @@ let exec t stmt =
                 raise e))
 
 let exec_batch t stmts =
-  if Array.length t.dbs = 1 then Database.exec_batch t.dbs.(0) stmts
+  if Array.length t.dbs = 1 && t.repl = None then
+    Database.exec_batch t.dbs.(0) stmts
   else
     let flush_reads pending acc =
       match pending with
@@ -775,7 +989,8 @@ let exec_batch t stmts =
     go [] [] stmts
 
 let atomically ?token t f =
-  if Array.length t.dbs = 1 then Database.atomically ?token t.dbs.(0) f
+  if Array.length t.dbs = 1 && t.repl = None then
+    Database.atomically ?token t.dbs.(0) f
   else
     match t.cur with
     | Some _ -> f () (* the client's transaction already provides atomicity *)
@@ -791,7 +1006,8 @@ let atomically ?token t f =
             raise e)
 
 let in_txn t =
-  if Array.length t.dbs = 1 then Database.in_txn t.dbs.(0) else t.cur <> None
+  if Array.length t.dbs = 1 && t.repl = None then Database.in_txn t.dbs.(0)
+  else t.cur <> None
 
 let token_applied t k = Array.exists (fun db -> Database.token_applied db k) t.dbs
 let current_lsn t = Array.fold_left (fun a db -> a + Database.current_lsn db) 0 t.dbs

@@ -35,14 +35,40 @@ type stats = {
   gathered_reads : int;  (** read flushes that took the gather path *)
   fanout_writes : int;  (** writes broadcast to every shard (no PK route) *)
   decisions : int;  (** COMMIT records in the coordinator's decision log *)
+  replica_read_fetches : int;
+      (** per-shard read fetches served by a caught-up follower *)
+  shard_failovers : int;  (** shard-primary promotions performed *)
 }
 
-val create : ?cost:Cost.model -> ?checkpoint_every:int -> shards:int -> unit -> t
+val create :
+  ?cost:Cost.model ->
+  ?checkpoint_every:int ->
+  ?replicas_per_shard:int ->
+  ?ack_replicas:int ->
+  ?promote_quorum:int ->
+  shards:int ->
+  unit ->
+  t
 (** [shards] durable engines over in-memory WAL + checkpoint stores (the
     stores survive simulated crashes, exactly like the recovery
     experiments' substrate), plus a coordinator decision log.  Every
     shard's in-doubt resolver is wired to the decision log.  Raises
-    [Invalid_argument] when [shards < 1]. *)
+    [Invalid_argument] when [shards < 1].
+
+    [replicas_per_shard > 0] makes every shard a {!Replication} group:
+    the engine becomes a WAL-shipping primary with that many followers
+    (whose in-doubt resolvers are wired to the same decision log, since
+    any of them may be promoted mid-protocol), shipping runs on one
+    private DES calendar that the 2PC code drains synchronously, and the
+    protocol changes in three ways — a participant's PREPARE force, the
+    1PC commit chunk and each phase-2 completion marker are all
+    quorum-acked ([ack_replicas], default a majority of the current
+    followers) before the protocol proceeds; a shard-primary crash at any
+    protocol step promotes the most caught-up follower (generation-fenced,
+    WAL tail replayed through normal recovery) instead of recovering in
+    place; and cross-shard reads may be served by caught-up followers
+    under a consistent cut.  With [replicas_per_shard = 0] (the default)
+    every code path is byte-identical to an unreplicated deployment. *)
 
 val n_shards : t -> int
 
@@ -136,8 +162,44 @@ val crash_restart : t -> unit
     gtid allocator is raised past every replayed id. *)
 
 val crash_shard : t -> int -> unit
-(** Crash and recover one shard only; the coordinator and the other shards
-    stay up. *)
+(** Crash and recover one shard only, {e in place} (no promotion); the
+    coordinator and the other shards stay up. *)
+
+(** {2 Per-shard replication} *)
+
+val replicated : t -> bool
+
+val replication : t -> int -> Replication.t option
+(** Shard [s]'s replication group, when [replicas_per_shard > 0]. *)
+
+val failover_shard : t -> int -> unit
+(** Kill shard [s]'s primary: promote the most caught-up follower
+    (recording the failover) when the group can, otherwise recover the
+    primary in place.  A quorum-acked prepared chunk survives into the
+    promoted follower and is resolved through the decision log by its
+    recovery.  Used by the protocol's own crash arms and by the chaos
+    harness. *)
+
+val kill_follower : t -> int -> unit
+(** Permanently remove one follower of shard [s] (the earliest-attached
+    survivor) — the follower-death axis of the chaos matrix.  Raises
+    [Invalid_argument] when the shard is unreplicated or has no follower
+    left. *)
+
+val failovers : t -> (int * int * int) list
+(** Every promotion performed, oldest first:
+    [(shard, promoted replica id, primary LSN right after promotion)]. *)
+
+val lsn_vector : t -> int list
+(** Each shard primary's current LSN, in shard order — the per-session
+    read-your-writes floor vector the admission layer records at write
+    ack. *)
+
+val quiesce : t -> unit
+(** Drain the private replication calendar to quiescence (all in-flight
+    chunk and snapshot deliveries completed).  No-op when unreplicated.
+    Raises {!Database.Invariant_violation} if the calendar fails to
+    quiesce within a large bounded number of events. *)
 
 val recovery_totals : t -> int * int * int * int
 (** Summed over shards, from each engine's last recovery:

@@ -52,4 +52,8 @@ let log_commit t ~gtid ~participants =
 let decided_commit t gtid = Hashtbl.mem t.decisions gtid
 let participants t gtid = Hashtbl.find_opt t.decisions gtid
 let n_decisions t = Hashtbl.length t.decisions
+
+let decisions t =
+  Hashtbl.fold (fun gtid ps acc -> (gtid, ps) :: acc) t.decisions []
+  |> List.sort compare
 let log_size t = String.length (Wal.contents t.log)

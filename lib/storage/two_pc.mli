@@ -43,4 +43,11 @@ val decided_commit : t -> int -> bool
 
 val participants : t -> int -> int list option
 val n_decisions : t -> int
+
+val decisions : t -> (int * int list) list
+(** Every recorded COMMIT decision as [(gtid, participants)], ascending by
+    gtid.  The harness's prepared-txn-survival detector walks this to check
+    that each decided transaction is applied on every participant after a
+    failover. *)
+
 val log_size : t -> int

@@ -1,0 +1,129 @@
+(* Property tests for [Sloth_net.Retry_policy]: the backoff schedule is
+   deterministic (pure in the policy and the attempt number — any jitter
+   is applied by the driver from its own seeded RNG, never here), bounded
+   by [backoff_max_ms], monotone non-decreasing, and exactly doubling
+   below the cap. *)
+
+module Rp = Sloth_net.Retry_policy
+
+let builtins =
+  [
+    ("default", Rp.default);
+    ("no_retry", Rp.no_retry);
+    ("served", Rp.served);
+    ("shipping", Rp.shipping);
+  ]
+
+(* Attempts worth probing: deep enough that every builtin hits its cap. *)
+let attempts = List.init 20 (fun i -> i + 1)
+
+(* --- deterministic, pinned values ---------------------------------------- *)
+
+let test_default_schedule () =
+  (* base 1ms doubling to the 32ms cap: 1 2 4 8 16 32 32 ... *)
+  List.iter
+    (fun (attempt, expect) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "default attempt %d" attempt)
+        expect
+        (Rp.backoff_ms Rp.default attempt))
+    [ (1, 1.0); (2, 2.0); (3, 4.0); (4, 8.0); (5, 16.0); (6, 32.0);
+      (7, 32.0); (20, 32.0) ]
+
+let test_served_schedule () =
+  (* base 1ms doubling to a 16ms cap, no jitter *)
+  List.iter
+    (fun (attempt, expect) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "served attempt %d" attempt)
+        expect
+        (Rp.backoff_ms Rp.served attempt))
+    [ (1, 1.0); (2, 2.0); (4, 8.0); (5, 16.0); (6, 16.0); (20, 16.0) ];
+  Alcotest.(check (float 0.0)) "served has no jitter" 0.0 Rp.served.Rp.jitter
+
+let test_schedule_deterministic () =
+  (* The same (policy, attempt) always yields the same delay: recompute
+     every builtin's full schedule twice and compare exactly. *)
+  let schedule p = List.map (fun a -> Rp.backoff_ms p a) attempts in
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check (list (float 0.0)))
+        (name ^ " schedule stable") (schedule p) (schedule p))
+    builtins
+
+let test_builtin_shapes () =
+  Alcotest.(check int) "no_retry gives up immediately" 1
+    Rp.no_retry.Rp.max_attempts;
+  Alcotest.(check bool) "shipping never gives up" true
+    (Rp.shipping.Rp.max_attempts = max_int);
+  Alcotest.(check bool) "served is patient" true
+    (Rp.served.Rp.max_attempts > Rp.default.Rp.max_attempts)
+
+(* --- bounded backoff properties ------------------------------------------ *)
+
+(* Random policies: positive base, cap anywhere from below the base to far
+   above it, so the clamp is exercised from both sides. *)
+let policy_gen =
+  QCheck.(
+    set_print
+      (fun (base, cap, attempt) ->
+        Printf.sprintf "base=%.3fms cap=%.3fms attempt=%d" base cap attempt)
+      (triple (float_range 0.001 100.0) (float_range 0.001 10000.0)
+         (int_range 1 60)))
+
+let policy_of (base, cap, _) =
+  { Rp.default with Rp.backoff_base_ms = base; backoff_max_ms = cap }
+
+let fuzz_bounded =
+  QCheck.Test.make ~count:500 ~name:"backoff bounded by the cap and the base"
+    policy_gen (fun ((base, cap, attempt) as c) ->
+      let p = policy_of c in
+      let d = Rp.backoff_ms p attempt in
+      if d < 0.0 then QCheck.Test.fail_reportf "negative backoff %f" d;
+      if d > cap +. 1e-9 then
+        QCheck.Test.fail_reportf "backoff %f above cap %f" d cap;
+      if d > base *. (2.0 ** float_of_int (attempt - 1)) +. 1e-9 then
+        QCheck.Test.fail_reportf "backoff %f above the doubling curve" d;
+      true)
+
+let fuzz_monotone_doubling =
+  QCheck.Test.make ~count:500
+    ~name:"backoff monotone, exactly doubling below the cap" policy_gen
+    (fun ((_, cap, attempt) as c) ->
+      let p = policy_of c in
+      let d = Rp.backoff_ms p attempt in
+      let d' = Rp.backoff_ms p (attempt + 1) in
+      if d' < d then
+        QCheck.Test.fail_reportf "backoff shrank: %f then %f" d d';
+      (* the next step is exactly double, unless the cap clamps it *)
+      let expect = Float.min cap (2.0 *. d) in
+      if Float.abs (d' -. expect) > 1e-9 *. Float.max 1.0 expect then
+        QCheck.Test.fail_reportf "attempt %d: got %f, expected %f" (attempt + 1)
+          d' expect;
+      true)
+
+let fuzz_capped_stays_capped =
+  QCheck.Test.make ~count:200 ~name:"once capped, always capped" policy_gen
+    (fun ((_, cap, attempt) as c) ->
+      let p = policy_of c in
+      if Rp.backoff_ms p attempt >= cap -. 1e-9 then
+        if Float.abs (Rp.backoff_ms p (attempt + 17) -. cap) > 1e-9 then
+          QCheck.Test.fail_reportf "left the cap after reaching it";
+      true)
+
+let () =
+  Alcotest.run "retry_policy"
+    [
+      ( "pinned",
+        [
+          Alcotest.test_case "default schedule" `Quick test_default_schedule;
+          Alcotest.test_case "served schedule" `Quick test_served_schedule;
+          Alcotest.test_case "deterministic" `Quick
+            test_schedule_deterministic;
+          Alcotest.test_case "builtin shapes" `Quick test_builtin_shapes;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ fuzz_bounded; fuzz_monotone_doubling; fuzz_capped_stays_capped ]
+      );
+    ]
